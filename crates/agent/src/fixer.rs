@@ -1,0 +1,502 @@
+//! The RTLFixer agent: the interactive debugging loop of Figure 1.
+//!
+//! The agent wires together a compiler personality (feedback source), an
+//! optional RAG stage (guidance retrieval keyed on the compiler log) and a
+//! language model (revision proposals), under one of two strategies:
+//!
+//! * [`Strategy::OneShot`] — a single feedback turn (the paper's baseline).
+//! * [`Strategy::React`] — up to `max_iterations` Thought / Action /
+//!   Observation rounds, re-compiling after every revision (§3.2).
+
+use rtlfixer_compilers::{Compiler, CompilerKind};
+use rtlfixer_llm::{Feedback, GuidanceSnippet, LanguageModel, PromptStyle, RepairRequest};
+use rtlfixer_rag::{DefaultRetriever, GuidanceDatabase, RetrievalQuery, Retriever};
+use rtlfixer_verilog::diag::ErrorCategory;
+
+use crate::prefixer::prefix_fix;
+use crate::trace::{Action, FixTrace};
+
+/// Fixing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Single-turn feedback, no iteration.
+    OneShot,
+    /// Iterative ReAct loop with at most this many revision rounds (the
+    /// paper uses 10).
+    React {
+        /// Maximum Thought-Action-Observation revision rounds.
+        max_iterations: usize,
+    },
+}
+
+impl Strategy {
+    /// The revision budget this strategy allows.
+    pub fn revision_budget(self) -> usize {
+        match self {
+            Strategy::OneShot => 1,
+            Strategy::React { max_iterations } => max_iterations,
+        }
+    }
+
+    /// Prompt style handed to the model.
+    pub fn prompt_style(self) -> PromptStyle {
+        match self {
+            Strategy::OneShot => PromptStyle::OneShot,
+            Strategy::React { .. } => PromptStyle::React,
+        }
+    }
+
+    /// Label used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::OneShot => "One-shot",
+            Strategy::React { .. } => "ReAct",
+        }
+    }
+}
+
+/// The result of one fixing episode.
+#[derive(Debug, Clone)]
+pub struct FixOutcome {
+    /// Whether the final code compiles cleanly.
+    pub success: bool,
+    /// The final (possibly fixed) code.
+    pub final_code: String,
+    /// Revision rounds used (0 if the input already compiled).
+    pub revisions: usize,
+    /// Error categories present before fixing.
+    pub initial_categories: Vec<ErrorCategory>,
+    /// Error categories still present after fixing (empty on success).
+    pub remaining_categories: Vec<ErrorCategory>,
+    /// Full ReAct trace.
+    pub trace: FixTrace,
+}
+
+/// Builder for [`RtlFixer`]; start with [`RtlFixerBuilder::new`].
+pub struct RtlFixerBuilder {
+    compiler: CompilerKind,
+    strategy: Strategy,
+    rag: bool,
+    database: Option<GuidanceDatabase>,
+    retriever: Option<Box<dyn Retriever>>,
+    prefixer: bool,
+}
+
+impl RtlFixerBuilder {
+    /// Starts a builder with the paper's defaults (ReAct ×10, Quartus, RAG,
+    /// pre-fixer on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Default for RtlFixerBuilder {
+    fn default() -> Self {
+        RtlFixerBuilder {
+            compiler: CompilerKind::Quartus,
+            strategy: Strategy::React { max_iterations: 10 },
+            rag: true,
+            database: None,
+            retriever: None,
+            prefixer: true,
+        }
+    }
+}
+
+impl RtlFixerBuilder {
+    /// Selects the compiler personality (feedback source).
+    pub fn compiler(mut self, kind: CompilerKind) -> Self {
+        self.compiler = kind;
+        self
+    }
+
+    /// Selects the strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables or disables retrieval-augmented guidance.
+    pub fn with_rag(mut self, rag: bool) -> Self {
+        self.rag = rag;
+        self
+    }
+
+    /// Overrides the guidance database (default: the edition matching the
+    /// compiler).
+    pub fn database(mut self, database: GuidanceDatabase) -> Self {
+        self.database = Some(database);
+        self
+    }
+
+    /// Overrides the retriever (default: exact-tag with Jaccard fallback).
+    pub fn retriever(mut self, retriever: Box<dyn Retriever>) -> Self {
+        self.retriever = Some(retriever);
+        self
+    }
+
+    /// Enables or disables the rule-based pre-fixer (§4 Setup).
+    pub fn prefixer(mut self, enabled: bool) -> Self {
+        self.prefixer = enabled;
+        self
+    }
+
+    /// Builds the fixer around a language model.
+    pub fn build<L: LanguageModel>(self, llm: L) -> RtlFixer<L> {
+        let database = self.database.unwrap_or_else(|| match self.compiler {
+            CompilerKind::Quartus => GuidanceDatabase::quartus(),
+            _ => GuidanceDatabase::iverilog(),
+        });
+        RtlFixer {
+            compiler_kind: self.compiler,
+            compiler: self.compiler.build(),
+            strategy: self.strategy,
+            rag: self.rag,
+            database,
+            retriever: self.retriever.unwrap_or_else(|| Box::new(DefaultRetriever::new())),
+            prefixer: self.prefixer,
+            llm,
+        }
+    }
+}
+
+/// The RTLFixer agent. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_agent::{RtlFixerBuilder, Strategy};
+/// use rtlfixer_compilers::CompilerKind;
+/// use rtlfixer_llm::{Capability, SimulatedLlm};
+///
+/// let llm = SimulatedLlm::new(Capability::Gpt4Class, 42);
+/// let mut fixer = RtlFixerBuilder::new()
+///     .compiler(CompilerKind::Quartus)
+///     .strategy(Strategy::React { max_iterations: 10 })
+///     .build(llm);
+/// let outcome = fixer.fix(
+///     "module m(input [7:0] in, output reg [7:0] out);
+///      always @(posedge clk) out <= in;
+///      endmodule",
+/// );
+/// assert!(outcome.success);
+/// ```
+pub struct RtlFixer<L: LanguageModel> {
+    compiler_kind: CompilerKind,
+    compiler: Box<dyn Compiler>,
+    strategy: Strategy,
+    rag: bool,
+    database: GuidanceDatabase,
+    retriever: Box<dyn Retriever>,
+    prefixer: bool,
+    llm: L,
+}
+
+impl<L: LanguageModel> RtlFixer<L> {
+    /// The configured compiler personality.
+    pub fn compiler_kind(&self) -> CompilerKind {
+        self.compiler_kind
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Fixes `source` with an empty problem description.
+    pub fn fix(&mut self, source: &str) -> FixOutcome {
+        self.fix_problem("", source)
+    }
+
+    /// Runs one fixing episode over `source` for `problem`.
+    pub fn fix_problem(&mut self, problem: &str, source: &str) -> FixOutcome {
+        let mut code =
+            if self.prefixer { prefix_fix(source) } else { source.to_owned() };
+        let mut trace = FixTrace::new();
+        self.llm.begin_episode();
+
+        let mut outcome = self.compiler.compile(&code, "main.sv");
+        trace.push(
+            "Submit the implementation to the compiler to check for syntax errors.",
+            Action::Compiler,
+            outcome.log.clone(),
+        );
+        let initial_categories = outcome.error_categories();
+
+        let mut revisions = 0usize;
+        let budget = self.strategy.revision_budget();
+        while !outcome.success && revisions < budget {
+            // RAG stage: retrieve guidance keyed on the compiler log.
+            let guidance: Vec<GuidanceSnippet> = if self.rag {
+                let query = RetrievalQuery::from_log(outcome.log.clone());
+                let hits = self.retriever.retrieve(&self.database, &query);
+                if !hits.is_empty() {
+                    let obs: Vec<String> =
+                        hits.iter().map(|h| h.entry.guidance.clone()).collect();
+                    trace.push(
+                        "Search the expert guidance database for this error.",
+                        Action::Rag { query: outcome.log.clone() },
+                        obs.join("\n"),
+                    );
+                }
+                hits.iter()
+                    .map(|h| GuidanceSnippet {
+                        category: h.entry.category.0,
+                        text: h.entry.guidance.clone(),
+                        demonstration: h.entry.demonstration.clone(),
+                        // Exact-tag hits score exactly 1.0; fuzzy fallback
+                        // hits score below it and are uncertain matches.
+                        exact_retrieval: h.score >= 1.0,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
+            let request = RepairRequest {
+                code: code.clone(),
+                problem: problem.to_owned(),
+                feedback: Feedback {
+                    log: outcome.log.clone(),
+                    identified: outcome.identified.clone(),
+                    informativeness: self.compiler.quality().informativeness,
+                },
+                guidance,
+                style: self.strategy.prompt_style(),
+                attempt: revisions,
+            };
+            let response = self.llm.propose_repair(&request);
+            trace.push(response.thought.clone(), Action::Revise, "");
+            code = response.code;
+            revisions += 1;
+
+            outcome = self.compiler.compile(&code, "main.sv");
+            trace.push(
+                "Re-run the compilation on the revised code.",
+                Action::Compiler,
+                outcome.log.clone(),
+            );
+        }
+
+        trace.push(
+            if outcome.success {
+                "The code now compiles successfully. Returning the final implementation."
+            } else {
+                "The revision budget is exhausted; returning the best attempt."
+            },
+            Action::Finish,
+            "",
+        );
+
+        FixOutcome {
+            success: outcome.success,
+            remaining_categories: outcome.error_categories(),
+            final_code: code,
+            revisions,
+            initial_categories,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlfixer_llm::{Capability, SimulatedLlm};
+
+    const PHANTOM_CLK: &str = "module m(input [7:0] in, output reg [7:0] out);\n\
+                               always @(posedge clk) out <= in;\nendmodule";
+
+    fn fixer(
+        compiler: CompilerKind,
+        strategy: Strategy,
+        rag: bool,
+        capability: Capability,
+        seed: u64,
+    ) -> RtlFixer<SimulatedLlm> {
+        RtlFixerBuilder::new()
+            .compiler(compiler)
+            .strategy(strategy)
+            .with_rag(rag)
+            .build(SimulatedLlm::new(capability, seed))
+    }
+
+    #[test]
+    fn already_clean_code_finishes_immediately() {
+        let mut f = fixer(
+            CompilerKind::Quartus,
+            Strategy::React { max_iterations: 10 },
+            true,
+            Capability::Gpt35Class,
+            1,
+        );
+        let outcome = f.fix("module m(input a, output y); assign y = a; endmodule");
+        assert!(outcome.success);
+        assert_eq!(outcome.revisions, 0);
+        assert!(outcome.initial_categories.is_empty());
+    }
+
+    #[test]
+    fn react_gpt4_fixes_phantom_clk() {
+        let mut f = fixer(
+            CompilerKind::Quartus,
+            Strategy::React { max_iterations: 10 },
+            true,
+            Capability::Gpt4Class,
+            7,
+        );
+        let outcome = f.fix(PHANTOM_CLK);
+        assert!(outcome.success, "trace:\n{}", outcome.trace);
+        assert_eq!(
+            outcome.initial_categories,
+            vec![ErrorCategory::UndeclaredIdentifier]
+        );
+        assert!(outcome.remaining_categories.is_empty());
+        assert!(outcome.trace.compiler_calls() >= 2);
+    }
+
+    #[test]
+    fn one_shot_uses_single_revision() {
+        let mut f = fixer(
+            CompilerKind::Quartus,
+            Strategy::OneShot,
+            true,
+            Capability::Gpt4Class,
+            11,
+        );
+        let outcome = f.fix(PHANTOM_CLK);
+        assert!(outcome.revisions <= 1);
+    }
+
+    #[test]
+    fn react_beats_one_shot_on_average() {
+        // Aggregate sanity check of the loop dynamics (Table 1's main
+        // qualitative claim), on a moderately hard sample.
+        let sample = "module m(input [7:0] a, output reg [7:0] y);\n\
+                      always @* begin\n\
+                        for (int i = 0; i < 8; i++) y[i] = a[i] & mask;\n\
+                      end\nendmodule";
+        let runs = 40;
+        let mut one_shot_wins = 0;
+        let mut react_wins = 0;
+        for seed in 0..runs {
+            let mut os = fixer(
+                CompilerKind::Iverilog,
+                Strategy::OneShot,
+                false,
+                Capability::Gpt35Class,
+                seed,
+            );
+            if os.fix(sample).success {
+                one_shot_wins += 1;
+            }
+            let mut re = fixer(
+                CompilerKind::Iverilog,
+                Strategy::React { max_iterations: 10 },
+                false,
+                Capability::Gpt35Class,
+                seed,
+            );
+            if re.fix(sample).success {
+                react_wins += 1;
+            }
+        }
+        assert!(
+            react_wins > one_shot_wins,
+            "react {react_wins} vs one-shot {one_shot_wins}"
+        );
+    }
+
+    #[test]
+    fn rag_improves_quartus_fix_rate() {
+        // The Table 1 RAG effect, in miniature: a hard C-style sample.
+        let sample = "module m(input [7:0] a, output reg [7:0] s);\n\
+                      always @* begin\ns = 0;\ns += a;\nend\nendmodule";
+        let runs = 60;
+        let mut with_rag = 0;
+        let mut without_rag = 0;
+        for seed in 0..runs {
+            let mut w = fixer(
+                CompilerKind::Quartus,
+                Strategy::React { max_iterations: 10 },
+                true,
+                Capability::Gpt35Class,
+                seed,
+            );
+            if w.fix(sample).success {
+                with_rag += 1;
+            }
+            let mut wo = fixer(
+                CompilerKind::Quartus,
+                Strategy::React { max_iterations: 10 },
+                false,
+                Capability::Gpt35Class,
+                seed,
+            );
+            if wo.fix(sample).success {
+                without_rag += 1;
+            }
+        }
+        assert!(with_rag > without_rag, "with {with_rag} vs without {without_rag}");
+    }
+
+    #[test]
+    fn trace_contains_rag_step_when_retrieval_hits() {
+        let mut f = fixer(
+            CompilerKind::Quartus,
+            Strategy::React { max_iterations: 10 },
+            true,
+            Capability::Gpt4Class,
+            3,
+        );
+        let outcome = f.fix(PHANTOM_CLK);
+        let has_rag = outcome
+            .trace
+            .steps
+            .iter()
+            .any(|s| matches!(s.action, Action::Rag { .. }));
+        assert!(has_rag, "trace:\n{}", outcome.trace);
+    }
+
+    #[test]
+    fn markdown_wrapped_input_is_prefixed() {
+        let wrapped = format!("Here you go:\n```verilog\n{PHANTOM_CLK}\n```\nEnjoy!");
+        let mut f = fixer(
+            CompilerKind::Quartus,
+            Strategy::React { max_iterations: 10 },
+            true,
+            Capability::Gpt4Class,
+            5,
+        );
+        let outcome = f.fix(&wrapped);
+        assert!(outcome.success, "trace:\n{}", outcome.trace);
+        assert!(outcome.final_code.starts_with("module"));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_failure() {
+        // The Figure 6 class: index arithmetic, nearly unsolvable.
+        let sample = "module m(input [255:0] q, output [255:0] n);\n\
+                      genvar i, j;\ngenerate\n\
+                      for (i = 0; i < 16; i = i + 1) begin : r\n\
+                      for (j = 0; j < 16; j = j + 1) begin : c\n\
+                      assign n[i*16 + j] = q[(i-1)*16 + (j-1)];\n\
+                      end\nend\nendgenerate\nendmodule";
+        let mut failures = 0;
+        for seed in 0..10 {
+            let mut f = fixer(
+                CompilerKind::Quartus,
+                Strategy::React { max_iterations: 10 },
+                false,
+                Capability::Gpt35Class,
+                seed,
+            );
+            let outcome = f.fix(sample);
+            if !outcome.success {
+                failures += 1;
+                assert!(!outcome.remaining_categories.is_empty());
+            }
+        }
+        assert!(failures >= 7, "index arithmetic should mostly fail: {failures}/10");
+    }
+}

@@ -1,0 +1,151 @@
+//! The rule-based syntax pre-fixer.
+//!
+//! §4 Setup: *"A simple rule-based syntax fixer is applied to every
+//! LLM-generated verilog code, which avoids simple errors such as misplaced
+//! timescale derivatives."* The dataset curation (§3.4) additionally
+//! extracts code from markdown blocks and strips extraneous prose — the
+//! same normalisations live here so both the agent and the curation
+//! pipeline share them.
+
+/// Applies all rule-based fixes: markdown extraction, prose stripping and
+/// misplaced-directive removal.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_agent::prefixer::prefix_fix;
+///
+/// let raw = "Here is the code:\n```verilog\nmodule m(input a, output y);\nassign y = a;\nendmodule\n```\nHope this helps!";
+/// let fixed = prefix_fix(raw);
+/// assert!(fixed.starts_with("module"));
+/// assert!(fixed.trim_end().ends_with("endmodule"));
+/// ```
+pub fn prefix_fix(source: &str) -> String {
+    let code = extract_markdown(source);
+    let code = strip_prose(&code);
+    remove_misplaced_directives(&code)
+}
+
+/// Extracts the contents of the first fenced code block, if any.
+pub fn extract_markdown(source: &str) -> String {
+    let Some(open) = source.find("```") else {
+        return source.to_owned();
+    };
+    let after_fence = &source[open + 3..];
+    // Skip the info string (e.g. `verilog`) to the end of line.
+    let body_start = after_fence.find('\n').map_or(0, |i| i + 1);
+    let body = &after_fence[body_start..];
+    match body.find("```") {
+        Some(close) => body[..close].to_owned(),
+        None => body.to_owned(),
+    }
+}
+
+/// Drops prose lines before the first `module`/directive line and after the
+/// last `endmodule`.
+pub fn strip_prose(source: &str) -> String {
+    let lines: Vec<&str> = source.lines().collect();
+    let code_start = lines.iter().position(|l| {
+        let t = l.trim_start();
+        t.starts_with("module")
+            || t.starts_with('`')
+            || t.starts_with("//")
+            || t.starts_with("/*")
+    });
+    let code_end = lines
+        .iter()
+        .rposition(|l| l.trim_start().starts_with("endmodule"))
+        .map(|i| i + 1);
+    // Nothing recognisably Verilog: leave the text alone (idempotence —
+    // re-slicing arbitrary prose must not keep rewriting it).
+    let (Some(start), end) = (code_start, code_end.unwrap_or(lines.len())) else {
+        return source.to_owned();
+    };
+    if start >= end {
+        return source.to_owned();
+    }
+    let mut out = lines[start..end].join("\n");
+    out.push('\n');
+    out
+}
+
+/// Removes `` `timescale ``-style directives that appear after the first
+/// `module` keyword (illegal position).
+pub fn remove_misplaced_directives(source: &str) -> String {
+    let Some(module_pos) = source.find("module") else {
+        return source.to_owned();
+    };
+    let mut out = String::with_capacity(source.len());
+    for (idx, line) in source.split_inclusive('\n').scan(0usize, |acc, line| {
+        let start = *acc;
+        *acc += line.len();
+        Some((start, line))
+    }) {
+        let trimmed = line.trim_start();
+        let is_directive = trimmed.starts_with("`timescale")
+            || trimmed.starts_with("`default_nettype")
+            || trimmed.starts_with("`include");
+        if is_directive && idx > module_pos {
+            continue;
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_fenced_block() {
+        let raw = "Sure! Here's the module:\n```verilog\nmodule m;\nendmodule\n```\n";
+        assert_eq!(extract_markdown(raw), "module m;\nendmodule\n");
+    }
+
+    #[test]
+    fn unfenced_passthrough() {
+        assert_eq!(extract_markdown("module m;"), "module m;");
+    }
+
+    #[test]
+    fn unclosed_fence_takes_rest() {
+        let raw = "```verilog\nmodule m;\nendmodule";
+        assert_eq!(extract_markdown(raw), "module m;\nendmodule");
+    }
+
+    #[test]
+    fn strips_leading_and_trailing_prose() {
+        let raw = "Certainly, see below.\nmodule m;\nendmodule\nLet me know!";
+        let out = strip_prose(raw);
+        assert_eq!(out, "module m;\nendmodule\n");
+    }
+
+    #[test]
+    fn keeps_leading_directives() {
+        let raw = "`timescale 1ns/1ps\nmodule m;\nendmodule\n";
+        assert_eq!(strip_prose(raw), raw);
+    }
+
+    #[test]
+    fn removes_timescale_inside_module() {
+        let raw = "module m(input a, output y);\n`timescale 1ns/1ps\nassign y = a;\nendmodule\n";
+        let out = remove_misplaced_directives(raw);
+        assert!(!out.contains("timescale"));
+        assert!(rtlfixer_verilog::compile(&out).is_ok());
+    }
+
+    #[test]
+    fn full_pipeline_produces_compilable_code() {
+        let raw = "Here's my solution:\n\n```verilog\nmodule m(input a, output y);\n\
+                   `timescale 1ns/1ps\nassign y = ~a;\nendmodule\n```\n\nThis inverts a.";
+        let fixed = prefix_fix(raw);
+        assert!(rtlfixer_verilog::compile(&fixed).is_ok(), "{fixed}");
+    }
+
+    #[test]
+    fn clean_code_is_untouched_semantically() {
+        let clean = "module m(input a, output y);\nassign y = a;\nendmodule\n";
+        assert_eq!(prefix_fix(clean), clean);
+    }
+}

@@ -1,0 +1,76 @@
+//! Prompt templates, following the paper's Figure 2.
+
+/// The system prompt used for generation and repair (Figure 2a header).
+pub const SYSTEM_PROMPT: &str = "Implement the Verilog module based on the following \
+description. Assume that signals are positive clock/clk edge triggered unless otherwise \
+stated.";
+
+/// The ReAct instruction prompt (Figure 2b).
+pub const REACT_INSTRUCTION: &str = "Solve a task with interleaving Thought, Action, \
+Observation steps. Thought can reason about the current situation, and Action can be the \
+following types:
+(1) Compiler[code], which compiles the input code and provide error message if there is \
+syntax error.
+(2) Finish[answer], which returns the answer and finished the task.
+(3) RAG[logs], input the compiler log and retrieve expert solutions to fix the syntax error.";
+
+/// The Simple-feedback instruction (§4.3.1).
+pub const SIMPLE_INSTRUCTION: &str = "Correct the syntax error in the code.";
+
+/// The question that opens every ReAct episode (Figure 2c).
+pub const REACT_QUESTION: &str =
+    "What is the syntax error in the given Verilog module implementation and how to fix it?";
+
+/// Renders the One-shot prompt template of Figure 2a.
+pub fn one_shot_prompt(problem: &str, erroneous_code: &str, feedback: &str) -> String {
+    format!(
+        "System Prompt:\n{SYSTEM_PROMPT}\n\n\
+         Problem Description:\n{problem}\n\n\
+         Erroneous Implementation:\n{erroneous_code}\n\n\
+         Feedback:\n{feedback}\n"
+    )
+}
+
+/// Renders a repair prompt with retrieved guidance appended (the RAG arm).
+pub fn rag_prompt(problem: &str, erroneous_code: &str, feedback: &str, guidance: &[String]) -> String {
+    let mut prompt = one_shot_prompt(problem, erroneous_code, feedback);
+    if !guidance.is_empty() {
+        prompt.push_str("\nHuman Expert Guidance:\n");
+        for g in guidance {
+            prompt.push_str("- ");
+            prompt.push_str(g);
+            prompt.push('\n');
+        }
+    }
+    prompt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_template_has_all_sections() {
+        let p = one_shot_prompt("Reverse the bits.", "module ...", "main.v:5: error: ...");
+        assert!(p.contains("System Prompt:"));
+        assert!(p.contains("Problem Description:\nReverse the bits."));
+        assert!(p.contains("Erroneous Implementation:"));
+        assert!(p.contains("Feedback:\nmain.v:5: error: ..."));
+    }
+
+    #[test]
+    fn react_instruction_lists_three_actions() {
+        assert!(REACT_INSTRUCTION.contains("Compiler[code]"));
+        assert!(REACT_INSTRUCTION.contains("Finish[answer]"));
+        assert!(REACT_INSTRUCTION.contains("RAG[logs]"));
+    }
+
+    #[test]
+    fn rag_prompt_appends_guidance() {
+        let p = rag_prompt("d", "c", "f", &["Check the clk port.".to_owned()]);
+        assert!(p.contains("Human Expert Guidance:"));
+        assert!(p.contains("- Check the clk port."));
+        let without = rag_prompt("d", "c", "f", &[]);
+        assert!(!without.contains("Human Expert Guidance:"));
+    }
+}

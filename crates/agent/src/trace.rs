@@ -1,0 +1,129 @@
+//! ReAct episode traces: the Thought / Action / Observation record of one
+//! debugging episode, rendered in the style of the paper's Figure 2c.
+
+use std::fmt;
+
+/// One ReAct action (Figure 2b's action space).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// `Compiler[code]` — submit the current code to the compiler.
+    Compiler,
+    /// `RAG[logs]` — retrieve expert guidance for a compiler log.
+    Rag {
+        /// The log excerpt used as the retrieval query.
+        query: String,
+    },
+    /// Revise the code (the model's edit between compiler calls).
+    Revise,
+    /// `Finish[answer]` — return the final code.
+    Finish,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Compiler => write!(f, "Compiler"),
+            Action::Rag { query } => {
+                let excerpt: String = query.chars().take(48).collect();
+                write!(f, "RAG[..{excerpt}..]")
+            }
+            Action::Revise => write!(f, "Revise"),
+            Action::Finish => write!(f, "Finish"),
+        }
+    }
+}
+
+/// One Thought → Action → Observation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The model's reasoning for this step.
+    pub thought: String,
+    /// The chosen action.
+    pub action: Action,
+    /// The observation the action produced (compiler log, guidance, …).
+    pub observation: String,
+}
+
+/// The full trace of one fixing episode.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FixTrace {
+    /// Steps in order.
+    pub steps: Vec<Step>,
+}
+
+impl FixTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, thought: impl Into<String>, action: Action, observation: impl Into<String>) {
+        self.steps.push(Step {
+            thought: thought.into(),
+            action,
+            observation: observation.into(),
+        });
+    }
+
+    /// Number of compiler interactions in the trace.
+    pub fn compiler_calls(&self) -> usize {
+        self.steps.iter().filter(|s| s.action == Action::Compiler).count()
+    }
+
+    /// Number of code revisions in the trace.
+    pub fn revisions(&self) -> usize {
+        self.steps.iter().filter(|s| s.action == Action::Revise).count()
+    }
+}
+
+impl fmt::Display for FixTrace {
+    /// Renders in the Figure 2c transcript style.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Question:\n{}\n", crate::prompts::REACT_QUESTION)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            let n = i + 1;
+            writeln!(f, "Thought {n}:\n{}", step.thought)?;
+            writeln!(f, "Action {n}: {}", step.action)?;
+            if !step.observation.is_empty() {
+                writeln!(f, "Observation {n}:\n{}", step.observation)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_action_kind() {
+        let mut trace = FixTrace::new();
+        trace.push("compile it", Action::Compiler, "error: ...");
+        trace.push("look it up", Action::Rag { query: "l-value".into() }, "use assign");
+        trace.push("revise", Action::Revise, "");
+        trace.push("compile again", Action::Compiler, "ok");
+        trace.push("done", Action::Finish, "");
+        assert_eq!(trace.compiler_calls(), 2);
+        assert_eq!(trace.revisions(), 1);
+    }
+
+    #[test]
+    fn display_is_figure2c_shaped() {
+        let mut trace = FixTrace::new();
+        trace.push("The out signal is a wire.", Action::Compiler, "main.v:15: error: ...");
+        let text = trace.to_string();
+        assert!(text.starts_with("Question:"));
+        assert!(text.contains("Thought 1:"));
+        assert!(text.contains("Action 1: Compiler"));
+        assert!(text.contains("Observation 1:"));
+    }
+
+    #[test]
+    fn rag_action_truncates_query() {
+        let action = Action::Rag { query: "x".repeat(200) };
+        assert!(action.to_string().len() < 80);
+    }
+}

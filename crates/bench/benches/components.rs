@@ -1,0 +1,116 @@
+//! Criterion benchmarks of the component layers: frontend, simulator,
+//! retrieval, repair operators and the full agent loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rtlfixer_agent::{RtlFixerBuilder, Strategy};
+use rtlfixer_compilers::CompilerKind;
+use rtlfixer_llm::{Capability, SimulatedLlm};
+use rtlfixer_rag::{DefaultRetriever, GuidanceDatabase, RetrievalQuery, Retriever};
+use rtlfixer_sim::{value::LogicVec, Simulator};
+
+const COUNTER: &str = "module ctr(input clk, input reset, output reg [7:0] q);\n\
+                       always @(posedge clk) begin\n\
+                       if (reset) q <= 0; else q <= q + 1;\nend\nendmodule";
+
+const BROKEN: &str = "module m(input [7:0] in, output reg [7:0] out);\n\
+                      always @(posedge clk) out <= in;\nendmodule";
+
+fn bench_frontend(c: &mut Criterion) {
+    let source = rtlfixer_dataset::suites::find_problem("rtllm/conwaylife")
+        .expect("problem exists")
+        .solution;
+    c.bench_function("lexer/conwaylife", |b| {
+        b.iter(|| rtlfixer_verilog::lexer::lex(black_box(&source)))
+    });
+    c.bench_function("parser/conwaylife", |b| {
+        b.iter(|| rtlfixer_verilog::parser::parse(black_box(&source)))
+    });
+    c.bench_function("compile/counter", |b| {
+        b.iter(|| rtlfixer_verilog::compile(black_box(COUNTER)))
+    });
+    c.bench_function("compile/broken", |b| {
+        b.iter(|| rtlfixer_verilog::compile(black_box(BROKEN)))
+    });
+}
+
+fn bench_compilers(c: &mut Criterion) {
+    for kind in CompilerKind::ALL {
+        let compiler = kind.build();
+        c.bench_function(&format!("compiler_log/{kind}"), |b| {
+            b.iter(|| compiler.compile(black_box(BROKEN), "main.sv"))
+        });
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let analysis = rtlfixer_verilog::compile(COUNTER);
+    c.bench_function("sim/counter_64_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&analysis, "ctr").expect("elaborates");
+            sim.poke("reset", LogicVec::from_u64(1, 1)).expect("port");
+            sim.clock_cycle("clk").expect("cycle");
+            sim.poke("reset", LogicVec::from_u64(1, 0)).expect("port");
+            for _ in 0..64 {
+                sim.clock_cycle("clk").expect("cycle");
+            }
+            black_box(sim.peek("q"))
+        })
+    });
+    let conway = rtlfixer_dataset::suites::find_problem("rtllm/conwaylife").expect("exists");
+    let conway_analysis = rtlfixer_verilog::compile(&conway.solution);
+    c.bench_function("sim/conway_elaborate", |b| {
+        b.iter(|| Simulator::new(black_box(&conway_analysis), "top_module"))
+    });
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let db = GuidanceDatabase::quartus();
+    let retriever = DefaultRetriever::new();
+    let query = RetrievalQuery::from_log(
+        "Error (10161): Verilog HDL error at main.sv(2): object \"clk\" is not declared.",
+    );
+    c.bench_function("rag/exact_tag_retrieve", |b| {
+        b.iter(|| retriever.retrieve(black_box(&db), black_box(&query)))
+    });
+    let iv_db = GuidanceDatabase::iverilog();
+    let iv_query =
+        RetrievalQuery::from_log("main.v:2: error: Unable to bind wire/reg/memory 'clk'");
+    c.bench_function("rag/jaccard_fallback", |b| {
+        b.iter(|| retriever.retrieve(black_box(&iv_db), black_box(&iv_query)))
+    });
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let analysis = rtlfixer_verilog::compile(BROKEN);
+    let diag = analysis.errors()[0].clone();
+    c.bench_function("repair/undeclared_clk", |b| {
+        b.iter(|| rtlfixer_llm::repair::repair(black_box(BROKEN), &diag, &analysis))
+    });
+}
+
+fn bench_agent(c: &mut Criterion) {
+    c.bench_function("agent/react_episode_gpt4", |b| {
+        b.iter(|| {
+            let llm = SimulatedLlm::new(Capability::Gpt4Class, 7);
+            let mut fixer = RtlFixerBuilder::new()
+                .compiler(CompilerKind::Quartus)
+                .strategy(Strategy::React { max_iterations: 10 })
+                .with_rag(true)
+                .build(llm);
+            black_box(fixer.fix(BROKEN))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_compilers,
+    bench_simulator,
+    bench_retrieval,
+    bench_repair,
+    bench_agent
+);
+criterion_main!(benches);

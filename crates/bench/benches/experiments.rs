@@ -1,0 +1,102 @@
+//! Criterion benchmarks of the per-experiment harnesses (scaled-down: one
+//! iteration already runs dozens of fixing episodes). One benchmark per
+//! paper table/figure, so `cargo bench` exercises every regeneration path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rtlfixer_agent::Strategy;
+use rtlfixer_compilers::CompilerKind;
+use rtlfixer_eval::experiments::figure7::figure7;
+use rtlfixer_eval::experiments::table1::{load_entries, run_cell, FixRateConfig};
+use rtlfixer_eval::experiments::table2::{evaluate_suite, table3, PassAtKConfig};
+use rtlfixer_llm::Capability;
+
+fn tiny_fix_config() -> FixRateConfig {
+    FixRateConfig { max_entries: Some(12), repeats: 1, dataset_seed: 7, base_seed: 1 }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let config = tiny_fix_config();
+    let entries = load_entries(&config);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("react_quartus_rag_cell", |b| {
+        b.iter(|| {
+            black_box(run_cell(
+                &entries,
+                Strategy::React { max_iterations: 10 },
+                CompilerKind::Quartus,
+                true,
+                Capability::Gpt35Class,
+                &config,
+                0,
+            ))
+        })
+    });
+    group.bench_function("one_shot_simple_cell", |b| {
+        b.iter(|| {
+            black_box(run_cell(
+                &entries,
+                Strategy::OneShot,
+                CompilerKind::Simple,
+                false,
+                Capability::Gpt35Class,
+                &config,
+                1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let problems = rtlfixer_dataset::verilog_eval_human();
+    let config = PassAtKConfig { samples: 4, max_problems: Some(8), seed: 11 };
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("human_subset", |b| {
+        b.iter(|| black_box(evaluate_suite("Human", &problems, &config)))
+    });
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let config = PassAtKConfig { samples: 3, max_problems: Some(6), seed: 11 };
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("rtllm_subset", |b| b.iter(|| black_box(table3(&config))));
+    group.finish();
+}
+
+fn bench_figure7(c: &mut Criterion) {
+    let config = tiny_fix_config();
+    let mut group = c.benchmark_group("figure7");
+    group.sample_size(10);
+    group.bench_function("iteration_histogram", |b| {
+        b.iter(|| black_box(figure7(&config)))
+    });
+    group.finish();
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.bench_function("suites_build", |b| {
+        b.iter(|| {
+            black_box(rtlfixer_dataset::verilog_eval_human().len())
+                + black_box(rtlfixer_dataset::rtllm().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_figure7,
+    bench_dataset
+);
+criterion_main!(benches);

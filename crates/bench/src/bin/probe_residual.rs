@@ -1,0 +1,35 @@
+//! Diagnostic: which dataset entries resist ReAct+RAG+Quartus across many
+//! seeds, and with which error categories? (Calibration aid, not a paper
+//! experiment.)
+use rtlfixer_agent::{RtlFixerBuilder, Strategy};
+use rtlfixer_compilers::CompilerKind;
+use rtlfixer_llm::{Capability, SimulatedLlm};
+
+fn main() {
+    let entries = rtlfixer_dataset::verilog_eval_syntax(7);
+    let mut stubborn = 0;
+    for (idx, entry) in entries.iter().enumerate() {
+        let mut successes = 0;
+        for seed in 0..5u64 {
+            let llm = SimulatedLlm::new(Capability::Gpt4Class, seed * 977 + idx as u64);
+            let mut fixer = RtlFixerBuilder::new()
+                .compiler(CompilerKind::Quartus)
+                .strategy(Strategy::React { max_iterations: 10 })
+                .with_rag(true)
+                .build(llm);
+            if fixer.fix_problem(&entry.description, &entry.code).success {
+                successes += 1;
+            }
+        }
+        if successes == 0 {
+            stubborn += 1;
+            let analysis = rtlfixer_verilog::compile(&entry.code);
+            let cats: Vec<_> = analysis.errors().iter().map(|d| d.category).collect();
+            println!("NEVER-FIXED {} cats={:?}", entry.problem_id, cats);
+            if stubborn <= 3 {
+                println!("--- code ---\n{}\n-----------", entry.code);
+            }
+        }
+    }
+    println!("total never-fixed (GPT-4, 5 seeds): {stubborn}/212");
+}

@@ -1,0 +1,45 @@
+//! Reproduces **Table 1**: fix rate for One-shot vs ReAct, w/ and w/o RAG,
+//! across feedback sources and LLMs, on VerilogEval-syntax.
+//!
+//! Run with `cargo run --release -p rtlfixer-bench --bin table1`
+//! (add `--quick` for a scaled-down smoke run).
+
+use rtlfixer_bench::{fmt3, render_table, RunScale};
+use rtlfixer_eval::experiments::table1::{table1, FixRateConfig};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let config = if scale.quick {
+        FixRateConfig { max_entries: Some(40), repeats: 3, ..Default::default() }
+    } else {
+        FixRateConfig::default()
+    };
+    eprintln!(
+        "Table 1: fix rate on VerilogEval-syntax ({} entries x {} repeats per cell, 14 cells)",
+        config.max_entries.map_or(212, |c| c),
+        config.repeats
+    );
+    let cells = table1(&config);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.strategy.clone(),
+                if cell.rag { "w/" } else { "w/o" }.to_owned(),
+                cell.compiler.clone(),
+                cell.llm.clone(),
+                fmt3(cell.fix_rate),
+                fmt3(cell.paper),
+                fmt3(cell.fix_rate - cell.paper),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Prompt", "RAG", "Feedback", "LLM", "measured", "paper", "delta"],
+            &rows
+        )
+    );
+    println!("{}", serde_json::to_string_pretty(&cells).expect("serialises"));
+}

@@ -1,0 +1,98 @@
+//! # rtlfixer-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper
+//! (see DESIGN.md §3 for the experiment index):
+//!
+//! | Binary      | Reproduces |
+//! |-------------|-----------|
+//! | `table1`    | Table 1 — fix rate grid on VerilogEval-syntax |
+//! | `table2`    | Table 2 — pass@{1,5} before/after fixing |
+//! | `table3`    | Table 3 — RTLLM generalisation |
+//! | `figure4`   | Figure 4 — outcome shares before/after fixing |
+//! | `figure7`   | Figure 7 — ReAct iteration histogram |
+//! | `stats55`   | §4.2 — the "55% of errors are syntax" statistic |
+//! | `ablations` | DESIGN.md ablations (retriever, budget, pre-fixer, DB size) |
+//!
+//! Each binary accepts `--quick` for a scaled-down run and prints
+//! paper-vs-measured rows; full-scale outputs are recorded in
+//! `EXPERIMENTS.md`. The `benches/` directory holds Criterion benchmarks of
+//! the component layers (lexer, parser, simulator, retrieval, agent loop)
+//! and per-experiment harness benchmarks.
+
+#![warn(missing_docs)]
+
+/// Formats a ratio with three decimals (`0.985`).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Renders a simple aligned markdown-ish table: header plus rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, width) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:width$} |"));
+        }
+        line
+    };
+    let mut out = String::new();
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let mut sep = String::from("|");
+    for width in &widths {
+        sep.push_str(&"-".repeat(width + 2));
+        sep.push('|');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Common CLI flags shared by the reproduction binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct RunScale {
+    /// Scaled-down run (for smoke tests / CI).
+    pub quick: bool,
+}
+
+impl RunScale {
+    /// Reads `--quick` from the process arguments.
+    pub fn from_args() -> Self {
+        RunScale { quick: std::env::args().any(|a| a == "--quick") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let out = render_table(
+            &["name", "value"],
+            &[vec!["alpha".into(), "1".into()], vec!["b".into(), "100".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(0.98549), "0.985");
+    }
+}

@@ -1,0 +1,80 @@
+//! Snapshot tests: exact rendered logs for representative inputs, pinning
+//! each personality's house style (these strings are what the RAG retriever
+//! and the competence model key off, so silent drift matters).
+
+use rtlfixer_compilers::CompilerKind;
+
+const PHANTOM_CLK: &str = "module top_module(input [99:0] in, output reg [99:0] out);\n\
+                           always @(posedge clk) out <= in;\nendmodule";
+
+#[test]
+fn iverilog_phantom_clk_snapshot() {
+    let outcome = CompilerKind::Iverilog.build().compile(PHANTOM_CLK, "vector100r.sv");
+    let expected = "vector100r.sv:2: error: Unable to bind wire/reg/memory 'clk' in 'top_module'\n\
+                    vector100r.sv:2: error: Failed to elaborate expression referencing 'clk'.\n\
+                    2 error(s) during elaboration.";
+    assert_eq!(outcome.log, expected);
+}
+
+#[test]
+fn quartus_phantom_clk_snapshot() {
+    let outcome = CompilerKind::Quartus.build().compile(PHANTOM_CLK, "vector100r.sv");
+    let expected = "Error (10161): Verilog HDL error at vector100r.sv(2): object \"clk\" is not \
+                    declared. Verify the object name is correct. If the name is correct, declare \
+                    the object. File: /tmp/tmpworkdir/vector100r.sv Line: 2\n\
+                    Error: Quartus Prime Analysis & Synthesis was unsuccessful. 1 error, 0 warnings";
+    assert_eq!(outcome.log, expected);
+}
+
+#[test]
+fn simple_snapshot() {
+    let outcome = CompilerKind::Simple.build().compile(PHANTOM_CLK, "main.sv");
+    assert_eq!(outcome.log, "Correct the syntax error in the code.");
+}
+
+#[test]
+fn iverilog_index_snapshot() {
+    let source = "module top_module(input [7:0] in, output [7:0] out);\n\
+                  assign out[8] = in[0];\nendmodule";
+    let outcome = CompilerKind::Iverilog.build().compile(source, "main.v");
+    assert_eq!(
+        outcome.log,
+        "main.v:2: error: Index out[8] is out of range.\n1 error(s) during elaboration."
+    );
+}
+
+#[test]
+fn quartus_success_snapshot() {
+    let outcome = CompilerKind::Quartus
+        .build()
+        .compile("module m(input a, output y); assign y = a; endmodule", "main.sv");
+    assert_eq!(
+        outcome.log,
+        "Info: Quartus Prime Analysis & Synthesis was successful. 0 errors, 0 warnings"
+    );
+}
+
+#[test]
+fn quartus_multiple_errors_counted() {
+    let source = "module m(input [3:0] a, output [3:0] y);\n\
+                  assign y[4] = a[5];\nassign y[0] = ghost;\nendmodule";
+    let outcome = CompilerKind::Quartus.build().compile(source, "main.sv");
+    assert!(outcome.log.contains("3 errors"), "{}", outcome.log);
+    assert_eq!(outcome.log.matches("Error (").count(), 3, "{}", outcome.log);
+}
+
+#[test]
+fn logs_are_line_number_accurate() {
+    // The same error on different lines must render different line numbers.
+    for (line, source) in [
+        (2, "module m(input a, output y);\nassign y = ghost;\nendmodule"),
+        (4, "module m(input a, output y);\nwire t;\nassign t = a;\nassign y = ghost;\nendmodule"),
+    ] {
+        let outcome = CompilerKind::Quartus.build().compile(source, "main.sv");
+        assert!(
+            outcome.log.contains(&format!("main.sv({line})")),
+            "expected line {line} in: {}",
+            outcome.log
+        );
+    }
+}

@@ -1,0 +1,449 @@
+//! Arithmetic archetypes: adders, comparators, ALUs, shifters.
+
+use crate::archetypes::{comb_blueprint, golden, Blueprint};
+use crate::golden::{input_u128, out1, outs, Comb};
+use crate::problem::Difficulty;
+
+fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+fn adder(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("add{width}"),
+        &format!("Implement a {width}-bit adder with carry out."),
+        "sum = a + b (low bits), cout = carry out of the top bit.",
+        &[("a", width), ("b", width)],
+        &[("sum", width), ("cout", 1)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, output [{w}:0] sum, output cout);\n\
+             assign {{cout, sum}} = a + b;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let total = input_u128(ins, "a") + input_u128(ins, "b");
+                outs(&[("sum", width, total & mask(width)), ("cout", 1, total >> width)])
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn adder_cin(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("addc{width}"),
+        &format!("Implement a {width}-bit full adder with carry in and carry out."),
+        "Compute {cout, sum} = a + b + cin.",
+        &[("a", width), ("b", width), ("cin", 1)],
+        &[("sum", width), ("cout", 1)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, input cin, \
+             output [{w}:0] sum, output cout);\n\
+             assign {{cout, sum}} = a + b + cin;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let total =
+                    input_u128(ins, "a") + input_u128(ins, "b") + input_u128(ins, "cin");
+                outs(&[("sum", width, total & mask(width)), ("cout", 1, total >> width)])
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn subtractor(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("sub{width}"),
+        &format!("Implement a {width}-bit subtractor with borrow out."),
+        "diff = a - b modulo 2^width; borrow = 1 when b > a.",
+        &[("a", width), ("b", width)],
+        &[("diff", width), ("borrow", 1)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, \
+             output [{w}:0] diff, output borrow);\n\
+             assign diff = a - b;\nassign borrow = b > a;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let a = input_u128(ins, "a");
+                let b = input_u128(ins, "b");
+                outs(&[
+                    ("diff", width, a.wrapping_sub(b) & mask(width)),
+                    ("borrow", 1, u128::from(b > a)),
+                ])
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn addsub(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("addsub{width}"),
+        &format!(
+            "Implement a {width}-bit adder/subtractor: when sub is 0 compute a+b, \
+             when sub is 1 compute a-b (use the carry-in trick with inverted b)."
+        ),
+        "result = sub ? a - b : a + b (modulo 2^width).",
+        &[("a", width), ("b", width), ("sub", 1)],
+        &[("result", width)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, input sub, \
+             output [{w}:0] result);\n\
+             wire [{w}:0] bx;\nassign bx = b ^ {{{width}{{sub}}}};\n\
+             assign result = a + bx + sub;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let a = input_u128(ins, "a");
+                let b = input_u128(ins, "b");
+                let value = if input_u128(ins, "sub") == 1 {
+                    a.wrapping_sub(b)
+                } else {
+                    a.wrapping_add(b)
+                };
+                out1("result", width, value & mask(width))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn incrementer(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("inc{width}"),
+        &format!("Output the {width}-bit input plus one (wrapping)."),
+        "y = a + 1 modulo 2^width.",
+        &[("a", width)],
+        &[("y", width)],
+        format!(
+            "module top_module(input [{w}:0] a, output [{w}:0] y);\n\
+             assign y = a + 1;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                out1("y", width, input_u128(ins, "a").wrapping_add(1) & mask(width))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn comparator(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("cmp{width}"),
+        &format!("Compare two unsigned {width}-bit numbers, producing eq/lt/gt flags."),
+        "eq = (a==b), lt = (a<b), gt = (a>b), exactly one flag is ever high.",
+        &[("a", width), ("b", width)],
+        &[("eq", 1), ("lt", 1), ("gt", 1)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, \
+             output eq, output lt, output gt);\n\
+             assign eq = (a == b);\nassign lt = (a < b);\nassign gt = (a > b);\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let a = input_u128(ins, "a");
+                let b = input_u128(ins, "b");
+                outs(&[
+                    ("eq", 1, u128::from(a == b)),
+                    ("lt", 1, u128::from(a < b)),
+                    ("gt", 1, u128::from(a > b)),
+                ])
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn min_max(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("minmax{width}"),
+        &format!("Output the minimum and maximum of two unsigned {width}-bit inputs."),
+        "min = (a<b) ? a : b; max = (a<b) ? b : a.",
+        &[("a", width), ("b", width)],
+        &[("min", width), ("max", width)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, \
+             output [{w}:0] min, output [{w}:0] max);\n\
+             assign min = (a < b) ? a : b;\nassign max = (a < b) ? b : a;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let a = input_u128(ins, "a");
+                let b = input_u128(ins, "b");
+                outs(&[("min", width, a.min(b)), ("max", width, a.max(b))])
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn abs_diff(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("absdiff{width}"),
+        &format!("Compute the absolute difference |a - b| of two unsigned {width}-bit inputs."),
+        "d = (a > b) ? a - b : b - a.",
+        &[("a", width), ("b", width)],
+        &[("d", width)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, output [{w}:0] d);\n\
+             assign d = (a > b) ? a - b : b - a;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let a = input_u128(ins, "a");
+                let b = input_u128(ins, "b");
+                out1("d", width, a.abs_diff(b))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn saturating_add(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("satadd{width}"),
+        &format!(
+            "Implement a {width}-bit unsigned saturating adder: on overflow the output \
+             clamps to the maximum value instead of wrapping."
+        ),
+        "s = min(a + b, 2^width - 1).",
+        &[("a", width), ("b", width)],
+        &[("s", width)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, output [{w}:0] s);\n\
+             wire [{width}:0] full;\n\
+             assign full = a + b;\n\
+             assign s = full[{width}] ? {{{width}{{1'b1}}}} : full[{w}:0];\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let total = input_u128(ins, "a") + input_u128(ins, "b");
+                out1("s", width, total.min(mask(width)))
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// ALU opcodes: 0 add, 1 sub, 2 and, 3 or, 4 xor, 5 slt, 6 shl1, 7 shr1.
+fn alu(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("alu{width}"),
+        &format!(
+            "Implement a {width}-bit ALU with opcodes: 0 add, 1 subtract, 2 AND, 3 OR, \
+             4 XOR, 5 set-less-than (unsigned), 6 shift left by one, 7 shift right by one. \
+             Also produce a zero flag."
+        ),
+        "y = op(a,b) per the opcode table; zero = (y == 0).",
+        &[("a", width), ("b", width), ("op", 3)],
+        &[("y", width), ("zero", 1)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, input [2:0] op, \
+             output reg [{w}:0] y, output zero);\n\
+             always @* begin\n  case (op)\n\
+             3'd0: y = a + b;\n    3'd1: y = a - b;\n    3'd2: y = a & b;\n\
+             3'd3: y = a | b;\n    3'd4: y = a ^ b;\n    3'd5: y = (a < b) ? 1 : 0;\n\
+             3'd6: y = a << 1;\n    default: y = a >> 1;\n  endcase\nend\n\
+             assign zero = (y == 0);\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let a = input_u128(ins, "a");
+                let b = input_u128(ins, "b");
+                let y = match input_u128(ins, "op") {
+                    0 => a.wrapping_add(b),
+                    1 => a.wrapping_sub(b),
+                    2 => a & b,
+                    3 => a | b,
+                    4 => a ^ b,
+                    5 => u128::from(a < b),
+                    6 => a << 1,
+                    _ => a >> 1,
+                } & mask(width);
+                outs(&[("y", width, y), ("zero", 1, u128::from(y == 0))])
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+fn barrel_shifter(width: u32, sh_bits: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("barrel{width}"),
+        &format!(
+            "Implement a {width}-bit barrel rotator: rotate the input left by the \
+             amount given (0..{})."
+        , (1u32 << sh_bits) - 1),
+        "out = (in << amt) | (in >> (WIDTH - amt)), a left rotation.",
+        &[("in", width), ("amt", sh_bits)],
+        &[("out", width)],
+        format!(
+            "module top_module(input [{w}:0] in, input [{sb}:0] amt, output [{w}:0] out);\n\
+             wire [{dw}:0] doubled;\n\
+             assign doubled = {{in, in}} << amt;\n\
+             assign out = doubled[{dw}:{width}];\nendmodule",
+            w = width - 1,
+            sb = sh_bits - 1,
+            dw = 2 * width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let v = input_u128(ins, "in");
+                let amt = (input_u128(ins, "amt") as u32) % width;
+                let rotated = if amt == 0 {
+                    v
+                } else {
+                    ((v << amt) | (v >> (width - amt))) & mask(width)
+                };
+                out1("out", width, rotated)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+fn multiplier(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("mul{width}"),
+        &format!("Multiply two unsigned {width}-bit numbers into a {}-bit product.", 2 * width),
+        "p = a * b, full precision.",
+        &[("a", width), ("b", width)],
+        &[("p", 2 * width)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, output [{pw}:0] p);\n\
+             assign p = a * b;\nendmodule",
+            w = width - 1,
+            pw = 2 * width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                out1("p", 2 * width, input_u128(ins, "a") * input_u128(ins, "b"))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn shifter(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("shift{width}"),
+        &format!(
+            "Implement a {width}-bit logical shifter: shift in left or right by amt \
+             bits depending on dir (0 = left, 1 = right)."
+        ),
+        "y = dir ? (in >> amt) : (in << amt).",
+        &[("in", width), ("amt", 3), ("dir", 1)],
+        &[("y", width)],
+        format!(
+            "module top_module(input [{w}:0] in, input [2:0] amt, input dir, \
+             output [{w}:0] y);\n\
+             assign y = dir ? (in >> amt) : (in << amt);\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let v = input_u128(ins, "in");
+                let amt = input_u128(ins, "amt") as u32;
+                let y = if input_u128(ins, "dir") == 1 { v >> amt } else { v << amt };
+                out1("y", width, y & mask(width))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn clamp_add3() -> Blueprint {
+    // Sum of three 8-bit values clamped to 8 bits — multi-operand carry
+    // reasoning, hard-ish.
+    comb_blueprint(
+        "sum3sat8",
+        "Add three unsigned 8-bit inputs and saturate the result to 8 bits.",
+        "s = min(a + b + c, 255).",
+        &[("a", 8), ("b", 8), ("c", 8)],
+        &[("s", 8)],
+        "module top_module(input [7:0] a, input [7:0] b, input [7:0] c, output [7:0] s);\n\
+         wire [9:0] full;\nassign full = a + b + c;\n\
+         assign s = (full > 255) ? 8'hFF : full[7:0];\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Comb::new(|ins| {
+                let total =
+                    input_u128(ins, "a") + input_u128(ins, "b") + input_u128(ins, "c");
+                out1("s", 8, total.min(255))
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// All arithmetic blueprints.
+pub fn blueprints() -> Vec<Blueprint> {
+    vec![
+        adder(4),
+        adder(8),
+        adder(16),
+        adder_cin(8),
+        adder_cin(16),
+        subtractor(8),
+        subtractor(16),
+        addsub(8),
+        addsub(16),
+        incrementer(8),
+        incrementer(12),
+        comparator(4),
+        comparator(8),
+        comparator(16),
+        min_max(8),
+        min_max(16),
+        abs_diff(8),
+        abs_diff(16),
+        saturating_add(8),
+        saturating_add(16),
+        alu(8),
+        alu(16),
+        barrel_shifter(8, 3),
+        barrel_shifter(16, 4),
+        multiplier(4),
+        multiplier(8),
+        shifter(8),
+        shifter(16),
+        clamp_add3(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Suite, Verdict};
+    use crate::suites::problem_from_blueprint;
+
+    #[test]
+    fn every_arith_solution_passes_its_golden_model() {
+        for bp in blueprints() {
+            let problem = problem_from_blueprint(&bp, Suite::VerilogEvalHuman, "t");
+            assert_eq!(
+                problem.check(&problem.solution.clone()),
+                Verdict::Pass,
+                "blueprint {} reference solution failed",
+                bp.name
+            );
+        }
+    }
+}

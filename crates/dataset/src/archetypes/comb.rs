@@ -1,0 +1,642 @@
+//! Combinational logic archetypes: wiring, gates, muxes, coders, bit
+//! manipulation.
+
+use crate::archetypes::{comb_blueprint, golden, Blueprint};
+use crate::golden::{input_u128, out1, Comb};
+use crate::problem::Difficulty;
+
+fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+fn wire_pass(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("wire{width}"),
+        &format!("Create a {width}-bit wire that connects input a to output y."),
+        &format!("The output y must equal the input a combinationally ({width} bits)."),
+        &[("a", width)],
+        &[("y", width)],
+        format!(
+            "module top_module(input [{w}:0] a, output [{w}:0] y);\n\
+             assign y = a;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || Comb::new(move |ins| out1("y", width, input_u128(ins, "a")))),
+        Difficulty::Easy,
+    )
+}
+
+fn inverter(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("not{width}"),
+        &format!("Output the bitwise complement of the {width}-bit input."),
+        &format!("For each bit position i in 0..{width}, y[i] = ~a[i]."),
+        &[("a", width)],
+        &[("y", width)],
+        format!(
+            "module top_module(input [{w}:0] a, output [{w}:0] y);\n\
+             assign y = ~a;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| out1("y", width, !input_u128(ins, "a") & mask(width)))
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn gate2(op: &'static str, width: u32) -> Blueprint {
+    let name_word = match op {
+        "and" => "AND",
+        "or" => "OR",
+        "xor" => "XOR",
+        "nand" => "NAND",
+        "nor" => "NOR",
+        _ => "XNOR",
+    };
+    let expr = match op {
+        "and" => "a & b",
+        "or" => "a | b",
+        "xor" => "a ^ b",
+        "nand" => "~(a & b)",
+        "nor" => "~(a | b)",
+        _ => "~(a ^ b)",
+    };
+    let op_owned = op.to_owned();
+    comb_blueprint(
+        &format!("{op}{width}"),
+        &format!("Implement a {width}-bit bitwise {name_word} of inputs a and b."),
+        &format!("y = {expr}, evaluated bitwise over {width} bits."),
+        &[("a", width), ("b", width)],
+        &[("y", width)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, output [{w}:0] y);\n\
+             assign y = {expr};\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            let op = op_owned.clone();
+            Comb::new(move |ins| {
+                let a = input_u128(ins, "a");
+                let b = input_u128(ins, "b");
+                let value = match op.as_str() {
+                    "and" => a & b,
+                    "or" => a | b,
+                    "xor" => a ^ b,
+                    "nand" => !(a & b),
+                    "nor" => !(a | b),
+                    _ => !(a ^ b),
+                };
+                out1("y", width, value & mask(width))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn mux2(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("mux2_{width}"),
+        &format!("Create a {width}-bit 2-to-1 multiplexer: when sel is 0 choose a, else b."),
+        "y = sel ? b : a.",
+        &[("a", width), ("b", width), ("sel", 1)],
+        &[("y", width)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, input sel, output [{w}:0] y);\n\
+             assign y = sel ? b : a;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let value = if input_u128(ins, "sel") == 1 {
+                    input_u128(ins, "b")
+                } else {
+                    input_u128(ins, "a")
+                };
+                out1("y", width, value)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn mux4(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("mux4_{width}"),
+        &format!("Create a {width}-bit 4-to-1 multiplexer selecting among a, b, c, d by sel."),
+        "sel==0 selects a, 1 selects b, 2 selects c, 3 selects d.",
+        &[("a", width), ("b", width), ("c", width), ("d", width), ("sel", 2)],
+        &[("y", width)],
+        format!(
+            "module top_module(input [{w}:0] a, input [{w}:0] b, input [{w}:0] c, \
+             input [{w}:0] d, input [1:0] sel, output reg [{w}:0] y);\n\
+             always @* begin\n  case (sel)\n    2'd0: y = a;\n    2'd1: y = b;\n\
+             2'd2: y = c;\n    default: y = d;\n  endcase\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let value = match input_u128(ins, "sel") {
+                    0 => input_u128(ins, "a"),
+                    1 => input_u128(ins, "b"),
+                    2 => input_u128(ins, "c"),
+                    _ => input_u128(ins, "d"),
+                };
+                out1("y", width, value)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn decoder(sel_bits: u32) -> Blueprint {
+    let out_width = 1u32 << sel_bits;
+    comb_blueprint(
+        &format!("dec{sel_bits}to{out_width}"),
+        &format!("Implement a {sel_bits}-to-{out_width} one-hot decoder."),
+        &format!("y has exactly one bit set: bit number sel (0..{})", out_width - 1),
+        &[("sel", sel_bits)],
+        &[("y", out_width)],
+        format!(
+            "module top_module(input [{sw}:0] sel, output [{ow}:0] y);\n\
+             assign y = {out_width}'b1 << sel;\nendmodule",
+            sw = sel_bits - 1,
+            ow = out_width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| out1("y", out_width, 1u128 << input_u128(ins, "sel")))
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn priority_encoder(in_width: u32) -> Blueprint {
+    let out_bits = (64 - (in_width as u64 - 1).leading_zeros()).max(1);
+    // Build the casez ladder for the lowest set bit.
+    let mut arms = String::new();
+    for i in 0..in_width {
+        let mut pattern = String::new();
+        for bit in (0..in_width).rev() {
+            pattern.push(match bit.cmp(&i) {
+                std::cmp::Ordering::Greater => 'z',
+                std::cmp::Ordering::Equal => '1',
+                std::cmp::Ordering::Less => '0',
+            });
+        }
+        arms.push_str(&format!("    {in_width}'b{pattern}: pos = {out_bits}'d{i};\n"));
+    }
+    comb_blueprint(
+        &format!("prienc{in_width}"),
+        &format!(
+            "Implement a {in_width}-bit priority encoder reporting the position of the \
+             least-significant 1 bit (0 if the input is all zero)."
+        ),
+        "pos = index of the lowest set bit of in; pos = 0 when in == 0.",
+        &[("in", in_width)],
+        &[("pos", out_bits)],
+        format!(
+            "module top_module(input [{w}:0] in, output reg [{ob}:0] pos);\n\
+             always @* begin\n  casez (in)\n{arms}    default: pos = 0;\n  endcase\nend\nendmodule",
+            w = in_width - 1,
+            ob = out_bits - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let v = input_u128(ins, "in");
+                let pos = if v == 0 { 0 } else { v.trailing_zeros() as u128 };
+                out1("pos", out_bits, pos)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn bit_reverse(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("reverse{width}"),
+        &format!("Given a {width}-bit input vector, reverse its bit ordering."),
+        &format!("out[i] = in[{}-i] for every i.", width - 1),
+        &[("in", width)],
+        &[("out", width)],
+        format!(
+            "module top_module(input [{w}:0] in, output reg [{w}:0] out);\n\
+             integer i;\nalways @* begin\n\
+             for (i = 0; i < {width}; i = i + 1) out[i] = in[{w} - i];\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let v = input_u128(ins, "in");
+                let mut r = 0u128;
+                for i in 0..width {
+                    if (v >> i) & 1 == 1 {
+                        r |= 1 << (width - 1 - i);
+                    }
+                }
+                out1("out", width, r)
+            })
+        }),
+        if width > 32 { Difficulty::Hard } else { Difficulty::Easy },
+    )
+}
+
+fn parity(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("parity{width}"),
+        &format!("Compute the even parity bit of a {width}-bit input."),
+        "p = XOR reduction of all bits of a.",
+        &[("a", width)],
+        &[("p", 1)],
+        format!(
+            "module top_module(input [{w}:0] a, output p);\nassign p = ^a;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| out1("p", 1, u128::from(input_u128(ins, "a").count_ones() % 2)))
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn popcount(width: u32) -> Blueprint {
+    let out_bits = 32 - width.leading_zeros();
+    comb_blueprint(
+        &format!("popcount{width}"),
+        &format!("Count the number of 1 bits in a {width}-bit input vector."),
+        "count = number of set bits of in.",
+        &[("in", width)],
+        &[("count", out_bits)],
+        format!(
+            "module top_module(input [{w}:0] in, output reg [{ob}:0] count);\n\
+             integer i;\nalways @* begin\n  count = 0;\n\
+             for (i = 0; i < {width}; i = i + 1) count = count + in[i];\nend\nendmodule",
+            w = width - 1,
+            ob = out_bits - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                out1("count", out_bits, u128::from(input_u128(ins, "in").count_ones()))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn byte_swap() -> Blueprint {
+    comb_blueprint(
+        "byteswap32",
+        "Reverse the byte ordering of a 32-bit word (endianness swap).",
+        "out[31:24]=in[7:0], out[23:16]=in[15:8], out[15:8]=in[23:16], out[7:0]=in[31:24].",
+        &[("in", 32)],
+        &[("out", 32)],
+        "module top_module(input [31:0] in, output [31:0] out);\n\
+         assign out = {in[7:0], in[15:8], in[23:16], in[31:24]};\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Comb::new(|ins| {
+                let v = input_u128(ins, "in") as u32;
+                out1("out", 32, u128::from(v.swap_bytes()))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn majority3() -> Blueprint {
+    comb_blueprint(
+        "majority3",
+        "Output 1 when at least two of the three 1-bit inputs a, b, c are 1.",
+        "y = (a&b) | (b&c) | (a&c).",
+        &[("a", 1), ("b", 1), ("c", 1)],
+        &[("y", 1)],
+        "module top_module(input a, input b, input c, output y);\n\
+         assign y = (a & b) | (b & c) | (a & c);\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Comb::new(|ins| {
+                let total = input_u128(ins, "a") + input_u128(ins, "b") + input_u128(ins, "c");
+                out1("y", 1, u128::from(total >= 2))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn onehot_check(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("onehot{width}"),
+        &format!("Detect whether the {width}-bit input is one-hot (exactly one bit set)."),
+        "y = 1 iff in != 0 and in & (in-1) == 0.",
+        &[("in", width)],
+        &[("y", 1)],
+        format!(
+            "module top_module(input [{w}:0] in, output y);\n\
+             assign y = (in != 0) && ((in & (in - 1)) == 0);\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let v = input_u128(ins, "in");
+                out1("y", 1, u128::from(v.count_ones() == 1))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn gray_encode(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("gray{width}"),
+        &format!("Convert a {width}-bit binary number to Gray code."),
+        "g = b ^ (b >> 1).",
+        &[("b", width)],
+        &[("g", width)],
+        format!(
+            "module top_module(input [{w}:0] b, output [{w}:0] g);\n\
+             assign g = b ^ (b >> 1);\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let b = input_u128(ins, "b");
+                out1("g", width, (b ^ (b >> 1)) & mask(width))
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn gray_decode(width: u32) -> Blueprint {
+    // b[i] = ^g[width-1:i]; harder reasoning than encode. Implemented as
+    // b = g ^ (g>>1) ^ … ^ (g>>(W-1)) to keep the loop ascending.
+    comb_blueprint(
+        &format!("ungray{width}"),
+        &format!("Convert a {width}-bit Gray-code value back to binary."),
+        "b[i] = XOR of g's bits from the MSB down to position i.",
+        &[("g", width)],
+        &[("b", width)],
+        format!(
+            "module top_module(input [{w}:0] g, output reg [{w}:0] b);\n\
+             integer i;\nalways @* begin\n  b = g;\n\
+             for (i = 1; i < {width}; i = i + 1) b = b ^ (g >> i);\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let g = input_u128(ins, "g");
+                let mut b = 0u128;
+                let mut acc = 0u128;
+                for i in (0..width).rev() {
+                    acc ^= (g >> i) & 1;
+                    b |= acc << i;
+                }
+                out1("b", width, b)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+fn sign_extend(from: u32, to: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("sext{from}to{to}"),
+        &format!("Sign-extend a {from}-bit value to {to} bits."),
+        &format!("Replicate bit {} of in across the upper bits of out.", from - 1),
+        &[("in", from)],
+        &[("out", to)],
+        format!(
+            "module top_module(input [{fw}:0] in, output [{tw}:0] out);\n\
+             assign out = {{{{{n}{{in[{fw}]}}}}, in}};\nendmodule",
+            fw = from - 1,
+            tw = to - 1,
+            n = to - from
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let v = input_u128(ins, "in");
+                let sign = (v >> (from - 1)) & 1;
+                let ext = if sign == 1 { (mask(to) >> from) << from } else { 0 };
+                out1("out", to, ext | v)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn split_halves(width: u32) -> Blueprint {
+    let half = width / 2;
+    comb_blueprint(
+        &format!("split{width}"),
+        &format!("Split a {width}-bit input into its upper and lower halves."),
+        &format!("hi = in[{}:{}], lo = in[{}:0].", width - 1, half, half - 1),
+        &[("in", width)],
+        &[("hi", half), ("lo", half)],
+        format!(
+            "module top_module(input [{w}:0] in, output [{h}:0] hi, output [{h}:0] lo);\n\
+             assign {{hi, lo}} = in;\nendmodule",
+            w = width - 1,
+            h = half - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let v = input_u128(ins, "in");
+                crate::golden::outs(&[
+                    ("hi", half, v >> half),
+                    ("lo", half, v & mask(half)),
+                ])
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+/// gfedcba active-high seven-segment patterns for hex digits 0..15.
+pub(crate) const SEVENSEG: [u128; 16] = [
+    0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07, 0x7F, 0x6F, 0x77, 0x7C, 0x39, 0x5E, 0x79,
+    0x71,
+];
+
+fn seven_seg() -> Blueprint {
+    let mut arms = String::new();
+    for (digit, pattern) in SEVENSEG.iter().enumerate() {
+        arms.push_str(&format!("    4'h{digit:X}: seg = 7'h{pattern:02X};\n"));
+    }
+    comb_blueprint(
+        "sevenseg",
+        "Decode a 4-bit hex digit to an active-high seven-segment pattern (gfedcba).",
+        "seg follows the standard gfedcba encoding for hex digits 0 through F.",
+        &[("digit", 4)],
+        &[("seg", 7)],
+        format!(
+            "module top_module(input [3:0] digit, output reg [6:0] seg);\n\
+             always @* begin\n  case (digit)\n{arms}    default: seg = 7'h00;\n  endcase\nend\nendmodule"
+        ),
+        golden(|| {
+            Comb::new(|ins| out1("seg", 7, SEVENSEG[(input_u128(ins, "digit") & 0xF) as usize]))
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn thermometer(sel_bits: u32) -> Blueprint {
+    let out_width = 1u32 << sel_bits;
+    comb_blueprint(
+        &format!("thermo{out_width}"),
+        &format!("Produce a {out_width}-bit thermometer code with n low bits set."),
+        "t = (1 << n) - 1.",
+        &[("n", sel_bits)],
+        &[("t", out_width)],
+        format!(
+            "module top_module(input [{sw}:0] n, output [{ow}:0] t);\n\
+             assign t = ({out_width}'b1 << n) - 1;\nendmodule",
+            sw = sel_bits - 1,
+            ow = out_width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let n = input_u128(ins, "n");
+                out1("t", out_width, (1u128 << n) - 1)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn reductions(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("reduce{width}"),
+        &format!("Compute the AND, OR and XOR reductions of a {width}-bit input."),
+        "all = &in, any = |in, odd = ^in.",
+        &[("in", width)],
+        &[("all", 1), ("any", 1), ("odd", 1)],
+        format!(
+            "module top_module(input [{w}:0] in, output all, output any, output odd);\n\
+             assign all = &in;\nassign any = |in;\nassign odd = ^in;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| {
+                let v = input_u128(ins, "in");
+                crate::golden::outs(&[
+                    ("all", 1, u128::from(v == mask(width))),
+                    ("any", 1, u128::from(v != 0)),
+                    ("odd", 1, u128::from(v.count_ones() % 2 == 1)),
+                ])
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn zero_detect(width: u32) -> Blueprint {
+    comb_blueprint(
+        &format!("iszero{width}"),
+        &format!("Output 1 when the {width}-bit input is exactly zero."),
+        "z = (in == 0).",
+        &[("in", width)],
+        &[("z", 1)],
+        format!(
+            "module top_module(input [{w}:0] in, output z);\nassign z = (in == 0);\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Comb::new(move |ins| out1("z", 1, u128::from(input_u128(ins, "in") == 0)))
+        }),
+        Difficulty::Easy,
+    )
+}
+
+/// All combinational blueprints.
+pub fn blueprints() -> Vec<Blueprint> {
+    let mut all = vec![
+        wire_pass(1),
+        wire_pass(8),
+        wire_pass(16),
+        inverter(4),
+        inverter(8),
+        inverter(32),
+        mux2(1),
+        mux2(8),
+        mux2(16),
+        mux4(4),
+        mux4(8),
+        decoder(2),
+        decoder(3),
+        decoder(4),
+        priority_encoder(4),
+        priority_encoder(8),
+        bit_reverse(8),
+        bit_reverse(16),
+        bit_reverse(32),
+        parity(8),
+        parity(16),
+        popcount(8),
+        popcount(16),
+        popcount(32),
+        byte_swap(),
+        majority3(),
+        onehot_check(8),
+        onehot_check(16),
+        gray_encode(8),
+        gray_encode(16),
+        gray_decode(8),
+        gray_decode(16),
+        sign_extend(8, 32),
+        sign_extend(4, 16),
+        split_halves(16),
+        split_halves(32),
+        seven_seg(),
+        thermometer(3),
+        thermometer(4),
+        reductions(8),
+        reductions(32),
+        zero_detect(8),
+        zero_detect(24),
+    ];
+    for op in ["and", "or", "xor", "nand", "nor", "xnor"] {
+        all.push(gate2(op, 1));
+        all.push(gate2(op, 8));
+        all.push(gate2(op, 16));
+    }
+    all.extend([
+        inverter(16),
+        wire_pass(32),
+        parity(32),
+        onehot_check(24),
+        gray_encode(24),
+        mux2(24),
+    ]);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Verdict;
+    use crate::suites::problem_from_blueprint;
+    use crate::problem::Suite;
+
+    #[test]
+    fn every_comb_solution_passes_its_golden_model() {
+        for bp in blueprints() {
+            let problem = problem_from_blueprint(&bp, Suite::VerilogEvalHuman, "t");
+            assert_eq!(
+                problem.check(&problem.solution.clone()),
+                Verdict::Pass,
+                "blueprint {} reference solution failed",
+                bp.name
+            );
+        }
+    }
+
+    #[test]
+    fn sevenseg_table_is_sane() {
+        assert_eq!(SEVENSEG[0], 0x3F);
+        assert_eq!(SEVENSEG[8], 0x7F);
+        assert!(SEVENSEG.iter().all(|&p| p <= 0x7F));
+    }
+}

@@ -1,0 +1,309 @@
+//! Finite-state-machine archetypes: sequence detectors, Moore controllers.
+//!
+//! These populate the *hard* end of the benchmark — the paper observes that
+//! FSM-style problems requiring multi-step reasoning dominate the residual
+//! failures after syntax fixing (§4.2).
+
+use crate::archetypes::{golden, seq_blueprint, Blueprint};
+use crate::golden::{input_u128, out1, outs, Seq};
+use crate::problem::Difficulty;
+
+/// Overlapping "101" sequence detector (Moore, registered output).
+fn detect101() -> Blueprint {
+    seq_blueprint(
+        "detect101",
+        "Build an FSM that detects the overlapping bit pattern 101 on a serial input; \
+         assert found for one cycle after the final 1 of each occurrence.",
+        "States: idle, saw-1, saw-10. found registers high when in=1 arrives in saw-10. \
+         Matching is overlapping: the trailing 1 may start a new pattern.",
+        &[("reset", 1), ("in", 1)],
+        &[("found", 1)],
+        "module top_module(input clk, input reset, input in, output reg found);\n\
+         reg [1:0] state;\n\
+         always @(posedge clk) begin\n\
+           if (reset) begin state <= 0; found <= 0; end\n\
+           else begin\n\
+             found <= (state == 2) && in;\n\
+             case (state)\n\
+               2'd0: state <= in ? 2'd1 : 2'd0;\n\
+               2'd1: state <= in ? 2'd1 : 2'd2;\n\
+               2'd2: state <= in ? 2'd1 : 2'd0;\n\
+               default: state <= 2'd0;\n\
+             endcase\n\
+           end\n\
+         end\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new((0u128, 0u128), |state, ins| {
+                let (s, _found) = *state;
+                if input_u128(ins, "reset") == 1 {
+                    *state = (0, 0);
+                    return out1("found", 1, 0);
+                }
+                let bit = input_u128(ins, "in");
+                let found = u128::from(s == 2 && bit == 1);
+                let next = match (s, bit) {
+                    (0, 1) | (1, 1) | (2, 1) => 1,
+                    (1, 0) => 2,
+                    _ => 0,
+                };
+                *state = (next, found);
+                out1("found", 1, found)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Non-overlapping "110" detector.
+fn detect110() -> Blueprint {
+    seq_blueprint(
+        "detect110",
+        "Build an FSM that detects the bit pattern 110 on a serial input \
+         (non-overlapping); assert found for one cycle per occurrence.",
+        "States: idle, saw-1, saw-11. After a match the FSM returns to idle.",
+        &[("reset", 1), ("in", 1)],
+        &[("found", 1)],
+        "module top_module(input clk, input reset, input in, output reg found);\n\
+         reg [1:0] state;\n\
+         always @(posedge clk) begin\n\
+           if (reset) begin state <= 0; found <= 0; end\n\
+           else begin\n\
+             found <= (state == 2) && !in;\n\
+             case (state)\n\
+               2'd0: state <= in ? 2'd1 : 2'd0;\n\
+               2'd1: state <= in ? 2'd2 : 2'd0;\n\
+               2'd2: state <= in ? 2'd2 : 2'd0;\n\
+               default: state <= 2'd0;\n\
+             endcase\n\
+           end\n\
+         end\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new((0u128, 0u128), |state, ins| {
+                let (s, _) = *state;
+                if input_u128(ins, "reset") == 1 {
+                    *state = (0, 0);
+                    return out1("found", 1, 0);
+                }
+                let bit = input_u128(ins, "in");
+                let found = u128::from(s == 2 && bit == 0);
+                let next = match (s, bit) {
+                    (0, 1) => 1,
+                    (1, 1) | (2, 1) => 2,
+                    _ => 0,
+                };
+                *state = (next, found);
+                out1("found", 1, found)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Fixed-schedule traffic-light controller (Moore, combinational outputs of
+/// the registered state counter).
+fn traffic_light() -> Blueprint {
+    // green 4 cycles → yellow 2 → red 3 → repeat (period 9).
+    seq_blueprint(
+        "traffic",
+        "Build a traffic-light controller cycling green for 4 cycles, yellow for 2, \
+         red for 3, with synchronous reset to the start of green.",
+        "A modulo-9 cycle counter; green while count<4, yellow while 4<=count<6, red \
+         while count>=6.",
+        &[("reset", 1)],
+        &[("green", 1), ("yellow", 1), ("red", 1)],
+        "module top_module(input clk, input reset, output green, output yellow, output red);\n\
+         reg [3:0] count;\n\
+         always @(posedge clk) begin\n\
+           if (reset) count <= 0;\n\
+           else if (count == 8) count <= 0;\n\
+           else count <= count + 1;\n\
+         end\n\
+         assign green  = (count < 4);\n\
+         assign yellow = (count >= 4) && (count < 6);\n\
+         assign red    = (count >= 6);\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new(0u128, |count, ins| {
+                *count = if input_u128(ins, "reset") == 1 || *count == 8 { 0 } else { *count + 1 };
+                outs(&[
+                    ("green", 1, u128::from(*count < 4)),
+                    ("yellow", 1, u128::from(*count >= 4 && *count < 6)),
+                    ("red", 1, u128::from(*count >= 6)),
+                ])
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// One-hot-encoded 4-state sequencer advancing on `go`.
+fn onehot_fsm() -> Blueprint {
+    seq_blueprint(
+        "onehotfsm",
+        "Build a 4-state one-hot FSM that advances S0→S1→S2→S3→S0 whenever go is 1; \
+         output done is high in S3. Reset enters S0.",
+        "state is one-hot 4 bits; done = state[3].",
+        &[("reset", 1), ("go", 1)],
+        &[("done", 1)],
+        "module top_module(input clk, input reset, input go, output done);\n\
+         reg [3:0] state;\n\
+         always @(posedge clk) begin\n\
+           if (reset) state <= 4'b0001;\n\
+           else if (go) state <= {state[2:0], state[3]};\n\
+         end\n\
+         assign done = state[3];\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new(1u128, |state, ins| {
+                if input_u128(ins, "reset") == 1 {
+                    *state = 1;
+                } else if input_u128(ins, "go") == 1 {
+                    *state = ((*state << 1) | (*state >> 3)) & 0xF;
+                }
+                out1("done", 1, (*state >> 3) & 1)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Debouncer: output goes high after the input has been 1 for 4 consecutive
+/// sampled cycles, low as soon as the input drops.
+fn debounce() -> Blueprint {
+    seq_blueprint(
+        "debounce4",
+        "Build a debouncer: the output asserts only after the input has been high for \
+         4 consecutive clock cycles, and deasserts immediately when the input falls.",
+        "A saturating 2-bit-ish counter of consecutive highs; stable = (count >= 4).",
+        &[("reset", 1), ("in", 1)],
+        &[("stable", 1)],
+        "module top_module(input clk, input reset, input in, output stable);\n\
+         reg [2:0] count;\n\
+         always @(posedge clk) begin\n\
+           if (reset) count <= 0;\n\
+           else if (!in) count <= 0;\n\
+           else if (count != 4) count <= count + 1;\n\
+         end\n\
+         assign stable = (count == 4);\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new(0u128, |count, ins| {
+                if input_u128(ins, "reset") == 1 || input_u128(ins, "in") == 0 {
+                    *count = 0;
+                } else if *count != 4 {
+                    *count += 1;
+                }
+                out1("stable", 1, u128::from(*count == 4))
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// The classic "lemming walker": walks left/right, reverses on bumps.
+fn walker() -> Blueprint {
+    seq_blueprint(
+        "walker",
+        "Build a walker FSM: it walks left or right; bumping on the side it walks \
+         toward makes it turn around (bump_left while walking left turns it right, and \
+         vice versa). Reset starts walking left.",
+        "Two states L and R; walk_left/walk_right are Moore outputs of the state.",
+        &[("areset", 1), ("bump_left", 1), ("bump_right", 1)],
+        &[("walk_left", 1), ("walk_right", 1)],
+        "module top_module(input clk, input areset, input bump_left, input bump_right, \
+         output walk_left, output walk_right);\n\
+         reg state; // 0 = left, 1 = right\n\
+         always @(posedge clk) begin\n\
+           if (areset) state <= 0;\n\
+           else if (state == 0 && bump_left) state <= 1;\n\
+           else if (state == 1 && bump_right) state <= 0;\n\
+         end\n\
+         assign walk_left = (state == 0);\n\
+         assign walk_right = (state == 1);\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new(0u128, |state, ins| {
+                if input_u128(ins, "areset") == 1 {
+                    *state = 0;
+                } else if *state == 0 && input_u128(ins, "bump_left") == 1 {
+                    *state = 1;
+                } else if *state == 1 && input_u128(ins, "bump_right") == 1 {
+                    *state = 0;
+                }
+                outs(&[
+                    ("walk_left", 1, u128::from(*state == 0)),
+                    ("walk_right", 1, u128::from(*state == 1)),
+                ])
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Two-request fixed-priority arbiter with registered grants.
+fn arbiter2() -> Blueprint {
+    seq_blueprint(
+        "arbiter2",
+        "Build a 2-request arbiter with registered grants: request 0 has priority; at \
+         most one grant is high.",
+        "On posedge clk: gnt <= req[0] ? 2'b01 : (req[1] ? 2'b10 : 2'b00).",
+        &[("req", 2)],
+        &[("gnt", 2)],
+        "module top_module(input clk, input [1:0] req, output reg [1:0] gnt);\n\
+         always @(posedge clk) begin\n\
+           if (req[0]) gnt <= 2'b01;\n\
+           else if (req[1]) gnt <= 2'b10;\n\
+           else gnt <= 2'b00;\n\
+         end\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new(0u128, |gnt, ins| {
+                let req = input_u128(ins, "req");
+                *gnt = if req & 1 == 1 {
+                    0b01
+                } else if req & 2 == 2 {
+                    0b10
+                } else {
+                    0
+                };
+                out1("gnt", 2, *gnt)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// All FSM blueprints.
+pub fn blueprints() -> Vec<Blueprint> {
+    vec![
+        detect101(),
+        detect110(),
+        traffic_light(),
+        onehot_fsm(),
+        debounce(),
+        walker(),
+        arbiter2(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Suite, Verdict};
+    use crate::suites::problem_from_blueprint;
+
+    #[test]
+    fn every_fsm_solution_passes_its_golden_model() {
+        for bp in blueprints() {
+            let problem = problem_from_blueprint(&bp, Suite::VerilogEvalHuman, "t");
+            assert_eq!(
+                problem.check(&problem.solution.clone()),
+                Verdict::Pass,
+                "blueprint {} reference solution failed",
+                bp.name
+            );
+        }
+    }
+}

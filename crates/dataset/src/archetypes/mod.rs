@@ -1,0 +1,179 @@
+//! Problem archetypes: hand-written circuits with golden models.
+//!
+//! Each archetype module contributes [`Blueprint`]s — a correct Verilog
+//! solution plus a Rust golden model and port metadata. `crate::suites`
+//! instantiates blueprints into the benchmark suites with suite-specific
+//! descriptions and exact paper-matching counts.
+//!
+//! Every blueprint is self-checked by the dataset test suite: its reference
+//! solution must compile with the frontend and match its own golden model in
+//! simulation.
+
+pub mod arith;
+pub mod comb;
+pub mod fsm;
+pub mod seq;
+pub mod system;
+
+use std::sync::Arc;
+
+use rtlfixer_sim::testbench::Clocking;
+
+use crate::problem::{Difficulty, GoldenFactory};
+
+/// An uninstantiated problem: everything but the suite/id assignment.
+#[derive(Clone)]
+pub struct Blueprint {
+    /// Short unique name, e.g. `reverse8`.
+    pub name: String,
+    /// High-level, human-style description (VerilogEval-Human flavour).
+    pub description: String,
+    /// Low-level functional detail used to synthesise the machine-style
+    /// description.
+    pub detail: String,
+    /// Input ports (name, width), excluding any clock.
+    pub inputs: Vec<(String, u32)>,
+    /// Output ports (name, width).
+    pub outputs: Vec<(String, u32)>,
+    /// Clocking discipline.
+    pub clocking: Clocking,
+    /// Reference implementation (must pass its own golden model).
+    pub solution: String,
+    /// Golden model factory.
+    pub golden: GoldenFactory,
+    /// Difficulty label.
+    pub difficulty: Difficulty,
+    /// Stimulus length.
+    pub test_cycles: usize,
+}
+
+impl Blueprint {
+    /// Synthesises the VerilogEval-Machine style description: a mechanical,
+    /// low-level restatement (port-by-port plus the functional detail).
+    pub fn machine_description(&self) -> String {
+        let mut text = String::from(
+            "I want you to create a Verilog module named top_module with the following \
+             interface.",
+        );
+        for (name, width) in &self.inputs {
+            text.push_str(&format!(" Input port {name} is {width} bit{} wide.",
+                if *width == 1 { "" } else { "s" }));
+        }
+        if self.is_sequential() {
+            text.push_str(" Input port clk is the clock; all state updates on the positive edge of clk.");
+        }
+        for (name, width) in &self.outputs {
+            text.push_str(&format!(" Output port {name} is {width} bit{} wide.",
+                if *width == 1 { "" } else { "s" }));
+        }
+        text.push(' ');
+        text.push_str(&self.detail);
+        text
+    }
+
+    /// Whether the blueprint is clocked.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self.clocking, Clocking::Sequential { .. })
+    }
+}
+
+/// Shorthand for port lists.
+pub fn ports(list: &[(&str, u32)]) -> Vec<(String, u32)> {
+    list.iter().map(|(n, w)| (n.to_string(), *w)).collect()
+}
+
+/// Shorthand for a combinational blueprint.
+#[allow(clippy::too_many_arguments)]
+pub fn comb_blueprint(
+    name: &str,
+    description: &str,
+    detail: &str,
+    inputs: &[(&str, u32)],
+    outputs: &[(&str, u32)],
+    solution: String,
+    golden: GoldenFactory,
+    difficulty: Difficulty,
+) -> Blueprint {
+    Blueprint {
+        name: name.to_owned(),
+        description: description.to_owned(),
+        detail: detail.to_owned(),
+        inputs: ports(inputs),
+        outputs: ports(outputs),
+        clocking: Clocking::Combinational,
+        solution,
+        golden,
+        difficulty,
+        test_cycles: 48,
+    }
+}
+
+/// Shorthand for a clocked blueprint (`clk` clock).
+#[allow(clippy::too_many_arguments)]
+pub fn seq_blueprint(
+    name: &str,
+    description: &str,
+    detail: &str,
+    inputs: &[(&str, u32)],
+    outputs: &[(&str, u32)],
+    solution: String,
+    golden: GoldenFactory,
+    difficulty: Difficulty,
+) -> Blueprint {
+    Blueprint {
+        name: name.to_owned(),
+        description: description.to_owned(),
+        detail: detail.to_owned(),
+        inputs: ports(inputs),
+        outputs: ports(outputs),
+        clocking: Clocking::Sequential { clock: "clk".to_owned() },
+        solution,
+        golden,
+        difficulty,
+        test_cycles: 64,
+    }
+}
+
+/// Wraps a closure into a [`GoldenFactory`].
+pub fn golden<F, M>(factory: F) -> GoldenFactory
+where
+    F: Fn() -> M + Send + Sync + 'static,
+    M: rtlfixer_sim::ReferenceModel + Send + 'static,
+{
+    Arc::new(move || Box::new(factory()))
+}
+
+/// All blueprints from every archetype module.
+pub fn all_blueprints() -> Vec<Blueprint> {
+    let mut all = Vec::new();
+    all.extend(comb::blueprints());
+    all.extend(arith::blueprints());
+    all.extend(seq::blueprints());
+    all.extend(fsm::blueprints());
+    all.extend(system::blueprints());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blueprint_names_are_unique() {
+        let mut names: Vec<String> = all_blueprints().into_iter().map(|b| b.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate blueprint names");
+    }
+
+    #[test]
+    fn machine_description_mentions_every_port() {
+        for bp in all_blueprints().into_iter().take(10) {
+            let text = bp.machine_description();
+            for (name, _) in bp.inputs.iter().chain(&bp.outputs) {
+                assert!(text.contains(name.as_str()), "{}: missing {name}", bp.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! Sequential (clocked) archetypes: registers, counters, shifters.
+//!
+//! Convention: every observed output is registered (Moore style) and the
+//! testbench compares outputs *after* each posedge, matching the golden
+//! models' step semantics.
+
+use crate::archetypes::{golden, seq_blueprint, Blueprint};
+use crate::golden::{input_u128, out1, Seq};
+use crate::problem::Difficulty;
+
+fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+fn dff(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("dff{width}"),
+        &format!("Create a {width}-bit D flip-flop clocked on the positive edge."),
+        "On each posedge of clk, q takes the value of d.",
+        &[("d", width)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input [{w}:0] d, output reg [{w}:0] q);\n\
+             always @(posedge clk) q <= d;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                *q = input_u128(ins, "d");
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn dff_enable(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("dffe{width}"),
+        &format!("Create a {width}-bit register with a write-enable input."),
+        "On posedge clk: if en is 1, q <= d; otherwise q keeps its value.",
+        &[("d", width), ("en", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input [{w}:0] d, input en, output reg [{w}:0] q);\n\
+             always @(posedge clk) if (en) q <= d;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                if input_u128(ins, "en") == 1 {
+                    *q = input_u128(ins, "d");
+                }
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn dff_reset(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("dffr{width}"),
+        &format!("Create a {width}-bit register with synchronous active-high reset."),
+        "On posedge clk: if reset is 1, q <= 0; else q <= d.",
+        &[("d", width), ("reset", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input [{w}:0] d, input reset, output reg [{w}:0] q);\n\
+             always @(posedge clk) begin\n  if (reset) q <= 0; else q <= d;\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                *q = if input_u128(ins, "reset") == 1 { 0 } else { input_u128(ins, "d") };
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn counter(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("counter{width}"),
+        &format!("Build a {width}-bit up counter with synchronous reset."),
+        "On posedge clk: if reset, q <= 0; else q <= q + 1 (wrapping).",
+        &[("reset", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input reset, output reg [{w}:0] q);\n\
+             always @(posedge clk) begin\n  if (reset) q <= 0; else q <= q + 1;\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                *q = if input_u128(ins, "reset") == 1 {
+                    0
+                } else {
+                    q.wrapping_add(1) & mask(width)
+                };
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn up_down_counter(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("updown{width}"),
+        &format!("Build a {width}-bit up/down counter: up when dir is 1, down when 0."),
+        "On posedge clk: if reset, q <= 0; else q <= dir ? q+1 : q-1 (wrapping).",
+        &[("reset", 1), ("dir", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input reset, input dir, output reg [{w}:0] q);\n\
+             always @(posedge clk) begin\n\
+             if (reset) q <= 0;\n  else if (dir) q <= q + 1;\n  else q <= q - 1;\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                *q = if input_u128(ins, "reset") == 1 {
+                    0
+                } else if input_u128(ins, "dir") == 1 {
+                    q.wrapping_add(1) & mask(width)
+                } else {
+                    q.wrapping_sub(1) & mask(width)
+                };
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn mod_counter(width: u32, modulus: u128) -> Blueprint {
+    seq_blueprint(
+        &format!("mod{modulus}counter"),
+        &format!("Build a counter that counts 0 to {} and wraps (modulo {modulus}).", modulus - 1),
+        &format!("On posedge clk: if reset, q <= 0; else q <= (q == {}) ? 0 : q + 1.", modulus - 1),
+        &[("reset", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input reset, output reg [{w}:0] q);\n\
+             always @(posedge clk) begin\n  if (reset) q <= 0;\n\
+             else if (q == {top}) q <= 0;\n  else q <= q + 1;\nend\nendmodule",
+            w = width - 1,
+            top = modulus - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                *q = if input_u128(ins, "reset") == 1 || *q == modulus - 1 { 0 } else { *q + 1 };
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn saturating_counter(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("satcounter{width}"),
+        &format!(
+            "Build a {width}-bit saturating counter: counts up with en and holds at the \
+             maximum value instead of wrapping."
+        ),
+        "On posedge clk: if reset, q <= 0; else if en and q not at max, q <= q + 1.",
+        &[("reset", 1), ("en", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input reset, input en, output reg [{w}:0] q);\n\
+             always @(posedge clk) begin\n  if (reset) q <= 0;\n\
+             else if (en && q != {{{width}{{1'b1}}}}) q <= q + 1;\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                if input_u128(ins, "reset") == 1 {
+                    *q = 0;
+                } else if input_u128(ins, "en") == 1 && *q != mask(width) {
+                    *q += 1;
+                }
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn shift_register(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("sipo{width}"),
+        &format!(
+            "Build a {width}-bit serial-in parallel-out shift register shifting toward \
+             the MSB."
+        ),
+        "On posedge clk: q <= {q[WIDTH-2:0], sin}.",
+        &[("sin", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input sin, output reg [{w}:0] q);\n\
+             always @(posedge clk) q <= {{q[{w2}:0], sin}};\nendmodule",
+            w = width - 1,
+            w2 = width - 2
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                *q = ((*q << 1) | input_u128(ins, "sin")) & mask(width);
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn shift_register_load(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("shiftload{width}"),
+        &format!(
+            "Build a {width}-bit shift register with parallel load: when load is 1 take \
+             d, otherwise shift left inserting sin."
+        ),
+        "On posedge clk: q <= load ? d : {q[WIDTH-2:0], sin}.",
+        &[("d", width), ("load", 1), ("sin", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input [{w}:0] d, input load, input sin, \
+             output reg [{w}:0] q);\n\
+             always @(posedge clk) begin\n\
+             if (load) q <= d;\n  else q <= {{q[{w2}:0], sin}};\nend\nendmodule",
+            w = width - 1,
+            w2 = width - 2
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                *q = if input_u128(ins, "load") == 1 {
+                    input_u128(ins, "d")
+                } else {
+                    ((*q << 1) | input_u128(ins, "sin")) & mask(width)
+                };
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn rotator(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("rotator{width}"),
+        &format!(
+            "Build a {width}-bit rotating register: when en is 1 rotate right by one \
+             bit, with parallel load."
+        ),
+        "On posedge clk: if load, q <= d; else if en, q <= {q[0], q[WIDTH-1:1]}.",
+        &[("d", width), ("load", 1), ("en", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input [{w}:0] d, input load, input en, \
+             output reg [{w}:0] q);\n\
+             always @(posedge clk) begin\n\
+             if (load) q <= d;\n  else if (en) q <= {{q[0], q[{w}:1]}};\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                if input_u128(ins, "load") == 1 {
+                    *q = input_u128(ins, "d");
+                } else if input_u128(ins, "en") == 1 {
+                    let lsb = *q & 1;
+                    *q = (*q >> 1) | (lsb << (width - 1));
+                }
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn edge_detector(kind: &'static str) -> Blueprint {
+    let (name, expr, desc) = match kind {
+        "rise" => ("edgerise", "in & ~prev", "a 0→1 transition"),
+        "fall" => ("edgefall", "~in & prev", "a 1→0 transition"),
+        _ => ("edgeany", "in ^ prev", "any transition"),
+    };
+    let kind_owned = kind.to_owned();
+    seq_blueprint(
+        name,
+        &format!(
+            "Detect {desc} on the 1-bit input: output a registered one-cycle pulse the \
+             cycle after the transition is sampled."
+        ),
+        &format!("On posedge clk: pulse <= {expr}; prev <= in."),
+        &[("in", 1)],
+        &[("pulse", 1)],
+        format!(
+            "module top_module(input clk, input in, output reg pulse);\n\
+             reg prev;\n\
+             always @(posedge clk) begin\n  pulse <= {expr};\n  prev <= in;\nend\nendmodule"
+        ),
+        golden(move || {
+            let kind = kind_owned.clone();
+            Seq::new((0u128, 0u128), move |state, ins| {
+                let (prev, _pulse) = *state;
+                let input = input_u128(ins, "in");
+                let pulse = match kind.as_str() {
+                    "rise" => input & !prev & 1,
+                    "fall" => !input & prev & 1,
+                    _ => (input ^ prev) & 1,
+                };
+                *state = (input, pulse);
+                out1("pulse", 1, pulse)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn toggle_ff() -> Blueprint {
+    seq_blueprint(
+        "togglff",
+        "Build a toggle flip-flop: q inverts on every clock edge where t is 1, with \
+         synchronous reset.",
+        "On posedge clk: if reset, q <= 0; else if t, q <= ~q.",
+        &[("reset", 1), ("t", 1)],
+        &[("q", 1)],
+        "module top_module(input clk, input reset, input t, output reg q);\n\
+         always @(posedge clk) begin\n  if (reset) q <= 0;\n  else if (t) q <= ~q;\nend\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new(0u128, |q, ins| {
+                if input_u128(ins, "reset") == 1 {
+                    *q = 0;
+                } else if input_u128(ins, "t") == 1 {
+                    *q ^= 1;
+                }
+                out1("q", 1, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn johnson_counter(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("johnson{width}"),
+        &format!("Build a {width}-bit Johnson (twisted-ring) counter with synchronous reset."),
+        "On posedge clk: if reset, q <= 0; else q <= {~q[0], q[WIDTH-1:1]}.",
+        &[("reset", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input reset, output reg [{w}:0] q);\n\
+             always @(posedge clk) begin\n\
+             if (reset) q <= 0;\n  else q <= {{~q[0], q[{w}:1]}};\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                *q = if input_u128(ins, "reset") == 1 {
+                    0
+                } else {
+                    let inverted_lsb = (!*q & 1) << (width - 1);
+                    (*q >> 1) | inverted_lsb
+                };
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn ring_counter(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("ring{width}"),
+        &format!(
+            "Build a {width}-bit one-hot ring counter: reset loads 1, then the single \
+             hot bit rotates left each cycle."
+        ),
+        "On posedge clk: if reset, q <= 1; else q <= {q[WIDTH-2:0], q[WIDTH-1]}.",
+        &[("reset", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input reset, output reg [{w}:0] q);\n\
+             always @(posedge clk) begin\n\
+             if (reset) q <= 1;\n  else q <= {{q[{w2}:0], q[{w}]}};\nend\nendmodule",
+            w = width - 1,
+            w2 = width - 2
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                *q = if input_u128(ins, "reset") == 1 {
+                    1
+                } else {
+                    let msb = (*q >> (width - 1)) & 1;
+                    ((*q << 1) & mask(width)) | msb
+                };
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+/// Galois LFSR with polynomial 0xB8 (x^8 + x^6 + x^5 + x^4 + 1).
+fn lfsr8() -> Blueprint {
+    seq_blueprint(
+        "lfsr8",
+        "Build an 8-bit Galois LFSR with taps 0xB8; reset loads 8'h01.",
+        "On posedge clk: if reset, q <= 1; else q <= (q >> 1) ^ (q[0] ? 8'hB8 : 8'h00).",
+        &[("reset", 1)],
+        &[("q", 8)],
+        "module top_module(input clk, input reset, output reg [7:0] q);\n\
+         always @(posedge clk) begin\n\
+         if (reset) q <= 8'h01;\n\
+         else q <= (q >> 1) ^ (q[0] ? 8'hB8 : 8'h00);\nend\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new(1u128, |q, ins| {
+                *q = if input_u128(ins, "reset") == 1 {
+                    1
+                } else {
+                    let feedback = if *q & 1 == 1 { 0xB8 } else { 0 };
+                    (*q >> 1) ^ feedback
+                };
+                out1("q", 8, *q)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+fn accumulator(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("accum{width}"),
+        &format!("Build a {width}-bit accumulator: add the input to a running sum each cycle."),
+        "On posedge clk: if reset, acc <= 0; else acc <= acc + in (wrapping).",
+        &[("reset", 1), ("in", width)],
+        &[("acc", width)],
+        format!(
+            "module top_module(input clk, input reset, input [{w}:0] in, \
+             output reg [{w}:0] acc);\n\
+             always @(posedge clk) begin\n\
+             if (reset) acc <= 0;\n  else acc <= acc + in;\nend\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |acc, ins| {
+                *acc = if input_u128(ins, "reset") == 1 {
+                    0
+                } else {
+                    acc.wrapping_add(input_u128(ins, "in")) & mask(width)
+                };
+                out1("acc", width, *acc)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn clock_divider(period: u128) -> Blueprint {
+    let width = (128 - (period - 1).leading_zeros()).max(1);
+    seq_blueprint(
+        &format!("clkdiv{period}"),
+        &format!("Build a clock divider: the output toggles every {period} cycles."),
+        &format!(
+            "A modulo-{period} counter; when it reaches {}, it wraps and the output \
+             toggles.",
+            period - 1
+        ),
+        &[("reset", 1)],
+        &[("out", 1)],
+        format!(
+            "module top_module(input clk, input reset, output reg out);\n\
+             reg [{w}:0] cnt;\n\
+             always @(posedge clk) begin\n\
+             if (reset) begin cnt <= 0; out <= 0; end\n\
+             else if (cnt == {top}) begin cnt <= 0; out <= ~out; end\n\
+             else cnt <= cnt + 1;\nend\nendmodule",
+            w = width - 1,
+            top = period - 1
+        ),
+        golden(move || {
+            Seq::new((0u128, 0u128), move |state, ins| {
+                let (mut cnt, mut out) = *state;
+                if input_u128(ins, "reset") == 1 {
+                    cnt = 0;
+                    out = 0;
+                } else if cnt == period - 1 {
+                    cnt = 0;
+                    out ^= 1;
+                } else {
+                    cnt += 1;
+                }
+                *state = (cnt, out);
+                out1("out", 1, out)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+fn sample_hold(width: u32) -> Blueprint {
+    // Captures the input on a trigger and holds it.
+    seq_blueprint(
+        &format!("samplehold{width}"),
+        &format!("Build a {width}-bit sample-and-hold register: capture in when trig is 1."),
+        "On posedge clk: if trig, q <= in; else hold.",
+        &[("in", width), ("trig", 1)],
+        &[("q", width)],
+        format!(
+            "module top_module(input clk, input [{w}:0] in, input trig, \
+             output reg [{w}:0] q);\n\
+             always @(posedge clk) if (trig) q <= in;\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |q, ins| {
+                if input_u128(ins, "trig") == 1 {
+                    *q = input_u128(ins, "in");
+                }
+                out1("q", width, *q)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+/// All sequential blueprints.
+pub fn blueprints() -> Vec<Blueprint> {
+    vec![
+        dff(1),
+        dff(8),
+        dff(32),
+        dff_enable(8),
+        dff_enable(16),
+        dff_reset(8),
+        dff_reset(16),
+        counter(4),
+        counter(8),
+        counter(16),
+        up_down_counter(8),
+        up_down_counter(16),
+        mod_counter(4, 10),
+        mod_counter(4, 12),
+        mod_counter(6, 60),
+        saturating_counter(4),
+        saturating_counter(8),
+        shift_register(8),
+        shift_register(16),
+        shift_register_load(8),
+        shift_register_load(16),
+        rotator(8),
+        rotator(16),
+        edge_detector("rise"),
+        edge_detector("fall"),
+        edge_detector("any"),
+        toggle_ff(),
+        johnson_counter(4),
+        johnson_counter(8),
+        ring_counter(4),
+        ring_counter(8),
+        lfsr8(),
+        accumulator(8),
+        accumulator(16),
+        clock_divider(4),
+        clock_divider(10),
+        sample_hold(8),
+        sample_hold(16),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Suite, Verdict};
+    use crate::suites::problem_from_blueprint;
+
+    #[test]
+    fn every_seq_solution_passes_its_golden_model() {
+        for bp in blueprints() {
+            let problem = problem_from_blueprint(&bp, Suite::VerilogEvalHuman, "t");
+            assert_eq!(
+                problem.check(&problem.solution.clone()),
+                Verdict::Pass,
+                "blueprint {} reference solution failed",
+                bp.name
+            );
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! System-scale archetypes (RTLLM-style designs plus the paper's named
+//! examples `vector100r` and `conwaylife`).
+
+use crate::archetypes::{comb_blueprint, golden, seq_blueprint, Blueprint};
+use crate::golden::{input_u128, out1, outs, Comb, Seq};
+use crate::problem::Difficulty;
+use rtlfixer_sim::value::LogicVec;
+
+fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// The paper's Figure 5 task: reverse a 100-bit vector (sequential wrapper,
+/// matching the erroneous implementation shown in the paper).
+fn vector100r() -> Blueprint {
+    let width = 100u32;
+    comb_blueprint(
+        "vector100r",
+        "Given a 100-bit input vector [99:0], reverse its bit ordering.",
+        "out[i] = in[99 - i] for every bit i.",
+        &[("in", width)],
+        &[("out", width)],
+        "module top_module(input [99:0] in, output reg [99:0] out);\n\
+         integer i;\nalways @* begin\n\
+         for (i = 0; i < 100; i = i + 1) out[i] = in[99 - i];\nend\nendmodule"
+            .to_owned(),
+        golden(move || {
+            Comb::new(move |ins| {
+                let v = input_u128(ins, "in");
+                let mut r = 0u128;
+                for i in 0..width {
+                    if (v >> i) & 1 == 1 {
+                        r |= 1 << (width - 1 - i);
+                    }
+                }
+                out1("out", width, r)
+            })
+        }),
+        Difficulty::Easy,
+    )
+}
+
+/// Conway's Game of Life on a 16×16 toroidal grid — the paper's Figure 6
+/// failure example (256-bit state, arithmetic neighbour indexing).
+fn conwaylife() -> Blueprint {
+    // Build the generate-loop solution with modulo-wrapped neighbours.
+    let mut body = String::new();
+    body.push_str(
+        "module top_module(input clk, input load, input [255:0] data, output reg [255:0] q);\n\
+         wire [255:0] next;\ngenvar i, j;\ngenerate\n\
+         for (i = 0; i < 16; i = i + 1) begin : row\n\
+           for (j = 0; j < 16; j = j + 1) begin : col\n\
+             wire [3:0] count;\n\
+             assign count = q[((i+15)%16)*16 + ((j+15)%16)] + q[((i+15)%16)*16 + j]\n\
+                          + q[((i+15)%16)*16 + ((j+1)%16)]  + q[i*16 + ((j+15)%16)]\n\
+                          + q[i*16 + ((j+1)%16)]            + q[((i+1)%16)*16 + ((j+15)%16)]\n\
+                          + q[((i+1)%16)*16 + j]            + q[((i+1)%16)*16 + ((j+1)%16)];\n\
+             assign next[i*16 + j] = (count == 3) | ((count == 2) & q[i*16 + j]);\n\
+           end\n\
+         end\nendgenerate\n\
+         always @(posedge clk) begin\n  if (load) q <= data; else q <= next;\nend\nendmodule",
+    );
+    Blueprint {
+        name: "conwaylife".to_owned(),
+        description: "Implement one step per clock of Conway's Game of Life on a 16x16 \
+                      toroidal grid stored as a 256-bit vector (row-major). A load input \
+                      initialises the grid from data."
+            .to_owned(),
+        detail: "Cell (i,j) lives at bit i*16+j. Each cycle, a cell with exactly 3 live \
+                 neighbours becomes alive; with 2 it keeps its state; otherwise it dies. \
+                 Neighbourhoods wrap around the edges (torus)."
+            .to_owned(),
+        inputs: vec![("load".into(), 1), ("data".into(), 256)],
+        outputs: vec![("q".into(), 256)],
+        clocking: rtlfixer_sim::testbench::Clocking::Sequential { clock: "clk".into() },
+        solution: body,
+        golden: std::sync::Arc::new(|| {
+            Box::new(Seq::new(ConwayState::default(), |state, ins| {
+                let load = input_u128(ins, "load") == 1;
+                if load {
+                    state.grid = ins
+                        .get("data")
+                        .cloned()
+                        .unwrap_or_else(|| LogicVec::zeros(256));
+                } else {
+                    state.grid = conway_step(&state.grid);
+                }
+                std::collections::BTreeMap::from([("q".to_owned(), state.grid.clone())])
+            }))
+        }),
+        difficulty: Difficulty::Hard,
+        test_cycles: 24,
+    }
+}
+
+#[derive(Clone)]
+struct ConwayState {
+    grid: LogicVec,
+}
+
+impl Default for ConwayState {
+    fn default() -> Self {
+        ConwayState { grid: LogicVec::zeros(256) }
+    }
+}
+
+fn conway_step(grid: &LogicVec) -> LogicVec {
+    use rtlfixer_sim::value::Bit;
+    let at = |i: usize, j: usize| -> u32 {
+        let idx = (i % 16) * 16 + (j % 16);
+        u32::from(grid.bit(idx as u32) == Bit::One)
+    };
+    let mut next = LogicVec::zeros(256);
+    for i in 0..16usize {
+        for j in 0..16usize {
+            let count = at(i + 15, j + 15)
+                + at(i + 15, j)
+                + at(i + 15, j + 1)
+                + at(i, j + 15)
+                + at(i, j + 1)
+                + at(i + 1, j + 15)
+                + at(i + 1, j)
+                + at(i + 1, j + 1);
+            let alive = count == 3 || (count == 2 && at(i, j) == 1);
+            if alive {
+                next.set_bit((i * 16 + j) as u32, Bit::One);
+            }
+        }
+    }
+    next
+}
+
+/// Single-port synchronous-write, asynchronous-read RAM.
+fn ram(addr_bits: u32, data_bits: u32) -> Blueprint {
+    let depth = 1u32 << addr_bits;
+    seq_blueprint(
+        &format!("ram{depth}x{data_bits}"),
+        &format!(
+            "Build a {depth}x{data_bits} single-port RAM: synchronous write when we is \
+             high, asynchronous read."
+        ),
+        "On posedge clk, if we then mem[addr] <= din. dout = mem[addr] combinationally.",
+        &[("we", 1), ("addr", addr_bits), ("din", data_bits)],
+        &[("dout", data_bits)],
+        format!(
+            "module top_module(input clk, input we, input [{aw}:0] addr, \
+             input [{dw}:0] din, output [{dw}:0] dout);\n\
+             reg [{dw}:0] mem [0:{top}];\n\
+             always @(posedge clk) if (we) mem[addr] <= din;\n\
+             assign dout = mem[addr];\nendmodule",
+            aw = addr_bits - 1,
+            dw = data_bits - 1,
+            top = depth - 1
+        ),
+        golden(move || {
+            Seq::new(vec![0u128; depth as usize], move |mem, ins| {
+                let addr = input_u128(ins, "addr") as usize;
+                if input_u128(ins, "we") == 1 {
+                    mem[addr] = input_u128(ins, "din");
+                }
+                out1("dout", data_bits, mem[addr])
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Two-read-one-write register file (write-first on read-after-write is
+/// avoided by comparing post-edge, matching async reads of the new value).
+fn register_file() -> Blueprint {
+    seq_blueprint(
+        "regfile8x8",
+        "Build an 8-entry, 8-bit register file with one synchronous write port and two \
+         asynchronous read ports. Register 0 is hardwired to zero.",
+        "On posedge clk, if we and waddr != 0 then rf[waddr] <= wdata. \
+         rdata1 = rf[raddr1], rdata2 = rf[raddr2], with rf[0] always 0.",
+        &[("we", 1), ("waddr", 3), ("wdata", 8), ("raddr1", 3), ("raddr2", 3)],
+        &[("rdata1", 8), ("rdata2", 8)],
+        "module top_module(input clk, input we, input [2:0] waddr, input [7:0] wdata, \
+         input [2:0] raddr1, input [2:0] raddr2, \
+         output [7:0] rdata1, output [7:0] rdata2);\n\
+         reg [7:0] rf [0:7];\n\
+         always @(posedge clk) if (we && waddr != 0) rf[waddr] <= wdata;\n\
+         assign rdata1 = (raddr1 == 0) ? 8'h00 : rf[raddr1];\n\
+         assign rdata2 = (raddr2 == 0) ? 8'h00 : rf[raddr2];\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new([0u128; 8], |rf, ins| {
+                let waddr = input_u128(ins, "waddr") as usize;
+                if input_u128(ins, "we") == 1 && waddr != 0 {
+                    rf[waddr] = input_u128(ins, "wdata");
+                }
+                let read = |addr: usize| if addr == 0 { 0 } else { rf[addr] };
+                outs(&[
+                    ("rdata1", 8, read(input_u128(ins, "raddr1") as usize)),
+                    ("rdata2", 8, read(input_u128(ins, "raddr2") as usize)),
+                ])
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// FIFO occupancy tracker with full/empty flags (the control half of a FIFO).
+fn fifo_counter(depth_bits: u32) -> Blueprint {
+    let depth = 1u128 << depth_bits;
+    seq_blueprint(
+        &format!("fifoctl{depth}"),
+        &format!(
+            "Build the occupancy controller of a depth-{depth} FIFO: track the element \
+             count under push/pop and produce full and empty flags."
+        ),
+        "count increments on push (when not full), decrements on pop (when not empty); \
+         simultaneous push+pop leaves it unchanged. full = (count == DEPTH), \
+         empty = (count == 0).",
+        &[("reset", 1), ("push", 1), ("pop", 1)],
+        &[("count", depth_bits + 1), ("full", 1), ("empty", 1)],
+        format!(
+            "module top_module(input clk, input reset, input push, input pop, \
+             output reg [{cw}:0] count, output full, output empty);\n\
+             assign full = (count == {depth});\n\
+             assign empty = (count == 0);\n\
+             always @(posedge clk) begin\n\
+               if (reset) count <= 0;\n\
+               else if (push && !pop && !full) count <= count + 1;\n\
+               else if (pop && !push && !empty) count <= count - 1;\n\
+             end\nendmodule",
+            cw = depth_bits
+        ),
+        golden(move || {
+            Seq::new(0u128, move |count, ins| {
+                let push = input_u128(ins, "push") == 1;
+                let pop = input_u128(ins, "pop") == 1;
+                if input_u128(ins, "reset") == 1 {
+                    *count = 0;
+                } else if push && !pop && *count < depth {
+                    *count += 1;
+                } else if pop && !push && *count > 0 {
+                    *count -= 1;
+                }
+                outs(&[
+                    ("count", depth_bits + 1, *count),
+                    ("full", 1, u128::from(*count == depth)),
+                    ("empty", 1, u128::from(*count == 0)),
+                ])
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Round-robin arbiter over 4 requesters with registered one-hot grants.
+fn round_robin4() -> Blueprint {
+    seq_blueprint(
+        "rrarb4",
+        "Build a 4-requester round-robin arbiter: each cycle grant the first requester \
+         after the previously granted one (cyclically); grants are registered one-hot.",
+        "Starting from (last+1) mod 4, scan requesters cyclically and grant the first \
+         active one. If none request, no grant and the pointer holds.",
+        &[("reset", 1), ("req", 4)],
+        &[("gnt", 4)],
+        "module top_module(input clk, input reset, input [3:0] req, output reg [3:0] gnt);\n\
+         reg [1:0] last;\n\
+         reg [1:0] pick;\n\
+         reg hit;\n\
+         integer k;\n\
+         always @(posedge clk) begin\n\
+           if (reset) begin gnt <= 0; last <= 3; end\n\
+           else begin\n\
+             hit = 0;\n\
+             pick = 0;\n\
+             for (k = 1; k <= 4; k = k + 1) begin\n\
+               if (!hit && req[(last + k) % 4]) begin\n\
+                 pick = (last + k) % 4;\n\
+                 hit = 1;\n\
+               end\n\
+             end\n\
+             if (hit) begin gnt <= 4'b0001 << pick; last <= pick; end\n\
+             else gnt <= 4'b0000;\n\
+           end\n\
+         end\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new((3u128, 0u128), |state, ins| {
+                let (mut last, mut gnt) = *state;
+                let _ = gnt;
+                if input_u128(ins, "reset") == 1 {
+                    last = 3;
+                    gnt = 0;
+                } else {
+                    let req = input_u128(ins, "req");
+                    gnt = 0;
+                    for k in 1..=4u128 {
+                        let idx = (last + k) % 4;
+                        if (req >> idx) & 1 == 1 {
+                            gnt = 1 << idx;
+                            last = idx;
+                            break;
+                        }
+                    }
+                }
+                *state = (last, gnt);
+                out1("gnt", 4, gnt)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Multiply-accumulate unit.
+fn mac8() -> Blueprint {
+    seq_blueprint(
+        "mac8",
+        "Build an 8x8 multiply-accumulate unit with a 24-bit accumulator and \
+         synchronous clear.",
+        "On posedge clk: if clear, acc <= 0; else acc <= acc + a * b.",
+        &[("clear", 1), ("a", 8), ("b", 8)],
+        &[("acc", 24)],
+        "module top_module(input clk, input clear, input [7:0] a, input [7:0] b, \
+         output reg [23:0] acc);\n\
+         always @(posedge clk) begin\n\
+           if (clear) acc <= 0;\n\
+           else acc <= acc + a * b;\nend\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new(0u128, |acc, ins| {
+                if input_u128(ins, "clear") == 1 {
+                    *acc = 0;
+                } else {
+                    *acc = (*acc + input_u128(ins, "a") * input_u128(ins, "b")) & mask(24);
+                }
+                out1("acc", 24, *acc)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// BCD (decimal) counter digit pair.
+fn bcd_counter() -> Blueprint {
+    seq_blueprint(
+        "bcd2",
+        "Build a two-digit BCD counter (00 to 99): each digit is a 4-bit decimal digit; \
+         the ones digit wraps at 9 carrying into the tens digit.",
+        "On posedge clk: if reset, both digits 0; ones counts 0-9, carrying into tens, \
+         which also wraps at 9.",
+        &[("reset", 1)],
+        &[("ones", 4), ("tens", 4)],
+        "module top_module(input clk, input reset, output reg [3:0] ones, \
+         output reg [3:0] tens);\n\
+         always @(posedge clk) begin\n\
+           if (reset) begin ones <= 0; tens <= 0; end\n\
+           else if (ones == 9) begin\n\
+             ones <= 0;\n\
+             if (tens == 9) tens <= 0; else tens <= tens + 1;\n\
+           end\n\
+           else ones <= ones + 1;\n\
+         end\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Seq::new((0u128, 0u128), |state, ins| {
+                let (mut ones, mut tens) = *state;
+                if input_u128(ins, "reset") == 1 {
+                    ones = 0;
+                    tens = 0;
+                } else if ones == 9 {
+                    ones = 0;
+                    tens = if tens == 9 { 0 } else { tens + 1 };
+                } else {
+                    ones += 1;
+                }
+                *state = (ones, tens);
+                outs(&[("ones", 4, ones), ("tens", 4, tens)])
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Gray-code counter (registered Gray output).
+fn gray_counter(width: u32) -> Blueprint {
+    seq_blueprint(
+        &format!("grayctr{width}"),
+        &format!(
+            "Build a {width}-bit Gray-code counter: the output steps through the Gray \
+             sequence, changing exactly one bit per cycle."
+        ),
+        "Maintain a binary counter b; output g = b ^ (b >> 1).",
+        &[("reset", 1)],
+        &[("g", width)],
+        format!(
+            "module top_module(input clk, input reset, output [{w}:0] g);\n\
+             reg [{w}:0] b;\n\
+             always @(posedge clk) begin\n\
+               if (reset) b <= 0; else b <= b + 1;\nend\n\
+             assign g = b ^ (b >> 1);\nendmodule",
+            w = width - 1
+        ),
+        golden(move || {
+            Seq::new(0u128, move |b, ins| {
+                *b = if input_u128(ins, "reset") == 1 {
+                    0
+                } else {
+                    b.wrapping_add(1) & mask(width)
+                };
+                out1("g", width, (*b ^ (*b >> 1)) & mask(width))
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Baud-rate tick generator.
+fn baud_gen(divisor: u128) -> Blueprint {
+    let width = (128 - (divisor - 1).leading_zeros()).max(1);
+    seq_blueprint(
+        &format!("baud{divisor}"),
+        &format!(
+            "Build a baud tick generator: emit a registered one-cycle tick every \
+             {divisor} clock cycles."
+        ),
+        &format!("A modulo-{divisor} counter; tick registers high on the wrap cycle."),
+        &[("reset", 1)],
+        &[("tick", 1)],
+        format!(
+            "module top_module(input clk, input reset, output reg tick);\n\
+             reg [{w}:0] cnt;\n\
+             always @(posedge clk) begin\n\
+               if (reset) begin cnt <= 0; tick <= 0; end\n\
+               else if (cnt == {top}) begin cnt <= 0; tick <= 1; end\n\
+               else begin cnt <= cnt + 1; tick <= 0; end\n\
+             end\nendmodule",
+            w = width - 1,
+            top = divisor - 1
+        ),
+        golden(move || {
+            Seq::new((0u128, 0u128), move |state, ins| {
+                let (mut cnt, mut tick) = *state;
+                let _ = tick;
+                if input_u128(ins, "reset") == 1 {
+                    cnt = 0;
+                    tick = 0;
+                } else if cnt == divisor - 1 {
+                    cnt = 0;
+                    tick = 1;
+                } else {
+                    cnt += 1;
+                    tick = 0;
+                }
+                *state = (cnt, tick);
+                out1("tick", 1, tick)
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// Instantiation-based design: a 16-bit ripple adder built from two 8-bit
+/// child adders (exercises the port-connection machinery end to end).
+fn hierarchical_adder() -> Blueprint {
+    comb_blueprint(
+        "hieradd16",
+        "Build a 16-bit adder out of two 8-bit adder submodules connected through the \
+         intermediate carry.",
+        "An add8 submodule adds the low halves producing a carry into a second add8 \
+         for the high halves.",
+        &[("a", 16), ("b", 16)],
+        &[("sum", 16), ("cout", 1)],
+        "module add8(input [7:0] x, input [7:0] y, input cin, output [7:0] s, output co);\n\
+         assign {co, s} = x + y + cin;\nendmodule\n\
+         module top_module(input [15:0] a, input [15:0] b, output [15:0] sum, output cout);\n\
+         wire carry;\n\
+         add8 lo(.x(a[7:0]), .y(b[7:0]), .cin(1'b0), .s(sum[7:0]), .co(carry));\n\
+         add8 hi(.x(a[15:8]), .y(b[15:8]), .cin(carry), .s(sum[15:8]), .co(cout));\nendmodule"
+            .to_owned(),
+        golden(|| {
+            Comb::new(|ins| {
+                let total = input_u128(ins, "a") + input_u128(ins, "b");
+                outs(&[("sum", 16, total & 0xFFFF), ("cout", 1, total >> 16)])
+            })
+        }),
+        Difficulty::Hard,
+    )
+}
+
+/// All system-scale blueprints.
+pub fn blueprints() -> Vec<Blueprint> {
+    vec![
+        vector100r(),
+        conwaylife(),
+        ram(4, 8),
+        ram(5, 16),
+        register_file(),
+        fifo_counter(3),
+        fifo_counter(4),
+        round_robin4(),
+        mac8(),
+        bcd_counter(),
+        gray_counter(8),
+        gray_counter(16),
+        baud_gen(7),
+        baud_gen(13),
+        hierarchical_adder(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Suite, Verdict};
+    use crate::suites::problem_from_blueprint;
+
+    #[test]
+    fn every_system_solution_passes_its_golden_model() {
+        for bp in blueprints() {
+            let problem = problem_from_blueprint(&bp, Suite::Rtllm, "t");
+            assert_eq!(
+                problem.check(&problem.solution.clone()),
+                Verdict::Pass,
+                "blueprint {} reference solution failed",
+                bp.name
+            );
+        }
+    }
+
+    #[test]
+    fn conway_blinker_oscillates() {
+        // A horizontal blinker at row 8, cols 7..9 flips to vertical.
+        use rtlfixer_sim::value::Bit;
+        let mut grid = LogicVec::zeros(256);
+        for j in 7..10 {
+            grid = grid.with_bit(8 * 16 + j, Bit::One);
+        }
+        let next = conway_step(&grid);
+        for i in 7..10u32 {
+            assert_eq!(next.bit(i * 16 + 8), Bit::One, "row {i}");
+        }
+        assert_eq!(next.bit(8 * 16 + 7), Bit::Zero);
+        let back = conway_step(&next);
+        assert_eq!(back, grid, "blinker has period 2");
+    }
+}

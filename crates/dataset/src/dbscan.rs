@@ -1,0 +1,141 @@
+//! DBSCAN clustering (Schubert et al., TODS 2017 formulation), used by the
+//! dataset curation pipeline with Jaccard distance over code token sets
+//! (§3.4 of the paper).
+
+/// Cluster assignment for one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Not density-reachable from any core point.
+    Noise,
+    /// Member of the given cluster (0-based).
+    Cluster(usize),
+}
+
+/// Runs DBSCAN over `n` points with a pairwise distance function.
+///
+/// `eps` is the neighbourhood radius, `min_pts` the core-point density
+/// threshold (including the point itself).
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_dataset::dbscan::{dbscan, Assignment};
+///
+/// let points = [0.0_f64, 0.1, 0.2, 5.0, 5.1, 9.9];
+/// let assign = dbscan(points.len(), |a, b| (points[a] - points[b]).abs(), 0.3, 2);
+/// assert_eq!(assign[0], assign[1]);
+/// assert_eq!(assign[3], assign[4]);
+/// assert_ne!(assign[0], assign[3]);
+/// assert_eq!(assign[5], Assignment::Noise);
+/// ```
+pub fn dbscan(
+    n: usize,
+    distance: impl Fn(usize, usize) -> f64,
+    eps: f64,
+    min_pts: usize,
+) -> Vec<Assignment> {
+    let neighbours = |p: usize| -> Vec<usize> {
+        (0..n).filter(|&q| distance(p, q) <= eps).collect()
+    };
+    let mut assignment = vec![None::<Assignment>; n];
+    let mut cluster = 0usize;
+    for point in 0..n {
+        if assignment[point].is_some() {
+            continue;
+        }
+        let hood = neighbours(point);
+        if hood.len() < min_pts {
+            assignment[point] = Some(Assignment::Noise);
+            continue;
+        }
+        assignment[point] = Some(Assignment::Cluster(cluster));
+        let mut frontier: Vec<usize> = hood;
+        let mut idx = 0;
+        while idx < frontier.len() {
+            let q = frontier[idx];
+            idx += 1;
+            match assignment[q] {
+                Some(Assignment::Noise) => {
+                    assignment[q] = Some(Assignment::Cluster(cluster));
+                }
+                Some(Assignment::Cluster(_)) => continue,
+                None => {
+                    assignment[q] = Some(Assignment::Cluster(cluster));
+                    let q_hood = neighbours(q);
+                    if q_hood.len() >= min_pts {
+                        for r in q_hood {
+                            if !frontier.contains(&r) {
+                                frontier.push(r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cluster += 1;
+    }
+    assignment.into_iter().map(|a| a.expect("all points assigned")).collect()
+}
+
+/// Number of distinct clusters in an assignment.
+pub fn cluster_count(assignment: &[Assignment]) -> usize {
+    assignment
+        .iter()
+        .filter_map(|a| match a {
+            Assignment::Cluster(c) => Some(*c),
+            Assignment::Noise => None,
+        })
+        .max()
+        .map_or(0, |max| max + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(dbscan(0, |_, _| 0.0, 0.5, 2).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_noise_with_min_pts_2() {
+        assert_eq!(dbscan(1, |_, _| 0.0, 0.5, 2), vec![Assignment::Noise]);
+    }
+
+    #[test]
+    fn all_identical_points_form_one_cluster() {
+        let assign = dbscan(5, |_, _| 0.0, 0.5, 2);
+        assert!(assign.iter().all(|a| *a == Assignment::Cluster(0)));
+        assert_eq!(cluster_count(&assign), 1);
+    }
+
+    #[test]
+    fn chain_density_connectivity() {
+        // Points 0..5 spaced 0.2 apart chain into one cluster even though
+        // the ends are far apart.
+        let points: Vec<f64> = (0..6).map(|i| i as f64 * 0.2).collect();
+        let assign = dbscan(points.len(), |a, b| (points[a] - points[b]).abs(), 0.25, 2);
+        assert_eq!(cluster_count(&assign), 1);
+        assert!(assign.iter().all(|a| matches!(a, Assignment::Cluster(0))));
+    }
+
+    #[test]
+    fn border_point_joins_cluster() {
+        // 0.0, 0.1, 0.2 core cluster; 0.45 is within eps of 0.2 only
+        // (neighbourhood of size 2 = core with min_pts 2, actually); use
+        // min_pts 3 to make it a border point.
+        let points = [0.0_f64, 0.1, 0.2, 0.45];
+        let assign = dbscan(points.len(), |a, b| (points[a] - points[b]).abs(), 0.3, 3);
+        assert_eq!(assign[3], assign[2], "border point adopts the cluster");
+    }
+
+    #[test]
+    fn two_clusters_and_noise() {
+        let points = [0.0_f64, 0.1, 10.0, 10.1, 50.0];
+        let assign = dbscan(points.len(), |a, b| (points[a] - points[b]).abs(), 0.5, 2);
+        assert_eq!(cluster_count(&assign), 2);
+        assert_eq!(assign[4], Assignment::Noise);
+        assert_ne!(assign[0], assign[2]);
+    }
+}

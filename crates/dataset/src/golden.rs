@@ -1,0 +1,110 @@
+//! Helpers for writing golden [`ReferenceModel`]s compactly.
+
+use std::collections::BTreeMap;
+
+use rtlfixer_sim::value::LogicVec;
+use rtlfixer_sim::ReferenceModel;
+
+/// Input/output signal maps exchanged with the testbench.
+pub type Signals = BTreeMap<String, LogicVec>;
+
+/// Reads an input as `u128`, defaulting to 0 (robust to missing ports).
+pub fn input_u128(inputs: &Signals, name: &str) -> u128 {
+    inputs.get(name).and_then(LogicVec::to_u128).unwrap_or(0)
+}
+
+/// Reads an input as `u64`.
+pub fn input_u64(inputs: &Signals, name: &str) -> u64 {
+    inputs.get(name).and_then(LogicVec::to_u64).unwrap_or(0)
+}
+
+/// Builds a single-output map.
+pub fn out1(name: &str, width: u32, value: u128) -> Signals {
+    BTreeMap::from([(name.to_owned(), LogicVec::from_u128(width, value))])
+}
+
+/// Builds an output map from (name, width, value) triples.
+pub fn outs(entries: &[(&str, u32, u128)]) -> Signals {
+    entries
+        .iter()
+        .map(|(n, w, v)| (n.to_string(), LogicVec::from_u128(*w, *v)))
+        .collect()
+}
+
+/// A stateless golden model from a plain function.
+pub struct Comb {
+    f: Box<dyn FnMut(&Signals) -> Signals + Send>,
+}
+
+impl Comb {
+    /// Wraps a combinational function.
+    pub fn new(f: impl FnMut(&Signals) -> Signals + Send + 'static) -> Self {
+        Comb { f: Box::new(f) }
+    }
+}
+
+impl ReferenceModel for Comb {
+    fn reset(&mut self) {}
+
+    fn step(&mut self, inputs: &Signals) -> Signals {
+        (self.f)(inputs)
+    }
+}
+
+/// A stateful golden model: `state` is cloned from `initial` on reset, and
+/// `step` receives `(state, inputs)` once per clock cycle.
+pub struct Seq<S: Clone + Send> {
+    initial: S,
+    state: S,
+    f: Box<dyn FnMut(&mut S, &Signals) -> Signals + Send>,
+}
+
+impl<S: Clone + Send> Seq<S> {
+    /// Wraps a sequential step function with its initial state.
+    pub fn new(initial: S, f: impl FnMut(&mut S, &Signals) -> Signals + Send + 'static) -> Self {
+        Seq { state: initial.clone(), initial, f: Box::new(f) }
+    }
+}
+
+impl<S: Clone + Send> ReferenceModel for Seq<S> {
+    fn reset(&mut self) {
+        self.state = self.initial.clone();
+    }
+
+    fn step(&mut self, inputs: &Signals) -> Signals {
+        (self.f)(&mut self.state, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comb_wrapper_evaluates() {
+        let mut model = Comb::new(|ins| {
+            let a = input_u64(ins, "a");
+            out1("y", 8, u128::from(!a & 0xFF))
+        });
+        let ins = outs(&[("a", 8, 0x0F)]);
+        assert_eq!(model.step(&ins)["y"].to_u64(), Some(0xF0));
+    }
+
+    #[test]
+    fn seq_wrapper_resets() {
+        let mut model = Seq::new(0u64, |count, _ins| {
+            *count += 1;
+            out1("q", 8, u128::from(*count))
+        });
+        let ins = Signals::new();
+        assert_eq!(model.step(&ins)["q"].to_u64(), Some(1));
+        assert_eq!(model.step(&ins)["q"].to_u64(), Some(2));
+        model.reset();
+        assert_eq!(model.step(&ins)["q"].to_u64(), Some(1));
+    }
+
+    #[test]
+    fn missing_input_defaults_to_zero() {
+        assert_eq!(input_u128(&Signals::new(), "nope"), 0);
+    }
+}

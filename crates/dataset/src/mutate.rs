@@ -1,0 +1,599 @@
+//! Syntax-error injection: the inverse of the repair operators.
+//!
+//! Each mutator takes a *correct* solution and introduces one error of a
+//! given [`ErrorCategory`], producing the kind of flawed implementation the
+//! VerilogEval-syntax dataset is made of (§3.4). Mutators verify their own
+//! work: the result must fail compilation *with the intended category*, or
+//! the mutator reports failure (`None`) so the caller can pick another.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use rtlfixer_verilog::diag::ErrorCategory;
+
+/// Applies the mutator for `category` to `source`. Returns the mutated code
+/// only if it genuinely fails to compile with that category present.
+pub fn inject(source: &str, category: ErrorCategory, rng: &mut StdRng) -> Option<String> {
+    let mutated = match category {
+        ErrorCategory::UndeclaredIdentifier => inject_undeclared(source, rng)?,
+        ErrorCategory::IndexOutOfRange => inject_index_oob(source)?,
+        ErrorCategory::IndexArithmetic => inject_index_arith(source)?,
+        ErrorCategory::IllegalProceduralLvalue => inject_wire_lvalue(source)?,
+        ErrorCategory::IllegalContinuousLvalue => inject_reg_assign(source)?,
+        ErrorCategory::AssignToInput => inject_input_assign(source)?,
+        ErrorCategory::PortConnectionMismatch => inject_port_rename(source)?,
+        ErrorCategory::UnknownModule => inject_unknown_module(source)?,
+        ErrorCategory::Redeclaration => inject_redeclaration(source)?,
+        ErrorCategory::SyntaxError => inject_missing_semi(source, rng)?,
+        ErrorCategory::UnbalancedBlock => inject_unbalanced(source)?,
+        ErrorCategory::CStyleConstruct => inject_c_style(source)?,
+        ErrorCategory::MisplacedDirective => inject_directive(source)?,
+        ErrorCategory::KeywordAsIdentifier => inject_keyword_ident(source)?,
+        ErrorCategory::WidthMismatch
+        | ErrorCategory::InferredLatch
+        | ErrorCategory::CaseMissingDefault
+        | ErrorCategory::UnusedSignal => return None,
+    };
+    let analysis = rtlfixer_verilog::compile(&mutated);
+    let has_category = analysis.errors().iter().any(|d| d.category == category);
+    if has_category {
+        Some(mutated)
+    } else {
+        None
+    }
+}
+
+/// Categories that [`inject`] can introduce into `source`, probed cheaply.
+pub fn applicable_categories(source: &str, rng: &mut StdRng) -> Vec<ErrorCategory> {
+    ErrorCategory::ALL
+        .iter()
+        .copied()
+        .filter(|&cat| inject(source, cat, rng).is_some())
+        .collect()
+}
+
+// ---- individual injectors ---------------------------------------------------
+
+/// Internal declarations (`wire [..] name;` / `reg [..] name;` lines) that
+/// are not port-completing.
+fn internal_decl_lines(source: &str) -> Vec<(usize, usize, String)> {
+    let mut found = Vec::new();
+    let mut offset = 0;
+    for line in source.split_inclusive('\n') {
+        let trimmed = line.trim_start();
+        for kw in ["wire ", "reg ", "integer "] {
+            if let Some(rest) = trimmed.strip_prefix(kw) {
+                // `name` is the last identifier before `;` (skip ranges).
+                if let Some(semi) = rest.find(';') {
+                    let decl = &rest[..semi];
+                    let name = decl
+                        .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                        .find(|s| !s.is_empty() && !s.chars().next().unwrap().is_ascii_digit());
+                    if let Some(name) = name {
+                        if !decl.contains('=') {
+                            found.push((offset, offset + line.len(), name.to_owned()));
+                        }
+                    }
+                }
+            }
+        }
+        offset += line.len();
+    }
+    found
+}
+
+fn inject_undeclared(source: &str, rng: &mut StdRng) -> Option<String> {
+    let decls = internal_decl_lines(source);
+    if !decls.is_empty() {
+        // Delete an internal declaration, leaving its uses dangling.
+        let (start, end, _) = decls[rng.gen_range(0..decls.len())].clone();
+        return Some(format!("{}{}", &source[..start], &source[end..]));
+    }
+    // No internal declarations: turn a combinational always into a clocked
+    // one on a phantom clk (the classic Figure 5 error) — only when no clk
+    // port exists.
+    if !source.contains("clk") {
+        for pattern in ["always @(*)", "always @*"] {
+            if let Some(idx) = source.find(pattern) {
+                let mut out = source.to_owned();
+                out.replace_range(idx..idx + pattern.len(), "always @(posedge clk)");
+                return Some(out);
+            }
+        }
+    }
+    None
+}
+
+fn inject_index_oob(source: &str) -> Option<String> {
+    // AST-guided: find a literal index at its upper bound and bump it.
+    let analysis = rtlfixer_verilog::compile(source);
+    if !analysis.is_ok() {
+        return None;
+    }
+    let module = analysis.file.modules.last()?;
+    let symbols = analysis.symbols_for(&module.name)?;
+    // Find `[<number>]` occurrences whose number equals some signal's msb.
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 && j < bytes.len() && bytes[j] == b']' {
+                let value: i64 = source[i + 1..j].parse().ok()?;
+                // Identifier before the bracket.
+                let before = source[..i].trim_end();
+                let name_start = before
+                    .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                    .map(|k| k + 1)
+                    .unwrap_or(0);
+                let name = &before[name_start..];
+                if let Some(info) = symbols.signal(name) {
+                    if info.msb == Some(value) && value > 0 {
+                        let mut out = source.to_owned();
+                        out.replace_range(i + 1..j, &(value + 1).to_string());
+                        return Some(out);
+                    }
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    None
+}
+
+fn inject_index_arith(source: &str) -> Option<String> {
+    // Remove the modulo wrap from a wrapped index: `((i+15)%16)` → `(i-1)`,
+    // reintroducing the Figure 6 out-of-range arithmetic.
+    if source.contains("((i+15)%16)") {
+        let out = source
+            .replace("((i+15)%16)*16 + ((j+15)%16)", "(i-1)*16 + (j-1)")
+            .replace("((i+15)%16)", "(i-1)")
+            .replace("((j+15)%16)", "(j-1)");
+        return Some(out);
+    }
+    // Generic: inside a full-range for loop body, shift an index by +1.
+    let needle = "[i]";
+    let idx = source.find("for (")?;
+    let body = &source[idx..];
+    let rel = body.find(needle)?;
+    let abs = idx + rel;
+    let mut out = source.to_owned();
+    out.replace_range(abs..abs + needle.len(), "[i + 1]");
+    Some(out)
+}
+
+fn inject_wire_lvalue(source: &str) -> Option<String> {
+    // `output reg x` → `output x` where x is procedurally assigned.
+    let idx = source.find("output reg ")?;
+    let mut out = source.to_owned();
+    out.replace_range(idx..idx + "output reg ".len(), "output ");
+    Some(out)
+}
+
+fn inject_reg_assign(source: &str) -> Option<String> {
+    // `output [..] y` driven by assign → `output reg [..] y`.
+    let assign_idx = source.find("assign ")?;
+    let target_start = assign_idx + "assign ".len();
+    let rest = &source[target_start..];
+    let name_end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = &rest[..name_end];
+    if name.is_empty() {
+        return None;
+    }
+    // Find its output declaration without an existing reg.
+    let decl_pat = format!("output [");
+    let mut search = 0;
+    while let Some(rel) = source[search..].find(&decl_pat) {
+        let abs = search + rel;
+        let line_end = source[abs..].find([',', ')', ';']).map(|k| abs + k)?;
+        if source[abs..line_end].ends_with(name) {
+            let mut out = source.to_owned();
+            out.insert_str(abs + "output".len(), " reg");
+            return Some(out);
+        }
+        search = abs + decl_pat.len();
+    }
+    // Scalar form `output y`.
+    let scalar = format!("output {name}");
+    let abs = source.find(&scalar)?;
+    let mut out = source.to_owned();
+    out.insert_str(abs + "output".len(), " reg");
+    Some(out)
+}
+
+fn inject_input_assign(source: &str) -> Option<String> {
+    // Add a conflicting continuous assignment to the first input port.
+    let analysis = rtlfixer_verilog::compile(source);
+    let module = analysis.file.modules.last()?;
+    let input = module
+        .ports
+        .iter()
+        .find(|p| p.direction == rtlfixer_verilog::ast::Direction::Input && p.name != "clk")?;
+    let header_end = source.find(';')? + 1;
+    let mut out = source.to_owned();
+    out.insert_str(header_end, &format!("\nassign {} = 1'b0;", input.name));
+    Some(out)
+}
+
+fn inject_port_rename(source: &str) -> Option<String> {
+    // Rename a named connection `.x(` to `.x_p(` (instantiations only).
+    let idx = source.find("(.")?;
+    let name_start = idx + 2;
+    let name_end = source[name_start..]
+        .find('(')
+        .map(|k| name_start + k)?;
+    let mut out = source.to_owned();
+    out.insert_str(name_end, "_p");
+    Some(out)
+}
+
+fn inject_unknown_module(source: &str) -> Option<String> {
+    // Instantiate a module that does not exist.
+    let endmodule = source.rfind("endmodule")?;
+    let mut out = source.to_owned();
+    out.insert_str(endmodule, "helper_unit u_helper(.a(1'b0));\n");
+    Some(out)
+}
+
+fn inject_redeclaration(source: &str) -> Option<String> {
+    let decls = internal_decl_lines(source);
+    let (start, end, _) = decls.first()?.clone();
+    let line = source[start..end].to_owned();
+    let mut out = source.to_owned();
+    let insertion = if line.ends_with('\n') { line } else { format!("{line}\n") };
+    out.insert_str(end, &insertion);
+    Some(out)
+}
+
+fn inject_missing_semi(source: &str, rng: &mut StdRng) -> Option<String> {
+    let positions: Vec<usize> = source
+        .char_indices()
+        .filter(|(_, c)| *c == ';')
+        .map(|(i, _)| i)
+        .collect();
+    // Skip the header semicolon (position 0): deleting it produces cascades
+    // that read as port-list errors instead.
+    if positions.len() < 2 {
+        return None;
+    }
+    let pick = positions[rng.gen_range(1..positions.len())];
+    let mut out = source.to_owned();
+    out.remove(pick);
+    Some(out)
+}
+
+fn inject_unbalanced(source: &str) -> Option<String> {
+    // Remove the last `end` (not endmodule/endcase/endgenerate/endfunction).
+    let mut best = None;
+    let mut search = 0;
+    while let Some(rel) = source[search..].find("end") {
+        let abs = search + rel;
+        let after = &source[abs + 3..];
+        let standalone = !after.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+        let before_ok = abs == 0
+            || !source[..abs]
+                .ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+        if standalone && before_ok {
+            best = Some(abs);
+        }
+        search = abs + 3;
+    }
+    let abs = best?;
+    let mut out = source.to_owned();
+    out.replace_range(abs..abs + 3, "");
+    Some(out)
+}
+
+fn inject_c_style(source: &str) -> Option<String> {
+    for (verilog, c_style) in [
+        (" = i + 1)", "++)"),
+        (" = k + 1)", "++)"),
+        (" = j + 1)", "++)"),
+    ] {
+        if let Some(idx) = source.find(verilog) {
+            // `i = i + 1)` → `i++)`: delete back to the loop var.
+            let before = source[..idx].trim_end();
+            let var_start = before
+                .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .map(|k| k + 1)
+                .unwrap_or(0);
+            let mut out = source.to_owned();
+            out.replace_range(var_start + (before.len() - var_start)..idx + verilog.len(), c_style);
+            return Some(out);
+        }
+    }
+    // `x = x + y;` → `x += y;`
+    let mut i = 0;
+    while let Some(rel) = source[i..].find(" = ") {
+        let eq = i + rel;
+        let lhs_end = eq;
+        let lhs_start = source[..lhs_end]
+            .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map(|k| k + 1)
+            .unwrap_or(0);
+        let lhs = &source[lhs_start..lhs_end];
+        let rhs_start = eq + 3;
+        if !lhs.is_empty()
+            && source[rhs_start..].starts_with(lhs)
+            && source[rhs_start + lhs.len()..].starts_with(" + ")
+        {
+            let mut out = source.to_owned();
+            out.replace_range(eq..rhs_start + lhs.len() + 3, " += ");
+            return Some(out);
+        }
+        i = eq + 3;
+    }
+    None
+}
+
+fn inject_directive(source: &str) -> Option<String> {
+    let header_end = source.find(';')? + 1;
+    let mut out = source.to_owned();
+    out.insert_str(header_end, "\n`timescale 1ns / 1ps");
+    Some(out)
+}
+
+fn inject_keyword_ident(source: &str) -> Option<String> {
+    // Rename an internal declaration's signal to a reserved word. Skip
+    // single-letter names (loop variables) whose replacement would collide
+    // with loop syntax.
+    let decls = internal_decl_lines(source);
+    let (_, _, name) = decls.iter().find(|(_, _, n)| n.len() >= 2)?.clone();
+    // Whole-word replace with a "safe" keyword (one the code will not
+    // otherwise use structurally).
+    let replacement = "force";
+    let mut out = String::with_capacity(source.len());
+    let mut last = 0;
+    let bytes = source.as_bytes();
+    let mut search = 0;
+    while let Some(rel) = source[search..].find(&name) {
+        let idx = search + rel;
+        let before_ok = idx == 0
+            || !(bytes[idx - 1].is_ascii_alphanumeric() || bytes[idx - 1] == b'_');
+        let after = idx + name.len();
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        if before_ok && after_ok {
+            out.push_str(&source[last..idx]);
+            out.push_str(replacement);
+            last = after;
+        }
+        search = after;
+    }
+    out.push_str(&source[last..]);
+    Some(out)
+}
+
+// ---- functional (non-syntax) bugs -------------------------------------------
+
+/// Injects a *functional* bug: the result still compiles but computes the
+/// wrong function. Used by the generation model to produce candidates whose
+/// failure is a simulation mismatch rather than a syntax error.
+pub fn inject_functional_bug(source: &str, rng: &mut StdRng) -> Option<String> {
+    // Each operator is a (pattern, replacement) pair applied at the first
+    // occurrence *after the module header* so port lists stay intact.
+    let header_end = source.find(';').map(|i| i + 1)?;
+    let body = &source[header_end..];
+    let ops: &[(&str, &str)] = &[
+        (" & ", " | "),
+        (" | ", " & "),
+        (" ^ ", " & "),
+        (" + ", " - "),
+        (" - ", " + "),
+        ("~", ""),
+        (" < ", " <= "),
+        (" > ", " >= "),
+        (" == ", " != "),
+        ("<= 0;", "<= 1;"),
+        ("? b : a", "? a : b"),
+        ("q + 1", "q + 2"),
+    ];
+    let start = rng.gen_range(0..ops.len());
+    for k in 0..ops.len() {
+        let (pattern, replacement) = ops[(start + k) % ops.len()];
+        if let Some(rel) = body.find(pattern) {
+            let abs = header_end + rel;
+            let mut out = source.to_owned();
+            out.replace_range(abs..abs + pattern.len(), replacement);
+            if rtlfixer_verilog::compile(&out).is_ok() && out != source {
+                return Some(out);
+            }
+        }
+    }
+    None
+}
+
+/// Guaranteed functional degradation, used when no operator-level bug
+/// applies: invert the first assignment's right-hand side. Always compiles
+/// and (for any non-trivial design) fails the testbench.
+pub fn degrade_output(source: &str) -> String {
+    let header_end = source.find(';').map(|i| i + 1).unwrap_or(0);
+    // Prefer a continuous assign; fall back to a procedural assignment.
+    for pattern in ["assign ", " <= "] {
+        let Some(rel) = source[header_end..].find(pattern) else { continue };
+        let after = header_end + rel + pattern.len();
+        // For `assign`, skip past `lhs = `.
+        let rhs_start = if pattern == "assign " {
+            match source[after..].find('=') {
+                Some(eq) => after + eq + 1,
+                None => continue,
+            }
+        } else {
+            after
+        };
+        let Some(semi) = source[rhs_start..].find(';') else { continue };
+        let rhs = source[rhs_start..rhs_start + semi].trim().to_owned();
+        if rhs.is_empty() {
+            continue;
+        }
+        let mut out = source.to_owned();
+        out.replace_range(rhs_start..rhs_start + semi, &format!(" ~({rhs})"));
+        if rtlfixer_verilog::compile(&out).is_ok() {
+            return out;
+        }
+    }
+    source.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const COMB: &str = "module top_module(input [7:0] in, output reg [7:0] out);\n\
+                        integer i;\n\
+                        wire [7:0] tmp;\n\
+                        assign tmp = in;\n\
+                        always @(*) begin\n\
+                        for (i = 0; i < 8; i = i + 1) out[i] = tmp[7 - i];\nend\nendmodule";
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn assert_injects(source: &str, category: ErrorCategory) {
+        let mutated = inject(source, category, &mut rng())
+            .unwrap_or_else(|| panic!("{category:?} not injectable"));
+        let analysis = rtlfixer_verilog::compile(&mutated);
+        assert!(
+            analysis.errors().iter().any(|d| d.category == category),
+            "{category:?} missing from: {:?}",
+            analysis.errors()
+        );
+    }
+
+    #[test]
+    fn injects_undeclared() {
+        assert_injects(COMB, ErrorCategory::UndeclaredIdentifier);
+    }
+
+    #[test]
+    fn injects_missing_semi() {
+        assert_injects(COMB, ErrorCategory::SyntaxError);
+    }
+
+    #[test]
+    fn injects_wire_lvalue() {
+        assert_injects(COMB, ErrorCategory::IllegalProceduralLvalue);
+    }
+
+    #[test]
+    fn injects_reg_assign() {
+        let src = "module top_module(input [7:0] a, output [7:0] y);\nassign y = ~a;\nendmodule";
+        assert_injects(src, ErrorCategory::IllegalContinuousLvalue);
+    }
+
+    #[test]
+    fn injects_input_assign() {
+        assert_injects(COMB, ErrorCategory::AssignToInput);
+    }
+
+    #[test]
+    fn injects_redeclaration() {
+        assert_injects(COMB, ErrorCategory::Redeclaration);
+    }
+
+    #[test]
+    fn injects_unbalanced() {
+        assert_injects(COMB, ErrorCategory::UnbalancedBlock);
+    }
+
+    #[test]
+    fn injects_c_style() {
+        assert_injects(COMB, ErrorCategory::CStyleConstruct);
+    }
+
+    #[test]
+    fn injects_directive() {
+        assert_injects(COMB, ErrorCategory::MisplacedDirective);
+    }
+
+    #[test]
+    fn injects_keyword_ident() {
+        assert_injects(COMB, ErrorCategory::KeywordAsIdentifier);
+    }
+
+    #[test]
+    fn injects_index_oob() {
+        let src = "module top_module(input [7:0] a, output [7:0] y);\n\
+                   assign y[7] = a[0];\nassign y[6:0] = a[7:1];\nendmodule";
+        assert_injects(src, ErrorCategory::IndexOutOfRange);
+    }
+
+    #[test]
+    fn injects_index_arith_on_conway() {
+        let conway = crate::archetypes::system::blueprints()
+            .into_iter()
+            .find(|b| b.name == "conwaylife")
+            .unwrap();
+        assert_injects(&conway.solution, ErrorCategory::IndexArithmetic);
+    }
+
+    #[test]
+    fn injects_phantom_clk_on_pure_comb() {
+        let src = "module top_module(input [7:0] a, output reg [7:0] y);\n\
+                   always @(*) begin\ny = ~a;\nend\nendmodule";
+        assert_injects(src, ErrorCategory::UndeclaredIdentifier);
+    }
+
+    #[test]
+    fn injects_port_rename_on_hierarchical() {
+        let hier = crate::archetypes::system::blueprints()
+            .into_iter()
+            .find(|b| b.name == "hieradd16")
+            .unwrap();
+        assert_injects(&hier.solution, ErrorCategory::PortConnectionMismatch);
+    }
+
+    #[test]
+    fn injects_unknown_module() {
+        assert_injects(COMB, ErrorCategory::UnknownModule);
+    }
+
+    #[test]
+    fn width_mismatch_not_injectable() {
+        assert!(inject(COMB, ErrorCategory::WidthMismatch, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn applicable_categories_nonempty() {
+        let cats = applicable_categories(COMB, &mut rng());
+        assert!(cats.len() >= 6, "{cats:?}");
+    }
+
+    #[test]
+    fn functional_bug_compiles_but_differs() {
+        let src = "module top_module(input [7:0] a, input [7:0] b, output [7:0] y);\n\
+                   assign y = a & b;\nendmodule";
+        let mut r = rng();
+        let buggy = inject_functional_bug(src, &mut r).expect("bug injectable");
+        assert_ne!(buggy, src);
+        assert!(rtlfixer_verilog::compile(&buggy).is_ok(), "{buggy}");
+    }
+
+    #[test]
+    fn functional_bug_actually_fails_simulation_mostly() {
+        // Over the real problem set, a functional mutant should usually
+        // fail its testbench.
+        let problems = crate::suites::verilog_eval_human();
+        let mut r = rng();
+        let mut failing = 0;
+        let mut total = 0;
+        for problem in problems.iter().take(12) {
+            if let Some(buggy) = inject_functional_bug(&problem.solution, &mut r) {
+                total += 1;
+                if problem.check(&buggy) != crate::problem::Verdict::Pass {
+                    failing += 1;
+                }
+            }
+        }
+        assert!(total >= 8, "too few mutable problems: {total}");
+        assert!(failing * 10 >= total * 7, "only {failing}/{total} mutants fail simulation");
+    }
+}

@@ -1,0 +1,179 @@
+//! Design-choice ablations beyond the paper's tables (DESIGN.md §3):
+//! retriever choice, ReAct iteration budget, pre-fixer on/off, and guidance
+//! database size.
+
+use serde::Serialize;
+
+use rtlfixer_agent::{RtlFixerBuilder, Strategy};
+use rtlfixer_compilers::CompilerKind;
+use rtlfixer_llm::{Capability, SimulatedLlm};
+use rtlfixer_rag::{
+    ExactTagRetriever, GuidanceDatabase, JaccardRetriever, Retriever, TfIdfRetriever,
+};
+
+use super::table1::{load_entries, FixRateConfig};
+use crate::metrics::fix_rate;
+
+/// A labelled ablation result.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationPoint {
+    /// Variant label.
+    pub variant: String,
+    /// Measured fix rate.
+    pub fix_rate: f64,
+}
+
+fn run_variant(
+    entries: &[rtlfixer_dataset::SyntaxBenchEntry],
+    config: &FixRateConfig,
+    seed_salt: u64,
+    build: impl Fn(u64) -> rtlfixer_agent::RtlFixer<SimulatedLlm>,
+) -> f64 {
+    let per_problem: Vec<(usize, usize)> = entries
+        .iter()
+        .enumerate()
+        .map(|(idx, entry)| {
+            let mut fixed = 0usize;
+            for repeat in 0..config.repeats {
+                let seed = config
+                    .base_seed
+                    .wrapping_mul(48_271)
+                    .wrapping_add(seed_salt * 7_907 + idx as u64 * 127 + repeat as u64);
+                let mut fixer = build(seed);
+                if fixer.fix_problem(&entry.description, &entry.code).success {
+                    fixed += 1;
+                }
+            }
+            (fixed, config.repeats)
+        })
+        .collect();
+    fix_rate(&per_problem)
+}
+
+/// Retriever ablation: exact-tag vs Jaccard vs TF-IDF, ReAct + Quartus.
+pub fn retriever_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
+    let entries = load_entries(config);
+    let variants: Vec<(&str, Box<dyn Fn() -> Box<dyn Retriever>>)> = vec![
+        ("exact-tag", Box::new(|| Box::new(ExactTagRetriever::new()))),
+        ("jaccard", Box::new(|| Box::new(JaccardRetriever::new()))),
+        ("tfidf", Box::new(|| Box::new(TfIdfRetriever::new()))),
+    ];
+    variants
+        .into_iter()
+        .enumerate()
+        .map(|(salt, (label, make))| AblationPoint {
+            variant: label.to_owned(),
+            fix_rate: run_variant(&entries, config, salt as u64, |seed| {
+                RtlFixerBuilder::new()
+                    .compiler(CompilerKind::Quartus)
+                    .strategy(Strategy::React { max_iterations: 10 })
+                    .with_rag(true)
+                    .retriever(make())
+                    .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
+            }),
+        })
+        .collect()
+}
+
+/// Iteration-budget sweep for ReAct (n ∈ {1, 2, 3, 5, 10}).
+pub fn iteration_sweep(config: &FixRateConfig) -> Vec<AblationPoint> {
+    let entries = load_entries(config);
+    [1usize, 2, 3, 5, 10]
+        .iter()
+        .enumerate()
+        .map(|(salt, &n)| AblationPoint {
+            variant: format!("n={n}"),
+            fix_rate: run_variant(&entries, config, 100 + salt as u64, |seed| {
+                RtlFixerBuilder::new()
+                    .compiler(CompilerKind::Quartus)
+                    .strategy(Strategy::React { max_iterations: n })
+                    .with_rag(false)
+                    .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
+            }),
+        })
+        .collect()
+}
+
+/// Pre-fixer on/off ablation (One-shot, so the pre-fixer's contribution is
+/// visible rather than recovered by iteration).
+pub fn prefixer_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
+    let entries = load_entries(config);
+    [true, false]
+        .iter()
+        .enumerate()
+        .map(|(salt, &enabled)| AblationPoint {
+            variant: if enabled { "prefixer on".into() } else { "prefixer off".into() },
+            fix_rate: run_variant(&entries, config, 200 + salt as u64, |seed| {
+                RtlFixerBuilder::new()
+                    .compiler(CompilerKind::Quartus)
+                    .strategy(Strategy::OneShot)
+                    .with_rag(true)
+                    .prefixer(enabled)
+                    .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
+            }),
+        })
+        .collect()
+}
+
+/// Guidance-database size sweep: fraction of entries kept (per category
+/// order), ReAct + Quartus + RAG.
+pub fn database_size_sweep(config: &FixRateConfig) -> Vec<AblationPoint> {
+    let entries = load_entries(config);
+    [0.0f64, 0.25, 0.5, 1.0]
+        .iter()
+        .enumerate()
+        .map(|(salt, &fraction)| {
+            let full = GuidanceDatabase::quartus();
+            let keep = ((full.entries.len() as f64) * fraction).round() as usize;
+            let database = GuidanceDatabase {
+                edition: full.edition,
+                entries: full.entries.into_iter().take(keep).collect(),
+            };
+            AblationPoint {
+                variant: format!("{:.0}% of database", fraction * 100.0),
+                fix_rate: run_variant(&entries, config, 300 + salt as u64, |seed| {
+                    RtlFixerBuilder::new()
+                        .compiler(CompilerKind::Quartus)
+                        .strategy(Strategy::React { max_iterations: 10 })
+                        .with_rag(true)
+                        .database(database.clone())
+                        .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
+                }),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FixRateConfig {
+        FixRateConfig { max_entries: Some(24), repeats: 2, dataset_seed: 7, base_seed: 9 }
+    }
+
+    #[test]
+    fn iteration_budget_is_monotone_ish() {
+        let sweep = iteration_sweep(&small_config());
+        let first = sweep.first().unwrap().fix_rate;
+        let last = sweep.last().unwrap().fix_rate;
+        assert!(last > first, "n=10 ({last}) should beat n=1 ({first})");
+    }
+
+    #[test]
+    fn bigger_database_does_not_hurt() {
+        let sweep = database_size_sweep(&small_config());
+        let empty = sweep.first().unwrap().fix_rate;
+        let full = sweep.last().unwrap().fix_rate;
+        assert!(full >= empty, "full {full} vs empty {empty}");
+    }
+
+    #[test]
+    fn all_retrievers_produce_results() {
+        let results = retriever_ablation(&small_config());
+        assert_eq!(results.len(), 3);
+        for point in &results {
+            assert!(point.fix_rate > 0.3, "{point:?}");
+        }
+    }
+}

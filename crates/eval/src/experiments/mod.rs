@@ -1,0 +1,7 @@
+//! Experiment drivers, one module per paper table/figure (see the
+//! experiment index in DESIGN.md §3).
+
+pub mod ablations;
+pub mod figure7;
+pub mod table1;
+pub mod table2;

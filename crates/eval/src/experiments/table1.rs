@@ -1,0 +1,252 @@
+//! Table 1: fix rate on VerilogEval-syntax across prompting strategy,
+//! RAG, feedback quality and LLM capability.
+
+use serde::Serialize;
+
+use rtlfixer_agent::{RtlFixerBuilder, Strategy};
+use rtlfixer_compilers::CompilerKind;
+use rtlfixer_dataset::SyntaxBenchEntry;
+use rtlfixer_llm::{Capability, SimulatedLlm};
+
+use crate::metrics::fix_rate;
+
+/// Configuration for fix-rate experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct FixRateConfig {
+    /// Cap on dataset entries (`None` = all 212).
+    pub max_entries: Option<usize>,
+    /// Repeats per entry (the paper uses 10).
+    pub repeats: usize,
+    /// Seed for the dataset build.
+    pub dataset_seed: u64,
+    /// Base seed for episode randomness.
+    pub base_seed: u64,
+}
+
+impl Default for FixRateConfig {
+    fn default() -> Self {
+        FixRateConfig { max_entries: None, repeats: 10, dataset_seed: 7, base_seed: 1 }
+    }
+}
+
+/// One Table 1 cell result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Cell {
+    /// "One-shot" or "ReAct".
+    pub strategy: String,
+    /// RAG on/off.
+    pub rag: bool,
+    /// Feedback source.
+    pub compiler: String,
+    /// LLM capability label.
+    pub llm: String,
+    /// Measured fix rate.
+    pub fix_rate: f64,
+    /// The paper's reported value for this cell, for comparison.
+    pub paper: f64,
+}
+
+/// The paper's Table 1 values, as (strategy, rag, compiler, llm, value).
+pub const PAPER_TABLE1: &[(&str, bool, &str, &str, f64)] = &[
+    ("One-shot", false, "Simple", "GPT-3.5", 0.414),
+    ("One-shot", false, "iverilog", "GPT-3.5", 0.536),
+    ("One-shot", false, "Quartus", "GPT-3.5", 0.587),
+    ("One-shot", true, "iverilog", "GPT-3.5", 0.800),
+    ("One-shot", true, "Quartus", "GPT-3.5", 0.899),
+    ("ReAct", false, "Simple", "GPT-3.5", 0.671),
+    ("ReAct", false, "iverilog", "GPT-3.5", 0.731),
+    ("ReAct", false, "Quartus", "GPT-3.5", 0.799),
+    ("ReAct", true, "iverilog", "GPT-3.5", 0.820),
+    ("ReAct", true, "Quartus", "GPT-3.5", 0.985),
+    ("One-shot", false, "Quartus", "GPT-4", 0.91),
+    ("One-shot", true, "Quartus", "GPT-4", 0.98),
+    ("ReAct", false, "Quartus", "GPT-4", 0.92),
+    ("ReAct", true, "Quartus", "GPT-4", 0.99),
+];
+
+fn compiler_from_label(label: &str) -> CompilerKind {
+    match label {
+        "Simple" => CompilerKind::Simple,
+        "iverilog" => CompilerKind::Iverilog,
+        _ => CompilerKind::Quartus,
+    }
+}
+
+fn capability_from_label(label: &str) -> Capability {
+    if label == "GPT-4" {
+        Capability::Gpt4Class
+    } else {
+        Capability::Gpt35Class
+    }
+}
+
+/// Deterministic episode seed from cell/entry/repeat coordinates.
+fn episode_seed(base: u64, cell: u64, entry: u64, repeat: u64) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cell.wrapping_mul(1_000_003))
+        .wrapping_add(entry.wrapping_mul(10_007))
+        .wrapping_add(repeat)
+}
+
+/// Runs one Table 1 cell over `entries` and returns the fix rate.
+pub fn run_cell(
+    entries: &[SyntaxBenchEntry],
+    strategy: Strategy,
+    compiler: CompilerKind,
+    rag: bool,
+    capability: Capability,
+    config: &FixRateConfig,
+    cell_index: u64,
+) -> f64 {
+    let per_problem: Vec<(usize, usize)> = entries
+        .iter()
+        .enumerate()
+        .map(|(entry_idx, entry)| {
+            let mut fixed = 0usize;
+            for repeat in 0..config.repeats {
+                let seed =
+                    episode_seed(config.base_seed, cell_index, entry_idx as u64, repeat as u64);
+                let llm = SimulatedLlm::new(capability, seed);
+                let mut fixer = RtlFixerBuilder::new()
+                    .compiler(compiler)
+                    .strategy(strategy)
+                    .with_rag(rag)
+                    .build(llm);
+                let outcome = fixer.fix_problem(&entry.description, &entry.code);
+                if outcome.success {
+                    fixed += 1;
+                }
+            }
+            (fixed, config.repeats)
+        })
+        .collect();
+    fix_rate(&per_problem)
+}
+
+/// Loads the dataset (possibly capped) for fix-rate experiments.
+pub fn load_entries(config: &FixRateConfig) -> Vec<SyntaxBenchEntry> {
+    let mut entries = rtlfixer_dataset::verilog_eval_syntax(config.dataset_seed);
+    if let Some(cap) = config.max_entries {
+        entries.truncate(cap);
+    }
+    entries
+}
+
+/// Reproduces the full Table 1 grid (14 cells).
+pub fn table1(config: &FixRateConfig) -> Vec<Table1Cell> {
+    let entries = load_entries(config);
+    PAPER_TABLE1
+        .iter()
+        .enumerate()
+        .map(|(cell_index, &(strategy_label, rag, compiler_label, llm_label, paper))| {
+            let strategy = if strategy_label == "One-shot" {
+                Strategy::OneShot
+            } else {
+                Strategy::React { max_iterations: 10 }
+            };
+            let measured = run_cell(
+                &entries,
+                strategy,
+                compiler_from_label(compiler_label),
+                rag,
+                capability_from_label(llm_label),
+                config,
+                cell_index as u64,
+            );
+            Table1Cell {
+                strategy: strategy_label.to_owned(),
+                rag,
+                compiler: compiler_label.to_owned(),
+                llm: llm_label.to_owned(),
+                fix_rate: measured,
+                paper,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FixRateConfig {
+        FixRateConfig { max_entries: Some(30), repeats: 3, dataset_seed: 7, base_seed: 1 }
+    }
+
+    #[test]
+    fn react_quartus_rag_beats_one_shot_simple() {
+        // The qualitative corner-to-corner ordering of Table 1.
+        let config = small_config();
+        let entries = load_entries(&config);
+        let worst = run_cell(
+            &entries,
+            Strategy::OneShot,
+            CompilerKind::Simple,
+            false,
+            Capability::Gpt35Class,
+            &config,
+            0,
+        );
+        let best = run_cell(
+            &entries,
+            Strategy::React { max_iterations: 10 },
+            CompilerKind::Quartus,
+            true,
+            Capability::Gpt35Class,
+            &config,
+            1,
+        );
+        assert!(best > worst + 0.15, "best {best} vs worst {worst}");
+        assert!(best > 0.8, "best cell should be high: {best}");
+    }
+
+    #[test]
+    fn rag_improves_react_quartus() {
+        let config = small_config();
+        let entries = load_entries(&config);
+        let without = run_cell(
+            &entries,
+            Strategy::React { max_iterations: 10 },
+            CompilerKind::Quartus,
+            false,
+            Capability::Gpt35Class,
+            &config,
+            2,
+        );
+        let with = run_cell(
+            &entries,
+            Strategy::React { max_iterations: 10 },
+            CompilerKind::Quartus,
+            true,
+            Capability::Gpt35Class,
+            &config,
+            3,
+        );
+        assert!(with > without, "with {with} vs without {without}");
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let config = FixRateConfig { max_entries: Some(10), repeats: 2, ..Default::default() };
+        let entries = load_entries(&config);
+        let a = run_cell(
+            &entries,
+            Strategy::OneShot,
+            CompilerKind::Quartus,
+            true,
+            Capability::Gpt35Class,
+            &config,
+            4,
+        );
+        let b = run_cell(
+            &entries,
+            Strategy::OneShot,
+            CompilerKind::Quartus,
+            true,
+            Capability::Gpt35Class,
+            &config,
+            4,
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,147 @@
+//! Evaluation metrics: the paper's Eq. 1 (fix rate) and Eq. 2 (unbiased
+//! pass@k estimator from Chen et al. 2021).
+
+/// Expectation fix rate (Eq. 1): mean over problems of `c / n`, where `c`
+/// is the number of fixed samples out of `n` attempts.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_eval::metrics::fix_rate;
+/// // Two problems: 8/10 and 10/10 fixed.
+/// assert!((fix_rate(&[(8, 10), (10, 10)]) - 0.9).abs() < 1e-12);
+/// ```
+pub fn fix_rate(per_problem: &[(usize, usize)]) -> f64 {
+    if per_problem.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = per_problem
+        .iter()
+        .map(|&(c, n)| if n == 0 { 0.0 } else { c as f64 / n as f64 })
+        .sum();
+    total / per_problem.len() as f64
+}
+
+/// Unbiased pass@k for one problem (Eq. 2):
+/// `1 - C(n-c, k) / C(n, k)`, computed stably as a running product.
+///
+/// # Panics
+///
+/// Panics if `c > n`.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_eval::metrics::pass_at_k;
+/// assert_eq!(pass_at_k(20, 0, 1), 0.0);
+/// assert_eq!(pass_at_k(20, 20, 1), 1.0);
+/// assert!((pass_at_k(20, 10, 1) - 0.5).abs() < 1e-12);
+/// ```
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    assert!(c <= n, "c = {c} exceeds n = {n}");
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        return 1.0;
+    }
+    // prod_{i=n-c+1}^{n} (1 - k / i)
+    let mut product = 1.0f64;
+    for i in (n - c + 1)..=n {
+        product *= 1.0 - k as f64 / i as f64;
+    }
+    1.0 - product
+}
+
+/// Mean pass@k over problems given per-problem `(c, n)` counts.
+pub fn mean_pass_at_k(per_problem: &[(usize, usize)], k: usize) -> f64 {
+    if per_problem.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = per_problem.iter().map(|&(c, n)| pass_at_k(n, c, k)).sum();
+    total / per_problem.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: u64, k: u64) -> f64 {
+        if k > n {
+            return 0.0;
+        }
+        let mut result = 1.0f64;
+        for i in 0..k {
+            result *= (n - i) as f64 / (i + 1) as f64;
+        }
+        result
+    }
+
+    #[test]
+    fn matches_direct_binomial_formula() {
+        for n in [5usize, 10, 20] {
+            for c in 0..=n {
+                for k in [1usize, 5] {
+                    let direct = if n - c < k {
+                        1.0
+                    } else {
+                        1.0 - binomial((n - c) as u64, k as u64) / binomial(n as u64, k as u64)
+                    };
+                    let stable = pass_at_k(n, c, k);
+                    assert!(
+                        (direct - stable).abs() < 1e-9,
+                        "n={n} c={c} k={k}: {direct} vs {stable}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pass_at_k_monotone_in_c() {
+        for k in [1usize, 5] {
+            let mut prev = 0.0;
+            for c in 0..=20 {
+                let value = pass_at_k(20, c, k);
+                assert!(value >= prev, "k={k} c={c}");
+                prev = value;
+            }
+        }
+    }
+
+    #[test]
+    fn pass_at_k_monotone_in_k() {
+        for c in [1usize, 5, 10] {
+            assert!(pass_at_k(20, c, 5) >= pass_at_k(20, c, 1));
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(pass_at_k(0, 0, 1), 0.0);
+        assert_eq!(pass_at_k(10, 0, 5), 0.0);
+        assert_eq!(pass_at_k(10, 10, 5), 1.0);
+        assert_eq!(pass_at_k(10, 1, 10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn c_greater_than_n_panics() {
+        let _ = pass_at_k(5, 6, 1);
+    }
+
+    #[test]
+    fn fix_rate_empty_and_zero_n() {
+        assert_eq!(fix_rate(&[]), 0.0);
+        assert_eq!(fix_rate(&[(0, 0)]), 0.0);
+    }
+
+    #[test]
+    fn mean_pass_at_k_averages() {
+        let per = [(20, 20), (0, 20)];
+        assert!((mean_pass_at_k(&per, 1) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,283 @@
+//! The stochastic competence model of the simulated LLM.
+//!
+//! This is the one deliberately *modelled* (rather than rebuilt) component
+//! of the reproduction — see DESIGN.md §1. The paper's claims are about how
+//! feedback quality, retrieved guidance and iterative interaction change the
+//! probability that an error gets fixed; this module encodes that
+//! probability surface with two quantities per error instance:
+//!
+//! * **`u` — understanding**: the probability that the model grasps the
+//!   error at all. Drawn **once per error instance per episode** — a model
+//!   that is confidently wrong about C-style syntax (§5) stays wrong no
+//!   matter how many times it retries. This latent is what creates the
+//!   ReAct plateaus in Table 1 (ReAct with 10 iterations converges to `u`).
+//! * **`r` — revision accuracy**: the per-attempt probability that an
+//!   understood error is repaired correctly. One-shot success ≈ `u·r`;
+//!   ReAct success ≈ `u·(1-(1-r)^n)`.
+//!
+//! Both depend on the error category (Figure 6's index-arithmetic class is
+//! nearly unsolvable), on whether the feedback log *identifies* the
+//! category (bare `syntax error` lines do not), on the log's
+//! informativeness (§4.3.1), and on whether relevant expert guidance was
+//! retrieved (§3.3). The constants below were calibrated once against
+//! Table 1 and are used unchanged for every other experiment.
+
+use rtlfixer_verilog::diag::ErrorCategory;
+
+use crate::model::PromptStyle;
+
+/// How well the retrieved guidance matches the error being attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GuidanceLevel {
+    /// No relevant guidance retrieved.
+    None,
+    /// Related-family guidance only (e.g. generic syntax guidance covering
+    /// a C-style construct — all the iverilog database can offer there).
+    Family,
+    /// Category-exact guidance.
+    Exact,
+}
+
+/// Model capability class (§4.3.2's GPT-3.5 vs GPT-4 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// `gpt-3.5-turbo-16k-0613` analogue.
+    Gpt35Class,
+    /// GPT-4 analogue: near-saturated one-shot repair.
+    Gpt4Class,
+}
+
+impl Capability {
+    /// Display label used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Capability::Gpt35Class => "GPT-3.5",
+            Capability::Gpt4Class => "GPT-4",
+        }
+    }
+}
+
+/// Everything the competence model conditions on for one error attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct AttemptContext {
+    /// Error category of the diagnostic being attempted.
+    pub category: ErrorCategory,
+    /// Whether the feedback log identifies this category.
+    pub identified: bool,
+    /// Feedback informativeness in `[0,1]` (Simple 0, iverilog .55,
+    /// Quartus .85).
+    pub informativeness: f64,
+    /// Strength of the retrieved guidance in the prompt.
+    pub guidance: GuidanceLevel,
+    /// Prompting style (kept for extensions; iteration count is what
+    /// actually separates the styles).
+    pub style: PromptStyle,
+}
+
+/// The competence model. See the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct Competence {
+    /// Capability class.
+    pub capability: Capability,
+}
+
+impl Competence {
+    /// Creates the model for a capability class.
+    pub fn new(capability: Capability) -> Self {
+        Competence { capability }
+    }
+
+    /// Base understanding probability per category (GPT-3.5 class, fully
+    /// identified feedback, no guidance).
+    fn base_understanding(category: ErrorCategory) -> f64 {
+        use ErrorCategory::*;
+        match category {
+            UndeclaredIdentifier => 0.93,
+            IndexOutOfRange => 0.86,
+            // Figure 6: arithmetic index reasoning is the canonical failure.
+            IndexArithmetic => 0.10,
+            IllegalProceduralLvalue => 0.94,
+            IllegalContinuousLvalue => 0.92,
+            AssignToInput => 0.90,
+            PortConnectionMismatch => 0.86,
+            UnknownModule => 0.78,
+            Redeclaration => 0.94,
+            SyntaxError => 0.90,
+            UnbalancedBlock => 0.93,
+            // §5: "confident in incorrect syntax, possibly due to it being
+            // accepted in C/C++".
+            CStyleConstruct => 0.52,
+            MisplacedDirective => 0.97,
+            KeywordAsIdentifier => 0.80,
+            // Warning-level lints never gate compilation; treat as trivial.
+            WidthMismatch | InferredLatch | CaseMissingDefault | UnusedSignal => 0.99,
+        }
+    }
+
+    /// Fraction of not-understood cases that relevant guidance flips.
+    fn guidance_gain(category: ErrorCategory) -> f64 {
+        use ErrorCategory::*;
+        match category {
+            // Guidance helps little when arithmetic reasoning is missing.
+            IndexArithmetic => 0.30,
+            CStyleConstruct => 0.90,
+            _ => 0.95,
+        }
+    }
+
+    /// Base per-attempt revision accuracy per category.
+    fn base_revision(category: ErrorCategory) -> f64 {
+        use ErrorCategory::*;
+        match category {
+            IndexArithmetic => 0.50,
+            CStyleConstruct => 0.70,
+            PortConnectionMismatch => 0.82,
+            UnknownModule => 0.75,
+            _ => 0.90,
+        }
+    }
+
+    /// Probability the model understands this error (drawn once per error
+    /// instance per episode).
+    pub fn understand_probability(&self, ctx: &AttemptContext) -> f64 {
+        let base = Self::base_understanding(ctx.category);
+        // How much of the log's information reaches the model. Calibrated
+        // against the ReAct rows of Table 1 (ReAct@10 ≈ E[u]): Simple
+        // 0.671, iverilog 0.731, Quartus 0.799.
+        let info = if ctx.identified {
+            0.72 + 0.21 * ctx.informativeness
+        } else {
+            // The model must self-diagnose from the code alone.
+            0.75
+        };
+        let mut u = (base * info.min(1.0)).min(1.0);
+        match ctx.guidance {
+            GuidanceLevel::Exact => u += (1.0 - u) * Self::guidance_gain(ctx.category),
+            GuidanceLevel::Family => {
+                u += (1.0 - u) * Self::guidance_gain(ctx.category) * 0.45;
+            }
+            GuidanceLevel::None => {}
+        }
+        if self.capability == Capability::Gpt4Class {
+            u += (1.0 - u) * 0.72;
+        }
+        u.clamp(0.0, 1.0)
+    }
+
+    /// Per-attempt probability that an understood error is revised
+    /// correctly.
+    ///
+    /// Calibrated against the One-shot/ReAct *ratios* of Table 1 — the
+    /// paper's ratios are ≈0.73 for both compilers without RAG (0.587/0.799
+    /// and 0.536/0.731), ≈0.62 for Simple, and ≈0.91 with RAG on Quartus.
+    pub fn attempt_probability(&self, ctx: &AttemptContext) -> f64 {
+        let base = Self::base_revision(ctx.category);
+        let info = if ctx.identified { 0.81 } else { 0.57 };
+        let mut r = (base * info).min(1.0);
+        // Guidance lifts revision accuracy strongly. Note the calibration
+        // oddity inherited from the paper: with RAG the One-shot/ReAct ratio
+        // is *higher* for iverilog (0.800/0.820 ≈ 0.98) than for Quartus
+        // (0.899/0.985 ≈ 0.91) — i.e. once any guidance lands on a tag-less
+        // log, the revision that follows almost always sticks. The Family
+        // flip is therefore larger than the Exact flip.
+        match ctx.guidance {
+            GuidanceLevel::Exact => r += (1.0 - r) * 0.70,
+            GuidanceLevel::Family => r += (1.0 - r) * 0.97,
+            GuidanceLevel::None => {}
+        }
+        if self.capability == Capability::Gpt4Class {
+            r += (1.0 - r) * 0.959;
+        }
+        r.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(
+        category: ErrorCategory,
+        identified: bool,
+        informativeness: f64,
+        guidance: bool,
+    ) -> AttemptContext {
+        AttemptContext {
+            category,
+            identified,
+            informativeness,
+            guidance: if guidance { GuidanceLevel::Exact } else { GuidanceLevel::None },
+            style: PromptStyle::React,
+        }
+    }
+
+    #[test]
+    fn better_feedback_raises_probabilities() {
+        let c = Competence::new(Capability::Gpt35Class);
+        let simple = ctx(ErrorCategory::UndeclaredIdentifier, false, 0.0, false);
+        let iv = ctx(ErrorCategory::UndeclaredIdentifier, true, 0.55, false);
+        let qt = ctx(ErrorCategory::UndeclaredIdentifier, true, 0.85, false);
+        assert!(c.understand_probability(&simple) < c.understand_probability(&iv));
+        assert!(c.understand_probability(&iv) < c.understand_probability(&qt));
+        assert!(c.attempt_probability(&simple) < c.attempt_probability(&qt));
+    }
+
+    #[test]
+    fn guidance_raises_probabilities() {
+        let c = Competence::new(Capability::Gpt35Class);
+        for cat in ErrorCategory::ALL {
+            let without = ctx(cat, true, 0.85, false);
+            let with = ctx(cat, true, 0.85, true);
+            assert!(
+                c.understand_probability(&with) > c.understand_probability(&without),
+                "{cat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_arithmetic_stays_hard_even_with_guidance() {
+        // The Figure 6 plateau: guidance plus the best compiler still leaves
+        // this class mostly unsolved.
+        let c = Competence::new(Capability::Gpt35Class);
+        let best = ctx(ErrorCategory::IndexArithmetic, true, 0.85, true);
+        assert!(c.understand_probability(&best) < 0.45, "{}", c.understand_probability(&best));
+    }
+
+    #[test]
+    fn gpt4_dominates_gpt35() {
+        let g35 = Competence::new(Capability::Gpt35Class);
+        let g4 = Competence::new(Capability::Gpt4Class);
+        for cat in ErrorCategory::ALL {
+            let context = ctx(cat, true, 0.85, false);
+            assert!(
+                g4.understand_probability(&context) >= g35.understand_probability(&context),
+                "{cat:?}"
+            );
+            assert!(
+                g4.attempt_probability(&context) >= g35.attempt_probability(&context),
+                "{cat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for capability in [Capability::Gpt35Class, Capability::Gpt4Class] {
+            let c = Competence::new(capability);
+            for cat in ErrorCategory::ALL {
+                for identified in [false, true] {
+                    for guidance in [false, true] {
+                        for info in [0.0, 0.55, 0.85] {
+                            let context = ctx(cat, identified, info, guidance);
+                            let u = c.understand_probability(&context);
+                            let r = c.attempt_probability(&context);
+                            assert!((0.0..=1.0).contains(&u));
+                            assert!((0.0..=1.0).contains(&r));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # rtlfixer-llm
+//!
+//! The language-model subsystem of the RTLFixer reproduction.
+//!
+//! The original system calls OpenAI's `gpt-3.5-turbo` / GPT-4; this
+//! reproduction substitutes a **simulated model** (see DESIGN.md §1):
+//!
+//! * [`repair`] — deterministic, category-keyed repair operators: the exact
+//!   source edit a competent engineer would make for each diagnosed error
+//!   (declare the missing signal, clamp/wrap the index, wire→reg, rename
+//!   the port, rewrite `i++`, …).
+//! * [`competence`] — a calibrated stochastic model of *whether* the LLM
+//!   finds that edit, conditioned on feedback quality, retrieved guidance,
+//!   error category and capability class (GPT-3.5 vs GPT-4).
+//! * [`SimulatedLlm`] — ties the two together behind the [`LanguageModel`]
+//!   trait the agent talks to.
+//!
+//! The split keeps the reproduction honest: everything mechanical is real
+//! code; only the model's hit/miss behaviour is stochastic, with its
+//! parameters calibrated once against the paper's Table 1.
+
+#![warn(missing_docs)]
+
+pub mod competence;
+pub mod model;
+pub mod repair;
+pub mod simulated;
+
+pub use competence::{AttemptContext, Capability, Competence, GuidanceLevel};
+pub use model::{
+    Feedback, GuidanceSnippet, LanguageModel, PromptStyle, RepairRequest, RepairResponse,
+};
+pub use simulated::SimulatedLlm;

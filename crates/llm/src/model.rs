@@ -1,0 +1,109 @@
+//! The language-model interface the agent talks to, and the request /
+//! response types that cross it.
+//!
+//! The agent never hands the model structured diagnostics — only what a real
+//! deployment would have: the code, the rendered feedback log (whose
+//! information content varies by compiler personality), and any retrieved
+//! guidance text. Everything else the model "knows" it must derive from the
+//! code itself.
+
+use rtlfixer_verilog::diag::ErrorCategory;
+
+/// Feedback shown to the model for one repair turn. Mirrors what the
+/// prompt template of Figure 2a carries.
+#[derive(Debug, Clone, Default)]
+pub struct Feedback {
+    /// The rendered compiler log (or the Simple instruction, or empty).
+    pub log: String,
+    /// Error categories the log makes identifiable. (A bare `syntax error`
+    /// line identifies nothing; a Quartus `Error (10161)` identifies the
+    /// undeclared-identifier category.)
+    pub identified: Vec<ErrorCategory>,
+    /// Informativeness of the feedback source in `[0, 1]`.
+    pub informativeness: f64,
+}
+
+/// One retrieved guidance snippet included in the prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuidanceSnippet {
+    /// The error category the guidance covers.
+    pub category: ErrorCategory,
+    /// The human expert guidance text.
+    pub text: String,
+    /// Optional demonstration code.
+    pub demonstration: Option<String>,
+    /// Whether the snippet came from an exact-tag retrieval hit. Fuzzy
+    /// fallback hits are uncertain matches and count as family-level
+    /// guidance at best.
+    pub exact_retrieval: bool,
+}
+
+/// Prompting style for a repair turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromptStyle {
+    /// One-shot: a single feedback turn, no decomposed reasoning.
+    OneShot,
+    /// ReAct: interleaved Thought/Action/Observation, iterative.
+    React,
+}
+
+/// A request for the model to revise erroneous code.
+#[derive(Debug, Clone)]
+pub struct RepairRequest {
+    /// The current (erroneous) source code.
+    pub code: String,
+    /// The problem description, included in the prompt template.
+    pub problem: String,
+    /// Compiler (or Simple) feedback.
+    pub feedback: Feedback,
+    /// Retrieved guidance snippets (empty when RAG is off or retrieval
+    /// missed).
+    pub guidance: Vec<GuidanceSnippet>,
+    /// Prompting style.
+    pub style: PromptStyle,
+    /// 0-based attempt number within the episode.
+    pub attempt: usize,
+}
+
+/// The model's revision.
+#[derive(Debug, Clone)]
+pub struct RepairResponse {
+    /// The revised source code.
+    pub code: String,
+    /// The model's (simulated) reasoning trace for this turn — rendered in
+    /// ReAct transcripts.
+    pub thought: String,
+}
+
+/// A language model that can revise Verilog code.
+///
+/// The production system would implement this over an LLM API; the
+/// reproduction provides [`crate::SimulatedLlm`].
+pub trait LanguageModel: Send {
+    /// Model name for reports (`gpt-3.5-turbo-16k-0613` analogue).
+    fn name(&self) -> &str;
+
+    /// Starts a fresh debugging episode (resets per-episode latent state).
+    fn begin_episode(&mut self);
+
+    /// Proposes a revision of the code in `request`.
+    fn propose_repair(&mut self, request: &RepairRequest) -> RepairResponse;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feedback_default_is_empty() {
+        let f = Feedback::default();
+        assert!(f.log.is_empty());
+        assert!(f.identified.is_empty());
+        assert_eq!(f.informativeness, 0.0);
+    }
+
+    #[test]
+    fn prompt_style_distinction() {
+        assert_ne!(PromptStyle::OneShot, PromptStyle::React);
+    }
+}

@@ -1,0 +1,744 @@
+//! Repair operators: deterministic source-level transformations that fix a
+//! diagnosed error.
+//!
+//! These model the *edit* a competent engineer (or LLM that understood the
+//! problem) would make — one operator per error category, mirroring the
+//! guidance in the retrieval database. Whether the simulated model *finds*
+//! the right operator on a given attempt is decided separately by the
+//! [`crate::competence`] model; the operators themselves are exact.
+//!
+//! Every operator takes the original source plus one structured
+//! [`Diagnostic`] (re-derived by the simulated model's own reading of the
+//! code) and returns the revised source, or `None` when no mechanical fix
+//! exists (e.g. positional port-arity mismatches).
+
+use rtlfixer_verilog::diag::{DiagData, Diagnostic};
+use rtlfixer_verilog::sema::ModuleSymbols;
+use rtlfixer_verilog::span::Span;
+use rtlfixer_verilog::Analysis;
+
+/// Applies the repair operator for `diag` to `source`.
+///
+/// Returns the revised source, or `None` if this category has no mechanical
+/// repair (the attempt then counts as failed).
+pub fn repair(source: &str, diag: &Diagnostic, analysis: &Analysis) -> Option<String> {
+    match &diag.data {
+        DiagData::Undeclared { name } => repair_undeclared(source, name, diag.span, analysis),
+        DiagData::IndexOob { target, index, msb, lsb, from_arithmetic } => {
+            repair_index(source, diag.span, target, *index, *msb, *lsb, *from_arithmetic)
+        }
+        DiagData::BadProceduralLvalue { name } => {
+            let symbols = symbols_at(analysis, diag.span)?;
+            repair_to_reg(source, name, symbols)
+        }
+        DiagData::BadContinuousLvalue { name } => {
+            let symbols = symbols_at(analysis, diag.span)?;
+            repair_to_wire(source, name, symbols)
+        }
+        DiagData::InputAssigned { name } => {
+            let symbols = symbols_at(analysis, diag.span)?;
+            repair_input_direction(source, name, symbols)
+        }
+        DiagData::PortMismatch { module, port: Some(port), .. } => {
+            repair_port_name(source, diag.span, module, port, analysis)
+        }
+        DiagData::PortMismatch { port: None, expected, found, .. } => {
+            repair_port_arity(source, diag.span, *expected, *found)
+        }
+        DiagData::ModuleNotFound { .. } => Some(delete_span(source, diag.span)),
+        DiagData::Redeclared { .. } => Some(delete_line(source, diag.span.start)),
+        DiagData::Syntax { found, expected } => repair_syntax(source, diag.span, found, expected),
+        DiagData::Unbalanced { construct } => repair_unbalanced(source, diag.span, construct),
+        DiagData::CStyle { construct } => repair_c_style(source, diag.span, construct),
+        DiagData::Directive { .. } => Some(delete_line(source, diag.span.start)),
+        DiagData::KeywordAsId { keyword } => repair_keyword_ident(source, keyword),
+        // Warning-level findings never need repair.
+        DiagData::Width { .. }
+        | DiagData::Latch { .. }
+        | DiagData::NoDefault
+        | DiagData::Unused { .. } => None,
+    }
+}
+
+fn symbols_at<'a>(analysis: &'a Analysis, span: Span) -> Option<&'a ModuleSymbols> {
+    let module = analysis
+        .file
+        .modules
+        .iter()
+        .find(|m| m.span.start <= span.start && span.end <= m.span.end)
+        .or_else(|| analysis.file.modules.first())?;
+    analysis.symbols_for(&module.name)
+}
+
+fn replace_span(source: &str, span: Span, new_text: &str) -> String {
+    let mut out = String::with_capacity(source.len() + new_text.len());
+    out.push_str(&source[..span.start as usize]);
+    out.push_str(new_text);
+    out.push_str(&source[span.end as usize..]);
+    out
+}
+
+fn delete_span(source: &str, span: Span) -> String {
+    replace_span(source, span, "")
+}
+
+fn delete_line(source: &str, pos: u32) -> String {
+    let pos = (pos as usize).min(source.len());
+    let start = source[..pos].rfind('\n').map_or(0, |i| i + 1);
+    let end = source[pos..].find('\n').map_or(source.len(), |i| pos + i + 1);
+    format!("{}{}", &source[..start], &source[end..])
+}
+
+fn is_word_boundary(source: &[u8], idx: usize) -> bool {
+    idx == 0
+        || idx >= source.len()
+        || !(source[idx].is_ascii_alphanumeric() || source[idx] == b'_')
+}
+
+/// Finds whole-word occurrences of `word` in `source`.
+fn word_positions(source: &str, word: &str) -> Vec<usize> {
+    let bytes = source.as_bytes();
+    let mut positions = Vec::new();
+    let mut start = 0;
+    while let Some(rel) = source[start..].find(word) {
+        let idx = start + rel;
+        let before_ok = idx == 0 || is_word_boundary(bytes, idx - 1) && {
+            let prev = bytes[idx - 1];
+            !(prev.is_ascii_alphanumeric() || prev == b'_')
+        };
+        let after_ok = is_word_boundary(bytes, idx + word.len());
+        if before_ok && after_ok {
+            positions.push(idx);
+        }
+        start = idx + word.len().max(1);
+    }
+    positions
+}
+
+// ---- per-category operators -------------------------------------------------
+
+/// Undeclared identifier: if the name appears only under `posedge`/`negedge`
+/// (the classic phantom `clk`), rewrite the sensitivity to `@(*)` per the
+/// Figure 3 guidance; otherwise declare the signal after the header of the
+/// module that *uses* it (multi-module files must not get the declaration
+/// in the wrong module).
+fn repair_undeclared(
+    source: &str,
+    name: &str,
+    span: Span,
+    analysis: &Analysis,
+) -> Option<String> {
+    let edge_pattern_pos = format!("posedge {name}");
+    let edge_pattern_neg = format!("negedge {name}");
+    let uses = word_positions(source, name);
+    let edge_uses = source.matches(&edge_pattern_pos).count()
+        + source.matches(&edge_pattern_neg).count();
+    if edge_uses > 0 && uses.len() == edge_uses {
+        // Used exclusively as a phantom clock: make the block combinational.
+        let mut out = source.to_owned();
+        for pattern in [&edge_pattern_pos, &edge_pattern_neg] {
+            while let Some(idx) = out.find(pattern.as_str()) {
+                out.replace_range(idx..idx + pattern.len(), "*");
+            }
+        }
+        // `@(* or foo)` fragments from multi-edge lists: collapse crudely.
+        let out = out.replace("(* or ", "(*) // (");
+        return Some(out);
+    }
+    // Otherwise declare it. reg if procedurally assigned, wire otherwise.
+    let procedural = uses.iter().any(|&idx| {
+        let tail = &source[idx + name.len()..];
+        let trimmed = tail.trim_start();
+        let assigned =
+            trimmed.starts_with("<=") || (trimmed.starts_with('=') && !trimmed.starts_with("=="));
+        if !assigned {
+            return false;
+        }
+        // An `=` driven by a continuous `assign` keeps the net a wire.
+        let stmt_start = source[..idx].rfind([';', '\n']).map_or(0, |i| i + 1);
+        !source[stmt_start..idx].contains("assign")
+    });
+    let indexed = uses.iter().any(|&idx| {
+        source[idx + name.len()..].trim_start().starts_with('[')
+    });
+    let kind = if procedural { "reg" } else { "wire" };
+    let range = if indexed { " [31:0]" } else { "" };
+    // Insert after the header of the module enclosing the use site.
+    let header_end = analysis
+        .file
+        .modules
+        .iter()
+        .find(|m| m.span.start <= span.start && span.end <= m.span.end)
+        .map(|m| m.header_span.end as usize)
+        .or_else(|| source.find(';').map(|i| i + 1))?;
+    let mut out = source.to_owned();
+    out.insert_str(header_end.min(out.len()), &format!("\n{kind}{range} {name};"));
+    Some(out)
+}
+
+/// Out-of-range index. Literal indices are clamped to the nearest bound;
+/// arithmetic indices get a modulo wrap (the toroidal-neighbourhood fix the
+/// guidance database demonstrates).
+fn repair_index(
+    source: &str,
+    span: Span,
+    _target: &str,
+    index: i64,
+    msb: i64,
+    lsb: i64,
+    from_arithmetic: bool,
+) -> Option<String> {
+    let text = source.get(span.start as usize..span.end as usize)?;
+    let open = text.find('[')?;
+    let close = text.rfind(']')?;
+    if close <= open {
+        return None;
+    }
+    let index_text = &text[open + 1..close];
+    let (lo, hi) = if msb >= lsb { (lsb, msb) } else { (msb, lsb) };
+    let new_index = if from_arithmetic {
+        let n = hi - lo + 1;
+        if lo == 0 {
+            format!("((({index_text}) % {n} + {n}) % {n})")
+        } else {
+            format!("({lo} + ((({index_text}) - {lo}) % {n} + {n}) % {n})")
+        }
+    } else {
+        // Clamp the literal to the violated bound.
+        let clamped = if index > hi { hi } else { lo };
+        let needle = index.to_string();
+        let replaced = index_text.replacen(&needle, &clamped.to_string(), 1);
+        if replaced == index_text {
+            return None;
+        }
+        replaced
+    };
+    let new_text = format!("{}[{}]{}", &text[..open], new_index, &text[close + 1..]);
+    Some(replace_span(source, span, &new_text))
+}
+
+/// Finds the declaration region of `name` and returns (window_start, text).
+fn decl_window<'a>(source: &'a str, name: &str, symbols: &ModuleSymbols) -> Option<(usize, &'a str)> {
+    let info = symbols.signal(name)?;
+    let decl_end = (info.span.end as usize).min(source.len());
+    let window_start = (info.span.start as usize).saturating_sub(160);
+    Some((window_start, &source[window_start..decl_end]))
+}
+
+/// Replaces the last whole-word `from` before the declared name with `to`.
+fn rewrite_decl_keyword(
+    source: &str,
+    name: &str,
+    symbols: &ModuleSymbols,
+    from: &str,
+    to: &str,
+) -> Option<String> {
+    let (window_start, window) = decl_window(source, name, symbols)?;
+    let pos = word_positions(window, from).into_iter().next_back()?;
+    let abs = window_start + pos;
+    let mut out = source.to_owned();
+    out.replace_range(abs..abs + from.len(), to);
+    Some(out)
+}
+
+/// wire → reg (procedural l-value fix). Handles `wire y`, `output y`,
+/// `output wire y`.
+fn repair_to_reg(source: &str, name: &str, symbols: &ModuleSymbols) -> Option<String> {
+    if let Some(fixed) = rewrite_decl_keyword(source, name, symbols, "wire", "reg") {
+        return Some(fixed);
+    }
+    // `output y` / `input y` with no kind keyword: insert `reg` after the
+    // direction.
+    for dir in ["output", "inout"] {
+        let (window_start, window) = decl_window(source, name, symbols)?;
+        if let Some(pos) = word_positions(window, dir).into_iter().next_back() {
+            let abs = window_start + pos + dir.len();
+            let mut out = source.to_owned();
+            out.insert_str(abs, " reg");
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// reg → wire (continuous l-value fix), unless the signal is also written
+/// procedurally — then the `assign` is converted to an `always @(*)` block
+/// instead, as the guidance recommends.
+fn repair_to_wire(source: &str, name: &str, symbols: &ModuleSymbols) -> Option<String> {
+    let has_procedural_write = word_positions(source, name).iter().any(|&idx| {
+        source[idx + name.len()..].trim_start().starts_with("<=")
+    });
+    if !has_procedural_write {
+        if let Some(fixed) = rewrite_decl_keyword(source, name, symbols, "reg", "wire") {
+            // `output wire wire` style double keywords cannot happen because
+            // we replace the single `reg` token.
+            return Some(fixed.replace("output wire", "output"));
+        }
+    }
+    // Convert the offending assign into an always block.
+    let assign_pat = format!("assign {name}");
+    let idx = source.find(&assign_pat)?;
+    let semi = source[idx..].find(';')? + idx;
+    let stmt = &source[idx + "assign ".len()..=semi];
+    let mut out = source.to_owned();
+    out.replace_range(idx..=semi, &format!("always @(*) {stmt}"));
+    Some(out)
+}
+
+/// input → output when an input port is assigned inside the module.
+fn repair_input_direction(source: &str, name: &str, symbols: &ModuleSymbols) -> Option<String> {
+    rewrite_decl_keyword(source, name, symbols, "input", "output")
+}
+
+/// Renames a bad named-port connection to the closest real port.
+fn repair_port_name(
+    source: &str,
+    span: Span,
+    module: &str,
+    bad_port: &str,
+    analysis: &Analysis,
+) -> Option<String> {
+    let target = analysis.file.module(module)?;
+    let best = target
+        .ports
+        .iter()
+        .map(|p| (&p.name, name_similarity(bad_port, &p.name)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?
+        .0
+        .clone();
+    let text = source.get(span.start as usize..span.end as usize)?;
+    let pattern = format!(".{bad_port}");
+    let idx = text.find(&pattern)?;
+    let new_text = format!("{}.{}{}", &text[..idx], best, &text[idx + pattern.len()..]);
+    Some(replace_span(source, span, &new_text))
+}
+
+/// Fixes a positional-connection arity mismatch: surplus connections are
+/// dropped, missing ones padded with a zero constant (compiles; whether the
+/// result is functionally right is the simulator's verdict to make).
+fn repair_port_arity(source: &str, span: Span, expected: usize, found: usize) -> Option<String> {
+    let text = source.get(span.start as usize..span.end as usize)?;
+    // The connection list is the last top-level parenthesised group.
+    let open = text.rfind('(')?;
+    // Walk back to the matching outer '(' of the connection list: the last
+    // '(' is only correct when connections are plain identifiers; handle
+    // nesting by scanning forward from the instance-name side instead.
+    let open = {
+        let mut depth = 0usize;
+        let mut first_open = None;
+        for (idx, c) in text.char_indices() {
+            match c {
+                '(' => {
+                    if depth == 0 {
+                        first_open = Some(idx);
+                    }
+                    depth += 1;
+                }
+                ')' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        // For an instance `mod name(a, b);` the *last* top-level group is
+        // the connection list; `first_open` is fine when there is exactly
+        // one group (no parameter list in positional instances we emit).
+        first_open.unwrap_or(open)
+    };
+    let close = text.rfind(')')?;
+    if close <= open {
+        return None;
+    }
+    let list = &text[open + 1..close];
+    // Split at top-level commas.
+    let mut parts: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in list.chars() {
+        match c {
+            '(' | '{' | '[' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' | '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => parts.push(std::mem::take(&mut current)),
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    if parts.len() != found {
+        return None; // diagnosis and text disagree; bail out
+    }
+    if found > expected {
+        parts.truncate(expected);
+    } else {
+        for _ in found..expected {
+            parts.push(" 1'b0".to_owned());
+        }
+    }
+    let new_list = parts.join(",");
+    let new_text = format!("{}({}{}", &text[..open], new_list, &text[close..]);
+    Some(replace_span(source, span, &new_text))
+}
+
+/// Cheap bigram similarity for port-name matching.
+fn name_similarity(a: &str, b: &str) -> f64 {
+    let bigrams = |s: &str| -> Vec<(char, char)> {
+        let chars: Vec<char> = s.chars().collect();
+        chars.windows(2).map(|w| (w[0], w[1])).collect()
+    };
+    let ba = bigrams(&a.to_lowercase());
+    let bb = bigrams(&b.to_lowercase());
+    if ba.is_empty() || bb.is_empty() {
+        return if a.eq_ignore_ascii_case(b) { 1.0 } else { 0.1 };
+    }
+    let inter = ba.iter().filter(|g| bb.contains(g)).count();
+    (2 * inter) as f64 / (ba.len() + bb.len()) as f64
+}
+
+/// Generic syntax repairs driven by the parser's expectation.
+fn repair_syntax(source: &str, span: Span, found: &str, expected: &str) -> Option<String> {
+    // A module-item keyword in statement position with more `begin`s than
+    // `end`s is the classic dropped-`end` cascade: close the block right
+    // before the offending item.
+    let item_keyword = matches!(found, "assign" | "always" | "wire" | "reg" | "endmodule");
+    if item_keyword && (expected.contains("expression") || expected.contains("statement")) {
+        let begins = word_positions(source, "begin").len();
+        let ends = word_positions(source, "end").len();
+        if begins > ends {
+            let mut out = source.to_owned();
+            out.insert_str(span.start as usize, "end\n");
+            return Some(out);
+        }
+    }
+    if expected.contains("';'") {
+        // Missing semicolon: insert after the last non-whitespace character
+        // before the unexpected token.
+        let upto = &source[..span.start as usize];
+        let insert_at = upto.rfind(|c: char| !c.is_whitespace()).map(|i| i + 1)?;
+        let mut out = source.to_owned();
+        out.insert(insert_at, ';');
+        return Some(out);
+    }
+    if expected.contains("'@'") {
+        // `always begin` without a sensitivity list: span starts at `always`.
+        let text = &source[span.start as usize..];
+        if text.starts_with("always") {
+            let mut out = source.to_owned();
+            out.insert_str(span.start as usize + "always".len(), " @(*)");
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// Inserts the missing block terminator.
+fn repair_unbalanced(source: &str, span: Span, construct: &str) -> Option<String> {
+    match construct {
+        "endmodule" => Some(format!("{}\nendmodule\n", source.trim_end())),
+        "end" | "endcase" | "endgenerate" | "endfunction" => {
+            let mut out = source.to_owned();
+            let at = (span.start as usize).min(out.len());
+            out.insert_str(at, &format!("{construct}\n"));
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Rewrites C-style operators into Verilog arithmetic.
+fn repair_c_style(source: &str, span: Span, construct: &str) -> Option<String> {
+    let op_start = span.start as usize;
+    let op_end = span.end as usize;
+    // Identifier immediately before the operator (whitespace may intervene:
+    // `s += a`).
+    let before = source[..op_start].trim_end();
+    let ident_start = before
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let name = &before[ident_start..];
+    if name.is_empty() {
+        // Prefix form `++i`: identifier follows the operator.
+        let after = &source[op_end..];
+        let ident_end = after
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ' '))
+            .unwrap_or(after.len());
+        let name = after[..ident_end].trim();
+        if name.is_empty() {
+            return None;
+        }
+        let op = if construct.starts_with('-') { "-" } else { "+" };
+        let mut out = source.to_owned();
+        out.replace_range(op_start..op_end + ident_end, &format!("{name} = {name} {op} 1"));
+        return Some(out);
+    }
+    match construct {
+        "++" | "--" => {
+            let op = if construct == "--" { "-" } else { "+" };
+            let mut out = source.to_owned();
+            out.replace_range(ident_start..op_end, &format!("{name} = {name} {op} 1"));
+            Some(out)
+        }
+        "+=" | "-=" | "*=" | "/=" => {
+            let op = &construct[..1];
+            let after = &source[op_end..];
+            let stmt_end = after.find([';', ')'])?;
+            let rhs = after[..stmt_end].trim();
+            let mut out = source.to_owned();
+            out.replace_range(
+                ident_start..op_end + stmt_end,
+                &format!("{name} = {name} {op} ({rhs})"),
+            );
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Renames a reserved word used as an identifier (whole-word, everywhere).
+fn repair_keyword_ident(source: &str, keyword: &str) -> Option<String> {
+    let positions = word_positions(source, keyword);
+    if positions.is_empty() {
+        return None;
+    }
+    let replacement = format!("{keyword}_sig");
+    let mut out = String::with_capacity(source.len() + positions.len() * 4);
+    let mut last = 0;
+    for pos in positions {
+        out.push_str(&source[last..pos]);
+        out.push_str(&replacement);
+        last = pos + keyword.len();
+    }
+    out.push_str(&source[last..]);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlfixer_verilog::compile;
+    use rtlfixer_verilog::diag::ErrorCategory;
+
+    /// Applies the operator for the first error and asserts that category
+    /// is gone afterwards.
+    fn fix_first(source: &str) -> (String, Vec<ErrorCategory>) {
+        let analysis = compile(source);
+        let diag = analysis
+            .errors()
+            .first()
+            .copied()
+            .cloned()
+            .expect("input must have an error");
+        let fixed = repair(source, &diag, &analysis).expect("operator exists");
+        let after = compile(&fixed);
+        let cats: Vec<ErrorCategory> = after.errors().iter().map(|d| d.category).collect();
+        (fixed, cats)
+    }
+
+    #[test]
+    fn fixes_phantom_clk_via_sensitivity() {
+        let (fixed, cats) = fix_first(
+            "module top_module(input [7:0] in, output reg [7:0] out);\n\
+             always @(posedge clk) out <= in;\nendmodule",
+        );
+        assert!(fixed.contains("@(*"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::UndeclaredIdentifier), "{cats:?}");
+    }
+
+    #[test]
+    fn declares_missing_intermediate_wire() {
+        let (fixed, cats) = fix_first(
+            "module m(input [7:0] a, output [7:0] y);\n\
+             assign y = a & mask;\nassign mask = 8'h0F;\nendmodule",
+        );
+        assert!(fixed.contains("wire"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::UndeclaredIdentifier), "{cats:?}");
+    }
+
+    #[test]
+    fn clamps_literal_index() {
+        let (fixed, cats) = fix_first(
+            "module m(input [7:0] in, output [7:0] out);\n\
+             assign out[8] = in[0];\nendmodule",
+        );
+        assert!(fixed.contains("out[7]"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::IndexOutOfRange), "{cats:?}");
+    }
+
+    #[test]
+    fn wraps_arithmetic_index_with_modulo() {
+        let src = "module m(input [255:0] q, output [255:0] n);\n\
+             genvar i, j;\ngenerate\n\
+             for (i = 0; i < 16; i = i + 1) begin : r\n\
+             for (j = 0; j < 16; j = j + 1) begin : c\n\
+             assign n[i*16 + j] = q[(i-1)*16 + (j-1)];\nend\nend\nendgenerate\nendmodule";
+        let (fixed, cats) = fix_first(src);
+        assert!(fixed.contains('%'), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::IndexArithmetic), "{cats:?}");
+    }
+
+    #[test]
+    fn wire_to_reg_for_procedural_write() {
+        let (fixed, cats) = fix_first(
+            "module m(input a, output y);\nalways @(a) y = a;\nendmodule",
+        );
+        assert!(fixed.contains("output reg y"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::IllegalProceduralLvalue), "{cats:?}");
+    }
+
+    #[test]
+    fn declared_wire_to_reg() {
+        let (fixed, cats) = fix_first(
+            "module m(input a, output y);\nwire t;\nalways @(a) t = a;\nassign y = t;\nendmodule",
+        );
+        assert!(fixed.contains("reg t"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::IllegalProceduralLvalue), "{cats:?}");
+    }
+
+    #[test]
+    fn reg_to_wire_for_assign() {
+        let (fixed, cats) = fix_first(
+            "module m(input a, output reg y);\nassign y = a;\nendmodule",
+        );
+        assert!(!cats.contains(&ErrorCategory::IllegalContinuousLvalue), "{cats:?}");
+        assert!(fixed.contains("output y") || fixed.contains("always"), "{fixed}");
+    }
+
+    #[test]
+    fn input_direction_flip() {
+        let (fixed, cats) = fix_first(
+            "module m(input a, input b, output y);\nassign b = ~a;\nassign y = b;\nendmodule",
+        );
+        assert!(fixed.contains("output b"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::AssignToInput), "{cats:?}");
+    }
+
+    #[test]
+    fn renames_bad_port_connection() {
+        let (fixed, cats) = fix_first(
+            "module child(input data_in, output data_out); assign data_out = data_in; endmodule\n\
+             module top(input x, output z);\nchild c(.data_i(x), .data_out(z));\nendmodule",
+        );
+        assert!(fixed.contains(".data_in(x)"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::PortConnectionMismatch), "{cats:?}");
+    }
+
+    #[test]
+    fn removes_unknown_module_instance() {
+        let (_, cats) = fix_first(
+            "module top(input a, output y);\nghost g(.p(a), .q(y));\nassign y = a;\nendmodule",
+        );
+        assert!(!cats.contains(&ErrorCategory::UnknownModule), "{cats:?}");
+    }
+
+    #[test]
+    fn deletes_duplicate_declaration() {
+        let (fixed, cats) = fix_first(
+            "module m(input a, output y);\nwire t;\nwire t;\nassign t = a;\nassign y = t;\nendmodule",
+        );
+        assert_eq!(fixed.matches("wire t;").count(), 1, "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::Redeclaration), "{cats:?}");
+    }
+
+    #[test]
+    fn inserts_missing_semicolon() {
+        let (fixed, cats) = fix_first(
+            "module m(input a, output y);\nassign y = a\nendmodule",
+        );
+        assert!(fixed.contains("assign y = a;"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::SyntaxError), "{cats:?}");
+    }
+
+    #[test]
+    fn adds_sensitivity_to_bare_always() {
+        let (fixed, cats) = fix_first(
+            "module m(input a, output reg y);\nalways begin y = a; end\nendmodule",
+        );
+        assert!(fixed.contains("always @(*)"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::SyntaxError), "{cats:?}");
+    }
+
+    #[test]
+    fn appends_missing_endmodule() {
+        let (fixed, cats) = fix_first("module m(input a, output y);\nassign y = a;\n");
+        assert!(fixed.trim_end().ends_with("endmodule"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::UnbalancedBlock), "{cats:?}");
+    }
+
+    #[test]
+    fn inserts_missing_end() {
+        let (_, cats) = fix_first(
+            "module m(input a, output reg y);\nalways @(a) begin\ny = a;\nendmodule",
+        );
+        assert!(!cats.contains(&ErrorCategory::UnbalancedBlock), "{cats:?}");
+    }
+
+    #[test]
+    fn rewrites_postfix_increment() {
+        let (fixed, cats) = fix_first(
+            "module m(input [7:0] a, output reg [7:0] y);\n\
+             integer i;\nalways @* begin\n\
+             for (i = 0; i < 8; i++) y[i] = a[i];\nend\nendmodule",
+        );
+        assert!(fixed.contains("i = i + 1"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::CStyleConstruct), "{cats:?}");
+    }
+
+    #[test]
+    fn rewrites_compound_assignment() {
+        let (fixed, cats) = fix_first(
+            "module m(input [7:0] a, output reg [7:0] s);\n\
+             always @* begin\ns = 0;\ns += a;\nend\nendmodule",
+        );
+        assert!(fixed.contains("s = s + (a)"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::CStyleConstruct), "{cats:?}");
+    }
+
+    #[test]
+    fn removes_misplaced_timescale() {
+        let (fixed, cats) = fix_first(
+            "module m(input a, output y);\n`timescale 1ns/1ps\nassign y = a;\nendmodule",
+        );
+        assert!(!fixed.contains("timescale"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::MisplacedDirective), "{cats:?}");
+    }
+
+    #[test]
+    fn renames_keyword_identifier() {
+        let (fixed, cats) = fix_first(
+            "module m(input a, output y);\nwire force;\nassign force = a;\nassign y = force;\nendmodule",
+        );
+        assert!(fixed.contains("force_sig"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::KeywordAsIdentifier), "{cats:?}");
+    }
+
+    #[test]
+    fn word_positions_respects_boundaries() {
+        let positions = word_positions("clk clkx xclk clk_y (clk)", "clk");
+        assert_eq!(positions.len(), 2);
+    }
+
+    #[test]
+    fn pads_missing_positional_connection() {
+        let (fixed, cats) = fix_first(
+            "module child(input a, input b, output y); assign y = a & b; endmodule\n\
+             module top(input x, output z);\nchild c(x, z);\nendmodule",
+        );
+        assert!(fixed.contains("1'b0"), "{fixed}");
+        assert!(!cats.contains(&ErrorCategory::PortConnectionMismatch), "{cats:?}");
+    }
+
+    #[test]
+    fn drops_surplus_positional_connection() {
+        let (fixed, cats) = fix_first(
+            "module child(input a, output y); assign y = ~a; endmodule\n\
+             module top(input x, input w, output z);\nchild c(x, w, z);\nendmodule",
+        );
+        assert!(!fixed.contains("w, z"), "surplus connection kept: {fixed}");
+        assert!(!cats.contains(&ErrorCategory::PortConnectionMismatch), "{cats:?}");
+    }
+}

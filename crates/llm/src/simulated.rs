@@ -1,0 +1,350 @@
+//! The simulated language model: reads the code like an engineer would
+//! (via the frontend), decides per error whether it *understands* it (the
+//! competence model), and applies the corresponding real repair operator on
+//! success.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rtlfixer_verilog::diag::{Diagnostic, ErrorCategory};
+
+use crate::competence::{AttemptContext, Capability, Competence, GuidanceLevel};
+use crate::model::{Feedback, GuidanceSnippet, LanguageModel, RepairRequest, RepairResponse};
+use crate::repair;
+
+/// Maximum errors fixed within one revision response (an LLM rewrites the
+/// whole module once per turn, typically addressing everything it noticed).
+const MAX_EDITS_PER_TURN: usize = 6;
+
+/// The simulated LLM. See the [module docs](self) and DESIGN.md §1.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_llm::{Capability, SimulatedLlm, LanguageModel};
+/// let mut llm = SimulatedLlm::new(Capability::Gpt4Class, 7);
+/// llm.begin_episode();
+/// assert_eq!(llm.name(), "sim-gpt-4-class");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatedLlm {
+    competence: Competence,
+    rng: StdRng,
+    /// Latent per-episode understanding, keyed by error identity.
+    episode: HashMap<String, bool>,
+    name: String,
+}
+
+impl SimulatedLlm {
+    /// Creates a simulated model of the given capability, seeded
+    /// deterministically.
+    pub fn new(capability: Capability, seed: u64) -> Self {
+        SimulatedLlm {
+            competence: Competence::new(capability),
+            rng: StdRng::seed_from_u64(seed),
+            episode: HashMap::new(),
+            name: match capability {
+                Capability::Gpt35Class => "sim-gpt-3.5-class".to_owned(),
+                Capability::Gpt4Class => "sim-gpt-4-class".to_owned(),
+            },
+        }
+    }
+
+    /// The capability class this model simulates.
+    pub fn capability(&self) -> Capability {
+        self.competence.capability
+    }
+
+    /// Stable identity for an error instance, so retries within an episode
+    /// reuse the latent understanding (a model that misunderstood an error
+    /// does not suddenly understand it on attempt 5).
+    fn error_key(diag: &Diagnostic) -> String {
+        format!("{}:{:?}", diag.category.slug(), diag.data)
+    }
+
+    fn guidance_level(guidance: &[GuidanceSnippet], category: ErrorCategory) -> GuidanceLevel {
+        let category_match = |g: &GuidanceSnippet| {
+            g.category == category
+                // Both index classes share the Quartus 10232 tag.
+                || (matches!(
+                    g.category,
+                    ErrorCategory::IndexOutOfRange | ErrorCategory::IndexArithmetic
+                ) && matches!(
+                    category,
+                    ErrorCategory::IndexOutOfRange | ErrorCategory::IndexArithmetic
+                ))
+        };
+        // An exact-tag retrieval hit on the right category is authoritative;
+        // a fuzzy hit on the right category is only family-level confidence.
+        if guidance.iter().any(|g| g.exact_retrieval && category_match(g)) {
+            return GuidanceLevel::Exact;
+        }
+        if guidance.iter().any(category_match) {
+            return GuidanceLevel::Family;
+        }
+        // Generic syntax guidance (all the iverilog database offers for the
+        // syntax subfamily) helps, but far less than category-exact advice.
+        if guidance.iter().any(|g| {
+            g.category == ErrorCategory::SyntaxError
+                && matches!(
+                    category,
+                    ErrorCategory::CStyleConstruct
+                        | ErrorCategory::UnbalancedBlock
+                        | ErrorCategory::KeywordAsIdentifier
+                )
+        }) {
+            return GuidanceLevel::Family;
+        }
+        GuidanceLevel::None
+    }
+
+    fn attempt_context(
+        &self,
+        diag: &Diagnostic,
+        feedback: &Feedback,
+        guidance: GuidanceLevel,
+    ) -> AttemptContext {
+        AttemptContext {
+            category: diag.category,
+            identified: feedback.identified.contains(&diag.category),
+            informativeness: feedback.informativeness,
+            guidance,
+            style: crate::model::PromptStyle::React,
+        }
+    }
+
+    fn thought_for(diag: &Diagnostic, fixed: bool) -> String {
+        if fixed {
+            format!(
+                "The compiler reports: {}. I will revise the code accordingly and re-run \
+                 the compilation.",
+                diag.headline()
+            )
+        } else {
+            format!(
+                "The error ({}) persists; my revision did not address the root cause.",
+                diag.headline()
+            )
+        }
+    }
+}
+
+impl LanguageModel for SimulatedLlm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_episode(&mut self) {
+        self.episode.clear();
+    }
+
+    fn propose_repair(&mut self, request: &RepairRequest) -> RepairResponse {
+        let mut code = request.code.clone();
+        let mut thoughts: Vec<String> = Vec::new();
+
+        for _ in 0..MAX_EDITS_PER_TURN {
+            // The model re-reads its current draft (its "comprehension" is
+            // modelled by the real frontend).
+            let analysis = rtlfixer_verilog::compile(&code);
+            let errors: Vec<Diagnostic> =
+                analysis.errors().into_iter().cloned().collect();
+            if errors.is_empty() {
+                break;
+            }
+            let mut edited = false;
+            for diag in &errors {
+                let guidance = Self::guidance_level(&request.guidance, diag.category);
+                let ctx = self.attempt_context(diag, &request.feedback, guidance);
+                let key = Self::error_key(diag);
+                let understands = match self.episode.get(&key) {
+                    Some(&known) => known,
+                    None => {
+                        let u = self.competence.understand_probability(&ctx);
+                        let drawn = self.rng.gen_bool(u);
+                        self.episode.insert(key.clone(), drawn);
+                        drawn
+                    }
+                };
+                if !understands {
+                    thoughts.push(Self::thought_for(diag, false));
+                    continue;
+                }
+                let r = self.competence.attempt_probability(&ctx);
+                if !self.rng.gen_bool(r) {
+                    thoughts.push(Self::thought_for(diag, false));
+                    continue;
+                }
+                if let Some(revised) = repair::repair(&code, diag, &analysis) {
+                    thoughts.push(Self::thought_for(diag, true));
+                    code = revised;
+                    edited = true;
+                    break; // spans shifted; re-read before the next edit
+                }
+                thoughts.push(Self::thought_for(diag, false));
+            }
+            if !edited {
+                break;
+            }
+        }
+
+        if thoughts.is_empty() {
+            thoughts.push("The code compiles cleanly; returning it unchanged.".to_owned());
+        }
+        RepairResponse { code, thought: thoughts.join("\n") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PromptStyle;
+
+    fn request(code: &str, identified: Vec<ErrorCategory>, informativeness: f64) -> RepairRequest {
+        RepairRequest {
+            code: code.to_owned(),
+            problem: "test".to_owned(),
+            feedback: Feedback { log: String::new(), identified, informativeness },
+            guidance: Vec::new(),
+            style: PromptStyle::React,
+            attempt: 0,
+        }
+    }
+
+    const BROKEN: &str = "module m(input [7:0] in, output reg [7:0] out);\n\
+                          always @(posedge clk) out <= in;\nendmodule";
+
+    #[test]
+    fn gpt4_fixes_easy_error_quickly() {
+        // With near-1 probabilities, almost every episode must succeed (a
+        // small residual stays stuck by design: the understanding latent is
+        // sticky within an episode).
+        let req = request(BROKEN, vec![ErrorCategory::UndeclaredIdentifier], 0.85);
+        let mut fixed_episodes = 0;
+        let episodes = 10;
+        for seed in 0..episodes {
+            let mut llm = SimulatedLlm::new(Capability::Gpt4Class, seed);
+            llm.begin_episode();
+            let mut code = BROKEN.to_owned();
+            for attempt in 0..10 {
+                let mut r = req.clone();
+                r.code = code.clone();
+                r.attempt = attempt;
+                code = llm.propose_repair(&r).code;
+                if rtlfixer_verilog::compile(&code).is_ok() {
+                    fixed_episodes += 1;
+                    break;
+                }
+            }
+        }
+        assert!(fixed_episodes >= 8, "only {fixed_episodes}/{episodes} episodes fixed");
+    }
+
+    #[test]
+    fn latent_understanding_is_sticky_within_episode() {
+        // Seeds where the first draw fails must keep failing for the same
+        // error in the same episode.
+        for seed in 0..50u64 {
+            let mut llm = SimulatedLlm::new(Capability::Gpt35Class, seed);
+            llm.begin_episode();
+            let req = request(BROKEN, vec![], 0.0); // Simple feedback
+            let first = llm.propose_repair(&req);
+            let first_fixed = rtlfixer_verilog::compile(&first.code).is_ok();
+            if first_fixed {
+                continue;
+            }
+            // Same latent key: the episode map must contain a false entry.
+            let stuck = llm.episode.values().any(|&v| !v);
+            if stuck {
+                // 10 more attempts; if the model never understood, the code
+                // must still fail (attempt accuracy never applies).
+                let mut code = first.code;
+                for _ in 0..10 {
+                    let mut r = req.clone();
+                    r.code = code.clone();
+                    code = llm.propose_repair(&r).code;
+                }
+                assert!(
+                    !rtlfixer_verilog::compile(&code).is_ok(),
+                    "seed {seed}: stuck latent must stay stuck"
+                );
+                return; // found and verified one sticky case
+            }
+        }
+        panic!("no seed produced a not-understood latent — u too high for Simple feedback?");
+    }
+
+    #[test]
+    fn episode_reset_redraws_latents() {
+        let mut llm = SimulatedLlm::new(Capability::Gpt35Class, 3);
+        llm.begin_episode();
+        let req = request(BROKEN, vec![ErrorCategory::UndeclaredIdentifier], 0.85);
+        let _ = llm.propose_repair(&req);
+        assert!(!llm.episode.is_empty());
+        llm.begin_episode();
+        assert!(llm.episode.is_empty());
+    }
+
+    #[test]
+    fn clean_code_returned_unchanged() {
+        let mut llm = SimulatedLlm::new(Capability::Gpt35Class, 5);
+        llm.begin_episode();
+        let clean = "module m(input a, output y); assign y = a; endmodule";
+        let resp = llm.propose_repair(&request(clean, vec![], 0.85));
+        assert_eq!(resp.code, clean);
+        assert!(resp.thought.contains("compiles cleanly"));
+    }
+
+    #[test]
+    fn guidance_matching_covers_index_family() {
+        let snippets = vec![GuidanceSnippet {
+            category: ErrorCategory::IndexOutOfRange,
+            text: String::new(),
+            demonstration: None,
+            exact_retrieval: true,
+        }];
+        assert_eq!(
+            SimulatedLlm::guidance_level(&snippets, ErrorCategory::IndexArithmetic),
+            GuidanceLevel::Exact
+        );
+        assert_eq!(
+            SimulatedLlm::guidance_level(&snippets, ErrorCategory::IndexOutOfRange),
+            GuidanceLevel::Exact
+        );
+        assert_eq!(
+            SimulatedLlm::guidance_level(&snippets, ErrorCategory::Redeclaration),
+            GuidanceLevel::None
+        );
+        let syntax = vec![GuidanceSnippet {
+            category: ErrorCategory::SyntaxError,
+            text: String::new(),
+            demonstration: None,
+            exact_retrieval: true,
+        }];
+        assert_eq!(
+            SimulatedLlm::guidance_level(&syntax, ErrorCategory::CStyleConstruct),
+            GuidanceLevel::Family
+        );
+    }
+
+    #[test]
+    fn multi_error_sample_can_be_fully_fixed_in_one_turn() {
+        // Two easy errors; GPT-4 should usually clear both in one response.
+        let code = "module m(input a, output y);\nwire t\nassign y = t & clk;\nendmodule";
+        let mut fixed_count = 0;
+        for seed in 0..20 {
+            let mut llm = SimulatedLlm::new(Capability::Gpt4Class, seed);
+            llm.begin_episode();
+            let resp = llm.propose_repair(&request(
+                code,
+                vec![ErrorCategory::SyntaxError, ErrorCategory::UndeclaredIdentifier],
+                0.85,
+            ));
+            if rtlfixer_verilog::compile(&resp.code).is_ok() {
+                fixed_count += 1;
+            }
+        }
+        assert!(fixed_count >= 15, "only {fixed_count}/20 fixed");
+    }
+}

@@ -1,0 +1,523 @@
+//! The curated human-expert guidance database.
+//!
+//! §3.3 of the paper: errors are grouped by compiler error tags; for each
+//! group human experts wrote explanations and demonstrations, which are
+//! stored alongside the compiler logs. The paper's databases hold **7
+//! common error categories with 30 entries for iverilog** and **11
+//! categories with 45 entries for Quartus** — those exact shapes are
+//! reproduced here (and asserted by tests).
+//!
+//! The two entries of the paper's Figure 3 (undeclared `clk`, index out of
+//! range) appear verbatim-adjacent in [`GuidanceDatabase::quartus`].
+
+use serde::{Deserialize, Serialize};
+
+use rtlfixer_verilog::diag::ErrorCategory;
+
+/// Which compiler's log style a database was curated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatabaseEdition {
+    /// Curated against iverilog logs (no numeric tags).
+    Iverilog,
+    /// Curated against Quartus logs (numeric tags present).
+    Quartus,
+}
+
+/// One database entry: a stored compiler log exemplar, the error category it
+/// was grouped under, and the human expert guidance (plus an optional code
+/// demonstration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuidanceEntry {
+    /// Stable id, unique within an edition.
+    pub id: String,
+    /// Error group.
+    pub category: ErrorCategorySlug,
+    /// Numeric compiler tag, when the edition's logs carry one.
+    pub error_tag: Option<u32>,
+    /// A representative compiler log fragment this entry was curated from.
+    pub log_exemplar: String,
+    /// The human expert guidance text.
+    pub guidance: String,
+    /// Optional before/after demonstration.
+    pub demonstration: Option<String>,
+}
+
+/// Serializable wrapper around [`ErrorCategory`] (stored as its slug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ErrorCategorySlug(pub ErrorCategory);
+
+impl Serialize for ErrorCategorySlug {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self.0.slug())
+    }
+}
+
+impl<'de> Deserialize<'de> for ErrorCategorySlug {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let slug = String::deserialize(d)?;
+        ErrorCategory::from_slug(&slug)
+            .map(ErrorCategorySlug)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown category slug '{slug}'")))
+    }
+}
+
+/// The guidance database for one compiler edition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuidanceDatabase {
+    /// Which compiler this database was curated against.
+    pub edition: DatabaseEdition,
+    /// All entries.
+    pub entries: Vec<GuidanceEntry>,
+}
+
+fn entry(
+    id: &str,
+    category: ErrorCategory,
+    tag: Option<u32>,
+    log: &str,
+    guidance: &str,
+    demo: Option<&str>,
+) -> GuidanceEntry {
+    GuidanceEntry {
+        id: id.to_owned(),
+        category: ErrorCategorySlug(category),
+        error_tag: tag,
+        log_exemplar: log.to_owned(),
+        guidance: guidance.to_owned(),
+        demonstration: demo.map(str::to_owned),
+    }
+}
+
+impl GuidanceDatabase {
+    /// Entries whose category is `category`.
+    pub fn entries_for(&self, category: ErrorCategory) -> Vec<&GuidanceEntry> {
+        self.entries.iter().filter(|e| e.category.0 == category).collect()
+    }
+
+    /// Distinct categories covered.
+    pub fn categories(&self) -> Vec<ErrorCategory> {
+        let mut cats: Vec<ErrorCategory> = self.entries.iter().map(|e| e.category.0).collect();
+        cats.sort_by_key(|c| *c as u8);
+        cats.dedup();
+        cats
+    }
+
+    /// Serialises to pretty JSON (for inspection / the open-sourced
+    /// artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("database serialises")
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// The Quartus-curated database: 11 categories, 45 entries.
+    pub fn quartus() -> Self {
+        use ErrorCategory::*;
+        let q = |c: ErrorCategory| Some(c.quartus_code());
+        let entries = vec![
+            // ---- undeclared identifier (5) — Figure 3, first example ----
+            entry("q-undeclared-clk", UndeclaredIdentifier, q(UndeclaredIdentifier),
+                "Object 'clk' is not declared. Verify the object name is correct. If the name is correct, declare the object.",
+                "Check if 'clk' is an input. If not, and if 'clk' is used within the module, make sure the name is correct. If it's meant to trigger an 'always' block, replace 'posedge clk' with '*'.",
+                Some("// before\nalways @(posedge clk) out <= in;\n// after (no clk port exists)\nalways @(*) out = in;")),
+            entry("q-undeclared-generic", UndeclaredIdentifier, q(UndeclaredIdentifier),
+                "object \"<name>\" is not declared",
+                "Declare the missing signal as a wire or reg with the width implied by its use, immediately after the module header. If the name is a typo for an existing port, rename the use instead.",
+                Some("// add after the header\nwire [7:0] missing_sig;")),
+            entry("q-undeclared-genvar", UndeclaredIdentifier, q(UndeclaredIdentifier),
+                "object \"i\" is not declared (generate loop)",
+                "Generate-for loop variables must be declared with 'genvar i;' before the loop. Procedural for loops need 'integer i;' or an inline 'int i' declaration.",
+                Some("genvar i;\nfor (i = 0; i < N; i = i + 1) begin : g ... end")),
+            entry("q-undeclared-reset", UndeclaredIdentifier, q(UndeclaredIdentifier),
+                "object \"reset\" is not declared",
+                "If the problem statement mentions a reset, the port list probably names it differently (rst, rst_n, areset). Use the exact port name from the module header; do not invent new ports.",
+                None),
+            entry("q-undeclared-intermediate", UndeclaredIdentifier, q(UndeclaredIdentifier),
+                "object used before any declaration in module body",
+                "Intermediate values used across expressions must be declared first. Add 'wire' declarations for combinational intermediates, 'reg' for values assigned in always blocks.",
+                None),
+            // ---- index out of range (5) — Figure 3, second example ----
+            entry("q-index-range", IndexOutOfRange, q(IndexOutOfRange),
+                "Index cannot fall outside the declared range for vector",
+                "Carefully examine the index values to prevent encountering 'index out of bound' errors in your code. When utilizing parameters for indexing, try to use binary strings for performing the indexing operation instead.",
+                None),
+            entry("q-index-msb", IndexOutOfRange, q(IndexOutOfRange),
+                "index N cannot fall outside the declared range [N-1:0]",
+                "A vector declared [N-1:0] has valid indices 0 through N-1; index N is one past the end. Off-by-one on the MSB is the most common cause — use N-1.",
+                Some("// before\nassign y = v[8]; // v is [7:0]\n// after\nassign y = v[7];")),
+            entry("q-index-reversal", IndexOutOfRange, q(IndexOutOfRange),
+                "index out of range while reversing bit order",
+                "When reversing an N-bit vector, the highest index used must be N-1 (e.g. out[i] = in[N-1-i]). Check the constant against the declared width.",
+                Some("assign out[i] = in[7 - i]; // for [7:0]")),
+            entry("q-index-partselect", IndexOutOfRange, q(IndexOutOfRange),
+                "part-select bounds outside the declared range",
+                "For a part select a[hi:lo], both hi and lo must lie within the declared range, and hi must be on the MSB side. For sliding windows prefer indexed selects a[base +: WIDTH].",
+                Some("assign y = a[idx*8 +: 8];")),
+            entry("q-index-concat", IndexOutOfRange, q(IndexOutOfRange),
+                "index out of range inside a concatenation l-value",
+                "Each bit referenced inside {..} must be in range. Count the elements: an 8-bit target needs exactly indices 0..7.",
+                None),
+            // ---- index arithmetic (4) — the hard Figure 6 class ----
+            entry("q-idxarith-negative", IndexArithmetic, q(IndexArithmetic),
+                "index -17 cannot fall outside the declared range [255:0]",
+                "The index expression can go negative for small loop values (e.g. (i-1)*16 + (j-1) at i=j=0). Guard the boundary cases explicitly, or add the modulus before multiplying: ((i+15)%16)*16 + ((j+15)%16).",
+                Some("wire [3:0] im1 = (i + 15) % 16;\nwire [3:0] jm1 = (j + 15) % 16;\nassign n = q[im1*16 + jm1];")),
+            entry("q-idxarith-wrap", IndexArithmetic, q(IndexArithmetic),
+                "computed index exceeds the declared range at loop extremes",
+                "Evaluate the index expression at the smallest and largest loop values before writing it. Wrap with % WIDTH for toroidal neighbourhoods; clamp otherwise.",
+                None),
+            entry("q-idxarith-scale", IndexArithmetic, q(IndexArithmetic),
+                "index scaled by element width overruns the vector",
+                "When indexing a flattened 2-D array as row*COLS + col, the maximum is ROWS*COLS-1. Verify both factors; off-by-one in either overruns the vector.",
+                None),
+            entry("q-idxarith-param", IndexArithmetic, q(IndexArithmetic),
+                "parameterised index expression out of range",
+                "When utilizing parameters for indexing, expand the expression with the parameter's actual value and check the bounds numerically; prefer localparam derived bounds over repeated arithmetic.",
+                None),
+            // ---- illegal procedural lvalue (4) ----
+            entry("q-proclv-wire", IllegalProceduralLvalue, q(IllegalProceduralLvalue),
+                "object on left-hand side of assignment must have a variable data type",
+                "Use assign statements instead of always block if possible. Otherwise change the declaration from wire to reg — anything assigned under always/initial must be a variable.",
+                Some("// before\nwire y; always @* y = a;\n// after\nreg y; always @* y = a;  // or: wire y; assign y = a;")),
+            entry("q-proclv-outputreg", IllegalProceduralLvalue, q(IllegalProceduralLvalue),
+                "output port assigned in always block without reg",
+                "Declare the output as 'output reg name' (or SystemVerilog 'output logic name') when it is written inside an always block.",
+                Some("module m(..., output reg [7:0] q);")),
+            entry("q-proclv-mixed", IllegalProceduralLvalue, q(IllegalProceduralLvalue),
+                "signal driven both by assign and always",
+                "A signal must have exactly one driver style: either a continuous assign (wire) or procedural writes (reg). Remove one of the drivers.",
+                None),
+            entry("q-proclv-porthdr", IllegalProceduralLvalue, q(IllegalProceduralLvalue),
+                "ANSI port lacks variable kind for procedural write",
+                "In ANSI headers the kind rides on the port: 'output reg [N-1:0] q'. Adding a separate 'reg q;' in the body also works for non-ANSI headers.",
+                None),
+            // ---- illegal continuous lvalue (4) ----
+            entry("q-contlv-reg", IllegalContinuousLvalue, q(IllegalContinuousLvalue),
+                "object of variable data type cannot be the target of a continuous assignment",
+                "A reg cannot be driven by 'assign'. Either declare the target as a wire, or move the assignment into an always @(*) block.",
+                Some("// before\noutput reg y; assign y = a;\n// after\noutput y; assign y = a;")),
+            entry("q-contlv-alwayscomb", IllegalContinuousLvalue, q(IllegalContinuousLvalue),
+                "assign to reg that is also written in always",
+                "Pick one driver: delete the assign and write the value inside the existing always block, or delete the always write and keep the assign on a wire.",
+                None),
+            entry("q-contlv-logic", IllegalContinuousLvalue, q(IllegalContinuousLvalue),
+                "assign target declared reg out of SystemVerilog habit",
+                "In plain Verilog use wire for assign targets. (SystemVerilog 'logic' would accept both; plain 'reg' does not.)",
+                None),
+            entry("q-contlv-initial", IllegalContinuousLvalue, q(IllegalContinuousLvalue),
+                "wire initialised procedurally",
+                "To give a net a constant value use 'assign w = value;' or a declaration initialiser 'wire w = value;', not an initial block.",
+                None),
+            // ---- assign to input (3) ----
+            entry("q-input-assigned", AssignToInput, q(AssignToInput),
+                "input port cannot be assigned a value",
+                "Input ports are driven from outside the module; never assign them. If the value must be produced here, the port direction is wrong — or you meant to assign a similarly-named internal signal.",
+                Some("// before\ninput ack; assign ack = ready;\n// after\noutput ack; assign ack = ready;")),
+            entry("q-input-loopback", AssignToInput, q(AssignToInput),
+                "feedback written to an input port",
+                "For feedback paths declare an internal wire/reg, assign that, and use it in expressions; leave the input untouched.",
+                None),
+            entry("q-input-swap", AssignToInput, q(AssignToInput),
+                "assignment direction reversed",
+                "Check whether the two sides of the assignment are swapped: 'assign input_sig = out_sig' usually meant 'assign out_sig = input_sig'.",
+                None),
+            // ---- port connection mismatch (4) ----
+            entry("q-port-name", PortConnectionMismatch, q(PortConnectionMismatch),
+                "Port does not exist in macrofunction",
+                "Named connections must use the instantiated module's exact port names. Open the module declaration and copy the names; do not guess abbreviations.",
+                Some("child c(.a(x), .y(z)); // ports are a and y, not in/out")),
+            entry("q-port-count", PortConnectionMismatch, q(PortConnectionMismatch),
+                "instance has wrong number of port connections",
+                "Positional connection lists must match the declared port count and order. Prefer named connections (.port(sig)) to make the mapping explicit.",
+                None),
+            entry("q-port-order", PortConnectionMismatch, q(PortConnectionMismatch),
+                "positional connections in wrong order",
+                "Positional port lists bind strictly by declaration order. If the instance compiles but behaves wrongly, switch to named connections.",
+                None),
+            entry("q-port-missing", PortConnectionMismatch, q(PortConnectionMismatch),
+                "required port left unconnected",
+                "Clock and reset ports must be connected. Add the missing .clk(clk) style connection.",
+                None),
+            // ---- redeclaration (3) ----
+            entry("q-redecl-dup", Redeclaration, q(Redeclaration),
+                "object is already declared in the present scope",
+                "Delete the duplicate declaration. With ANSI headers the port declaration already declares the signal — do not re-declare it in the body.",
+                Some("// before\nmodule m(output reg q); reg q;\n// after\nmodule m(output reg q);")),
+            entry("q-redecl-widths", Redeclaration, q(Redeclaration),
+                "same name declared with two different widths",
+                "Keep a single declaration with the correct width; update all uses to it.",
+                None),
+            entry("q-redecl-portbody", Redeclaration, q(Redeclaration),
+                "ANSI port re-declared in body",
+                "Non-ANSI style ('module m(q); output q; reg q;') needs the body declarations; ANSI style ('module m(output reg q)') must not repeat them. Use one style consistently.",
+                None),
+            // ---- syntax (5) ----
+            entry("q-syntax-semi", SyntaxError, q(SyntaxError),
+                "syntax error near text expecting ';'",
+                "A statement is missing its terminating semicolon, usually on the line before the reported one. Add the ';'.",
+                None),
+            entry("q-syntax-near", SyntaxError, q(SyntaxError),
+                "syntax error near text \"<token>\"",
+                "Check for and fix any syntax errors that appear immediately before or at the specified keyword: unclosed parentheses, missing commas in port lists, or stray tokens.",
+                None),
+            entry("q-syntax-sensitivity", SyntaxError, q(SyntaxError),
+                "always block missing sensitivity list",
+                "Synthesisable always blocks need '@(*)' for combinational logic or '@(posedge clk)' for sequential logic. Plain 'always begin' is not accepted.",
+                Some("always @(*) begin ... end")),
+            entry("q-syntax-assign-eq", SyntaxError, q(SyntaxError),
+                "expecting '=' or '<='",
+                "Procedural assignments use '=' (blocking) or '<=' (non-blocking). Check the statement is an assignment and not an expression used as a statement.",
+                None),
+            entry("q-syntax-portlist", SyntaxError, q(SyntaxError),
+                "syntax error in port list",
+                "Port list entries are comma-separated 'direction [range] name' groups. Look for a missing comma or an extra direction keyword.",
+                None),
+            // ---- unbalanced blocks (3) ----
+            entry("q-unbal-end", UnbalancedBlock, q(UnbalancedBlock),
+                "missing \"end\" to balance begin",
+                "Every 'begin' needs a matching 'end'. Count them — multi-statement always bodies and nested ifs are the usual culprits.",
+                None),
+            entry("q-unbal-endmodule", UnbalancedBlock, q(UnbalancedBlock),
+                "unexpected end of file; missing \"endmodule\"",
+                "Append 'endmodule' at the end of the module. If the code was cut off mid-generation, complete the final statement first.",
+                None),
+            entry("q-unbal-endcase", UnbalancedBlock, q(UnbalancedBlock),
+                "missing \"endcase\"",
+                "Every 'case' needs 'endcase' after the arms (and before the enclosing block's 'end').",
+                None),
+            // ---- C-style constructs (5) — the paper's 'confident in C/C++ syntax' class ----
+            entry("q-cstyle-incr", CStyleConstruct, q(CStyleConstruct),
+                "syntax error near \"++\"",
+                "Verilog has no ++/-- operators. Write the loop step as 'i = i + 1'. This C/C++ habit is the usual cause.",
+                Some("for (i = 0; i < N; i = i + 1)")),
+            entry("q-cstyle-compound", CStyleConstruct, q(CStyleConstruct),
+                "syntax error near \"+=\"",
+                "Compound assignment (+=, -=, *=) is not Verilog-2001. Expand it: 'sum = sum + x;'.",
+                Some("sum = sum + a[i];")),
+            entry("q-cstyle-bool", CStyleConstruct, q(CStyleConstruct),
+                "C type name used in declaration",
+                "Use Verilog types: reg/wire/integer, not bool/int (outside SystemVerilog contexts). A 1-bit flag is 'reg flag;'.",
+                None),
+            entry("q-cstyle-braces", CStyleConstruct, q(CStyleConstruct),
+                "curly braces used as statement block",
+                "Verilog blocks use begin/end, not { }. Curly braces mean concatenation in expressions.",
+                Some("if (en) begin q <= d; v <= 1; end")),
+            entry("q-cstyle-ternary-assign", CStyleConstruct, q(CStyleConstruct),
+                "expression statement is not valid Verilog",
+                "Statements must be assignments, control flow, or tasks. Bare expressions (like a C function-call statement) are invalid; assign the result to a signal.",
+                None),
+        ];
+        GuidanceDatabase { edition: DatabaseEdition::Quartus, entries }
+    }
+
+    /// The iverilog-curated database: 7 categories, 30 entries.
+    ///
+    /// iverilog logs carry no numeric tags, so `error_tag` is `None`
+    /// everywhere — which is exactly why exact-tag retrieval degrades on
+    /// this edition (§4.2, "Impact of RAG").
+    pub fn iverilog() -> Self {
+        use ErrorCategory::*;
+        let entries = vec![
+            // ---- undeclared (5) ----
+            entry("i-undeclared-bind", UndeclaredIdentifier, None,
+                "Unable to bind wire/reg/memory 'clk' in 'top_module'",
+                "Check if 'clk' is an input. If not, and if 'clk' is used within the module, make sure the name is correct. If it's meant to trigger an 'always' block, replace 'posedge clk' with '*'.",
+                Some("always @(*) out = in;")),
+            entry("i-undeclared-generic", UndeclaredIdentifier, None,
+                "Unable to bind wire/reg/memory '<name>'",
+                "Declare the missing signal (wire for combinational, reg for procedural targets) right after the module header, or fix the typo against the port list.",
+                None),
+            entry("i-undeclared-event", UndeclaredIdentifier, None,
+                "Failed to evaluate event expression 'posedge clk'",
+                "The event expression references a signal that does not exist. Use an existing clock port, or make the block combinational with @(*).",
+                None),
+            entry("i-undeclared-genvar", UndeclaredIdentifier, None,
+                "generate loop variable is not declared",
+                "Add 'genvar i;' before generate-for loops; 'integer i;' for procedural loops.",
+                None),
+            entry("i-undeclared-hier", UndeclaredIdentifier, None,
+                "Unable to bind wire/reg in nested scope",
+                "Signals declared in one begin/end scope are not visible outside it; hoist the declaration to module level.",
+                None),
+            // ---- index out of range (5) ----
+            entry("i-index-basic", IndexOutOfRange, None,
+                "Index out[8] is out of range.",
+                "A vector [7:0] has indices 0..7. Replace the out-of-range constant with the MSB index (width-1).",
+                Some("assign {out[0],...,out[7]} = in;")),
+            entry("i-index-loop", IndexOutOfRange, None,
+                "Index is out of range inside for loop",
+                "Check the loop bound against the vector width: 'i < WIDTH' with accesses at [i] and [WIDTH-1-i] stays in range.",
+                None),
+            entry("i-index-mem", IndexOutOfRange, None,
+                "word index outside memory range",
+                "A memory 'reg [7:0] m [0:D-1]' has words 0..D-1. Clamp or mask the address.",
+                None),
+            entry("i-index-partsel", IndexOutOfRange, None,
+                "part select out of range",
+                "Both bounds of [hi:lo] must be within the declaration; hi >= lo for descending ranges.",
+                None),
+            entry("i-index-arith", IndexOutOfRange, None,
+                "computed index out of range",
+                "Evaluate the index expression at the loop extremes; negative intermediate values overflow the range. Use modulo arithmetic for wrap-around neighbours.",
+                None),
+            // ---- procedural lvalue (5) ----
+            entry("i-proclv-basic", IllegalProceduralLvalue, None,
+                "out is not a valid l-value in top_module.",
+                "Use assign statements instead of always block if possible. Otherwise declare the target as reg ('output reg out').",
+                Some("output reg out;")),
+            entry("i-proclv-wire", IllegalProceduralLvalue, None,
+                "wire assigned in always block",
+                "Wires cannot be written procedurally. Change 'wire' to 'reg' or convert the always block to an assign.",
+                None),
+            entry("i-proclv-port", IllegalProceduralLvalue, None,
+                "output port written in always without reg",
+                "Add reg to the port declaration: 'output reg [N-1:0] q;'.",
+                None),
+            entry("i-proclv-nba", IllegalProceduralLvalue, None,
+                "non-blocking assignment to a net",
+                "'<=' targets must be variables (reg). Declare the target as reg, or use assign with '='.",
+                None),
+            entry("i-proclv-both", IllegalProceduralLvalue, None,
+                "signal has both assign and always drivers",
+                "Remove one driver; a signal is either a continuously-assigned wire or a procedurally-assigned reg.",
+                None),
+            // ---- continuous lvalue (4) ----
+            entry("i-contlv-basic", IllegalContinuousLvalue, None,
+                "reg q; cannot be driven by primitives or continuous assignment.",
+                "Drop the reg (make it a wire) or move the logic into an always block.",
+                Some("output q; assign q = a; // or: output reg q; always @* q = a;")),
+            entry("i-contlv-output", IllegalContinuousLvalue, None,
+                "output reg driven by assign",
+                "Remove 'reg' from the port declaration when the output is driven by assign.",
+                None),
+            entry("i-contlv-double", IllegalContinuousLvalue, None,
+                "reg also written by always elsewhere",
+                "Consolidate into the always block; delete the assign.",
+                None),
+            entry("i-contlv-init", IllegalContinuousLvalue, None,
+                "continuous assignment to an integer",
+                "Integers are variables; use a wire (with a width) for assign targets.",
+                None),
+            // ---- port mismatch (4) ----
+            entry("i-port-name", PortConnectionMismatch, None,
+                "port ``x'' is not a port of instance.",
+                "Use the instantiated module's exact port names in named connections; open its declaration and copy them.",
+                None),
+            entry("i-port-count", PortConnectionMismatch, None,
+                "Wrong number of ports",
+                "Positional connections must cover every declared port, in order. Prefer named connections.",
+                None),
+            entry("i-port-dir", PortConnectionMismatch, None,
+                "output port connected to an expression",
+                "Output connections must be plain signals (or concatenations of them), not computed expressions.",
+                None),
+            entry("i-port-width", PortConnectionMismatch, None,
+                "port width mismatch warning escalated",
+                "Match the connected signal's width to the port's declaration; slice or pad explicitly.",
+                None),
+            // ---- unknown module (3) ----
+            entry("i-unkmod-typo", UnknownModule, None,
+                "Unknown module type: <name>",
+                "The instantiated module name does not match any definition. Fix the spelling, or define the helper module in the same source.",
+                None),
+            entry("i-unkmod-helper", UnknownModule, None,
+                "helper module not defined",
+                "If the problem expects a single module, inline the helper's logic instead of instantiating an undefined module.",
+                None),
+            entry("i-unkmod-prim", UnknownModule, None,
+                "unsupported primitive instantiated",
+                "Write the logic with operators (&, |, ^, ~) instead of gate primitives when the flow does not provide them.",
+                None),
+            // ---- syntax (4) — covers all the bare 'syntax error' cases ----
+            entry("i-syntax-giveup", SyntaxError, None,
+                "syntax error / I give up.",
+                "iverilog stops explaining after repeated parse failures. Re-check the basics in order: every statement ends with ';', every begin has an end, the module ends with 'endmodule', and no C operators (++, +=) appear.",
+                None),
+            entry("i-syntax-semi", SyntaxError, None,
+                "syntax error (missing semicolon)",
+                "Look at the line *before* the reported one for a missing ';'.",
+                None),
+            entry("i-syntax-cstyle", SyntaxError, None,
+                "syntax error near C-style operator",
+                "Replace ++/--/+=/-= with explicit Verilog arithmetic: 'i = i + 1'.",
+                Some("for (i = 0; i < N; i = i + 1)")),
+            entry("i-syntax-malformed", SyntaxError, None,
+                "error: malformed statement",
+                "The statement is not a legal Verilog form; common causes are assignments without '=' or '<=', and expressions used as statements.",
+                None),
+        ];
+        GuidanceDatabase { edition: DatabaseEdition::Iverilog, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartus_shape_matches_paper() {
+        let db = GuidanceDatabase::quartus();
+        assert_eq!(db.entries.len(), 45, "paper: 45 Quartus entries");
+        assert_eq!(db.categories().len(), 11, "paper: 11 Quartus categories");
+        assert!(db.entries.iter().all(|e| e.error_tag.is_some()));
+    }
+
+    #[test]
+    fn iverilog_shape_matches_paper() {
+        let db = GuidanceDatabase::iverilog();
+        assert_eq!(db.entries.len(), 30, "paper: 30 iverilog entries");
+        assert_eq!(db.categories().len(), 7, "paper: 7 iverilog categories");
+        assert!(db.entries.iter().all(|e| e.error_tag.is_none()));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        for db in [GuidanceDatabase::quartus(), GuidanceDatabase::iverilog()] {
+            let mut ids: Vec<&str> = db.entries.iter().map(|e| e.id.as_str()).collect();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "duplicate ids in {:?}", db.edition);
+        }
+    }
+
+    #[test]
+    fn figure3_entries_present() {
+        let db = GuidanceDatabase::quartus();
+        let clk = db.entries.iter().find(|e| e.id == "q-undeclared-clk").unwrap();
+        assert!(clk.guidance.contains("replace 'posedge clk' with '*'"));
+        let idx = db.entries.iter().find(|e| e.id == "q-index-range").unwrap();
+        assert!(idx.guidance.contains("binary strings"));
+    }
+
+    #[test]
+    fn entries_for_filters_by_category() {
+        let db = GuidanceDatabase::quartus();
+        let entries = db.entries_for(ErrorCategory::CStyleConstruct);
+        assert_eq!(entries.len(), 5);
+        assert!(entries.iter().all(|e| e.category.0 == ErrorCategory::CStyleConstruct));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let db = GuidanceDatabase::quartus();
+        let json = db.to_json();
+        let back = GuidanceDatabase::from_json(&json).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn quartus_tags_match_categories() {
+        let db = GuidanceDatabase::quartus();
+        for entry in &db.entries {
+            assert_eq!(entry.error_tag, Some(entry.category.0.quartus_code()), "{}", entry.id);
+        }
+    }
+}

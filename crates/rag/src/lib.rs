@@ -1,0 +1,36 @@
+//! # rtlfixer-rag
+//!
+//! The Retrieval-Augmented Generation subsystem of the RTLFixer
+//! reproduction: a curated database of error-category → human-expert
+//! guidance ([`database::GuidanceDatabase`]) and the retrievers that match
+//! compiler logs against it ([`retriever`]).
+//!
+//! Database shapes follow §3.3 of the paper exactly: 7 categories / 30
+//! entries for iverilog, 11 categories / 45 entries for Quartus. The default
+//! retrieval strategy is the paper's: exact match on compiler error tags,
+//! with a Jaccard fuzzy fallback for tag-less logs.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtlfixer_rag::{GuidanceDatabase, RetrievalQuery, Retriever, DefaultRetriever};
+//!
+//! let db = GuidanceDatabase::quartus();
+//! let query = RetrievalQuery::from_log(
+//!     "Error (10161): object \"clk\" is not declared.",
+//! );
+//! let hits = DefaultRetriever::new().retrieve(&db, &query);
+//! assert!(hits[0].entry.guidance.contains("clk"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod retriever;
+pub mod text;
+
+pub use database::{DatabaseEdition, GuidanceDatabase, GuidanceEntry};
+pub use retriever::{
+    DefaultRetriever, ExactTagRetriever, JaccardRetriever, Retrieved, RetrievalQuery, Retriever,
+    TfIdfRetriever,
+};

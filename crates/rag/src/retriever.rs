@@ -1,0 +1,349 @@
+//! Retrievers over the guidance database.
+//!
+//! §3.3: *"common retrievers such as pattern-matching, fuzzy search, or
+//! similarity search with a vector database are suitable. In our
+//! experiments, we opted for an exact match to error tags for simplicity."*
+//!
+//! All three options are implemented:
+//!
+//! * [`ExactTagRetriever`] — the paper's choice: match on numeric error
+//!   tags parsed from the log. Only works when the log carries tags
+//!   (Quartus), which is the mechanism behind RAG helping Quartus more than
+//!   iverilog in Table 1.
+//! * [`JaccardRetriever`] — fuzzy token-set matching, the fallback that
+//!   still works on tag-less iverilog logs.
+//! * [`TfIdfRetriever`] — cosine similarity over a TF-IDF index, the
+//!   "vector database" stand-in.
+
+use rtlfixer_verilog::diag::ErrorCategory;
+
+use crate::database::{GuidanceDatabase, GuidanceEntry};
+use crate::text::{jaccard_similarity, TfIdfIndex};
+
+/// A retrieval request: the compiler log (the `RAG[logs]` action input in
+/// Figure 2b) plus any structured hints the caller has.
+#[derive(Debug, Clone, Default)]
+pub struct RetrievalQuery {
+    /// The raw compiler log text.
+    pub log: String,
+}
+
+impl RetrievalQuery {
+    /// Builds a query from a log string.
+    pub fn from_log(log: impl Into<String>) -> Self {
+        RetrievalQuery { log: log.into() }
+    }
+
+    /// Numeric error tags found in the log (`Error (10161): …`).
+    pub fn tags(&self) -> Vec<u32> {
+        let mut tags = Vec::new();
+        let bytes = self.log.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'(' {
+                let mut j = i + 1;
+                let mut value: u32 = 0;
+                let mut digits = 0;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    value = value.saturating_mul(10) + u32::from(bytes[j] - b'0');
+                    digits += 1;
+                    j += 1;
+                }
+                if digits >= 4 && j < bytes.len() && bytes[j] == b')' && !tags.contains(&value) {
+                    tags.push(value);
+                }
+                i = j;
+            }
+            i += 1;
+        }
+        tags
+    }
+}
+
+/// A retrieved entry with its match score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieved<'a> {
+    /// The matched database entry.
+    pub entry: &'a GuidanceEntry,
+    /// Retriever-specific score (1.0 for exact tag matches).
+    pub score: f64,
+}
+
+/// Object-safe retriever interface.
+pub trait Retriever: Send + Sync {
+    /// Name for reports.
+    fn name(&self) -> &str;
+
+    /// Returns matching entries, best first.
+    fn retrieve<'a>(
+        &self,
+        db: &'a GuidanceDatabase,
+        query: &RetrievalQuery,
+    ) -> Vec<Retrieved<'a>>;
+}
+
+/// The paper's retriever: exact match on compiler error tags.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactTagRetriever {
+    _private: (),
+}
+
+impl ExactTagRetriever {
+    /// Creates the retriever.
+    pub fn new() -> Self {
+        ExactTagRetriever { _private: () }
+    }
+}
+
+impl Retriever for ExactTagRetriever {
+    fn name(&self) -> &str {
+        "exact-tag"
+    }
+
+    fn retrieve<'a>(
+        &self,
+        db: &'a GuidanceDatabase,
+        query: &RetrievalQuery,
+    ) -> Vec<Retrieved<'a>> {
+        let tags = query.tags();
+        if tags.is_empty() {
+            return Vec::new();
+        }
+        db.entries
+            .iter()
+            .filter(|e| e.error_tag.is_some_and(|t| tags.contains(&t)))
+            .map(|entry| Retrieved { entry, score: 1.0 })
+            .collect()
+    }
+}
+
+/// Fuzzy retriever: Jaccard similarity between the query log and each
+/// entry's stored log exemplar.
+#[derive(Debug, Clone, Copy)]
+pub struct JaccardRetriever {
+    /// Minimum similarity to count as a match.
+    pub threshold: f64,
+    /// Maximum entries returned.
+    pub top_k: usize,
+}
+
+impl Default for JaccardRetriever {
+    fn default() -> Self {
+        JaccardRetriever { threshold: 0.12, top_k: 3 }
+    }
+}
+
+impl JaccardRetriever {
+    /// Creates a retriever with the default threshold (0.12) and top-k (3).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Retriever for JaccardRetriever {
+    fn name(&self) -> &str {
+        "jaccard"
+    }
+
+    fn retrieve<'a>(
+        &self,
+        db: &'a GuidanceDatabase,
+        query: &RetrievalQuery,
+    ) -> Vec<Retrieved<'a>> {
+        let mut scored: Vec<Retrieved<'a>> = db
+            .entries
+            .iter()
+            .map(|entry| Retrieved {
+                entry,
+                score: jaccard_similarity(&query.log, &entry.log_exemplar),
+            })
+            .filter(|r| r.score >= self.threshold)
+            .collect();
+        scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(self.top_k);
+        scored
+    }
+}
+
+/// Vector-similarity retriever: TF-IDF cosine over entry log exemplars
+/// plus guidance text.
+#[derive(Debug, Clone)]
+pub struct TfIdfRetriever {
+    /// Minimum cosine similarity to count as a match.
+    pub threshold: f64,
+    /// Maximum entries returned.
+    pub top_k: usize,
+}
+
+impl Default for TfIdfRetriever {
+    fn default() -> Self {
+        TfIdfRetriever { threshold: 0.08, top_k: 3 }
+    }
+}
+
+impl TfIdfRetriever {
+    /// Creates a retriever with default threshold and top-k.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Retriever for TfIdfRetriever {
+    fn name(&self) -> &str {
+        "tfidf"
+    }
+
+    fn retrieve<'a>(
+        &self,
+        db: &'a GuidanceDatabase,
+        query: &RetrievalQuery,
+    ) -> Vec<Retrieved<'a>> {
+        let corpus: Vec<String> = db
+            .entries
+            .iter()
+            .map(|e| format!("{} {}", e.log_exemplar, e.guidance))
+            .collect();
+        let index = TfIdfIndex::new(&corpus);
+        index
+            .top_k(&query.log, self.top_k)
+            .into_iter()
+            .filter(|(_, score)| *score >= self.threshold)
+            .map(|(i, score)| Retrieved { entry: &db.entries[i], score })
+            .collect()
+    }
+}
+
+/// The paper's composite strategy: exact tag match when the log carries
+/// tags, Jaccard fuzzy fallback otherwise.
+#[derive(Debug, Clone, Default)]
+pub struct DefaultRetriever {
+    exact: ExactTagRetriever,
+    fuzzy: JaccardRetriever,
+}
+
+impl DefaultRetriever {
+    /// Creates the composite retriever.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Retriever for DefaultRetriever {
+    fn name(&self) -> &str {
+        "exact-tag+jaccard-fallback"
+    }
+
+    fn retrieve<'a>(
+        &self,
+        db: &'a GuidanceDatabase,
+        query: &RetrievalQuery,
+    ) -> Vec<Retrieved<'a>> {
+        let exact = self.exact.retrieve(db, query);
+        if !exact.is_empty() {
+            return exact;
+        }
+        self.fuzzy.retrieve(db, query)
+    }
+}
+
+/// Convenience: the error categories covered by a retrieval result.
+pub fn retrieved_categories(results: &[Retrieved<'_>]) -> Vec<ErrorCategory> {
+    let mut cats: Vec<ErrorCategory> = results.iter().map(|r| r.entry.category.0).collect();
+    cats.sort_by_key(|c| *c as u8);
+    cats.dedup();
+    cats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUARTUS_LOG: &str = "Error (10161): Verilog HDL error at main.sv(2): object \"clk\" \
+                               is not declared. Verify the object name is correct.";
+    const IVERILOG_LOG: &str =
+        "main.v:2: error: Unable to bind wire/reg/memory 'clk' in 'top_module'";
+
+    #[test]
+    fn tag_parsing() {
+        let q = RetrievalQuery::from_log(QUARTUS_LOG);
+        assert_eq!(q.tags(), vec![10161]);
+        let q2 = RetrievalQuery::from_log("Error (10232): ... Error (10161): ... Error (10232):");
+        assert_eq!(q2.tags(), vec![10232, 10161]);
+        // Short parenthesised numbers (line numbers) are not tags.
+        let q3 = RetrievalQuery::from_log("error at main.sv(2): something");
+        assert!(q3.tags().is_empty());
+    }
+
+    #[test]
+    fn exact_tag_hits_on_quartus_log() {
+        let db = GuidanceDatabase::quartus();
+        let results =
+            ExactTagRetriever::new().retrieve(&db, &RetrievalQuery::from_log(QUARTUS_LOG));
+        assert!(!results.is_empty());
+        assert!(results
+            .iter()
+            .all(|r| r.entry.category.0 == ErrorCategory::UndeclaredIdentifier));
+    }
+
+    #[test]
+    fn exact_tag_misses_on_iverilog_log() {
+        // The mechanism behind RAG+iverilog < RAG+Quartus in Table 1.
+        let db = GuidanceDatabase::iverilog();
+        let results =
+            ExactTagRetriever::new().retrieve(&db, &RetrievalQuery::from_log(IVERILOG_LOG));
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn jaccard_recovers_iverilog_match() {
+        let db = GuidanceDatabase::iverilog();
+        let results =
+            JaccardRetriever::new().retrieve(&db, &RetrievalQuery::from_log(IVERILOG_LOG));
+        assert!(!results.is_empty());
+        assert_eq!(results[0].entry.category.0, ErrorCategory::UndeclaredIdentifier);
+    }
+
+    #[test]
+    fn default_retriever_falls_back() {
+        let db = GuidanceDatabase::iverilog();
+        let retriever = DefaultRetriever::new();
+        let results = retriever.retrieve(&db, &RetrievalQuery::from_log(IVERILOG_LOG));
+        assert!(!results.is_empty(), "fuzzy fallback should fire");
+        let db_q = GuidanceDatabase::quartus();
+        let results_q = retriever.retrieve(&db_q, &RetrievalQuery::from_log(QUARTUS_LOG));
+        assert!(results_q.iter().all(|r| r.score == 1.0), "exact path should win");
+    }
+
+    #[test]
+    fn tfidf_finds_index_entries() {
+        let db = GuidanceDatabase::quartus();
+        let log = "Error (10232): index 8 cannot fall outside the declared range [7:0] \
+                   for vector \"out\"";
+        let results = TfIdfRetriever::new().retrieve(&db, &RetrievalQuery::from_log(log));
+        assert!(!results.is_empty());
+        let cats = retrieved_categories(&results);
+        assert!(
+            cats.contains(&ErrorCategory::IndexOutOfRange)
+                || cats.contains(&ErrorCategory::IndexArithmetic),
+            "{cats:?}"
+        );
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let db = GuidanceDatabase::quartus();
+        let results = JaccardRetriever { threshold: 0.0, top_k: 10 }
+            .retrieve(&db, &RetrievalQuery::from_log(QUARTUS_LOG));
+        for pair in results.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn empty_log_retrieves_nothing_exact() {
+        let db = GuidanceDatabase::quartus();
+        assert!(ExactTagRetriever::new()
+            .retrieve(&db, &RetrievalQuery::default())
+            .is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Text utilities shared by the retrievers and (via this crate) the dataset
+//! curation pipeline: tokenisation, Jaccard similarity and TF-IDF cosine.
+
+use std::collections::{HashMap, HashSet};
+
+/// Splits text into lowercase alphanumeric tokens; numbers survive as
+/// tokens so error tags like `10161` are matchable.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            current.push(c.to_ascii_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Jaccard similarity of the token *sets* of two texts, in `[0, 1]`.
+///
+/// This is the distance the paper uses both for fuzzy retrieval and for the
+/// DBSCAN clustering of the VerilogEval-syntax dataset (Jaccard distance =
+/// `1 - similarity`).
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_rag::text::jaccard_similarity;
+///
+/// assert_eq!(jaccard_similarity("a b c", "a b c"), 1.0);
+/// assert_eq!(jaccard_similarity("a b", "c d"), 0.0);
+/// assert!((jaccard_similarity("a b c", "b c d") - 0.5).abs() < 1e-9);
+/// ```
+pub fn jaccard_similarity(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = tokenize(a).into_iter().collect();
+    let sb: HashSet<String> = tokenize(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Jaccard distance (`1 - similarity`).
+pub fn jaccard_distance(a: &str, b: &str) -> f64 {
+    1.0 - jaccard_similarity(a, b)
+}
+
+/// A small TF-IDF vector index over a fixed corpus, with cosine-similarity
+/// queries — the "similarity search with a vector database" retriever
+/// option the paper mentions in §3.3.
+#[derive(Debug, Clone)]
+pub struct TfIdfIndex {
+    /// Per-document term-frequency vectors (L2-normalised lazily).
+    docs: Vec<HashMap<String, f64>>,
+    idf: HashMap<String, f64>,
+}
+
+impl TfIdfIndex {
+    /// Builds an index over `corpus`.
+    pub fn new<S: AsRef<str>>(corpus: &[S]) -> Self {
+        let n = corpus.len().max(1) as f64;
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        let mut raw_docs = Vec::new();
+        for doc in corpus {
+            let tokens = tokenize(doc.as_ref());
+            let mut tf: HashMap<String, f64> = HashMap::new();
+            for token in &tokens {
+                *tf.entry(token.clone()).or_insert(0.0) += 1.0;
+            }
+            for term in tf.keys() {
+                *doc_freq.entry(term.clone()).or_insert(0) += 1;
+            }
+            raw_docs.push(tf);
+        }
+        let idf: HashMap<String, f64> = doc_freq
+            .into_iter()
+            .map(|(term, df)| (term, (n / (1.0 + df as f64)).ln() + 1.0))
+            .collect();
+        let docs = raw_docs
+            .into_iter()
+            .map(|tf| {
+                tf.into_iter()
+                    .map(|(term, count)| {
+                        let weight = count * idf.get(&term).copied().unwrap_or(1.0);
+                        (term, weight)
+                    })
+                    .collect()
+            })
+            .collect();
+        TfIdfIndex { docs, idf }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Cosine similarity of `query` against document `idx`.
+    pub fn similarity(&self, idx: usize, query: &str) -> f64 {
+        let Some(doc) = self.docs.get(idx) else { return 0.0 };
+        let mut qv: HashMap<String, f64> = HashMap::new();
+        for token in tokenize(query) {
+            *qv.entry(token).or_insert(0.0) += 1.0;
+        }
+        for (term, weight) in qv.iter_mut() {
+            *weight *= self.idf.get(term).copied().unwrap_or(1.0);
+        }
+        let dot: f64 = qv
+            .iter()
+            .filter_map(|(term, qw)| doc.get(term).map(|dw| qw * dw))
+            .sum();
+        let qn: f64 = qv.values().map(|w| w * w).sum::<f64>().sqrt();
+        let dn: f64 = doc.values().map(|w| w * w).sum::<f64>().sqrt();
+        if qn == 0.0 || dn == 0.0 {
+            0.0
+        } else {
+            dot / (qn * dn)
+        }
+    }
+
+    /// Indices of the `k` most similar documents with their scores,
+    /// best first.
+    pub fn top_k(&self, query: &str, k: usize) -> Vec<(usize, f64)> {
+        let mut scored: Vec<(usize, f64)> =
+            (0..self.docs.len()).map(|i| (i, self.similarity(i, query))).collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_keeps_numbers_and_underscores() {
+        assert_eq!(
+            tokenize("Error (10161): top_module \"clk\""),
+            vec!["error", "10161", "top_module", "clk"]
+        );
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        assert_eq!(jaccard_similarity("", ""), 1.0);
+        assert_eq!(jaccard_similarity("x", ""), 0.0);
+        assert_eq!(jaccard_distance("a b", "a b"), 0.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric() {
+        let a = "index out of range for vector";
+        let b = "index 8 cannot fall outside range";
+        assert_eq!(jaccard_similarity(a, b), jaccard_similarity(b, a));
+    }
+
+    #[test]
+    fn tfidf_ranks_relevant_doc_first() {
+        let corpus = [
+            "object is not declared verify the object name",
+            "index cannot fall outside the declared range for vector",
+            "syntax error near text expecting",
+        ];
+        let index = TfIdfIndex::new(&corpus);
+        assert_eq!(index.len(), 3);
+        let top = index.top_k("index 5 cannot fall outside declared range", 1);
+        assert_eq!(top[0].0, 1);
+        assert!(top[0].1 > 0.5);
+    }
+
+    #[test]
+    fn tfidf_zero_for_disjoint_query() {
+        let index = TfIdfIndex::new(&["alpha beta", "gamma delta"]);
+        assert_eq!(index.similarity(0, "zeta eta"), 0.0);
+    }
+}

@@ -1,0 +1,1539 @@
+//! The simulation interpreter: a tree-walking executor over an elaborated
+//! [`Design`], with two-phase (non-blocking) sequential semantics and
+//! settle-to-fixpoint combinational evaluation.
+
+use std::collections::HashMap;
+
+use rtlfixer_verilog::ast::{
+    AssignOp, BinaryOp, CaseKind, Edge, Expr, SelectMode, Stmt, UnaryOp,
+};
+use rtlfixer_verilog::token::Base;
+
+use crate::elab::{Design, Proc, ProcKind, Scope, SigDef};
+use crate::value::{Bit, LogicVec, ReduceOp};
+
+/// Maximum iterations of the combinational settle loop before the design is
+/// declared unstable (combinational oscillation).
+const MAX_SETTLE: usize = 64;
+/// Maximum iterations of any procedural loop.
+const MAX_LOOP: usize = 65_536;
+/// Maximum user-function call depth.
+const MAX_CALL_DEPTH: usize = 32;
+
+/// One stored signal: a plain vector or a memory array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateValue {
+    /// Packed vector.
+    Vec(LogicVec),
+    /// Memory (unpacked array of words).
+    Array(Vec<LogicVec>),
+}
+
+/// A resolved non-blocking write target.
+#[derive(Debug, Clone)]
+enum Target {
+    Whole(String),
+    Bits(String, u32, u32),
+    Word(String, usize),
+    WordBits(String, usize, u32, u32),
+    /// Local variables commit immediately even under `<=`.
+    Discard,
+}
+
+/// A scheduled non-blocking write.
+#[derive(Debug, Clone)]
+pub(crate) struct NbaWrite {
+    target: Target,
+    value: LogicVec,
+}
+
+/// Simulation-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Combinational logic failed to reach a fixpoint.
+    Unstable,
+    /// Referenced port does not exist.
+    NoSuchPort(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Unstable => write!(f, "combinational logic did not settle"),
+            SimError::NoSuchPort(name) => write!(f, "no such port '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A cycle-level simulator over an elaborated design.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_sim::{Simulator, value::LogicVec};
+/// use rtlfixer_verilog::compile;
+///
+/// let analysis = compile("module inv(input [3:0] a, output [3:0] y);
+///                         assign y = ~a; endmodule");
+/// let mut sim = Simulator::new(&analysis, "inv")?;
+/// sim.poke("a", LogicVec::from_u64(4, 0b1010))?;
+/// sim.settle()?;
+/// assert_eq!(sim.peek("y").unwrap().to_u64(), Some(0b0101));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: Design,
+    state: HashMap<String, StateValue>,
+}
+
+impl Simulator {
+    /// Elaborates `top` and initialises all signals to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`crate::elab::ElabError`] if the design does
+    /// not elaborate.
+    pub fn new(
+        analysis: &rtlfixer_verilog::Analysis,
+        top: &str,
+    ) -> Result<Simulator, crate::elab::ElabError> {
+        let design = crate::elab::elaborate(analysis, top)?;
+        let mut state = HashMap::new();
+        for (name, def) in &design.signals {
+            let value = if def.words.is_some() {
+                StateValue::Array(vec![LogicVec::zeros(def.width); def.word_count()])
+            } else {
+                StateValue::Vec(LogicVec::zeros(def.width))
+            };
+            state.insert(name.clone(), value);
+        }
+        Ok(Simulator { design, state })
+    }
+
+    /// The elaborated design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Sets a signal (usually a top-level input) without propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchPort`] for unknown names.
+    pub fn poke(&mut self, name: &str, value: LogicVec) -> Result<(), SimError> {
+        let def =
+            self.design.signals.get(name).ok_or_else(|| SimError::NoSuchPort(name.to_owned()))?;
+        let width = def.width;
+        self.state.insert(name.to_owned(), StateValue::Vec(value.resize(width)));
+        Ok(())
+    }
+
+    /// Reads a signal's current value (vectors only).
+    pub fn peek(&self, name: &str) -> Option<LogicVec> {
+        match self.state.get(name)? {
+            StateValue::Vec(v) => Some(v.clone()),
+            StateValue::Array(_) => None,
+        }
+    }
+
+    /// Reads one word of a memory.
+    pub fn peek_word(&self, name: &str, index: usize) -> Option<LogicVec> {
+        match self.state.get(name)? {
+            StateValue::Array(words) => words.get(index).cloned(),
+            StateValue::Vec(_) => None,
+        }
+    }
+
+    /// Runs `initial` processes once (blocking semantics) and settles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] if combinational logic oscillates.
+    pub fn run_initial(&mut self) -> Result<(), SimError> {
+        let procs = self.design.init.clone();
+        for proc in &procs {
+            self.run_proc(proc);
+        }
+        self.settle()
+    }
+
+    /// Propagates combinational logic to a fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] if no fixpoint is reached within the
+    /// iteration cap (combinational loop).
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        for _ in 0..MAX_SETTLE {
+            let before = self.state.clone();
+            let procs = self.design.comb.clone();
+            for proc in &procs {
+                self.run_proc(proc);
+            }
+            if self.state == before {
+                return Ok(());
+            }
+        }
+        Err(SimError::Unstable)
+    }
+
+    /// Applies an edge event on `signal`: updates its value, executes every
+    /// sequential process sensitive to that edge (non-blocking semantics),
+    /// commits, and settles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from settling.
+    pub fn edge(&mut self, signal: &str, edge: Edge) -> Result<(), SimError> {
+        let new_val = match edge {
+            Edge::Pos => 1,
+            Edge::Neg => 0,
+        };
+        if let Some(def) = self.design.signals.get(signal) {
+            let width = def.width;
+            self.state
+                .insert(signal.to_owned(), StateValue::Vec(LogicVec::from_u64(width, new_val)));
+        }
+        let mut nba = Vec::new();
+        let procs = self.design.seq.clone();
+        for proc in &procs {
+            if proc.edges.iter().any(|(e, s)| *e == edge && s == signal) {
+                let mut locals = Vec::new();
+                exec(
+                    &self.design,
+                    &mut self.state,
+                    &proc.scope,
+                    &mut locals,
+                    &proc.body,
+                    &mut Some(&mut nba),
+                    0,
+                );
+            }
+        }
+        for write in nba {
+            commit(&mut self.state, write);
+        }
+        self.settle()
+    }
+
+    /// One full clock cycle: inputs should already be poked. Drives `clk`
+    /// low→high (triggering posedge processes) and back low (triggering any
+    /// negedge processes), settling in between.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from settling.
+    pub fn clock_cycle(&mut self, clk: &str) -> Result<(), SimError> {
+        self.settle()?;
+        self.edge(clk, Edge::Pos)?;
+        self.edge(clk, Edge::Neg)
+    }
+
+    fn run_proc(&mut self, proc: &Proc) {
+        let mut locals = Vec::new();
+        match &proc.kind {
+            ProcKind::Assign { lhs, rhs } => {
+                let width =
+                    lvalue_width(&self.design, &self.state, &proc.scope, &locals, lhs);
+                let value = eval_sized(
+                    &self.design,
+                    &self.state,
+                    &proc.scope,
+                    &locals,
+                    rhs,
+                    width,
+                    0,
+                );
+                assign_to(
+                    &self.design,
+                    &mut self.state,
+                    &proc.scope,
+                    &mut locals,
+                    lhs,
+                    value,
+                    &mut None,
+                );
+            }
+            ProcKind::Block(body) => {
+                exec(
+                    &self.design,
+                    &mut self.state,
+                    &proc.scope,
+                    &mut locals,
+                    body,
+                    &mut None,
+                    0,
+                );
+            }
+            ProcKind::BindIn { child, expr } => {
+                let child_width =
+                    self.design.signals.get(child).map_or(1, |def| def.width);
+                let value = eval_sized(
+                    &self.design,
+                    &self.state,
+                    &proc.scope,
+                    &locals,
+                    expr,
+                    child_width,
+                    0,
+                );
+                if let Some(def) = self.design.signals.get(child) {
+                    let width = def.width;
+                    self.state.insert(child.clone(), StateValue::Vec(value.resize(width)));
+                }
+            }
+            ProcKind::BindOut { lhs, child } => {
+                if let Some(StateValue::Vec(value)) = self.state.get(child).cloned() {
+                    assign_to(
+                        &self.design,
+                        &mut self.state,
+                        &proc.scope,
+                        &mut locals,
+                        lhs,
+                        value,
+                        &mut None,
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---- name resolution ------------------------------------------------------
+
+/// Resolves `name` against the scope chain: `scope_prefix + name`, then
+/// stripping one generate-scope segment at a time down to `module_prefix`.
+fn resolve_signal(design: &Design, scope: &Scope, name: &str) -> Option<String> {
+    let mut prefix = scope.scope_prefix.clone();
+    loop {
+        let candidate = format!("{prefix}{name}");
+        if design.signals.contains_key(&candidate) {
+            return Some(candidate);
+        }
+        if prefix == scope.module_prefix {
+            return None;
+        }
+        // Strip the last `seg.` from the prefix.
+        let trimmed = &prefix[..prefix.len() - 1]; // drop trailing '.'
+        match trimmed.rfind('.') {
+            Some(pos) => prefix = prefix[..pos + 1].to_owned(),
+            None => prefix = String::new(),
+        }
+        if prefix.len() < scope.module_prefix.len() {
+            return None;
+        }
+    }
+}
+
+fn signal_def<'d>(design: &'d Design, full: &str) -> Option<&'d SigDef> {
+    design.signals.get(full)
+}
+
+// ---- expression evaluation --------------------------------------------------
+
+fn param_value(value: i64) -> LogicVec {
+    LogicVec::from_u64(32, value as u64)
+}
+
+/// Evaluates `expr` in `scope` against the current state.
+pub(crate) fn eval(
+    design: &Design,
+    state: &HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &[HashMap<String, LogicVec>],
+    expr: &Expr,
+    depth: usize,
+) -> LogicVec {
+    match expr {
+        Expr::Ident { name, .. } => {
+            for frame in locals.iter().rev() {
+                if let Some(v) = frame.get(name) {
+                    return v.clone();
+                }
+            }
+            if let Some(value) = scope.params.get(name) {
+                return param_value(*value);
+            }
+            if let Some(full) = resolve_signal(design, scope, name) {
+                return match state.get(&full) {
+                    Some(StateValue::Vec(v)) => v.clone(),
+                    _ => LogicVec::xs(1),
+                };
+            }
+            LogicVec::xs(32)
+        }
+        Expr::Literal { size, base, digits, .. } => {
+            let width = size.unwrap_or(32);
+            let radix = base.map_or(10, Base::radix);
+            LogicVec::from_digits(width, digits, radix)
+        }
+        Expr::Str { value, .. } => {
+            let width = (8 * value.len().max(1)) as u32;
+            let mut acc = LogicVec::zeros(width);
+            for (i, byte) in value.bytes().rev().enumerate() {
+                for k in 0..8 {
+                    if (byte >> k) & 1 == 1 {
+                        acc = acc.with_bit((i * 8) as u32 + k, Bit::One);
+                    }
+                }
+            }
+            acc
+        }
+        Expr::Unary { op, operand, .. } => {
+            let v = eval(design, state, scope, locals, operand, depth);
+            match op {
+                UnaryOp::Plus => v,
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::Not => match v.truthy() {
+                    Some(b) => LogicVec::from_u64(1, (!b) as u64),
+                    None => LogicVec::xs(1),
+                },
+                UnaryOp::BitNot => v.not(),
+                UnaryOp::RedAnd => v.reduce(ReduceOp::And),
+                UnaryOp::RedOr => v.reduce(ReduceOp::Or),
+                UnaryOp::RedXor => v.reduce(ReduceOp::Xor),
+                UnaryOp::RedNand => v.reduce(ReduceOp::And).not(),
+                UnaryOp::RedNor => v.reduce(ReduceOp::Or).not(),
+                UnaryOp::RedXnor => v.reduce(ReduceOp::Xor).not(),
+            }
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let a = eval(design, state, scope, locals, lhs, depth);
+            let b = eval(design, state, scope, locals, rhs, depth);
+            eval_binary(*op, &a, &b)
+        }
+        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            let c = eval(design, state, scope, locals, cond, depth);
+            match c.truthy() {
+                Some(true) => eval(design, state, scope, locals, then_expr, depth),
+                Some(false) => eval(design, state, scope, locals, else_expr, depth),
+                None => {
+                    // Verilog merge semantics: equal bits survive, else x.
+                    let t = eval(design, state, scope, locals, then_expr, depth);
+                    let e = eval(design, state, scope, locals, else_expr, depth);
+                    let width = t.width().max(e.width());
+                    let (t, e) = (t.resize(width), e.resize(width));
+                    LogicVec::from_bits((0..width).map(|i| {
+                        if t.bit(i) == e.bit(i) {
+                            t.bit(i)
+                        } else {
+                            Bit::X
+                        }
+                    }))
+                }
+            }
+        }
+        Expr::Concat { parts, .. } => {
+            let mut acc: Option<LogicVec> = None;
+            for part in parts {
+                let v = eval(design, state, scope, locals, part, depth);
+                acc = Some(match acc {
+                    None => v,
+                    Some(hi) => hi.concat(&v),
+                });
+            }
+            acc.unwrap_or_else(|| LogicVec::zeros(1))
+        }
+        Expr::Replicate { count, value, .. } => {
+            let n = eval(design, state, scope, locals, count, depth)
+                .to_u64()
+                .unwrap_or(1)
+                .clamp(1, 4096) as u32;
+            eval(design, state, scope, locals, value, depth).replicate(n)
+        }
+        Expr::Index { base, index, .. } => {
+            let idx = eval(design, state, scope, locals, index, depth);
+            let Some(idx) = idx.to_u64().map(|v| v as i64) else {
+                return LogicVec::xs(1);
+            };
+            eval_index(design, state, scope, locals, base, idx, depth)
+        }
+        Expr::Select { base, left, right, mode, .. } => {
+            eval_select(design, state, scope, locals, base, left, right, *mode, depth)
+        }
+        Expr::Call { name, args, .. } => {
+            call_function(design, state, scope, locals, name, args, depth)
+        }
+        Expr::SysCall { name, args, .. } => match name.as_str() {
+            "clog2" => {
+                let v = args
+                    .first()
+                    .map(|a| eval(design, state, scope, locals, a, depth))
+                    .and_then(|v| v.to_u64())
+                    .unwrap_or(0);
+                LogicVec::from_u64(32, rtlfixer_verilog::const_eval::clog2(v as i64) as u64)
+            }
+            "signed" | "unsigned" => args
+                .first()
+                .map(|a| eval(design, state, scope, locals, a, depth))
+                .unwrap_or_else(|| LogicVec::xs(1)),
+            "time" | "random" => LogicVec::zeros(32),
+            _ => LogicVec::xs(32),
+        },
+    }
+}
+
+/// Evaluates `expr` under an assignment context of `want` bits, applying
+/// Verilog's context-determined width rules: operands of arithmetic,
+/// bitwise, shift-left and conditional operators widen to the assignment
+/// width *before* the operation, so carries out of the natural width are
+/// preserved (`{cout, sum} = a + b`). Self-determined contexts
+/// (comparisons, reductions, concatenations, indices) fall back to [`eval`].
+pub(crate) fn eval_sized(
+    design: &Design,
+    state: &HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &[HashMap<String, LogicVec>],
+    expr: &Expr,
+    want: u32,
+    depth: usize,
+) -> LogicVec {
+    use BinaryOp::*;
+    // Verilog context sizing: the expression is evaluated at the *maximum*
+    // of the assignment width and every context-determined operand's
+    // natural width (a 32-bit literal divisor must not be truncated to the
+    // target's 2 bits).
+    let target = want.max(natural_width(design, scope, locals, expr));
+    match expr {
+        Expr::Binary { op, lhs, rhs, .. } => match op {
+            Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | BitXnor => {
+                let a =
+                    eval_sized(design, state, scope, locals, lhs, target, depth).resize(target);
+                let b =
+                    eval_sized(design, state, scope, locals, rhs, target, depth).resize(target);
+                eval_binary(*op, &a, &b).resize(target)
+            }
+            Shl | AShl | Shr | AShr => {
+                let a =
+                    eval_sized(design, state, scope, locals, lhs, target, depth).resize(target);
+                let b = eval(design, state, scope, locals, rhs, depth);
+                eval_binary(*op, &a, &b).resize(target)
+            }
+            _ => eval(design, state, scope, locals, expr, depth).resize(target),
+        },
+        Expr::Unary { op, operand, .. } => match op {
+            rtlfixer_verilog::ast::UnaryOp::BitNot
+            | rtlfixer_verilog::ast::UnaryOp::Neg
+            | rtlfixer_verilog::ast::UnaryOp::Plus => {
+                let v = eval_sized(design, state, scope, locals, operand, target, depth)
+                    .resize(target);
+                match op {
+                    rtlfixer_verilog::ast::UnaryOp::BitNot => v.not(),
+                    rtlfixer_verilog::ast::UnaryOp::Neg => v.neg(),
+                    _ => v,
+                }
+            }
+            _ => eval(design, state, scope, locals, expr, depth).resize(target),
+        },
+        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            let c = eval(design, state, scope, locals, cond, depth);
+            match c.truthy() {
+                Some(true) => eval_sized(design, state, scope, locals, then_expr, target, depth)
+                    .resize(target),
+                Some(false) => eval_sized(design, state, scope, locals, else_expr, target, depth)
+                    .resize(target),
+                None => eval(design, state, scope, locals, expr, depth).resize(target),
+            }
+        }
+        _ => eval(design, state, scope, locals, expr, depth).resize(target),
+    }
+}
+
+/// Best-effort natural (self-determined) width of an expression, per the
+/// Verilog sizing rules. Used to compute context widths in [`eval_sized`].
+fn natural_width(
+    design: &Design,
+    scope: &Scope,
+    locals: &[HashMap<String, LogicVec>],
+    expr: &Expr,
+) -> u32 {
+    use BinaryOp::*;
+    match expr {
+        Expr::Ident { name, .. } => {
+            for frame in locals.iter().rev() {
+                if let Some(v) = frame.get(name) {
+                    return v.width();
+                }
+            }
+            if scope.params.contains_key(name) {
+                return 32;
+            }
+            resolve_signal(design, scope, name)
+                .and_then(|full| design.signals.get(&full))
+                .map_or(1, |def| def.width)
+        }
+        Expr::Literal { size, .. } => size.unwrap_or(32),
+        Expr::Str { value, .. } => 8 * value.len().max(1) as u32,
+        Expr::Unary { op, operand, .. } => match op {
+            rtlfixer_verilog::ast::UnaryOp::BitNot
+            | rtlfixer_verilog::ast::UnaryOp::Neg
+            | rtlfixer_verilog::ast::UnaryOp::Plus => {
+                natural_width(design, scope, locals, operand)
+            }
+            _ => 1,
+        },
+        Expr::Binary { op, lhs, rhs, .. } => match op {
+            Add | Sub | Mul | Div | Mod | Pow | BitAnd | BitOr | BitXor | BitXnor => {
+                natural_width(design, scope, locals, lhs)
+                    .max(natural_width(design, scope, locals, rhs))
+            }
+            Shl | AShl | Shr | AShr => natural_width(design, scope, locals, lhs),
+            _ => 1,
+        },
+        Expr::Ternary { then_expr, else_expr, .. } => natural_width(design, scope, locals, then_expr)
+            .max(natural_width(design, scope, locals, else_expr)),
+        Expr::Concat { parts, .. } => {
+            parts.iter().map(|p| natural_width(design, scope, locals, p)).sum()
+        }
+        Expr::Replicate { .. } => 1, // evaluated self-determined anyway
+        Expr::Index { base, .. } => {
+            if let Some(name) = base.as_ident() {
+                if let Some(full) = resolve_signal(design, scope, name) {
+                    if let Some(def) = design.signals.get(&full) {
+                        if def.words.is_some() {
+                            return def.width;
+                        }
+                    }
+                }
+            }
+            1
+        }
+        Expr::Select { .. } => 1, // conservative; evaluated self-determined
+        Expr::Call { name, .. } => design
+            .functions
+            .get(&format!("{}{name}", scope.module_prefix))
+            .map_or(1, |f| f.width),
+        Expr::SysCall { .. } => 32,
+    }
+}
+
+fn eval_binary(op: BinaryOp, a: &LogicVec, b: &LogicVec) -> LogicVec {
+    use BinaryOp::*;
+    let width = a.width().max(b.width());
+    match op {
+        Add => a.add(b),
+        Sub => a.sub(b),
+        Mul | Div | Mod | Pow => {
+            let (Some(x), Some(y)) = (a.to_u128(), b.to_u128()) else {
+                return LogicVec::xs(width);
+            };
+            let result = match op {
+                Mul => x.wrapping_mul(y),
+                Div => {
+                    if y == 0 {
+                        return LogicVec::xs(width);
+                    }
+                    x / y
+                }
+                Mod => {
+                    if y == 0 {
+                        return LogicVec::xs(width);
+                    }
+                    x % y
+                }
+                Pow => {
+                    let mut acc: u128 = 1;
+                    for _ in 0..y.min(128) {
+                        acc = acc.wrapping_mul(x);
+                    }
+                    acc
+                }
+                _ => unreachable!(),
+            };
+            LogicVec::from_u128(width, result)
+        }
+        BitAnd => a.and(b),
+        BitOr => a.or(b),
+        BitXor => a.xor(b),
+        BitXnor => a.xor(b).not(),
+        LogAnd => match (a.truthy(), b.truthy()) {
+            (Some(false), _) | (_, Some(false)) => LogicVec::from_u64(1, 0),
+            (Some(true), Some(true)) => LogicVec::from_u64(1, 1),
+            _ => LogicVec::xs(1),
+        },
+        LogOr => match (a.truthy(), b.truthy()) {
+            (Some(true), _) | (_, Some(true)) => LogicVec::from_u64(1, 1),
+            (Some(false), Some(false)) => LogicVec::from_u64(1, 0),
+            _ => LogicVec::xs(1),
+        },
+        Eq => a.eq_logic(b),
+        Ne => a.eq_logic(b).not(),
+        CaseEq => a.eq_case(b),
+        CaseNe => a.eq_case(b).not(),
+        Lt => a.lt(b),
+        Gt => b.lt(a),
+        Le => b.lt(a).not(),
+        Ge => a.lt(b).not(),
+        Shl | AShl => match b.to_u64() {
+            Some(n) => a.shl(n.min(u64::from(u32::MAX)) as u32),
+            None => LogicVec::xs(a.width()),
+        },
+        Shr => match b.to_u64() {
+            Some(n) => a.shr(n.min(u64::from(u32::MAX)) as u32),
+            None => LogicVec::xs(a.width()),
+        },
+        AShr => match b.to_u64() {
+            Some(n) => a.ashr(n.min(u64::from(u32::MAX)) as u32),
+            None => LogicVec::xs(a.width()),
+        },
+    }
+}
+
+fn eval_index(
+    design: &Design,
+    state: &HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &[HashMap<String, LogicVec>],
+    base: &Expr,
+    idx: i64,
+    depth: usize,
+) -> LogicVec {
+    if let Some(name) = base.as_ident() {
+        // Locals first: raw zero-based indexing.
+        for frame in locals.iter().rev() {
+            if let Some(v) = frame.get(name) {
+                if idx >= 0 && (idx as u32) < v.width() {
+                    return v.slice(idx as u32, idx as u32);
+                }
+                return LogicVec::xs(1);
+            }
+        }
+        if let Some(full) = resolve_signal(design, scope, name) {
+            let def = signal_def(design, &full).expect("resolved");
+            match state.get(&full) {
+                Some(StateValue::Array(words)) => {
+                    return match def.word_offset(idx) {
+                        Some(slot) => words[slot].clone(),
+                        None => LogicVec::xs(def.width),
+                    };
+                }
+                Some(StateValue::Vec(v)) => {
+                    return match def.offset(idx) {
+                        Some(off) => v.slice(off, off),
+                        None => LogicVec::xs(1),
+                    };
+                }
+                None => return LogicVec::xs(1),
+            }
+        }
+    }
+    // Index on a computed expression: zero-based.
+    let v = eval(design, state, scope, locals, base, depth);
+    if idx >= 0 && (idx as u32) < v.width() {
+        v.slice(idx as u32, idx as u32)
+    } else {
+        LogicVec::xs(1)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_select(
+    design: &Design,
+    state: &HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &[HashMap<String, LogicVec>],
+    base: &Expr,
+    left: &Expr,
+    right: &Expr,
+    mode: SelectMode,
+    depth: usize,
+) -> LogicVec {
+    let l = eval(design, state, scope, locals, left, depth).to_u64().map(|v| v as i64);
+    let r = eval(design, state, scope, locals, right, depth).to_u64().map(|v| v as i64);
+    let (Some(l), Some(r)) = (l, r) else { return LogicVec::xs(1) };
+    let (hi_idx, lo_idx) = match mode {
+        SelectMode::Range => (l, r),
+        SelectMode::IndexedUp => (l + r - 1, l),
+        SelectMode::IndexedDown => (l, l - r + 1),
+    };
+    if let Some(name) = base.as_ident() {
+        let is_local = locals.iter().rev().any(|f| f.contains_key(name));
+        if !is_local {
+            if let Some(full) = resolve_signal(design, scope, name) {
+                let def = signal_def(design, &full).expect("resolved");
+                if let Some(StateValue::Vec(v)) = state.get(&full) {
+                    let (hi_off, lo_off) = match (def.offset(hi_idx), def.offset(lo_idx)) {
+                        (Some(a), Some(b)) => (a.max(b), a.min(b)),
+                        _ => return LogicVec::xs((hi_idx.abs_diff(lo_idx) + 1) as u32),
+                    };
+                    return v.slice(hi_off, lo_off);
+                }
+            }
+        }
+    }
+    let v = eval(design, state, scope, locals, base, depth);
+    let (hi, lo) = (hi_idx.max(lo_idx), hi_idx.min(lo_idx));
+    if lo < 0 {
+        return LogicVec::xs((hi - lo + 1) as u32);
+    }
+    v.slice(hi as u32, lo as u32)
+}
+
+fn call_function(
+    design: &Design,
+    state: &HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &[HashMap<String, LogicVec>],
+    name: &str,
+    args: &[Expr],
+    depth: usize,
+) -> LogicVec {
+    if depth >= MAX_CALL_DEPTH {
+        return LogicVec::xs(1);
+    }
+    let key = format!("{}{name}", scope.module_prefix);
+    let Some(func) = design.functions.get(&key) else {
+        return LogicVec::xs(1);
+    };
+    let mut frame = HashMap::new();
+    for ((arg_name, width), arg_expr) in func.args.iter().zip(args) {
+        let v = eval(design, state, scope, locals, arg_expr, depth);
+        frame.insert(arg_name.clone(), v.resize(*width));
+    }
+    frame.insert(name.to_owned(), LogicVec::zeros(func.width));
+    let mut fn_locals = vec![frame];
+    // Functions are side-effect free in our subset: execute against a state
+    // clone so stray writes cannot corrupt the design.
+    let mut shadow = state.clone();
+    exec(design, &mut shadow, &func.scope, &mut fn_locals, &func.body, &mut None, depth + 1);
+    fn_locals
+        .first()
+        .and_then(|f| f.get(name))
+        .cloned()
+        .unwrap_or_else(|| LogicVec::xs(func.width))
+}
+
+// ---- statement execution -----------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec(
+    design: &Design,
+    state: &mut HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &mut Vec<HashMap<String, LogicVec>>,
+    stmt: &Stmt,
+    nba: &mut Option<&mut Vec<NbaWrite>>,
+    depth: usize,
+) {
+    match stmt {
+        Stmt::Block { decls, stmts, .. } => {
+            let mut frame = HashMap::new();
+            for item in decls {
+                if let rtlfixer_verilog::ast::Item::Net { kind, range, decls, .. } = item {
+                    for decl in decls {
+                        let width = match range {
+                            Some(r) => {
+                                let msb = rtlfixer_verilog::const_eval::eval(&r.msb, &scope.params)
+                                    .unwrap_or(0);
+                                let lsb = rtlfixer_verilog::const_eval::eval(&r.lsb, &scope.params)
+                                    .unwrap_or(0);
+                                msb.abs_diff(lsb) as u32 + 1
+                            }
+                            None => {
+                                if *kind == rtlfixer_verilog::ast::NetKind::Integer {
+                                    32
+                                } else {
+                                    1
+                                }
+                            }
+                        };
+                        frame.insert(decl.name.clone(), LogicVec::zeros(width));
+                    }
+                }
+            }
+            locals.push(frame);
+            for stmt in stmts {
+                exec(design, state, scope, locals, stmt, nba, depth);
+            }
+            locals.pop();
+        }
+        Stmt::Assign { lhs, op, rhs, .. } => {
+            let width = lvalue_width(design, state, scope, locals, lhs);
+            let value = eval_sized(design, state, scope, locals, rhs, width, depth);
+            match op {
+                AssignOp::Blocking => {
+                    assign_to(design, state, scope, locals, lhs, value, &mut None);
+                }
+                AssignOp::NonBlocking => {
+                    assign_to(design, state, scope, locals, lhs, value, nba);
+                }
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            let c = eval(design, state, scope, locals, cond, depth);
+            if c.truthy() == Some(true) {
+                exec(design, state, scope, locals, then_branch, nba, depth);
+            } else if let Some(els) = else_branch {
+                exec(design, state, scope, locals, els, nba, depth);
+            }
+        }
+        Stmt::Case { kind, scrutinee, arms, default, .. } => {
+            let s = eval(design, state, scope, locals, scrutinee, depth);
+            for arm in arms {
+                for label in &arm.labels {
+                    let l = eval(design, state, scope, locals, label, depth);
+                    let hit = match kind {
+                        CaseKind::Case => s.eq_case(&l).to_u64() == Some(1),
+                        CaseKind::Casez => s.matches_wildcard(&l, false),
+                        CaseKind::Casex => s.matches_wildcard(&l, true),
+                    };
+                    if hit {
+                        exec(design, state, scope, locals, &arm.body, nba, depth);
+                        return;
+                    }
+                }
+            }
+            if let Some(default) = default {
+                exec(design, state, scope, locals, default, nba, depth);
+            }
+        }
+        Stmt::For { var, decl, init, cond, step, body, .. } => {
+            let mut frame = HashMap::new();
+            if decl.is_some() {
+                frame.insert(var.clone(), LogicVec::zeros(32));
+            }
+            locals.push(frame);
+            let init_val = eval(design, state, scope, locals, init, depth);
+            write_var(design, state, scope, locals, var, init_val);
+            let mut guard = 0usize;
+            loop {
+                let c = eval(design, state, scope, locals, cond, depth);
+                if c.truthy() != Some(true) {
+                    break;
+                }
+                exec(design, state, scope, locals, body, nba, depth);
+                let next = eval(design, state, scope, locals, step, depth);
+                write_var(design, state, scope, locals, var, next);
+                guard += 1;
+                if guard >= MAX_LOOP {
+                    break;
+                }
+            }
+            locals.pop();
+        }
+        Stmt::While { cond, body, .. } => {
+            let mut guard = 0usize;
+            loop {
+                let c = eval(design, state, scope, locals, cond, depth);
+                if c.truthy() != Some(true) {
+                    break;
+                }
+                exec(design, state, scope, locals, body, nba, depth);
+                guard += 1;
+                if guard >= MAX_LOOP {
+                    break;
+                }
+            }
+        }
+        Stmt::Repeat { count, body, .. } => {
+            let n = eval(design, state, scope, locals, count, depth)
+                .to_u64()
+                .unwrap_or(0)
+                .min(MAX_LOOP as u64);
+            for _ in 0..n {
+                exec(design, state, scope, locals, body, nba, depth);
+            }
+        }
+        Stmt::SysCall { .. } | Stmt::Null(_) => {}
+    }
+}
+
+/// Writes a plain variable: local frame if present, else module signal.
+fn write_var(
+    design: &Design,
+    state: &mut HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &mut [HashMap<String, LogicVec>],
+    name: &str,
+    value: LogicVec,
+) {
+    for frame in locals.iter_mut().rev() {
+        if let Some(slot) = frame.get_mut(name) {
+            let width = slot.width();
+            *slot = value.resize(width);
+            return;
+        }
+    }
+    if let Some(full) = resolve_signal(design, scope, name) {
+        if let Some(def) = design.signals.get(&full) {
+            let width = def.width;
+            state.insert(full, StateValue::Vec(value.resize(width)));
+        }
+    }
+}
+
+/// Width of an l-value part, for concat splitting.
+fn lvalue_width(
+    design: &Design,
+    state: &HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &[HashMap<String, LogicVec>],
+    lhs: &Expr,
+) -> u32 {
+    match lhs {
+        Expr::Ident { name, .. } => {
+            for frame in locals.iter().rev() {
+                if let Some(v) = frame.get(name) {
+                    return v.width();
+                }
+            }
+            resolve_signal(design, scope, name)
+                .and_then(|full| design.signals.get(&full))
+                .map(|def| def.width)
+                .unwrap_or(1)
+        }
+        Expr::Index { base, .. } => {
+            // A word select on a memory targets the full word width.
+            if let Some(name) = base.as_ident() {
+                if let Some(full) = resolve_signal(design, scope, name) {
+                    if let Some(def) = design.signals.get(&full) {
+                        if def.words.is_some() {
+                            return def.width;
+                        }
+                    }
+                }
+            }
+            1
+        }
+        Expr::Select { left, right, mode, .. } => {
+            let l = eval(design, state, scope, locals, left, 0).to_u64().unwrap_or(0) as i64;
+            let r = eval(design, state, scope, locals, right, 0).to_u64().unwrap_or(0) as i64;
+            match mode {
+                SelectMode::Range => l.abs_diff(r) as u32 + 1,
+                _ => r.max(1) as u32,
+            }
+        }
+        Expr::Concat { parts, .. } => {
+            parts.iter().map(|p| lvalue_width(design, state, scope, locals, p)).sum()
+        }
+        _ => 1,
+    }
+}
+
+/// Resolves and performs (or schedules) an assignment to `lhs`.
+pub(crate) fn assign_to(
+    design: &Design,
+    state: &mut HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &mut Vec<HashMap<String, LogicVec>>,
+    lhs: &Expr,
+    value: LogicVec,
+    nba: &mut Option<&mut Vec<NbaWrite>>,
+) {
+    match lhs {
+        Expr::Concat { parts, .. } => {
+            let total: u32 =
+                parts.iter().map(|p| lvalue_width(design, state, scope, locals, p)).sum();
+            let value = value.resize(total);
+            // Parts are MSB-first; slice the value top-down.
+            let mut hi = total;
+            for part in parts {
+                let w = lvalue_width(design, state, scope, locals, part);
+                let lo = hi - w;
+                let chunk = value.slice(hi - 1, lo);
+                assign_to(design, state, scope, locals, part, chunk, nba);
+                hi = lo;
+            }
+        }
+        _ => {
+            let Some(target) = resolve_target(design, state, scope, locals, lhs) else {
+                return;
+            };
+            match target {
+                Target::Discard => {
+                    // Local variable: immediate write regardless of <=.
+                    if let Some(name) = lhs.lvalue_root() {
+                        if let Expr::Ident { .. } = lhs {
+                            write_var(design, state, scope, locals, name, value);
+                        } else {
+                            // Bit/part select of a local.
+                            write_local_select(design, state, scope, locals, lhs, value);
+                        }
+                    }
+                }
+                target => match nba {
+                    Some(queue) => queue.push(NbaWrite { target, value }),
+                    None => commit(state, NbaWrite { target, value }),
+                },
+            }
+        }
+    }
+}
+
+fn write_local_select(
+    design: &Design,
+    state: &mut HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &mut [HashMap<String, LogicVec>],
+    lhs: &Expr,
+    value: LogicVec,
+) {
+    let (name, hi, lo) = match lhs {
+        Expr::Index { base, index, .. } => {
+            let Some(name) = base.as_ident() else { return };
+            let Some(idx) =
+                eval(design, state, scope, locals, index, 0).to_u64().map(|v| v as u32)
+            else {
+                return;
+            };
+            (name.to_owned(), idx, idx)
+        }
+        Expr::Select { base, left, right, mode, .. } => {
+            let Some(name) = base.as_ident() else { return };
+            let l = eval(design, state, scope, locals, left, 0).to_u64().unwrap_or(0) as i64;
+            let r = eval(design, state, scope, locals, right, 0).to_u64().unwrap_or(0) as i64;
+            let (hi, lo) = match mode {
+                SelectMode::Range => (l.max(r), l.min(r)),
+                SelectMode::IndexedUp => (l + r - 1, l),
+                SelectMode::IndexedDown => (l, l - r + 1),
+            };
+            if lo < 0 {
+                return;
+            }
+            (name.to_owned(), hi as u32, lo as u32)
+        }
+        _ => return,
+    };
+    for frame in locals.iter_mut().rev() {
+        if let Some(slot) = frame.get_mut(&name) {
+            if hi < slot.width() {
+                let mut updated = slot.clone();
+                let chunk = value.resize(hi - lo + 1);
+                for i in lo..=hi {
+                    updated.set_bit(i, chunk.bit(i - lo));
+                }
+                *slot = updated;
+            }
+            return;
+        }
+    }
+}
+
+fn resolve_target(
+    design: &Design,
+    state: &HashMap<String, StateValue>,
+    scope: &Scope,
+    locals: &[HashMap<String, LogicVec>],
+    lhs: &Expr,
+) -> Option<Target> {
+    let root = lhs.lvalue_root()?;
+    let is_local = locals.iter().rev().any(|f| f.contains_key(root));
+    if is_local {
+        return Some(Target::Discard);
+    }
+    let full = resolve_signal(design, scope, root)?;
+    let def = design.signals.get(&full)?;
+    match lhs {
+        Expr::Ident { .. } => Some(Target::Whole(full)),
+        Expr::Index { index, .. } => {
+            let idx = eval(design, state, scope, locals, index, 0).to_u64()? as i64;
+            if def.words.is_some() {
+                Some(Target::Word(full, def.word_offset(idx)?))
+            } else {
+                let off = def.offset(idx)?;
+                Some(Target::Bits(full, off, off))
+            }
+        }
+        Expr::Select { base, left, right, mode, .. } => {
+            let l = eval(design, state, scope, locals, left, 0).to_u64()? as i64;
+            let r = eval(design, state, scope, locals, right, 0).to_u64()? as i64;
+            let (hi_idx, lo_idx) = match mode {
+                SelectMode::Range => (l, r),
+                SelectMode::IndexedUp => (l + r - 1, l),
+                SelectMode::IndexedDown => (l, l - r + 1),
+            };
+            // A select on a memory word (`mem[i][3:0]`) roots at a nested
+            // Index; handle the common vector case here.
+            if let Expr::Index { index, .. } = base.as_ref() {
+                let word_idx = eval(design, state, scope, locals, index, 0).to_u64()? as i64;
+                let slot = def.word_offset(word_idx)?;
+                let hi = def.offset(hi_idx)?;
+                let lo = def.offset(lo_idx)?;
+                return Some(Target::WordBits(full, slot, hi.max(lo), hi.min(lo)));
+            }
+            let hi = def.offset(hi_idx)?;
+            let lo = def.offset(lo_idx)?;
+            Some(Target::Bits(full, hi.max(lo), hi.min(lo)))
+        }
+        _ => None,
+    }
+}
+
+fn commit(state: &mut HashMap<String, StateValue>, write: NbaWrite) {
+    match write.target {
+        Target::Discard => {}
+        Target::Whole(name) => {
+            if let Some(StateValue::Vec(old)) = state.get(&name) {
+                let width = old.width();
+                state.insert(name, StateValue::Vec(write.value.resize(width)));
+            } else if let Some(StateValue::Array(_)) = state.get(&name) {
+                // Whole-array assignment unsupported; ignore.
+            }
+        }
+        Target::Bits(name, hi, lo) => {
+            if let Some(StateValue::Vec(old)) = state.get(&name) {
+                if hi < old.width() {
+                    let mut updated = old.clone();
+                    let chunk = write.value.resize(hi - lo + 1);
+                    for i in lo..=hi {
+                        updated.set_bit(i, chunk.bit(i - lo));
+                    }
+                    state.insert(name, StateValue::Vec(updated));
+                }
+            }
+        }
+        Target::Word(name, slot) => {
+            if let Some(StateValue::Array(words)) = state.get_mut(&name) {
+                if let Some(word) = words.get_mut(slot) {
+                    let width = word.width();
+                    *word = write.value.resize(width);
+                }
+            }
+        }
+        Target::WordBits(name, slot, hi, lo) => {
+            if let Some(StateValue::Array(words)) = state.get_mut(&name) {
+                if let Some(word) = words.get(slot).cloned() {
+                    if hi < word.width() {
+                        let mut updated = word;
+                        let chunk = write.value.resize(hi - lo + 1);
+                        for i in lo..=hi {
+                            updated.set_bit(i, chunk.bit(i - lo));
+                        }
+                        words[slot] = updated;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlfixer_verilog::compile;
+
+    fn sim(src: &str, top: &str) -> Simulator {
+        let analysis = compile(src);
+        assert!(analysis.is_ok(), "{:?}", analysis.diagnostics);
+        Simulator::new(&analysis, top).expect("elaborates")
+    }
+
+    fn v(width: u32, value: u64) -> LogicVec {
+        LogicVec::from_u64(width, value)
+    }
+
+    #[test]
+    fn combinational_inverter() {
+        let mut s = sim("module inv(input [3:0] a, output [3:0] y); assign y = ~a; endmodule", "inv");
+        s.poke("a", v(4, 0b1010)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(0b0101));
+    }
+
+    #[test]
+    fn mux_with_ternary() {
+        let mut s = sim(
+            "module mux(input sel, input [7:0] a, input [7:0] b, output [7:0] y);\n\
+             assign y = sel ? b : a;\nendmodule",
+            "mux",
+        );
+        s.poke("a", v(8, 11)).unwrap();
+        s.poke("b", v(8, 22)).unwrap();
+        s.poke("sel", v(1, 0)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(11));
+        s.poke("sel", v(1, 1)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(22));
+    }
+
+    #[test]
+    fn always_star_case() {
+        let mut s = sim(
+            "module dec(input [1:0] s, output reg [3:0] y);\n\
+             always @* begin\ncase (s)\n2'd0: y = 4'b0001;\n2'd1: y = 4'b0010;\n\
+             2'd2: y = 4'b0100;\ndefault: y = 4'b1000;\nendcase\nend\nendmodule",
+            "dec",
+        );
+        for (input, expect) in [(0, 1), (1, 2), (2, 4), (3, 8)] {
+            s.poke("s", v(2, input)).unwrap();
+            s.settle().unwrap();
+            assert_eq!(s.peek("y").unwrap().to_u64(), Some(expect), "s={input}");
+        }
+    }
+
+    #[test]
+    fn dff_updates_on_posedge_only() {
+        let mut s = sim(
+            "module dff(input clk, input d, output reg q);\n\
+             always @(posedge clk) q <= d;\nendmodule",
+            "dff",
+        );
+        s.poke("d", v(1, 1)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(0), "no edge yet");
+        s.clock_cycle("clk").unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(1));
+        s.poke("d", v(1, 0)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(1), "holds between edges");
+        s.clock_cycle("clk").unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn nonblocking_swap() {
+        // The classic NBA test: a and b swap atomically.
+        let mut s = sim(
+            "module swap(input clk, output reg a, output reg b);\n\
+             initial begin a = 1; b = 0; end\n\
+             always @(posedge clk) begin a <= b; b <= a; end\nendmodule",
+            "swap",
+        );
+        s.run_initial().unwrap();
+        assert_eq!(s.peek("a").unwrap().to_u64(), Some(1));
+        s.clock_cycle("clk").unwrap();
+        assert_eq!(s.peek("a").unwrap().to_u64(), Some(0));
+        assert_eq!(s.peek("b").unwrap().to_u64(), Some(1));
+        s.clock_cycle("clk").unwrap();
+        assert_eq!(s.peek("a").unwrap().to_u64(), Some(1));
+        assert_eq!(s.peek("b").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn counter_with_sync_reset() {
+        let mut s = sim(
+            "module ctr(input clk, input reset, output reg [7:0] q);\n\
+             always @(posedge clk) begin\n\
+               if (reset) q <= 0; else q <= q + 1;\n\
+             end\nendmodule",
+            "ctr",
+        );
+        s.poke("reset", v(1, 1)).unwrap();
+        s.clock_cycle("clk").unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(0));
+        s.poke("reset", v(1, 0)).unwrap();
+        for i in 1..=5u64 {
+            s.clock_cycle("clk").unwrap();
+            assert_eq!(s.peek("q").unwrap().to_u64(), Some(i));
+        }
+    }
+
+    #[test]
+    fn for_loop_bit_reverse() {
+        let mut s = sim(
+            "module rev(input [7:0] in, output reg [7:0] out);\n\
+             integer i;\n\
+             always @* begin\n\
+               for (i = 0; i < 8; i = i + 1) out[i] = in[7 - i];\n\
+             end\nendmodule",
+            "rev",
+        );
+        s.poke("in", v(8, 0b1100_1010)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("out").unwrap().to_u64(), Some(0b0101_0011));
+    }
+
+    #[test]
+    fn wide_100_bit_reverse() {
+        // The paper's vector100r problem (fixed version).
+        let mut s = sim(
+            "module top_module(input [99:0] in, output reg [99:0] out);\n\
+             integer i;\n\
+             always @* begin\n\
+               for (i = 0; i < 100; i = i + 1) out[i] = in[99 - i];\n\
+             end\nendmodule",
+            "top_module",
+        );
+        let input = LogicVec::from_u128(100, 0b1011);
+        s.poke("in", input).unwrap();
+        s.settle().unwrap();
+        let out = s.peek("out").unwrap();
+        assert_eq!(out.bit(99), Bit::One);
+        assert_eq!(out.bit(98), Bit::One);
+        assert_eq!(out.bit(97), Bit::Zero);
+        assert_eq!(out.bit(96), Bit::One);
+        assert_eq!(out.slice(95, 0).to_u128(), Some(0));
+    }
+
+    #[test]
+    fn hierarchical_instance() {
+        let mut s = sim(
+            "module inv(input a, output y); assign y = ~a; endmodule\n\
+             module top(input x, output z);\n\
+             wire mid;\ninv u1(.a(x), .y(mid));\ninv u2(.a(mid), .y(z));\nendmodule",
+            "top",
+        );
+        s.poke("x", v(1, 1)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("z").unwrap().to_u64(), Some(1));
+        assert_eq!(s.peek("mid").unwrap().to_u64(), Some(0));
+        s.poke("x", v(1, 0)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("z").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn generate_loop_xor() {
+        let mut s = sim(
+            "module gx(input [3:0] a, input [3:0] b, output [3:0] y);\n\
+             genvar i;\ngenerate\n\
+             for (i = 0; i < 4; i = i + 1) begin : g\n\
+               assign y[i] = a[i] ^ b[i];\n\
+             end\nendgenerate\nendmodule",
+            "gx",
+        );
+        s.poke("a", v(4, 0b1100)).unwrap();
+        s.poke("b", v(4, 0b1010)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(0b0110));
+    }
+
+    #[test]
+    fn memory_write_and_read() {
+        let mut s = sim(
+            "module ram(input clk, input we, input [3:0] addr, input [7:0] din, output [7:0] dout);\n\
+             reg [7:0] mem [0:15];\n\
+             always @(posedge clk) if (we) mem[addr] <= din;\n\
+             assign dout = mem[addr];\nendmodule",
+            "ram",
+        );
+        s.poke("we", v(1, 1)).unwrap();
+        s.poke("addr", v(4, 3)).unwrap();
+        s.poke("din", v(8, 0x5A)).unwrap();
+        s.clock_cycle("clk").unwrap();
+        assert_eq!(s.peek("dout").unwrap().to_u64(), Some(0x5A));
+        assert_eq!(s.peek_word("mem", 3).unwrap().to_u64(), Some(0x5A));
+        s.poke("addr", v(4, 4)).unwrap();
+        s.poke("we", v(1, 0)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("dout").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn function_call_popcount() {
+        let mut s = sim(
+            "module pc(input [7:0] a, output [3:0] y);\n\
+             function [3:0] ones;\ninput [7:0] v;\ninteger i;\nbegin\n\
+               ones = 0;\nfor (i = 0; i < 8; i = i + 1) ones = ones + v[i];\n\
+             end\nendfunction\nassign y = ones(a);\nendmodule",
+            "pc",
+        );
+        s.poke("a", v(8, 0b1011_0110)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(5));
+    }
+
+    #[test]
+    fn concat_lvalue_assignment() {
+        let mut s = sim(
+            "module sp(input [7:0] a, output [3:0] hi, output [3:0] lo);\n\
+             assign {hi, lo} = a;\nendmodule",
+            "sp",
+        );
+        s.poke("a", v(8, 0xC5)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("hi").unwrap().to_u64(), Some(0xC));
+        assert_eq!(s.peek("lo").unwrap().to_u64(), Some(0x5));
+    }
+
+    #[test]
+    fn casez_wildcard_priority() {
+        let mut s = sim(
+            "module pr(input [3:0] r, output reg [1:0] y);\n\
+             always @* begin\n\
+               casez (r)\n\
+                 4'bzzz1: y = 2'd0;\n\
+                 4'bzz1z: y = 2'd1;\n\
+                 4'bz1zz: y = 2'd2;\n\
+                 4'b1zzz: y = 2'd3;\n\
+                 default: y = 2'd0;\n\
+               endcase\nend\nendmodule",
+            "pr",
+        );
+        s.poke("r", v(4, 0b0100)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(2));
+        s.poke("r", v(4, 0b0101)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(0), "priority to LSB arm");
+    }
+
+    #[test]
+    fn indexed_part_select_rw() {
+        let mut s = sim(
+            "module ip(input [31:0] a, input [1:0] s, output [7:0] y);\n\
+             assign y = a[s*8 +: 8];\nendmodule",
+            "ip",
+        );
+        s.poke("a", v(32, 0xDDCCBBAA)).unwrap();
+        for (sel, expect) in [(0u64, 0xAAu64), (1, 0xBB), (2, 0xCC), (3, 0xDD)] {
+            s.poke("s", v(2, sel)).unwrap();
+            s.settle().unwrap();
+            assert_eq!(s.peek("y").unwrap().to_u64(), Some(expect), "sel={sel}");
+        }
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut s = sim(
+            "module osc(input a, output y);\nwire n;\nassign n = ~n | a;\nassign y = n;\nendmodule",
+            "osc",
+        );
+        s.poke("a", v(1, 0)).unwrap();
+        assert_eq!(s.settle(), Err(SimError::Unstable));
+    }
+
+    #[test]
+    fn multi_edge_async_style_reset() {
+        let mut s = sim(
+            "module ar(input clk, input rst_n, input d, output reg q);\n\
+             always @(posedge clk or negedge rst_n)\n\
+               if (!rst_n) q <= 0; else q <= d;\nendmodule",
+            "ar",
+        );
+        s.poke("rst_n", v(1, 1)).unwrap();
+        s.poke("d", v(1, 1)).unwrap();
+        s.clock_cycle("clk").unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(1));
+        // Async reset without a clock edge.
+        s.edge("rst_n", Edge::Neg).unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn shift_register_chain() {
+        let mut s = sim(
+            "module sr(input clk, input d, output reg [3:0] q);\n\
+             always @(posedge clk) q <= {q[2:0], d};\nendmodule",
+            "sr",
+        );
+        for bit in [1u64, 0, 1, 1] {
+            s.poke("d", v(1, bit)).unwrap();
+            s.clock_cycle("clk").unwrap();
+        }
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(0b1011));
+    }
+
+    #[test]
+    fn parameterized_adder() {
+        let mut s = sim(
+            "module add #(parameter W = 16)(input [W-1:0] a, input [W-1:0] b, output [W-1:0] s);\n\
+             assign s = a + b;\nendmodule",
+            "add",
+        );
+        s.poke("a", v(16, 40_000)).unwrap();
+        s.poke("b", v(16, 30_000)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek("s").unwrap().to_u64(), Some((40_000 + 30_000) % 65_536));
+    }
+
+    #[test]
+    fn poke_unknown_port_errors() {
+        let mut s = sim("module m(input a, output y); assign y = a; endmodule", "m");
+        assert!(matches!(s.poke("zz", v(1, 0)), Err(SimError::NoSuchPort(_))));
+    }
+}

@@ -1,0 +1,781 @@
+//! Arbitrary-width 4-state logic vectors.
+//!
+//! [`LogicVec`] stores a value of `width` bits in 64-bit limbs, with a
+//! parallel *unknown* mask: a bit whose mask bit is set holds `x` (or `z`,
+//! which this simulator folds into `x` except for case-equality wildcards,
+//! which are tracked per-literal by the interpreter). Benchmark designs go
+//! up to 256 bits (`conwaylife`), so widths are unbounded.
+
+use std::fmt;
+
+/// One 4-state bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bit {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    X,
+}
+
+/// An arbitrary-width 4-state logic vector.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_sim::value::LogicVec;
+///
+/// let a = LogicVec::from_u64(8, 0b1010_0110);
+/// assert_eq!(a.bit(1), rtlfixer_sim::value::Bit::One);
+/// assert_eq!(a.to_u64(), Some(0b1010_0110));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicVec {
+    width: u32,
+    /// Value limbs, LSB first. Bits ≥ `width` are always zero.
+    val: Vec<u64>,
+    /// Unknown mask limbs; set bit = x.
+    unk: Vec<u64>,
+}
+
+fn limbs_for(width: u32) -> usize {
+    ((width as usize) + 63) / 64
+}
+
+impl LogicVec {
+    /// All-zero vector of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn zeros(width: u32) -> Self {
+        assert!(width > 0, "zero-width vector");
+        LogicVec { width, val: vec![0; limbs_for(width)], unk: vec![0; limbs_for(width)] }
+    }
+
+    /// All-`x` vector of `width` bits.
+    pub fn xs(width: u32) -> Self {
+        let mut v = Self::zeros(width);
+        for limb in &mut v.unk {
+            *limb = u64::MAX;
+        }
+        v.normalize();
+        v
+    }
+
+    /// Vector holding the low `width` bits of `value`.
+    pub fn from_u64(width: u32, value: u64) -> Self {
+        let mut v = Self::zeros(width);
+        v.val[0] = value;
+        v.normalize();
+        v
+    }
+
+    /// Vector holding the low `width` bits of `value` (u128 convenience).
+    pub fn from_u128(width: u32, value: u128) -> Self {
+        let mut v = Self::zeros(width);
+        v.val[0] = value as u64;
+        if v.val.len() > 1 {
+            v.val[1] = (value >> 64) as u64;
+        }
+        v.normalize();
+        v
+    }
+
+    /// Builds a vector from bits, LSB first.
+    pub fn from_bits<I: IntoIterator<Item = Bit>>(bits: I) -> Self {
+        let bits: Vec<Bit> = bits.into_iter().collect();
+        assert!(!bits.is_empty(), "zero-width vector");
+        let mut v = Self::zeros(bits.len() as u32);
+        for (i, bit) in bits.iter().enumerate() {
+            match bit {
+                Bit::Zero => {}
+                Bit::One => v.val[i / 64] |= 1 << (i % 64),
+                Bit::X => v.unk[i / 64] |= 1 << (i % 64),
+            }
+        }
+        v
+    }
+
+    /// Whether sign extension applies in [`LogicVec::resize_signed`].
+    fn msb_bit(&self) -> Bit {
+        self.bit(self.width - 1)
+    }
+
+    /// Parses digit text in `radix` (2, 8, 10 or 16), with `x`/`z`/`?`
+    /// digits mapping whole digit positions to unknown. `width` clips or
+    /// zero-extends.
+    pub fn from_digits(width: u32, digits: &str, radix: u32) -> Self {
+        if radix == 10 {
+            // x/z in decimal are all-or-nothing.
+            if digits.chars().any(|c| matches!(c, 'x' | 'z' | '?')) {
+                return Self::xs(width);
+            }
+            let mut acc = Self::zeros(width.max(64));
+            for c in digits.chars() {
+                let d = c.to_digit(10).unwrap_or(0) as u64;
+                acc = acc.mul_small(10).add_small(d);
+            }
+            return acc.resize(width);
+        }
+        let bits_per = match radix {
+            2 => 1,
+            8 => 3,
+            16 => 4,
+            _ => 1,
+        };
+        let mut bits: Vec<Bit> = Vec::new();
+        for c in digits.chars().rev() {
+            if matches!(c, 'x' | 'z' | '?') {
+                for _ in 0..bits_per {
+                    bits.push(Bit::X);
+                }
+            } else {
+                let d = c.to_digit(radix).unwrap_or(0);
+                for k in 0..bits_per {
+                    bits.push(if (d >> k) & 1 == 1 { Bit::One } else { Bit::Zero });
+                }
+            }
+        }
+        if bits.is_empty() {
+            bits.push(Bit::Zero);
+        }
+        let parsed = Self::from_bits(bits);
+        parsed.resize(width)
+    }
+
+    fn mul_small(&self, m: u64) -> Self {
+        let mut out = Self::zeros(self.width);
+        let mut carry: u128 = 0;
+        for i in 0..self.val.len() {
+            let prod = self.val[i] as u128 * m as u128 + carry;
+            out.val[i] = prod as u64;
+            carry = prod >> 64;
+        }
+        out.unk = self.unk.clone();
+        out.normalize();
+        out
+    }
+
+    fn add_small(&self, a: u64) -> Self {
+        let mut out = self.clone();
+        let mut carry = a as u128;
+        for limb in &mut out.val {
+            let sum = *limb as u128 + carry;
+            *limb = sum as u64;
+            carry = sum >> 64;
+            if carry == 0 {
+                break;
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Whether any bit is unknown.
+    pub fn has_x(&self) -> bool {
+        self.unk.iter().any(|&l| l != 0)
+    }
+
+    /// The value as `u64` if it fits and has no unknown bits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.has_x() {
+            return None;
+        }
+        if self.val.iter().skip(1).any(|&l| l != 0) {
+            return None;
+        }
+        Some(self.val[0])
+    }
+
+    /// The value as `u128` if it fits and has no unknown bits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.has_x() {
+            return None;
+        }
+        if self.val.iter().skip(2).any(|&l| l != 0) {
+            return None;
+        }
+        let lo = self.val[0] as u128;
+        let hi = self.val.get(1).copied().unwrap_or(0) as u128;
+        Some(lo | (hi << 64))
+    }
+
+    /// The bit at `idx` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= width`.
+    pub fn bit(&self, idx: u32) -> Bit {
+        assert!(idx < self.width, "bit {idx} out of range for width {}", self.width);
+        let (limb, off) = (idx as usize / 64, idx % 64);
+        if (self.unk[limb] >> off) & 1 == 1 {
+            Bit::X
+        } else if (self.val[limb] >> off) & 1 == 1 {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Sets the bit at `idx` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= width`.
+    pub fn set_bit(&mut self, idx: u32, bit: Bit) {
+        assert!(idx < self.width, "bit {idx} out of range for width {}", self.width);
+        let (limb, off) = (idx as usize / 64, idx % 64);
+        self.val[limb] &= !(1 << off);
+        self.unk[limb] &= !(1 << off);
+        match bit {
+            Bit::Zero => {}
+            Bit::One => self.val[limb] |= 1 << off,
+            Bit::X => self.unk[limb] |= 1 << off,
+        }
+    }
+
+    /// Returns a copy with the bit at `idx` set to `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= width`.
+    pub fn with_bit(&self, idx: u32, bit: Bit) -> Self {
+        let mut out = self.clone();
+        out.set_bit(idx, bit);
+        out
+    }
+
+    /// Zero-extends or truncates to `new_width`.
+    pub fn resize(&self, new_width: u32) -> Self {
+        if new_width == self.width {
+            return self.clone();
+        }
+        let mut out = Self::zeros(new_width);
+        let limbs = out.val.len().min(self.val.len());
+        out.val[..limbs].copy_from_slice(&self.val[..limbs]);
+        out.unk[..limbs].copy_from_slice(&self.unk[..limbs]);
+        out.normalize();
+        out
+    }
+
+    /// Sign-extends (replicating the MSB) or truncates to `new_width`.
+    pub fn resize_signed(&self, new_width: u32) -> Self {
+        if new_width <= self.width {
+            return self.resize(new_width);
+        }
+        let msb = self.msb_bit();
+        let mut out = self.resize(new_width);
+        for i in self.width..new_width {
+            out.set_bit(i, msb);
+        }
+        out
+    }
+
+    /// Extracts bits `[hi:lo]` (inclusive) as a new vector.
+    ///
+    /// Out-of-range positions read as `x`, matching Verilog semantics for
+    /// out-of-bounds part selects.
+    pub fn slice(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "inverted slice [{hi}:{lo}]");
+        let width = hi - lo + 1;
+        let mut out = Self::zeros(width);
+        for i in 0..width {
+            let src = lo + i;
+            let bit = if src < self.width { self.bit(src) } else { Bit::X };
+            out.set_bit(i, bit);
+        }
+        out
+    }
+
+    /// Concatenates `self` (more significant) with `low` (less significant).
+    pub fn concat(&self, low: &LogicVec) -> Self {
+        let width = self.width + low.width;
+        let mut out = Self::zeros(width);
+        for i in 0..low.width {
+            out.set_bit(i, low.bit(i));
+        }
+        for i in 0..self.width {
+            out.set_bit(low.width + i, self.bit(i));
+        }
+        out
+    }
+
+    /// Repeats `self` `count` times (`{count{self}}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn replicate(&self, count: u32) -> Self {
+        assert!(count > 0, "zero replication");
+        let mut out = self.clone();
+        for _ in 1..count {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    fn normalize(&mut self) {
+        let extra = (self.val.len() as u32) * 64 - self.width;
+        if extra > 0 {
+            let mask = u64::MAX >> extra;
+            if let Some(last) = self.val.last_mut() {
+                *last &= mask;
+            }
+            if let Some(last) = self.unk.last_mut() {
+                *last &= mask;
+            }
+        }
+    }
+
+    fn bitwise(&self, other: &LogicVec, f: impl Fn(Bit, Bit) -> Bit) -> Self {
+        let width = self.width.max(other.width);
+        let a = self.resize(width);
+        let b = other.resize(width);
+        LogicVec::from_bits((0..width).map(|i| f(a.bit(i), b.bit(i))))
+    }
+
+    /// Bitwise AND with 4-state semantics (`0 & x = 0`).
+    pub fn and(&self, other: &LogicVec) -> Self {
+        self.bitwise(other, |a, b| match (a, b) {
+            (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+            (Bit::One, Bit::One) => Bit::One,
+            _ => Bit::X,
+        })
+    }
+
+    /// Bitwise OR with 4-state semantics (`1 | x = 1`).
+    pub fn or(&self, other: &LogicVec) -> Self {
+        self.bitwise(other, |a, b| match (a, b) {
+            (Bit::One, _) | (_, Bit::One) => Bit::One,
+            (Bit::Zero, Bit::Zero) => Bit::Zero,
+            _ => Bit::X,
+        })
+    }
+
+    /// Bitwise XOR (any x poisons the bit).
+    pub fn xor(&self, other: &LogicVec) -> Self {
+        self.bitwise(other, |a, b| match (a, b) {
+            (Bit::X, _) | (_, Bit::X) => Bit::X,
+            (a, b) => {
+                if a != b {
+                    Bit::One
+                } else {
+                    Bit::Zero
+                }
+            }
+        })
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Self {
+        LogicVec::from_bits((0..self.width).map(|i| match self.bit(i) {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            Bit::X => Bit::X,
+        }))
+    }
+
+    /// Addition, modulo `2^width` of the wider operand. Any x → all x.
+    pub fn add(&self, other: &LogicVec) -> Self {
+        let width = self.width.max(other.width);
+        if self.has_x() || other.has_x() {
+            return Self::xs(width);
+        }
+        let a = self.resize(width);
+        let b = other.resize(width);
+        let mut out = Self::zeros(width);
+        let mut carry = 0u128;
+        for i in 0..a.val.len() {
+            let sum = a.val[i] as u128 + b.val[i] as u128 + carry;
+            out.val[i] = sum as u64;
+            carry = sum >> 64;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Subtraction (two's complement), modulo `2^width`. Any x → all x.
+    pub fn sub(&self, other: &LogicVec) -> Self {
+        let width = self.width.max(other.width);
+        if self.has_x() || other.has_x() {
+            return Self::xs(width);
+        }
+        let b_not = other.resize(width).not();
+        self.resize(width).add(&b_not).add(&LogicVec::from_u64(width, 1)).resize(width)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self) -> Self {
+        LogicVec::zeros(self.width).sub(self)
+    }
+
+    /// Unsigned comparison: `self < other` as a 1-bit vector; x-poisoned.
+    pub fn lt(&self, other: &LogicVec) -> Self {
+        if self.has_x() || other.has_x() {
+            return Self::xs(1);
+        }
+        let width = self.width.max(other.width);
+        let a = self.resize(width);
+        let b = other.resize(width);
+        for i in (0..a.val.len()).rev() {
+            if a.val[i] != b.val[i] {
+                return Self::from_u64(1, (a.val[i] < b.val[i]) as u64);
+            }
+        }
+        Self::from_u64(1, 0)
+    }
+
+    /// Logical equality (`==`): x-poisoned.
+    pub fn eq_logic(&self, other: &LogicVec) -> Self {
+        if self.has_x() || other.has_x() {
+            return Self::xs(1);
+        }
+        let width = self.width.max(other.width);
+        Self::from_u64(1, (self.resize(width) == other.resize(width)) as u64)
+    }
+
+    /// Case equality (`===`): x compares as a literal value.
+    pub fn eq_case(&self, other: &LogicVec) -> Self {
+        let width = self.width.max(other.width);
+        Self::from_u64(1, (self.resize(width) == other.resize(width)) as u64)
+    }
+
+    /// Reduction AND/OR/XOR. Returns a 1-bit vector.
+    pub fn reduce(&self, op: ReduceOp) -> Self {
+        let mut acc: Option<Bit> = None;
+        for i in 0..self.width {
+            let b = self.bit(i);
+            acc = Some(match (acc, op) {
+                (None, _) => b,
+                (Some(a), ReduceOp::And) => match (a, b) {
+                    (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+                    (Bit::One, Bit::One) => Bit::One,
+                    _ => Bit::X,
+                },
+                (Some(a), ReduceOp::Or) => match (a, b) {
+                    (Bit::One, _) | (_, Bit::One) => Bit::One,
+                    (Bit::Zero, Bit::Zero) => Bit::Zero,
+                    _ => Bit::X,
+                },
+                (Some(a), ReduceOp::Xor) => match (a, b) {
+                    (Bit::X, _) | (_, Bit::X) => Bit::X,
+                    (a, b) => {
+                        if a != b {
+                            Bit::One
+                        } else {
+                            Bit::Zero
+                        }
+                    }
+                },
+            });
+        }
+        LogicVec::from_bits([acc.unwrap_or(Bit::Zero)])
+    }
+
+    /// Logical shift left by `n`.
+    pub fn shl(&self, n: u32) -> Self {
+        let mut out = Self::zeros(self.width);
+        for i in n..self.width {
+            out.set_bit(i, self.bit(i - n));
+        }
+        out
+    }
+
+    /// Logical shift right by `n`.
+    pub fn shr(&self, n: u32) -> Self {
+        let mut out = Self::zeros(self.width);
+        for i in 0..self.width.saturating_sub(n) {
+            out.set_bit(i, self.bit(i + n));
+        }
+        out
+    }
+
+    /// Arithmetic shift right by `n`, replicating the MSB.
+    pub fn ashr(&self, n: u32) -> Self {
+        let msb = self.bit(self.width - 1);
+        let mut out = self.shr(n);
+        let start = self.width.saturating_sub(n);
+        for i in start..self.width {
+            out.set_bit(i, msb);
+        }
+        out
+    }
+
+    /// Whether the vector is "truthy" (any bit is 1). `None` if no bit is 1
+    /// but some are x.
+    pub fn truthy(&self) -> Option<bool> {
+        let any_one = (0..self.width).any(|i| self.bit(i) == Bit::One);
+        if any_one {
+            return Some(true);
+        }
+        if self.has_x() {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Wildcard match for `casez`/`casex`: positions where `label` has an x
+    /// (which is how `z`/`?` digits parse) are ignored; for `casex`, x bits
+    /// in the scrutinee are ignored too.
+    pub fn matches_wildcard(&self, label: &LogicVec, scrutinee_wild: bool) -> bool {
+        let width = self.width.max(label.width);
+        let a = self.resize(width);
+        let b = label.resize(width);
+        for i in 0..width {
+            let (sb, lb) = (a.bit(i), b.bit(i));
+            if lb == Bit::X {
+                continue;
+            }
+            if scrutinee_wild && sb == Bit::X {
+                continue;
+            }
+            if sb != lb {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Reduction operator selector for [`LogicVec::reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// `&v`
+    And,
+    /// `|v`
+    Or,
+    /// `^v`
+    Xor,
+}
+
+impl fmt::Display for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width)?;
+        for i in (0..self.width).rev() {
+            match self.bit(i) {
+                Bit::Zero => write!(f, "0")?,
+                Bit::One => write!(f, "1")?,
+                Bit::X => write!(f, "x")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u64() {
+        let v = LogicVec::from_u64(16, 0xBEEF);
+        assert_eq!(v.to_u64(), Some(0xBEEF));
+        assert_eq!(v.width(), 16);
+        assert!(!v.has_x());
+    }
+
+    #[test]
+    fn truncation_on_construction() {
+        let v = LogicVec::from_u64(4, 0xFF);
+        assert_eq!(v.to_u64(), Some(0xF));
+    }
+
+    #[test]
+    fn wide_vectors() {
+        let v = LogicVec::from_u128(100, 1u128 << 99);
+        assert_eq!(v.bit(99), Bit::One);
+        assert_eq!(v.bit(98), Bit::Zero);
+        assert_eq!(v.to_u64(), None); // too wide
+        assert_eq!(v.to_u128(), Some(1u128 << 99));
+    }
+
+    #[test]
+    fn from_digits_bases() {
+        assert_eq!(LogicVec::from_digits(8, "ff", 16).to_u64(), Some(255));
+        assert_eq!(LogicVec::from_digits(8, "1010", 2).to_u64(), Some(10));
+        assert_eq!(LogicVec::from_digits(8, "17", 8).to_u64(), Some(15));
+        assert_eq!(LogicVec::from_digits(8, "200", 10).to_u64(), Some(200));
+        assert_eq!(LogicVec::from_digits(32, "4000000000", 10).to_u64(), Some(4_000_000_000));
+    }
+
+    #[test]
+    fn from_digits_with_x() {
+        let v = LogicVec::from_digits(4, "1x0z", 2);
+        assert_eq!(v.bit(3), Bit::One);
+        assert_eq!(v.bit(2), Bit::X);
+        assert_eq!(v.bit(1), Bit::Zero);
+        assert_eq!(v.bit(0), Bit::X);
+        assert!(v.has_x());
+        assert_eq!(v.to_u64(), None);
+    }
+
+    #[test]
+    fn hex_x_covers_four_bits() {
+        let v = LogicVec::from_digits(8, "fx", 16);
+        assert_eq!(v.slice(7, 4).to_u64(), Some(0xF));
+        assert!(v.slice(3, 0).has_x());
+    }
+
+    #[test]
+    fn bitwise_truth_tables() {
+        let x = LogicVec::xs(1);
+        let one = LogicVec::from_u64(1, 1);
+        let zero = LogicVec::from_u64(1, 0);
+        assert_eq!(zero.and(&x), zero); // 0 & x = 0
+        assert_eq!(one.or(&x), one); // 1 | x = 1
+        assert!(one.and(&x).has_x()); // 1 & x = x
+        assert!(zero.or(&x).has_x()); // 0 | x = x
+        assert!(one.xor(&x).has_x());
+        assert!(x.not().has_x());
+    }
+
+    #[test]
+    fn add_sub_wraparound() {
+        let a = LogicVec::from_u64(8, 250);
+        let b = LogicVec::from_u64(8, 10);
+        assert_eq!(a.add(&b).to_u64(), Some(4)); // wraps mod 256
+        assert_eq!(b.sub(&a).to_u64(), Some(16)); // 10 - 250 mod 256
+        assert_eq!(a.sub(&b).to_u64(), Some(240));
+    }
+
+    #[test]
+    fn add_across_limbs() {
+        let a = LogicVec::from_u128(100, u64::MAX as u128);
+        let b = LogicVec::from_u64(100, 1);
+        assert_eq!(a.add(&b).to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn neg_is_twos_complement() {
+        let a = LogicVec::from_u64(8, 1);
+        assert_eq!(a.neg().to_u64(), Some(255));
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = LogicVec::from_u64(8, 5);
+        let b = LogicVec::from_u64(8, 9);
+        assert_eq!(a.lt(&b).to_u64(), Some(1));
+        assert_eq!(b.lt(&a).to_u64(), Some(0));
+        assert_eq!(a.eq_logic(&a.clone()).to_u64(), Some(1));
+        assert_eq!(a.eq_logic(&b).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn comparison_with_x_is_x() {
+        let a = LogicVec::from_u64(4, 5);
+        let x = LogicVec::xs(4);
+        assert!(a.lt(&x).has_x());
+        assert!(a.eq_logic(&x).has_x());
+        // but case equality is exact
+        assert_eq!(x.eq_case(&LogicVec::xs(4)).to_u64(), Some(1));
+        assert_eq!(a.eq_case(&x).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn slices_and_concat() {
+        let v = LogicVec::from_u64(8, 0b1100_0101);
+        assert_eq!(v.slice(3, 0).to_u64(), Some(0b0101));
+        assert_eq!(v.slice(7, 4).to_u64(), Some(0b1100));
+        let joined = v.slice(7, 4).concat(&v.slice(3, 0));
+        assert_eq!(joined, v);
+    }
+
+    #[test]
+    fn out_of_range_slice_reads_x() {
+        let v = LogicVec::from_u64(4, 0b1111);
+        let s = v.slice(5, 3);
+        assert_eq!(s.bit(0), Bit::One);
+        assert_eq!(s.bit(1), Bit::X);
+        assert_eq!(s.bit(2), Bit::X);
+    }
+
+    #[test]
+    fn replicate_width_and_pattern() {
+        let v = LogicVec::from_u64(2, 0b10);
+        let r = v.replicate(3);
+        assert_eq!(r.width(), 6);
+        assert_eq!(r.to_u64(), Some(0b101010));
+    }
+
+    #[test]
+    fn reductions() {
+        let v = LogicVec::from_u64(4, 0b1111);
+        assert_eq!(v.reduce(ReduceOp::And).to_u64(), Some(1));
+        assert_eq!(v.reduce(ReduceOp::Xor).to_u64(), Some(0));
+        let w = LogicVec::from_u64(4, 0b0111);
+        assert_eq!(w.reduce(ReduceOp::And).to_u64(), Some(0));
+        assert_eq!(w.reduce(ReduceOp::Or).to_u64(), Some(1));
+        assert_eq!(w.reduce(ReduceOp::Xor).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn reduction_short_circuits_x() {
+        // 0 & x is still 0; 1 | x is still 1.
+        let v = LogicVec::from_bits([Bit::Zero, Bit::X]);
+        assert_eq!(v.reduce(ReduceOp::And).to_u64(), Some(0));
+        let w = LogicVec::from_bits([Bit::One, Bit::X]);
+        assert_eq!(w.reduce(ReduceOp::Or).to_u64(), Some(1));
+        assert!(w.reduce(ReduceOp::Xor).has_x());
+    }
+
+    #[test]
+    fn shifts() {
+        let v = LogicVec::from_u64(8, 0b0001_1000);
+        assert_eq!(v.shl(2).to_u64(), Some(0b0110_0000));
+        assert_eq!(v.shr(3).to_u64(), Some(0b0000_0011));
+        let s = LogicVec::from_u64(4, 0b1000);
+        assert_eq!(s.ashr(2).to_u64(), Some(0b1110));
+        assert_eq!(s.shr(2).to_u64(), Some(0b0010));
+        assert_eq!(v.shl(64).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn resize_signed_extends_msb() {
+        let v = LogicVec::from_u64(4, 0b1010);
+        assert_eq!(v.resize_signed(8).to_u64(), Some(0b1111_1010));
+        assert_eq!(v.resize(8).to_u64(), Some(0b0000_1010));
+        let p = LogicVec::from_u64(4, 0b0010);
+        assert_eq!(p.resize_signed(8).to_u64(), Some(0b0000_0010));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(LogicVec::from_u64(4, 0).truthy(), Some(false));
+        assert_eq!(LogicVec::from_u64(4, 2).truthy(), Some(true));
+        assert_eq!(LogicVec::xs(4).truthy(), None);
+        // A 1 anywhere wins even with x elsewhere.
+        let v = LogicVec::from_bits([Bit::One, Bit::X]);
+        assert_eq!(v.truthy(), Some(true));
+    }
+
+    #[test]
+    fn wildcard_matching_casez() {
+        // Label 4'b1?0? ignores positions with x (z/? parse as x).
+        let label = LogicVec::from_digits(4, "1z0z", 2);
+        assert!(LogicVec::from_u64(4, 0b1000).matches_wildcard(&label, false));
+        assert!(LogicVec::from_u64(4, 0b1101).matches_wildcard(&label, false));
+        assert!(!LogicVec::from_u64(4, 0b0000).matches_wildcard(&label, false));
+        assert!(!LogicVec::from_u64(4, 0b1110).matches_wildcard(&label, false));
+    }
+
+    #[test]
+    fn display_format() {
+        let v = LogicVec::from_digits(4, "1x01", 2);
+        assert_eq!(v.to_string(), "4'b1x01");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn zero_width_panics() {
+        let _ = LogicVec::zeros(0);
+    }
+}

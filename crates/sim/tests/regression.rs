@@ -1,0 +1,357 @@
+//! Simulator regression tests: semantics corners that have bitten real
+//! Verilog simulators (and this one, during development).
+
+use rtlfixer_sim::{value::LogicVec, Simulator};
+use rtlfixer_verilog::compile;
+
+fn sim(src: &str, top: &str) -> Simulator {
+    let analysis = compile(src);
+    assert!(analysis.is_ok(), "{:?}", analysis.diagnostics);
+    Simulator::new(&analysis, top).expect("elaborates")
+}
+
+fn v(width: u32, value: u64) -> LogicVec {
+    LogicVec::from_u64(width, value)
+}
+
+#[test]
+fn blocking_assignments_in_sequential_block_are_ordered() {
+    // With blocking assignments, `b` sees the *new* value of `a`.
+    let mut s = sim(
+        "module m(input clk, input [7:0] d, output reg [7:0] a, output reg [7:0] b);\n\
+         always @(posedge clk) begin\n  a = d;\n  b = a + 1;\nend\nendmodule",
+        "m",
+    );
+    s.poke("d", v(8, 10)).unwrap();
+    s.clock_cycle("clk").unwrap();
+    assert_eq!(s.peek("a").unwrap().to_u64(), Some(10));
+    assert_eq!(s.peek("b").unwrap().to_u64(), Some(11));
+}
+
+#[test]
+fn nonblocking_assignments_read_old_values() {
+    // With non-blocking assignments, `b` sees the *old* value of `a`.
+    let mut s = sim(
+        "module m(input clk, input [7:0] d, output reg [7:0] a, output reg [7:0] b);\n\
+         always @(posedge clk) begin\n  a <= d;\n  b <= a + 1;\nend\nendmodule",
+        "m",
+    );
+    s.poke("d", v(8, 10)).unwrap();
+    s.clock_cycle("clk").unwrap(); // a: 0->10, b: 0+1
+    assert_eq!(s.peek("a").unwrap().to_u64(), Some(10));
+    assert_eq!(s.peek("b").unwrap().to_u64(), Some(1));
+    s.clock_cycle("clk").unwrap(); // b now sees a==10
+    assert_eq!(s.peek("b").unwrap().to_u64(), Some(11));
+}
+
+#[test]
+fn carry_out_through_concat_assignment() {
+    // The context-width rule: {cout, sum} = a + b must keep the carry.
+    let mut s = sim(
+        "module m(input [7:0] a, input [7:0] b, output [7:0] sum, output cout);\n\
+         assign {cout, sum} = a + b;\nendmodule",
+        "m",
+    );
+    s.poke("a", v(8, 200)).unwrap();
+    s.poke("b", v(8, 100)).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("sum").unwrap().to_u64(), Some(300 % 256));
+    assert_eq!(s.peek("cout").unwrap().to_u64(), Some(1));
+}
+
+#[test]
+fn literal_divisor_keeps_its_32_bit_width() {
+    // `(last + k) % 4` assigned to a 2-bit target: the literal 4 must not
+    // be truncated to 2 bits (which would divide by zero).
+    let mut s = sim(
+        "module m(input [1:0] last, input [31:0] k, output [1:0] pick);\n\
+         assign pick = (last + k) % 4;\nendmodule",
+        "m",
+    );
+    s.poke("last", v(2, 3)).unwrap();
+    s.poke("k", v(32, 1)).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("pick").unwrap().to_u64(), Some(0));
+}
+
+#[test]
+fn x_propagates_through_arithmetic_but_not_gated_and() {
+    let mut s = sim(
+        "module m(input [3:0] a, output [3:0] add_out, output [3:0] and_out);\n\
+         wire [3:0] xv;\n\
+         assign xv = 4'bxxxx;\n\
+         assign add_out = a + xv;\n\
+         assign and_out = 4'b0000 & xv;\nendmodule",
+        "m",
+    );
+    s.poke("a", v(4, 5)).unwrap();
+    s.settle().unwrap();
+    assert!(s.peek("add_out").unwrap().has_x(), "x must poison addition");
+    assert_eq!(s.peek("and_out").unwrap().to_u64(), Some(0), "0 & x = 0");
+}
+
+#[test]
+fn two_level_hierarchy_with_parameters() {
+    let mut s = sim(
+        "module leaf #(parameter W = 2)(input [W-1:0] a, output [W-1:0] y);\n\
+         assign y = ~a;\nendmodule\n\
+         module mid #(parameter W = 2)(input [W-1:0] a, output [W-1:0] y);\n\
+         leaf #(.W(W)) l(.a(a), .y(y));\nendmodule\n\
+         module top(input [7:0] p, output [7:0] q);\n\
+         mid #(.W(8)) m(.a(p), .y(q));\nendmodule",
+        "top",
+    );
+    s.poke("p", v(8, 0x0F)).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), Some(0xF0));
+}
+
+#[test]
+fn memory_word_written_then_read_same_cycle_is_old_value() {
+    // Synchronous write, asynchronous read: during the write cycle, the
+    // read port sees the committed (new) value only after the edge.
+    let mut s = sim(
+        "module m(input clk, input we, input [1:0] addr, input [7:0] din, output [7:0] dout);\n\
+         reg [7:0] mem [0:3];\n\
+         always @(posedge clk) if (we) mem[addr] <= din;\n\
+         assign dout = mem[addr];\nendmodule",
+        "m",
+    );
+    s.poke("we", v(1, 1)).unwrap();
+    s.poke("addr", v(2, 1)).unwrap();
+    s.poke("din", v(8, 0xAB)).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("dout").unwrap().to_u64(), Some(0), "before the edge");
+    s.clock_cycle("clk").unwrap();
+    assert_eq!(s.peek("dout").unwrap().to_u64(), Some(0xAB), "after the edge");
+}
+
+#[test]
+fn shift_amount_wider_than_width() {
+    let mut s = sim(
+        "module m(input [7:0] a, input [7:0] n, output [7:0] y);\n\
+         assign y = a << n;\nendmodule",
+        "m",
+    );
+    s.poke("a", v(8, 0xFF)).unwrap();
+    s.poke("n", v(8, 200)).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("y").unwrap().to_u64(), Some(0));
+}
+
+#[test]
+fn casez_default_fires_when_nothing_matches() {
+    let mut s = sim(
+        "module m(input [3:0] r, output reg [1:0] y);\n\
+         always @* begin\n\
+           casez (r)\n\
+             4'b1zzz: y = 2'd3;\n\
+             default: y = 2'd0;\n\
+           endcase\nend\nendmodule",
+        "m",
+    );
+    s.poke("r", v(4, 0b0111)).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("y").unwrap().to_u64(), Some(0));
+    s.poke("r", v(4, 0b1000)).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("y").unwrap().to_u64(), Some(3));
+}
+
+#[test]
+fn for_loop_over_part_selects() {
+    // Sliding window sum of 2-bit fields.
+    let mut s = sim(
+        "module m(input [7:0] a, output reg [3:0] total);\n\
+         integer i;\n\
+         always @* begin\n\
+           total = 0;\n\
+           for (i = 0; i < 4; i = i + 1) total = total + a[i*2 +: 2];\n\
+         end\nendmodule",
+        "m",
+    );
+    s.poke("a", v(8, 0b11_10_01_00)).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("total").unwrap().to_u64(), Some(6));
+}
+
+#[test]
+fn function_has_no_side_effects_on_module_state() {
+    let mut s = sim(
+        "module m(input [7:0] a, output [7:0] y, output [7:0] counter);\n\
+         reg [7:0] calls;\n\
+         function [7:0] double;\n\
+           input [7:0] v;\n\
+           begin\n\
+             calls = calls + 1;\n\
+             double = v * 2;\n\
+           end\n\
+         endfunction\n\
+         assign y = double(a);\n\
+         assign counter = calls;\nendmodule",
+        "m",
+    );
+    s.poke("a", v(8, 21)).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("y").unwrap().to_u64(), Some(42));
+    // The function executed against a shadow state: `calls` stays 0.
+    assert_eq!(s.peek("counter").unwrap().to_u64(), Some(0));
+}
+
+#[test]
+fn initial_block_runs_once_before_cycles() {
+    let mut s = sim(
+        "module m(input clk, output reg [7:0] q);\n\
+         initial q = 8'h7F;\n\
+         always @(posedge clk) q <= q + 1;\nendmodule",
+        "m",
+    );
+    s.run_initial().unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), Some(0x7F));
+    s.clock_cycle("clk").unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), Some(0x80));
+}
+
+#[test]
+fn conway_full_design_simulates_a_blinker() {
+    let problem = rtlfixer_dataset_stub::conway_source();
+    let analysis = compile(&problem);
+    assert!(analysis.is_ok(), "{:?}", analysis.diagnostics);
+    let mut s = Simulator::new(&analysis, "top_module").expect("elaborates");
+    // Horizontal blinker at row 8, cols 7..9.
+    let mut grid = LogicVec::zeros(256);
+    for j in 7..10u32 {
+        grid = grid.with_bit(8 * 16 + j, rtlfixer_sim::value::Bit::One);
+    }
+    s.poke("load", v(1, 1)).unwrap();
+    s.poke("data", grid.clone()).unwrap();
+    s.clock_cycle("clk").unwrap();
+    assert_eq!(s.peek("q").unwrap(), grid);
+    s.poke("load", v(1, 0)).unwrap();
+    s.clock_cycle("clk").unwrap();
+    let vertical = s.peek("q").unwrap();
+    for i in 7..10u32 {
+        assert_eq!(vertical.bit(i * 16 + 8), rtlfixer_sim::value::Bit::One, "row {i}");
+    }
+    s.clock_cycle("clk").unwrap();
+    assert_eq!(s.peek("q").unwrap(), grid, "period-2 oscillator");
+}
+
+/// Inline copy of the conwaylife solution so this crate's tests stay free of
+/// a dataset dependency cycle.
+mod rtlfixer_dataset_stub {
+    pub fn conway_source() -> String {
+        "module top_module(input clk, input load, input [255:0] data, output reg [255:0] q);\n\
+         wire [255:0] next;\ngenvar i, j;\ngenerate\n\
+         for (i = 0; i < 16; i = i + 1) begin : row\n\
+           for (j = 0; j < 16; j = j + 1) begin : col\n\
+             wire [3:0] count;\n\
+             assign count = q[((i+15)%16)*16 + ((j+15)%16)] + q[((i+15)%16)*16 + j]\n\
+                          + q[((i+15)%16)*16 + ((j+1)%16)]  + q[i*16 + ((j+15)%16)]\n\
+                          + q[i*16 + ((j+1)%16)]            + q[((i+1)%16)*16 + ((j+15)%16)]\n\
+                          + q[((i+1)%16)*16 + j]            + q[((i+1)%16)*16 + ((j+1)%16)];\n\
+             assign next[i*16 + j] = (count == 3) | ((count == 2) & q[i*16 + j]);\n\
+           end\n\
+         end\nendgenerate\n\
+         always @(posedge clk) begin\n  if (load) q <= data; else q <= next;\nend\nendmodule"
+            .to_owned()
+    }
+}
+
+#[test]
+fn memory_word_bit_select_write() {
+    // `mem[addr][3:0] <= x` — the WordBits target path.
+    let mut s = sim(
+        "module m(input clk, input [1:0] addr, input [3:0] nib, output [7:0] q0);\n\
+         reg [7:0] mem [0:3];\n\
+         always @(posedge clk) mem[addr][3:0] <= nib;\n\
+         assign q0 = mem[0];\nendmodule",
+        "m",
+    );
+    s.poke("addr", v(2, 0)).unwrap();
+    s.poke("nib", v(4, 0xA)).unwrap();
+    s.clock_cycle("clk").unwrap();
+    assert_eq!(s.peek("q0").unwrap().to_u64(), Some(0x0A));
+}
+
+#[test]
+fn part_select_write_preserves_other_bits() {
+    let mut s = sim(
+        "module m(input clk, input [3:0] hi, output reg [7:0] q);\n\
+         always @(posedge clk) q[7:4] <= hi;\nendmodule",
+        "m",
+    );
+    s.poke("hi", v(4, 0xF)).unwrap();
+    s.clock_cycle("clk").unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), Some(0xF0));
+    s.poke("hi", v(4, 0x3)).unwrap();
+    s.clock_cycle("clk").unwrap();
+    assert_eq!(s.peek("q").unwrap().to_u64(), Some(0x30), "low nibble untouched");
+}
+
+#[test]
+fn dynamic_bit_write_indexed_by_signal() {
+    let mut s = sim(
+        "module m(input clk, input [2:0] idx, output reg [7:0] q);\n\
+         always @(posedge clk) q[idx] <= 1'b1;\nendmodule",
+        "m",
+    );
+    for bit in [1u64, 4, 6] {
+        s.poke("idx", v(3, bit)).unwrap();
+        s.clock_cycle("clk").unwrap();
+    }
+    assert_eq!(s.peek("q").unwrap().to_u64(), Some(0b0101_0010));
+}
+
+#[test]
+fn ascending_range_declaration_bit_order() {
+    // `input [0:7] a` — bit 0 is the MSB.
+    let mut s = sim(
+        "module m(input [0:7] a, output y0, output y7);\n\
+         assign y0 = a[0];\nassign y7 = a[7];\nendmodule",
+        "m",
+    );
+    // Poke with raw LogicVec: offset 7 is declared index 0 (MSB side).
+    let mut value = LogicVec::zeros(8);
+    value.set_bit(7, rtlfixer_sim::value::Bit::One);
+    s.poke("a", value).unwrap();
+    s.settle().unwrap();
+    assert_eq!(s.peek("y0").unwrap().to_u64(), Some(1));
+    assert_eq!(s.peek("y7").unwrap().to_u64(), Some(0));
+}
+
+#[test]
+fn negedge_process_triggers_on_falling_edge_only() {
+    let mut s = sim(
+        "module m(input clk, output reg [3:0] count);\n\
+         always @(negedge clk) count <= count + 1;\nendmodule",
+        "m",
+    );
+    // clock_cycle raises then lowers clk: one negedge per cycle.
+    for _ in 0..3 {
+        s.clock_cycle("clk").unwrap();
+    }
+    assert_eq!(s.peek("count").unwrap().to_u64(), Some(3));
+}
+
+#[test]
+fn vcd_export_of_full_run() {
+    use rtlfixer_sim::vcd::VcdRecorder;
+    let mut s = sim(
+        "module ctr(input clk, input reset, output reg [3:0] q);\n\
+         always @(posedge clk) begin\nif (reset) q <= 0; else q <= q + 1;\nend\nendmodule",
+        "ctr",
+    );
+    let mut recorder = VcdRecorder::for_ports("ctr", &s);
+    s.poke("reset", v(1, 1)).unwrap();
+    s.clock_cycle("clk").unwrap();
+    recorder.sample(&s);
+    s.poke("reset", v(1, 0)).unwrap();
+    for _ in 0..6 {
+        s.clock_cycle("clk").unwrap();
+        recorder.sample(&s);
+    }
+    let vcd = recorder.render();
+    assert!(vcd.contains("$enddefinitions $end"));
+    assert!(vcd.lines().filter(|l| l.starts_with('#')).count() >= 6);
+}

@@ -1,0 +1,782 @@
+//! Abstract syntax tree for the Verilog subset.
+//!
+//! The tree is deliberately close to the concrete syntax: every node keeps
+//! its [`Span`] so that semantic diagnostics and the text-level repair
+//! operators in `rtlfixer-llm` can point back into the original source.
+
+use crate::span::Span;
+use crate::token::Base;
+
+/// A parsed source file: leading directives plus module definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// Compiler directives seen at any point, in order (`name`, `rest`).
+    pub directives: Vec<DirectiveUse>,
+    /// Modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// One use of a compiler directive (`` `timescale 1ns/1ps `` …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveUse {
+    /// Directive name without the backtick.
+    pub name: String,
+    /// Remainder of the directive line.
+    pub rest: String,
+    /// Location.
+    pub span: Span,
+    /// Whether the directive appeared inside a module body (illegal for
+    /// `timescale` — the rule-based pre-fixer targets exactly this).
+    pub inside_module: bool,
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// ANSI-style header ports plus any non-ANSI ports completed by body
+    /// declarations.
+    pub ports: Vec<Port>,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+    /// Parameter declarations from a `#(...)` header, in order.
+    pub header_params: Vec<ParamDecl>,
+    /// Span of the whole definition.
+    pub span: Span,
+    /// Span of just the header (through the closing `;`), which repair
+    /// operators use to splice declarations right after it.
+    pub header_span: Span,
+}
+
+impl Module {
+    /// Finds a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Names of input ports, in declaration order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.ports
+            .iter()
+            .filter(|p| p.direction == Direction::Input)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Names of output ports, in declaration order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.ports
+            .iter()
+            .filter(|p| p.direction == Direction::Output)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+}
+
+/// Data kind of a signal declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// `wire` — a net; illegal as a procedural l-value.
+    Wire,
+    /// `reg` — a variable; illegal as a continuous-assign target.
+    Reg,
+    /// SystemVerilog `logic` — usable in both contexts.
+    Logic,
+    /// `integer` / `int` — 32-bit signed variable.
+    Integer,
+}
+
+impl NetKind {
+    /// Whether procedural assignment (`always` / `initial`) is legal.
+    pub fn procedural_assignable(self) -> bool {
+        !matches!(self, NetKind::Wire)
+    }
+
+    /// Whether continuous assignment (`assign`) is legal.
+    pub fn continuous_assignable(self) -> bool {
+        matches!(self, NetKind::Wire | NetKind::Logic)
+    }
+}
+
+/// A `[msb:lsb]` vector range with unevaluated bound expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeDecl {
+    /// Most-significant bound expression.
+    pub msb: Expr,
+    /// Least-significant bound expression.
+    pub lsb: Expr,
+    /// Location of the bracketed range.
+    pub span: Span,
+}
+
+/// One module port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Direction.
+    pub direction: Direction,
+    /// Declared kind; `None` means plain `input a` (implicitly a wire).
+    pub kind: Option<NetKind>,
+    /// Whether declared `signed`.
+    pub signed: bool,
+    /// Optional vector range.
+    pub range: Option<RangeDecl>,
+    /// Port name.
+    pub name: String,
+    /// Location of the declaration.
+    pub span: Span,
+}
+
+/// A parameter or localparam declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// `true` for `localparam`.
+    pub local: bool,
+    /// Parameter name.
+    pub name: String,
+    /// Default/assigned value.
+    pub value: Expr,
+    /// Location.
+    pub span: Span,
+}
+
+/// One declarator within a net/variable declaration (`wire a = 1, b;`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declarator {
+    /// Declared name.
+    pub name: String,
+    /// Optional unpacked array dimension (memory), e.g. `reg [7:0] mem [0:15]`.
+    pub unpacked: Option<RangeDecl>,
+    /// Optional initialiser.
+    pub init: Option<Expr>,
+    /// Location of the name.
+    pub span: Span,
+}
+
+/// Sensitivity list of an `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sensitivity {
+    /// `@*` or `@(*)` — combinational.
+    Star,
+    /// `@(posedge a or negedge b, …)` — edge-triggered.
+    Edges(Vec<EdgeSpec>),
+    /// `@(a or b or c)` — level-sensitive list.
+    Signals(Vec<(String, Span)>),
+    /// `always` with no `@` at all (we report this as unsupported in sema
+    /// unless it is `always_comb`).
+    None,
+}
+
+/// Edge kind for sequential sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// `posedge`
+    Pos,
+    /// `negedge`
+    Neg,
+}
+
+/// One `posedge sig` / `negedge sig` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSpec {
+    /// Edge polarity.
+    pub edge: Edge,
+    /// Signal expression (almost always an identifier).
+    pub signal: Expr,
+    /// Location.
+    pub span: Span,
+}
+
+/// Flavour of an `always` construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlwaysKind {
+    /// Plain `always`.
+    Always,
+    /// `always_comb`
+    Comb,
+    /// `always_ff`
+    Ff,
+}
+
+/// A named or positional connection in an instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Connection {
+    /// Port name for `.name(expr)` style; `None` for positional.
+    pub port: Option<String>,
+    /// Connected expression; `None` for an explicitly open `.name()`.
+    pub expr: Option<Expr>,
+    /// Location.
+    pub span: Span,
+}
+
+/// A module body item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Net/variable declaration.
+    Net {
+        /// wire/reg/logic/integer.
+        kind: NetKind,
+        /// Declared signed.
+        signed: bool,
+        /// Packed range.
+        range: Option<RangeDecl>,
+        /// Declared names.
+        decls: Vec<Declarator>,
+        /// Location of the whole declaration.
+        span: Span,
+    },
+    /// Port direction declaration in the body (non-ANSI style), possibly
+    /// also carrying a kind (`output reg [7:0] q;`).
+    PortDecl(Port),
+    /// `parameter` / `localparam`.
+    Param(ParamDecl),
+    /// `genvar i;`
+    Genvar {
+        /// Declared genvar names.
+        names: Vec<(String, Span)>,
+        /// Location.
+        span: Span,
+    },
+    /// `assign lhs = rhs, lhs2 = rhs2;`
+    ContinuousAssign {
+        /// The individual assignments.
+        assigns: Vec<(Expr, Expr)>,
+        /// Location.
+        span: Span,
+    },
+    /// `always … body`
+    Always {
+        /// Which always flavour.
+        kind: AlwaysKind,
+        /// Sensitivity list.
+        sensitivity: Sensitivity,
+        /// Body statement.
+        body: Stmt,
+        /// Location.
+        span: Span,
+    },
+    /// `initial body`
+    Initial {
+        /// Body statement.
+        body: Stmt,
+        /// Location.
+        span: Span,
+    },
+    /// Module instantiation.
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// `#(...)` parameter overrides.
+        params: Vec<Connection>,
+        /// Port connections.
+        conns: Vec<Connection>,
+        /// Location.
+        span: Span,
+    },
+    /// `generate … endgenerate` region (items inside, usually genfor).
+    Generate {
+        /// Contained items.
+        items: Vec<Item>,
+        /// Location.
+        span: Span,
+    },
+    /// `for (i = …; …; …) begin : label … end` at item level (generate-for).
+    GenFor {
+        /// Loop variable name.
+        var: String,
+        /// Initial value expression.
+        init: Expr,
+        /// Loop condition.
+        cond: Expr,
+        /// Step assignment RHS (`i = <step>`).
+        step: Expr,
+        /// Optional block label.
+        label: Option<String>,
+        /// Items replicated per iteration.
+        items: Vec<Item>,
+        /// Location.
+        span: Span,
+    },
+    /// Simplified function definition (single return assignment semantics).
+    Function {
+        /// Function name.
+        name: String,
+        /// Return range.
+        range: Option<RangeDecl>,
+        /// Arguments: (direction is always input) name + range.
+        args: Vec<Port>,
+        /// Body.
+        body: Stmt,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Item {
+    /// The item's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Net { span, .. }
+            | Item::Param(ParamDecl { span, .. })
+            | Item::Genvar { span, .. }
+            | Item::ContinuousAssign { span, .. }
+            | Item::Always { span, .. }
+            | Item::Initial { span, .. }
+            | Item::Instance { span, .. }
+            | Item::Generate { span, .. }
+            | Item::GenFor { span, .. }
+            | Item::Function { span, .. } => *span,
+            Item::PortDecl(port) => port.span,
+        }
+    }
+}
+
+/// Case statement flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseKind {
+    /// `case`
+    Case,
+    /// `casez` (`z`/`?` bits are wildcards)
+    Casez,
+    /// `casex` (`x`/`z`/`?` bits are wildcards)
+    Casex,
+}
+
+/// One `labels: stmt` arm of a case statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    /// Comma-separated label expressions.
+    pub labels: Vec<Expr>,
+    /// Arm body.
+    pub body: Stmt,
+    /// Location.
+    pub span: Span,
+}
+
+/// Blocking vs non-blocking procedural assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Blocking,
+    /// `<=`
+    NonBlocking,
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `begin [: label] … end`
+    Block {
+        /// Optional label.
+        label: Option<String>,
+        /// Local declarations hoisted from the block body.
+        decls: Vec<Item>,
+        /// Statements.
+        stmts: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `lhs = rhs;` or `lhs <= rhs;`
+    Assign {
+        /// Target expression.
+        lhs: Expr,
+        /// Blocking or non-blocking.
+        op: AssignOp,
+        /// Value expression.
+        rhs: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `if (cond) then [else els]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+        /// Location.
+        span: Span,
+    },
+    /// `case (expr) arms [default] endcase`
+    Case {
+        /// case/casez/casex.
+        kind: CaseKind,
+        /// Scrutinee.
+        scrutinee: Expr,
+        /// Arms in order.
+        arms: Vec<CaseArm>,
+        /// Optional default arm.
+        default: Option<Box<Stmt>>,
+        /// Location.
+        span: Span,
+    },
+    /// `for (var = init; cond; var = step) body` — optionally with an inline
+    /// SystemVerilog loop-variable declaration (`for (int i = 0; …)`).
+    For {
+        /// Loop variable.
+        var: String,
+        /// `Some(kind)` when the variable is declared inline.
+        decl: Option<NetKind>,
+        /// Initial value.
+        init: Expr,
+        /// Condition.
+        cond: Expr,
+        /// Step RHS.
+        step: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `repeat (count) body`
+    Repeat {
+        /// Iteration count.
+        count: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// System task call, e.g. `$display("…", a)`.
+    SysCall {
+        /// Task name without `$`.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Lone `;`
+    Null(Span),
+}
+
+impl Stmt {
+    /// The statement's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Block { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Case { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Repeat { span, .. }
+            | Stmt::SysCall { span, .. } => *span,
+            Stmt::Null(span) => *span,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    Plus,
+    Neg,
+    Not,
+    BitNot,
+    RedAnd,
+    RedOr,
+    RedXor,
+    RedNand,
+    RedNor,
+    RedXnor,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    BitAnd,
+    BitOr,
+    BitXor,
+    BitXnor,
+    LogAnd,
+    LogOr,
+    Eq,
+    Ne,
+    CaseEq,
+    CaseNe,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    AShl,
+    AShr,
+}
+
+/// Part-select mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectMode {
+    /// `[msb:lsb]` with constant bounds.
+    Range,
+    /// `[base +: width]`
+    IndexedUp,
+    /// `[base -: width]`
+    IndexedDown,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Identifier reference.
+    Ident {
+        /// Name.
+        name: String,
+        /// Location.
+        span: Span,
+    },
+    /// Number literal.
+    Literal {
+        /// Bit width prefix if sized.
+        size: Option<u32>,
+        /// Radix; `None` = plain decimal.
+        base: Option<Base>,
+        /// Digit text (lowercase, underscores removed; may contain x/z/?).
+        digits: String,
+        /// Signed marker.
+        signed: bool,
+        /// Location.
+        span: Span,
+    },
+    /// String literal.
+    Str {
+        /// Contents.
+        value: String,
+        /// Location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `cond ? a : b`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `{a, b, c}`
+    Concat {
+        /// Parts, MSB-first.
+        parts: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `{count{value}}`
+    Replicate {
+        /// Replication count (constant).
+        count: Box<Expr>,
+        /// Replicated expression.
+        value: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `base[index]`
+    Index {
+        /// Indexed expression (identifier in our subset).
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `base[a:b]`, `base[a +: w]`, `base[a -: w]`
+    Select {
+        /// Selected expression.
+        base: Box<Expr>,
+        /// Left bound / base index.
+        left: Box<Expr>,
+        /// Right bound / width.
+        right: Box<Expr>,
+        /// Which select form.
+        mode: SelectMode,
+        /// Location.
+        span: Span,
+    },
+    /// User function call.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// System function call, e.g. `$signed(x)`, `$clog2(n)`.
+    SysCall {
+        /// Function name without `$`.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Ident { span, .. }
+            | Expr::Literal { span, .. }
+            | Expr::Str { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Ternary { span, .. }
+            | Expr::Concat { span, .. }
+            | Expr::Replicate { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Select { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::SysCall { span, .. } => *span,
+        }
+    }
+
+    /// If this expression is a plain identifier, its name.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Ident { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The identifier at the root of an l-value expression
+    /// (`a`, `a[i]`, `a[3:0]` all root at `a`).
+    pub fn lvalue_root(&self) -> Option<&str> {
+        match self {
+            Expr::Ident { name, .. } => Some(name),
+            Expr::Index { base, .. } | Expr::Select { base, .. } => base.lvalue_root(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(name: &str) -> Expr {
+        Expr::Ident { name: name.into(), span: Span::point(0) }
+    }
+
+    #[test]
+    fn net_kind_assignability_matrix() {
+        assert!(!NetKind::Wire.procedural_assignable());
+        assert!(NetKind::Reg.procedural_assignable());
+        assert!(NetKind::Logic.procedural_assignable());
+        assert!(NetKind::Wire.continuous_assignable());
+        assert!(!NetKind::Reg.continuous_assignable());
+        assert!(NetKind::Logic.continuous_assignable());
+    }
+
+    #[test]
+    fn lvalue_root_traverses_selects() {
+        let expr = Expr::Index {
+            base: Box::new(Expr::Select {
+                base: Box::new(ident("mem")),
+                left: Box::new(ident("i")),
+                right: Box::new(ident("j")),
+                mode: SelectMode::Range,
+                span: Span::point(0),
+            }),
+            index: Box::new(ident("k")),
+            span: Span::point(0),
+        };
+        assert_eq!(expr.lvalue_root(), Some("mem"));
+        let concat = Expr::Concat { parts: vec![ident("a")], span: Span::point(0) };
+        assert_eq!(concat.lvalue_root(), None);
+    }
+
+    #[test]
+    fn module_port_queries() {
+        let module = Module {
+            name: "m".into(),
+            ports: vec![
+                Port {
+                    direction: Direction::Input,
+                    kind: None,
+                    signed: false,
+                    range: None,
+                    name: "a".into(),
+                    span: Span::point(0),
+                },
+                Port {
+                    direction: Direction::Output,
+                    kind: Some(NetKind::Reg),
+                    signed: false,
+                    range: None,
+                    name: "q".into(),
+                    span: Span::point(0),
+                },
+            ],
+            items: vec![],
+            header_params: vec![],
+            span: Span::point(0),
+            header_span: Span::point(0),
+        };
+        assert_eq!(module.input_names(), vec!["a"]);
+        assert_eq!(module.output_names(), vec!["q"]);
+        assert!(module.port("q").is_some());
+        assert!(module.port("zz").is_none());
+    }
+}

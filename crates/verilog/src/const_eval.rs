@@ -1,0 +1,313 @@
+//! Best-effort constant folding over [`Expr`] trees.
+//!
+//! Used during elaboration to resolve vector ranges, parameter values,
+//! generate-loop bounds and — crucially for the paper's Figure 6 failure
+//! case — *index expressions* such as `(i-1)*16 + (j-1)`, so the frontend
+//! can report out-of-range indices that only appear after arithmetic.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::token::Base;
+
+/// Why an expression could not be evaluated to a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstEvalError {
+    /// References a name with no known constant value (signal, port, …).
+    NonConst(String),
+    /// Contains `x`/`z` digits.
+    UnknownBits,
+    /// Division or modulo by zero.
+    DivideByZero,
+    /// A construct constant folding does not support (strings, calls, …).
+    Unsupported,
+    /// Arithmetic overflowed the `i64` evaluation domain.
+    Overflow,
+}
+
+impl std::fmt::Display for ConstEvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstEvalError::NonConst(name) => write!(f, "'{name}' is not a constant"),
+            ConstEvalError::UnknownBits => write!(f, "literal contains x/z bits"),
+            ConstEvalError::DivideByZero => write!(f, "division by zero in constant expression"),
+            ConstEvalError::Unsupported => write!(f, "unsupported constant expression"),
+            ConstEvalError::Overflow => write!(f, "constant expression overflow"),
+        }
+    }
+}
+
+impl std::error::Error for ConstEvalError {}
+
+/// Parses a literal's digit text in the given base. Fails on x/z digits.
+pub fn literal_value(digits: &str, base: Option<Base>) -> Result<i64, ConstEvalError> {
+    let radix = base.map_or(10, Base::radix);
+    if digits.is_empty() {
+        return Err(ConstEvalError::Unsupported);
+    }
+    if digits.chars().any(|c| matches!(c, 'x' | 'z' | '?')) {
+        return Err(ConstEvalError::UnknownBits);
+    }
+    i64::from_str_radix(digits, radix).map_err(|_| ConstEvalError::Overflow)
+}
+
+/// Evaluates `expr` against `env` (parameter / genvar values).
+///
+/// # Errors
+///
+/// Returns a [`ConstEvalError`] if the expression references a non-constant
+/// name, contains unknown bits, divides by zero, overflows, or uses an
+/// unsupported construct.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use rtlfixer_verilog::parser::parse;
+/// use rtlfixer_verilog::ast::Item;
+/// use rtlfixer_verilog::const_eval::eval;
+///
+/// let file = parse("module m; localparam X = 3 * 4 + 1; endmodule").file;
+/// let Item::Param(p) = &file.modules[0].items[0] else { unreachable!() };
+/// assert_eq!(eval(&p.value, &HashMap::new()), Ok(13));
+/// ```
+pub fn eval(expr: &Expr, env: &HashMap<String, i64>) -> Result<i64, ConstEvalError> {
+    match expr {
+        Expr::Ident { name, .. } => {
+            env.get(name).copied().ok_or_else(|| ConstEvalError::NonConst(name.clone()))
+        }
+        Expr::Literal { digits, base, .. } => literal_value(digits, *base),
+        Expr::Str { .. } | Expr::Call { .. } | Expr::Index { .. } | Expr::Select { .. } => {
+            Err(ConstEvalError::Unsupported)
+        }
+        Expr::SysCall { name, args, .. } => match (name.as_str(), args.as_slice()) {
+            ("clog2", [arg]) => {
+                let v = eval(arg, env)?;
+                Ok(clog2(v))
+            }
+            _ => Err(ConstEvalError::Unsupported),
+        },
+        Expr::Unary { op, operand, .. } => {
+            let v = eval(operand, env)?;
+            Ok(match op {
+                UnaryOp::Plus => v,
+                UnaryOp::Neg => v.checked_neg().ok_or(ConstEvalError::Overflow)?,
+                UnaryOp::Not => i64::from(v == 0),
+                UnaryOp::BitNot => !v,
+                UnaryOp::RedAnd => i64::from(v == -1),
+                UnaryOp::RedOr => i64::from(v != 0),
+                UnaryOp::RedXor => i64::from((v.count_ones() % 2) == 1),
+                UnaryOp::RedNand => i64::from(v != -1),
+                UnaryOp::RedNor => i64::from(v == 0),
+                UnaryOp::RedXnor => i64::from((v.count_ones() % 2) == 0),
+            })
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let a = eval(lhs, env)?;
+            let b = eval(rhs, env)?;
+            binary(*op, a, b)
+        }
+        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            if eval(cond, env)? != 0 {
+                eval(then_expr, env)
+            } else {
+                eval(else_expr, env)
+            }
+        }
+        Expr::Concat { .. } | Expr::Replicate { .. } => Err(ConstEvalError::Unsupported),
+    }
+}
+
+fn binary(op: BinaryOp, a: i64, b: i64) -> Result<i64, ConstEvalError> {
+    use BinaryOp::*;
+    Ok(match op {
+        Add => a.checked_add(b).ok_or(ConstEvalError::Overflow)?,
+        Sub => a.checked_sub(b).ok_or(ConstEvalError::Overflow)?,
+        Mul => a.checked_mul(b).ok_or(ConstEvalError::Overflow)?,
+        Div => {
+            if b == 0 {
+                return Err(ConstEvalError::DivideByZero);
+            }
+            a / b
+        }
+        Mod => {
+            if b == 0 {
+                return Err(ConstEvalError::DivideByZero);
+            }
+            a % b
+        }
+        Pow => {
+            let exp = u32::try_from(b).map_err(|_| ConstEvalError::Overflow)?;
+            a.checked_pow(exp).ok_or(ConstEvalError::Overflow)?
+        }
+        BitAnd => a & b,
+        BitOr => a | b,
+        BitXor => a ^ b,
+        BitXnor => !(a ^ b),
+        LogAnd => i64::from(a != 0 && b != 0),
+        LogOr => i64::from(a != 0 || b != 0),
+        Eq | CaseEq => i64::from(a == b),
+        Ne | CaseNe => i64::from(a != b),
+        Lt => i64::from(a < b),
+        Le => i64::from(a <= b),
+        Gt => i64::from(a > b),
+        Ge => i64::from(a >= b),
+        Shl | AShl => {
+            let sh = u32::try_from(b).map_err(|_| ConstEvalError::Overflow)?;
+            if sh >= 64 {
+                0
+            } else {
+                a.wrapping_shl(sh)
+            }
+        }
+        Shr => {
+            let sh = u32::try_from(b).map_err(|_| ConstEvalError::Overflow)?;
+            if sh >= 64 {
+                0
+            } else {
+                ((a as u64) >> sh) as i64
+            }
+        }
+        AShr => {
+            let sh = u32::try_from(b).map_err(|_| ConstEvalError::Overflow)?.min(63);
+            a >> sh
+        }
+    })
+}
+
+/// Ceiling log2 as defined by `$clog2` (0 and 1 map to 0).
+pub fn clog2(v: i64) -> i64 {
+    if v <= 1 {
+        return 0;
+    }
+    64 - ((v - 1) as u64).leading_zeros() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn lit(v: i64) -> Expr {
+        Expr::Literal {
+            size: None,
+            base: None,
+            digits: v.to_string(),
+            signed: false,
+            span: Span::point(0),
+        }
+    }
+
+    fn bin(op: BinaryOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(a), rhs: Box::new(b), span: Span::point(0) }
+    }
+
+    #[test]
+    fn evaluates_arithmetic() {
+        let env = HashMap::new();
+        assert_eq!(eval(&bin(BinaryOp::Add, lit(2), lit(3)), &env), Ok(5));
+        assert_eq!(eval(&bin(BinaryOp::Mul, lit(4), lit(6)), &env), Ok(24));
+        assert_eq!(eval(&bin(BinaryOp::Sub, lit(1), lit(9)), &env), Ok(-8));
+    }
+
+    #[test]
+    fn figure6_style_index_folds_negative() {
+        // (i-1)*16 + (j-1) with i=j=0 → -17 (the paper's exact failure).
+        let mut env = HashMap::new();
+        env.insert("i".to_owned(), 0);
+        env.insert("j".to_owned(), 0);
+        let i = Expr::Ident { name: "i".into(), span: Span::point(0) };
+        let j = Expr::Ident { name: "j".into(), span: Span::point(0) };
+        let expr = bin(
+            BinaryOp::Add,
+            bin(BinaryOp::Mul, bin(BinaryOp::Sub, i, lit(1)), lit(16)),
+            bin(BinaryOp::Sub, j, lit(1)),
+        );
+        assert_eq!(eval(&expr, &env), Ok(-17));
+    }
+
+    #[test]
+    fn unknown_name_is_nonconst() {
+        assert_eq!(
+            eval(&Expr::Ident { name: "clk".into(), span: Span::point(0) }, &HashMap::new()),
+            Err(ConstEvalError::NonConst("clk".into()))
+        );
+    }
+
+    #[test]
+    fn xz_digits_fail() {
+        let expr = Expr::Literal {
+            size: Some(4),
+            base: Some(Base::Binary),
+            digits: "1x0z".into(),
+            signed: false,
+            span: Span::point(0),
+        };
+        assert_eq!(eval(&expr, &HashMap::new()), Err(ConstEvalError::UnknownBits));
+    }
+
+    #[test]
+    fn divide_by_zero_fails() {
+        assert_eq!(
+            eval(&bin(BinaryOp::Div, lit(4), lit(0)), &HashMap::new()),
+            Err(ConstEvalError::DivideByZero)
+        );
+        assert_eq!(
+            eval(&bin(BinaryOp::Mod, lit(4), lit(0)), &HashMap::new()),
+            Err(ConstEvalError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn hex_literal() {
+        assert_eq!(literal_value("ff", Some(Base::Hex)), Ok(255));
+        assert_eq!(literal_value("1010", Some(Base::Binary)), Ok(10));
+        assert_eq!(literal_value("17", Some(Base::Octal)), Ok(15));
+    }
+
+    #[test]
+    fn clog2_reference_values() {
+        assert_eq!(clog2(0), 0);
+        assert_eq!(clog2(1), 0);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(8), 3);
+        assert_eq!(clog2(9), 4);
+        assert_eq!(clog2(1024), 10);
+    }
+
+    #[test]
+    fn shifts_and_comparisons() {
+        let env = HashMap::new();
+        assert_eq!(eval(&bin(BinaryOp::Shl, lit(1), lit(4)), &env), Ok(16));
+        assert_eq!(eval(&bin(BinaryOp::Shr, lit(-1), lit(60)), &env), Ok(15));
+        assert_eq!(eval(&bin(BinaryOp::AShr, lit(-16), lit(2)), &env), Ok(-4));
+        assert_eq!(eval(&bin(BinaryOp::Le, lit(3), lit(3)), &env), Ok(1));
+        assert_eq!(eval(&bin(BinaryOp::Shl, lit(1), lit(99)), &env), Ok(0));
+    }
+
+    #[test]
+    fn ternary_selects_branch() {
+        let env = HashMap::new();
+        let t = Expr::Ternary {
+            cond: Box::new(lit(1)),
+            then_expr: Box::new(lit(10)),
+            else_expr: Box::new(lit(20)),
+            span: Span::point(0),
+        };
+        assert_eq!(eval(&t, &env), Ok(10));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let env = HashMap::new();
+        assert_eq!(
+            eval(&bin(BinaryOp::Mul, lit(i64::MAX), lit(2)), &env),
+            Err(ConstEvalError::Overflow)
+        );
+        assert_eq!(
+            eval(&bin(BinaryOp::Pow, lit(2), lit(200)), &env),
+            Err(ConstEvalError::Overflow)
+        );
+    }
+}

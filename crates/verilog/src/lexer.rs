@@ -1,0 +1,581 @@
+//! Hand-written lexer for the Verilog subset.
+//!
+//! The lexer is total: it never fails. Unlexable characters become
+//! [`TokenKind::Unknown`] tokens the parser turns into syntax diagnostics.
+//! C-style operators (`++`, `+=`, …) are lexed as distinct tokens so the
+//! semantic layer can produce category-tagged diagnostics for them.
+
+use crate::span::Span;
+use crate::token::{Base, Keyword, Token, TokenKind};
+
+/// Lexes an entire source string into tokens, terminated by a single
+/// [`TokenKind::Eof`] token.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_verilog::lexer::lex;
+/// use rtlfixer_verilog::token::TokenKind;
+///
+/// let tokens = lex("assign out = in;");
+/// assert!(matches!(tokens[0].kind, TokenKind::Kw(_)));
+/// assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+/// ```
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer { src: text.as_bytes(), text, pos: 0, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                break;
+            };
+            match c {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_word(),
+                b'0'..=b'9' => self.lex_number(),
+                b'\'' => self.lex_based_literal_no_size(),
+                b'"' => self.lex_string(),
+                b'$' => self.lex_system_ident(),
+                b'`' => self.lex_directive(),
+                b'\\' => self.lex_escaped_ident(),
+                _ => self.lex_operator(),
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token::new(kind, Span::new(start as u32, self.pos as u32)));
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    self.pos += 2;
+                    while self.pos < self.src.len() {
+                        if self.peek() == Some(b'*') && self.peek_at(1) == Some(b'/') {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) -> &'a str {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        &self.text[start..self.pos]
+    }
+
+    fn lex_word(&mut self) {
+        let start = self.pos;
+        let word = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$');
+        let kind = match Keyword::from_str(word) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(word.to_owned()),
+        };
+        self.push(kind, start);
+    }
+
+    fn lex_escaped_ident(&mut self) {
+        let start = self.pos;
+        self.pos += 1; // backslash
+        let word = self.take_while(|c| !c.is_ascii_whitespace());
+        self.push(TokenKind::Ident(word.to_owned()), start);
+    }
+
+    fn lex_system_ident(&mut self) {
+        let start = self.pos;
+        self.pos += 1; // '$'
+        let word = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+        self.push(TokenKind::SystemIdent(word.to_owned()), start);
+    }
+
+    fn lex_string(&mut self) {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                b'"' => break,
+                b'\\' => match self.bump() {
+                    Some(b'n') => text.push('\n'),
+                    Some(b't') => text.push('\t'),
+                    Some(other) => text.push(other as char),
+                    None => break,
+                },
+                _ => text.push(c as char),
+            }
+        }
+        self.push(TokenKind::Str(text), start);
+    }
+
+    fn lex_directive(&mut self) {
+        let start = self.pos;
+        self.pos += 1; // backtick
+        let name = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_').to_owned();
+        let rest_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let rest = self.text[rest_start..self.pos].trim().to_owned();
+        self.push(TokenKind::Directive { name, rest }, start);
+    }
+
+    /// A based literal without a size prefix, e.g. `'b0101` or `'d8`.
+    fn lex_based_literal_no_size(&mut self) {
+        let start = self.pos;
+        self.pos += 1; // apostrophe
+        self.lex_base_and_digits(start, None);
+    }
+
+    fn lex_number(&mut self) {
+        let start = self.pos;
+        let int_part = self.take_while(|c| c.is_ascii_digit() || c == b'_');
+        // A size prefix only counts if an apostrophe follows (possibly after
+        // whitespace, which real tools accept: `8 'hFF`).
+        let mut lookahead = self.pos;
+        while self.src.get(lookahead).is_some_and(|c| *c == b' ' || *c == b'\t') {
+            lookahead += 1;
+        }
+        if self.src.get(lookahead) == Some(&b'\'')
+            && self
+                .src
+                .get(lookahead + 1)
+                .is_some_and(|c| matches!(c.to_ascii_lowercase(), b'b' | b'o' | b'd' | b'h' | b's'))
+        {
+            let size: Option<u32> = int_part.replace('_', "").parse().ok();
+            self.pos = lookahead + 1; // past apostrophe
+            self.lex_base_and_digits(start, size);
+            return;
+        }
+        let digits = int_part.replace('_', "");
+        self.push(TokenKind::Number { size: None, base: None, digits, signed: false }, start);
+    }
+
+    fn lex_base_and_digits(&mut self, start: usize, size: Option<u32>) {
+        let mut signed = false;
+        if self.peek().is_some_and(|c| c.to_ascii_lowercase() == b's') {
+            signed = true;
+            self.pos += 1;
+        }
+        let base = match self.peek().map(|c| c.to_ascii_lowercase()) {
+            Some(b'b') => Base::Binary,
+            Some(b'o') => Base::Octal,
+            Some(b'd') => Base::Decimal,
+            Some(b'h') => Base::Hex,
+            _ => {
+                // `'x` / `'0` style unbased literal: treat the rest as binary.
+                let digits = self
+                    .take_while(|c| {
+                        c.is_ascii_hexdigit() || matches!(c, b'x' | b'X' | b'z' | b'Z' | b'?')
+                    })
+                    .to_lowercase();
+                self.push(
+                    TokenKind::Number { size, base: Some(Base::Binary), digits, signed },
+                    start,
+                );
+                return;
+            }
+        };
+        self.pos += 1;
+        self.skip_trivia_inline();
+        let digits = self
+            .take_while(|c| {
+                c.is_ascii_hexdigit() || matches!(c, b'x' | b'X' | b'z' | b'Z' | b'?' | b'_')
+            })
+            .replace('_', "")
+            .to_lowercase();
+        self.push(TokenKind::Number { size, base: Some(base), digits, signed }, start);
+    }
+
+    fn skip_trivia_inline(&mut self) {
+        while self.peek().is_some_and(|c| c == b' ' || c == b'\t') {
+            self.pos += 1;
+        }
+    }
+
+    fn lex_operator(&mut self) {
+        use TokenKind::*;
+        let start = self.pos;
+        let c = self.bump().expect("caller checked");
+        let two = self.peek();
+        let three = self.peek_at(1);
+        let kind = match (c, two, three) {
+            (b'<', Some(b'<'), Some(b'<')) => {
+                self.pos += 2;
+                AShl
+            }
+            (b'>', Some(b'>'), Some(b'>')) => {
+                self.pos += 2;
+                AShr
+            }
+            (b'=', Some(b'='), Some(b'=')) => {
+                self.pos += 2;
+                EqEqEq
+            }
+            (b'!', Some(b'='), Some(b'=')) => {
+                self.pos += 2;
+                NotEqEq
+            }
+            (b'<', Some(b'<'), _) => {
+                self.pos += 1;
+                Shl
+            }
+            (b'>', Some(b'>'), _) => {
+                self.pos += 1;
+                Shr
+            }
+            (b'=', Some(b'='), _) => {
+                self.pos += 1;
+                EqEq
+            }
+            (b'!', Some(b'='), _) => {
+                self.pos += 1;
+                NotEq
+            }
+            (b'<', Some(b'='), _) => {
+                self.pos += 1;
+                LtEq
+            }
+            (b'>', Some(b'='), _) => {
+                self.pos += 1;
+                GtEq
+            }
+            (b'&', Some(b'&'), _) => {
+                self.pos += 1;
+                AmpAmp
+            }
+            (b'|', Some(b'|'), _) => {
+                self.pos += 1;
+                PipePipe
+            }
+            (b'~', Some(b'&'), _) => {
+                self.pos += 1;
+                TildeAmp
+            }
+            (b'~', Some(b'|'), _) => {
+                self.pos += 1;
+                TildePipe
+            }
+            (b'~', Some(b'^'), _) => {
+                self.pos += 1;
+                TildeCaret
+            }
+            (b'^', Some(b'~'), _) => {
+                self.pos += 1;
+                TildeCaret
+            }
+            (b'*', Some(b'*'), _) => {
+                self.pos += 1;
+                StarStar
+            }
+            (b'+', Some(b':'), _) => {
+                self.pos += 1;
+                PlusColon
+            }
+            (b'-', Some(b':'), _) => {
+                self.pos += 1;
+                MinusColon
+            }
+            (b'-', Some(b'>'), _) => {
+                self.pos += 1;
+                Arrow
+            }
+            (b'+', Some(b'+'), _) => {
+                self.pos += 1;
+                PlusPlus
+            }
+            (b'-', Some(b'-'), _) => {
+                self.pos += 1;
+                MinusMinus
+            }
+            (b'+', Some(b'='), _) => {
+                self.pos += 1;
+                PlusEq
+            }
+            (b'-', Some(b'='), _) => {
+                self.pos += 1;
+                MinusEq
+            }
+            (b'*', Some(b'='), _) => {
+                self.pos += 1;
+                StarEq
+            }
+            (b'/', Some(b'='), _) => {
+                self.pos += 1;
+                SlashEq
+            }
+            (b'(', _, _) => LParen,
+            (b')', _, _) => RParen,
+            (b'[', _, _) => LBracket,
+            (b']', _, _) => RBracket,
+            (b'{', _, _) => LBrace,
+            (b'}', _, _) => RBrace,
+            (b';', _, _) => Semi,
+            (b',', _, _) => Comma,
+            (b'.', _, _) => Dot,
+            (b':', _, _) => Colon,
+            (b'@', _, _) => At,
+            (b'#', _, _) => Hash,
+            (b'?', _, _) => Question,
+            (b'=', _, _) => Assign,
+            (b'+', _, _) => Plus,
+            (b'-', _, _) => Minus,
+            (b'*', _, _) => Star,
+            (b'/', _, _) => Slash,
+            (b'%', _, _) => Percent,
+            (b'!', _, _) => Bang,
+            (b'~', _, _) => Tilde,
+            (b'&', _, _) => Amp,
+            (b'|', _, _) => Pipe,
+            (b'^', _, _) => Caret,
+            (b'<', _, _) => Lt,
+            (b'>', _, _) => Gt,
+            (other, _, _) => Unknown(other as char),
+        };
+        self.push(kind, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_module_header() {
+        let kinds = kinds("module top_module (input [7:0] in);");
+        assert_eq!(kinds[0], TokenKind::Kw(Keyword::Module));
+        assert_eq!(kinds[1], TokenKind::Ident("top_module".into()));
+        assert_eq!(kinds[2], TokenKind::LParen);
+        assert_eq!(kinds[3], TokenKind::Kw(Keyword::Input));
+        assert_eq!(kinds[4], TokenKind::LBracket);
+    }
+
+    #[test]
+    fn lexes_sized_hex_literal() {
+        let kinds = kinds("8'hFF");
+        assert_eq!(
+            kinds[0],
+            TokenKind::Number {
+                size: Some(8),
+                base: Some(Base::Hex),
+                digits: "ff".into(),
+                signed: false,
+            }
+        );
+    }
+
+    #[test]
+    fn lexes_sized_literal_with_space() {
+        let kinds = kinds("4 'b1010");
+        assert_eq!(
+            kinds[0],
+            TokenKind::Number {
+                size: Some(4),
+                base: Some(Base::Binary),
+                digits: "1010".into(),
+                signed: false,
+            }
+        );
+    }
+
+    #[test]
+    fn lexes_unsized_based_literal() {
+        let kinds = kinds("'d42");
+        assert_eq!(
+            kinds[0],
+            TokenKind::Number {
+                size: None,
+                base: Some(Base::Decimal),
+                digits: "42".into(),
+                signed: false,
+            }
+        );
+    }
+
+    #[test]
+    fn lexes_signed_literal() {
+        let kinds = kinds("8'sd5");
+        assert!(matches!(&kinds[0], TokenKind::Number { signed: true, .. }));
+    }
+
+    #[test]
+    fn lexes_xz_digits() {
+        let kinds = kinds("4'b10xz");
+        assert_eq!(
+            kinds[0],
+            TokenKind::Number {
+                size: Some(4),
+                base: Some(Base::Binary),
+                digits: "10xz".into(),
+                signed: false,
+            }
+        );
+    }
+
+    #[test]
+    fn underscores_are_stripped() {
+        let kinds = kinds("16'b1010_1010_1111_0000 1_000");
+        match &kinds[0] {
+            TokenKind::Number { digits, .. } => assert_eq!(digits, "1010101011110000"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &kinds[1] {
+            TokenKind::Number { digits, .. } => assert_eq!(digits, "1000"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        let kinds = kinds("assign // line comment\n/* block\ncomment */ out");
+        assert_eq!(kinds[0], TokenKind::Kw(Keyword::Assign));
+        assert_eq!(kinds[1], TokenKind::Ident("out".into()));
+        assert_eq!(kinds[2], TokenKind::Eof);
+    }
+
+    #[test]
+    fn unterminated_block_comment_hits_eof() {
+        let kinds = kinds("a /* never closed");
+        assert_eq!(kinds[0], TokenKind::Ident("a".into()));
+        assert_eq!(kinds[1], TokenKind::Eof);
+    }
+
+    #[test]
+    fn nonblocking_vs_le() {
+        // Lexed identically; the parser disambiguates by context.
+        let kinds = kinds("out <= in");
+        assert_eq!(kinds[1], TokenKind::LtEq);
+    }
+
+    #[test]
+    fn three_char_operators() {
+        assert_eq!(kinds("<<<")[0], TokenKind::AShl);
+        assert_eq!(kinds(">>>")[0], TokenKind::AShr);
+        assert_eq!(kinds("===")[0], TokenKind::EqEqEq);
+        assert_eq!(kinds("!==")[0], TokenKind::NotEqEq);
+    }
+
+    #[test]
+    fn c_style_operators_are_distinct_tokens() {
+        assert_eq!(kinds("i++")[1], TokenKind::PlusPlus);
+        assert_eq!(kinds("i += 1")[1], TokenKind::PlusEq);
+        assert_eq!(kinds("i--")[1], TokenKind::MinusMinus);
+    }
+
+    #[test]
+    fn minus_colon_and_plus_colon() {
+        assert_eq!(kinds("a[7 -: 4]")[3], TokenKind::MinusColon);
+        assert_eq!(kinds("a[0 +: 4]")[3], TokenKind::PlusColon);
+    }
+
+    #[test]
+    fn directive_captures_rest_of_line() {
+        let kinds = kinds("`timescale 1ns / 1ps\nmodule m;");
+        assert_eq!(
+            kinds[0],
+            TokenKind::Directive { name: "timescale".into(), rest: "1ns / 1ps".into() }
+        );
+        assert_eq!(kinds[1], TokenKind::Kw(Keyword::Module));
+    }
+
+    #[test]
+    fn system_ident() {
+        assert_eq!(kinds("$display")[0], TokenKind::SystemIdent("display".into()));
+    }
+
+    #[test]
+    fn string_with_escapes() {
+        assert_eq!(kinds(r#""a\nb""#)[0], TokenKind::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn escaped_identifier() {
+        assert_eq!(kinds(r"\my+sig rest")[0], TokenKind::Ident("my+sig".into()));
+    }
+
+    #[test]
+    fn unknown_character_is_reported_not_dropped() {
+        let kinds = kinds("a € b");
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Unknown(_))));
+    }
+
+    #[test]
+    fn spans_cover_tokens_exactly() {
+        let src = "assign out = in;";
+        for tok in lex(src) {
+            if tok.kind == TokenKind::Eof {
+                continue;
+            }
+            let text = tok.span.slice(src);
+            assert!(!text.is_empty(), "token {:?} has empty span", tok.kind);
+        }
+    }
+
+    #[test]
+    fn plain_decimal() {
+        assert_eq!(
+            kinds("42")[0],
+            TokenKind::Number { size: None, base: None, digits: "42".into(), signed: false }
+        );
+    }
+}

@@ -1,0 +1,1676 @@
+//! Recursive-descent parser for the Verilog subset.
+//!
+//! The parser is error-tolerant: syntax problems are recorded as
+//! [`Diagnostic`]s (categories `SyntaxError`, `UnbalancedBlock`,
+//! `CStyleConstruct`, `KeywordAsIdentifier`, `MisplacedDirective`) and the
+//! parser re-synchronises at `;` / `end` / `endmodule` boundaries so that a
+//! single erroneous sample can surface *several* findings — mirroring how
+//! iverilog and Quartus keep going after the first error.
+
+use crate::ast::*;
+use crate::diag::{DiagData, Diagnostic, ErrorCategory};
+use crate::span::Span;
+use crate::token::{Keyword as Kw, Token, TokenKind as Tk};
+
+/// Maximum syntax diagnostics before the parser gives up (avoids error
+/// cascades producing noise).
+const MAX_SYNTAX_ERRORS: usize = 25;
+
+/// Result of parsing: the (possibly partial) tree plus diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseResult {
+    /// Parsed file; partial if errors occurred.
+    pub file: SourceFile,
+    /// Parser-level diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Parses Verilog source text.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_verilog::parser::parse;
+///
+/// let result = parse("module m(input a, output y); assign y = ~a; endmodule");
+/// assert!(result.diagnostics.is_empty());
+/// assert_eq!(result.file.modules[0].name, "m");
+/// ```
+pub fn parse(source: &str) -> ParseResult {
+    let tokens = crate::lexer::lex(source);
+    Parser::new(tokens).run()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: Vec<Diagnostic>,
+    directives: Vec<DirectiveUse>,
+    in_module: bool,
+    /// Second-and-later names of multi-name body port declarations
+    /// (`output reg a, b;`), drained by the module loop.
+    extra_port_decls: Vec<Port>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            diags: Vec::new(),
+            directives: Vec::new(),
+            in_module: false,
+            extra_port_decls: Vec::new(),
+        }
+    }
+
+    // ---- token plumbing ---------------------------------------------------
+
+    fn peek(&mut self) -> &Tk {
+        self.skip_directives();
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_span(&mut self) -> Span {
+        self.skip_directives();
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn nth(&mut self, n: usize) -> Tk {
+        self.skip_directives();
+        let mut idx = self.pos;
+        let mut remaining = n;
+        while idx < self.tokens.len() {
+            if matches!(self.tokens[idx].kind, Tk::Directive { .. }) {
+                idx += 1;
+                continue;
+            }
+            if remaining == 0 {
+                return self.tokens[idx].kind.clone();
+            }
+            remaining -= 1;
+            idx += 1;
+        }
+        Tk::Eof
+    }
+
+    fn skip_directives(&mut self) {
+        while let Some(tok) = self.tokens.get(self.pos) {
+            if let Tk::Directive { name, rest } = &tok.kind {
+                self.directives.push(DirectiveUse {
+                    name: name.clone(),
+                    rest: rest.clone(),
+                    span: tok.span,
+                    inside_module: self.in_module,
+                });
+                if self.in_module && name == "timescale" {
+                    self.diags.push(Diagnostic::error(
+                        ErrorCategory::MisplacedDirective,
+                        tok.span,
+                        DiagData::Directive { directive: name.clone() },
+                    ));
+                }
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn bump(&mut self) -> Token {
+        self.skip_directives();
+        let idx = self.pos.min(self.tokens.len() - 1);
+        let tok = self.tokens[idx].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at(&mut self, kind: &Tk) -> bool {
+        self.peek() == kind
+    }
+
+    fn at_kw(&mut self, kw: Kw) -> bool {
+        matches!(self.peek(), Tk::Kw(k) if *k == kw)
+    }
+
+    fn eat(&mut self, kind: &Tk) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error_limit_reached(&self) -> bool {
+        self.diags.iter().filter(|d| d.is_error()).count() >= MAX_SYNTAX_ERRORS
+    }
+
+    fn syntax_error(&mut self, expected: &str) {
+        let span = self.peek_span();
+        let found = self.peek().describe();
+        // C-style tokens get their own category so the retrieval database and
+        // competence model can treat them separately (§5 of the paper).
+        let c_style = self.peek().is_c_style();
+        let diag = if c_style {
+            Diagnostic::error(
+                ErrorCategory::CStyleConstruct,
+                span,
+                DiagData::CStyle { construct: found },
+            )
+        } else {
+            Diagnostic::error(
+                ErrorCategory::SyntaxError,
+                span,
+                DiagData::Syntax { found, expected: expected.to_owned() },
+            )
+        };
+        self.diags.push(diag);
+    }
+
+    fn expect(&mut self, kind: &Tk, expected: &str) -> bool {
+        if self.eat(kind) {
+            true
+        } else {
+            self.syntax_error(expected);
+            false
+        }
+    }
+
+    fn expect_semi(&mut self) {
+        if !self.eat(&Tk::Semi) {
+            self.syntax_error("';'");
+            // Missing semicolons are common in LLM output; resync gently by
+            // not consuming anything (the caller's loop will recover).
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Option<(String, Span)> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            Tk::Ident(name) => {
+                self.bump();
+                Some((name, span))
+            }
+            Tk::Kw(kw) => {
+                self.diags.push(Diagnostic::error(
+                    ErrorCategory::KeywordAsIdentifier,
+                    span,
+                    DiagData::KeywordAsId { keyword: kw.as_str().to_owned() },
+                ));
+                self.bump();
+                Some((kw.as_str().to_owned(), span))
+            }
+            _ => {
+                self.syntax_error(what);
+                None
+            }
+        }
+    }
+
+    /// Skips tokens until one of `stops` (or EOF); does not consume the stop.
+    fn recover_to(&mut self, stops: &[Tk]) {
+        loop {
+            let tok = self.peek().clone();
+            if tok == Tk::Eof || stops.contains(&tok) {
+                break;
+            }
+            if let Tk::Kw(kw) = tok {
+                if matches!(kw, Kw::Endmodule | Kw::Module) {
+                    break;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    // ---- top level --------------------------------------------------------
+
+    fn run(mut self) -> ParseResult {
+        let mut modules = Vec::new();
+        loop {
+            self.skip_directives();
+            if self.at(&Tk::Eof) || self.error_limit_reached() {
+                break;
+            }
+            if self.eat_kw(Kw::Module) {
+                if let Some(module) = self.parse_module() {
+                    modules.push(module);
+                }
+            } else {
+                self.syntax_error("'module'");
+                self.bump();
+                self.recover_to(&[]);
+            }
+        }
+        ParseResult {
+            file: SourceFile { directives: self.directives, modules },
+            diagnostics: self.diags,
+        }
+    }
+
+    fn parse_module(&mut self) -> Option<Module> {
+        let start = self.peek_span();
+        self.in_module = true;
+        let (name, _) = self.expect_ident("module name")?;
+
+        let mut header_params = Vec::new();
+        if self.eat(&Tk::Hash) {
+            self.expect(&Tk::LParen, "'('");
+            loop {
+                self.eat_kw(Kw::Parameter);
+                if let Some(param) = self.parse_param_decl(false) {
+                    header_params.push(param);
+                }
+                if !self.eat(&Tk::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tk::RParen, "')'");
+        }
+
+        let mut ports = Vec::new();
+        if self.eat(&Tk::LParen) {
+            if !self.at(&Tk::RParen) {
+                self.parse_port_list(&mut ports);
+            }
+            if !self.eat(&Tk::RParen) {
+                self.syntax_error("')'");
+                self.recover_to(&[Tk::Semi]);
+                self.eat(&Tk::RParen);
+            }
+        }
+        self.expect_semi();
+        let header_end = self.tokens[(self.pos.saturating_sub(1)).min(self.tokens.len() - 1)].span;
+
+        let mut items = Vec::new();
+        let mut saw_endmodule = false;
+        loop {
+            if self.at(&Tk::Eof) || self.error_limit_reached() {
+                break;
+            }
+            if self.eat_kw(Kw::Endmodule) {
+                saw_endmodule = true;
+                break;
+            }
+            if self.at_kw(Kw::Module) {
+                break; // missing endmodule before a new module
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                self.merge_port_decl(&mut ports, &item);
+                items.push(item);
+            }
+            for extra in self.take_extra_ports() {
+                let item = Item::PortDecl(extra);
+                self.merge_port_decl(&mut ports, &item);
+                items.push(item);
+            }
+            if self.pos == before {
+                // No progress: consume one token to guarantee termination.
+                self.syntax_error("module item");
+                self.bump();
+            }
+        }
+        if !saw_endmodule {
+            let span = self.peek_span();
+            self.diags.push(Diagnostic::error(
+                ErrorCategory::UnbalancedBlock,
+                span,
+                DiagData::Unbalanced { construct: "endmodule".into() },
+            ));
+        }
+        self.in_module = false;
+        let end = self.tokens[(self.pos.saturating_sub(1)).min(self.tokens.len() - 1)].span;
+        Some(Module {
+            name,
+            ports,
+            items,
+            header_params,
+            span: start.join(end),
+            header_span: start.join(header_end),
+        })
+    }
+
+    /// Merge a body-level port/net declaration into the port list so that
+    /// non-ANSI headers (`module m(a, q); input a; output reg q; …`) end up
+    /// with fully-typed ports.
+    fn merge_port_decl(&mut self, ports: &mut [Port], item: &Item) {
+        match item {
+            Item::PortDecl(decl) => {
+                if let Some(port) = ports.iter_mut().find(|p| p.name == decl.name) {
+                    port.direction = decl.direction;
+                    if decl.kind.is_some() {
+                        port.kind = decl.kind;
+                    }
+                    if decl.range.is_some() {
+                        port.range = decl.range.clone();
+                    }
+                    port.signed |= decl.signed;
+                }
+            }
+            Item::Net { kind, range, decls, .. } => {
+                for declarator in decls {
+                    if let Some(port) = ports.iter_mut().find(|p| p.name == declarator.name) {
+                        if port.kind.is_none() {
+                            port.kind = Some(*kind);
+                            if port.range.is_none() {
+                                port.range = range.clone();
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn parse_port_list(&mut self, ports: &mut Vec<Port>) {
+        let mut current_dir: Option<Direction> = None;
+        let mut current_kind: Option<NetKind> = None;
+        let mut current_signed = false;
+        let mut current_range: Option<RangeDecl> = None;
+        loop {
+            let span = self.peek_span();
+            let dir = self.parse_direction();
+            if let Some(dir) = dir {
+                current_dir = Some(dir);
+                current_kind = self.parse_net_kind();
+                current_signed = self.eat_kw(Kw::Signed);
+                current_range = self.parse_opt_range();
+            } else if current_dir.is_some() && self.at(&Tk::LBracket) {
+                // `input [7:0] a, [3:0] b` — unusual but accepted.
+                current_range = self.parse_opt_range();
+            }
+            let Some((name, name_span)) = self.expect_ident("port name") else {
+                self.recover_to(&[Tk::Comma, Tk::RParen]);
+                if !self.eat(&Tk::Comma) {
+                    break;
+                }
+                continue;
+            };
+            match current_dir {
+                Some(direction) => ports.push(Port {
+                    direction,
+                    kind: current_kind,
+                    signed: current_signed,
+                    range: current_range.clone(),
+                    name,
+                    span: span.join(name_span),
+                }),
+                // Non-ANSI header: name only; direction filled by body decls.
+                None => ports.push(Port {
+                    direction: Direction::Input,
+                    kind: None,
+                    signed: false,
+                    range: None,
+                    name,
+                    span: name_span,
+                }),
+            }
+            if !self.eat(&Tk::Comma) {
+                break;
+            }
+        }
+    }
+
+    fn parse_direction(&mut self) -> Option<Direction> {
+        if self.eat_kw(Kw::Input) {
+            Some(Direction::Input)
+        } else if self.eat_kw(Kw::Output) {
+            Some(Direction::Output)
+        } else if self.eat_kw(Kw::Inout) {
+            Some(Direction::Inout)
+        } else {
+            None
+        }
+    }
+
+    fn parse_net_kind(&mut self) -> Option<NetKind> {
+        if self.eat_kw(Kw::Wire) {
+            Some(NetKind::Wire)
+        } else if self.eat_kw(Kw::Reg) {
+            Some(NetKind::Reg)
+        } else if self.eat_kw(Kw::Logic) {
+            Some(NetKind::Logic)
+        } else if self.eat_kw(Kw::Integer) || self.eat_kw(Kw::Int) || self.eat_kw(Kw::Bit) {
+            Some(NetKind::Integer)
+        } else {
+            None
+        }
+    }
+
+    fn parse_opt_range(&mut self) -> Option<RangeDecl> {
+        if !self.at(&Tk::LBracket) {
+            return None;
+        }
+        let start = self.peek_span();
+        self.bump();
+        let msb = self.parse_expr();
+        self.expect(&Tk::Colon, "':'");
+        let lsb = self.parse_expr();
+        let end = self.peek_span();
+        self.expect(&Tk::RBracket, "']'");
+        Some(RangeDecl { msb, lsb, span: start.join(end) })
+    }
+
+    // ---- items ------------------------------------------------------------
+
+    fn parse_item(&mut self) -> Option<Item> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            Tk::Kw(Kw::Input) | Tk::Kw(Kw::Output) | Tk::Kw(Kw::Inout) => {
+                self.parse_body_port_decl()
+            }
+            Tk::Kw(Kw::Wire) | Tk::Kw(Kw::Reg) | Tk::Kw(Kw::Logic) | Tk::Kw(Kw::Integer)
+            | Tk::Kw(Kw::Int) | Tk::Kw(Kw::Bit) => self.parse_net_decl(),
+            Tk::Kw(Kw::Parameter) => {
+                self.bump();
+                let param = self.parse_param_decl(false);
+                self.expect_semi();
+                param.map(Item::Param)
+            }
+            Tk::Kw(Kw::Localparam) => {
+                self.bump();
+                let param = self.parse_param_decl(true);
+                self.expect_semi();
+                param.map(Item::Param)
+            }
+            Tk::Kw(Kw::Genvar) => {
+                self.bump();
+                let mut names = Vec::new();
+                loop {
+                    match self.expect_ident("genvar name") {
+                        Some(pair) => names.push(pair),
+                        None => break,
+                    }
+                    if !self.eat(&Tk::Comma) {
+                        break;
+                    }
+                }
+                self.expect_semi();
+                Some(Item::Genvar { names, span: span.join(self.prev_span()) })
+            }
+            Tk::Kw(Kw::Assign) => {
+                self.bump();
+                let mut assigns = Vec::new();
+                loop {
+                    let lhs = self.parse_expr();
+                    self.expect(&Tk::Assign, "'='");
+                    let rhs = self.parse_expr();
+                    assigns.push((lhs, rhs));
+                    if !self.eat(&Tk::Comma) {
+                        break;
+                    }
+                }
+                self.expect_semi();
+                Some(Item::ContinuousAssign { assigns, span: span.join(self.prev_span()) })
+            }
+            Tk::Kw(Kw::Always) => {
+                self.bump();
+                let sensitivity = self.parse_sensitivity();
+                let body = self.parse_stmt();
+                Some(Item::Always {
+                    kind: AlwaysKind::Always,
+                    sensitivity,
+                    body,
+                    span: span.join(self.prev_span()),
+                })
+            }
+            Tk::Kw(Kw::AlwaysComb) => {
+                self.bump();
+                let body = self.parse_stmt();
+                Some(Item::Always {
+                    kind: AlwaysKind::Comb,
+                    sensitivity: Sensitivity::Star,
+                    body,
+                    span: span.join(self.prev_span()),
+                })
+            }
+            Tk::Kw(Kw::AlwaysFf) => {
+                self.bump();
+                let sensitivity = self.parse_sensitivity();
+                let body = self.parse_stmt();
+                Some(Item::Always {
+                    kind: AlwaysKind::Ff,
+                    sensitivity,
+                    body,
+                    span: span.join(self.prev_span()),
+                })
+            }
+            Tk::Kw(Kw::Initial) => {
+                self.bump();
+                let body = self.parse_stmt();
+                Some(Item::Initial { body, span: span.join(self.prev_span()) })
+            }
+            Tk::Kw(Kw::Generate) => {
+                self.bump();
+                let mut items = Vec::new();
+                while !self.at_kw(Kw::Endgenerate) && !self.at(&Tk::Eof) && !self.at_kw(Kw::Endmodule)
+                {
+                    let before = self.pos;
+                    if let Some(item) = self.parse_item() {
+                        items.push(item);
+                    }
+                    if self.pos == before {
+                        self.syntax_error("generate item");
+                        self.bump();
+                    }
+                }
+                if !self.eat_kw(Kw::Endgenerate) {
+                    let span = self.peek_span();
+                    self.diags.push(Diagnostic::error(
+                        ErrorCategory::UnbalancedBlock,
+                        span,
+                        DiagData::Unbalanced { construct: "endgenerate".into() },
+                    ));
+                }
+                Some(Item::Generate { items, span: span.join(self.prev_span()) })
+            }
+            Tk::Kw(Kw::For) => self.parse_gen_for(),
+            Tk::Kw(Kw::Function) => self.parse_function(),
+            Tk::Ident(_) => self.parse_instance(),
+            _ => None,
+        }
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[(self.pos.saturating_sub(1)).min(self.tokens.len() - 1)].span
+    }
+
+    fn parse_body_port_decl(&mut self) -> Option<Item> {
+        let span = self.peek_span();
+        let direction = self.parse_direction().expect("caller checked");
+        let kind = self.parse_net_kind();
+        let signed = self.eat_kw(Kw::Signed);
+        let range = self.parse_opt_range();
+        // Multiple names per decl: emit one PortDecl per name; extra names
+        // are returned as a combined span via a Generate wrapper — to keep
+        // the item type simple we emit only the first as PortDecl and merge
+        // the rest directly here.
+        let mut first: Option<Item> = None;
+        loop {
+            let Some((name, name_span)) = self.expect_ident("port name") else {
+                break;
+            };
+            let port = Port {
+                direction,
+                kind,
+                signed,
+                range: range.clone(),
+                name,
+                span: span.join(name_span),
+            };
+            if first.is_none() {
+                first = Some(Item::PortDecl(port));
+            } else {
+                // Merge immediately; the AST keeps only the first for span
+                // purposes, which is enough for diagnostics and repair.
+                self.extra_port_decls.push(port);
+            }
+            if !self.eat(&Tk::Comma) {
+                break;
+            }
+        }
+        self.expect_semi();
+        first
+    }
+
+    fn parse_net_decl(&mut self) -> Option<Item> {
+        let span = self.peek_span();
+        let kind = self.parse_net_kind().expect("caller checked");
+        let signed = self.eat_kw(Kw::Signed);
+        let range = self.parse_opt_range();
+        let mut decls = Vec::new();
+        loop {
+            let Some((name, name_span)) = self.expect_ident("signal name") else {
+                self.recover_to(&[Tk::Semi]);
+                break;
+            };
+            let unpacked = self.parse_opt_range();
+            let init = if self.eat(&Tk::Assign) { Some(self.parse_expr()) } else { None };
+            decls.push(Declarator { name, unpacked, init, span: name_span });
+            if !self.eat(&Tk::Comma) {
+                break;
+            }
+        }
+        self.expect_semi();
+        Some(Item::Net { kind, signed, range, decls, span: span.join(self.prev_span()) })
+    }
+
+    fn parse_param_decl(&mut self, local: bool) -> Option<ParamDecl> {
+        let span = self.peek_span();
+        // Optional type noise: `parameter integer W = 4`.
+        self.parse_net_kind();
+        self.parse_opt_range();
+        let (name, _) = self.expect_ident("parameter name")?;
+        self.expect(&Tk::Assign, "'='");
+        let value = self.parse_expr();
+        Some(ParamDecl { local, name, value, span: span.join(self.prev_span()) })
+    }
+
+    fn parse_sensitivity(&mut self) -> Sensitivity {
+        if !self.eat(&Tk::At) {
+            return Sensitivity::None;
+        }
+        if self.eat(&Tk::Star) {
+            return Sensitivity::Star;
+        }
+        if !self.eat(&Tk::LParen) {
+            // `always @ posedge clk` without parens — tolerate single entry.
+            if self.at_kw(Kw::Posedge) || self.at_kw(Kw::Negedge) {
+                let edge = if self.eat_kw(Kw::Posedge) { Edge::Pos } else { Edge::Neg };
+                let span = self.peek_span();
+                let signal = self.parse_primary();
+                return Sensitivity::Edges(vec![EdgeSpec { edge, signal, span }]);
+            }
+            self.syntax_error("'(' or '*'");
+            return Sensitivity::None;
+        }
+        if self.eat(&Tk::Star) {
+            self.expect(&Tk::RParen, "')'");
+            return Sensitivity::Star;
+        }
+        let mut edges = Vec::new();
+        let mut signals = Vec::new();
+        loop {
+            let span = self.peek_span();
+            if self.eat_kw(Kw::Posedge) {
+                let signal = self.parse_primary();
+                edges.push(EdgeSpec { edge: Edge::Pos, signal, span });
+            } else if self.eat_kw(Kw::Negedge) {
+                let signal = self.parse_primary();
+                edges.push(EdgeSpec { edge: Edge::Neg, signal, span });
+            } else if let Tk::Ident(name) = self.peek().clone() {
+                self.bump();
+                signals.push((name, span));
+            } else {
+                self.syntax_error("sensitivity entry");
+                break;
+            }
+            if self.eat(&Tk::Comma) || self.eat_kw(Kw::Or) {
+                continue;
+            }
+            break;
+        }
+        self.expect(&Tk::RParen, "')'");
+        if !edges.is_empty() {
+            // Mixed lists are rare; treat any edge as edge-triggered.
+            Sensitivity::Edges(edges)
+        } else if !signals.is_empty() {
+            Sensitivity::Signals(signals)
+        } else {
+            Sensitivity::None
+        }
+    }
+
+    fn parse_gen_for(&mut self) -> Option<Item> {
+        let span = self.peek_span();
+        self.bump(); // for
+        self.expect(&Tk::LParen, "'('");
+        self.parse_net_kind(); // tolerate `genvar i = 0` style
+        let (var, _) = self.expect_ident("loop variable")?;
+        self.expect(&Tk::Assign, "'='");
+        let init = self.parse_expr();
+        self.expect_semi();
+        let cond = self.parse_expr();
+        self.expect_semi();
+        let step = self.parse_loop_step(&var);
+        self.expect(&Tk::RParen, "')'");
+        self.expect_kw(Kw::Begin, "'begin'");
+        let label = if self.eat(&Tk::Colon) {
+            self.expect_ident("block label").map(|(name, _)| name)
+        } else {
+            None
+        };
+        let mut items = Vec::new();
+        while !self.at_kw(Kw::End) && !self.at(&Tk::Eof) && !self.at_kw(Kw::Endmodule) {
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.syntax_error("generate-for item");
+                self.bump();
+            }
+        }
+        if !self.eat_kw(Kw::End) {
+            let span = self.peek_span();
+            self.diags.push(Diagnostic::error(
+                ErrorCategory::UnbalancedBlock,
+                span,
+                DiagData::Unbalanced { construct: "end".into() },
+            ));
+        }
+        Some(Item::GenFor {
+            var,
+            init,
+            cond,
+            step,
+            label,
+            items,
+            span: span.join(self.prev_span()),
+        })
+    }
+
+    fn expect_kw(&mut self, kw: Kw, expected: &str) -> bool {
+        if self.eat_kw(kw) {
+            true
+        } else {
+            self.syntax_error(expected);
+            false
+        }
+    }
+
+    /// Parses the step clause of a for loop: `i = i + 1`, or the C-style
+    /// `i++` / `i += 1` (recorded as `CStyleConstruct` errors but folded into
+    /// an equivalent step so parsing can continue).
+    fn parse_loop_step(&mut self, var: &str) -> Expr {
+        let span = self.peek_span();
+        // C-style prefix increment: ++i
+        if self.at(&Tk::PlusPlus) || self.at(&Tk::MinusMinus) {
+            let tok = self.bump();
+            self.diags.push(Diagnostic::error(
+                ErrorCategory::CStyleConstruct,
+                tok.span,
+                DiagData::CStyle { construct: tok.kind.describe() },
+            ));
+            let _ = self.expect_ident("loop variable");
+            return self.var_plus_one(var, span, tok.kind == Tk::MinusMinus);
+        }
+        let Some((_, _)) = self.expect_ident("loop variable") else {
+            return self.var_plus_one(var, span, false);
+        };
+        match self.peek().clone() {
+            Tk::Assign => {
+                self.bump();
+                self.parse_expr()
+            }
+            Tk::PlusPlus | Tk::MinusMinus | Tk::PlusEq | Tk::MinusEq | Tk::StarEq | Tk::SlashEq => {
+                let tok = self.bump();
+                self.diags.push(Diagnostic::error(
+                    ErrorCategory::CStyleConstruct,
+                    tok.span,
+                    DiagData::CStyle { construct: tok.kind.describe() },
+                ));
+                let neg = matches!(tok.kind, Tk::MinusMinus | Tk::MinusEq);
+                if matches!(tok.kind, Tk::PlusEq | Tk::MinusEq | Tk::StarEq | Tk::SlashEq) {
+                    let _ = self.parse_expr();
+                }
+                self.var_plus_one(var, span, neg)
+            }
+            Tk::LtEq => {
+                // `i <= i + 1` as a loop step — legal-ish, treat as step.
+                self.bump();
+                self.parse_expr()
+            }
+            _ => {
+                self.syntax_error("'='");
+                self.var_plus_one(var, span, false)
+            }
+        }
+    }
+
+    fn var_plus_one(&self, var: &str, span: Span, negative: bool) -> Expr {
+        Expr::Binary {
+            op: if negative { BinaryOp::Sub } else { BinaryOp::Add },
+            lhs: Box::new(Expr::Ident { name: var.to_owned(), span }),
+            rhs: Box::new(Expr::Literal {
+                size: None,
+                base: None,
+                digits: "1".into(),
+                signed: false,
+                span,
+            }),
+            span,
+        }
+    }
+
+    fn parse_function(&mut self) -> Option<Item> {
+        let span = self.peek_span();
+        self.bump(); // function
+        // Tolerate `function automatic` — `automatic` lexes as an Ident, so
+        // peek ahead: ident followed by another ident/range means the first
+        // was a qualifier.
+        if let (Tk::Ident(first), Tk::Ident(_)) = (self.nth(0), self.nth(1)) {
+            if first == "automatic" {
+                self.bump();
+            }
+        }
+        let range = self.parse_opt_range();
+        let (name, _) = self.expect_ident("function name")?;
+        // Optional ANSI argument list.
+        let mut args = Vec::new();
+        if self.eat(&Tk::LParen) {
+            if !self.at(&Tk::RParen) {
+                self.parse_port_list(&mut args);
+            }
+            self.expect(&Tk::RParen, "')'");
+        }
+        self.expect_semi();
+        // Non-ANSI argument declarations.
+        while matches!(self.peek(), Tk::Kw(Kw::Input) | Tk::Kw(Kw::Output) | Tk::Kw(Kw::Inout)) {
+            if let Some(Item::PortDecl(port)) = self.parse_body_port_decl() {
+                args.push(port);
+                for extra in self.extra_port_decls.drain(..) {
+                    args.push(extra);
+                }
+            }
+        }
+        // Local declarations.
+        let mut locals = Vec::new();
+        while matches!(
+            self.peek(),
+            Tk::Kw(Kw::Reg) | Tk::Kw(Kw::Integer) | Tk::Kw(Kw::Int) | Tk::Kw(Kw::Bit)
+        ) {
+            if let Some(item) = self.parse_net_decl() {
+                locals.push(item);
+            }
+        }
+        let mut body = self.parse_stmt();
+        if !locals.is_empty() {
+            let body_span = body.span();
+            body = Stmt::Block { label: None, decls: locals, stmts: vec![body], span: body_span };
+        }
+        if !self.eat_kw(Kw::Endfunction) {
+            let span = self.peek_span();
+            self.diags.push(Diagnostic::error(
+                ErrorCategory::UnbalancedBlock,
+                span,
+                DiagData::Unbalanced { construct: "endfunction".into() },
+            ));
+        }
+        Some(Item::Function { name, range, args, body, span: span.join(self.prev_span()) })
+    }
+
+    fn parse_instance(&mut self) -> Option<Item> {
+        let span = self.peek_span();
+        let (module, _) = self.expect_ident("module name")?;
+        let mut params = Vec::new();
+        if self.eat(&Tk::Hash) {
+            self.expect(&Tk::LParen, "'('");
+            params = self.parse_connections();
+            self.expect(&Tk::RParen, "')'");
+        }
+        let Some((name, _)) = self.expect_ident("instance name") else {
+            self.recover_to(&[Tk::Semi]);
+            self.eat(&Tk::Semi);
+            return None;
+        };
+        self.expect(&Tk::LParen, "'('");
+        let conns = if self.at(&Tk::RParen) { Vec::new() } else { self.parse_connections() };
+        self.expect(&Tk::RParen, "')'");
+        self.expect_semi();
+        Some(Item::Instance { module, name, params, conns, span: span.join(self.prev_span()) })
+    }
+
+    fn parse_connections(&mut self) -> Vec<Connection> {
+        let mut conns = Vec::new();
+        loop {
+            let span = self.peek_span();
+            if self.eat(&Tk::Dot) {
+                let port = self.expect_ident("port name").map(|(name, _)| name);
+                self.expect(&Tk::LParen, "'('");
+                let expr = if self.at(&Tk::RParen) { None } else { Some(self.parse_expr()) };
+                self.expect(&Tk::RParen, "')'");
+                conns.push(Connection { port, expr, span: span.join(self.prev_span()) });
+            } else if self.at(&Tk::RParen) {
+                break;
+            } else {
+                let expr = self.parse_expr();
+                conns.push(Connection { port: None, expr: Some(expr), span });
+            }
+            if !self.eat(&Tk::Comma) {
+                break;
+            }
+        }
+        conns
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn parse_stmt(&mut self) -> Stmt {
+        let span = self.peek_span();
+        if self.error_limit_reached() {
+            return Stmt::Null(span);
+        }
+        match self.peek().clone() {
+            Tk::Kw(Kw::Begin) => self.parse_block(),
+            Tk::Kw(Kw::If) => {
+                self.bump();
+                self.expect(&Tk::LParen, "'('");
+                let cond = self.parse_expr();
+                self.expect(&Tk::RParen, "')'");
+                let then_branch = Box::new(self.parse_stmt());
+                let else_branch = if self.eat_kw(Kw::Else) {
+                    Some(Box::new(self.parse_stmt()))
+                } else {
+                    None
+                };
+                Stmt::If { cond, then_branch, else_branch, span: span.join(self.prev_span()) }
+            }
+            Tk::Kw(Kw::Case) | Tk::Kw(Kw::Casez) | Tk::Kw(Kw::Casex) => self.parse_case(),
+            Tk::Kw(Kw::For) => {
+                self.bump();
+                self.expect(&Tk::LParen, "'('");
+                let decl = self.parse_net_kind();
+                let var = self
+                    .expect_ident("loop variable")
+                    .map(|(name, _)| name)
+                    .unwrap_or_else(|| "i".to_owned());
+                self.expect(&Tk::Assign, "'='");
+                let init = self.parse_expr();
+                self.expect_semi();
+                let cond = self.parse_expr();
+                self.expect_semi();
+                let step = self.parse_loop_step(&var);
+                self.expect(&Tk::RParen, "')'");
+                let body = Box::new(self.parse_stmt());
+                Stmt::For { var, decl, init, cond, step, body, span: span.join(self.prev_span()) }
+            }
+            Tk::Kw(Kw::While) => {
+                self.bump();
+                self.expect(&Tk::LParen, "'('");
+                let cond = self.parse_expr();
+                self.expect(&Tk::RParen, "')'");
+                let body = Box::new(self.parse_stmt());
+                Stmt::While { cond, body, span: span.join(self.prev_span()) }
+            }
+            Tk::Kw(Kw::Repeat) => {
+                self.bump();
+                self.expect(&Tk::LParen, "'('");
+                let count = self.parse_expr();
+                self.expect(&Tk::RParen, "')'");
+                let body = Box::new(self.parse_stmt());
+                Stmt::Repeat { count, body, span: span.join(self.prev_span()) }
+            }
+            Tk::SystemIdent(name) => {
+                self.bump();
+                let mut args = Vec::new();
+                if self.eat(&Tk::LParen) {
+                    if !self.at(&Tk::RParen) {
+                        loop {
+                            args.push(self.parse_expr());
+                            if !self.eat(&Tk::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tk::RParen, "')'");
+                }
+                self.expect_semi();
+                Stmt::SysCall { name, args, span: span.join(self.prev_span()) }
+            }
+            Tk::Semi => {
+                self.bump();
+                Stmt::Null(span)
+            }
+            Tk::Kw(Kw::End) | Tk::Kw(Kw::Endcase) | Tk::Kw(Kw::Endmodule) | Tk::Eof => {
+                // Caller handles these; produce an empty statement.
+                Stmt::Null(span)
+            }
+            _ => self.parse_assign_stmt(),
+        }
+    }
+
+    fn parse_block(&mut self) -> Stmt {
+        let span = self.peek_span();
+        self.bump(); // begin
+        let label = if self.eat(&Tk::Colon) {
+            self.expect_ident("block label").map(|(name, _)| name)
+        } else {
+            None
+        };
+        let mut decls = Vec::new();
+        // Block-local declarations (integer i; reg [3:0] t;).
+        while matches!(
+            self.peek(),
+            Tk::Kw(Kw::Integer) | Tk::Kw(Kw::Int) | Tk::Kw(Kw::Reg) | Tk::Kw(Kw::Bit)
+        ) {
+            // Disambiguate declaration vs nothing: a kind keyword always
+            // starts a declaration here.
+            if let Some(item) = self.parse_net_decl() {
+                decls.push(item);
+            } else {
+                break;
+            }
+        }
+        let mut stmts = Vec::new();
+        loop {
+            if self.eat_kw(Kw::End) {
+                return Stmt::Block { label, decls, stmts, span: span.join(self.prev_span()) };
+            }
+            if self.at(&Tk::Eof) || self.at_kw(Kw::Endmodule) || self.error_limit_reached() {
+                let span = self.peek_span();
+                self.diags.push(Diagnostic::error(
+                    ErrorCategory::UnbalancedBlock,
+                    span,
+                    DiagData::Unbalanced { construct: "end".into() },
+                ));
+                return Stmt::Block { label, decls, stmts, span: span.join(self.prev_span()) };
+            }
+            let before = self.pos;
+            stmts.push(self.parse_stmt());
+            if self.pos == before {
+                self.syntax_error("statement");
+                self.bump();
+            }
+        }
+    }
+
+    fn parse_case(&mut self) -> Stmt {
+        let span = self.peek_span();
+        let kind = match self.bump().kind {
+            Tk::Kw(Kw::Casez) => CaseKind::Casez,
+            Tk::Kw(Kw::Casex) => CaseKind::Casex,
+            _ => CaseKind::Case,
+        };
+        self.expect(&Tk::LParen, "'('");
+        let scrutinee = self.parse_expr();
+        self.expect(&Tk::RParen, "')'");
+        let mut arms = Vec::new();
+        let mut default = None;
+        loop {
+            if self.eat_kw(Kw::Endcase) {
+                break;
+            }
+            if self.at(&Tk::Eof) || self.at_kw(Kw::Endmodule) || self.error_limit_reached() {
+                let span = self.peek_span();
+                self.diags.push(Diagnostic::error(
+                    ErrorCategory::UnbalancedBlock,
+                    span,
+                    DiagData::Unbalanced { construct: "endcase".into() },
+                ));
+                break;
+            }
+            if self.eat_kw(Kw::Default) {
+                self.eat(&Tk::Colon);
+                default = Some(Box::new(self.parse_stmt()));
+                continue;
+            }
+            let arm_span = self.peek_span();
+            let mut labels = vec![self.parse_expr()];
+            while self.eat(&Tk::Comma) {
+                labels.push(self.parse_expr());
+            }
+            if !self.expect(&Tk::Colon, "':'") {
+                self.recover_to(&[Tk::Colon, Tk::Semi]);
+                self.eat(&Tk::Colon);
+            }
+            let body = self.parse_stmt();
+            arms.push(CaseArm { labels, body, span: arm_span.join(self.prev_span()) });
+        }
+        Stmt::Case { kind, scrutinee, arms, default, span: span.join(self.prev_span()) }
+    }
+
+    fn parse_assign_stmt(&mut self) -> Stmt {
+        let span = self.peek_span();
+        // The LHS is parsed with the postfix (l-value) grammar, not the full
+        // expression grammar — otherwise `q <= ~q;` would lex-parse as the
+        // comparison `q <= (~q)` and the `<=` would never be seen as a
+        // non-blocking assignment.
+        let lhs = self.parse_postfix();
+        let op = if self.eat(&Tk::Assign) {
+            AssignOp::Blocking
+        } else if self.eat(&Tk::LtEq) {
+            AssignOp::NonBlocking
+        } else if self.peek().is_c_style() {
+            let tok = self.bump();
+            self.diags.push(Diagnostic::error(
+                ErrorCategory::CStyleConstruct,
+                tok.span,
+                DiagData::CStyle { construct: tok.kind.describe() },
+            ));
+            if matches!(tok.kind, Tk::PlusPlus | Tk::MinusMinus) {
+                self.expect_semi();
+                let rhs = match &lhs {
+                    Expr::Ident { name, span } => self.var_plus_one(
+                        name,
+                        *span,
+                        tok.kind == Tk::MinusMinus,
+                    ),
+                    _ => lhs.clone(),
+                };
+                return Stmt::Assign {
+                    lhs,
+                    op: AssignOp::Blocking,
+                    rhs,
+                    span: span.join(self.prev_span()),
+                };
+            }
+            AssignOp::Blocking
+        } else {
+            self.syntax_error("'=' or '<='");
+            self.recover_to(&[Tk::Semi]);
+            self.eat(&Tk::Semi);
+            return Stmt::Null(span);
+        };
+        let rhs = self.parse_expr();
+        self.expect_semi();
+        Stmt::Assign { lhs, op, rhs, span: span.join(self.prev_span()) }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Expr {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Expr {
+        let cond = self.parse_binary(0);
+        if self.eat(&Tk::Question) {
+            let span = cond.span();
+            let then_expr = self.parse_expr();
+            self.expect(&Tk::Colon, "':'");
+            let else_expr = self.parse_expr();
+            let full = span.join(else_expr.span());
+            Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+                span: full,
+            }
+        } else {
+            cond
+        }
+    }
+
+    fn binary_op(tok: &Tk) -> Option<(BinaryOp, u8)> {
+        use BinaryOp::*;
+        Some(match tok {
+            Tk::PipePipe => (LogOr, 1),
+            Tk::AmpAmp => (LogAnd, 2),
+            Tk::Pipe => (BitOr, 3),
+            Tk::Caret => (BitXor, 4),
+            Tk::TildeCaret => (BitXnor, 4),
+            Tk::Amp => (BitAnd, 5),
+            Tk::EqEq => (Eq, 6),
+            Tk::NotEq => (Ne, 6),
+            Tk::EqEqEq => (CaseEq, 6),
+            Tk::NotEqEq => (CaseNe, 6),
+            Tk::Lt => (Lt, 7),
+            Tk::LtEq => (Le, 7),
+            Tk::Gt => (Gt, 7),
+            Tk::GtEq => (Ge, 7),
+            Tk::Shl => (Shl, 8),
+            Tk::Shr => (Shr, 8),
+            Tk::AShl => (AShl, 8),
+            Tk::AShr => (AShr, 8),
+            Tk::Plus => (Add, 9),
+            Tk::Minus => (Sub, 9),
+            Tk::Star => (Mul, 10),
+            Tk::Slash => (Div, 10),
+            Tk::Percent => (Mod, 10),
+            Tk::StarStar => (Pow, 11),
+            _ => return None,
+        })
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Expr {
+        let mut lhs = self.parse_unary();
+        loop {
+            let Some((op, prec)) = Self::binary_op(self.peek()) else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary(prec + 1);
+            let span = lhs.span().join(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self) -> Expr {
+        let span = self.peek_span();
+        let op = match self.peek() {
+            Tk::Plus => Some(UnaryOp::Plus),
+            Tk::Minus => Some(UnaryOp::Neg),
+            Tk::Bang => Some(UnaryOp::Not),
+            Tk::Tilde => Some(UnaryOp::BitNot),
+            Tk::Amp => Some(UnaryOp::RedAnd),
+            Tk::Pipe => Some(UnaryOp::RedOr),
+            Tk::Caret => Some(UnaryOp::RedXor),
+            Tk::TildeAmp => Some(UnaryOp::RedNand),
+            Tk::TildePipe => Some(UnaryOp::RedNor),
+            Tk::TildeCaret => Some(UnaryOp::RedXnor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.parse_unary();
+            let full = span.join(operand.span());
+            return Expr::Unary { op, operand: Box::new(operand), span: full };
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Expr {
+        let mut expr = self.parse_primary();
+        loop {
+            match self.peek() {
+                Tk::LBracket => {
+                    let start = expr.span();
+                    self.bump();
+                    let first = self.parse_expr();
+                    match self.peek().clone() {
+                        Tk::Colon => {
+                            self.bump();
+                            let right = self.parse_expr();
+                            let end = self.peek_span();
+                            self.expect(&Tk::RBracket, "']'");
+                            expr = Expr::Select {
+                                base: Box::new(expr),
+                                left: Box::new(first),
+                                right: Box::new(right),
+                                mode: SelectMode::Range,
+                                span: start.join(end),
+                            };
+                        }
+                        Tk::PlusColon | Tk::MinusColon => {
+                            let mode = if self.bump().kind == Tk::PlusColon {
+                                SelectMode::IndexedUp
+                            } else {
+                                SelectMode::IndexedDown
+                            };
+                            let right = self.parse_expr();
+                            let end = self.peek_span();
+                            self.expect(&Tk::RBracket, "']'");
+                            expr = Expr::Select {
+                                base: Box::new(expr),
+                                left: Box::new(first),
+                                right: Box::new(right),
+                                mode,
+                                span: start.join(end),
+                            };
+                        }
+                        _ => {
+                            let end = self.peek_span();
+                            self.expect(&Tk::RBracket, "']'");
+                            expr = Expr::Index {
+                                base: Box::new(expr),
+                                index: Box::new(first),
+                                span: start.join(end),
+                            };
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        expr
+    }
+
+    fn parse_primary(&mut self) -> Expr {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            Tk::Ident(name) => {
+                self.bump();
+                if self.at(&Tk::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&Tk::RParen) {
+                        loop {
+                            args.push(self.parse_expr());
+                            if !self.eat(&Tk::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tk::RParen, "')'");
+                    Expr::Call { name, args, span: span.join(self.prev_span()) }
+                } else {
+                    Expr::Ident { name, span }
+                }
+            }
+            Tk::SystemIdent(name) => {
+                self.bump();
+                let mut args = Vec::new();
+                if self.eat(&Tk::LParen) {
+                    if !self.at(&Tk::RParen) {
+                        loop {
+                            args.push(self.parse_expr());
+                            if !self.eat(&Tk::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tk::RParen, "')'");
+                }
+                Expr::SysCall { name, args, span: span.join(self.prev_span()) }
+            }
+            Tk::Number { size, base, digits, signed } => {
+                self.bump();
+                Expr::Literal { size, base, digits, signed, span }
+            }
+            Tk::Str(value) => {
+                self.bump();
+                Expr::Str { value, span }
+            }
+            Tk::LParen => {
+                self.bump();
+                let inner = self.parse_expr();
+                self.expect(&Tk::RParen, "')'");
+                inner
+            }
+            Tk::LBrace => {
+                self.bump();
+                let first = self.parse_expr();
+                if self.at(&Tk::LBrace) {
+                    // Replication: {count{value}}
+                    self.bump();
+                    let mut parts = vec![self.parse_expr()];
+                    while self.eat(&Tk::Comma) {
+                        parts.push(self.parse_expr());
+                    }
+                    self.expect(&Tk::RBrace, "'}'");
+                    let end = self.peek_span();
+                    self.expect(&Tk::RBrace, "'}'");
+                    let value = if parts.len() == 1 {
+                        parts.pop().expect("one part")
+                    } else {
+                        Expr::Concat { parts, span: span.join(end) }
+                    };
+                    Expr::Replicate {
+                        count: Box::new(first),
+                        value: Box::new(value),
+                        span: span.join(end),
+                    }
+                } else {
+                    let mut parts = vec![first];
+                    while self.eat(&Tk::Comma) {
+                        parts.push(self.parse_expr());
+                    }
+                    let end = self.peek_span();
+                    self.expect(&Tk::RBrace, "'}'");
+                    Expr::Concat { parts, span: span.join(end) }
+                }
+            }
+            other => {
+                self.syntax_error("expression");
+                if other != Tk::Eof && !matches!(other, Tk::Semi) {
+                    self.bump();
+                }
+                Expr::Literal { size: None, base: None, digits: "0".into(), signed: false, span }
+            }
+        }
+    }
+}
+
+impl Parser {
+    fn take_extra_ports(&mut self) -> Vec<Port> {
+        std::mem::take(&mut self.extra_port_decls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) -> SourceFile {
+        let result = parse(src);
+        assert!(
+            result.diagnostics.iter().all(|d| !d.is_error()),
+            "unexpected errors: {:?}",
+            result.diagnostics
+        );
+        result.file
+    }
+
+    fn errors(src: &str) -> Vec<Diagnostic> {
+        parse(src).diagnostics.into_iter().filter(|d| d.is_error()).collect()
+    }
+
+    #[test]
+    fn parses_ansi_module() {
+        let file = ok("module top_module(input [7:0] in, output [7:0] out);\n\
+                       assign out = in;\nendmodule");
+        let module = &file.modules[0];
+        assert_eq!(module.name, "top_module");
+        assert_eq!(module.ports.len(), 2);
+        assert_eq!(module.ports[0].direction, Direction::Input);
+        assert!(module.ports[0].range.is_some());
+        assert_eq!(module.items.len(), 1);
+    }
+
+    #[test]
+    fn parses_non_ansi_module() {
+        let file = ok("module m(a, q);\ninput a;\noutput reg q;\nalways @(posedge a) q <= ~q;\nendmodule");
+        let module = &file.modules[0];
+        assert_eq!(module.port("q").unwrap().direction, Direction::Output);
+        assert_eq!(module.port("q").unwrap().kind, Some(NetKind::Reg));
+    }
+
+    #[test]
+    fn parses_multiple_ports_same_direction() {
+        let file = ok("module m(input a, b, c, output y); assign y = a & b & c; endmodule");
+        assert_eq!(file.modules[0].input_names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn parses_always_ff_with_edges() {
+        let file = ok("module m(input clk, input rst, output reg q);\n\
+                       always @(posedge clk or negedge rst)\n\
+                       if (!rst) q <= 0; else q <= 1;\nendmodule");
+        let Item::Always { sensitivity, .. } = &file.modules[0].items[0] else {
+            panic!("expected always");
+        };
+        let Sensitivity::Edges(edges) = sensitivity else { panic!("expected edges") };
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].edge, Edge::Pos);
+        assert_eq!(edges[1].edge, Edge::Neg);
+    }
+
+    #[test]
+    fn parses_star_sensitivity_forms() {
+        ok("module m(input a, output reg y); always @* y = a; endmodule");
+        ok("module m(input a, output reg y); always @(*) y = a; endmodule");
+        ok("module m(input a, output reg y); always_comb y = a; endmodule");
+    }
+
+    #[test]
+    fn parses_case_with_default() {
+        let file = ok("module m(input [1:0] s, output reg [3:0] y);\n\
+             always @* begin\n\
+               case (s)\n\
+                 2'b00: y = 4'b0001;\n\
+                 2'b01, 2'b10: y = 4'b0010;\n\
+                 default: y = 4'b0000;\n\
+               endcase\n\
+             end\nendmodule");
+        let Item::Always { body, .. } = &file.modules[0].items[0] else { panic!() };
+        let Stmt::Block { stmts, .. } = body else { panic!() };
+        let Stmt::Case { arms, default, .. } = &stmts[0] else { panic!() };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[1].labels.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn parses_for_loop_with_int_decl() {
+        let file = ok("module m(input [7:0] in, output reg [7:0] out);\n\
+             always @* begin\n\
+               for (int i = 0; i < 8; i = i + 1) out[i] = in[7 - i];\n\
+             end\nendmodule");
+        let Item::Always { body, .. } = &file.modules[0].items[0] else { panic!() };
+        let Stmt::Block { stmts, .. } = body else { panic!() };
+        assert!(matches!(&stmts[0], Stmt::For { decl: Some(NetKind::Integer), .. }));
+    }
+
+    #[test]
+    fn parses_concat_and_replicate() {
+        ok("module m(input [3:0] a, output [7:0] y); assign y = {a, 4'b0}; endmodule");
+        ok("module m(input a, output [7:0] y); assign y = {8{a}}; endmodule");
+        ok("module m(input [3:0] a, output [15:0] y); assign y = {4{a[3], a[0]}}; endmodule");
+    }
+
+    #[test]
+    fn parses_indexed_part_select() {
+        ok("module m(input [31:0] a, input [1:0] s, output [7:0] y);\n\
+            assign y = a[s*8 +: 8]; endmodule");
+        ok("module m(input [31:0] a, output [7:0] y); assign y = a[15 -: 8]; endmodule");
+    }
+
+    #[test]
+    fn parses_instance_named_and_positional() {
+        let file = ok("module child(input a, output y); assign y = a; endmodule\n\
+                       module top(input x, output z, output w);\n\
+                       child c1(.a(x), .y(z));\n\
+                       child c2(x, w);\nendmodule");
+        let Item::Instance { module, conns, .. } = &file.modules[1].items[0] else { panic!() };
+        assert_eq!(module, "child");
+        assert_eq!(conns[0].port.as_deref(), Some("a"));
+        let Item::Instance { conns, .. } = &file.modules[1].items[1] else { panic!() };
+        assert!(conns[0].port.is_none());
+    }
+
+    #[test]
+    fn parses_parameters() {
+        let file = ok("module m #(parameter W = 8, parameter D = 4)(input [W-1:0] a, output [W-1:0] y);\n\
+             localparam HALF = W / 2;\n\
+             assign y = a;\nendmodule");
+        assert_eq!(file.modules[0].header_params.len(), 2);
+        assert!(matches!(file.modules[0].items[0], Item::Param(ParamDecl { local: true, .. })));
+    }
+
+    #[test]
+    fn parses_generate_for() {
+        let file = ok("module m(input [7:0] a, output [7:0] y);\n\
+             genvar i;\n\
+             generate\n\
+               for (i = 0; i < 8; i = i + 1) begin : gen_bit\n\
+                 assign y[i] = ~a[i];\n\
+               end\n\
+             endgenerate\nendmodule");
+        let Item::Generate { items, .. } = &file.modules[0].items[1] else { panic!() };
+        assert!(matches!(&items[0], Item::GenFor { label: Some(l), .. } if l == "gen_bit"));
+    }
+
+    #[test]
+    fn parses_function() {
+        ok("module m(input [7:0] a, output [3:0] y);\n\
+            function [3:0] count_ones;\n\
+              input [7:0] v;\n\
+              integer i;\n\
+              begin\n\
+                count_ones = 0;\n\
+                for (i = 0; i < 8; i = i + 1) count_ones = count_ones + v[i];\n\
+              end\n\
+            endfunction\n\
+            assign y = count_ones(a);\nendmodule");
+    }
+
+    #[test]
+    fn missing_semicolon_is_syntax_error() {
+        let errs = errors("module m(input a, output y);\nassign y = a\nendmodule");
+        assert!(errs.iter().any(|d| d.category == ErrorCategory::SyntaxError));
+    }
+
+    #[test]
+    fn missing_endmodule_is_unbalanced() {
+        let errs = errors("module m(input a, output y);\nassign y = a;\n");
+        assert!(errs.iter().any(|d| d.category == ErrorCategory::UnbalancedBlock));
+    }
+
+    #[test]
+    fn missing_end_is_unbalanced() {
+        let errs = errors(
+            "module m(input a, output reg y);\nalways @* begin\ny = a;\nendmodule",
+        );
+        assert!(errs.iter().any(|d| d.category == ErrorCategory::UnbalancedBlock));
+    }
+
+    #[test]
+    fn c_style_increment_is_flagged() {
+        let errs = errors(
+            "module m(input [7:0] a, output reg [7:0] y);\n\
+             always @* begin\n\
+               for (int i = 0; i < 8; i++) y[i] = a[i];\n\
+             end\nendmodule",
+        );
+        assert!(errs.iter().any(|d| d.category == ErrorCategory::CStyleConstruct));
+    }
+
+    #[test]
+    fn c_style_plus_eq_is_flagged() {
+        let errs = errors(
+            "module m(input [7:0] a, output reg [7:0] s);\n\
+             always @* begin\n\
+               s = 0;\n\
+               s += a;\n\
+             end\nendmodule",
+        );
+        assert!(errs.iter().any(|d| d.category == ErrorCategory::CStyleConstruct));
+    }
+
+    #[test]
+    fn keyword_as_identifier_is_flagged() {
+        let errs = errors("module m(input a, output y); wire case; assign y = a; endmodule");
+        assert!(errs.iter().any(|d| d.category == ErrorCategory::KeywordAsIdentifier));
+    }
+
+    #[test]
+    fn timescale_inside_module_is_flagged() {
+        let errs = errors(
+            "module m(input a, output y);\n`timescale 1ns/1ps\nassign y = a;\nendmodule",
+        );
+        assert!(errs.iter().any(|d| d.category == ErrorCategory::MisplacedDirective));
+    }
+
+    #[test]
+    fn timescale_before_module_is_fine() {
+        ok("`timescale 1ns/1ps\nmodule m(input a, output y); assign y = a; endmodule");
+    }
+
+    #[test]
+    fn parser_never_loops_forever_on_garbage() {
+        // Arbitrary junk must terminate (cap on errors + forced progress).
+        let result = parse("module ; ] [ ) ( ** ?? @@ 1234 'h 'b module endmodule");
+        assert!(!result.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn ternary_precedence() {
+        let file = ok("module m(input s, input [7:0] a, b, output [7:0] y);\n\
+                       assign y = s ? a + 1 : b - 1;\nendmodule");
+        let Item::ContinuousAssign { assigns, .. } = &file.modules[0].items[0] else { panic!() };
+        assert!(matches!(assigns[0].1, Expr::Ternary { .. }));
+    }
+
+    #[test]
+    fn operator_precedence_mul_over_add() {
+        let file = ok("module m(input [7:0] a, output [7:0] y); assign y = a + 2 * 3; endmodule");
+        let Item::ContinuousAssign { assigns, .. } = &file.modules[0].items[0] else { panic!() };
+        let Expr::Binary { op: BinaryOp::Add, rhs, .. } = &assigns[0].1 else { panic!() };
+        assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn initial_block_with_system_task() {
+        ok("module m(output reg [7:0] q);\ninitial begin q = 0; $display(\"hi %d\", q); end\nendmodule");
+    }
+
+    #[test]
+    fn nonblocking_vs_comparison_disambiguation() {
+        // `<=` is an assignment at statement level, a comparison in exprs.
+        let file = ok("module m(input clk, input [7:0] a, output reg y);\n\
+                       always @(posedge clk) y <= a <= 8'd5;\nendmodule");
+        let Item::Always { body, .. } = &file.modules[0].items[0] else { panic!() };
+        let Stmt::Assign { op, rhs, .. } = body else { panic!("got {body:?}") };
+        assert_eq!(*op, AssignOp::NonBlocking);
+        assert!(matches!(rhs, Expr::Binary { op: BinaryOp::Le, .. }));
+    }
+}

@@ -1,0 +1,1039 @@
+//! Semantic checks: undeclared names, l-value legality, index bounds
+//! (including constant-loop unrolling), instantiation port matching and
+//! width-mismatch warnings.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::const_eval::{self, ConstEvalError};
+use crate::diag::{DiagData, Diagnostic, ErrorCategory};
+use crate::sema::symbols::{ModuleSymbols, SignalInfo};
+use crate::span::Span;
+
+/// Hard cap on unrolled loop iterations per loop, to bound analysis time on
+/// adversarial inputs while still covering benchmark-scale loops (Conway's
+/// life uses 16×16).
+const MAX_UNROLL: i64 = 300;
+
+/// Assignment context for l-value checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AssignCtx {
+    Continuous,
+    Procedural,
+}
+
+/// Runs all checks for `module`.
+pub fn run(
+    module: &Module,
+    table: &ModuleSymbols,
+    file: &SourceFile,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut checker = Checker {
+        table,
+        file,
+        diags,
+        locals: Vec::new(),
+        const_env: table.params.clone(),
+        in_function: None,
+    };
+    checker.check_items(&module.items);
+}
+
+struct Checker<'a> {
+    table: &'a ModuleSymbols,
+    file: &'a SourceFile,
+    diags: &'a mut Vec<Diagnostic>,
+    /// Lexical scopes for block-local declarations and loop variables.
+    locals: Vec<HashMap<String, SignalInfo>>,
+    /// Constant bindings (parameters + currently-unrolled loop variables).
+    const_env: HashMap<String, i64>,
+    /// Name of the function whose body is being checked, if any; the
+    /// function name acts as its return variable.
+    in_function: Option<String>,
+}
+
+impl<'a> Checker<'a> {
+    fn resolve(&self, name: &str) -> Option<SignalInfo> {
+        for scope in self.locals.iter().rev() {
+            if let Some(info) = scope.get(name) {
+                return Some(info.clone());
+            }
+        }
+        if let Some(info) = self.table.signals.get(name) {
+            return Some(info.clone());
+        }
+        None
+    }
+
+    fn resolves_any(&self, name: &str) -> bool {
+        self.resolve(name).is_some()
+            || self.table.params.contains_key(name)
+            || self.table.functions.contains_key(name)
+            || self.table.genvars.iter().any(|g| g == name)
+            || self.const_env.contains_key(name)
+            || self.in_function.as_deref() == Some(name)
+    }
+
+    fn undeclared(&mut self, name: &str, span: Span) {
+        self.diags.push(Diagnostic::error(
+            ErrorCategory::UndeclaredIdentifier,
+            span,
+            DiagData::Undeclared { name: name.to_owned() },
+        ));
+    }
+
+    // ---- items -------------------------------------------------------
+
+    fn check_items(&mut self, items: &[Item]) {
+        for item in items {
+            self.check_item(item);
+        }
+    }
+
+    fn check_item(&mut self, item: &Item) {
+        match item {
+            Item::Net { decls, .. } => {
+                for decl in decls {
+                    if let Some(init) = &decl.init {
+                        self.check_expr(init);
+                    }
+                }
+            }
+            Item::PortDecl(_) | Item::Param(_) | Item::Genvar { .. } => {}
+            Item::ContinuousAssign { assigns, .. } => {
+                for (lhs, rhs) in assigns {
+                    self.check_lvalue(lhs, AssignCtx::Continuous);
+                    self.check_expr(rhs);
+                    self.check_width(lhs, rhs);
+                }
+            }
+            Item::Always { kind, sensitivity, body, span } => {
+                match sensitivity {
+                    Sensitivity::Star => {}
+                    Sensitivity::Edges(edges) => {
+                        for edge in edges {
+                            self.check_expr(&edge.signal);
+                        }
+                    }
+                    Sensitivity::Signals(signals) => {
+                        for (name, span) in signals {
+                            if !self.resolves_any(name) {
+                                self.undeclared(name, *span);
+                            }
+                        }
+                    }
+                    Sensitivity::None => {
+                        if *kind == AlwaysKind::Always {
+                            self.diags.push(Diagnostic::error(
+                                ErrorCategory::SyntaxError,
+                                *span,
+                                DiagData::Syntax {
+                                    found: "always".into(),
+                                    expected: "'@' and a sensitivity list".into(),
+                                },
+                            ));
+                        }
+                    }
+                }
+                self.check_stmt(body);
+            }
+            Item::Initial { body, .. } => self.check_stmt(body),
+            Item::Instance { module, name, conns, params, span } => {
+                self.check_instance(module, name, conns, params, *span);
+            }
+            Item::Generate { items, .. } => self.check_items(items),
+            Item::GenFor { var, init, cond, step, items, span, .. } => {
+                let declared = self.table.genvars.iter().any(|g| g == var)
+                    || self.resolves_any(var);
+                if !declared {
+                    self.undeclared(var, *span);
+                }
+                self.check_const_loop(var, init, cond, step, |checker| {
+                    checker.check_items(items);
+                });
+            }
+            Item::Function { name, args, body, .. } => {
+                let mut scope = HashMap::new();
+                for arg in args {
+                    let (msb, lsb) = range_bounds(&arg.range, &self.const_env);
+                    scope.insert(
+                        arg.name.clone(),
+                        SignalInfo {
+                            kind: NetKind::Reg,
+                            direction: None,
+                            signed: arg.signed,
+                            msb,
+                            lsb,
+                            unpacked: None,
+                            span: arg.span,
+                        },
+                    );
+                }
+                self.locals.push(scope);
+                let previous = self.in_function.replace(name.clone());
+                self.check_stmt(body);
+                self.in_function = previous;
+                self.locals.pop();
+            }
+        }
+    }
+
+    fn check_instance(
+        &mut self,
+        module: &str,
+        instance: &str,
+        conns: &[Connection],
+        params: &[Connection],
+        span: Span,
+    ) {
+        for conn in conns.iter().chain(params) {
+            if let Some(expr) = &conn.expr {
+                self.check_expr(expr);
+            }
+        }
+        let Some(target) = self.file.module(module) else {
+            self.diags.push(Diagnostic::error(
+                ErrorCategory::UnknownModule,
+                span,
+                DiagData::ModuleNotFound { name: module.to_owned() },
+            ));
+            return;
+        };
+        let named: Vec<_> = conns.iter().filter(|c| c.port.is_some()).collect();
+        if named.is_empty() && !conns.is_empty() {
+            if conns.len() != target.ports.len() {
+                self.diags.push(Diagnostic::error(
+                    ErrorCategory::PortConnectionMismatch,
+                    span,
+                    DiagData::PortMismatch {
+                        instance: instance.to_owned(),
+                        module: module.to_owned(),
+                        port: None,
+                        expected: target.ports.len(),
+                        found: conns.len(),
+                    },
+                ));
+            }
+        } else {
+            for conn in &named {
+                let port = conn.port.as_deref().expect("filtered");
+                if target.port(port).is_none() {
+                    self.diags.push(Diagnostic::error(
+                        ErrorCategory::PortConnectionMismatch,
+                        conn.span,
+                        DiagData::PortMismatch {
+                            instance: instance.to_owned(),
+                            module: module.to_owned(),
+                            port: Some(port.to_owned()),
+                            expected: target.ports.len(),
+                            found: conns.len(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn check_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Block { decls, stmts, .. } => {
+                let mut scope = HashMap::new();
+                for item in decls {
+                    if let Item::Net { kind, signed, range, decls, .. } = item {
+                        for decl in decls {
+                            let (msb, lsb) = range_bounds(range, &self.const_env);
+                            scope.insert(
+                                decl.name.clone(),
+                                SignalInfo {
+                                    kind: *kind,
+                                    direction: None,
+                                    signed: *signed,
+                                    msb,
+                                    lsb,
+                                    unpacked: None,
+                                    span: decl.span,
+                                },
+                            );
+                        }
+                    }
+                }
+                self.locals.push(scope);
+                for stmt in stmts {
+                    self.check_stmt(stmt);
+                }
+                self.locals.pop();
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                self.check_lvalue(lhs, AssignCtx::Procedural);
+                self.check_expr(rhs);
+                self.check_width(lhs, rhs);
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.check_expr(cond);
+                self.check_stmt(then_branch);
+                if let Some(els) = else_branch {
+                    self.check_stmt(els);
+                }
+            }
+            Stmt::Case { scrutinee, arms, default, .. } => {
+                self.check_expr(scrutinee);
+                for arm in arms {
+                    for label in &arm.labels {
+                        self.check_expr(label);
+                    }
+                    self.check_stmt(&arm.body);
+                }
+                if let Some(default) = default {
+                    self.check_stmt(default);
+                }
+            }
+            Stmt::For { var, decl, init, cond, step, body, span } => {
+                let mut scope = HashMap::new();
+                if decl.is_some() {
+                    scope.insert(
+                        var.clone(),
+                        SignalInfo {
+                            kind: NetKind::Integer,
+                            direction: None,
+                            signed: true,
+                            msb: None,
+                            lsb: None,
+                            unpacked: None,
+                            span: *span,
+                        },
+                    );
+                } else if !self.resolves_any(var) {
+                    self.undeclared(var, *span);
+                    // Bind it anyway so the body doesn't cascade.
+                    scope.insert(
+                        var.clone(),
+                        SignalInfo {
+                            kind: NetKind::Integer,
+                            direction: None,
+                            signed: true,
+                            msb: None,
+                            lsb: None,
+                            unpacked: None,
+                            span: *span,
+                        },
+                    );
+                }
+                self.locals.push(scope);
+                self.check_const_loop(var, init, cond, step, |checker| {
+                    checker.check_stmt(body);
+                });
+                self.locals.pop();
+            }
+            Stmt::While { cond, body, .. } => {
+                self.check_expr(cond);
+                self.check_stmt(body);
+            }
+            Stmt::Repeat { count, body, .. } => {
+                self.check_expr(count);
+                self.check_stmt(body);
+            }
+            Stmt::SysCall { args, .. } => {
+                for arg in args {
+                    // Format strings are not identifier references.
+                    if !matches!(arg, Expr::Str { .. }) {
+                        self.check_expr(arg);
+                    }
+                }
+            }
+            Stmt::Null(_) => {}
+        }
+    }
+
+    /// Checks a loop body. If the bounds are compile-time constant, the loop
+    /// is unrolled (capped) with the loop variable bound in `const_env` so
+    /// that arithmetic index expressions are checked with real values — this
+    /// is what catches the paper's Figure 6 `q[(i-1)*16 + (j-1)]` fault.
+    fn check_const_loop(
+        &mut self,
+        var: &str,
+        init: &Expr,
+        cond: &Expr,
+        step: &Expr,
+        mut body: impl FnMut(&mut Self),
+    ) {
+        self.check_expr_no_bounds(init);
+        let Ok(mut value) = const_eval::eval(init, &self.const_env) else {
+            // Non-constant loop: single symbolic pass.
+            self.check_expr(cond);
+            self.check_expr_no_bounds(step);
+            body(self);
+            return;
+        };
+        let saved = self.const_env.get(var).copied();
+        let mut iterations = 0i64;
+        loop {
+            self.const_env.insert(var.to_owned(), value);
+            match const_eval::eval(cond, &self.const_env) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => {
+                    // Condition depends on signals: fall back to one pass.
+                    self.check_expr(cond);
+                    body(self);
+                    break;
+                }
+            }
+            body(self);
+            iterations += 1;
+            if iterations >= MAX_UNROLL {
+                break;
+            }
+            match const_eval::eval(step, &self.const_env) {
+                Ok(next) => {
+                    if next == value {
+                        break; // zero-progress step; avoid spinning
+                    }
+                    value = next;
+                }
+                Err(_) => break,
+            }
+        }
+        match saved {
+            Some(v) => {
+                self.const_env.insert(var.to_owned(), v);
+            }
+            None => {
+                self.const_env.remove(var);
+            }
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn check_expr(&mut self, expr: &Expr) {
+        self.check_expr_inner(expr, true);
+    }
+
+    /// Like [`check_expr`] but without index bound checking (used for loop
+    /// init/step expressions where the variable has no binding yet).
+    fn check_expr_no_bounds(&mut self, expr: &Expr) {
+        self.check_expr_inner(expr, false);
+    }
+
+    fn check_expr_inner(&mut self, expr: &Expr, bounds: bool) {
+        match expr {
+            Expr::Ident { name, span } => {
+                if !self.resolves_any(name) {
+                    self.undeclared(name, *span);
+                }
+            }
+            Expr::Literal { .. } | Expr::Str { .. } => {}
+            Expr::Unary { operand, .. } => self.check_expr_inner(operand, bounds),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.check_expr_inner(lhs, bounds);
+                self.check_expr_inner(rhs, bounds);
+            }
+            Expr::Ternary { cond, then_expr, else_expr, .. } => {
+                self.check_expr_inner(cond, bounds);
+                self.check_expr_inner(then_expr, bounds);
+                self.check_expr_inner(else_expr, bounds);
+            }
+            Expr::Concat { parts, .. } => {
+                for part in parts {
+                    self.check_expr_inner(part, bounds);
+                }
+            }
+            Expr::Replicate { count, value, .. } => {
+                self.check_expr_inner(count, bounds);
+                self.check_expr_inner(value, bounds);
+            }
+            Expr::Index { base, index, span } => {
+                self.check_expr_inner(base, bounds);
+                self.check_expr_inner(index, bounds);
+                if bounds {
+                    self.check_index_bounds(base, index, *span);
+                }
+            }
+            Expr::Select { base, left, right, mode, span } => {
+                self.check_expr_inner(base, bounds);
+                self.check_expr_inner(left, bounds);
+                self.check_expr_inner(right, bounds);
+                if bounds {
+                    self.check_select_bounds(base, left, right, *mode, *span);
+                }
+            }
+            Expr::Call { name, args, span } => {
+                if !self.table.functions.contains_key(name) {
+                    self.undeclared(name, *span);
+                }
+                for arg in args {
+                    self.check_expr_inner(arg, bounds);
+                }
+            }
+            Expr::SysCall { args, .. } => {
+                for arg in args {
+                    if !matches!(arg, Expr::Str { .. }) {
+                        self.check_expr_inner(arg, bounds);
+                    }
+                }
+            }
+        }
+    }
+
+    fn signal_of(&self, base: &Expr) -> Option<(String, SignalInfo)> {
+        let name = base.as_ident()?;
+        let info = self.resolve(name)?;
+        Some((name.to_owned(), info))
+    }
+
+    /// Whether an index expression is "arithmetic" (more than a literal or a
+    /// lone identifier) — used to split [`ErrorCategory::IndexArithmetic`]
+    /// from plain [`ErrorCategory::IndexOutOfRange`].
+    fn is_arithmetic(expr: &Expr) -> bool {
+        !matches!(expr, Expr::Literal { .. })
+    }
+
+    fn check_index_bounds(&mut self, base: &Expr, index: &Expr, span: Span) {
+        let Some((name, info)) = self.signal_of(base) else {
+            // `mem[i][j]`: the inner Index handles the word select; bit
+            // selects on expression results are not bounds-checked.
+            return;
+        };
+        let Ok(value) = const_eval::eval(index, &self.const_env) else {
+            return;
+        };
+        // Memories: the first index selects a word from the unpacked range.
+        if let Some((m, l)) = info.unpacked {
+            let (lo, hi) = if m <= l { (m, l) } else { (l, m) };
+            if value < lo || value > hi {
+                self.push_index_oob(&name, value, m, l, Self::is_arithmetic(index), span);
+            }
+            return;
+        }
+        match info.index_in_range(value) {
+            Some(false) => {
+                let (msb, lsb) = (info.msb.unwrap_or(0), info.lsb.unwrap_or(0));
+                self.push_index_oob(&name, value, msb, lsb, Self::is_arithmetic(index), span);
+            }
+            _ => {}
+        }
+    }
+
+    fn check_select_bounds(
+        &mut self,
+        base: &Expr,
+        left: &Expr,
+        right: &Expr,
+        mode: SelectMode,
+        span: Span,
+    ) {
+        let Some((name, info)) = self.signal_of(base) else { return };
+        let left_v = const_eval::eval(left, &self.const_env).ok();
+        let right_v = const_eval::eval(right, &self.const_env).ok();
+        let arithmetic = Self::is_arithmetic(left) || Self::is_arithmetic(right);
+        let check = |value: i64, arith: bool, checker: &mut Self| {
+            if checker.resolve(&name).and_then(|info| info.index_in_range(value)) == Some(false) {
+                let (msb, lsb) = (info.msb.unwrap_or(0), info.lsb.unwrap_or(0));
+                checker.push_index_oob(&name, value, msb, lsb, arith, span);
+            }
+        };
+        match mode {
+            SelectMode::Range => {
+                if let Some(v) = left_v {
+                    check(v, arithmetic, self);
+                }
+                if let Some(v) = right_v {
+                    check(v, arithmetic, self);
+                }
+            }
+            // The far bound of an indexed select is itself the result of
+            // arithmetic (`base ± width ∓ 1`), so an overrun there lands in
+            // the harder IndexArithmetic category even for literal operands.
+            SelectMode::IndexedUp => {
+                if let (Some(base_idx), Some(width)) = (left_v, right_v) {
+                    check(base_idx, arithmetic, self);
+                    if width > 0 {
+                        check(base_idx + width - 1, true, self);
+                    }
+                }
+            }
+            SelectMode::IndexedDown => {
+                if let (Some(base_idx), Some(width)) = (left_v, right_v) {
+                    check(base_idx, arithmetic, self);
+                    if width > 0 {
+                        check(base_idx - width + 1, true, self);
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_index_oob(
+        &mut self,
+        name: &str,
+        index: i64,
+        msb: i64,
+        lsb: i64,
+        arithmetic: bool,
+        span: Span,
+    ) {
+        let category = if arithmetic {
+            ErrorCategory::IndexArithmetic
+        } else {
+            ErrorCategory::IndexOutOfRange
+        };
+        self.diags.push(Diagnostic::error(
+            category,
+            span,
+            DiagData::IndexOob {
+                target: name.to_owned(),
+                index,
+                msb,
+                lsb,
+                from_arithmetic: arithmetic,
+            },
+        ));
+    }
+
+    // ---- l-values ---------------------------------------------------------
+
+    fn check_lvalue(&mut self, lhs: &Expr, ctx: AssignCtx) {
+        match lhs {
+            Expr::Concat { parts, .. } => {
+                for part in parts {
+                    self.check_lvalue(part, ctx);
+                }
+                return;
+            }
+            Expr::Index { base, index, span } => {
+                self.check_expr(index);
+                self.check_index_bounds(base, index, *span);
+            }
+            Expr::Select { base, left, right, mode, span } => {
+                self.check_expr(left);
+                self.check_expr(right);
+                self.check_select_bounds(base, left, right, *mode, *span);
+            }
+            _ => {}
+        }
+        let Some(root) = lhs.lvalue_root() else {
+            self.diags.push(Diagnostic::error(
+                ErrorCategory::SyntaxError,
+                lhs.span(),
+                DiagData::Syntax { found: "expression".into(), expected: "an l-value".into() },
+            ));
+            return;
+        };
+        if self.in_function.as_deref() == Some(root) {
+            return; // function return variable
+        }
+        let Some(info) = self.resolve(root) else {
+            self.undeclared(root, lhs.span());
+            return;
+        };
+        if info.direction == Some(Direction::Input) {
+            self.diags.push(Diagnostic::error(
+                ErrorCategory::AssignToInput,
+                lhs.span(),
+                DiagData::InputAssigned { name: root.to_owned() },
+            ));
+            return;
+        }
+        match ctx {
+            AssignCtx::Procedural if !info.kind.procedural_assignable() => {
+                self.diags.push(Diagnostic::error(
+                    ErrorCategory::IllegalProceduralLvalue,
+                    lhs.span(),
+                    DiagData::BadProceduralLvalue { name: root.to_owned() },
+                ));
+            }
+            AssignCtx::Continuous if !info.kind.continuous_assignable() => {
+                self.diags.push(Diagnostic::error(
+                    ErrorCategory::IllegalContinuousLvalue,
+                    lhs.span(),
+                    DiagData::BadContinuousLvalue { name: root.to_owned() },
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // ---- widths ------------------------------------------------------------
+
+    fn check_width(&mut self, lhs: &Expr, rhs: &Expr) {
+        let (Some(lw), Some(rw)) = (self.expr_width(lhs), self.expr_width(rhs)) else {
+            return;
+        };
+        if rw > lw {
+            self.diags.push(Diagnostic::warning(
+                ErrorCategory::WidthMismatch,
+                rhs.span(),
+                DiagData::Width { lhs_width: lw, rhs_width: rw },
+            ));
+        }
+    }
+
+    /// Best-effort static width. `None` means "adapts to context" (plain
+    /// decimal literals) or "unknown".
+    fn expr_width(&self, expr: &Expr) -> Option<u32> {
+        match expr {
+            Expr::Ident { name, .. } => self.resolve(name).and_then(|info| info.width()),
+            Expr::Literal { size, .. } => *size,
+            Expr::Str { value, .. } => Some(8 * value.len() as u32),
+            Expr::Unary { op, operand, .. } => match op {
+                UnaryOp::Not
+                | UnaryOp::RedAnd
+                | UnaryOp::RedOr
+                | UnaryOp::RedXor
+                | UnaryOp::RedNand
+                | UnaryOp::RedNor
+                | UnaryOp::RedXnor => Some(1),
+                _ => self.expr_width(operand),
+            },
+            Expr::Binary { op, lhs, rhs, .. } => match op {
+                BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::CaseEq
+                | BinaryOp::CaseNe
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::LogAnd
+                | BinaryOp::LogOr => Some(1),
+                BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl | BinaryOp::AShr => {
+                    self.expr_width(lhs)
+                }
+                _ => match (self.expr_width(lhs), self.expr_width(rhs)) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                },
+            },
+            Expr::Ternary { then_expr, else_expr, .. } => {
+                match (self.expr_width(then_expr), self.expr_width(else_expr)) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                }
+            }
+            Expr::Concat { parts, .. } => {
+                let mut total = 0u32;
+                for part in parts {
+                    total += self.expr_width(part)?;
+                }
+                Some(total)
+            }
+            Expr::Replicate { count, value, .. } => {
+                let n = const_eval::eval(count, &self.const_env).ok()?;
+                let inner = self.expr_width(value)?;
+                u32::try_from(n).ok().map(|n| n * inner)
+            }
+            Expr::Index { .. } => Some(1),
+            Expr::Select { left, right, mode, .. } => match mode {
+                SelectMode::Range => {
+                    let l = const_eval::eval(left, &self.const_env).ok()?;
+                    let r = const_eval::eval(right, &self.const_env).ok()?;
+                    Some(l.abs_diff(r) as u32 + 1)
+                }
+                _ => {
+                    let w = const_eval::eval(right, &self.const_env).ok()?;
+                    u32::try_from(w).ok()
+                }
+            },
+            Expr::Call { name, .. } => self.table.functions.get(name).and_then(|f| f.width),
+            Expr::SysCall { .. } => None,
+        }
+    }
+}
+
+fn range_bounds(
+    range: &Option<RangeDecl>,
+    env: &HashMap<String, i64>,
+) -> (Option<i64>, Option<i64>) {
+    match range {
+        None => (None, None),
+        Some(r) => {
+            let msb = const_eval::eval(&r.msb, env).ok();
+            let lsb = const_eval::eval(&r.lsb, env).ok();
+            match (msb, lsb) {
+                (Some(m), Some(l)) => (Some(m), Some(l)),
+                _ => (None, None),
+            }
+        }
+    }
+}
+
+// Keep the unused import warning away when ConstEvalError isn't referenced
+// directly in release profiles.
+#[allow(unused)]
+fn _assert_error_type(e: ConstEvalError) -> ConstEvalError {
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::analyze_file;
+
+    fn sema_errors(src: &str) -> Vec<Diagnostic> {
+        let result = parse(src);
+        assert!(
+            result.diagnostics.iter().all(|d| !d.is_error()),
+            "parse errors in test input: {:?}",
+            result.diagnostics
+        );
+        let (_, diags) = analyze_file(&result.file);
+        diags.into_iter().filter(|d| d.is_error()).collect()
+    }
+
+    fn clean(src: &str) {
+        let errs = sema_errors(src);
+        assert!(errs.is_empty(), "unexpected: {errs:?}");
+    }
+
+    fn has(src: &str, category: ErrorCategory) {
+        let errs = sema_errors(src);
+        assert!(
+            errs.iter().any(|d| d.category == category),
+            "expected {category:?}, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn clean_module_passes() {
+        clean("module m(input [7:0] in, output [7:0] out);\nassign out = in;\nendmodule");
+    }
+
+    #[test]
+    fn undeclared_clk_in_sensitivity() {
+        // The paper's Figure 5 `vector100r` case.
+        has(
+            "module top_module(input [99:0] in, output reg [99:0] out);\n\
+             always @(posedge clk) begin\n\
+               out <= in;\n\
+             end\nendmodule",
+            ErrorCategory::UndeclaredIdentifier,
+        );
+    }
+
+    #[test]
+    fn index_out_of_range_literal() {
+        // The paper's Figure 2a case: out[8] on a [7:0] vector.
+        has(
+            "module top_module(input [7:0] in, output [7:0] out);\n\
+             assign {out[0],out[1],out[2],out[3],out[4],out[5],out[6],out[8]} = in;\nendmodule",
+            ErrorCategory::IndexOutOfRange,
+        );
+    }
+
+    #[test]
+    fn figure6_arithmetic_index_in_loop() {
+        has(
+            "module top_module(input [255:0] q, output [255:0] next);\n\
+             genvar i, j;\n\
+             generate\n\
+             for (i = 0; i < 16; i = i + 1) begin : row\n\
+               for (j = 0; j < 16; j = j + 1) begin : col\n\
+                 assign next[(i-1)*16 + (j-1)] = q[i*16 + j];\n\
+               end\n\
+             end\n\
+             endgenerate\nendmodule",
+            ErrorCategory::IndexArithmetic,
+        );
+    }
+
+    #[test]
+    fn procedural_loop_arithmetic_index() {
+        has(
+            "module m(input [15:0] q, output reg [15:0] y);\n\
+             integer i;\n\
+             always @* begin\n\
+               for (i = 0; i < 16; i = i + 1) y[i] = q[i + 1];\n\
+             end\nendmodule",
+            ErrorCategory::IndexArithmetic,
+        );
+    }
+
+    #[test]
+    fn in_range_loop_is_clean() {
+        clean(
+            "module m(input [15:0] q, output reg [15:0] y);\n\
+             integer i;\n\
+             always @* begin\n\
+               for (i = 0; i < 16; i = i + 1) y[i] = q[15 - i];\n\
+             end\nendmodule",
+        );
+    }
+
+    #[test]
+    fn wire_assigned_in_always_is_illegal() {
+        has(
+            "module m(input a, output y);\n\
+             always @(a) y = a;\nendmodule",
+            ErrorCategory::IllegalProceduralLvalue,
+        );
+    }
+
+    #[test]
+    fn reg_in_continuous_assign_is_illegal() {
+        has(
+            "module m(input a, output reg y);\nassign y = a;\nendmodule",
+            ErrorCategory::IllegalContinuousLvalue,
+        );
+    }
+
+    #[test]
+    fn logic_is_fine_both_ways() {
+        clean("module m(input a, output logic y);\nassign y = a;\nendmodule");
+        clean("module m(input a, output logic y);\nalways @* y = a;\nendmodule");
+    }
+
+    #[test]
+    fn assign_to_input_is_flagged() {
+        has(
+            "module m(input a, input b, output y);\nassign a = b;\nassign y = a;\nendmodule",
+            ErrorCategory::AssignToInput,
+        );
+    }
+
+    #[test]
+    fn unknown_module_instantiation() {
+        has(
+            "module top(input a, output y);\nmissing u1(.x(a), .y(y));\nendmodule",
+            ErrorCategory::UnknownModule,
+        );
+    }
+
+    #[test]
+    fn bad_port_name_in_instance() {
+        has(
+            "module child(input a, output y); assign y = a; endmodule\n\
+             module top(input x, output z);\nchild c(.a(x), .out(z));\nendmodule",
+            ErrorCategory::PortConnectionMismatch,
+        );
+    }
+
+    #[test]
+    fn positional_arity_mismatch() {
+        has(
+            "module child(input a, input b, output y); assign y = a & b; endmodule\n\
+             module top(input x, output z);\nchild c(x, z);\nendmodule",
+            ErrorCategory::PortConnectionMismatch,
+        );
+    }
+
+    #[test]
+    fn good_instance_is_clean() {
+        clean(
+            "module child(input a, output y); assign y = ~a; endmodule\n\
+             module top(input x, output z);\nchild c(.a(x), .y(z));\nendmodule",
+        );
+    }
+
+    #[test]
+    fn undeclared_rhs_identifier() {
+        has(
+            "module m(input a, output y);\nassign y = a & enable;\nendmodule",
+            ErrorCategory::UndeclaredIdentifier,
+        );
+    }
+
+    #[test]
+    fn memory_word_select() {
+        clean(
+            "module m(input [3:0] addr, output [7:0] data);\n\
+             reg [7:0] mem [0:15];\n\
+             assign data = mem[addr];\nendmodule",
+        );
+        has(
+            "module m(output [7:0] data);\n\
+             reg [7:0] mem [0:15];\n\
+             assign data = mem[16];\nendmodule",
+            ErrorCategory::IndexOutOfRange,
+        );
+    }
+
+    #[test]
+    fn part_select_out_of_bounds() {
+        has(
+            "module m(input [7:0] a, output [3:0] y);\nassign y = a[11:8];\nendmodule",
+            ErrorCategory::IndexOutOfRange,
+        );
+    }
+
+    #[test]
+    fn indexed_part_select_bounds() {
+        clean("module m(input [31:0] a, output [7:0] y);\nassign y = a[8 +: 8];\nendmodule");
+        has(
+            "module m(input [31:0] a, output [7:0] y);\nassign y = a[28 +: 8];\nendmodule",
+            ErrorCategory::IndexArithmetic,
+        );
+    }
+
+    #[test]
+    fn width_mismatch_is_warning_not_error() {
+        let result = parse(
+            "module m(input [15:0] a, output [7:0] y);\nassign y = a;\nendmodule",
+        );
+        let (_, diags) = analyze_file(&result.file);
+        assert!(diags.iter().any(|d| d.category == ErrorCategory::WidthMismatch));
+        assert!(diags.iter().all(|d| !d.is_error()));
+    }
+
+    #[test]
+    fn function_return_assignment_is_legal() {
+        clean(
+            "module m(input [7:0] a, output [3:0] y);\n\
+             function [3:0] ones;\ninput [7:0] v;\ninteger i;\nbegin\n\
+               ones = 0;\n\
+               for (i = 0; i < 8; i = i + 1) ones = ones + v[i];\n\
+             end\nendfunction\n\
+             assign y = ones(a);\nendmodule",
+        );
+    }
+
+    #[test]
+    fn undeclared_function_call() {
+        has(
+            "module m(input [7:0] a, output [3:0] y);\nassign y = ones(a);\nendmodule",
+            ErrorCategory::UndeclaredIdentifier,
+        );
+    }
+
+    #[test]
+    fn plain_always_without_sensitivity_is_error() {
+        has(
+            "module m(input a, output reg y);\nalways begin y = a; end\nendmodule",
+            ErrorCategory::SyntaxError,
+        );
+    }
+
+    #[test]
+    fn genvar_loop_without_genvar_decl() {
+        has(
+            "module m(input [3:0] a, output [3:0] y);\n\
+             generate\nfor (k = 0; k < 4; k = k + 1) begin : g\n\
+             assign y[k] = a[k];\nend\nendgenerate\nendmodule",
+            ErrorCategory::UndeclaredIdentifier,
+        );
+    }
+
+    #[test]
+    fn block_local_integer_resolves() {
+        clean(
+            "module m(input [7:0] a, output reg [3:0] n);\n\
+             always @* begin\n\
+               integer i;\n\
+               n = 0;\n\
+               for (i = 0; i < 8; i = i + 1) n = n + a[i];\n\
+             end\nendmodule",
+        );
+    }
+
+    #[test]
+    fn concat_lvalue_checks_each_part() {
+        has(
+            "module m(input [1:0] a, output x, output reg z);\n\
+             assign {x, z} = a;\nendmodule",
+            ErrorCategory::IllegalContinuousLvalue,
+        );
+    }
+}

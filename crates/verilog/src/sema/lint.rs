@@ -1,0 +1,419 @@
+//! Synthesis lints (warning-level): latch inference, missing case defaults
+//! and unused signals.
+//!
+//! These are the kinds of advisory messages a Quartus-class flow adds to its
+//! logs. They never block elaboration; the iverilog personality omits them
+//! entirely, which is part of its lower feedback informativeness.
+
+use std::collections::HashSet;
+
+use crate::ast::*;
+use crate::diag::{DiagData, Diagnostic, ErrorCategory};
+
+/// Runs all lints for `module`, appending warning diagnostics.
+pub fn run(module: &Module, diags: &mut Vec<Diagnostic>) {
+    lint_unused_signals(module, diags);
+    for item in &module.items {
+        lint_item(item, diags);
+    }
+}
+
+fn lint_item(item: &Item, diags: &mut Vec<Diagnostic>) {
+    match item {
+        Item::Always { kind, sensitivity, body, .. } => {
+            let combinational = matches!(kind, AlwaysKind::Comb)
+                || matches!(sensitivity, Sensitivity::Star | Sensitivity::Signals(_));
+            if combinational {
+                lint_comb_body(body, diags);
+            }
+        }
+        Item::Generate { items, .. } | Item::GenFor { items, .. } => {
+            for item in items {
+                lint_item(item, diags);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Walks a combinational always body flagging incomplete-assignment shapes.
+fn lint_comb_body(stmt: &Stmt, diags: &mut Vec<Diagnostic>) {
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            // Signals assigned unconditionally at block level are safe even
+            // if they also appear in branches below.
+            let mut covered: HashSet<String> = HashSet::new();
+            for inner in stmts {
+                if let Stmt::Assign { lhs, .. } = inner {
+                    if let Some(root) = lhs.lvalue_root() {
+                        covered.insert(root.to_owned());
+                    }
+                }
+            }
+            for inner in stmts {
+                lint_branch(inner, &covered, diags);
+            }
+        }
+        other => lint_branch(other, &HashSet::new(), diags),
+    }
+}
+
+fn lint_branch(stmt: &Stmt, covered: &HashSet<String>, diags: &mut Vec<Diagnostic>) {
+    match stmt {
+        Stmt::If { then_branch, else_branch: None, span, .. } => {
+            // if-without-else assigning an uncovered variable → latch.
+            for name in assigned_names(then_branch) {
+                if !covered.contains(&name) {
+                    diags.push(Diagnostic::warning(
+                        ErrorCategory::InferredLatch,
+                        *span,
+                        DiagData::Latch { name },
+                    ));
+                }
+            }
+        }
+        Stmt::If { then_branch, else_branch: Some(els), .. } => {
+            lint_branch(then_branch, covered, diags);
+            lint_branch(els, covered, diags);
+        }
+        Stmt::Case { default: None, arms, span, .. } => {
+            diags.push(Diagnostic::warning(
+                ErrorCategory::CaseMissingDefault,
+                *span,
+                DiagData::NoDefault,
+            ));
+            for arm in arms {
+                lint_branch(&arm.body, covered, diags);
+            }
+        }
+        Stmt::Case { default: Some(default), arms, .. } => {
+            for arm in arms {
+                lint_branch(&arm.body, covered, diags);
+            }
+            lint_branch(default, covered, diags);
+        }
+        Stmt::Block { stmts, .. } => {
+            for inner in stmts {
+                lint_branch(inner, covered, diags);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Root names assigned anywhere inside `stmt`.
+fn assigned_names(stmt: &Stmt) -> Vec<String> {
+    let mut names = Vec::new();
+    collect_assigned(stmt, &mut names);
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn collect_assigned(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Assign { lhs, .. } => {
+            if let Some(root) = lhs.lvalue_root() {
+                out.push(root.to_owned());
+            }
+        }
+        Stmt::Block { stmts, .. } => {
+            for inner in stmts {
+                collect_assigned(inner, out);
+            }
+        }
+        Stmt::If { then_branch, else_branch, .. } => {
+            collect_assigned(then_branch, out);
+            if let Some(els) = else_branch {
+                collect_assigned(els, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for arm in arms {
+                collect_assigned(&arm.body, out);
+            }
+            if let Some(default) = default {
+                collect_assigned(default, out);
+            }
+        }
+        Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::Repeat { body, .. } => {
+            collect_assigned(body, out);
+        }
+        _ => {}
+    }
+}
+
+/// Flags internal signals that are never read.
+fn lint_unused_signals(module: &Module, diags: &mut Vec<Diagnostic>) {
+    // Collect every identifier *read* anywhere in the module.
+    let mut read: HashSet<String> = HashSet::new();
+    for item in &module.items {
+        collect_reads_item(item, &mut read);
+    }
+    for item in &module.items {
+        let Item::Net { decls, .. } = item else { continue };
+        for decl in decls {
+            // Ports are externally observable; only internal nets count.
+            if module.port(&decl.name).is_some() {
+                continue;
+            }
+            if !read.contains(&decl.name) {
+                diags.push(Diagnostic::warning(
+                    ErrorCategory::UnusedSignal,
+                    decl.span,
+                    DiagData::Unused { name: decl.name.clone() },
+                ));
+            }
+        }
+    }
+}
+
+fn collect_reads_item(item: &Item, read: &mut HashSet<String>) {
+    match item {
+        Item::ContinuousAssign { assigns, .. } => {
+            for (lhs, rhs) in assigns {
+                collect_reads_expr(rhs, read);
+                // Index/select expressions on the LHS read their indices.
+                collect_lhs_index_reads(lhs, read);
+            }
+        }
+        Item::Always { body, sensitivity, .. } => {
+            if let Sensitivity::Edges(edges) = sensitivity {
+                for edge in edges {
+                    collect_reads_expr(&edge.signal, read);
+                }
+            }
+            collect_reads_stmt(body, read);
+        }
+        Item::Initial { body, .. } => collect_reads_stmt(body, read),
+        Item::Instance { conns, params, .. } => {
+            for conn in conns.iter().chain(params) {
+                if let Some(expr) = &conn.expr {
+                    collect_reads_expr(expr, read);
+                }
+            }
+        }
+        Item::Net { decls, .. } => {
+            for decl in decls {
+                if let Some(init) = &decl.init {
+                    collect_reads_expr(init, read);
+                }
+            }
+        }
+        Item::Generate { items, .. } | Item::GenFor { items, .. } => {
+            for item in items {
+                collect_reads_item(item, read);
+            }
+        }
+        Item::Function { body, .. } => collect_reads_stmt(body, read),
+        _ => {}
+    }
+}
+
+fn collect_reads_stmt(stmt: &Stmt, read: &mut HashSet<String>) {
+    match stmt {
+        Stmt::Assign { lhs, rhs, .. } => {
+            collect_reads_expr(rhs, read);
+            collect_lhs_index_reads(lhs, read);
+        }
+        Stmt::Block { stmts, .. } => {
+            for inner in stmts {
+                collect_reads_stmt(inner, read);
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            collect_reads_expr(cond, read);
+            collect_reads_stmt(then_branch, read);
+            if let Some(els) = else_branch {
+                collect_reads_stmt(els, read);
+            }
+        }
+        Stmt::Case { scrutinee, arms, default, .. } => {
+            collect_reads_expr(scrutinee, read);
+            for arm in arms {
+                for label in &arm.labels {
+                    collect_reads_expr(label, read);
+                }
+                collect_reads_stmt(&arm.body, read);
+            }
+            if let Some(default) = default {
+                collect_reads_stmt(default, read);
+            }
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            collect_reads_expr(init, read);
+            collect_reads_expr(cond, read);
+            collect_reads_expr(step, read);
+            collect_reads_stmt(body, read);
+        }
+        Stmt::While { cond, body, .. } => {
+            collect_reads_expr(cond, read);
+            collect_reads_stmt(body, read);
+        }
+        Stmt::Repeat { count, body, .. } => {
+            collect_reads_expr(count, read);
+            collect_reads_stmt(body, read);
+        }
+        Stmt::SysCall { args, .. } => {
+            for arg in args {
+                collect_reads_expr(arg, read);
+            }
+        }
+        Stmt::Null(_) => {}
+    }
+}
+
+fn collect_lhs_index_reads(lhs: &Expr, read: &mut HashSet<String>) {
+    match lhs {
+        Expr::Index { index, .. } => collect_reads_expr(index, read),
+        Expr::Select { left, right, .. } => {
+            collect_reads_expr(left, read);
+            collect_reads_expr(right, read);
+        }
+        Expr::Concat { parts, .. } => {
+            for part in parts {
+                collect_lhs_index_reads(part, read);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_reads_expr(expr: &Expr, read: &mut HashSet<String>) {
+    match expr {
+        Expr::Ident { name, .. } => {
+            read.insert(name.clone());
+        }
+        Expr::Literal { .. } | Expr::Str { .. } => {}
+        Expr::Unary { operand, .. } => collect_reads_expr(operand, read),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_reads_expr(lhs, read);
+            collect_reads_expr(rhs, read);
+        }
+        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            collect_reads_expr(cond, read);
+            collect_reads_expr(then_expr, read);
+            collect_reads_expr(else_expr, read);
+        }
+        Expr::Concat { parts, .. } => {
+            for part in parts {
+                collect_reads_expr(part, read);
+            }
+        }
+        Expr::Replicate { count, value, .. } => {
+            collect_reads_expr(count, read);
+            collect_reads_expr(value, read);
+        }
+        Expr::Index { base, index, .. } => {
+            collect_reads_expr(base, read);
+            collect_reads_expr(index, read);
+        }
+        Expr::Select { base, left, right, .. } => {
+            collect_reads_expr(base, read);
+            collect_reads_expr(left, read);
+            collect_reads_expr(right, read);
+        }
+        Expr::Call { args, .. } | Expr::SysCall { args, .. } => {
+            for arg in args {
+                collect_reads_expr(arg, read);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn warnings(src: &str) -> Vec<ErrorCategory> {
+        let result = parse(src);
+        assert!(result.diagnostics.iter().all(|d| !d.is_error()), "{:?}", result.diagnostics);
+        let mut diags = Vec::new();
+        run(&result.file.modules[0], &mut diags);
+        diags.iter().map(|d| d.category).collect()
+    }
+
+    #[test]
+    fn latch_from_if_without_else() {
+        let cats = warnings(
+            "module m(input en, input d, output reg q);\n\
+             always @* begin\nif (en) q = d;\nend\nendmodule",
+        );
+        assert!(cats.contains(&ErrorCategory::InferredLatch), "{cats:?}");
+    }
+
+    #[test]
+    fn no_latch_with_complete_if() {
+        let cats = warnings(
+            "module m(input en, input d, output reg q);\n\
+             always @* begin\nif (en) q = d; else q = 0;\nend\nendmodule",
+        );
+        assert!(!cats.contains(&ErrorCategory::InferredLatch), "{cats:?}");
+    }
+
+    #[test]
+    fn no_latch_with_default_assignment() {
+        let cats = warnings(
+            "module m(input en, input d, output reg q);\n\
+             always @* begin\nq = 0;\nif (en) q = d;\nend\nendmodule",
+        );
+        assert!(!cats.contains(&ErrorCategory::InferredLatch), "{cats:?}");
+    }
+
+    #[test]
+    fn case_without_default_flagged() {
+        let cats = warnings(
+            "module m(input [1:0] s, output reg y);\n\
+             always @* begin\ncase (s)\n2'd0: y = 0;\n2'd1: y = 1;\n\
+             2'd2: y = 0;\n2'd3: y = 1;\nendcase\nend\nendmodule",
+        );
+        assert!(cats.contains(&ErrorCategory::CaseMissingDefault), "{cats:?}");
+    }
+
+    #[test]
+    fn case_with_default_clean() {
+        let cats = warnings(
+            "module m(input [1:0] s, output reg y);\n\
+             always @* begin\ncase (s)\n2'd0: y = 0;\ndefault: y = 1;\nendcase\nend\nendmodule",
+        );
+        assert!(!cats.contains(&ErrorCategory::CaseMissingDefault), "{cats:?}");
+    }
+
+    #[test]
+    fn unused_signal_flagged() {
+        let cats = warnings(
+            "module m(input a, output y);\nwire unused_net;\nassign y = a;\nendmodule",
+        );
+        assert!(cats.contains(&ErrorCategory::UnusedSignal), "{cats:?}");
+    }
+
+    #[test]
+    fn used_signal_clean() {
+        let cats = warnings(
+            "module m(input a, output y);\nwire t;\nassign t = a;\nassign y = t;\nendmodule",
+        );
+        assert!(!cats.contains(&ErrorCategory::UnusedSignal), "{cats:?}");
+    }
+
+    #[test]
+    fn sequential_always_is_exempt_from_latch_lint() {
+        let cats = warnings(
+            "module m(input clk, input en, input d, output reg q);\n\
+             always @(posedge clk) if (en) q <= d;\nendmodule",
+        );
+        assert!(!cats.contains(&ErrorCategory::InferredLatch), "{cats:?}");
+    }
+
+    #[test]
+    fn lints_are_warnings_not_errors() {
+        let result = parse(
+            "module m(input en, input d, output reg q);\n\
+             always @* begin\nif (en) q = d;\nend\nendmodule",
+        );
+        let mut diags = Vec::new();
+        run(&result.file.modules[0], &mut diags);
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| !d.is_error()));
+    }
+}

@@ -1,0 +1,40 @@
+//! Elaboration-time semantic analysis.
+//!
+//! [`analyze_file`] builds per-module symbol tables ([`symbols`]) and then
+//! runs the semantic checks ([`checks`]) that produce the category-tagged
+//! diagnostics the rest of the system is built around: undeclared
+//! identifiers, out-of-range indices (including arithmetic ones discovered by
+//! unrolling constant loops — the paper's Figure 6 case), illegal l-values,
+//! port-connection mismatches and redeclarations.
+
+pub mod checks;
+pub mod lint;
+pub mod symbols;
+
+use crate::ast::SourceFile;
+use crate::diag::Diagnostic;
+
+pub use symbols::{FunctionSig, ModuleSymbols, SignalInfo};
+
+/// Runs full semantic analysis over a parsed file.
+///
+/// Returns the symbol tables (one per module, in file order) and all
+/// semantic diagnostics. Parser diagnostics are *not* included; callers
+/// combine them (see [`crate::compile`]).
+pub fn analyze_file(file: &SourceFile) -> (Vec<ModuleSymbols>, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
+    let mut tables = Vec::new();
+    for module in &file.modules {
+        let table = symbols::build(module, &mut diags);
+        tables.push(table);
+    }
+    for (module, table) in file.modules.iter().zip(&tables) {
+        checks::run(module, table, file, &mut diags);
+        lint::run(module, &mut diags);
+    }
+    // Loop unrolling can rediscover the same fault on every iteration;
+    // keep one diagnostic per (span, category).
+    diags.sort_by_key(|d| (d.span, d.category as u8, d.severity));
+    diags.dedup_by_key(|d| (d.span, d.category as u8));
+    (tables, diags)
+}

@@ -1,0 +1,391 @@
+//! Symbol-table construction for one module.
+
+use std::collections::HashMap;
+
+use crate::ast::{Declarator, Direction, Item, Module, NetKind, Port, RangeDecl};
+use crate::const_eval::{self, ConstEvalError};
+use crate::diag::{DiagData, Diagnostic, ErrorCategory};
+use crate::span::Span;
+
+/// Resolved information about one declared signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalInfo {
+    /// wire / reg / logic / integer.
+    pub kind: NetKind,
+    /// Port direction, if the signal is a port.
+    pub direction: Option<Direction>,
+    /// Declared signed.
+    pub signed: bool,
+    /// Resolved packed range bounds; `None` for scalars or unresolvable
+    /// (parameter-dependent, unresolved) ranges.
+    pub msb: Option<i64>,
+    /// See [`SignalInfo::msb`].
+    pub lsb: Option<i64>,
+    /// Unpacked (memory) dimension, resolved.
+    pub unpacked: Option<(i64, i64)>,
+    /// Declaration site.
+    pub span: Span,
+}
+
+impl SignalInfo {
+    /// Bit width of the packed dimension, if resolved. Scalars are 1 bit,
+    /// `integer` is 32 bits.
+    pub fn width(&self) -> Option<u32> {
+        if self.kind == NetKind::Integer && self.msb.is_none() {
+            return Some(32);
+        }
+        match (self.msb, self.lsb) {
+            (Some(msb), Some(lsb)) => Some(msb.abs_diff(lsb) as u32 + 1),
+            (None, None) => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Whether `index` falls inside the declared packed range.
+    /// Returns `None` when the range is unresolved (no check possible).
+    pub fn index_in_range(&self, index: i64) -> Option<bool> {
+        match (self.msb, self.lsb) {
+            (Some(msb), Some(lsb)) => {
+                let (lo, hi) = if msb >= lsb { (lsb, msb) } else { (msb, lsb) };
+                Some(index >= lo && index <= hi)
+            }
+            (None, None) => {
+                // Scalar: only index 0 is legal (and even that is unusual).
+                if self.kind == NetKind::Integer {
+                    Some((0..32).contains(&index))
+                } else {
+                    Some(index == 0)
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Signature of a user-defined function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionSig {
+    /// Return width, if resolved.
+    pub width: Option<u32>,
+    /// Argument names in order.
+    pub args: Vec<String>,
+}
+
+/// All names visible at module scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleSymbols {
+    /// Module name.
+    pub name: String,
+    /// Signals (ports + nets + variables).
+    pub signals: HashMap<String, SignalInfo>,
+    /// Resolved parameter values.
+    pub params: HashMap<String, i64>,
+    /// User functions.
+    pub functions: HashMap<String, FunctionSig>,
+    /// Declared genvars.
+    pub genvars: Vec<String>,
+}
+
+impl ModuleSymbols {
+    /// Looks up a signal.
+    pub fn signal(&self, name: &str) -> Option<&SignalInfo> {
+        self.signals.get(name)
+    }
+
+    /// Whether `name` resolves to anything at module scope.
+    pub fn resolves(&self, name: &str) -> bool {
+        self.signals.contains_key(name)
+            || self.params.contains_key(name)
+            || self.functions.contains_key(name)
+            || self.genvars.iter().any(|g| g == name)
+    }
+}
+
+fn resolve_range(
+    range: &Option<RangeDecl>,
+    params: &HashMap<String, i64>,
+) -> (Option<i64>, Option<i64>) {
+    match range {
+        None => (None, None),
+        Some(r) => {
+            let msb = const_eval::eval(&r.msb, params).ok();
+            let lsb = const_eval::eval(&r.lsb, params).ok();
+            match (msb, lsb) {
+                (Some(m), Some(l)) => (Some(m), Some(l)),
+                // Partially-resolved ranges are treated as unresolved so no
+                // spurious bound errors are emitted.
+                _ => (None, None),
+            }
+        }
+    }
+}
+
+/// Builds the symbol table for `module`, reporting redeclarations.
+pub fn build(module: &Module, diags: &mut Vec<Diagnostic>) -> ModuleSymbols {
+    let mut params: HashMap<String, i64> = HashMap::new();
+    // Parameters first (header, then body order) so ranges can use them.
+    for param in &module.header_params {
+        if let Ok(value) = const_eval::eval(&param.value, &params) {
+            params.insert(param.name.clone(), value);
+        }
+    }
+    for item in &module.items {
+        if let Item::Param(param) = item {
+            match const_eval::eval(&param.value, &params) {
+                Ok(value) => {
+                    params.insert(param.name.clone(), value);
+                }
+                Err(ConstEvalError::NonConst(_)) => {
+                    // Could reference signals (illegal but rare); leave it
+                    // unresolved rather than cascade errors.
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    let mut table = ModuleSymbols {
+        name: module.name.clone(),
+        signals: HashMap::new(),
+        params,
+        functions: HashMap::new(),
+        genvars: Vec::new(),
+    };
+
+    // Ports seed the signal table.
+    for port in &module.ports {
+        insert_port(&mut table, port, diags);
+    }
+
+    collect_items(&module.items, &mut table, diags);
+    table
+}
+
+fn insert_port(table: &mut ModuleSymbols, port: &Port, diags: &mut Vec<Diagnostic>) {
+    let (msb, lsb) = resolve_range(&port.range, &table.params);
+    let info = SignalInfo {
+        kind: port.kind.unwrap_or(NetKind::Wire),
+        direction: Some(port.direction),
+        signed: port.signed,
+        msb,
+        lsb,
+        unpacked: None,
+        span: port.span,
+    };
+    if table.signals.insert(port.name.clone(), info).is_some() {
+        diags.push(Diagnostic::error(
+            ErrorCategory::Redeclaration,
+            port.span,
+            DiagData::Redeclared { name: port.name.clone() },
+        ));
+    }
+}
+
+fn collect_items(items: &[Item], table: &mut ModuleSymbols, diags: &mut Vec<Diagnostic>) {
+    for item in items {
+        match item {
+            Item::Net { kind, signed, range, decls, .. } => {
+                for decl in decls {
+                    insert_net(table, *kind, *signed, range, decl, diags);
+                }
+            }
+            Item::PortDecl(_) => {
+                // Already merged into `module.ports` by the parser; the port
+                // insertion above covers it.
+            }
+            Item::Genvar { names, .. } => {
+                for (name, span) in names {
+                    if table.resolves(name) {
+                        diags.push(Diagnostic::error(
+                            ErrorCategory::Redeclaration,
+                            *span,
+                            DiagData::Redeclared { name: name.clone() },
+                        ));
+                    } else {
+                        table.genvars.push(name.clone());
+                    }
+                }
+            }
+            Item::Function { name, range, args, .. } => {
+                let (msb, lsb) = resolve_range(range, &table.params);
+                let width = match (msb, lsb) {
+                    (Some(m), Some(l)) => Some(m.abs_diff(l) as u32 + 1),
+                    _ => Some(1),
+                };
+                let sig = FunctionSig {
+                    width,
+                    args: args.iter().map(|a| a.name.clone()).collect(),
+                };
+                if table.functions.insert(name.clone(), sig).is_some() {
+                    diags.push(Diagnostic::error(
+                        ErrorCategory::Redeclaration,
+                        item.span(),
+                        DiagData::Redeclared { name: name.clone() },
+                    ));
+                }
+            }
+            Item::Generate { items, .. } => collect_items(items, table, diags),
+            Item::GenFor { items, .. } => collect_items(items, table, diags),
+            _ => {}
+        }
+    }
+}
+
+fn insert_net(
+    table: &mut ModuleSymbols,
+    kind: NetKind,
+    signed: bool,
+    range: &Option<RangeDecl>,
+    decl: &Declarator,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let (msb, lsb) = resolve_range(range, &table.params);
+    let unpacked = decl.unpacked.as_ref().and_then(|r| {
+        let m = const_eval::eval(&r.msb, &table.params).ok()?;
+        let l = const_eval::eval(&r.lsb, &table.params).ok()?;
+        Some((m, l))
+    });
+    match table.signals.get_mut(&decl.name) {
+        Some(existing) => {
+            // `output q; reg q;` — the body declaration *completes* a port
+            // that had no explicit kind. Anything else is a redeclaration.
+            let completes_port = existing.direction.is_some();
+            if completes_port {
+                existing.kind = kind;
+                if existing.msb.is_none() && msb.is_some() {
+                    existing.msb = msb;
+                    existing.lsb = lsb;
+                }
+                existing.signed |= signed;
+            } else {
+                diags.push(Diagnostic::error(
+                    ErrorCategory::Redeclaration,
+                    decl.span,
+                    DiagData::Redeclared { name: decl.name.clone() },
+                ));
+            }
+        }
+        None => {
+            table.signals.insert(
+                decl.name.clone(),
+                SignalInfo { kind, direction: None, signed, msb, lsb, unpacked, span: decl.span },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn table(src: &str) -> (ModuleSymbols, Vec<Diagnostic>) {
+        let result = parse(src);
+        assert!(result.diagnostics.iter().all(|d| !d.is_error()), "{:?}", result.diagnostics);
+        let mut diags = Vec::new();
+        let table = build(&result.file.modules[0], &mut diags);
+        (table, diags)
+    }
+
+    #[test]
+    fn ports_and_nets_resolve() {
+        let (t, diags) = table(
+            "module m(input [7:0] a, output reg [7:0] q);\nwire [3:0] tmp;\nassign tmp = a[3:0];\nendmodule",
+        );
+        assert!(diags.is_empty());
+        assert_eq!(t.signal("a").unwrap().width(), Some(8));
+        assert_eq!(t.signal("a").unwrap().direction, Some(Direction::Input));
+        assert_eq!(t.signal("q").unwrap().kind, NetKind::Reg);
+        assert_eq!(t.signal("tmp").unwrap().width(), Some(4));
+        assert!(!t.resolves("clk"));
+    }
+
+    #[test]
+    fn parameter_dependent_range_resolves() {
+        let (t, _) = table(
+            "module m #(parameter W = 16)(input [W-1:0] a, output [W-1:0] y);\nassign y = a;\nendmodule",
+        );
+        assert_eq!(t.signal("a").unwrap().width(), Some(16));
+        assert_eq!(t.params.get("W"), Some(&16));
+    }
+
+    #[test]
+    fn localparam_chains() {
+        let (t, _) = table(
+            "module m(input a, output y);\nlocalparam A = 4;\nlocalparam B = A * 2;\nassign y = a;\nendmodule",
+        );
+        assert_eq!(t.params.get("B"), Some(&8));
+    }
+
+    #[test]
+    fn body_decl_completes_port() {
+        let (t, diags) = table(
+            "module m(a, q);\ninput a;\noutput q;\nreg q;\nalways @(a) q <= a;\nendmodule",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(t.signal("q").unwrap().kind, NetKind::Reg);
+        assert_eq!(t.signal("q").unwrap().direction, Some(Direction::Output));
+    }
+
+    #[test]
+    fn duplicate_net_is_redeclaration() {
+        let (_, diags) =
+            table("module m(input a, output y);\nwire t;\nwire t;\nassign y = a;\nendmodule");
+        assert!(diags.iter().any(|d| d.category == ErrorCategory::Redeclaration));
+    }
+
+    #[test]
+    fn index_in_range_matrix() {
+        let info = SignalInfo {
+            kind: NetKind::Wire,
+            direction: None,
+            signed: false,
+            msb: Some(7),
+            lsb: Some(0),
+            unpacked: None,
+            span: Span::point(0),
+        };
+        assert_eq!(info.index_in_range(0), Some(true));
+        assert_eq!(info.index_in_range(7), Some(true));
+        assert_eq!(info.index_in_range(8), Some(false));
+        assert_eq!(info.index_in_range(-1), Some(false));
+    }
+
+    #[test]
+    fn scalar_index_only_zero() {
+        let info = SignalInfo {
+            kind: NetKind::Wire,
+            direction: None,
+            signed: false,
+            msb: None,
+            lsb: None,
+            unpacked: None,
+            span: Span::point(0),
+        };
+        assert_eq!(info.index_in_range(0), Some(true));
+        assert_eq!(info.index_in_range(1), Some(false));
+        assert_eq!(info.width(), Some(1));
+    }
+
+    #[test]
+    fn genvar_registration() {
+        let (t, _) = table(
+            "module m(input [3:0] a, output [3:0] y);\ngenvar i;\ngenerate\nfor (i = 0; i < 4; i = i + 1) begin : g\nassign y[i] = a[i];\nend\nendgenerate\nendmodule",
+        );
+        assert_eq!(t.genvars, vec!["i".to_owned()]);
+    }
+
+    #[test]
+    fn function_signature_recorded() {
+        let (t, _) = table(
+            "module m(input [7:0] a, output [3:0] y);\n\
+             function [3:0] f;\ninput [7:0] v;\nbegin f = v[3:0]; end\nendfunction\n\
+             assign y = f(a);\nendmodule",
+        );
+        let sig = t.functions.get("f").expect("function");
+        assert_eq!(sig.width, Some(4));
+        assert_eq!(sig.args, vec!["v".to_owned()]);
+    }
+
+    use crate::span::Span;
+}

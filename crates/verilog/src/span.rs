@@ -1,0 +1,226 @@
+//! Byte-offset spans and the [`SourceMap`] that converts them to
+//! human-readable line/column positions.
+//!
+//! Every token, AST node and diagnostic in this crate carries a [`Span`] so
+//! that compiler personalities (see the `rtlfixer-compilers` crate) can render
+//! messages such as `main.v:5: error: ...` exactly the way real tools do.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a single source file.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_verilog::span::Span;
+///
+/// let span = Span::new(4, 10);
+/// assert_eq!(span.len(), 6);
+/// assert!(!span.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(end >= start, "span end {end} precedes start {start}");
+        Span { start, end }
+    }
+
+    /// A zero-length span at `pos`, used for end-of-file diagnostics.
+    pub fn point(pos: u32) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// ```
+    /// use rtlfixer_verilog::span::Span;
+    /// let joined = Span::new(2, 5).join(Span::new(8, 11));
+    /// assert_eq!(joined, Span::new(2, 11));
+    /// ```
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Slice `source` with this span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for `source` or does not fall on
+    /// UTF-8 character boundaries.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position, as printed in compiler logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes within the line).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets to line/column positions for one source file.
+///
+/// # Examples
+///
+/// ```
+/// use rtlfixer_verilog::span::SourceMap;
+///
+/// let map = SourceMap::new("module m;\nendmodule\n");
+/// assert_eq!(map.line_col(0).line, 1);
+/// assert_eq!(map.line_col(10).line, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceMap {
+    /// Byte offsets at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl SourceMap {
+    /// Builds a map by scanning `source` for newlines.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (idx, byte) in source.bytes().enumerate() {
+            if byte == b'\n' {
+                line_starts.push(idx as u32 + 1);
+            }
+        }
+        SourceMap { line_starts, len: source.len() as u32 }
+    }
+
+    /// Number of lines in the file (a trailing newline does not add a line
+    /// unless characters follow it).
+    pub fn line_count(&self) -> u32 {
+        let n = self.line_starts.len() as u32;
+        if *self.line_starts.last().expect("non-empty") >= self.len && n > 1 {
+            n - 1
+        } else {
+            n
+        }
+    }
+
+    /// 1-based line/column of a byte offset. Offsets past the end clamp to
+    /// the final position.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// 1-based line number of a byte offset (convenience for log rendering).
+    pub fn line(&self, offset: u32) -> u32 {
+        self.line_col(offset).line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_is_commutative_and_covering() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.join(b), b.join(a));
+        assert_eq!(a.join(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_point_is_empty() {
+        assert!(Span::point(9).is_empty());
+        assert_eq!(Span::point(9).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn span_rejects_inverted_range() {
+        let _ = Span::new(5, 1);
+    }
+
+    #[test]
+    fn span_slice_extracts_text() {
+        let src = "module top;";
+        assert_eq!(Span::new(0, 6).slice(src), "module");
+    }
+
+    #[test]
+    fn line_col_first_line() {
+        let map = SourceMap::new("abc\ndef");
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(2), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn line_col_subsequent_lines() {
+        let map = SourceMap::new("abc\ndef\nghi");
+        assert_eq!(map.line_col(4), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(8), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(10), LineCol { line: 3, col: 3 });
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let map = SourceMap::new("ab");
+        assert_eq!(map.line_col(99), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn line_count_ignores_trailing_newline() {
+        assert_eq!(SourceMap::new("a\nb\n").line_count(), 2);
+        assert_eq!(SourceMap::new("a\nb\nc").line_count(), 3);
+        assert_eq!(SourceMap::new("").line_count(), 1);
+    }
+
+    #[test]
+    fn offset_on_newline_belongs_to_current_line() {
+        let map = SourceMap::new("ab\ncd");
+        // Offset 2 is the '\n' itself — still line 1.
+        assert_eq!(map.line_col(2), LineCol { line: 1, col: 3 });
+    }
+}

@@ -1,0 +1,490 @@
+//! Token definitions for the Verilog lexer.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// Verilog keywords recognised by the frontend (Verilog-2005 plus the few
+/// SystemVerilog extras that appear in LLM-generated code: `logic`,
+/// `always_comb`, `always_ff`, `int`, `bit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Logic,
+    Integer,
+    Int,
+    Bit,
+    Genvar,
+    Parameter,
+    Localparam,
+    Assign,
+    Always,
+    AlwaysComb,
+    AlwaysFf,
+    Initial,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Casex,
+    Endcase,
+    Default,
+    For,
+    While,
+    Repeat,
+    Posedge,
+    Negedge,
+    Or,
+    And,
+    Not,
+    Function,
+    Endfunction,
+    Task,
+    Endtask,
+    Generate,
+    Endgenerate,
+    Signed,
+    Unsigned,
+    Wait,
+    Forever,
+    Disable,
+    Deassign,
+    Force,
+    Release,
+}
+
+impl Keyword {
+    /// Maps an identifier-shaped string to a keyword, if it is one.
+    pub fn from_str(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match word {
+            "module" => Module,
+            "endmodule" => Endmodule,
+            "input" => Input,
+            "output" => Output,
+            "inout" => Inout,
+            "wire" => Wire,
+            "reg" => Reg,
+            "logic" => Logic,
+            "integer" => Integer,
+            "int" => Int,
+            "bit" => Bit,
+            "genvar" => Genvar,
+            "parameter" => Parameter,
+            "localparam" => Localparam,
+            "assign" => Assign,
+            "always" => Always,
+            "always_comb" => AlwaysComb,
+            "always_ff" => AlwaysFf,
+            "initial" => Initial,
+            "begin" => Begin,
+            "end" => End,
+            "if" => If,
+            "else" => Else,
+            "case" => Case,
+            "casez" => Casez,
+            "casex" => Casex,
+            "endcase" => Endcase,
+            "default" => Default,
+            "for" => For,
+            "while" => While,
+            "repeat" => Repeat,
+            "posedge" => Posedge,
+            "negedge" => Negedge,
+            "or" => Or,
+            "and" => And,
+            "not" => Not,
+            "function" => Function,
+            "endfunction" => Endfunction,
+            "task" => Task,
+            "endtask" => Endtask,
+            "generate" => Generate,
+            "endgenerate" => Endgenerate,
+            "signed" => Signed,
+            "unsigned" => Unsigned,
+            "wait" => Wait,
+            "forever" => Forever,
+            "disable" => Disable,
+            "deassign" => Deassign,
+            "force" => Force,
+            "release" => Release,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Module => "module",
+            Endmodule => "endmodule",
+            Input => "input",
+            Output => "output",
+            Inout => "inout",
+            Wire => "wire",
+            Reg => "reg",
+            Logic => "logic",
+            Integer => "integer",
+            Int => "int",
+            Bit => "bit",
+            Genvar => "genvar",
+            Parameter => "parameter",
+            Localparam => "localparam",
+            Assign => "assign",
+            Always => "always",
+            AlwaysComb => "always_comb",
+            AlwaysFf => "always_ff",
+            Initial => "initial",
+            Begin => "begin",
+            End => "end",
+            If => "if",
+            Else => "else",
+            Case => "case",
+            Casez => "casez",
+            Casex => "casex",
+            Endcase => "endcase",
+            Default => "default",
+            For => "for",
+            While => "while",
+            Repeat => "repeat",
+            Posedge => "posedge",
+            Negedge => "negedge",
+            Or => "or",
+            And => "and",
+            Not => "not",
+            Function => "function",
+            Endfunction => "endfunction",
+            Task => "task",
+            Endtask => "endtask",
+            Generate => "generate",
+            Endgenerate => "endgenerate",
+            Signed => "signed",
+            Unsigned => "unsigned",
+            Wait => "wait",
+            Forever => "forever",
+            Disable => "disable",
+            Deassign => "deassign",
+            Force => "force",
+            Release => "release",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Radix of a based number literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Base {
+    /// `'b`
+    Binary,
+    /// `'o`
+    Octal,
+    /// `'d` or an unbased literal
+    Decimal,
+    /// `'h`
+    Hex,
+}
+
+impl Base {
+    /// Numeric radix.
+    pub fn radix(self) -> u32 {
+        match self {
+            Base::Binary => 2,
+            Base::Octal => 8,
+            Base::Decimal => 10,
+            Base::Hex => 16,
+        }
+    }
+}
+
+/// A lexed token kind. Payload-bearing variants own their text so the parser
+/// does not need to keep slicing the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (simple or escaped; escaped identifiers are stored without
+    /// the leading backslash).
+    Ident(String),
+    /// System task/function identifier, stored without the `$`.
+    SystemIdent(String),
+    /// A reserved word.
+    Kw(Keyword),
+    /// Number literal: optional size, optional base, digit text (may contain
+    /// `x`/`z`/`?`/`_`), signedness flag from `'sd` style bases.
+    Number {
+        /// Bit width prefix, e.g. the `8` in `8'hFF`.
+        size: Option<u32>,
+        /// Radix; `None` for plain decimal literals like `42`.
+        base: Option<Base>,
+        /// Digit text with underscores removed.
+        digits: String,
+        /// Whether the base carried an `s` (signed) marker.
+        signed: bool,
+    },
+    /// String literal, stored without quotes and with escapes resolved.
+    Str(String),
+    /// Compiler directive such as `` `timescale 1ns/1ps ``: the directive
+    /// name (without the backtick) and the remainder of its line.
+    Directive {
+        /// Directive name without the backtick.
+        name: String,
+        /// Remainder of the directive line, trimmed.
+        rest: String,
+    },
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `@`
+    At,
+    /// `#`
+    Hash,
+    /// `?`
+    Question,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~&`
+    TildeAmp,
+    /// `~|`
+    TildePipe,
+    /// `~^` or `^~`
+    TildeCaret,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `===`
+    EqEqEq,
+    /// `!==`
+    NotEqEq,
+    /// `<`
+    Lt,
+    /// `<=` — context decides comparison vs non-blocking assignment.
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<<<`
+    AShl,
+    /// `>>>`
+    AShr,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `+:`
+    PlusColon,
+    /// `-:`
+    MinusColon,
+    /// `->`
+    Arrow,
+
+    // C-style tokens lexed explicitly so we can produce the paper's
+    // "confident in incorrect syntax" diagnostics (§5).
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `*=`
+    StarEq,
+    /// `/=`
+    SlashEq,
+
+    /// End of input.
+    Eof,
+    /// A character the lexer could not interpret.
+    Unknown(char),
+}
+
+impl TokenKind {
+    /// Human-readable rendering used in "syntax error near '…'" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => name.clone(),
+            TokenKind::SystemIdent(name) => format!("${name}"),
+            TokenKind::Kw(kw) => kw.as_str().to_owned(),
+            TokenKind::Number { digits, .. } => digits.clone(),
+            TokenKind::Str(text) => format!("\"{text}\""),
+            TokenKind::Directive { name, .. } => format!("`{name}"),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::LBracket => "[".into(),
+            TokenKind::RBracket => "]".into(),
+            TokenKind::LBrace => "{".into(),
+            TokenKind::RBrace => "}".into(),
+            TokenKind::Semi => ";".into(),
+            TokenKind::Comma => ",".into(),
+            TokenKind::Dot => ".".into(),
+            TokenKind::Colon => ":".into(),
+            TokenKind::At => "@".into(),
+            TokenKind::Hash => "#".into(),
+            TokenKind::Question => "?".into(),
+            TokenKind::Assign => "=".into(),
+            TokenKind::Plus => "+".into(),
+            TokenKind::Minus => "-".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::StarStar => "**".into(),
+            TokenKind::Slash => "/".into(),
+            TokenKind::Percent => "%".into(),
+            TokenKind::Bang => "!".into(),
+            TokenKind::Tilde => "~".into(),
+            TokenKind::Amp => "&".into(),
+            TokenKind::Pipe => "|".into(),
+            TokenKind::Caret => "^".into(),
+            TokenKind::TildeAmp => "~&".into(),
+            TokenKind::TildePipe => "~|".into(),
+            TokenKind::TildeCaret => "~^".into(),
+            TokenKind::EqEq => "==".into(),
+            TokenKind::NotEq => "!=".into(),
+            TokenKind::EqEqEq => "===".into(),
+            TokenKind::NotEqEq => "!==".into(),
+            TokenKind::Lt => "<".into(),
+            TokenKind::LtEq => "<=".into(),
+            TokenKind::Gt => ">".into(),
+            TokenKind::GtEq => ">=".into(),
+            TokenKind::Shl => "<<".into(),
+            TokenKind::Shr => ">>".into(),
+            TokenKind::AShl => "<<<".into(),
+            TokenKind::AShr => ">>>".into(),
+            TokenKind::AmpAmp => "&&".into(),
+            TokenKind::PipePipe => "||".into(),
+            TokenKind::PlusColon => "+:".into(),
+            TokenKind::MinusColon => "-:".into(),
+            TokenKind::Arrow => "->".into(),
+            TokenKind::PlusPlus => "++".into(),
+            TokenKind::MinusMinus => "--".into(),
+            TokenKind::PlusEq => "+=".into(),
+            TokenKind::MinusEq => "-=".into(),
+            TokenKind::StarEq => "*=".into(),
+            TokenKind::SlashEq => "/=".into(),
+            TokenKind::Eof => "end of file".into(),
+            TokenKind::Unknown(c) => c.to_string(),
+        }
+    }
+
+    /// Whether this token is one of the explicitly-lexed C-style operators.
+    pub fn is_c_style(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::PlusPlus
+                | TokenKind::MinusMinus
+                | TokenKind::PlusEq
+                | TokenKind::MinusEq
+                | TokenKind::StarEq
+                | TokenKind::SlashEq
+        )
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for word in ["module", "endmodule", "always_ff", "casez", "genvar"] {
+            let kw = Keyword::from_str(word).expect("keyword");
+            assert_eq!(kw.as_str(), word);
+        }
+        assert_eq!(Keyword::from_str("foo"), None);
+    }
+
+    #[test]
+    fn c_style_detection() {
+        assert!(TokenKind::PlusPlus.is_c_style());
+        assert!(TokenKind::PlusEq.is_c_style());
+        assert!(!TokenKind::Plus.is_c_style());
+        assert!(!TokenKind::LtEq.is_c_style());
+    }
+
+    #[test]
+    fn describe_is_source_like() {
+        assert_eq!(TokenKind::LtEq.describe(), "<=");
+        assert_eq!(TokenKind::Kw(Keyword::Begin).describe(), "begin");
+        assert_eq!(TokenKind::Ident("clk".into()).describe(), "clk");
+        assert_eq!(TokenKind::Eof.describe(), "end of file");
+    }
+
+    #[test]
+    fn base_radix() {
+        assert_eq!(Base::Binary.radix(), 2);
+        assert_eq!(Base::Hex.radix(), 16);
+    }
+}

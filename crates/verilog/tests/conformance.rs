@@ -1,0 +1,311 @@
+//! Frontend conformance matrix: a broad set of small Verilog snippets that
+//! must compile cleanly, and erroneous snippets that must produce exactly
+//! the expected error category.
+
+use rtlfixer_verilog::compile;
+use rtlfixer_verilog::diag::ErrorCategory;
+
+/// Snippets that must compile without errors.
+const CLEAN: &[(&str, &str)] = &[
+    ("empty_module", "module m; endmodule"),
+    ("scalar_ports", "module m(input a, input b, output y); assign y = a & b; endmodule"),
+    (
+        "vector_ports",
+        "module m(input [15:0] a, output [15:0] y); assign y = a; endmodule",
+    ),
+    (
+        "ascending_range",
+        "module m(input [0:7] a, output [0:7] y); assign y = a; endmodule",
+    ),
+    (
+        "signed_ports",
+        "module m(input signed [7:0] a, output signed [7:0] y); assign y = a; endmodule",
+    ),
+    (
+        "multiple_assign_targets",
+        "module m(input a, output x, output y); assign x = a, y = ~a; endmodule",
+    ),
+    (
+        "nested_ternary",
+        "module m(input [1:0] s, output [3:0] y);\n\
+         assign y = s[1] ? (s[0] ? 4'd3 : 4'd2) : (s[0] ? 4'd1 : 4'd0);\nendmodule",
+    ),
+    (
+        "reduction_ops",
+        "module m(input [7:0] a, output x, output y, output z);\n\
+         assign x = &a; assign y = ~|a; assign z = ^a; endmodule",
+    ),
+    (
+        "power_operator",
+        "module m(output [7:0] y); localparam P = 2 ** 3; assign y = P; endmodule",
+    ),
+    (
+        "case_equality",
+        "module m(input [3:0] a, output y); assign y = (a === 4'b1x0z); endmodule",
+    ),
+    (
+        "nested_begin_blocks",
+        "module m(input a, output reg y);\nalways @* begin\nbegin\ny = a;\nend\nend\nendmodule",
+    ),
+    (
+        "named_blocks",
+        "module m(input a, output reg y);\nalways @* begin : outer\ny = a;\nend\nendmodule",
+    ),
+    (
+        "while_loop",
+        "module m(input [3:0] a, output reg [3:0] y);\n\
+         integer i;\nalways @* begin\ny = 0;\ni = 0;\n\
+         while (i < 4) begin\ny = y + a[i];\ni = i + 1;\nend\nend\nendmodule",
+    ),
+    (
+        "repeat_loop",
+        "module m(output reg [3:0] y);\nalways @* begin\ny = 0;\nrepeat (4) y = y + 1;\nend\nendmodule",
+    ),
+    (
+        "initial_block",
+        "module m(output reg [7:0] q);\ninitial q = 8'hA5;\nendmodule",
+    ),
+    (
+        "display_task",
+        "module m(input a);\ninitial $display(\"a=%b\", a);\nendmodule",
+    ),
+    (
+        "memory_decl",
+        "module m(input [2:0] addr, output [7:0] q);\n\
+         reg [7:0] mem [0:7];\nassign q = mem[addr];\nendmodule",
+    ),
+    (
+        "wire_with_init",
+        "module m(output y); wire t = 1'b1; assign y = t; endmodule",
+    ),
+    (
+        "localparam_expression",
+        "module m(output [7:0] y);\nlocalparam W = 4;\nlocalparam M = (1 << W) - 1;\n\
+         assign y = M;\nendmodule",
+    ),
+    (
+        "clog2",
+        "module m(output [7:0] y); localparam B = $clog2(256); assign y = B; endmodule",
+    ),
+    (
+        "escaped_identifier",
+        "module m(input a, output y); wire \\my$wire ; assign \\my$wire = a; \
+         assign y = \\my$wire ; endmodule",
+    ),
+    (
+        "negedge_only",
+        "module m(input clk_n, input d, output reg q);\nalways @(negedge clk_n) q <= d;\nendmodule",
+    ),
+    (
+        "always_at_signal_list",
+        "module m(input a, input b, output reg y);\nalways @(a or b) y = a ^ b;\nendmodule",
+    ),
+    (
+        "comment_styles",
+        "// leading\nmodule m(input a, output y);\n/* block */ assign y = a; // trailing\nendmodule",
+    ),
+    (
+        "timescale_top",
+        "`timescale 1ns/1ps\nmodule m(input a, output y); assign y = a; endmodule",
+    ),
+    (
+        "sized_literal_widths",
+        "module m(output [63:0] y); assign y = 64'hDEAD_BEEF_CAFE_F00D; endmodule",
+    ),
+    (
+        "unbased_literal",
+        "module m(output [3:0] y); assign y = 'b1010; endmodule",
+    ),
+    (
+        "shift_by_signal",
+        "module m(input [7:0] a, input [2:0] s, output [7:0] y); assign y = a << s; endmodule",
+    ),
+    (
+        "arithmetic_shift",
+        "module m(input signed [7:0] a, output [7:0] y); assign y = a >>> 2; endmodule",
+    ),
+    (
+        "inout_port",
+        "module m(inout io, input oe, input d); assign io = oe ? d : 1'bz; endmodule",
+    ),
+];
+
+/// Snippets that must fail with (at least) the given category.
+const ERRONEOUS: &[(&str, &str, ErrorCategory)] = &[
+    (
+        "undeclared_rhs",
+        "module m(output y); assign y = ghost; endmodule",
+        ErrorCategory::UndeclaredIdentifier,
+    ),
+    (
+        "undeclared_sensitivity",
+        "module m(input d, output reg q); always @(posedge clk) q <= d; endmodule",
+        ErrorCategory::UndeclaredIdentifier,
+    ),
+    (
+        "undeclared_in_case",
+        "module m(input [1:0] s, output reg y);\nalways @* begin\ncase (s)\n\
+         2'd0: y = phantom;\ndefault: y = 0;\nendcase\nend\nendmodule",
+        ErrorCategory::UndeclaredIdentifier,
+    ),
+    (
+        "index_past_msb",
+        "module m(input [7:0] a, output y); assign y = a[8]; endmodule",
+        ErrorCategory::IndexOutOfRange,
+    ),
+    (
+        "negative_literal_index",
+        "module m(input [7:0] a, output [7:0] y); assign y[0] = a[0]; \
+         assign y[7:1] = a[7:1]; wire t; assign t = a[9]; endmodule",
+        ErrorCategory::IndexOutOfRange,
+    ),
+    (
+        "part_select_oob",
+        "module m(input [7:0] a, output [7:0] y); assign y = a[9:2]; endmodule",
+        ErrorCategory::IndexOutOfRange,
+    ),
+    (
+        "loop_index_arith",
+        "module m(input [7:0] a, output reg [7:0] y);\ninteger i;\n\
+         always @* begin\nfor (i = 0; i < 8; i = i + 1) y[i] = a[i + 1];\nend\nendmodule",
+        ErrorCategory::IndexArithmetic,
+    ),
+    (
+        "wire_in_always",
+        "module m(input a, output y); always @(a) y = a; endmodule",
+        ErrorCategory::IllegalProceduralLvalue,
+    ),
+    (
+        "reg_in_assign",
+        "module m(input a, output reg y); assign y = a; endmodule",
+        ErrorCategory::IllegalContinuousLvalue,
+    ),
+    (
+        "assign_to_input",
+        "module m(input a, input b, output y); assign a = b; assign y = a; endmodule",
+        ErrorCategory::AssignToInput,
+    ),
+    (
+        "unknown_module",
+        "module m(input a, output y); nothere u(.p(a), .q(y)); endmodule",
+        ErrorCategory::UnknownModule,
+    ),
+    (
+        "bad_port_name",
+        "module c(input x, output z); assign z = x; endmodule\n\
+         module m(input a, output y); c u(.x(a), .zz(y)); endmodule",
+        ErrorCategory::PortConnectionMismatch,
+    ),
+    (
+        "positional_arity",
+        "module c(input x, input w, output z); assign z = x & w; endmodule\n\
+         module m(input a, output y); c u(a, y); endmodule",
+        ErrorCategory::PortConnectionMismatch,
+    ),
+    (
+        "double_decl",
+        "module m(input a, output y); wire t; wire t; assign y = a; endmodule",
+        ErrorCategory::Redeclaration,
+    ),
+    (
+        "missing_semi",
+        "module m(input a, output y); assign y = a endmodule",
+        ErrorCategory::SyntaxError,
+    ),
+    (
+        "missing_end",
+        "module m(input a, output reg y); always @* begin y = a; endmodule",
+        ErrorCategory::UnbalancedBlock,
+    ),
+    (
+        "missing_endmodule",
+        "module m(input a, output y); assign y = a;",
+        ErrorCategory::UnbalancedBlock,
+    ),
+    (
+        "missing_endcase",
+        "module m(input [1:0] s, output reg y);\nalways @* begin\ncase (s)\n\
+         2'd0: y = 0;\ndefault: y = 1;\nend\nendmodule",
+        ErrorCategory::UnbalancedBlock,
+    ),
+    (
+        "cpp_increment",
+        "module m(input [7:0] a, output reg [7:0] y);\ninteger i;\n\
+         always @* begin\nfor (i = 0; i < 8; i++) y[i] = a[i];\nend\nendmodule",
+        ErrorCategory::CStyleConstruct,
+    ),
+    (
+        "cpp_compound",
+        "module m(input [7:0] a, output reg [7:0] s);\n\
+         always @* begin\ns = 0;\ns += a;\nend\nendmodule",
+        ErrorCategory::CStyleConstruct,
+    ),
+    (
+        "timescale_in_body",
+        "module m(input a, output y);\n`timescale 1ns/1ps\nassign y = a;\nendmodule",
+        ErrorCategory::MisplacedDirective,
+    ),
+    (
+        "keyword_name",
+        "module m(input a, output y); wire disable; assign disable = a; \
+         assign y = disable; endmodule",
+        ErrorCategory::KeywordAsIdentifier,
+    ),
+    (
+        "always_without_sensitivity",
+        "module m(input a, output reg y); always begin y = a; end endmodule",
+        ErrorCategory::SyntaxError,
+    ),
+];
+
+#[test]
+fn clean_snippets_compile() {
+    for (name, src) in CLEAN {
+        let analysis = compile(src);
+        assert!(
+            analysis.is_ok(),
+            "{name}: unexpected errors {:?}",
+            analysis.errors()
+        );
+    }
+}
+
+#[test]
+fn erroneous_snippets_report_expected_category() {
+    for (name, src, category) in ERRONEOUS {
+        let analysis = compile(src);
+        let cats: Vec<ErrorCategory> =
+            analysis.errors().iter().map(|d| d.category).collect();
+        assert!(
+            cats.contains(category),
+            "{name}: expected {category:?}, got {cats:?}"
+        );
+    }
+}
+
+#[test]
+fn diagnostics_all_carry_spans_within_source() {
+    for (_, src, _) in ERRONEOUS {
+        let analysis = compile(src);
+        for diag in &analysis.diagnostics {
+            assert!(
+                diag.span.end as usize <= src.len() + 1,
+                "span {:?} outside source of {} bytes",
+                diag.span,
+                src.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn headlines_are_nonempty_and_lowercase_style() {
+    for (_, src, _) in ERRONEOUS {
+        let analysis = compile(src);
+        for diag in analysis.errors() {
+            let headline = diag.headline();
+            assert!(!headline.is_empty());
+            assert!(!headline.ends_with('.'), "no trailing period: {headline}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Reproduces the paper's **Figure 5**: the same bug (undeclared `clk` in
+//! `vector100r`) through the iverilog and Quartus log personalities,
+//! showing the informativeness gap that drives the §4.3.1 ablation.
+//!
+//! Run with `cargo run --example compare_compilers`.
+
+use rtlfixer::compilers::CompilerKind;
+
+fn main() {
+    let erroneous = "module top_module (\n\
+                     \u{20}   input [99:0] in,\n\
+                     \u{20}   output reg [99:0] out\n\
+                     );\n\
+                     always @(posedge clk) begin\n\
+                     \u{20}   for (int i = 0; i < 100; i = i + 1) begin\n\
+                     \u{20}       out[i] <= in[99 - i];\n\
+                     \u{20}   end\n\
+                     end\n\
+                     endmodule\n";
+
+    println!("Task ID: vector100r\n\n=== Erroneous Implementation ===\n{erroneous}");
+    for kind in [CompilerKind::Iverilog, CompilerKind::Quartus] {
+        let compiler = kind.build();
+        let outcome = compiler.compile(erroneous, "vector100r.sv");
+        println!("=== {} ===\n{}\n", compiler.name(), outcome.log);
+        println!(
+            "(carries tags: {}, informativeness: {:.2})\n",
+            compiler.quality().carries_tags,
+            compiler.quality().informativeness
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduces the paper's **Figure 6** failure case: an index-arithmetic
+//! error (`q[(i-1)*16 + (j-1)]` going to -17) that the LLM cannot solve
+//! even with ReAct and RAG — the residual 1.5% of Table 1's best cell.
+//!
+//! Run with `cargo run --example failure_case`.
+
+use rtlfixer::agent::{RtlFixerBuilder, Strategy};
+use rtlfixer::compilers::CompilerKind;
+use rtlfixer::llm::{Capability, SimulatedLlm};
+
+fn main() {
+    let erroneous = "module top_module(input [255:0] q, output [255:0] next);\n\
+                     genvar i, j;\n\
+                     generate\n\
+                     for (i = 0; i < 16; i = i + 1) begin : row\n\
+                     \u{20} for (j = 0; j < 16; j = j + 1) begin : col\n\
+                     \u{20}   assign next[i*16 + j] = q[(i-1)*16 + (j-1)];\n\
+                     \u{20} end\n\
+                     end\n\
+                     endgenerate\n\
+                     endmodule\n";
+
+    let compiler = CompilerKind::Quartus.build();
+    let log = rtlfixer::compilers::Compiler::compile(compiler.as_ref(), erroneous, "conwaylife.sv");
+    println!("=== Compile Error (Figure 6) ===\n{}\n", log.log);
+
+    let mut failures = 0;
+    let runs = 10;
+    for seed in 0..runs {
+        let llm = SimulatedLlm::new(Capability::Gpt35Class, seed);
+        let mut fixer = RtlFixerBuilder::new()
+            .compiler(CompilerKind::Quartus)
+            .strategy(Strategy::React { max_iterations: 10 })
+            .with_rag(true)
+            .build(llm);
+        if !fixer.fix(erroneous).success {
+            failures += 1;
+        }
+    }
+    println!("ReAct + RAG + Quartus failed {failures}/{runs} episodes on this sample.");
+    println!("(\"LLM failed to calculate array indices in the for loop\" — §5)");
+}

@@ -1,0 +1,27 @@
+//! Measures pass@1 before and after syntax fixing on a slice of
+//! VerilogEval-Human — a miniature of the Table 2 experiment.
+//!
+//! Run with `cargo run --release --example pass_at_k`.
+
+use rtlfixer::eval::experiments::table2::{evaluate_suite, PassAtKConfig};
+
+fn main() {
+    let problems = rtlfixer::dataset::verilog_eval_human();
+    let config = PassAtKConfig { samples: 10, max_problems: Some(24), seed: 11 };
+    let result = evaluate_suite("Human", &problems, &config);
+    for row in &result.rows {
+        println!(
+            "{:<5} ({} problems): pass@1 {:.3} -> {:.3}, pass@5 {:.3} -> {:.3}",
+            row.set,
+            row.problems,
+            row.pass1_original,
+            row.pass1_fixed,
+            row.pass5_original,
+            row.pass5_fixed
+        );
+    }
+    println!(
+        "syntax-failure share of generated samples: {:.3} -> {:.3}",
+        result.syntax_failure_rate, result.syntax_failure_rate_fixed
+    );
+}

@@ -1,0 +1,44 @@
+//! Quickstart: fix the paper's Figure 2a bug (an out-of-range index) with
+//! the default RTLFixer configuration (ReAct + RAG + Quartus feedback).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rtlfixer::agent::{RtlFixerBuilder, Strategy};
+use rtlfixer::compilers::CompilerKind;
+use rtlfixer::llm::{Capability, SimulatedLlm};
+
+fn main() {
+    // Figure 2a: "Given an 8-bit input vector [7:0], reverse its bit
+    // ordering." — the erroneous implementation indexes out[8].
+    let problem = "Given an 8-bit input vector [7:0], reverse its bit ordering.";
+    let erroneous = "module top_module (\n\
+                     \u{20}   input [7:0] in,\n\
+                     \u{20}   output [7:0] out\n\
+                     );\n\
+                     assign {out[0],out[1],out[2],out[3],out[4],out[5],out[6],out[8]} = in;\n\
+                     endmodule\n";
+
+    println!("=== Erroneous implementation ===\n{erroneous}");
+
+    // What the compiler says about it (Figure 2a's feedback section):
+    let compiler = CompilerKind::Iverilog.build();
+    let outcome = rtlfixer::compilers::Compiler::compile(compiler.as_ref(), erroneous, "main.v");
+    println!("=== iverilog feedback ===\n{}\n", outcome.log);
+
+    // The full RTLFixer loop.
+    let llm = SimulatedLlm::new(Capability::Gpt35Class, 2024);
+    let mut fixer = RtlFixerBuilder::new()
+        .compiler(CompilerKind::Quartus)
+        .strategy(Strategy::React { max_iterations: 10 })
+        .with_rag(true)
+        .build(llm);
+    let outcome = fixer.fix_problem(problem, erroneous);
+
+    println!("=== RTLFixer outcome ===");
+    println!("success:   {}", outcome.success);
+    println!("revisions: {}", outcome.revisions);
+    println!("initial error categories: {:?}", outcome.initial_categories);
+    println!("\n=== Fixed implementation ===\n{}", outcome.final_code);
+
+    assert!(outcome.success, "the quickstart bug should always be fixable");
+}

@@ -1,0 +1,36 @@
+//! Prints a full ReAct Thought / Action / Observation transcript in the
+//! style of the paper's Figure 2c, for the phantom-`clk` bug of Figure 5.
+//!
+//! Run with `cargo run --example react_trace`.
+
+use rtlfixer::agent::{RtlFixerBuilder, Strategy};
+use rtlfixer::agent::prompts::REACT_INSTRUCTION;
+use rtlfixer::compilers::CompilerKind;
+use rtlfixer::llm::{Capability, SimulatedLlm};
+
+fn main() {
+    let erroneous = "module top_module (\n\
+                     \u{20}   input [99:0] in,\n\
+                     \u{20}   output reg [99:0] out\n\
+                     );\n\
+                     always @(posedge clk) begin\n\
+                     \u{20}   out <= in;\n\
+                     end\n\
+                     endmodule\n";
+
+    println!("=== ReAct instruction (system prompt, Figure 2b) ===\n{REACT_INSTRUCTION}\n");
+
+    let llm = SimulatedLlm::new(Capability::Gpt35Class, 7);
+    let mut fixer = RtlFixerBuilder::new()
+        .compiler(CompilerKind::Quartus)
+        .strategy(Strategy::React { max_iterations: 10 })
+        .with_rag(true)
+        .build(llm);
+    let outcome = fixer.fix_problem(
+        "Reverse the bit ordering of a 100-bit vector on each clock cycle.",
+        erroneous,
+    );
+
+    println!("=== Episode transcript (Figure 2c style) ===\n{}", outcome.trace);
+    println!("final: success={} after {} revision(s)", outcome.success, outcome.revisions);
+}

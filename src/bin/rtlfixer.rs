@@ -1,0 +1,189 @@
+//! `rtlfixer` — command-line syntax fixing for Verilog files.
+//!
+//! ```text
+//! USAGE:
+//!   rtlfixer fix <file.v> [--compiler simple|iverilog|quartus]
+//!                         [--one-shot | --react <N>] [--no-rag]
+//!                         [--llm gpt35|gpt4] [--seed <u64>]
+//!                         [--trace] [--in-place | -o <out.v>]
+//!   rtlfixer check <file.v> [--compiler iverilog|quartus]
+//!   rtlfixer dataset [--seed <u64>] [--limit <N>]
+//! ```
+//!
+//! `fix` runs the RTLFixer loop on a file and prints (or writes) the fixed
+//! source; the exit code is 0 on success, 1 when errors remain. `check`
+//! just compiles and prints the personality's log. `dataset` dumps
+//! VerilogEval-syntax entries as JSON lines.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rtlfixer::agent::{RtlFixerBuilder, Strategy};
+use rtlfixer::compilers::CompilerKind;
+use rtlfixer::llm::{Capability, SimulatedLlm};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                flags.push(arg);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    fn value_of(&self, flag: &str) -> Option<String> {
+        // Flags take values as `--flag=value` or via the next positional.
+        self.flags
+            .iter()
+            .find_map(|f| f.strip_prefix(&format!("{flag}=")).map(str::to_owned))
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rtlfixer fix <file.v> [--compiler=simple|iverilog|quartus] \
+         [--one-shot] [--react=N] [--no-rag] [--llm=gpt35|gpt4] [--seed=N] \
+         [--trace] [--in-place] [--out=FILE]\n  rtlfixer check <file.v> \
+         [--compiler=iverilog|quartus]\n  rtlfixer dataset [--seed=N] [--limit=N]"
+    );
+    ExitCode::from(2)
+}
+
+fn compiler_kind(args: &Args) -> CompilerKind {
+    match args.value_of("--compiler").as_deref() {
+        Some("simple") => CompilerKind::Simple,
+        Some("iverilog") => CompilerKind::Iverilog,
+        _ => CompilerKind::Quartus,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    match args.positional.first().map(String::as_str) {
+        Some("fix") => cmd_fix(&args),
+        Some("check") => cmd_check(&args),
+        Some("dataset") => cmd_dataset(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_fix(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.get(1).map(PathBuf::from) else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("rtlfixer: cannot read {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let strategy = if args.has("--one-shot") {
+        Strategy::OneShot
+    } else {
+        let n = args
+            .value_of("--react")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Strategy::React { max_iterations: n }
+    };
+    let capability = match args.value_of("--llm").as_deref() {
+        Some("gpt4") => Capability::Gpt4Class,
+        _ => Capability::Gpt35Class,
+    };
+    let seed = args.value_of("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+
+    let llm = SimulatedLlm::new(capability, seed);
+    let mut fixer = RtlFixerBuilder::new()
+        .compiler(compiler_kind(args))
+        .strategy(strategy)
+        .with_rag(!args.has("--no-rag"))
+        .build(llm);
+    let outcome = fixer.fix(&source);
+
+    if args.has("--trace") {
+        eprintln!("{}", outcome.trace);
+    }
+    eprintln!(
+        "rtlfixer: {} after {} revision(s); initial categories: {:?}",
+        if outcome.success { "fixed" } else { "NOT fixed" },
+        outcome.revisions,
+        outcome.initial_categories
+    );
+
+    if args.has("--in-place") {
+        if let Err(err) = std::fs::write(&path, &outcome.final_code) {
+            eprintln!("rtlfixer: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    } else if let Some(out) = args.value_of("--out") {
+        if let Err(err) = std::fs::write(&out, &outcome.final_code) {
+            eprintln!("rtlfixer: cannot write {out}: {err}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        print!("{}", outcome.final_code);
+    }
+    if outcome.success {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_check(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.get(1).map(PathBuf::from) else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("rtlfixer: cannot read {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiler = compiler_kind(args).build();
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "main.sv".to_owned());
+    let outcome = compiler.compile(&source, &file_name);
+    println!("{}", outcome.log);
+    if outcome.success {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_dataset(args: &Args) -> ExitCode {
+    let seed = args.value_of("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let limit = args.value_of("--limit").and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
+    for entry in rtlfixer::dataset::verilog_eval_syntax(seed).into_iter().take(limit) {
+        println!(
+            "{}",
+            serde_json::json!({
+                "problem_id": entry.problem_id,
+                "description": entry.description,
+                "code": entry.code,
+                "categories": entry.categories.iter().map(|c| c.slug()).collect::<Vec<_>>(),
+            })
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,52 @@
+//! # rtlfixer
+//!
+//! Umbrella crate for the RTLFixer reproduction (Tsai, Liu, Ren — DAC 2024:
+//! *"RTLFixer: Automatically Fixing RTL Syntax Errors with Large Language
+//! Models"*).
+//!
+//! RTLFixer is an autonomous-agent debugging loop: a language model revises
+//! erroneous Verilog, a compiler provides feedback, and a retrieval database
+//! of human expert guidance (RAG) is consulted for hard error categories.
+//! This workspace implements the full system in Rust — see `DESIGN.md` for
+//! the architecture and the substitution notes.
+//!
+//! Each subsystem lives in its own crate, re-exported here under a short
+//! name:
+//!
+//! * [`verilog`] — lexer / parser / semantic analysis substrate
+//! * [`compilers`] — iverilog- and Quartus-style diagnostic personalities
+//! * [`sim`] — cycle-level simulator and golden-model testbench harness
+//! * [`llm`] — the simulated language model (repair operators + competence)
+//! * [`rag`] — error-category guidance database and retrievers
+//! * [`agent`] — the RTLFixer loop itself (One-shot and ReAct strategies)
+//! * [`dataset`] — VerilogEval-style benchmarks and the syntax-error dataset
+//! * [`eval`] — metrics (fix rate, pass@k) and per-table experiment drivers
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rtlfixer::agent::{RtlFixerBuilder, Strategy};
+//! use rtlfixer::compilers::CompilerKind;
+//! use rtlfixer::llm::{Capability, SimulatedLlm};
+//!
+//! let broken = "module m(input [7:0] in, output reg [7:0] out);
+//!               always @(posedge clk) out <= in;
+//!               endmodule";
+//! let llm = SimulatedLlm::new(Capability::Gpt35Class, 42);
+//! let mut fixer = RtlFixerBuilder::new()
+//!     .compiler(CompilerKind::Quartus)
+//!     .strategy(Strategy::React { max_iterations: 10 })
+//!     .with_rag(true)
+//!     .build(llm);
+//! let outcome = fixer.fix(broken);
+//! assert!(outcome.success);
+//! ```
+
+pub use rtlfixer_agent as agent;
+pub use rtlfixer_compilers as compilers;
+pub use rtlfixer_dataset as dataset;
+pub use rtlfixer_eval as eval;
+pub use rtlfixer_llm as llm;
+pub use rtlfixer_rag as rag;
+pub use rtlfixer_sim as sim;
+pub use rtlfixer_verilog as verilog;

@@ -1,0 +1,110 @@
+//! End-to-end tests of the `rtlfixer` CLI binary.
+
+use std::process::Command;
+
+fn rtlfixer() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rtlfixer"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("rtlfixer_cli_test_{name}"));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let output = rtlfixer().output().expect("runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
+}
+
+#[test]
+fn check_reports_errors_and_exit_code() {
+    let path = write_temp(
+        "check_bad.v",
+        "module m(output reg q); always @(posedge clk) q <= 1; endmodule\n",
+    );
+    let output = rtlfixer()
+        .args(["check", path.to_str().expect("utf8"), "--compiler=quartus"])
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Error (10161)"), "{stdout}");
+}
+
+#[test]
+fn check_passes_clean_file() {
+    let path = write_temp(
+        "check_ok.v",
+        "module m(input a, output y); assign y = ~a; endmodule\n",
+    );
+    let output = rtlfixer()
+        .args(["check", path.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(0));
+}
+
+#[test]
+fn fix_repairs_phantom_clk_to_stdout() {
+    let path = write_temp(
+        "fix_clk.v",
+        "module m(input [7:0] in, output reg [7:0] out);\n\
+         always @(posedge clk) out <= in;\nendmodule\n",
+    );
+    let output = rtlfixer()
+        .args(["fix", path.to_str().expect("utf8"), "--llm=gpt4", "--seed=7"])
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(0), "{}", String::from_utf8_lossy(&output.stderr));
+    let fixed = String::from_utf8_lossy(&output.stdout);
+    assert!(rtlfixer_verilog_compiles(&fixed), "{fixed}");
+    // The original file is untouched without --in-place.
+    let original = std::fs::read_to_string(&path).expect("read back");
+    assert!(original.contains("posedge clk"));
+}
+
+#[test]
+fn fix_writes_output_file() {
+    let input = write_temp(
+        "fix_semi.v",
+        "module m(input a, output y);\nassign y = a\nendmodule\n",
+    );
+    let out_path = std::env::temp_dir().join("rtlfixer_cli_test_fixed.v");
+    let _ = std::fs::remove_file(&out_path);
+    let output = rtlfixer()
+        .args([
+            "fix",
+            input.to_str().expect("utf8"),
+            "--llm=gpt4",
+            "--seed=3",
+            &format!("--out={}", out_path.display()),
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(0), "{}", String::from_utf8_lossy(&output.stderr));
+    let fixed = std::fs::read_to_string(&out_path).expect("output written");
+    assert!(rtlfixer_verilog_compiles(&fixed), "{fixed}");
+}
+
+#[test]
+fn dataset_dumps_json_lines() {
+    let output = rtlfixer()
+        .args(["dataset", "--limit=3"])
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for line in lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"problem_id\""));
+    }
+}
+
+fn rtlfixer_verilog_compiles(source: &str) -> bool {
+    rtlfixer::verilog::compile(source).is_ok()
+}

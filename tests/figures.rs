@@ -1,0 +1,102 @@
+//! Integration tests pinning the paper's *qualitative* figure content:
+//! the exact example bugs, logs and behaviours shown in Figures 2, 3, 5
+//! and 6.
+
+use rtlfixer::compilers::CompilerKind;
+use rtlfixer::rag::{DefaultRetriever, GuidanceDatabase, RetrievalQuery, Retriever};
+
+/// Figure 2a: the reverse-bit-order implementation indexing `out[8]`.
+const FIG2A: &str = "module top_module (\n\
+                     \u{20}   input [7:0] in,\n\
+                     \u{20}   output [7:0] out\n\
+                     );\n\
+                     assign {out[0],out[1],out[2],out[3],out[4],out[5],out[6],out[8]} = in;\n\
+                     endmodule\n";
+
+/// Figure 5: the vector100r implementation with the phantom `clk`.
+const FIG5: &str = "module top_module (\n\
+                    \u{20}   input [99:0] in,\n\
+                    \u{20}   output reg [99:0] out\n\
+                    );\n\
+                    always @(posedge clk) begin\n\
+                    \u{20}   for (int i = 0; i < 100; i = i + 1) begin\n\
+                    \u{20}       out[i] <= in[99 - i];\n\
+                    \u{20}   end\n\
+                    end\n\
+                    endmodule\n";
+
+#[test]
+fn figure2a_iverilog_feedback_line() {
+    // Paper: "main.v:5: error: Index out[8] is out of range.
+    //         1 error(s) during elaboration."
+    let outcome = CompilerKind::Iverilog.build().compile(FIG2A, "main.v");
+    assert!(outcome.log.contains("error: Index out[8] is out of range."));
+    assert!(outcome.log.contains("1 error(s) during elaboration."));
+}
+
+#[test]
+fn figure5_both_compiler_logs() {
+    let iverilog = CompilerKind::Iverilog.build().compile(FIG5, "vector100r.sv");
+    assert!(
+        iverilog
+            .log
+            .contains("error: Unable to bind wire/reg/memory 'clk' in 'top_module'"),
+        "{}",
+        iverilog.log
+    );
+    let quartus = CompilerKind::Quartus.build().compile(FIG5, "vector100r.sv");
+    assert!(
+        quartus.log.contains(
+            "Error (10161): Verilog HDL error at vector100r.sv(5): object \"clk\" is not \
+             declared. Verify the object name is correct. If the name is correct, declare \
+             the object."
+        ),
+        "{}",
+        quartus.log
+    );
+    assert!(quartus.log.contains("Quartus Prime Analysis & Synthesis was unsuccessful"));
+}
+
+#[test]
+fn figure3_guidance_retrieved_for_figure5_log() {
+    // The RAG[..] action on the Figure 5 Quartus log must surface the
+    // Figure 3 guidance ("replace 'posedge clk' with '*'").
+    let quartus = CompilerKind::Quartus.build().compile(FIG5, "vector100r.sv");
+    let db = GuidanceDatabase::quartus();
+    let hits = DefaultRetriever::new().retrieve(&db, &RetrievalQuery::from_log(quartus.log));
+    assert!(!hits.is_empty());
+    assert!(
+        hits.iter().any(|h| h.entry.guidance.contains("replace 'posedge clk' with '*'")),
+        "figure-3 guidance missing from {:?}",
+        hits.iter().map(|h| &h.entry.id).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn figure6_quartus_reports_negative_index() {
+    let fig6 = "module top_module(input [255:0] q, output [255:0] next);\n\
+                genvar i, j;\n\
+                generate\n\
+                for (i = 0; i < 16; i = i + 1) begin : row\n\
+                  for (j = 0; j < 16; j = j + 1) begin : col\n\
+                    assign next[i*16 + j] = q[(i-1)*16 + (j-1)];\n\
+                  end\n\
+                end\n\
+                endgenerate\n\
+                endmodule\n";
+    let outcome = CompilerKind::Quartus.build().compile(fig6, "conwaylife.sv");
+    // Paper: "index -17 cannot fall outside the declared range [255:0]".
+    assert!(
+        outcome.log.contains("index -17 cannot fall outside the declared range [255:0]"),
+        "{}",
+        outcome.log
+    );
+}
+
+#[test]
+fn figure2b_actions_are_the_react_action_space() {
+    use rtlfixer::agent::prompts::REACT_INSTRUCTION;
+    for action in ["Compiler[code]", "Finish[answer]", "RAG[logs]"] {
+        assert!(REACT_INSTRUCTION.contains(action), "missing {action}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) on the core invariants: frontend
+//! totality, logic-vector algebra, metric bounds, text-similarity laws and
+//! repair-operator soundness.
+
+use proptest::prelude::*;
+
+use rtlfixer::agent::prefixer::prefix_fix;
+use rtlfixer::eval::pass_at_k;
+use rtlfixer::rag::text::{jaccard_distance, jaccard_similarity};
+use rtlfixer::sim::value::LogicVec;
+use rtlfixer::verilog::compile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- frontend totality --------------------------------------------
+
+    /// The compiler pipeline never panics, whatever bytes come in.
+    #[test]
+    fn compile_never_panics(source in ".{0,400}") {
+        let _ = compile(&source);
+    }
+
+    /// Verilog-looking fragments never panic either.
+    #[test]
+    fn compile_never_panics_on_verilog_shaped_input(
+        body in "(assign [a-z]+ = [a-z0-9&|^~ ]+;\n){0,5}"
+    ) {
+        let source = format!("module m(input a, output y);\n{body}endmodule");
+        let _ = compile(&source);
+    }
+
+    /// The pre-fixer is idempotent.
+    #[test]
+    fn prefixer_is_idempotent(source in ".{0,300}") {
+        let once = prefix_fix(&source);
+        let twice = prefix_fix(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    // ---- logic-vector algebra ------------------------------------------
+
+    #[test]
+    fn logicvec_u64_round_trip(width in 1u32..=64, value: u64) {
+        let masked = if width == 64 { value } else { value & ((1 << width) - 1) };
+        let v = LogicVec::from_u64(width, value);
+        prop_assert_eq!(v.to_u64(), Some(masked));
+        prop_assert_eq!(v.width(), width);
+    }
+
+    #[test]
+    fn add_matches_wrapping_arithmetic(width in 1u32..=64, a: u64, b: u64) {
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        prop_assert_eq!(va.add(&vb).to_u64(), Some((a & mask).wrapping_add(b & mask) & mask));
+    }
+
+    #[test]
+    fn sub_is_add_inverse(width in 1u32..=48, a: u64, b: u64) {
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        let round_trip = va.add(&vb).sub(&vb);
+        prop_assert_eq!(round_trip.to_u64(), va.to_u64());
+    }
+
+    #[test]
+    fn not_is_involutive(width in 1u32..=100, value: u64) {
+        let v = LogicVec::from_u64(width, value);
+        prop_assert_eq!(v.not().not(), v);
+    }
+
+    #[test]
+    fn concat_then_slice_recovers_parts(wa in 1u32..=32, wb in 1u32..=32, a: u64, b: u64) {
+        let va = LogicVec::from_u64(wa, a);
+        let vb = LogicVec::from_u64(wb, b);
+        let joined = va.concat(&vb);
+        prop_assert_eq!(joined.width(), wa + wb);
+        prop_assert_eq!(joined.slice(wb - 1 + wa, wb), va);
+        prop_assert_eq!(joined.slice(wb - 1, 0), vb);
+    }
+
+    #[test]
+    fn resize_widen_preserves_value(width in 1u32..=48, extra in 1u32..=48, value: u64) {
+        let v = LogicVec::from_u64(width, value);
+        prop_assert_eq!(v.resize(width + extra).to_u64(), v.to_u64());
+    }
+
+    #[test]
+    fn shifts_match_u64(width in 1u32..=64, value: u64, shift in 0u32..=63) {
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let v = LogicVec::from_u64(width, value);
+        let masked = value & mask;
+        prop_assert_eq!(v.shl(shift).to_u64(), Some(if shift >= width { 0 } else { (masked << shift) & mask }));
+        prop_assert_eq!(v.shr(shift).to_u64(), Some(masked >> shift.min(63)));
+    }
+
+    #[test]
+    fn de_morgan(width in 1u32..=64, a: u64, b: u64) {
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        prop_assert_eq!(va.and(&vb).not(), va.not().or(&vb.not()));
+    }
+
+    // ---- metrics ---------------------------------------------------------
+
+    #[test]
+    fn pass_at_k_in_unit_interval(n in 1usize..=40, c_frac in 0.0f64..=1.0, k in 1usize..=10) {
+        let c = ((n as f64) * c_frac) as usize;
+        let p = pass_at_k(n, c.min(n), k);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn pass_at_1_equals_c_over_n(n in 1usize..=40, c_frac in 0.0f64..=1.0) {
+        let c = (((n as f64) * c_frac) as usize).min(n);
+        let p = pass_at_k(n, c, 1);
+        prop_assert!((p - c as f64 / n as f64).abs() < 1e-9);
+    }
+
+    // ---- text similarity ---------------------------------------------------
+
+    #[test]
+    fn jaccard_is_reflexive_and_bounded(a in "[a-z0-9 ]{0,60}", b in "[a-z0-9 ]{0,60}") {
+        prop_assert!((jaccard_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        let s = jaccard_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - jaccard_similarity(&b, &a)).abs() < 1e-12);
+        prop_assert!((jaccard_distance(&a, &b) - (1.0 - s)).abs() < 1e-12);
+    }
+}
+
+// ---- printer round-trip over the real benchmark corpus -------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Printing any benchmark reference solution and re-parsing it must
+    /// produce an error-free tree with the same module count — and the
+    /// reprinted design must still pass its golden-model testbench.
+    #[test]
+    fn printer_round_trip_preserves_solutions(problem_idx in 0usize..156) {
+        let problems = rtlfixer::dataset::verilog_eval_human();
+        let problem = &problems[problem_idx % problems.len()];
+        let parsed = rtlfixer::verilog::parser::parse(&problem.solution);
+        prop_assert!(parsed.diagnostics.iter().all(|d| !d.is_error()));
+        let printed = rtlfixer::verilog::printer::print_file(&parsed.file);
+        let reparsed = rtlfixer::verilog::compile(&printed);
+        prop_assert!(
+            reparsed.is_ok(),
+            "{}: reprint fails to compile:\n{printed}\n{:?}",
+            problem.id,
+            reparsed.errors()
+        );
+        prop_assert_eq!(
+            problem.check(&printed),
+            rtlfixer::dataset::Verdict::Pass,
+            "{}: reprinted design fails its golden model",
+            &problem.id
+        );
+    }
+}
+
+// ---- repair soundness (randomised over the real dataset) ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Applying the repair operator for a diagnosed error never makes the
+    /// error count grow.
+    #[test]
+    fn repair_never_increases_error_count(entry_idx in 0usize..212) {
+        let entries = rtlfixer::dataset::verilog_eval_syntax(7);
+        let entry = &entries[entry_idx % entries.len()];
+        let analysis = compile(&entry.code);
+        let before = analysis.errors().len();
+        if let Some(diag) = analysis.errors().first() {
+            if let Some(repaired) =
+                rtlfixer::llm::repair::repair(&entry.code, diag, &analysis)
+            {
+                let after = compile(&repaired).errors().len();
+                prop_assert!(
+                    after <= before,
+                    "{}: {before} -> {after} errors\n{repaired}",
+                    entry.problem_id
+                );
+            }
+        }
+    }
+}
