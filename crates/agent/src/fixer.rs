@@ -8,6 +8,8 @@
 //! * [`Strategy::React`] — up to `max_iterations` Thought / Action /
 //!   Observation rounds, re-compiling after every revision (§3.2).
 
+use std::sync::Arc;
+
 use rtlfixer_compilers::{Compiler, CompilerKind};
 use rtlfixer_llm::{Feedback, GuidanceSnippet, LanguageModel, PromptStyle, RepairRequest};
 use rtlfixer_rag::{DefaultRetriever, GuidanceDatabase, RetrievalQuery, Retriever};
@@ -77,7 +79,7 @@ pub struct RtlFixerBuilder {
     compiler: CompilerKind,
     strategy: Strategy,
     rag: bool,
-    database: Option<GuidanceDatabase>,
+    database: Option<Arc<GuidanceDatabase>>,
     retriever: Option<Box<dyn Retriever>>,
     prefixer: bool,
 }
@@ -125,6 +127,16 @@ impl RtlFixerBuilder {
     /// Overrides the guidance database (default: the edition matching the
     /// compiler).
     pub fn database(mut self, database: GuidanceDatabase) -> Self {
+        self.database = Some(Arc::new(database));
+        self
+    }
+
+    /// Overrides the guidance database with a shared handle.
+    ///
+    /// Parallel evaluation builds one fixer per episode; passing the same
+    /// `Arc` to every builder means all episodes read one database instead
+    /// of cloning it per episode.
+    pub fn shared_database(mut self, database: Arc<GuidanceDatabase>) -> Self {
         self.database = Some(database);
         self
     }
@@ -143,9 +155,11 @@ impl RtlFixerBuilder {
 
     /// Builds the fixer around a language model.
     pub fn build<L: LanguageModel>(self, llm: L) -> RtlFixer<L> {
+        // Default to the process-wide shared edition: episodes are built in
+        // the thousands, and the database is read-only throughout.
         let database = self.database.unwrap_or_else(|| match self.compiler {
-            CompilerKind::Quartus => GuidanceDatabase::quartus(),
-            _ => GuidanceDatabase::iverilog(),
+            CompilerKind::Quartus => GuidanceDatabase::quartus_shared(),
+            _ => GuidanceDatabase::iverilog_shared(),
         });
         RtlFixer {
             compiler_kind: self.compiler,
@@ -186,7 +200,7 @@ pub struct RtlFixer<L: LanguageModel> {
     compiler: Box<dyn Compiler>,
     strategy: Strategy,
     rag: bool,
-    database: GuidanceDatabase,
+    database: Arc<GuidanceDatabase>,
     retriever: Box<dyn Retriever>,
     prefixer: bool,
     llm: L,

@@ -7,7 +7,10 @@ use std::hint::black_box;
 use rtlfixer_agent::{RtlFixerBuilder, Strategy};
 use rtlfixer_compilers::CompilerKind;
 use rtlfixer_llm::{Capability, SimulatedLlm};
-use rtlfixer_rag::{DefaultRetriever, GuidanceDatabase, RetrievalQuery, Retriever};
+use rtlfixer_rag::text::TfIdfIndex;
+use rtlfixer_rag::{
+    tfidf_corpus, DefaultRetriever, GuidanceDatabase, RetrievalQuery, Retriever, TfIdfRetriever,
+};
 use rtlfixer_sim::{value::LogicVec, Simulator};
 
 const COUNTER: &str = "module ctr(input clk, input reset, output reg [7:0] q);\n\
@@ -79,6 +82,25 @@ fn bench_retrieval(c: &mut Criterion) {
         RetrievalQuery::from_log("main.v:2: error: Unable to bind wire/reg/memory 'clk'");
     c.bench_function("rag/jaccard_fallback", |b| {
         b.iter(|| retriever.retrieve(black_box(&iv_db), black_box(&iv_query)))
+    });
+
+    // Before/after datapoint for the shared-index cache: the old
+    // TfIdfRetriever rebuilt the index on every retrieve; the cached path
+    // looks it up by database fingerprint.
+    let tfidf = TfIdfRetriever::new();
+    let tfidf_query = RetrievalQuery::from_log(
+        "Error (10170): Verilog HDL syntax error at main.sv(3) near text \"endmodule\"",
+    );
+    c.bench_function("rag/tfidf_cold_index_per_call", |b| {
+        b.iter(|| {
+            let index = TfIdfIndex::new(&tfidf_corpus(black_box(&db)));
+            black_box(index.top_k(&tfidf_query.log, tfidf.top_k))
+        })
+    });
+    // Warm the cache outside the timed loop, as a retrieval-heavy run does.
+    let _ = tfidf.retrieve(&db, &tfidf_query);
+    c.bench_function("rag/tfidf_cached_index", |b| {
+        b.iter(|| tfidf.retrieve(black_box(&db), black_box(&tfidf_query)))
     });
 }
 

@@ -13,7 +13,7 @@ use rtlfixer_eval::experiments::table2::{evaluate_suite, table3, PassAtKConfig};
 use rtlfixer_llm::Capability;
 
 fn tiny_fix_config() -> FixRateConfig {
-    FixRateConfig { max_entries: Some(12), repeats: 1, dataset_seed: 7, base_seed: 1 }
+    FixRateConfig { max_entries: Some(12), repeats: 1, dataset_seed: 7, base_seed: 1, jobs: 1 }
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -52,7 +52,7 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_table2(c: &mut Criterion) {
     let problems = rtlfixer_dataset::verilog_eval_human();
-    let config = PassAtKConfig { samples: 4, max_problems: Some(8), seed: 11 };
+    let config = PassAtKConfig { samples: 4, max_problems: Some(8), seed: 11, jobs: 1 };
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     group.bench_function("human_subset", |b| {
@@ -62,7 +62,7 @@ fn bench_table2(c: &mut Criterion) {
 }
 
 fn bench_table3(c: &mut Criterion) {
-    let config = PassAtKConfig { samples: 3, max_problems: Some(6), seed: 11 };
+    let config = PassAtKConfig { samples: 3, max_problems: Some(6), seed: 11, jobs: 1 };
     let mut group = c.benchmark_group("table3");
     group.sample_size(10);
     group.bench_function("rtllm_subset", |b| b.iter(|| black_box(table3(&config))));

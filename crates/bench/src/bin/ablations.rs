@@ -10,9 +10,9 @@ use rtlfixer_eval::experiments::table1::FixRateConfig;
 fn main() {
     let scale = RunScale::from_args();
     let config = if scale.quick {
-        FixRateConfig { max_entries: Some(40), repeats: 2, ..Default::default() }
+        FixRateConfig { max_entries: Some(40), repeats: 2, jobs: scale.jobs, ..Default::default() }
     } else {
-        FixRateConfig { repeats: 5, ..Default::default() }
+        FixRateConfig { repeats: 5, jobs: scale.jobs, ..Default::default() }
     };
     for (title, points) in [
         ("Retriever (ReAct + Quartus + RAG)", ablations::retriever_ablation(&config)),
@@ -23,8 +23,15 @@ fn main() {
         println!("== {title} ==");
         let rows: Vec<Vec<String>> = points
             .iter()
-            .map(|p| vec![p.variant.clone(), fmt3(p.fix_rate)])
+            .map(|p| {
+                vec![
+                    p.variant.clone(),
+                    fmt3(p.fix_rate),
+                    format!("{:.2}", p.stats.seconds),
+                    format!("{:.0}", p.stats.episodes_per_sec),
+                ]
+            })
             .collect();
-        println!("{}", render_table(&["variant", "fix rate"], &rows));
+        println!("{}", render_table(&["variant", "fix rate", "secs", "eps/s"], &rows));
     }
 }

@@ -9,9 +9,9 @@ use rtlfixer_eval::experiments::table2::{evaluate_suite, PassAtKConfig};
 fn main() {
     let scale = RunScale::from_args();
     let config = if scale.quick {
-        PassAtKConfig { samples: 8, max_problems: Some(30), seed: 11 }
+        PassAtKConfig { samples: 8, max_problems: Some(30), seed: 11, jobs: scale.jobs }
     } else {
-        PassAtKConfig::default()
+        PassAtKConfig { jobs: scale.jobs, ..Default::default() }
     };
     eprintln!("Figure 4: outcome shares before/after fixing");
     let mut rows = Vec::new();

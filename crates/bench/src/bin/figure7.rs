@@ -3,16 +3,16 @@
 //!
 //! Run with `cargo run --release -p rtlfixer-bench --bin figure7`.
 
-use rtlfixer_bench::{fmt3, RunScale};
+use rtlfixer_bench::{fmt3, record_run, RunScale};
 use rtlfixer_eval::experiments::figure7::figure7;
 use rtlfixer_eval::experiments::table1::FixRateConfig;
 
 fn main() {
     let scale = RunScale::from_args();
     let config = if scale.quick {
-        FixRateConfig { max_entries: Some(60), repeats: 2, ..Default::default() }
+        FixRateConfig { max_entries: Some(60), repeats: 2, jobs: scale.jobs, ..Default::default() }
     } else {
-        FixRateConfig::default()
+        FixRateConfig { jobs: scale.jobs, ..Default::default() }
     };
     eprintln!("Figure 7: ReAct iteration histogram (ReAct + RAG + Quartus)");
     let histogram = figure7(&config);
@@ -27,4 +27,9 @@ fn main() {
         "single-revision share: {} (paper: ~0.90)",
         fmt3(histogram.single_revision_share())
     );
+    println!(
+        "{} episodes in {:.2}s ({:.0} episodes/s)",
+        histogram.stats.episodes, histogram.stats.seconds, histogram.stats.episodes_per_sec
+    );
+    record_run("figure7", scale.jobs, &histogram.stats);
 }

@@ -4,7 +4,7 @@
 //! Run with `cargo run --release -p rtlfixer-bench --bin section5`.
 
 use rtlfixer_bench::{render_table, RunScale};
-use rtlfixer_eval::sim_debug::sim_debug_study;
+use rtlfixer_eval::sim_debug::sim_debug_study_timed;
 
 fn main() {
     let scale = RunScale::from_args();
@@ -15,7 +15,7 @@ fn main() {
         problems
     };
     eprintln!("Section 5 study: logic-error debugging over {} problems", problems.len());
-    let rows = sim_debug_study(&problems, 11);
+    let (rows, stats) = sim_debug_study_timed(&problems, 11, scale.jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -37,4 +37,5 @@ fn main() {
         "Paper §5: \"only exhibited proficiency in fixing logic implementation errors for \
          simple problems but struggled with more complex questions.\""
     );
+    rtlfixer_bench::record_run("section5", scale.jobs, &stats);
 }

@@ -10,9 +10,9 @@ use rtlfixer_eval::experiments::table2::{evaluate_suite, PassAtKConfig};
 fn main() {
     let scale = RunScale::from_args();
     let config = if scale.quick {
-        PassAtKConfig { samples: 8, max_problems: Some(40), seed: 11 }
+        PassAtKConfig { samples: 8, max_problems: Some(40), seed: 11, jobs: scale.jobs }
     } else {
-        PassAtKConfig::default()
+        PassAtKConfig { jobs: scale.jobs, ..Default::default() }
     };
     let evaluation =
         evaluate_suite("Human", &rtlfixer_dataset::verilog_eval_human(), &config);

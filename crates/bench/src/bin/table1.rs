@@ -4,15 +4,15 @@
 //! Run with `cargo run --release -p rtlfixer-bench --bin table1`
 //! (add `--quick` for a scaled-down smoke run).
 
-use rtlfixer_bench::{fmt3, render_table, RunScale};
+use rtlfixer_bench::{fmt3, record_run, render_table, RunScale};
 use rtlfixer_eval::experiments::table1::{table1, FixRateConfig};
 
 fn main() {
     let scale = RunScale::from_args();
     let config = if scale.quick {
-        FixRateConfig { max_entries: Some(40), repeats: 3, ..Default::default() }
+        FixRateConfig { max_entries: Some(40), repeats: 3, jobs: scale.jobs, ..Default::default() }
     } else {
-        FixRateConfig::default()
+        FixRateConfig { jobs: scale.jobs, ..Default::default() }
     };
     eprintln!(
         "Table 1: fix rate on VerilogEval-syntax ({} entries x {} repeats per cell, 14 cells)",
@@ -31,15 +31,28 @@ fn main() {
                 fmt3(cell.fix_rate),
                 fmt3(cell.paper),
                 fmt3(cell.fix_rate - cell.paper),
+                format!("{:.2}", cell.stats.seconds),
+                format!("{:.0}", cell.stats.episodes_per_sec),
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["Prompt", "RAG", "Feedback", "LLM", "measured", "paper", "delta"],
+            &[
+                "Prompt", "RAG", "Feedback", "LLM", "measured", "paper", "delta", "secs",
+                "eps/s",
+            ],
             &rows
         )
     );
+    let episodes: usize = cells.iter().map(|c| c.stats.episodes).sum();
+    let seconds: f64 = cells.iter().map(|c| c.stats.seconds).sum();
+    let stats = rtlfixer_eval::RunStats {
+        episodes,
+        seconds,
+        episodes_per_sec: if seconds > 0.0 { episodes as f64 / seconds } else { 0.0 },
+    };
+    record_run("table1", scale.jobs, &stats);
     println!("{}", serde_json::to_string_pretty(&cells).expect("serialises"));
 }

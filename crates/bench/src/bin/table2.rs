@@ -4,7 +4,7 @@
 //! Run with `cargo run --release -p rtlfixer-bench --bin table2`
 //! (add `--quick` for a scaled-down smoke run).
 
-use rtlfixer_bench::{fmt3, render_table, RunScale};
+use rtlfixer_bench::{fmt3, record_run, render_table, RunScale};
 use rtlfixer_eval::experiments::table2::{evaluate_suite, PassAtKConfig};
 
 /// Paper values: (suite, set, pass1_orig, pass1_fixed, pass5_orig, pass5_fixed).
@@ -20,9 +20,9 @@ const PAPER: &[(&str, &str, f64, f64, f64, f64)] = &[
 fn main() {
     let scale = RunScale::from_args();
     let config = if scale.quick {
-        PassAtKConfig { samples: 8, max_problems: Some(30), seed: 11 }
+        PassAtKConfig { samples: 8, max_problems: Some(30), seed: 11, jobs: scale.jobs }
     } else {
-        PassAtKConfig::default()
+        PassAtKConfig { jobs: scale.jobs, ..Default::default() }
     };
     eprintln!(
         "Table 2: pass@k on VerilogEval (n = {} samples/problem{})",
@@ -69,5 +69,19 @@ fn main() {
             &rows
         )
     );
+    let stats = rtlfixer_eval::RunStats {
+        episodes: human.stats.episodes + machine.stats.episodes,
+        seconds: human.stats.seconds + machine.stats.seconds,
+        episodes_per_sec: 0.0,
+    };
+    let stats = rtlfixer_eval::RunStats {
+        episodes_per_sec: if stats.seconds > 0.0 {
+            stats.episodes as f64 / stats.seconds
+        } else {
+            0.0
+        },
+        ..stats
+    };
+    record_run("table2", scale.jobs, &stats);
     println!("{}", serde_json::to_string_pretty(&[&human, &machine]).expect("serialises"));
 }

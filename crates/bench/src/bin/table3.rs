@@ -10,9 +10,9 @@ use rtlfixer_eval::experiments::table2::{table3, PassAtKConfig};
 fn main() {
     let scale = RunScale::from_args();
     let config = if scale.quick {
-        PassAtKConfig { samples: 6, max_problems: Some(12), seed: 11 }
+        PassAtKConfig { samples: 6, max_problems: Some(12), seed: 11, jobs: scale.jobs }
     } else {
-        PassAtKConfig { samples: 10, max_problems: None, seed: 11 }
+        PassAtKConfig { samples: 10, max_problems: None, seed: 11, jobs: scale.jobs }
     };
     eprintln!("Table 3: RTLLM generalisation (29 problems, n = {})", config.samples);
     let result = table3(&config);

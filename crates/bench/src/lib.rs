@@ -66,13 +66,67 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
 pub struct RunScale {
     /// Scaled-down run (for smoke tests / CI).
     pub quick: bool,
+    /// Worker threads for episode execution (`0` = available parallelism).
+    /// Results are identical for every value (see `rtlfixer_eval::runner`).
+    pub jobs: usize,
 }
 
 impl RunScale {
-    /// Reads `--quick` from the process arguments.
+    /// Reads `--quick` and `--jobs N` (or `--jobs=N`) from the process
+    /// arguments. `--jobs` defaults to `0`, meaning "use the machine's
+    /// available parallelism".
     pub fn from_args() -> Self {
-        RunScale { quick: std::env::args().any(|a| a == "--quick") }
+        Self::from_iter(std::env::args().skip(1))
     }
+
+    /// Argument parsing, separated from `std::env` for testability.
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut scale = RunScale { quick: false, jobs: 0 };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            if arg == "--quick" {
+                scale.quick = true;
+            } else if arg == "--jobs" {
+                if let Some(value) = args.next() {
+                    scale.jobs = value.parse().unwrap_or(0);
+                }
+            } else if let Some(value) = arg.strip_prefix("--jobs=") {
+                scale.jobs = value.parse().unwrap_or(0);
+            }
+        }
+        scale
+    }
+}
+
+/// Records one experiment's throughput into `results/bench_eval.json`.
+///
+/// The file is a JSON object keyed by experiment name; each call
+/// merge-writes its entry so the binaries can run in any order or subset.
+/// `RTLFIXER_RESULTS_DIR` overrides the output directory (used by tests).
+pub fn record_run(experiment: &str, jobs: usize, stats: &rtlfixer_eval::RunStats) {
+    let dir = std::env::var("RTLFIXER_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let path = std::path::Path::new(&dir).join("bench_eval.json");
+    let mut root = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+        .unwrap_or_else(|| serde_json::json!({}));
+    if !root.is_object() {
+        root = serde_json::json!({});
+    }
+    let entry = serde_json::json!({
+        "jobs": rtlfixer_eval::resolve_jobs(jobs),
+        "episodes": stats.episodes,
+        "wall_seconds": stats.seconds,
+        "episodes_per_sec": stats.episodes_per_sec,
+    });
+    if let Some(mut map) = root.as_object_mut() {
+        map.insert(experiment.to_owned(), entry);
+    }
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // read-only checkout: recording throughput is best-effort
+    }
+    let text = serde_json::to_string_pretty(&root).expect("serialises");
+    let _ = std::fs::write(&path, text + "\n");
 }
 
 #[cfg(test)]
@@ -94,5 +148,18 @@ mod tests {
     #[test]
     fn fmt3_rounds() {
         assert_eq!(fmt3(0.98549), "0.985");
+    }
+
+    #[test]
+    fn run_scale_parses_jobs() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let scale = RunScale::from_iter(args(&["--quick", "--jobs", "4"]));
+        assert!(scale.quick);
+        assert_eq!(scale.jobs, 4);
+        let scale = RunScale::from_iter(args(&["--jobs=2"]));
+        assert!(!scale.quick);
+        assert_eq!(scale.jobs, 2);
+        let scale = RunScale::from_iter(args(&[]));
+        assert_eq!(scale.jobs, 0);
     }
 }

@@ -1,0 +1,37 @@
+//! Smoke tests for the reproduction binaries: a scaled-down parallel run
+//! must succeed end-to-end and record its throughput artifact.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn table1_quick_parallel_smoke() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_smoke_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(["--quick", "--jobs", "2"])
+        .env("RTLFIXER_RESULTS_DIR", &results_dir)
+        .output()
+        .expect("table1 binary runs");
+    assert!(
+        output.status.success(),
+        "table1 --quick --jobs 2 failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Prompt"), "table header missing:\n{stdout}");
+    assert!(stdout.contains("eps/s"), "throughput column missing:\n{stdout}");
+    // All 14 grid cells present in the JSON dump.
+    assert_eq!(stdout.matches("\"fix_rate\"").count(), 14, "{stdout}");
+
+    // The run recorded its throughput into bench_eval.json.
+    let artifact = results_dir.join("bench_eval.json");
+    let text = std::fs::read_to_string(&artifact).expect("bench_eval.json written");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let entry = &json["table1"];
+    assert_eq!(entry["jobs"].as_u64(), Some(2), "{text}");
+    assert!(entry["episodes"].as_u64().unwrap_or(0) > 0, "{text}");
+    assert!(entry["episodes_per_sec"].as_f64().unwrap_or(0.0) > 0.0, "{text}");
+}

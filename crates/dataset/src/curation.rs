@@ -75,18 +75,25 @@ pub fn filter_sample(raw: &str) -> Option<String> {
 /// implementations so one representative per cluster (plus noise points) is
 /// selected.
 pub fn verilog_eval_syntax(seed: u64) -> Vec<SyntaxBenchEntry> {
+    verilog_eval_syntax_shared(seed).as_ref().clone()
+}
+
+/// Shared-handle variant of [`verilog_eval_syntax`].
+///
+/// Building the dataset compiles hundreds of candidates; experiments call
+/// this repeatedly with the same seed, so the build is memoised per process
+/// and returned behind an `Arc` so parallel evaluation shares one copy
+/// instead of cloning 212 entries per caller.
+pub fn verilog_eval_syntax_shared(seed: u64) -> std::sync::Arc<Vec<SyntaxBenchEntry>> {
     use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock};
-    // Building the dataset compiles hundreds of candidates; experiments call
-    // this repeatedly with the same seed, so memoise per process.
-    static CACHE: OnceLock<Mutex<HashMap<u64, Vec<SyntaxBenchEntry>>>> = OnceLock::new();
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<Vec<SyntaxBenchEntry>>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache.lock().expect("cache lock").get(&seed) {
-        return hit.clone();
+        return Arc::clone(hit);
     }
-    let built = build_verilog_eval_syntax(seed);
-    cache.lock().expect("cache lock").insert(seed, built.clone());
-    built
+    let built = Arc::new(build_verilog_eval_syntax(seed));
+    Arc::clone(cache.lock().expect("cache lock").entry(seed).or_insert(built))
 }
 
 fn build_verilog_eval_syntax(seed: u64) -> Vec<SyntaxBenchEntry> {

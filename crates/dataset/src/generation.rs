@@ -268,13 +268,23 @@ mod tests {
             let candidate = generator.sample(&problem);
             if !candidate.injected.is_empty() {
                 saw_injection = true;
+                // Misplaced directives are exactly what the rule-based
+                // pre-fixer strips, so a directive-only injection may
+                // legitimately compile after cleaning; every other category
+                // must survive the prefixer and still fail.
+                let needs_llm = candidate
+                    .injected
+                    .iter()
+                    .any(|c| *c != ErrorCategory::MisplacedDirective);
                 let cleaned = rtlfixer_agent::prefixer::prefix_fix(&candidate.code);
-                assert!(
-                    !rtlfixer_verilog::compile(&cleaned).is_ok(),
-                    "injected {:?} but compiles:\n{}",
-                    candidate.injected,
-                    cleaned
-                );
+                if needs_llm {
+                    assert!(
+                        !rtlfixer_verilog::compile(&cleaned).is_ok(),
+                        "injected {:?} but compiles:\n{}",
+                        candidate.injected,
+                        cleaned
+                    );
+                }
             }
         }
         assert!(saw_injection, "no syntax injection in 40 samples");

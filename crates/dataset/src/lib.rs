@@ -40,6 +40,8 @@ pub mod mutate;
 pub mod problem;
 pub mod suites;
 
-pub use curation::{verilog_eval_syntax, SyntaxBenchEntry, SYNTAX_BENCH_COUNT};
+pub use curation::{
+    verilog_eval_syntax, verilog_eval_syntax_shared, SyntaxBenchEntry, SYNTAX_BENCH_COUNT,
+};
 pub use problem::{Difficulty, Problem, Suite, Verdict};
 pub use suites::{rtllm, verilog_eval_human, verilog_eval_machine};

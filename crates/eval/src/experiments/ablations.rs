@@ -2,6 +2,8 @@
 //! retriever choice, ReAct iteration budget, pre-fixer on/off, and guidance
 //! database size.
 
+use std::sync::Arc;
+
 use serde::Serialize;
 
 use rtlfixer_agent::{RtlFixerBuilder, Strategy};
@@ -13,6 +15,7 @@ use rtlfixer_rag::{
 
 use super::table1::{load_entries, FixRateConfig};
 use crate::metrics::fix_rate;
+use crate::runner::{episode_grid, run_episodes, RunStats};
 
 /// A labelled ablation result.
 #[derive(Debug, Clone, Serialize)]
@@ -21,39 +24,49 @@ pub struct AblationPoint {
     pub variant: String,
     /// Measured fix rate.
     pub fix_rate: f64,
+    /// Wall-clock statistics for this variant's episodes.
+    pub stats: RunStats,
 }
 
+/// Runs one ablation variant on the episode pool. `cell` is the variant's
+/// slot in the canonical seed namespace (see [`crate::runner::episode_seed`]);
+/// each variant gets a distinct cell so sweeps never share episode seeds.
 fn run_variant(
     entries: &[rtlfixer_dataset::SyntaxBenchEntry],
     config: &FixRateConfig,
-    seed_salt: u64,
-    build: impl Fn(u64) -> rtlfixer_agent::RtlFixer<SimulatedLlm>,
-) -> f64 {
-    let per_problem: Vec<(usize, usize)> = entries
-        .iter()
-        .enumerate()
-        .map(|(idx, entry)| {
-            let mut fixed = 0usize;
-            for repeat in 0..config.repeats {
-                let seed = config
-                    .base_seed
-                    .wrapping_mul(48_271)
-                    .wrapping_add(seed_salt * 7_907 + idx as u64 * 127 + repeat as u64);
-                let mut fixer = build(seed);
-                if fixer.fix_problem(&entry.description, &entry.code).success {
-                    fixed += 1;
-                }
-            }
-            (fixed, config.repeats)
-        })
+    cell: u64,
+    build: impl Fn(u64) -> rtlfixer_agent::RtlFixer<SimulatedLlm> + Sync,
+) -> (f64, RunStats) {
+    let specs = episode_grid(config.base_seed, cell, entries.len(), config.repeats);
+    let (successes, stats) = run_episodes(config.jobs, &specs, |spec| {
+        let entry = &entries[spec.entry];
+        let mut fixer = build(spec.seed);
+        fixer.fix_problem(&entry.description, &entry.code).success
+    });
+    let per_problem: Vec<(usize, usize)> = successes
+        .chunks(config.repeats.max(1))
+        .map(|repeats| (repeats.iter().filter(|s| **s).count(), repeats.len()))
         .collect();
-    fix_rate(&per_problem)
+    (fix_rate(&per_problem), stats)
+}
+
+fn point(
+    label: String,
+    entries: &[rtlfixer_dataset::SyntaxBenchEntry],
+    config: &FixRateConfig,
+    cell: u64,
+    build: impl Fn(u64) -> rtlfixer_agent::RtlFixer<SimulatedLlm> + Sync,
+) -> AblationPoint {
+    let (rate, stats) = run_variant(entries, config, cell, build);
+    AblationPoint { variant: label, fix_rate: rate, stats }
 }
 
 /// Retriever ablation: exact-tag vs Jaccard vs TF-IDF, ReAct + Quartus.
+/// Seed cells 500–502.
 pub fn retriever_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
     let entries = load_entries(config);
-    let variants: Vec<(&str, Box<dyn Fn() -> Box<dyn Retriever>>)> = vec![
+    type MakeRetriever = Box<dyn Fn() -> Box<dyn Retriever> + Send + Sync>;
+    let variants: Vec<(&str, MakeRetriever)> = vec![
         ("exact-tag", Box::new(|| Box::new(ExactTagRetriever::new()))),
         ("jaccard", Box::new(|| Box::new(JaccardRetriever::new()))),
         ("tfidf", Box::new(|| Box::new(TfIdfRetriever::new()))),
@@ -61,85 +74,89 @@ pub fn retriever_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
     variants
         .into_iter()
         .enumerate()
-        .map(|(salt, (label, make))| AblationPoint {
-            variant: label.to_owned(),
-            fix_rate: run_variant(&entries, config, salt as u64, |seed| {
+        .map(|(slot, (label, make))| {
+            point(label.to_owned(), &entries, config, 500 + slot as u64, |seed| {
                 RtlFixerBuilder::new()
                     .compiler(CompilerKind::Quartus)
                     .strategy(Strategy::React { max_iterations: 10 })
                     .with_rag(true)
                     .retriever(make())
                     .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
-            }),
+            })
         })
         .collect()
 }
 
-/// Iteration-budget sweep for ReAct (n ∈ {1, 2, 3, 5, 10}).
+/// Iteration-budget sweep for ReAct (n ∈ {1, 2, 3, 5, 10}). Seed cells
+/// 100–104.
 pub fn iteration_sweep(config: &FixRateConfig) -> Vec<AblationPoint> {
     let entries = load_entries(config);
     [1usize, 2, 3, 5, 10]
         .iter()
         .enumerate()
-        .map(|(salt, &n)| AblationPoint {
-            variant: format!("n={n}"),
-            fix_rate: run_variant(&entries, config, 100 + salt as u64, |seed| {
+        .map(|(slot, &n)| {
+            point(format!("n={n}"), &entries, config, 100 + slot as u64, |seed| {
                 RtlFixerBuilder::new()
                     .compiler(CompilerKind::Quartus)
                     .strategy(Strategy::React { max_iterations: n })
                     .with_rag(false)
                     .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
-            }),
+            })
         })
         .collect()
 }
 
 /// Pre-fixer on/off ablation (One-shot, so the pre-fixer's contribution is
-/// visible rather than recovered by iteration).
+/// visible rather than recovered by iteration). Seed cells 200–201.
 pub fn prefixer_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
     let entries = load_entries(config);
     [true, false]
         .iter()
         .enumerate()
-        .map(|(salt, &enabled)| AblationPoint {
-            variant: if enabled { "prefixer on".into() } else { "prefixer off".into() },
-            fix_rate: run_variant(&entries, config, 200 + salt as u64, |seed| {
+        .map(|(slot, &enabled)| {
+            let label = if enabled { "prefixer on" } else { "prefixer off" };
+            point(label.to_owned(), &entries, config, 200 + slot as u64, |seed| {
                 RtlFixerBuilder::new()
                     .compiler(CompilerKind::Quartus)
                     .strategy(Strategy::OneShot)
                     .with_rag(true)
                     .prefixer(enabled)
                     .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
-            }),
+            })
         })
         .collect()
 }
 
 /// Guidance-database size sweep: fraction of entries kept (per category
-/// order), ReAct + Quartus + RAG.
+/// order), ReAct + Quartus + RAG. Seed cells 300–303.
 pub fn database_size_sweep(config: &FixRateConfig) -> Vec<AblationPoint> {
     let entries = load_entries(config);
     [0.0f64, 0.25, 0.5, 1.0]
         .iter()
         .enumerate()
-        .map(|(salt, &fraction)| {
+        .map(|(slot, &fraction)| {
             let full = GuidanceDatabase::quartus();
             let keep = ((full.entries.len() as f64) * fraction).round() as usize;
-            let database = GuidanceDatabase {
+            // One truncated database per variant, shared across all of the
+            // variant's episodes (and worker threads) behind an Arc.
+            let database = Arc::new(GuidanceDatabase {
                 edition: full.edition,
                 entries: full.entries.into_iter().take(keep).collect(),
-            };
-            AblationPoint {
-                variant: format!("{:.0}% of database", fraction * 100.0),
-                fix_rate: run_variant(&entries, config, 300 + salt as u64, |seed| {
+            });
+            point(
+                format!("{:.0}% of database", fraction * 100.0),
+                &entries,
+                config,
+                300 + slot as u64,
+                |seed| {
                     RtlFixerBuilder::new()
                         .compiler(CompilerKind::Quartus)
                         .strategy(Strategy::React { max_iterations: 10 })
                         .with_rag(true)
-                        .database(database.clone())
+                        .shared_database(Arc::clone(&database))
                         .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
-                }),
-            }
+                },
+            )
         })
         .collect()
 }
@@ -149,7 +166,13 @@ mod tests {
     use super::*;
 
     fn small_config() -> FixRateConfig {
-        FixRateConfig { max_entries: Some(24), repeats: 2, dataset_seed: 7, base_seed: 9 }
+        FixRateConfig {
+            max_entries: Some(24),
+            repeats: 2,
+            dataset_seed: 7,
+            base_seed: 9,
+            jobs: 1,
+        }
     }
 
     #[test]
@@ -175,5 +198,14 @@ mod tests {
         for point in &results {
             assert!(point.fix_rate > 0.3, "{point:?}");
         }
+    }
+
+    #[test]
+    fn sweeps_are_jobs_invariant() {
+        let serial = small_config();
+        let parallel = FixRateConfig { jobs: 4, ..serial };
+        let a: Vec<f64> = prefixer_ablation(&serial).iter().map(|p| p.fix_rate).collect();
+        let b: Vec<f64> = prefixer_ablation(&parallel).iter().map(|p| p.fix_rate).collect();
+        assert_eq!(a, b);
     }
 }

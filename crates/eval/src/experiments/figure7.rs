@@ -8,6 +8,10 @@ use rtlfixer_compilers::CompilerKind;
 use rtlfixer_llm::{Capability, SimulatedLlm};
 
 use super::table1::{load_entries, FixRateConfig};
+use crate::runner::{episode_grid, run_episodes, RunStats};
+
+/// Seed-namespace cell for the Figure 7 grid (see [`crate::runner`]).
+const CELL: u64 = 20;
 
 /// Iteration histogram for ReAct fixing episodes.
 #[derive(Debug, Clone, Serialize)]
@@ -18,6 +22,8 @@ pub struct IterationHistogram {
     pub unresolved: usize,
     /// Total successful episodes.
     pub resolved: usize,
+    /// Wall-clock statistics for the run.
+    pub stats: RunStats,
 }
 
 impl IterationHistogram {
@@ -31,36 +37,38 @@ impl IterationHistogram {
 }
 
 /// Runs ReAct + RAG + Quartus over the syntax dataset and histograms the
-/// revisions needed per successful episode.
+/// revisions needed per successful episode. Episodes run on the parallel
+/// pool; the histogram is aggregated from per-episode outcomes afterwards,
+/// so it is identical for every `config.jobs` value.
 pub fn figure7(config: &FixRateConfig) -> IterationHistogram {
     let entries = load_entries(config);
     let max_iterations = 10usize;
+    let specs = episode_grid(config.base_seed, CELL, entries.len(), config.repeats);
+    // Per-episode outcome: Some(revisions) when resolved, None otherwise.
+    let (outcomes, stats) = run_episodes(config.jobs, &specs, |spec| {
+        let entry = &entries[spec.entry];
+        let llm = SimulatedLlm::new(Capability::Gpt35Class, spec.seed);
+        let mut fixer = RtlFixerBuilder::new()
+            .compiler(CompilerKind::Quartus)
+            .strategy(Strategy::React { max_iterations })
+            .with_rag(true)
+            .build(llm);
+        let outcome = fixer.fix_problem(&entry.description, &entry.code);
+        outcome.success.then(|| outcome.revisions)
+    });
     let mut counts = vec![0usize; max_iterations];
     let mut unresolved = 0usize;
     let mut resolved = 0usize;
-    for (entry_idx, entry) in entries.iter().enumerate() {
-        for repeat in 0..config.repeats {
-            let seed = config
-                .base_seed
-                .wrapping_mul(104_729)
-                .wrapping_add(entry_idx as u64 * 131 + repeat as u64);
-            let llm = SimulatedLlm::new(Capability::Gpt35Class, seed);
-            let mut fixer = RtlFixerBuilder::new()
-                .compiler(CompilerKind::Quartus)
-                .strategy(Strategy::React { max_iterations })
-                .with_rag(true)
-                .build(llm);
-            let outcome = fixer.fix_problem(&entry.description, &entry.code);
-            if outcome.success {
+    for outcome in outcomes {
+        match outcome {
+            Some(revisions) => {
                 resolved += 1;
-                let bucket = outcome.revisions.clamp(1, max_iterations) - 1;
-                counts[bucket] += 1;
-            } else {
-                unresolved += 1;
+                counts[revisions.clamp(1, max_iterations) - 1] += 1;
             }
+            None => unresolved += 1,
         }
     }
-    IterationHistogram { counts, unresolved, resolved }
+    IterationHistogram { counts, unresolved, resolved, stats }
 }
 
 #[cfg(test)]
@@ -74,6 +82,7 @@ mod tests {
             repeats: 2,
             dataset_seed: 7,
             base_seed: 3,
+            jobs: 1,
         };
         let histogram = figure7(&config);
         assert!(histogram.resolved > 0);
@@ -85,5 +94,22 @@ mod tests {
         );
         // The distribution must be heavily front-loaded.
         assert!(histogram.counts[0] > histogram.counts[2..].iter().sum::<usize>());
+    }
+
+    #[test]
+    fn histogram_is_jobs_invariant() {
+        let serial = FixRateConfig {
+            max_entries: Some(16),
+            repeats: 2,
+            dataset_seed: 7,
+            base_seed: 3,
+            jobs: 1,
+        };
+        let parallel = FixRateConfig { jobs: 4, ..serial };
+        let a = figure7(&serial);
+        let b = figure7(&parallel);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.unresolved, b.unresolved);
+        assert_eq!(a.resolved, b.resolved);
     }
 }

@@ -1,6 +1,9 @@
 //! Table 1: fix rate on VerilogEval-syntax across prompting strategy,
 //! RAG, feedback quality and LLM capability.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use serde::Serialize;
 
 use rtlfixer_agent::{RtlFixerBuilder, Strategy};
@@ -9,6 +12,7 @@ use rtlfixer_dataset::SyntaxBenchEntry;
 use rtlfixer_llm::{Capability, SimulatedLlm};
 
 use crate::metrics::fix_rate;
+use crate::runner::{episode_grid, run_episodes, RunStats};
 
 /// Configuration for fix-rate experiments.
 #[derive(Debug, Clone, Copy)]
@@ -21,11 +25,14 @@ pub struct FixRateConfig {
     pub dataset_seed: u64,
     /// Base seed for episode randomness.
     pub base_seed: u64,
+    /// Worker threads for episode execution (`0` = available parallelism).
+    /// Results are identical for every value; this only changes wall-clock.
+    pub jobs: usize,
 }
 
 impl Default for FixRateConfig {
     fn default() -> Self {
-        FixRateConfig { max_entries: None, repeats: 10, dataset_seed: 7, base_seed: 1 }
+        FixRateConfig { max_entries: None, repeats: 10, dataset_seed: 7, base_seed: 1, jobs: 0 }
     }
 }
 
@@ -44,6 +51,8 @@ pub struct Table1Cell {
     pub fix_rate: f64,
     /// The paper's reported value for this cell, for comparison.
     pub paper: f64,
+    /// Wall-clock statistics for this cell's episodes.
+    pub stats: RunStats,
 }
 
 /// The paper's Table 1 values, as (strategy, rag, compiler, llm, value).
@@ -80,12 +89,38 @@ fn capability_from_label(label: &str) -> Capability {
     }
 }
 
-/// Deterministic episode seed from cell/entry/repeat coordinates.
-fn episode_seed(base: u64, cell: u64, entry: u64, repeat: u64) -> u64 {
-    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(cell.wrapping_mul(1_000_003))
-        .wrapping_add(entry.wrapping_mul(10_007))
-        .wrapping_add(repeat)
+/// Runs one Table 1 cell over `entries`, returning the fix rate plus
+/// wall-clock stats.
+///
+/// Episodes execute on the [`runner`] pool; per-episode seeds come from the
+/// canonical [`runner::episode_seed`] grid, so results are bit-identical
+/// for every `config.jobs` value.
+pub fn run_cell_timed(
+    entries: &[SyntaxBenchEntry],
+    strategy: Strategy,
+    compiler: CompilerKind,
+    rag: bool,
+    capability: Capability,
+    config: &FixRateConfig,
+    cell_index: u64,
+) -> (f64, RunStats) {
+    let specs = episode_grid(config.base_seed, cell_index, entries.len(), config.repeats);
+    let (successes, stats) = run_episodes(config.jobs, &specs, |spec| {
+        let entry = &entries[spec.entry];
+        let llm = SimulatedLlm::new(capability, spec.seed);
+        let mut fixer = RtlFixerBuilder::new()
+            .compiler(compiler)
+            .strategy(strategy)
+            .with_rag(rag)
+            .build(llm);
+        fixer.fix_problem(&entry.description, &entry.code).success
+    });
+    // Grid order is entry-major, so fixed counts fold back per entry.
+    let per_problem: Vec<(usize, usize)> = successes
+        .chunks(config.repeats.max(1))
+        .map(|repeats| (repeats.iter().filter(|s| **s).count(), repeats.len()))
+        .collect();
+    (fix_rate(&per_problem), stats)
 }
 
 /// Runs one Table 1 cell over `entries` and returns the fix rate.
@@ -98,38 +133,29 @@ pub fn run_cell(
     config: &FixRateConfig,
     cell_index: u64,
 ) -> f64 {
-    let per_problem: Vec<(usize, usize)> = entries
-        .iter()
-        .enumerate()
-        .map(|(entry_idx, entry)| {
-            let mut fixed = 0usize;
-            for repeat in 0..config.repeats {
-                let seed =
-                    episode_seed(config.base_seed, cell_index, entry_idx as u64, repeat as u64);
-                let llm = SimulatedLlm::new(capability, seed);
-                let mut fixer = RtlFixerBuilder::new()
-                    .compiler(compiler)
-                    .strategy(strategy)
-                    .with_rag(rag)
-                    .build(llm);
-                let outcome = fixer.fix_problem(&entry.description, &entry.code);
-                if outcome.success {
-                    fixed += 1;
-                }
-            }
-            (fixed, config.repeats)
-        })
-        .collect();
-    fix_rate(&per_problem)
+    run_cell_timed(entries, strategy, compiler, rag, capability, config, cell_index).0
 }
 
 /// Loads the dataset (possibly capped) for fix-rate experiments.
-pub fn load_entries(config: &FixRateConfig) -> Vec<SyntaxBenchEntry> {
-    let mut entries = rtlfixer_dataset::verilog_eval_syntax(config.dataset_seed);
-    if let Some(cap) = config.max_entries {
-        entries.truncate(cap);
+///
+/// Cached per `(dataset_seed, max_entries)` behind an `Arc`: every
+/// experiment binary calls this (table1, ablations, figure7, …), and a
+/// multi-experiment run must build each dataset view exactly once.
+pub fn load_entries(config: &FixRateConfig) -> Arc<Vec<SyntaxBenchEntry>> {
+    type Key = (u64, Option<usize>);
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Vec<SyntaxBenchEntry>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (config.dataset_seed, config.max_entries);
+    if let Some(hit) = cache.lock().expect("entries cache lock").get(&key) {
+        return Arc::clone(hit);
     }
-    entries
+    let full = rtlfixer_dataset::verilog_eval_syntax_shared(config.dataset_seed);
+    let view = match config.max_entries {
+        Some(cap) if cap < full.len() => Arc::new(full[..cap].to_vec()),
+        // Uncapped (or over-sized cap): alias the dataset crate's own Arc.
+        _ => full,
+    };
+    Arc::clone(cache.lock().expect("entries cache lock").entry(key).or_insert(view))
 }
 
 /// Reproduces the full Table 1 grid (14 cells).
@@ -144,7 +170,7 @@ pub fn table1(config: &FixRateConfig) -> Vec<Table1Cell> {
             } else {
                 Strategy::React { max_iterations: 10 }
             };
-            let measured = run_cell(
+            let (measured, stats) = run_cell_timed(
                 &entries,
                 strategy,
                 compiler_from_label(compiler_label),
@@ -160,6 +186,7 @@ pub fn table1(config: &FixRateConfig) -> Vec<Table1Cell> {
                 llm: llm_label.to_owned(),
                 fix_rate: measured,
                 paper,
+                stats,
             }
         })
         .collect()
@@ -170,7 +197,13 @@ mod tests {
     use super::*;
 
     fn small_config() -> FixRateConfig {
-        FixRateConfig { max_entries: Some(30), repeats: 3, dataset_seed: 7, base_seed: 1 }
+        FixRateConfig {
+            max_entries: Some(30),
+            repeats: 3,
+            dataset_seed: 7,
+            base_seed: 1,
+            jobs: 1,
+        }
     }
 
     #[test]
@@ -248,5 +281,50 @@ mod tests {
             4,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_results_match_serial_byte_for_byte() {
+        // The parallel engine's core guarantee: a --quick Table 1 cell
+        // produces byte-identical fix rates at jobs = 1, 2 and 8.
+        let base = FixRateConfig {
+            max_entries: Some(20),
+            repeats: 2,
+            dataset_seed: 7,
+            base_seed: 1,
+            jobs: 1,
+        };
+        let entries = load_entries(&base);
+        let run = |jobs: usize| {
+            let config = FixRateConfig { jobs, ..base };
+            let rate = run_cell(
+                &entries,
+                Strategy::React { max_iterations: 10 },
+                CompilerKind::Quartus,
+                true,
+                Capability::Gpt35Class,
+                &config,
+                9,
+            );
+            // Byte-level comparison through the serialised representation,
+            // the form results tables and JSON artifacts are built from.
+            format!("{rate:.17}")
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial, "jobs=2 must match jobs=1");
+        assert_eq!(run(8), serial, "jobs=8 must match jobs=1");
+    }
+
+    #[test]
+    fn load_entries_shares_one_build_per_view() {
+        let config = small_config();
+        let a = load_entries(&config);
+        let b = load_entries(&config);
+        assert!(Arc::ptr_eq(&a, &b), "same (seed, cap) must share one Vec");
+        assert_eq!(a.len(), 30);
+        let uncapped = FixRateConfig { max_entries: None, ..config };
+        let full = load_entries(&uncapped);
+        assert_eq!(full.len(), rtlfixer_dataset::SYNTAX_BENCH_COUNT);
+        assert!(full[..30].iter().zip(a.iter()).all(|(x, y)| x.code == y.code));
     }
 }

@@ -10,6 +10,7 @@ use rtlfixer_dataset::{Difficulty, Problem, Verdict};
 use rtlfixer_llm::{Capability, SimulatedLlm};
 
 use crate::metrics::mean_pass_at_k;
+use crate::runner::{episode_seed, run_indexed, RunStats};
 
 /// Configuration for generation-based experiments.
 #[derive(Debug, Clone, Copy)]
@@ -20,11 +21,14 @@ pub struct PassAtKConfig {
     pub max_problems: Option<usize>,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads (`0` = available parallelism). Problems are the unit
+    /// of parallelism; results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for PassAtKConfig {
     fn default() -> Self {
-        PassAtKConfig { samples: 20, max_problems: None, seed: 11 }
+        PassAtKConfig { samples: 20, max_problems: None, seed: 11, jobs: 0 }
     }
 }
 
@@ -71,6 +75,8 @@ pub struct SuiteEvaluation {
     pub syntax_failure_rate: f64,
     /// Same, after fixing.
     pub syntax_failure_rate_fixed: f64,
+    /// Wall-clock statistics (episodes = problems × samples).
+    pub stats: RunStats,
 }
 
 /// Per-problem counts from one evaluation pass.
@@ -89,7 +95,9 @@ struct ProblemCounts {
 /// Evaluates one problem: generates `samples` candidates, measures original
 /// verdicts, applies the fixer to compile-failing candidates and re-measures.
 fn evaluate_problem(problem: &Problem, config: &PassAtKConfig, index: u64) -> ProblemCounts {
-    let gen_seed = config.seed.wrapping_mul(7_919).wrapping_add(index);
+    // Seed-namespace cells 40 (generation) and 41 (fixing) — see
+    // [`crate::runner::episode_seed`].
+    let gen_seed = episode_seed(config.seed, 40, index, 0);
     let mut generator = Generator::new(GenCapability::Gpt35, gen_seed);
     let mut counts = ProblemCounts {
         difficulty: problem.difficulty,
@@ -114,8 +122,8 @@ fn evaluate_problem(problem: &Problem, config: &PassAtKConfig, index: u64) -> Pr
         }
         // Fixing pass: only compile errors go through RTLFixer.
         let fixed_verdict = if original == Verdict::CompileError {
-            let episode_seed = gen_seed.wrapping_mul(31).wrapping_add(sample as u64);
-            let llm = SimulatedLlm::new(Capability::Gpt35Class, episode_seed);
+            let fix_seed = episode_seed(config.seed, 41, index, sample as u64);
+            let llm = SimulatedLlm::new(Capability::Gpt35Class, fix_seed);
             let mut fixer = RtlFixerBuilder::new()
                 .compiler(CompilerKind::Quartus)
                 .strategy(Strategy::React { max_iterations: 10 })
@@ -184,11 +192,14 @@ pub fn evaluate_suite(
         }
         _ => problems.iter().collect(),
     };
-    let counts: Vec<ProblemCounts> = problems
-        .iter()
-        .enumerate()
-        .map(|(idx, p)| evaluate_problem(p, config, idx as u64))
-        .collect();
+    // One problem per pool task: sample generation is sequential within a
+    // problem (the generator's RNG stream is per-problem), but problems are
+    // independent, seeded by index, and safe to run in any order.
+    let start = std::time::Instant::now();
+    let counts: Vec<ProblemCounts> = run_indexed(config.jobs, problems.len(), |idx| {
+        evaluate_problem(problems[idx], config, idx as u64)
+    });
+    let stats = RunStats::new(problems.len() * config.samples, start.elapsed());
     let all: Vec<&ProblemCounts> = counts.iter().collect();
     let easy: Vec<&ProblemCounts> =
         counts.iter().filter(|c| c.difficulty == Difficulty::Easy).collect();
@@ -203,6 +214,7 @@ pub fn evaluate_suite(
         shares_fixed,
         syntax_failure_rate: shares_original.syntax_error,
         syntax_failure_rate_fixed: shares_fixed.syntax_error,
+        stats,
     }
 }
 
@@ -237,7 +249,7 @@ mod tests {
     use super::*;
 
     fn small_config() -> PassAtKConfig {
-        PassAtKConfig { samples: 6, max_problems: Some(16), seed: 5 }
+        PassAtKConfig { samples: 6, max_problems: Some(16), seed: 5, jobs: 1 }
     }
 
     #[test]
@@ -277,7 +289,7 @@ mod tests {
     #[test]
     fn easy_outperforms_hard() {
         let problems = rtlfixer_dataset::verilog_eval_human();
-        let config = PassAtKConfig { samples: 8, max_problems: Some(40), seed: 5 };
+        let config = PassAtKConfig { samples: 8, max_problems: Some(40), seed: 5, jobs: 1 };
         let result = evaluate_suite("Human", &problems, &config);
         let easy = result.rows.iter().find(|r| r.set == "easy").unwrap();
         let hard = result.rows.iter().find(|r| r.set == "hard").unwrap();
@@ -290,8 +302,23 @@ mod tests {
     }
 
     #[test]
+    fn suite_evaluation_is_jobs_invariant() {
+        let problems = rtlfixer_dataset::verilog_eval_human();
+        let serial = evaluate_suite("Human", &problems, &small_config());
+        let parallel_config = PassAtKConfig { jobs: 4, ..small_config() };
+        let parallel = evaluate_suite("Human", &problems, &parallel_config);
+        for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(a.pass1_original, b.pass1_original);
+            assert_eq!(a.pass1_fixed, b.pass1_fixed);
+            assert_eq!(a.pass5_original, b.pass5_original);
+            assert_eq!(a.pass5_fixed, b.pass5_fixed);
+        }
+        assert_eq!(serial.syntax_failure_rate, parallel.syntax_failure_rate);
+    }
+
+    #[test]
     fn table3_improves_syntax_success() {
-        let config = PassAtKConfig { samples: 6, max_problems: Some(12), seed: 5 };
+        let config = PassAtKConfig { samples: 6, max_problems: Some(12), seed: 5, jobs: 1 };
         let result = table3(&config);
         assert!(result.syntax_success_fixed > result.syntax_success_original);
         assert!(result.pass1_fixed >= result.pass1_original);

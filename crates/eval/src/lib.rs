@@ -4,6 +4,10 @@
 //!
 //! * [`metrics`] — the paper's Eq. 1 (fix rate) and Eq. 2 (unbiased
 //!   pass@k).
+//! * [`runner`] — the deterministic parallel episode-execution engine all
+//!   experiments run on: a work-stealing thread pool plus the canonical
+//!   per-episode seed derivation, guaranteeing results are bit-identical
+//!   for any `--jobs` value.
 //! * [`experiments::table1`] — the fix-rate grid (strategy × RAG ×
 //!   feedback × LLM), with the paper's reported values embedded for
 //!   side-by-side comparison.
@@ -24,6 +28,8 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod runner;
 pub mod sim_debug;
 
 pub use metrics::{fix_rate, mean_pass_at_k, pass_at_k};
+pub use runner::{episode_seed, resolve_jobs, run_episodes, EpisodeSpec, RunStats};

@@ -181,34 +181,54 @@ const SIMPLE_LINE_LIMIT: usize = 6;
 
 /// Runs the study over a problem slice: inject one functional bug per
 /// problem, then try to debug it back.
-pub fn sim_debug_study(problems: &[Problem], seed: u64) -> Vec<SimDebugStudy> {
+pub fn sim_debug_study(problems: &[Problem], seed: u64, jobs: usize) -> Vec<SimDebugStudy> {
+    sim_debug_study_timed(problems, seed, jobs).0
+}
+
+/// [`sim_debug_study`] plus wall-clock stats (one episode per problem).
+///
+/// Each problem derives its own mutation RNG (seed cell 60) and debugger
+/// seed (cell 61) from [`crate::runner::episode_seed`], so episodes are
+/// independent and run on the parallel pool; the per-bucket rows are
+/// aggregated afterwards and identical for every `jobs` value.
+pub fn sim_debug_study_timed(
+    problems: &[Problem],
+    seed: u64,
+    jobs: usize,
+) -> (Vec<SimDebugStudy>, crate::runner::RunStats) {
+    let start = std::time::Instant::now();
+    // Per-problem outcome: None when the problem yielded no usable bug,
+    // otherwise (is_simple, repaired).
+    let outcomes: Vec<Option<(bool, bool)>> =
+        crate::runner::run_indexed(jobs, problems.len(), |idx| {
+            let problem = &problems[idx];
+            let mut rng = StdRng::seed_from_u64(crate::runner::episode_seed(
+                seed, 60, idx as u64, 0,
+            ));
+            let buggy = rtlfixer_dataset::mutate::inject_functional_bug(
+                &problem.solution,
+                &mut rng,
+            )?;
+            if problem.check(&buggy) == Verdict::Pass {
+                return None; // mutation happened to be benign
+            }
+            let is_simple = problem.solution.lines().count() <= SIMPLE_LINE_LIMIT;
+            let mut debugger =
+                SimDebugger::new(crate::runner::episode_seed(seed, 61, idx as u64, 0));
+            Some((is_simple, debugger.debug(problem, &buggy).success))
+        });
     let mut rows = vec![
         SimDebugStudy { set: "simple modules".into(), attempted: 0, repaired: 0 },
         SimDebugStudy { set: "complex modules".into(), attempted: 0, repaired: 0 },
     ];
-    let mut rng = StdRng::seed_from_u64(seed);
-    for (idx, problem) in problems.iter().enumerate() {
-        let Some(buggy) = rtlfixer_dataset::mutate::inject_functional_bug(
-            &problem.solution,
-            &mut rng,
-        ) else {
-            continue;
-        };
-        if problem.check(&buggy) == Verdict::Pass {
-            continue; // mutation happened to be benign
-        }
-        let row = if problem.solution.lines().count() <= SIMPLE_LINE_LIMIT {
-            &mut rows[0]
-        } else {
-            &mut rows[1]
-        };
+    for outcome in outcomes.iter().flatten() {
+        let row = if outcome.0 { &mut rows[0] } else { &mut rows[1] };
         row.attempted += 1;
-        let mut debugger = SimDebugger::new(seed.wrapping_add(idx as u64));
-        if debugger.debug(problem, &buggy).success {
+        if outcome.1 {
             row.repaired += 1;
         }
     }
-    rows
+    (rows, crate::runner::RunStats::new(problems.len(), start.elapsed()))
 }
 
 #[cfg(test)]
@@ -253,11 +273,22 @@ mod tests {
     }
 
     #[test]
+    fn study_is_jobs_invariant() {
+        let problems: Vec<_> = suites::verilog_eval_human().into_iter().step_by(8).collect();
+        let serial = sim_debug_study(&problems, 11, 1);
+        let parallel = sim_debug_study(&problems, 11, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.attempted, b.attempted);
+            assert_eq!(a.repaired, b.repaired);
+        }
+    }
+
+    #[test]
     fn study_shows_simple_over_complex_gradient() {
         // The §5 finding in miniature: simple modules get repaired more
         // often than complex ones, and the overall gain is partial.
         let problems: Vec<_> = suites::verilog_eval_human().into_iter().step_by(4).collect();
-        let rows = sim_debug_study(&problems, 11);
+        let rows = sim_debug_study(&problems, 11, 1);
         let simple = &rows[0];
         let complex = &rows[1];
         assert!(simple.attempted > 0 && complex.attempted > 0);

@@ -10,6 +10,8 @@
 //! The two entries of the paper's Figure 3 (undeclared `clk`, index out of
 //! range) appear verbatim-adjacent in [`GuidanceDatabase::quartus`].
 
+use std::sync::{Arc, OnceLock};
+
 use serde::{Deserialize, Serialize};
 
 use rtlfixer_verilog::diag::ErrorCategory;
@@ -89,6 +91,54 @@ fn entry(
 }
 
 impl GuidanceDatabase {
+    /// A content fingerprint (FNV-1a over edition and entry texts), used to
+    /// key per-database caches such as the shared TF-IDF index.
+    ///
+    /// Two databases with equal contents always fingerprint equally; a
+    /// collision between *different* databases would only make a retrieval
+    /// cache serve a wrong (but well-formed) index, and is astronomically
+    /// unlikely at the handful of databases a process ever builds.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        eat(match self.edition {
+            DatabaseEdition::Iverilog => b"iverilog",
+            DatabaseEdition::Quartus => b"quartus",
+        });
+        for entry in &self.entries {
+            eat(entry.id.as_bytes());
+            eat(entry.category.0.slug().as_bytes());
+            eat(&entry.error_tag.unwrap_or(0).to_le_bytes());
+            eat(entry.log_exemplar.as_bytes());
+            eat(entry.guidance.as_bytes());
+            eat(entry.demonstration.as_deref().unwrap_or("").as_bytes());
+        }
+        hash
+    }
+
+    /// The process-wide shared Quartus database.
+    ///
+    /// Experiments run thousands of episodes, each of which needs the
+    /// database read-only; sharing one `Arc` builds it once instead of
+    /// allocating 45 entries per episode.
+    pub fn quartus_shared() -> Arc<GuidanceDatabase> {
+        static SHARED: OnceLock<Arc<GuidanceDatabase>> = OnceLock::new();
+        Arc::clone(SHARED.get_or_init(|| Arc::new(GuidanceDatabase::quartus())))
+    }
+
+    /// The process-wide shared iverilog database (see [`Self::quartus_shared`]).
+    pub fn iverilog_shared() -> Arc<GuidanceDatabase> {
+        static SHARED: OnceLock<Arc<GuidanceDatabase>> = OnceLock::new();
+        Arc::clone(SHARED.get_or_init(|| Arc::new(GuidanceDatabase::iverilog())))
+    }
+
     /// Entries whose category is `category`.
     pub fn entries_for(&self, category: ErrorCategory) -> Vec<&GuidanceEntry> {
         self.entries.iter().filter(|e| e.category.0 == category).collect()
@@ -511,6 +561,25 @@ mod tests {
         let json = db.to_json();
         let back = GuidanceDatabase::from_json(&json).unwrap();
         assert_eq!(db, back);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let quartus = GuidanceDatabase::quartus();
+        assert_eq!(quartus.fingerprint(), GuidanceDatabase::quartus().fingerprint());
+        assert_ne!(quartus.fingerprint(), GuidanceDatabase::iverilog().fingerprint());
+        let mut truncated = quartus.clone();
+        truncated.entries.truncate(10);
+        assert_ne!(quartus.fingerprint(), truncated.fingerprint());
+    }
+
+    #[test]
+    fn shared_databases_are_singletons() {
+        let a = GuidanceDatabase::quartus_shared();
+        let b = GuidanceDatabase::quartus_shared();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, GuidanceDatabase::quartus());
+        assert_eq!(*GuidanceDatabase::iverilog_shared(), GuidanceDatabase::iverilog());
     }
 
     #[test]

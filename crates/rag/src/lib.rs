@@ -31,6 +31,6 @@ pub mod text;
 
 pub use database::{DatabaseEdition, GuidanceDatabase, GuidanceEntry};
 pub use retriever::{
-    DefaultRetriever, ExactTagRetriever, JaccardRetriever, Retrieved, RetrievalQuery, Retriever,
-    TfIdfRetriever,
+    shared_tfidf_index, tfidf_corpus, DefaultRetriever, ExactTagRetriever, JaccardRetriever,
+    Retrieved, RetrievalQuery, Retriever, TfIdfRetriever,
 };

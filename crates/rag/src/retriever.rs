@@ -15,6 +15,9 @@
 //! * [`TfIdfRetriever`] — cosine similarity over a TF-IDF index, the
 //!   "vector database" stand-in.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use rtlfixer_verilog::diag::ErrorCategory;
 
 use crate::database::{GuidanceDatabase, GuidanceEntry};
@@ -188,6 +191,43 @@ impl TfIdfRetriever {
     }
 }
 
+/// Builds the TF-IDF corpus for a guidance database (one document per
+/// entry: log exemplar plus guidance text).
+pub fn tfidf_corpus(db: &GuidanceDatabase) -> Vec<String> {
+    db.entries
+        .iter()
+        .map(|e| format!("{} {}", e.log_exemplar, e.guidance))
+        .collect()
+}
+
+/// Returns the process-wide shared TF-IDF index for `db`, building it on
+/// first use.
+///
+/// Indexing tokenises every entry and computes document frequencies —
+/// far too expensive to redo per retrieval call when a ReAct experiment
+/// issues one retrieval per compile failure. The cache is keyed by
+/// [`GuidanceDatabase::fingerprint`], so equal-content databases (clones,
+/// the shared editions, truncated ablation copies) share one immutable
+/// index across threads.
+pub fn shared_tfidf_index(db: &GuidanceDatabase) -> Arc<TfIdfIndex> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<TfIdfIndex>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = db.fingerprint();
+    if let Some(hit) = cache.lock().expect("tfidf cache lock").get(&key) {
+        return Arc::clone(hit);
+    }
+    // Build outside the lock so concurrent first-queries of *different*
+    // databases don't serialise; a racing duplicate build of the same
+    // database is harmless (last insert wins, both results are identical).
+    let index = Arc::new(TfIdfIndex::new(&tfidf_corpus(db)));
+    cache
+        .lock()
+        .expect("tfidf cache lock")
+        .entry(key)
+        .or_insert(index)
+        .clone()
+}
+
 impl Retriever for TfIdfRetriever {
     fn name(&self) -> &str {
         "tfidf"
@@ -198,12 +238,7 @@ impl Retriever for TfIdfRetriever {
         db: &'a GuidanceDatabase,
         query: &RetrievalQuery,
     ) -> Vec<Retrieved<'a>> {
-        let corpus: Vec<String> = db
-            .entries
-            .iter()
-            .map(|e| format!("{} {}", e.log_exemplar, e.guidance))
-            .collect();
-        let index = TfIdfIndex::new(&corpus);
+        let index = shared_tfidf_index(db);
         index
             .top_k(&query.log, self.top_k)
             .into_iter()
@@ -345,5 +380,40 @@ mod tests {
         assert!(ExactTagRetriever::new()
             .retrieve(&db, &RetrievalQuery::default())
             .is_empty());
+    }
+
+    #[test]
+    fn shared_index_is_reused_per_database() {
+        let db = GuidanceDatabase::quartus();
+        let first = shared_tfidf_index(&db);
+        let again = shared_tfidf_index(&db);
+        assert!(Arc::ptr_eq(&first, &again), "same database must share one index");
+        // An equal-content clone hits the same cache slot.
+        let clone = db.clone();
+        assert!(Arc::ptr_eq(&first, &shared_tfidf_index(&clone)));
+        // A different database gets its own index.
+        let other = shared_tfidf_index(&GuidanceDatabase::iverilog());
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(other.len(), 30);
+    }
+
+    #[test]
+    fn cached_retrieval_matches_cold_index() {
+        let db = GuidanceDatabase::quartus();
+        let query = RetrievalQuery::from_log(QUARTUS_LOG);
+        let retriever = TfIdfRetriever::new();
+        let cached: Vec<(String, f64)> = retriever
+            .retrieve(&db, &query)
+            .into_iter()
+            .map(|r| (r.entry.id.clone(), r.score))
+            .collect();
+        let cold_index = TfIdfIndex::new(&tfidf_corpus(&db));
+        let cold: Vec<(String, f64)> = cold_index
+            .top_k(&query.log, retriever.top_k)
+            .into_iter()
+            .filter(|(_, s)| *s >= retriever.threshold)
+            .map(|(i, s)| (db.entries[i].id.clone(), s))
+            .collect();
+        assert_eq!(cached, cold);
     }
 }

@@ -1,7 +1,7 @@
 //! Text utilities shared by the retrievers and (via this crate) the dataset
 //! curation pipeline: tokenisation, Jaccard similarity and TF-IDF cosine.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Splits text into lowercase alphanumeric tokens; numbers survive as
 /// tokens so error tags like `10161` are matchable.
@@ -58,19 +58,21 @@ pub fn jaccard_distance(a: &str, b: &str) -> f64 {
 #[derive(Debug, Clone)]
 pub struct TfIdfIndex {
     /// Per-document term-frequency vectors (L2-normalised lazily).
-    docs: Vec<HashMap<String, f64>>,
-    idf: HashMap<String, f64>,
+    /// Ordered maps keep summation order — and so the last float bits of
+    /// every score — identical across index instances and process runs.
+    docs: Vec<BTreeMap<String, f64>>,
+    idf: BTreeMap<String, f64>,
 }
 
 impl TfIdfIndex {
     /// Builds an index over `corpus`.
     pub fn new<S: AsRef<str>>(corpus: &[S]) -> Self {
         let n = corpus.len().max(1) as f64;
-        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        let mut doc_freq: BTreeMap<String, usize> = BTreeMap::new();
         let mut raw_docs = Vec::new();
         for doc in corpus {
             let tokens = tokenize(doc.as_ref());
-            let mut tf: HashMap<String, f64> = HashMap::new();
+            let mut tf: BTreeMap<String, f64> = BTreeMap::new();
             for token in &tokens {
                 *tf.entry(token.clone()).or_insert(0.0) += 1.0;
             }
@@ -79,7 +81,7 @@ impl TfIdfIndex {
             }
             raw_docs.push(tf);
         }
-        let idf: HashMap<String, f64> = doc_freq
+        let idf: BTreeMap<String, f64> = doc_freq
             .into_iter()
             .map(|(term, df)| (term, (n / (1.0 + df as f64)).ln() + 1.0))
             .collect();
@@ -110,7 +112,7 @@ impl TfIdfIndex {
     /// Cosine similarity of `query` against document `idx`.
     pub fn similarity(&self, idx: usize, query: &str) -> f64 {
         let Some(doc) = self.docs.get(idx) else { return 0.0 };
-        let mut qv: HashMap<String, f64> = HashMap::new();
+        let mut qv: BTreeMap<String, f64> = BTreeMap::new();
         for token in tokenize(query) {
             *qv.entry(token).or_insert(0.0) += 1.0;
         }

@@ -7,7 +7,7 @@ use rtlfixer::eval::experiments::table2::{evaluate_suite, PassAtKConfig};
 
 fn main() {
     let problems = rtlfixer::dataset::verilog_eval_human();
-    let config = PassAtKConfig { samples: 10, max_problems: Some(24), seed: 11 };
+    let config = PassAtKConfig { samples: 10, max_problems: Some(24), seed: 11, jobs: 0 };
     let result = evaluate_suite("Human", &problems, &config);
     for row in &result.rows {
         println!(

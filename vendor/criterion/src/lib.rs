@@ -1,0 +1,276 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the surface this workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` + `sample_size` + `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple self-calibrating wall-clock measurement loop. Median and
+//! spread are printed per benchmark; there is no HTML report or statistical
+//! regression machinery.
+//!
+//! Positional CLI arguments act as substring filters on benchmark names,
+//! matching cargo's `cargo bench -- <filter>` convention. `--bench`,
+//! `--profile-time`, and other harness flags are accepted and ignored.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Target time one benchmark spends measuring.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Warm-up budget before measurement.
+const WARM_UP: Duration = Duration::from_millis(100);
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    filters: Vec<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Harness flags cargo/criterion pass through; consume values
+                // for the ones that take them.
+                "--bench" | "--test" | "--quiet" | "--verbose" | "--noplot" | "--exact" => {}
+                "--profile-time" | "--sample-size" | "--measurement-time" | "--warm-up-time"
+                | "--save-baseline" | "--baseline" | "--color" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                filter => filters.push(filter.to_string()),
+            }
+        }
+        Criterion { filters, default_sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&mut self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(name) {
+            return;
+        }
+        let mut bencher = Bencher::calibrating();
+        // Warm-up: run until the budget is spent, letting the bencher pick
+        // its iterations-per-sample so one sample lasts roughly
+        // TARGET_MEASURE / sample_size.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARM_UP {
+            f(&mut bencher);
+        }
+        let per_sample = (TARGET_MEASURE / sample_size.max(1) as u32).max(Duration::from_micros(50));
+        bencher.freeze(per_sample);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            bencher.sample_total = Duration::ZERO;
+            bencher.sample_iters = 0;
+            f(&mut bencher);
+            if bencher.sample_iters > 0 {
+                samples
+                    .push(bencher.sample_total.as_secs_f64() / bencher.sample_iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        let low = samples.first().copied().unwrap_or(0.0);
+        let high = samples.last().copied().unwrap_or(0.0);
+        println!(
+            "{:<48} time: [{} {} {}]",
+            name,
+            format_seconds(low),
+            format_seconds(median),
+            format_seconds(high),
+        );
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark, named `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs the
+/// benchmarked routine.
+pub struct Bencher {
+    /// Iterations `iter` runs per call once frozen; during calibration this
+    /// grows adaptively.
+    iters_per_call: u64,
+    calibrating: bool,
+    per_sample: Duration,
+    sample_total: Duration,
+    sample_iters: u64,
+}
+
+impl Bencher {
+    fn calibrating() -> Self {
+        Bencher {
+            iters_per_call: 1,
+            calibrating: true,
+            per_sample: Duration::from_millis(1),
+            sample_total: Duration::ZERO,
+            sample_iters: 0,
+        }
+    }
+
+    fn freeze(&mut self, per_sample: Duration) {
+        self.calibrating = false;
+        self.per_sample = per_sample;
+    }
+
+    /// Times `routine`, running it enough times for a stable wall-clock
+    /// sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_call {
+            std_black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        if self.calibrating {
+            // Grow until one call takes at least ~the per-sample budget.
+            if elapsed < self.per_sample && self.iters_per_call < 1 << 30 {
+                self.iters_per_call *= 2;
+            }
+        } else {
+            self.sample_total += elapsed;
+            self.sample_iters += self.iters_per_call;
+        }
+    }
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion { filters: Vec::new(), default_sample_size: 5 };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion { filters: Vec::new(), default_sample_size: 5 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("inner", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filters_exclude_nonmatching() {
+        let mut c = Criterion {
+            filters: vec!["wanted".to_string()],
+            default_sample_size: 3,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_seconds(1.5), "1.5000 s");
+        assert_eq!(format_seconds(0.0015), "1.5000 ms");
+        assert_eq!(format_seconds(0.0000015), "1.5000 µs");
+    }
+}

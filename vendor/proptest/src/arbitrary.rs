@@ -1,0 +1,65 @@
+//! `any::<T>()` / bare-typed argument support.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Types with a default generation strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias an eighth of draws toward edge values; uniform
+                // otherwise.
+                if rng.below(8) == 0 {
+                    const EDGES: &[u64] = &[0, 1, 2, 3, u64::MAX, u64::MAX - 1, 1 << 31, 1 << 63];
+                    EDGES[rng.below(EDGES.len() as u64) as usize] as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite floats across magnitudes.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exponent = rng.below(61) as i32 - 30;
+        mantissa * (2.0f64).powi(exponent)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from(b' ' + rng.below(95) as u8)
+    }
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy wrapper produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the surface this workspace's property tests use:
+//!
+//! * the `proptest! { #![proptest_config(...)] #[test] fn f(a in strat, b: ty) {...} }` macro
+//! * range strategies (`0usize..156`, `1u32..=64`, `0.0f64..=1.0`)
+//! * regex-subset string strategies (`".{0,400}"`, `"[a-z0-9 ]{0,60}"`,
+//!   groups with `{m,n}` repetition, `+`, `*`, `?`, escapes)
+//! * `any::<T>()` / bare `name: type` arguments for integers and floats
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//!
+//! Cases are sampled deterministically from the test name and case index —
+//! no shrinking, no persistence files; a failure panics with the case
+//! number so it can be replayed by rerunning the test.
+
+pub mod arbitrary;
+pub mod rng;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use rng::TestRng;
+pub use strategy::Strategy;
+
+/// Run configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one test case.
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        seed ^= u64::from(byte);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::new(seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// The property-test macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_rng(stringify!($name), __case);
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $crate::__proptest_bind! { rng = __rng; $($params)* }
+                    $body
+                }));
+                if let Err(panic) = __result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    (rng = $rng:ident;) => {};
+    (rng = $rng:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    (rng = $rng:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+    (rng = $rng:ident; $arg:ident : $ty:ty) => {
+        let $arg: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    (rng = $rng:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+}
+
+/// Asserting macro (plain assert with case reporting handled by the
+/// harness).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_arbitrary(width in 1u32..=64, value: u64, frac in 0.0f64..=1.0) {
+            prop_assert!((1..=64).contains(&width));
+            prop_assert!((0.0..=1.0).contains(&frac));
+            let _ = value;
+        }
+
+        #[test]
+        fn string_strategies(s in "[a-z0-9 ]{0,60}", t in "(ab|c){1,3}") {
+            prop_assert!(s.len() <= 60);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+            prop_assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng("x", 3);
+        let mut b = crate::test_rng("x", 3);
+        let sa = crate::Strategy::sample(&".{0,40}", &mut a);
+        let sb = crate::Strategy::sample(&".{0,40}", &mut b);
+        assert_eq!(sa, sb);
+    }
+}

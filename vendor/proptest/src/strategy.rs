@@ -1,0 +1,338 @@
+//! Value-generation strategies: integer/float ranges and a regex-subset
+//! string sampler.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::TestRng;
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pattern = Pattern::parse(self);
+        let mut out = String::new();
+        pattern.generate(rng, &mut out, 0);
+        out
+    }
+}
+
+impl<T: Strategy> Strategy for &T {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (**self).sample(rng)
+    }
+}
+
+// ---- regex-subset sampler ----------------------------------------------
+
+/// Repetition bounds attached to an atom.
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: u32,
+    max: u32,
+}
+
+const DEFAULT_UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// `.` — any printable-ish character.
+    AnyChar,
+    /// `[...]` — one of an explicit character set.
+    Class(Vec<char>),
+    /// `( alt | alt | ... )`.
+    Group(Vec<Pattern>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    repeat: Repeat,
+}
+
+/// A parsed pattern: a sequence of repeated atoms.
+#[derive(Debug, Clone)]
+pub(crate) struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+/// Characters `.` samples from: printable ASCII plus a sprinkle of
+/// control/unicode so totality properties see awkward inputs.
+fn any_char(rng: &mut TestRng) -> char {
+    match rng.below(32) {
+        0 => '\n',
+        1 => '\r',
+        2 => '\t',
+        3 => '\u{0}',
+        4 => 'é',
+        5 => '中',
+        _ => char::from(b' ' + rng.below(95) as u8),
+    }
+}
+
+impl Pattern {
+    /// Parses the supported regex subset; unsupported syntax degrades to
+    /// literal characters rather than failing.
+    pub(crate) fn parse(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (pattern, _) = Self::parse_alternatives(&chars, 0, None);
+        pattern_from_alternatives(pattern)
+    }
+
+    /// Parses alternatives until `end_delim` (or end of input). Returns the
+    /// alternative list and the position after the closing delimiter.
+    fn parse_alternatives(
+        chars: &[char],
+        mut pos: usize,
+        end_delim: Option<char>,
+    ) -> (Vec<Pattern>, usize) {
+        let mut alternatives = Vec::new();
+        let mut pieces = Vec::new();
+        loop {
+            if pos >= chars.len() {
+                alternatives.push(Pattern { pieces });
+                return (alternatives, pos);
+            }
+            let c = chars[pos];
+            if Some(c) == end_delim {
+                alternatives.push(Pattern { pieces });
+                return (alternatives, pos + 1);
+            }
+            match c {
+                '|' => {
+                    alternatives.push(Pattern { pieces: std::mem::take(&mut pieces) });
+                    pos += 1;
+                }
+                '(' => {
+                    let (inner, after) = Self::parse_alternatives(chars, pos + 1, Some(')'));
+                    let (repeat, after) = parse_repeat(chars, after);
+                    pieces.push(Piece { atom: Atom::Group(inner), repeat });
+                    pos = after;
+                }
+                '[' => {
+                    let (set, after) = parse_class(chars, pos + 1);
+                    let (repeat, after) = parse_repeat(chars, after);
+                    pieces.push(Piece { atom: Atom::Class(set), repeat });
+                    pos = after;
+                }
+                '.' => {
+                    let (repeat, after) = parse_repeat(chars, pos + 1);
+                    pieces.push(Piece { atom: Atom::AnyChar, repeat });
+                    pos = after;
+                }
+                '\\' => {
+                    let escaped = chars.get(pos + 1).copied().unwrap_or('\\');
+                    let literal = match escaped {
+                        'n' => '\n',
+                        'r' => '\r',
+                        't' => '\t',
+                        other => other,
+                    };
+                    let (repeat, after) = parse_repeat(chars, pos + 2);
+                    pieces.push(Piece { atom: Atom::Literal(literal), repeat });
+                    pos = after;
+                }
+                literal => {
+                    let (repeat, after) = parse_repeat(chars, pos + 1);
+                    pieces.push(Piece { atom: Atom::Literal(literal), repeat });
+                    pos = after;
+                }
+            }
+        }
+    }
+
+    fn generate(&self, rng: &mut TestRng, out: &mut String, depth: u32) {
+        for piece in &self.pieces {
+            let count = if piece.repeat.min == piece.repeat.max {
+                piece.repeat.min
+            } else {
+                let span = u64::from(piece.repeat.max - piece.repeat.min) + 1;
+                piece.repeat.min + rng.below(span) as u32
+            };
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::AnyChar => out.push(any_char(rng)),
+                    Atom::Class(set) => {
+                        if !set.is_empty() {
+                            out.push(set[rng.below(set.len() as u64) as usize]);
+                        }
+                    }
+                    Atom::Group(alternatives) => {
+                        if depth < 16 && !alternatives.is_empty() {
+                            let pick = rng.below(alternatives.len() as u64) as usize;
+                            alternatives[pick].generate(rng, out, depth + 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn pattern_from_alternatives(alternatives: Vec<Pattern>) -> Pattern {
+    if alternatives.len() == 1 {
+        alternatives.into_iter().next().expect("one alternative")
+    } else {
+        Pattern {
+            pieces: vec![Piece {
+                atom: Atom::Group(alternatives),
+                repeat: Repeat { min: 1, max: 1 },
+            }],
+        }
+    }
+}
+
+/// Parses `[...]` contents (supports ranges and escapes; no negation).
+fn parse_class(chars: &[char], mut pos: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while pos < chars.len() && chars[pos] != ']' {
+        let c = match chars[pos] {
+            '\\' => {
+                pos += 1;
+                match chars.get(pos).copied().unwrap_or('\\') {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    other => other,
+                }
+            }
+            other => other,
+        };
+        if chars.get(pos + 1) == Some(&'-') && chars.get(pos + 2).is_some_and(|&e| e != ']') {
+            let end = chars[pos + 2];
+            let (lo, hi) = (c as u32, end as u32);
+            for code in lo..=hi {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+            pos += 3;
+        } else {
+            set.push(c);
+            pos += 1;
+        }
+    }
+    (set, pos + 1)
+}
+
+/// Parses an optional postfix quantifier at `pos`.
+fn parse_repeat(chars: &[char], pos: usize) -> (Repeat, usize) {
+    match chars.get(pos) {
+        Some('{') => {
+            let mut end = pos + 1;
+            while end < chars.len() && chars[end] != '}' {
+                end += 1;
+            }
+            let body: String = chars[pos + 1..end].iter().collect();
+            let repeat = match body.split_once(',') {
+                Some((min, max)) => Repeat {
+                    min: min.trim().parse().unwrap_or(0),
+                    max: max.trim().parse().unwrap_or(DEFAULT_UNBOUNDED_MAX),
+                },
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    Repeat { min: n, max: n }
+                }
+            };
+            (repeat, (end + 1).min(chars.len() + 1))
+        }
+        Some('+') => (Repeat { min: 1, max: DEFAULT_UNBOUNDED_MAX }, pos + 1),
+        Some('*') => (Repeat { min: 0, max: DEFAULT_UNBOUNDED_MAX }, pos + 1),
+        Some('?') => (Repeat { min: 0, max: 1 }, pos + 1),
+        _ => (Repeat { min: 1, max: 1 }, pos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(7)
+    }
+
+    #[test]
+    fn class_with_ranges() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = Strategy::sample(&"[a-c0-2]{4}", &mut r);
+            assert_eq!(s.chars().count(), 4);
+            assert!(s.chars().all(|c| "abc012".contains(c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn group_repetition_shapes() {
+        let mut r = rng();
+        for _ in 0..30 {
+            let s = Strategy::sample(&"(ab){2,3}", &mut r);
+            assert!(s == "abab" || s == "ababab", "{s}");
+        }
+    }
+
+    #[test]
+    fn verilog_shaped_pattern_generates() {
+        let mut r = rng();
+        let s = Strategy::sample(&"(assign [a-z]+ = [a-z0-9&|^~ ]+;\n){1,3}", &mut r);
+        assert!(s.contains("assign "), "{s}");
+        assert!(s.ends_with(";\n"), "{s:?}");
+    }
+
+    #[test]
+    fn dot_bounds_length() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let s = Strategy::sample(&".{0,40}", &mut r);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+}

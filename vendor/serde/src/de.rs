@@ -1,0 +1,158 @@
+//! Deserialization: the [`Deserialize`] trait, the [`Deserializer`] source
+//! trait and the content-tree adapter used by derived impls.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::ser::Content;
+
+/// Deserialization error constraint, mirroring `serde::de::Error`.
+pub trait Error: Sized + fmt::Debug + fmt::Display {
+    /// Builds an error from a message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A deserialization source. The reduced data model is self-describing, so
+/// the only method hands over the parsed content tree.
+pub trait Deserializer<'de>: Sized {
+    /// Failure value.
+    type Error: Error;
+
+    /// Yields the underlying content tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A deserializable value.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from the given source.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Adapter: deserializes from an in-memory content tree with any error
+/// type (the trick serde itself uses for nested field decoding).
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer { content, marker: PhantomData }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes a value from a content tree.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+/// Pulls one named field out of a map's entries, used by derived struct
+/// impls. Missing fields deserialize from `Null` so `Option` fields default
+/// to `None`; other types report the missing field.
+pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
+    entries: &mut Vec<(String, Content)>,
+    name: &str,
+) -> Result<T, E> {
+    match entries.iter().position(|(key, _)| key == name) {
+        Some(index) => from_content(entries.remove(index).1),
+        None => from_content(Content::Null)
+            .map_err(|_: E| E::custom(format!("missing field `{name}`"))),
+    }
+}
+
+fn type_error<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!("expected {expected}, found {got:?}"))
+}
+
+// ---- Deserialize impls for std types ----------------------------------
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(value) => Ok(value),
+            other => Err(type_error("a string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(value) => Ok(value),
+            other => Err(type_error("a boolean", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::F64(value) => Ok(value),
+            Content::U64(value) => Ok(value as f64),
+            Content::I64(value) => Ok(value as f64),
+            other => Err(type_error("a number", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::U64(value) => <$t>::try_from(value)
+                        .map_err(|_| Error::custom(format!("integer {value} out of range"))),
+                    other => Err(type_error("an unsigned integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.take_content()?;
+                let wide: i64 = match content {
+                    Content::U64(value) => i64::try_from(value)
+                        .map_err(|_| Error::custom(format!("integer {value} out of range")))?,
+                    Content::I64(value) => value,
+                    other => return Err(type_error("an integer", &other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            content => from_content(content).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(type_error("a sequence", &other)),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates-io access, so the workspace vendors a
+//! reduced serde: the same trait names and signatures the codebase uses
+//! (`Serialize`, `Deserialize`, `Serializer`, `Deserializer`,
+//! `de::Error::custom`), backed by a simple self-describing content tree
+//! ([`Content`]) instead of serde's visitor machinery. The derive macros
+//! (re-exported from the vendored `serde_derive`) generate impls against
+//! this content model, and the vendored `serde_json` renders/parses it.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Content, Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization half: the content tree and the `Serialize`/`Serializer`
+/// traits.
+pub mod content {
+    pub use crate::ser::Content;
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses: structs with named fields and enums with
+//! unit variants (serialized as the variant-name string, matching real
+//! serde's JSON encoding). Written against `proc_macro` directly — no
+//! `syn`/`quote`, since the build container has no crates-io access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum whose variants all carry no data.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Skips one attribute (`#` already consumed ⇒ consume the bracket group;
+/// also tolerates the inner-attribute `!`).
+fn skip_attr(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+        iter.next();
+    }
+    iter.next(); // the [...] group
+}
+
+/// Parses the item the derive is attached to.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let mut kind = None;
+    let mut name = None;
+    while let Some(token) = iter.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => skip_attr(&mut iter),
+            TokenTree::Ident(ident) => {
+                let text = ident.to_string();
+                match text.as_str() {
+                    "pub" => {
+                        // Swallow a visibility scope like `pub(crate)`.
+                        if matches!(iter.peek(), Some(TokenTree::Group(g))
+                            if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            iter.next();
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(text);
+                        match iter.next() {
+                            Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                            other => panic!("expected type name, found {other:?}"),
+                        }
+                        break;
+                    }
+                    other => panic!("unsupported item prefix `{other}`"),
+                }
+            }
+            other => panic!("unexpected token before item: {other}"),
+        }
+    }
+    let kind = kind.expect("derive target must be a struct or enum");
+    let name = name.expect("derive target must be named");
+    // Find the brace-delimited body (skipping generics would go here; the
+    // workspace derives only on non-generic types).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                break group.stream();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("generic types are not supported by the vendored serde_derive")
+            }
+            Some(_) => continue,
+            None => panic!("expected a braced body on `{name}`"),
+        }
+    };
+    if kind == "struct" {
+        Shape::Struct { name, fields: parse_named_fields(body) }
+    } else {
+        Shape::UnitEnum { name, variants: parse_unit_variants(body) }
+    }
+}
+
+/// Collects field names from a named-struct body, skipping attributes,
+/// visibility and the type tokens after each `:`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Field prelude: attributes and visibility.
+        let ident = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    if matches!(iter.peek(), Some(TokenTree::Group(g))
+                        if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        iter.next();
+                    }
+                }
+                Some(TokenTree::Ident(ident)) => break ident.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other}"),
+            }
+        };
+        fields.push(ident);
+        // Consume `:` then the type, up to a top-level comma.
+        let mut depth = 0i32;
+        for token in iter.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Collects variant names from an enum body, rejecting data-carrying
+/// variants.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(token) = iter.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => skip_attr(&mut iter),
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(ident) => {
+                if matches!(iter.peek(), Some(TokenTree::Group(_))) {
+                    panic!(
+                        "variant `{ident}` carries data; the vendored serde_derive only \
+                         supports unit variants"
+                    );
+                }
+                variants.push(ident.to_string());
+            }
+            other => panic!("unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__entries.push((\"{f}\".to_string(), \
+                         ::serde::ser::to_content(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                         -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                         let mut __entries: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         serializer.serialize_content(::serde::Content::Map(__entries))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                         -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                         serializer.serialize_str(match self {{ {arms} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated.parse().expect("derived Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::de::take_field(&mut __entries, \"{f}\")?,\n")
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+                         -> ::std::result::Result<Self, D::Error> {{\n\
+                         match deserializer.take_content()? {{\n\
+                             ::serde::Content::Map(mut __entries) => \
+                                 ::std::result::Result::Ok({name} {{ {field_inits} }}),\n\
+                             __other => ::std::result::Result::Err(\
+                                 <D::Error as ::serde::de::Error>::custom(\
+                                     format!(\"expected a map for `{name}`, found {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+                         -> ::std::result::Result<Self, D::Error> {{\n\
+                         let __variant = <::std::string::String as \
+                             ::serde::Deserialize>::deserialize(deserializer)?;\n\
+                         match __variant.as_str() {{\n\
+                             {arms}\
+                             __other => ::std::result::Result::Err(\
+                                 <D::Error as ::serde::de::Error>::custom(\
+                                     format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated.parse().expect("derived Deserialize impl parses")
+}

@@ -1,0 +1,544 @@
+//! Offline stand-in for `serde_json`: renders and parses JSON against the
+//! vendored serde's content tree. Supports the workspace's surface:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`json!`] and a
+//! displayable [`Value`].
+
+use std::fmt;
+
+use serde::ser::{to_content, Content};
+use serde::{Deserialize, Serialize};
+
+/// JSON error (parse or shape mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// A JSON value: a displayable wrapper over the serde content tree.
+#[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)]
+pub struct Value(pub Content);
+
+/// `Value::get` / indexing fallback for absent keys.
+const NULL_VALUE: &Value = &Value(Content::Null);
+
+impl Value {
+    /// Builds a value from any serializable type.
+    pub fn from_serialize<T: Serialize + ?Sized>(value: &T) -> Value {
+        Value(to_content(value))
+    }
+
+    fn wrap(content: &Content) -> &Value {
+        // SAFETY: Value is #[repr(transparent)] over Content.
+        unsafe { &*(content as *const Content as *const Value) }
+    }
+
+    /// Whether this value is a JSON object.
+    pub fn is_object(&self) -> bool {
+        matches!(self.0, Content::Map(_))
+    }
+
+    /// Looks up an object key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match &self.0 {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, content)| Value::wrap(content)),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Mutable view of this value as an object, if it is one.
+    pub fn as_object_mut(&mut self) -> Option<ObjectMut<'_>> {
+        match &mut self.0 {
+            Content::Map(entries) => Some(ObjectMut(entries)),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(NULL_VALUE)
+    }
+}
+
+/// Mutable object access: `Value::as_object_mut`'s view, supporting the
+/// insert-or-replace surface of serde_json's `Map`.
+pub struct ObjectMut<'a>(&'a mut Vec<(String, Content)>);
+
+impl ObjectMut<'_> {
+    /// Inserts `value` under `key`, replacing any existing entry.
+    pub fn insert(&mut self, key: String, value: Value) {
+        match self.0.iter_mut().find(|(name, _)| *name == key) {
+            Some(entry) => entry.1 = value.0,
+            None => self.0.push((key, value.0)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Value(deserializer.take_content()?))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_content(&mut out, &self.0, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.0.clone())
+    }
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax. Supports one level of
+/// object/array literal with expression values (nested literals can use
+/// nested `json!` calls), which is the surface the workspace uses.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value($crate::__content_map(vec![
+            $( ($key.to_string(), $crate::__to_content(&$value)) ),*
+        ]))
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value($crate::__content_seq(vec![
+            $( $crate::__to_content(&$value) ),*
+        ]))
+    };
+    (null) => { $crate::Value($crate::__content_null()) };
+    ($other:expr) => { $crate::Value($crate::__to_content(&$other)) };
+}
+
+// ---- macro support (public, hidden) -----------------------------------
+
+#[doc(hidden)]
+pub fn __to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    to_content(value)
+}
+
+#[doc(hidden)]
+pub fn __content_map(entries: Vec<(String, Content)>) -> Content {
+    Content::Map(entries)
+}
+
+#[doc(hidden)]
+pub fn __content_seq(items: Vec<Content>) -> Content {
+    Content::Seq(items)
+}
+
+#[doc(hidden)]
+pub fn __content_null() -> Content {
+    Content::Null
+}
+
+// ---- rendering ---------------------------------------------------------
+
+fn escape_into(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        if value == value.trunc() && value.abs() < 1e15 {
+            // Keep a decimal point so the value reads as a float (matches
+            // serde_json's `1.0`).
+            out.push_str(&format!("{value:.1}"));
+        } else {
+            out.push_str(&format!("{value}"));
+        }
+    } else {
+        // JSON has no inf/NaN; serde_json errors, we degrade to null.
+        out.push_str("null");
+    }
+}
+
+/// Renders `content`; `indent = None` is compact, `Some(step)` pretty.
+fn write_content(out: &mut String, content: &Content, indent: Option<usize>, level: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => escape_into(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(step) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(step * (level + 1)));
+                }
+                write_content(out, item, indent, level + 1);
+            }
+            if let Some(step) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(step * level));
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(step) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(step * (level + 1)));
+                }
+                escape_into(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, value, indent, level + 1);
+            }
+            if let Some(step) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(step * level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &to_content(value), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &to_content(value), Some(2), 0);
+    Ok(out)
+}
+
+// ---- parsing -----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-scan the full UTF-8 character.
+                    let start = self.pos - 1;
+                    let text = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let ch = text.chars().next().ok_or_else(|| self.error("empty char"))?;
+                    self.pos = start + ch.len_utf8();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("bad number"))?;
+        if !is_float {
+            if let Ok(value) = text.parse::<u64>() {
+                return Ok(Content::U64(value));
+            }
+            if let Ok(value) = text.parse::<i64>() {
+                return Ok(Content::I64(value));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| self.error("bad number"))
+    }
+}
+
+/// Parses a JSON document into any deserializable type.
+pub fn from_str<'a, T: Deserialize<'a>>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser::new(text);
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    serde::de::from_content(content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&"a\n\"b\"").unwrap(), "\"a\\n\\\"b\\\"\"");
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"{"a": [1, -2, 3.5], "b": {"c": "x\ny"}, "d": null}"#;
+        let value: Vec<(String, Content)> = match Parser::new(doc).parse_value().unwrap() {
+            Content::Map(entries) => entries,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(value.len(), 3);
+        assert_eq!(
+            value[0].1,
+            Content::Seq(vec![Content::U64(1), Content::I64(-2), Content::F64(3.5)])
+        );
+    }
+
+    #[test]
+    fn from_str_into_vec() {
+        let parsed: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(parsed, vec![1, 2, 3]);
+        let parsed: Option<String> = from_str("null").unwrap();
+        assert_eq!(parsed, None);
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let value = json!({"k": vec![1u32, 2], "s": "v"});
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains("\n  \"k\": [\n    1,\n    2\n  ]"), "{pretty}");
+        assert_eq!(value.to_string(), r#"{"k":[1,2],"s":"v"}"#);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let value = json!({"id": "x", "n": 3u32});
+        let text = value.to_string();
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains("\"id\":\"x\""));
+    }
+}
