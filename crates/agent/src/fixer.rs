@@ -229,7 +229,9 @@ impl<L: LanguageModel> RtlFixer<L> {
         let mut trace = FixTrace::new();
         self.llm.begin_episode();
 
-        let mut outcome = self.compiler.compile(&code, "main.sv");
+        // Cached compile: across episodes (and pool workers) identical
+        // candidate sources compile exactly once per process.
+        let mut outcome = self.compiler.compile_cached(&code, "main.sv");
         trace.push(
             "Submit the implementation to the compiler to check for syntax errors.",
             Action::Compiler,
@@ -284,7 +286,7 @@ impl<L: LanguageModel> RtlFixer<L> {
             code = response.code;
             revisions += 1;
 
-            outcome = self.compiler.compile(&code, "main.sv");
+            outcome = self.compiler.compile_cached(&code, "main.sv");
             trace.push(
                 "Re-run the compilation on the revised code.",
                 Action::Compiler,

@@ -104,6 +104,46 @@ fn bench_retrieval(c: &mut Criterion) {
     });
 }
 
+fn bench_artifact_cache(c: &mut Criterion) {
+    // The cold/cached pairs below are the before/after datapoints for the
+    // content-addressed artifact caches: cold = the full computation the
+    // episode pool used to repeat, cached = the fingerprint lookup it does
+    // now when a candidate source recurs.
+    rtlfixer_cache::set_enabled(true);
+    let source = rtlfixer_dataset::suites::find_problem("rtllm/conwaylife")
+        .expect("problem exists")
+        .solution;
+
+    // Analysis cache: full frontend pass vs content-addressed lookup.
+    c.bench_function("cache/compile_cold", |b| {
+        b.iter(|| rtlfixer_verilog::compile(black_box(&source)))
+    });
+    let _ = rtlfixer_verilog::compile_shared(&source);
+    c.bench_function("cache/compile_cached", |b| {
+        b.iter(|| rtlfixer_verilog::compile_shared(black_box(&source)))
+    });
+
+    // Outcome cache: personality log render vs lookup.
+    let quartus = CompilerKind::Quartus.build();
+    c.bench_function("cache/outcome_cold", |b| {
+        b.iter(|| quartus.compile(black_box(BROKEN), "main.sv"))
+    });
+    let _ = quartus.compile_cached(BROKEN, "main.sv");
+    c.bench_function("cache/outcome_cached", |b| {
+        b.iter(|| quartus.compile_cached(black_box(BROKEN), "main.sv"))
+    });
+
+    // Design cache: elaboration vs reuse of the shared `Arc<Design>`.
+    let analysis = rtlfixer_verilog::compile(&source);
+    c.bench_function("cache/elaborate_cold", |b| {
+        b.iter(|| rtlfixer_sim::elab::elaborate(black_box(&analysis), "top_module"))
+    });
+    let _ = rtlfixer_sim::elab::elaborate_shared(&analysis, "top_module");
+    c.bench_function("cache/elaborate_reused", |b| {
+        b.iter(|| rtlfixer_sim::elab::elaborate_shared(black_box(&analysis), "top_module"))
+    });
+}
+
 fn bench_repair(c: &mut Criterion) {
     let analysis = rtlfixer_verilog::compile(BROKEN);
     let diag = analysis.errors()[0].clone();
@@ -132,6 +172,7 @@ criterion_group!(
     bench_compilers,
     bench_simulator,
     bench_retrieval,
+    bench_artifact_cache,
     bench_repair,
     bench_agent
 );

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release -p rtlfixer-bench --bin ablations`.
 
-use rtlfixer_bench::{fmt3, render_table, RunScale};
+use rtlfixer_bench::{fmt3, record_run, render_table, RunScale};
 use rtlfixer_eval::experiments::ablations;
 use rtlfixer_eval::experiments::table1::FixRateConfig;
 
@@ -14,6 +14,8 @@ fn main() {
     } else {
         FixRateConfig { repeats: 5, jobs: scale.jobs, ..Default::default() }
     };
+    let mut episodes = 0usize;
+    let mut seconds = 0.0f64;
     for (title, points) in [
         ("Retriever (ReAct + Quartus + RAG)", ablations::retriever_ablation(&config)),
         ("ReAct iteration budget (Quartus, w/o RAG)", ablations::iteration_sweep(&config)),
@@ -24,6 +26,8 @@ fn main() {
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|p| {
+                episodes += p.stats.episodes;
+                seconds += p.stats.seconds;
                 vec![
                     p.variant.clone(),
                     fmt3(p.fix_rate),
@@ -34,4 +38,10 @@ fn main() {
             .collect();
         println!("{}", render_table(&["variant", "fix rate", "secs", "eps/s"], &rows));
     }
+    let stats = rtlfixer_eval::RunStats {
+        episodes,
+        seconds,
+        episodes_per_sec: if seconds > 0.0 { episodes as f64 / seconds } else { 0.0 },
+    };
+    record_run("ablations", scale.jobs, &stats);
 }

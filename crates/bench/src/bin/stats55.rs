@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p rtlfixer-bench --bin stats55`.
 
-use rtlfixer_bench::{fmt3, RunScale};
+use rtlfixer_bench::{fmt3, record_run, RunScale};
 use rtlfixer_eval::experiments::table2::{evaluate_suite, PassAtKConfig};
 
 fn main() {
@@ -28,4 +28,5 @@ fn main() {
         "syntax share of all errors: {} (paper: 0.55)",
         fmt3(syntax_share_of_errors)
     );
+    record_run("stats55", scale.jobs, &evaluation.stats);
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --release -p rtlfixer-bench --bin table3`.
 
-use rtlfixer_bench::{fmt3, render_table, RunScale};
-use rtlfixer_eval::experiments::table2::{table3, PassAtKConfig};
+use rtlfixer_bench::{fmt3, record_run, render_table, RunScale};
+use rtlfixer_eval::experiments::table2::{table3_timed, PassAtKConfig};
 
 fn main() {
     let scale = RunScale::from_args();
@@ -15,7 +15,7 @@ fn main() {
         PassAtKConfig { samples: 10, max_problems: None, seed: 11, jobs: scale.jobs }
     };
     eprintln!("Table 3: RTLLM generalisation (29 problems, n = {})", config.samples);
-    let result = table3(&config);
+    let (result, stats) = table3_timed(&config);
     let rows = vec![
         vec![
             "GPT-3.5".to_owned(),
@@ -40,4 +40,5 @@ fn main() {
         )
     );
     println!("{}", serde_json::to_string_pretty(&result).expect("serialises"));
+    record_run("table3", scale.jobs, &stats);
 }

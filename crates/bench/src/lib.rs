@@ -102,9 +102,18 @@ impl RunScale {
 ///
 /// The file is a JSON object keyed by experiment name; each call
 /// merge-writes its entry so the binaries can run in any order or subset.
-/// `RTLFIXER_RESULTS_DIR` overrides the output directory (used by tests).
+/// Each entry carries the wall-clock stats plus a snapshot of the
+/// process-wide artifact caches (analysis / compile-outcome / elaborated
+/// design hits and misses), so throughput numbers are interpretable next
+/// to the cache behaviour that produced them.
+///
+/// Environment overrides:
+/// * `RTLFIXER_RESULTS_DIR` — output directory (used by tests).
+/// * `RTLFIXER_RECORD_AS` — record under this key instead of `experiment`
+///   (used for A/B runs of one binary, e.g. cache on vs off).
 pub fn record_run(experiment: &str, jobs: usize, stats: &rtlfixer_eval::RunStats) {
     let dir = std::env::var("RTLFIXER_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let key = std::env::var("RTLFIXER_RECORD_AS").unwrap_or_else(|_| experiment.to_owned());
     let path = std::path::Path::new(&dir).join("bench_eval.json");
     let mut root = std::fs::read_to_string(&path)
         .ok()
@@ -113,14 +122,16 @@ pub fn record_run(experiment: &str, jobs: usize, stats: &rtlfixer_eval::RunStats
     if !root.is_object() {
         root = serde_json::json!({});
     }
+    let caches = serde_json::Value::from_serialize(&rtlfixer_eval::cache_report());
     let entry = serde_json::json!({
         "jobs": rtlfixer_eval::resolve_jobs(jobs),
         "episodes": stats.episodes,
         "wall_seconds": stats.seconds,
         "episodes_per_sec": stats.episodes_per_sec,
+        "caches": caches,
     });
     if let Some(mut map) = root.as_object_mut() {
-        map.insert(experiment.to_owned(), entry);
+        map.insert(key, entry);
     }
     if std::fs::create_dir_all(&dir).is_err() {
         return; // read-only checkout: recording throughput is best-effort

@@ -1,5 +1,6 @@
 //! Smoke tests for the reproduction binaries: a scaled-down parallel run
-//! must succeed end-to-end and record its throughput artifact.
+//! must succeed end-to-end and record its throughput artifact, and the
+//! artifact caches must be invisible in the experiment outputs.
 
 use std::path::Path;
 use std::process::Command;
@@ -34,4 +35,50 @@ fn table1_quick_parallel_smoke() {
     assert_eq!(entry["jobs"].as_u64(), Some(2), "{text}");
     assert!(entry["episodes"].as_u64().unwrap_or(0) > 0, "{text}");
     assert!(entry["episodes_per_sec"].as_f64().unwrap_or(0.0) > 0.0, "{text}");
+    // The entry carries the artifact-cache snapshot alongside throughput.
+    assert!(
+        entry["caches"]["outcomes"]["misses"].as_u64().unwrap_or(0) > 0,
+        "cache counters missing: {text}"
+    );
+}
+
+/// The scientific outputs of a `table1` run: every `fix_rate` line of the
+/// JSON cell dump, in order. Wall-clock fields are deliberately excluded —
+/// they are the only thing caching is allowed to change.
+fn table1_fix_rates(cache: &str, jobs: &str, results_dir: &Path) -> Vec<String> {
+    let output = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(["--quick", "--jobs", jobs])
+        .env("RTLFIXER_CACHE", cache)
+        .env("RTLFIXER_RESULTS_DIR", results_dir)
+        .output()
+        .expect("table1 binary runs");
+    assert!(
+        output.status.success(),
+        "table1 --quick --jobs {jobs} (RTLFIXER_CACHE={cache}) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let rates: Vec<String> = stdout
+        .lines()
+        .filter(|line| line.contains("\"fix_rate\""))
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(rates.len(), 14, "expected all 14 grid cells:\n{stdout}");
+    rates
+}
+
+#[test]
+fn table1_outputs_invariant_to_cache_and_jobs() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_invariance_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    // Reference semantics: cache off, serial.
+    let reference = table1_fix_rates("0", "1", &results_dir);
+    for (cache, jobs) in [("0", "4"), ("1", "1"), ("1", "4")] {
+        assert_eq!(
+            table1_fix_rates(cache, jobs, &results_dir),
+            reference,
+            "fix rates diverged at RTLFIXER_CACHE={cache} --jobs {jobs}"
+        );
+    }
 }

@@ -1,0 +1,308 @@
+//! # rtlfixer-cache
+//!
+//! A sharded, concurrent, content-addressed artifact cache — the memoisation
+//! substrate under the compile → feedback → repair loop.
+//!
+//! The evaluation grid replays the same problem corpus across cells and
+//! repeats, so the frontend sees each broken source many times, every
+//! compiler personality re-renders the same diagnostics, and the testbench
+//! re-elaborates identical designs once per proposal. All three computations
+//! are pure functions of their inputs, so each artifact is cached once per
+//! process behind a content hash:
+//!
+//! * [`fingerprint128`] — the canonical 128-bit content hash. Cache keys pair
+//!   it with whatever non-content coordinates matter (compiler personality,
+//!   file name, top module), so a collision requires two distinct inputs to
+//!   agree on all 128 bits — negligible at any realistic working-set size.
+//! * [`ShardedCache`] — a lock-striped hash map. Workers of the parallel
+//!   episode pool hit disjoint shards most of the time, and the value is
+//!   computed *outside* the shard lock so a slow miss never blocks readers.
+//! * [`enabled`] / [`set_enabled`] — a process-wide kill switch
+//!   (`RTLFIXER_CACHE=0` in the environment, or programmatic). Caching is
+//!   behaviourally invisible — results are bit-identical on or off — so the
+//!   switch exists purely for invariance tests and perf A/B runs.
+//!
+//! ## Invariance guarantee
+//!
+//! A cache entry is only ever the memoised result of a pure function of its
+//! key. Eviction (a shard clearing when full) and the kill switch therefore
+//! change wall-clock time, never results. The repo's invariance suite runs
+//! experiment binaries with the cache on and off at several `--jobs` values
+//! and asserts byte-identical outputs.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// FNV-1a 64-bit, seeded. Two runs with independent seeds give the two
+/// halves of [`fingerprint128`].
+fn fnv1a64(bytes: &[u8], seed: u64) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = 0xCBF2_9CE4_8422_2325u64 ^ seed;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64) so short inputs still spread across the
+    // whole 64-bit space.
+    hash ^= hash >> 30;
+    hash = hash.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    hash ^= hash >> 27;
+    hash = hash.wrapping_mul(0x94D0_49BB_1331_11EB);
+    hash ^ (hash >> 31)
+}
+
+/// The canonical 128-bit content hash: two independently-seeded FNV-1a
+/// streams over the same bytes. Stable across processes and platforms.
+pub fn fingerprint128(bytes: &[u8]) -> u128 {
+    let lo = fnv1a64(bytes, 0);
+    let hi = fnv1a64(bytes, 0x9E37_79B9_7F4A_7C15);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+// Global kill switch: 0 = uninitialised (read RTLFIXER_CACHE lazily),
+// 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether caching is active. Defaults to on; the `RTLFIXER_CACHE`
+/// environment variable set to `0`, `off`, `false` or `no` disables it at
+/// startup, and [`set_enabled`] overrides either way at runtime.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = match std::env::var("RTLFIXER_CACHE") {
+                Ok(value) => {
+                    !matches!(value.to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no")
+                }
+                Err(_) => true,
+            };
+            ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Turns caching on or off process-wide. Intended for invariance tests and
+/// A/B timing; flipping it mid-run is safe (results never depend on it).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// A point-in-time view of one cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (includes all traffic while disabled).
+    pub misses: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (`0` when there was no traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A lock-striped concurrent memo table.
+///
+/// Keys carry full equality — the content hash only picks the shard — so the
+/// cache is correct even under (astronomically unlikely) fingerprint
+/// collisions within a key type. Each shard is bounded: when it reaches
+/// capacity it is cleared wholesale, a generation-style eviction that keeps
+/// memory flat without bookkeeping on the hit path. Values are handed out by
+/// clone, so `V` is typically an `Arc`.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
+    /// Creates a cache with `shards` lock stripes of at most
+    /// `shard_capacity` entries each. Shard count is rounded up to a power
+    /// of two (minimum 1).
+    pub fn new(shards: usize, shard_capacity: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_capacity: shard_capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) & (self.shards.len() - 1);
+        &self.shards[index]
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it via
+    /// `compute` on a miss. `compute` runs *without* the shard lock held, so
+    /// concurrent misses on the same key may compute redundantly — both
+    /// arrive at the same value (entries memoise pure functions), and the
+    /// first insertion wins.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if !enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return compute();
+        }
+        if let Some(hit) = self.shard_for(&key).lock().expect("cache shard").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut shard = self.shard_for(&key).lock().expect("cache shard");
+        if shard.len() >= self.shard_capacity {
+            shard.clear();
+        }
+        shard.entry(key).or_insert_with(|| value.clone()).clone()
+    }
+
+    /// Looks up `key` without computing on a miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if !enabled() {
+            return None;
+        }
+        let hit = self.shard_for(key).lock().expect("cache shard").get(key).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard").clear();
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().expect("cache shard").len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Tests that assert on exact hit/miss behaviour serialise against the
+    /// one test that flips the global switch.
+    fn switch_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = fingerprint128(b"module m; endmodule");
+        assert_eq!(a, fingerprint128(b"module m; endmodule"));
+        assert_ne!(a, fingerprint128(b"module m ; endmodule"));
+        assert_ne!(fingerprint128(b""), fingerprint128(b"\0"));
+        // The two 64-bit halves are independent streams.
+        assert_ne!((a >> 64) as u64, a as u64);
+    }
+
+    #[test]
+    fn cache_memoises_and_counts() {
+        let _guard = switch_lock();
+        set_enabled(true);
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(4, 16);
+        let computed = AtomicUsize::new(0);
+        let compute = |v: u64| {
+            computed.fetch_add(1, Ordering::Relaxed);
+            v * 2
+        };
+        assert_eq!(cache.get_or_insert_with(7, || compute(7)), 14);
+        assert_eq!(cache.get_or_insert_with(7, || compute(7)), 14);
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_clears_when_full_but_stays_correct() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 4);
+        for key in 0..64 {
+            assert_eq!(cache.get_or_insert_with(key, || key + 1), key + 1);
+        }
+        assert!(cache.stats().entries <= 4);
+        // Evicted keys recompute to the same value.
+        assert_eq!(cache.get_or_insert_with(0, || 1), 1);
+    }
+
+    #[test]
+    fn disabled_cache_computes_every_time() {
+        let _guard = switch_lock();
+        set_enabled(false);
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(4, 16);
+        let computed = AtomicUsize::new(0);
+        for _ in 0..3 {
+            cache.get_or_insert_with(1, || {
+                computed.fetch_add(1, Ordering::Relaxed);
+                2
+            });
+        }
+        assert_eq!(computed.load(Ordering::Relaxed), 3);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.get(&1), None);
+        set_enabled(true);
+        // Re-enabled: the same cache resumes memoising.
+        cache.get_or_insert_with(1, || 2);
+        assert_eq!(cache.get(&1), Some(2));
+    }
+
+    #[test]
+    fn concurrent_hammering_is_consistent() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(8, 128);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for round in 0..1_000u64 {
+                        let key = round % 97;
+                        assert_eq!(
+                            cache.get_or_insert_with(key, || key.wrapping_mul(31)),
+                            key.wrapping_mul(31)
+                        );
+                    }
+                });
+            }
+        });
+        assert!(cache.stats().entries <= 97);
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(4, 16);
+        for key in 0..10 {
+            cache.get_or_insert_with(key, || key);
+        }
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

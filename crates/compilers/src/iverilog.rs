@@ -13,7 +13,7 @@
 //! edge cases end with the famous `I give up.`
 
 use rtlfixer_verilog::diag::{DiagData, Diagnostic, ErrorCategory, Severity};
-use rtlfixer_verilog::{compile, Analysis};
+use rtlfixer_verilog::{compile_shared, Analysis};
 
 use crate::{enclosing_module, CompileOutcome, Compiler, FeedbackQuality};
 
@@ -100,7 +100,7 @@ impl Compiler for IverilogCompiler {
     }
 
     fn compile(&self, source: &str, file_name: &str) -> CompileOutcome {
-        let analysis = compile(source);
+        let analysis = compile_shared(source);
         let mut lines = Vec::new();
         let mut elab_errors = 0usize;
         let mut syntax_lines = 0usize;

@@ -42,6 +42,7 @@ pub mod quartus;
 pub mod simple;
 
 use std::fmt;
+use std::sync::Arc;
 
 use rtlfixer_verilog::diag::{Diagnostic, ErrorCategory};
 use rtlfixer_verilog::Analysis;
@@ -72,7 +73,9 @@ pub struct CompileOutcome {
     /// `syntax error` line does *not* identify its subcategory.
     pub identified: Vec<ErrorCategory>,
     /// Full frontend analysis, for downstream consumers (simulator, repair).
-    pub analysis: Analysis,
+    /// Shared: identical sources resolve to one analysis process-wide (see
+    /// [`rtlfixer_verilog::compile_shared`]).
+    pub analysis: Arc<Analysis>,
 }
 
 impl CompileOutcome {
@@ -110,11 +113,45 @@ pub trait Compiler: Send + Sync {
     /// the outcome with a rendered log.
     fn compile(&self, source: &str, file_name: &str) -> CompileOutcome;
 
+    /// [`compile`](Compiler::compile), memoised process-wide behind the
+    /// content hash of `(personality, file_name, source)`.
+    ///
+    /// `compile` is a pure function of those three inputs, so the repair
+    /// loop's dominant cost — re-compiling candidate sources the grid has
+    /// already seen, across all workers of the episode pool — collapses to
+    /// a shard lookup. Identical for every personality via this default
+    /// method; behaviour is bit-identical to `compile` (the cache is
+    /// invisible, see [`rtlfixer_cache::enabled`]).
+    fn compile_cached(&self, source: &str, file_name: &str) -> Arc<CompileOutcome> {
+        let key = (
+            self.name().to_owned(),
+            file_name.to_owned(),
+            rtlfixer_verilog::source_fingerprint(source),
+        );
+        outcome_cache().get_or_insert_with(key, || Arc::new(self.compile(source, file_name)))
+    }
+
     /// This personality's feedback quality.
     fn quality(&self) -> FeedbackQuality;
 
     /// Whether this personality's log makes `category` identifiable.
     fn identifies(&self, category: ErrorCategory) -> bool;
+}
+
+/// Key of the process-wide outcome cache: personality name, file name (it
+/// appears verbatim in rendered logs) and source content hash.
+type OutcomeKey = (String, String, u128);
+
+fn outcome_cache() -> &'static rtlfixer_cache::ShardedCache<OutcomeKey, Arc<CompileOutcome>> {
+    static CACHE: std::sync::OnceLock<
+        rtlfixer_cache::ShardedCache<OutcomeKey, Arc<CompileOutcome>>,
+    > = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| rtlfixer_cache::ShardedCache::new(64, 256))
+}
+
+/// Hit/miss counters of the process-wide [`Compiler::compile_cached`] cache.
+pub fn outcome_cache_stats() -> rtlfixer_cache::CacheStats {
+    outcome_cache().stats()
 }
 
 /// Selector for the built-in compiler personalities.
@@ -225,5 +262,37 @@ mod tests {
             outcome.first_error().map(|d| d.category),
             Some(ErrorCategory::UndeclaredIdentifier)
         );
+    }
+
+    #[test]
+    fn compile_cached_memoises_per_personality_and_file_name() {
+        rtlfixer_cache::set_enabled(true);
+        let quartus = CompilerKind::Quartus.build();
+        let iverilog = CompilerKind::Iverilog.build();
+        let a = quartus.compile_cached(BROKEN, "cache_probe.sv");
+        let b = quartus.compile_cached(BROKEN, "cache_probe.sv");
+        assert!(Arc::ptr_eq(&a, &b), "same (personality, file, source) must share");
+        // Different personality or file name renders a different log.
+        let other = iverilog.compile_cached(BROKEN, "cache_probe.sv");
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert_ne!(a.log, other.log);
+        let renamed = quartus.compile_cached(BROKEN, "cache_probe_b.sv");
+        assert!(!Arc::ptr_eq(&a, &renamed));
+        assert!(renamed.log.contains("cache_probe_b.sv"), "{}", renamed.log);
+    }
+
+    #[test]
+    fn compile_cached_matches_uncached_compile() {
+        for kind in CompilerKind::ALL {
+            let compiler = kind.build();
+            for source in [CLEAN, BROKEN] {
+                let cached = compiler.compile_cached(source, "main.v");
+                let direct = compiler.compile(source, "main.v");
+                assert_eq!(cached.success, direct.success, "{kind}");
+                assert_eq!(cached.log, direct.log, "{kind}");
+                assert_eq!(cached.identified, direct.identified, "{kind}");
+                assert_eq!(cached.diagnostics.len(), direct.diagnostics.len(), "{kind}");
+            }
+        }
     }
 }

@@ -14,7 +14,7 @@
 //! arm of the §4.3.1 ablation.
 
 use rtlfixer_verilog::diag::{DiagData, Diagnostic, ErrorCategory, Severity};
-use rtlfixer_verilog::{compile, Analysis};
+use rtlfixer_verilog::{compile_shared, Analysis};
 
 use crate::{CompileOutcome, Compiler, FeedbackQuality};
 
@@ -125,7 +125,7 @@ impl Compiler for QuartusCompiler {
     }
 
     fn compile(&self, source: &str, file_name: &str) -> CompileOutcome {
-        let analysis = compile(source);
+        let analysis = compile_shared(source);
         let mut lines = Vec::new();
         let mut errors = 0usize;
         let mut warnings = 0usize;

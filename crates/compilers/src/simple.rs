@@ -6,7 +6,7 @@
 //! a pass/fail verdict — but nothing about the error reaches the LLM, and no
 //! category is identifiable from the log.
 
-use rtlfixer_verilog::compile;
+use rtlfixer_verilog::compile_shared;
 use rtlfixer_verilog::diag::ErrorCategory;
 
 use crate::{CompileOutcome, Compiler, FeedbackQuality};
@@ -33,7 +33,7 @@ impl Compiler for SimpleCompiler {
     }
 
     fn compile(&self, source: &str, _file_name: &str) -> CompileOutcome {
-        let analysis = compile(source);
+        let analysis = compile_shared(source);
         let success = analysis.is_ok();
         let log = if success { String::new() } else { SIMPLE_INSTRUCTION.to_owned() };
         CompileOutcome {

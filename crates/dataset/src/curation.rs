@@ -133,7 +133,7 @@ fn ensure_index_arithmetic_class(entries: &mut [SyntaxBenchEntry], problems: &[P
     let Some(conway) = problems.iter().find(|p| p.id.ends_with("conwaylife")) else {
         return;
     };
-    let mut rng = StdRng::seed_from_u64(0xF16_6);
+    let mut rng = StdRng::seed_from_u64(0xF166);
     let Some(code) = crate::mutate::inject(
         &conway.solution,
         ErrorCategory::IndexArithmetic,

@@ -51,12 +51,15 @@ impl ReferenceModel for Comb {
     }
 }
 
+/// The boxed step function of a [`Seq`] model.
+type SeqStepFn<S> = Box<dyn FnMut(&mut S, &Signals) -> Signals + Send>;
+
 /// A stateful golden model: `state` is cloned from `initial` on reset, and
 /// `step` receives `(state, inputs)` once per clock cycle.
 pub struct Seq<S: Clone + Send> {
     initial: S,
     state: S,
-    f: Box<dyn FnMut(&mut S, &Signals) -> Signals + Send>,
+    f: SeqStepFn<S>,
 }
 
 impl<S: Clone + Send> Seq<S> {

@@ -187,9 +187,9 @@ fn inject_reg_assign(source: &str) -> Option<String> {
         return None;
     }
     // Find its output declaration without an existing reg.
-    let decl_pat = format!("output [");
+    let decl_pat = "output [";
     let mut search = 0;
-    while let Some(rel) = source[search..].find(&decl_pat) {
+    while let Some(rel) = source[search..].find(decl_pat) {
         let abs = search + rel;
         let line_end = source[abs..].find([',', ')', ';']).map(|k| abs + k)?;
         if source[abs..line_end].ends_with(name) {

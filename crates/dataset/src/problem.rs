@@ -163,7 +163,9 @@ impl Problem {
 
     /// [`check`](Problem::check) with an explicit stimulus seed.
     pub fn check_seeded(&self, code: &str, seed: u64) -> Verdict {
-        let analysis = rtlfixer_verilog::compile(code);
+        // Shared compile: the §5 debugger and the pass@k harness check the
+        // same candidates repeatedly; the frontend runs once per source.
+        let analysis = rtlfixer_verilog::compile_shared(code);
         if !analysis.is_ok() {
             return Verdict::CompileError;
         }

@@ -54,7 +54,7 @@ pub fn figure7(config: &FixRateConfig) -> IterationHistogram {
             .with_rag(true)
             .build(llm);
         let outcome = fixer.fix_problem(&entry.description, &entry.code);
-        outcome.success.then(|| outcome.revisions)
+        outcome.success.then_some(outcome.revisions)
     });
     let mut counts = vec![0usize; max_iterations];
     let mut unresolved = 0usize;

@@ -233,15 +233,21 @@ pub struct Table3Result {
 
 /// Runs the Table 3 evaluation on the RTLLM suite.
 pub fn table3(config: &PassAtKConfig) -> Table3Result {
+    table3_timed(config).0
+}
+
+/// [`table3`] plus the underlying suite run's wall-clock stats.
+pub fn table3_timed(config: &PassAtKConfig) -> (Table3Result, RunStats) {
     let problems = rtlfixer_dataset::rtllm();
     let evaluation = evaluate_suite("RTLLM", &problems, config);
     let all = &evaluation.rows[0];
-    Table3Result {
+    let result = Table3Result {
         syntax_success_original: 1.0 - evaluation.syntax_failure_rate,
         syntax_success_fixed: 1.0 - evaluation.syntax_failure_rate_fixed,
         pass1_original: all.pass1_original,
         pass1_fixed: all.pass1_fixed,
-    }
+    };
+    (result, evaluation.stats)
 }
 
 #[cfg(test)]

@@ -32,4 +32,6 @@ pub mod runner;
 pub mod sim_debug;
 
 pub use metrics::{fix_rate, mean_pass_at_k, pass_at_k};
-pub use runner::{episode_seed, resolve_jobs, run_episodes, EpisodeSpec, RunStats};
+pub use runner::{
+    cache_report, episode_seed, resolve_jobs, run_episodes, CacheReport, EpisodeSpec, RunStats,
+};

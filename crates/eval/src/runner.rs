@@ -143,6 +143,56 @@ pub fn episode_grid(base: u64, cell: u64, entries: usize, repeats: usize) -> Vec
     specs
 }
 
+/// Hit/miss counters of one artifact cache, in serialisable form (see
+/// [`rtlfixer_cache::CacheStats`]).
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// `hits / (hits + misses)`, `0` with no traffic.
+    pub hit_rate: f64,
+}
+
+impl From<rtlfixer_cache::CacheStats> for CacheCounters {
+    fn from(stats: rtlfixer_cache::CacheStats) -> Self {
+        CacheCounters {
+            hits: stats.hits,
+            misses: stats.misses,
+            entries: stats.entries,
+            hit_rate: stats.hit_rate(),
+        }
+    }
+}
+
+/// Point-in-time snapshot of the three process-wide artifact caches the
+/// episode pool shares: frontend analyses, rendered compile outcomes, and
+/// elaborated designs. Counters are cumulative since process start.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct CacheReport {
+    /// Whether caching was active at snapshot time (`RTLFIXER_CACHE`).
+    pub enabled: bool,
+    /// `rtlfixer_verilog::compile_shared` (source → `Analysis`).
+    pub analyses: CacheCounters,
+    /// `Compiler::compile_cached` (personality × file × source → outcome).
+    pub outcomes: CacheCounters,
+    /// `rtlfixer_sim::elab::elaborate_shared` (source × top → `Design`).
+    pub designs: CacheCounters,
+}
+
+/// Snapshots all three artifact caches (for throughput artifacts and logs).
+pub fn cache_report() -> CacheReport {
+    CacheReport {
+        enabled: rtlfixer_cache::enabled(),
+        analyses: rtlfixer_verilog::analysis_cache_stats().into(),
+        outcomes: rtlfixer_compilers::outcome_cache_stats().into(),
+        designs: rtlfixer_sim::elab::design_cache_stats().into(),
+    }
+}
+
 /// Wall-clock statistics for one experiment cell / run.
 #[derive(Debug, Clone, Copy, serde::Serialize)]
 pub struct RunStats {

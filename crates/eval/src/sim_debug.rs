@@ -23,7 +23,7 @@ use rtlfixer_sim::value::LogicVec;
 /// Renders the §5-style simulation feedback: mismatch count plus a
 /// waveform-like table around the first mismatch.
 pub fn render_sim_feedback(problem: &Problem, code: &str) -> Option<String> {
-    let analysis = rtlfixer_verilog::compile(code);
+    let analysis = rtlfixer_verilog::compile_shared(code);
     if !analysis.is_ok() {
         return None;
     }
@@ -55,11 +55,17 @@ pub fn render_sim_feedback(problem: &Problem, code: &str) -> Option<String> {
 }
 
 fn truncate_vec(v: &LogicVec) -> String {
-    let text = v.to_string();
-    if text.len() > 18 {
-        format!("{}…", &text[..17])
-    } else {
-        text
+    truncate_text(&v.to_string(), 18)
+}
+
+/// Truncates to at most `max` characters, appending `…` when cut. Cuts on
+/// `char` boundaries — a byte-indexed slice would panic mid-codepoint.
+fn truncate_text(text: &str, max: usize) -> String {
+    match text.char_indices().nth(max.saturating_sub(1)) {
+        Some((byte_idx, _)) if text[byte_idx..].chars().nth(1).is_some() => {
+            format!("{}…", &text[..byte_idx])
+        }
+        _ => text.to_owned(),
     }
 }
 
@@ -138,7 +144,7 @@ impl SimDebugger {
             candidate.replace_range(site..site + pattern.len(), replacement);
             // Test: compile + simulate (the agent's Compiler/Testbench
             // actions).
-            if rtlfixer_verilog::compile(&candidate).is_ok()
+            if rtlfixer_verilog::compile_shared(&candidate).is_ok()
                 && problem.check(&candidate) == Verdict::Pass
             {
                 return SimDebugOutcome { success: true, final_code: candidate, proposals };
@@ -257,6 +263,22 @@ mod tests {
     fn feedback_is_none_for_uncompilable_code() {
         let problem = suites::find_problem("human/and8").expect("exists");
         assert!(render_sim_feedback(&problem, "module m(").is_none());
+    }
+
+    #[test]
+    fn truncate_respects_char_boundaries() {
+        // Multi-byte codepoints near the cut: byte slicing would panic.
+        let wide = "××××××××××××××××××××"; // 20 chars, 2 bytes each
+        let cut = truncate_text(wide, 18);
+        assert_eq!(cut.chars().count(), 18);
+        assert!(cut.ends_with('…'));
+        // Exactly-at-limit and short inputs pass through unchanged.
+        assert_eq!(truncate_text("×".repeat(18).as_str(), 18), "×".repeat(18));
+        assert_eq!(truncate_text("0101", 18), "0101");
+        assert_eq!(truncate_text("", 18), "");
+        // ASCII behaviour matches the old byte-indexed version.
+        let long = "0".repeat(25);
+        assert_eq!(truncate_text(&long, 18), format!("{}…", "0".repeat(17)));
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub fn repair(source: &str, diag: &Diagnostic, analysis: &Analysis) -> Option<St
     }
 }
 
-fn symbols_at<'a>(analysis: &'a Analysis, span: Span) -> Option<&'a ModuleSymbols> {
+fn symbols_at(analysis: &Analysis, span: Span) -> Option<&ModuleSymbols> {
     let module = analysis
         .file
         .modules

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rtlfixer_verilog::ast::{
     Connection, Direction, Edge, Expr, Item, Module, Sensitivity, Stmt,
@@ -114,7 +114,7 @@ pub struct Scope {
     /// [`Scope::module_prefix`].
     pub scope_prefix: String,
     /// Constant bindings: parameters plus enclosing genvar values.
-    pub params: Rc<HashMap<String, i64>>,
+    pub params: Arc<HashMap<String, i64>>,
 }
 
 /// A combinational or initial process.
@@ -227,8 +227,8 @@ pub fn elaborate(analysis: &Analysis, top: &str) -> Result<Design, ElabError> {
         init: Vec::new(),
         functions: HashMap::new(),
     };
-    let params = Rc::new(module_params(module, &HashMap::new()));
-    elaborate_module(analysis, module, "", Rc::clone(&params), &mut design, 0)?;
+    let params = Arc::new(module_params(module, &HashMap::new()));
+    elaborate_module(analysis, module, "", Arc::clone(&params), &mut design, 0)?;
 
     // Top ports.
     for port in &module.ports {
@@ -240,6 +240,38 @@ pub fn elaborate(analysis: &Analysis, top: &str) -> Result<Design, ElabError> {
         }
     }
     Ok(design)
+}
+
+/// Key of the process-wide design cache: source content hash plus top
+/// module name. The fingerprint identifies the source text behind the
+/// analysis, so any two analyses of the same source share one elaboration.
+type DesignKey = (u128, String);
+
+fn design_cache(
+) -> &'static rtlfixer_cache::ShardedCache<DesignKey, Result<Arc<Design>, ElabError>> {
+    static CACHE: std::sync::OnceLock<
+        rtlfixer_cache::ShardedCache<DesignKey, Result<Arc<Design>, ElabError>>,
+    > = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| rtlfixer_cache::ShardedCache::new(64, 128))
+}
+
+/// [`elaborate`], memoised process-wide behind `(source fingerprint, top)`.
+///
+/// The testbench harness elaborates the same design once per simulation
+/// run — once per proposal in the §5 local search, once per sample in the
+/// pass@k harness — yet elaboration is a pure function of the analysed
+/// source and the top name. This is the *elaborate-once fast path*:
+/// callers get a shared immutable [`Design`] and keep per-run mutable
+/// state (signal values) on the side. Failures are memoised too, so
+/// repeatedly simulating an unsupported design stays cheap.
+pub fn elaborate_shared(analysis: &Analysis, top: &str) -> Result<Arc<Design>, ElabError> {
+    let key = (analysis.fingerprint, top.to_owned());
+    design_cache().get_or_insert_with(key, || elaborate(analysis, top).map(Arc::new))
+}
+
+/// Hit/miss counters of the process-wide [`elaborate_shared`] cache.
+pub fn design_cache_stats() -> rtlfixer_cache::CacheStats {
+    design_cache().stats()
 }
 
 fn port_width(port: &rtlfixer_verilog::ast::Port, env: &HashMap<String, i64>) -> u32 {
@@ -284,7 +316,7 @@ fn elaborate_module(
     analysis: &Analysis,
     module: &Module,
     prefix: &str,
-    params: Rc<HashMap<String, i64>>,
+    params: Arc<HashMap<String, i64>>,
     design: &mut Design,
     depth: usize,
 ) -> Result<(), ElabError> {
@@ -305,7 +337,7 @@ fn elaborate_module(
     let scope = Scope {
         module_prefix: prefix.to_owned(),
         scope_prefix: prefix.to_owned(),
-        params: Rc::clone(&params),
+        params: Arc::clone(&params),
     };
     elaborate_items(analysis, module, &module.items, &scope, design, depth)
 }
@@ -482,7 +514,7 @@ fn elaborate_items(
                             Some(l) => format!("{}{l}[{value}].", scope.scope_prefix),
                             None => format!("{}genblk[{value}].", scope.scope_prefix),
                         },
-                        params: Rc::new(env.clone()),
+                        params: Arc::new(env.clone()),
                     };
                     elaborate_items(analysis, module, items, &iter_scope, design, depth)?;
                     count += 1;
@@ -551,7 +583,7 @@ fn elaborate_instance(
     }
     let child_params = module_params(child, &overrides);
     let child_prefix = format!("{}{instance}.", scope.scope_prefix);
-    elaborate_module(analysis, child, &child_prefix, Rc::new(child_params), design, depth + 1)?;
+    elaborate_module(analysis, child, &child_prefix, Arc::new(child_params), design, depth + 1)?;
 
     // Port binds.
     let pairs: Vec<(String, Option<Expr>)> = if conns.iter().all(|c| c.port.is_some()) {
@@ -693,6 +725,38 @@ mod tests {
         assert_eq!(mem.word_offset(0), Some(0));
         assert_eq!(mem.word_offset(15), Some(15));
         assert_eq!(mem.word_offset(16), None);
+    }
+
+    #[test]
+    fn elaborate_shared_memoises_per_source_and_top() {
+        rtlfixer_cache::set_enabled(true);
+        let source = "module shared_elab_probe(input a, output y);\n\
+                      assign y = ~a;\nendmodule";
+        // Two separate analyses of the same source share one Design.
+        let first = compile(source);
+        let second = compile(source);
+        let a = elaborate_shared(&first, "shared_elab_probe").expect("elaborates");
+        let b = elaborate_shared(&second, "shared_elab_probe").expect("elaborates");
+        assert!(Arc::ptr_eq(&a, &b), "same (source, top) must share one Design");
+        // The shared design matches a direct elaboration.
+        let direct = elaborate(&first, "shared_elab_probe").expect("elaborates");
+        assert_eq!(a.top, direct.top);
+        assert_eq!(a.comb.len(), direct.comb.len());
+        assert_eq!(a.signals.len(), direct.signals.len());
+        // A different top over the same source is a distinct cache entry.
+        assert!(matches!(
+            elaborate_shared(&first, "zz"),
+            Err(ElabError::TopNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn elaborate_shared_memoises_failures() {
+        let analysis = compile("module m(output y); assign y = clk; endmodule");
+        let first = elaborate_shared(&analysis, "m");
+        let second = elaborate_shared(&analysis, "m");
+        assert!(matches!(first, Err(ElabError::CompileErrors(_))));
+        assert_eq!(first.err(), second.err());
     }
 
     #[test]

@@ -85,12 +85,17 @@ impl std::error::Error for SimError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    design: Design,
+    design: std::sync::Arc<Design>,
     state: HashMap<String, StateValue>,
 }
 
 impl Simulator {
     /// Elaborates `top` and initialises all signals to zero.
+    ///
+    /// Elaboration goes through the process-wide
+    /// [`crate::elab::elaborate_shared`] cache, so repeated simulations of
+    /// the same source share one immutable [`Design`] and only the mutable
+    /// signal state is per-simulator.
     ///
     /// # Errors
     ///
@@ -100,7 +105,24 @@ impl Simulator {
         analysis: &rtlfixer_verilog::Analysis,
         top: &str,
     ) -> Result<Simulator, crate::elab::ElabError> {
-        let design = crate::elab::elaborate(analysis, top)?;
+        Ok(Simulator::from_design(crate::elab::elaborate_shared(analysis, top)?))
+    }
+
+    /// Builds a simulator over an already-elaborated (shared) design, with
+    /// all signals initialised to zero.
+    pub fn from_design(design: std::sync::Arc<Design>) -> Simulator {
+        let state = Self::zero_state(&design);
+        Simulator { design, state }
+    }
+
+    /// Resets every signal (and memory word) back to zero — the state a
+    /// fresh simulator starts from. Re-run [`Simulator::run_initial`]
+    /// afterwards to re-apply `initial` blocks.
+    pub fn reset_state(&mut self) {
+        self.state = Self::zero_state(&self.design);
+    }
+
+    fn zero_state(design: &Design) -> HashMap<String, StateValue> {
         let mut state = HashMap::new();
         for (name, def) in &design.signals {
             let value = if def.words.is_some() {
@@ -110,7 +132,7 @@ impl Simulator {
             };
             state.insert(name.clone(), value);
         }
-        Ok(Simulator { design, state })
+        state
     }
 
     /// The elaborated design.

@@ -345,6 +345,38 @@ mod tests {
     }
 
     #[test]
+    fn reset_state_matches_fresh_simulator() {
+        // The elaborate-once fast path: one shared design, per-run state
+        // reset must reproduce a fresh simulator's results exactly.
+        let analysis = compile(
+            "module ctr2(input clk, input reset, output reg [7:0] q);\n\
+             always @(posedge clk) begin\n\
+               if (reset) q <= 0; else q <= q + 3;\n\
+             end\nendmodule",
+        );
+        let design = crate::elab::elaborate_shared(&analysis, "ctr2").expect("elaborates");
+        let drive = |sim: &mut crate::interp::Simulator| {
+            sim.run_initial().expect("init");
+            sim.poke("reset", LogicVec::from_u64(1, 1)).expect("port");
+            sim.clock_cycle("clk").expect("cycle");
+            sim.poke("reset", LogicVec::from_u64(1, 0)).expect("port");
+            for _ in 0..5 {
+                sim.clock_cycle("clk").expect("cycle");
+            }
+            sim.peek("q").expect("q").to_u64()
+        };
+        let mut reused = crate::interp::Simulator::from_design(design.clone());
+        let first = drive(&mut reused);
+        reused.reset_state();
+        let second = drive(&mut reused);
+        let mut fresh = crate::interp::Simulator::from_design(design);
+        let from_fresh = drive(&mut fresh);
+        assert_eq!(first, Some(15));
+        assert_eq!(first, second, "reset_state must restore power-on state");
+        assert_eq!(first, from_fresh);
+    }
+
+    #[test]
     fn broken_dut_reports_elab_error() {
         let analysis = compile("module m(output y); assign y = clk; endmodule");
         let mut model =

@@ -40,7 +40,7 @@ pub struct LogicVec {
 }
 
 fn limbs_for(width: u32) -> usize {
-    ((width as usize) + 63) / 64
+    (width as usize).div_ceil(64)
 }
 
 impl LogicVec {
@@ -777,5 +777,52 @@ mod tests {
     #[should_panic(expected = "zero-width")]
     fn zero_width_panics() {
         let _ = LogicVec::zeros(0);
+    }
+
+    #[test]
+    fn limb_allocation_at_width_edges() {
+        // Widths straddling the 64-bit limb boundaries: 1, 63, 64, 65, 256.
+        for (width, limbs) in [(1u32, 1usize), (63, 1), (64, 1), (65, 2), (256, 4)] {
+            assert_eq!(limbs_for(width), limbs, "width {width}");
+        }
+    }
+
+    #[test]
+    fn width_edge_round_trips() {
+        for width in [1u32, 63, 64, 65, 256] {
+            // Zeros: all bits readable, none set, no x.
+            let zeros = LogicVec::zeros(width);
+            assert_eq!(zeros.width(), width);
+            assert!(!zeros.has_x(), "width {width}");
+            assert_eq!(zeros.bit(width - 1), Bit::Zero, "width {width}");
+
+            // The top bit sets and reads back; lower bits stay clear.
+            let mut top = LogicVec::zeros(width);
+            top.set_bit(width - 1, Bit::One);
+            assert_eq!(top.bit(width - 1), Bit::One, "width {width}");
+            if width > 1 {
+                assert_eq!(top.bit(width - 2), Bit::Zero, "width {width}");
+            }
+
+            // NOT flips every bit including across limb boundaries.
+            let inverted = top.not();
+            assert_eq!(inverted.bit(width - 1), Bit::Zero, "width {width}");
+            if width > 1 {
+                assert_eq!(inverted.bit(0), Bit::One, "width {width}");
+            }
+
+            // All-x round trip.
+            let xs = LogicVec::xs(width);
+            assert!(xs.has_x(), "width {width}");
+            assert_eq!(xs.bit(width - 1), Bit::X, "width {width}");
+            assert_eq!(xs.to_u64(), None, "width {width}");
+        }
+        // to_u64 works exactly up to 64 bits of value.
+        assert_eq!(LogicVec::from_u64(63, u64::MAX >> 1).to_u64(), Some(u64::MAX >> 1));
+        assert_eq!(LogicVec::from_u64(64, u64::MAX).to_u64(), Some(u64::MAX));
+        let mut wide = LogicVec::zeros(65);
+        wide.set_bit(64, Bit::One);
+        assert_eq!(wide.bit(64), Bit::One);
+        assert_eq!(wide.bit(63), Bit::Zero);
     }
 }

@@ -121,7 +121,7 @@ impl<'a> Lexer<'a> {
     fn lex_word(&mut self) {
         let start = self.pos;
         let word = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$');
-        let kind = match Keyword::from_str(word) {
+        let kind = match Keyword::lookup(word) {
             Some(kw) => TokenKind::Kw(kw),
             None => TokenKind::Ident(word.to_owned()),
         };
@@ -209,7 +209,7 @@ impl<'a> Lexer<'a> {
 
     fn lex_base_and_digits(&mut self, start: usize, size: Option<u32>) {
         let mut signed = false;
-        if self.peek().is_some_and(|c| c.to_ascii_lowercase() == b's') {
+        if self.peek().is_some_and(|c| c.eq_ignore_ascii_case(&b's')) {
             signed = true;
             self.pos += 1;
         }

@@ -44,6 +44,8 @@ pub mod sema;
 pub mod span;
 pub mod token;
 
+use std::sync::Arc;
+
 use diag::Diagnostic;
 use sema::ModuleSymbols;
 use span::SourceMap;
@@ -60,6 +62,11 @@ pub struct Analysis {
     pub diagnostics: Vec<Diagnostic>,
     /// Line/column lookup for the compiled source.
     pub source_map: SourceMap,
+    /// Content hash of the compiled source ([`source_fingerprint`]).
+    /// Downstream caches (compiler personalities, elaboration) key their
+    /// artifacts on it, so it identifies the *source text* this analysis
+    /// came from, independent of the `Analysis` allocation.
+    pub fingerprint: u128,
 }
 
 impl Analysis {
@@ -96,7 +103,49 @@ pub fn compile(source: &str) -> Analysis {
     let mut diagnostics = parsed.diagnostics;
     diagnostics.extend(sema_diags);
     diagnostics.sort_by_key(|d| (d.span.start, d.category as u8));
-    Analysis { file: parsed.file, symbols, diagnostics, source_map: SourceMap::new(source) }
+    Analysis {
+        file: parsed.file,
+        symbols,
+        diagnostics,
+        source_map: SourceMap::new(source),
+        fingerprint: source_fingerprint(source),
+    }
+}
+
+/// The canonical content hash of a source string — the key space every
+/// downstream artifact cache (compile outcomes, elaborated designs) is
+/// addressed in.
+pub fn source_fingerprint(source: &str) -> u128 {
+    rtlfixer_cache::fingerprint128(source.as_bytes())
+}
+
+fn analysis_cache() -> &'static rtlfixer_cache::ShardedCache<u128, Arc<Analysis>> {
+    static CACHE: std::sync::OnceLock<rtlfixer_cache::ShardedCache<u128, Arc<Analysis>>> =
+        std::sync::OnceLock::new();
+    // 64 shards × 256 entries bounds the working set to ~16k analyses;
+    // shards clear wholesale when full (correctness-neutral, see
+    // `rtlfixer_cache`).
+    CACHE.get_or_init(|| rtlfixer_cache::ShardedCache::new(64, 256))
+}
+
+/// [`compile`], memoised process-wide behind the source's content hash.
+///
+/// The repair loop compiles the same candidate sources over and over —
+/// every episode re-compiles its entry's broken code, and the §5 debugger
+/// compiles each proposal both to screen it and to simulate it. `compile`
+/// is a pure function of `source`, so identical sources compile exactly
+/// once per process and every caller shares one [`Analysis`] allocation.
+///
+/// Behaviourally identical to [`compile`]; see [`rtlfixer_cache::enabled`]
+/// for the kill switch.
+pub fn compile_shared(source: &str) -> Arc<Analysis> {
+    let key = source_fingerprint(source);
+    analysis_cache().get_or_insert_with(key, || Arc::new(compile(source)))
+}
+
+/// Hit/miss counters of the process-wide [`compile_shared`] cache.
+pub fn analysis_cache_stats() -> rtlfixer_cache::CacheStats {
+    analysis_cache().stats()
 }
 
 #[cfg(test)]
@@ -143,5 +192,32 @@ mod tests {
     fn garbage_never_panics() {
         let analysis = compile("]]]] module )( 'h 8' %%% \u{0} endmodule module");
         assert!(!analysis.is_ok());
+    }
+
+    #[test]
+    fn fingerprint_tracks_source_content() {
+        let a = compile("module m(input a, output y); assign y = a; endmodule");
+        let b = compile("module m(input a, output y); assign y = a; endmodule");
+        let c = compile("module m(input a, output y); assign y = ~a; endmodule");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_ne!(a.fingerprint, c.fingerprint);
+        assert_eq!(
+            a.fingerprint,
+            source_fingerprint("module m(input a, output y); assign y = a; endmodule")
+        );
+    }
+
+    #[test]
+    fn compile_shared_memoises_identical_sources() {
+        let source = "module shared_memo_probe(input a, output y); assign y = a; endmodule";
+        rtlfixer_cache::set_enabled(true);
+        let a = compile_shared(source);
+        let b = compile_shared(source);
+        assert!(Arc::ptr_eq(&a, &b), "identical sources must share one Analysis");
+        // The shared analysis is the same result as a direct compile.
+        let direct = compile(source);
+        assert_eq!(a.fingerprint, direct.fingerprint);
+        assert_eq!(a.diagnostics.len(), direct.diagnostics.len());
+        assert_eq!(a.is_ok(), direct.is_ok());
     }
 }

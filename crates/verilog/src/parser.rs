@@ -490,11 +490,8 @@ impl Parser {
             Tk::Kw(Kw::Genvar) => {
                 self.bump();
                 let mut names = Vec::new();
-                loop {
-                    match self.expect_ident("genvar name") {
-                        Some(pair) => names.push(pair),
-                        None => break,
-                    }
+                while let Some(pair) = self.expect_ident("genvar name") {
+                    names.push(pair);
                     if !self.eat(&Tk::Comma) {
                         break;
                     }
@@ -600,10 +597,7 @@ impl Parser {
         // the item type simple we emit only the first as PortDecl and merge
         // the rest directly here.
         let mut first: Option<Item> = None;
-        loop {
-            let Some((name, name_span)) = self.expect_ident("port name") else {
-                break;
-            };
+        while let Some((name, name_span)) = self.expect_ident("port name") {
             let port = Port {
                 direction,
                 kind,
@@ -1219,10 +1213,7 @@ impl Parser {
 
     fn parse_binary(&mut self, min_prec: u8) -> Expr {
         let mut lhs = self.parse_unary();
-        loop {
-            let Some((op, prec)) = Self::binary_op(self.peek()) else {
-                break;
-            };
+        while let Some((op, prec)) = Self::binary_op(self.peek()) {
             if prec < min_prec {
                 break;
             }
@@ -1260,55 +1251,50 @@ impl Parser {
 
     fn parse_postfix(&mut self) -> Expr {
         let mut expr = self.parse_primary();
-        loop {
-            match self.peek() {
-                Tk::LBracket => {
-                    let start = expr.span();
+        while let Tk::LBracket = self.peek() {
+            let start = expr.span();
+            self.bump();
+            let first = self.parse_expr();
+            match self.peek().clone() {
+                Tk::Colon => {
                     self.bump();
-                    let first = self.parse_expr();
-                    match self.peek().clone() {
-                        Tk::Colon => {
-                            self.bump();
-                            let right = self.parse_expr();
-                            let end = self.peek_span();
-                            self.expect(&Tk::RBracket, "']'");
-                            expr = Expr::Select {
-                                base: Box::new(expr),
-                                left: Box::new(first),
-                                right: Box::new(right),
-                                mode: SelectMode::Range,
-                                span: start.join(end),
-                            };
-                        }
-                        Tk::PlusColon | Tk::MinusColon => {
-                            let mode = if self.bump().kind == Tk::PlusColon {
-                                SelectMode::IndexedUp
-                            } else {
-                                SelectMode::IndexedDown
-                            };
-                            let right = self.parse_expr();
-                            let end = self.peek_span();
-                            self.expect(&Tk::RBracket, "']'");
-                            expr = Expr::Select {
-                                base: Box::new(expr),
-                                left: Box::new(first),
-                                right: Box::new(right),
-                                mode,
-                                span: start.join(end),
-                            };
-                        }
-                        _ => {
-                            let end = self.peek_span();
-                            self.expect(&Tk::RBracket, "']'");
-                            expr = Expr::Index {
-                                base: Box::new(expr),
-                                index: Box::new(first),
-                                span: start.join(end),
-                            };
-                        }
-                    }
+                    let right = self.parse_expr();
+                    let end = self.peek_span();
+                    self.expect(&Tk::RBracket, "']'");
+                    expr = Expr::Select {
+                        base: Box::new(expr),
+                        left: Box::new(first),
+                        right: Box::new(right),
+                        mode: SelectMode::Range,
+                        span: start.join(end),
+                    };
                 }
-                _ => break,
+                Tk::PlusColon | Tk::MinusColon => {
+                    let mode = if self.bump().kind == Tk::PlusColon {
+                        SelectMode::IndexedUp
+                    } else {
+                        SelectMode::IndexedDown
+                    };
+                    let right = self.parse_expr();
+                    let end = self.peek_span();
+                    self.expect(&Tk::RBracket, "']'");
+                    expr = Expr::Select {
+                        base: Box::new(expr),
+                        left: Box::new(first),
+                        right: Box::new(right),
+                        mode,
+                        span: start.join(end),
+                    };
+                }
+                _ => {
+                    let end = self.peek_span();
+                    self.expect(&Tk::RBracket, "']'");
+                    expr = Expr::Index {
+                        base: Box::new(expr),
+                        index: Box::new(first),
+                        span: start.join(end),
+                    };
+                }
             }
         }
         expr

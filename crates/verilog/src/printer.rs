@@ -180,7 +180,7 @@ pub fn print_item(item: &Item, level: usize) -> String {
             for item in items {
                 out.push_str(&print_item(item, level + 1));
             }
-            let _ = write!(out, "{pad}endgenerate\n");
+            let _ = writeln!(out, "{pad}endgenerate");
             out
         }
         Item::GenFor { var, init, cond, step, label, items, .. } => {
@@ -194,7 +194,7 @@ pub fn print_item(item: &Item, level: usize) -> String {
             for item in items {
                 out.push_str(&print_item(item, level + 1));
             }
-            let _ = write!(out, "{pad}end\n");
+            let _ = writeln!(out, "{pad}end");
             out
         }
         Item::Function { name, range, args, body, .. } => {
@@ -207,7 +207,7 @@ pub fn print_item(item: &Item, level: usize) -> String {
                 let _ = writeln!(out, "{}{};", indent(level + 1), print_port(arg));
             }
             out.push_str(&print_stmt(body, level + 1));
-            let _ = write!(out, "{pad}endfunction\n");
+            let _ = writeln!(out, "{pad}endfunction");
             out
         }
     }
@@ -239,7 +239,7 @@ pub fn print_stmt(stmt: &Stmt, level: usize) -> String {
             for stmt in stmts {
                 out.push_str(&print_stmt(stmt, level));
             }
-            let _ = write!(out, "{}end\n", indent(level.saturating_sub(1)));
+            let _ = writeln!(out, "{}end", indent(level.saturating_sub(1)));
             out
         }
         Stmt::Assign { lhs, op, rhs, .. } => {
@@ -250,7 +250,7 @@ pub fn print_stmt(stmt: &Stmt, level: usize) -> String {
             let mut out = format!("{pad}if ({})\n", print_expr(cond));
             out.push_str(&print_stmt(then_branch, level + 1));
             if let Some(els) = else_branch {
-                let _ = write!(out, "{pad}else\n");
+                let _ = writeln!(out, "{pad}else");
                 out.push_str(&print_stmt(els, level + 1));
             }
             out
@@ -264,14 +264,14 @@ pub fn print_stmt(stmt: &Stmt, level: usize) -> String {
             let mut out = format!("{pad}{keyword} ({})\n", print_expr(scrutinee));
             for arm in arms {
                 let labels: Vec<String> = arm.labels.iter().map(print_expr).collect();
-                let _ = write!(out, "{}{}:\n", indent(level + 1), labels.join(", "));
+                let _ = writeln!(out, "{}{}:", indent(level + 1), labels.join(", "));
                 out.push_str(&print_stmt(&arm.body, level + 2));
             }
             if let Some(default) = default {
-                let _ = write!(out, "{}default:\n", indent(level + 1));
+                let _ = writeln!(out, "{}default:", indent(level + 1));
                 out.push_str(&print_stmt(default, level + 2));
             }
-            let _ = write!(out, "{pad}endcase\n");
+            let _ = writeln!(out, "{pad}endcase");
             out
         }
         Stmt::For { var, decl, init, cond, step, body, .. } => {

@@ -508,12 +508,9 @@ impl<'a> Checker<'a> {
             }
             return;
         }
-        match info.index_in_range(value) {
-            Some(false) => {
-                let (msb, lsb) = (info.msb.unwrap_or(0), info.lsb.unwrap_or(0));
-                self.push_index_oob(&name, value, msb, lsb, Self::is_arithmetic(index), span);
-            }
-            _ => {}
+        if let Some(false) = info.index_in_range(value) {
+            let (msb, lsb) = (info.msb.unwrap_or(0), info.lsb.unwrap_or(0));
+            self.push_index_oob(&name, value, msb, lsb, Self::is_arithmetic(index), span);
         }
     }
 

@@ -64,7 +64,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Maps an identifier-shaped string to a keyword, if it is one.
-    pub fn from_str(word: &str) -> Option<Keyword> {
+    pub fn lookup(word: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match word {
             "module" => Module,
@@ -460,10 +460,10 @@ mod tests {
     #[test]
     fn keyword_round_trip() {
         for word in ["module", "endmodule", "always_ff", "casez", "genvar"] {
-            let kw = Keyword::from_str(word).expect("keyword");
+            let kw = Keyword::lookup(word).expect("keyword");
             assert_eq!(kw.as_str(), word);
         }
-        assert_eq!(Keyword::from_str("foo"), None);
+        assert_eq!(Keyword::lookup("foo"), None);
     }
 
     #[test]
