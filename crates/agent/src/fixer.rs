@@ -8,10 +8,14 @@
 //! * [`Strategy::React`] — up to `max_iterations` Thought / Action /
 //!   Observation rounds, re-compiling after every revision (§3.2).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use rtlfixer_compilers::{Compiler, CompilerKind};
-use rtlfixer_llm::{Feedback, GuidanceSnippet, LanguageModel, PromptStyle, RepairRequest};
+use rtlfixer_compilers::{Compiler, CompileOutcome, CompilerKind};
+use rtlfixer_faults::{self as faults, FaultKind, FaultPlan, FaultSpec};
+use rtlfixer_llm::{
+    Feedback, GuidanceSnippet, LanguageModel, PromptStyle, RepairRequest, TurnEvent,
+};
 use rtlfixer_rag::{DefaultRetriever, GuidanceDatabase, RetrievalQuery, Retriever};
 use rtlfixer_verilog::diag::ErrorCategory;
 
@@ -70,6 +74,11 @@ pub struct FixOutcome {
     pub initial_categories: Vec<ErrorCategory>,
     /// Error categories still present after fixing (empty on success).
     pub remaining_categories: Vec<ErrorCategory>,
+    /// Whether any fault or degradation struck the episode (injected LLM /
+    /// compiler faults, retriever failures, exhausted retries).
+    pub degraded: bool,
+    /// Number of `Fault` steps in the trace.
+    pub fault_events: usize,
     /// Full ReAct trace.
     pub trace: FixTrace,
 }
@@ -82,6 +91,8 @@ pub struct RtlFixerBuilder {
     database: Option<Arc<GuidanceDatabase>>,
     retriever: Option<Box<dyn Retriever>>,
     prefixer: bool,
+    fault_seed: u64,
+    fault_spec: Option<Option<Arc<FaultSpec>>>,
 }
 
 impl RtlFixerBuilder {
@@ -101,6 +112,8 @@ impl Default for RtlFixerBuilder {
             database: None,
             retriever: None,
             prefixer: true,
+            fault_seed: 0,
+            fault_spec: None,
         }
     }
 }
@@ -153,6 +166,22 @@ impl RtlFixerBuilder {
         self
     }
 
+    /// Seeds the compiler-side fault stream (default 0). Evaluation passes
+    /// the episode seed so injected faults are a pure function of the
+    /// episode, independent of worker count or scheduling.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Overrides the fault spec explicitly (chaos harness, tests) instead
+    /// of reading the process-wide `RTLFIXER_FAULTS` spec. `None` disables
+    /// compiler-side faults regardless of the environment.
+    pub fn fault_spec(mut self, spec: Option<Arc<FaultSpec>>) -> Self {
+        self.fault_spec = Some(spec);
+        self
+    }
+
     /// Builds the fixer around a language model.
     pub fn build<L: LanguageModel>(self, llm: L) -> RtlFixer<L> {
         // Default to the process-wide shared edition: episodes are built in
@@ -161,6 +190,10 @@ impl RtlFixerBuilder {
             CompilerKind::Quartus => GuidanceDatabase::quartus_shared(),
             _ => GuidanceDatabase::iverilog_shared(),
         });
+        let faults = match self.fault_spec {
+            Some(spec) => FaultPlan::compiler_with(spec, self.fault_seed),
+            None => FaultPlan::compiler(self.fault_seed),
+        };
         RtlFixer {
             compiler_kind: self.compiler,
             compiler: self.compiler.build(),
@@ -169,6 +202,7 @@ impl RtlFixerBuilder {
             database,
             retriever: self.retriever.unwrap_or_else(|| Box::new(DefaultRetriever::new())),
             prefixer: self.prefixer,
+            faults,
             llm,
         }
     }
@@ -203,6 +237,7 @@ pub struct RtlFixer<L: LanguageModel> {
     database: Arc<GuidanceDatabase>,
     retriever: Box<dyn Retriever>,
     prefixer: bool,
+    faults: FaultPlan,
     llm: L,
 }
 
@@ -227,44 +262,58 @@ impl<L: LanguageModel> RtlFixer<L> {
         let mut code =
             if self.prefixer { prefix_fix(source) } else { source.to_owned() };
         let mut trace = FixTrace::new();
+        let mut degraded = false;
         self.llm.begin_episode();
 
-        // Cached compile: across episodes (and pool workers) identical
-        // candidate sources compile exactly once per process.
-        let mut outcome = self.compiler.compile_cached(&code, "main.sv");
-        trace.push(
+        let mut outcome = self.compile_checked(
+            &code,
             "Submit the implementation to the compiler to check for syntax errors.",
-            Action::Compiler,
-            outcome.log.clone(),
+            &mut trace,
+            &mut degraded,
         );
         let initial_categories = outcome.error_categories();
 
         let mut revisions = 0usize;
         let budget = self.strategy.revision_budget();
         while !outcome.success && revisions < budget {
-            // RAG stage: retrieve guidance keyed on the compiler log.
+            // RAG stage: retrieve guidance keyed on the compiler log. A
+            // panicking retriever degrades the episode to RAG-off for this
+            // turn instead of aborting it.
             let guidance: Vec<GuidanceSnippet> = if self.rag {
                 let query = RetrievalQuery::from_log(outcome.log.clone());
-                let hits = self.retriever.retrieve(&self.database, &query);
-                if !hits.is_empty() {
-                    let obs: Vec<String> =
-                        hits.iter().map(|h| h.entry.guidance.clone()).collect();
-                    trace.push(
-                        "Search the expert guidance database for this error.",
-                        Action::Rag { query: outcome.log.clone() },
-                        obs.join("\n"),
-                    );
+                let hits = catch_unwind(AssertUnwindSafe(|| {
+                    self.retriever.retrieve(&self.database, &query)
+                }));
+                match hits {
+                    Ok(hits) => {
+                        if !hits.is_empty() {
+                            let obs: Vec<String> =
+                                hits.iter().map(|h| h.entry.guidance.clone()).collect();
+                            trace.push(
+                                "Search the expert guidance database for this error.",
+                                Action::Rag { query: outcome.log.clone() },
+                                obs.join("\n"),
+                            );
+                        }
+                        hits.iter()
+                            .map(|h| GuidanceSnippet {
+                                category: h.entry.category.0,
+                                text: h.entry.guidance.clone(),
+                                demonstration: h.entry.demonstration.clone(),
+                                exact_retrieval: h.exact,
+                            })
+                            .collect()
+                    }
+                    Err(_) => {
+                        degraded = true;
+                        trace.push(
+                            "The retrieval service failed; continuing without guidance.",
+                            Action::Fault { kind: "retriever-error".into() },
+                            "",
+                        );
+                        Vec::new()
+                    }
                 }
-                hits.iter()
-                    .map(|h| GuidanceSnippet {
-                        category: h.entry.category.0,
-                        text: h.entry.guidance.clone(),
-                        demonstration: h.entry.demonstration.clone(),
-                        // Exact-tag hits score exactly 1.0; fuzzy fallback
-                        // hits score below it and are uncertain matches.
-                        exact_retrieval: h.score >= 1.0,
-                    })
-                    .collect()
             } else {
                 Vec::new()
             };
@@ -281,16 +330,61 @@ impl<L: LanguageModel> RtlFixer<L> {
                 style: self.strategy.prompt_style(),
                 attempt: revisions,
             };
-            let response = self.llm.propose_repair(&request);
-            trace.push(response.thought.clone(), Action::Revise, "");
-            code = response.code;
+            let turn = self.llm.propose_repair_turn(&request);
+            degraded |= turn.is_degraded();
+            for event in &turn.events {
+                match event {
+                    TurnEvent::Fault { kind, .. } => trace.push(
+                        "A fault struck the model call.",
+                        Action::Fault { kind: kind.slug().into() },
+                        "",
+                    ),
+                    TurnEvent::Retry { backoff_ms, .. } => trace.push(
+                        format!("Back off {backoff_ms} ms, then retry the model call."),
+                        Action::Retry,
+                        "",
+                    ),
+                    TurnEvent::CircuitOpen => trace.push(
+                        "The circuit breaker is open; no model call is made.",
+                        Action::Fault { kind: "circuit-open".into() },
+                        "",
+                    ),
+                }
+            }
+            match turn.response {
+                Some(response) => {
+                    let mut next = response.code;
+                    if turn.malformed {
+                        // Salvage the prose-wrapped completion through the
+                        // same pre-fixer the paper applies to every
+                        // LLM-generated candidate.
+                        let salvaged = prefix_fix(&next);
+                        if salvaged.contains("module") {
+                            faults::record_recovered(FaultKind::MalformedOutput);
+                            next = salvaged;
+                        }
+                    }
+                    trace.push(response.thought, Action::Revise, "");
+                    code = next;
+                }
+                None => {
+                    // Exhausted retries (or open breaker): keep the previous
+                    // candidate. The turn still consumes a revision so a
+                    // fully-unavailable model terminates at the budget.
+                    trace.push(
+                        "The model is unavailable this turn; keeping the previous candidate.",
+                        Action::Revise,
+                        "",
+                    );
+                }
+            }
             revisions += 1;
 
-            outcome = self.compiler.compile_cached(&code, "main.sv");
-            trace.push(
+            outcome = self.compile_checked(
+                &code,
                 "Re-run the compilation on the revised code.",
-                Action::Compiler,
-                outcome.log.clone(),
+                &mut trace,
+                &mut degraded,
             );
         }
 
@@ -310,8 +404,72 @@ impl<L: LanguageModel> RtlFixer<L> {
             final_code: code,
             revisions,
             initial_categories,
+            degraded,
+            fault_events: trace.fault_steps(),
             trace,
         }
+    }
+
+    /// One compile with compiler-side fault handling.
+    ///
+    /// Cached compile: across episodes (and pool workers) identical
+    /// candidate sources compile exactly once per process. A drawn
+    /// `CompilerCrash` is retried (the real tool flow: resubmit the job) up
+    /// to twice; a drawn `GarbledLog` delivers the real verdict under a
+    /// noise-corrupted log with no identifiable categories — feedback
+    /// quality degrades, the episode continues.
+    fn compile_checked(
+        &mut self,
+        code: &str,
+        thought: &str,
+        trace: &mut FixTrace,
+        degraded: &mut bool,
+    ) -> Arc<CompileOutcome> {
+        let mut crashes = 0usize;
+        let outcome = loop {
+            match self.faults.draw() {
+                Some(FaultKind::CompilerCrash) => {
+                    *degraded = true;
+                    trace.push(
+                        "The compiler job died before producing a verdict.",
+                        Action::Fault { kind: FaultKind::CompilerCrash.slug().into() },
+                        faults::crash_log(),
+                    );
+                    if crashes < 2 {
+                        crashes += 1;
+                        trace.push("Resubmit the compilation job.", Action::Retry, "");
+                        faults::record_recovered(FaultKind::CompilerCrash);
+                        continue;
+                    }
+                    // Crash-retry budget exhausted: degrade gracefully by
+                    // trusting the (cached) frontend verdict anyway rather
+                    // than abandoning the episode.
+                    faults::record_exhausted(FaultKind::CompilerCrash);
+                    break self.compiler.compile_cached(code, "main.sv");
+                }
+                Some(FaultKind::GarbledLog) => {
+                    *degraded = true;
+                    let base = self.compiler.compile_cached(code, "main.sv");
+                    if base.success {
+                        break base;
+                    }
+                    // The shared cache entry stays pristine; only this
+                    // episode sees the corrupted copy.
+                    let mut out = (*base).clone();
+                    out.log = self.faults.garble_log(&out.log);
+                    out.identified.clear();
+                    trace.push(
+                        "The compiler log arrived corrupted; no error tag is legible.",
+                        Action::Fault { kind: FaultKind::GarbledLog.slug().into() },
+                        out.log.clone(),
+                    );
+                    break Arc::new(out);
+                }
+                _ => break self.compiler.compile_cached(code, "main.sv"),
+            }
+        };
+        trace.push(thought, Action::Compiler, outcome.log.clone());
+        outcome
     }
 }
 
@@ -514,5 +672,168 @@ mod tests {
             }
         }
         assert!(failures >= 7, "index arithmetic should mostly fail: {failures}/10");
+    }
+
+    // ---- graceful degradation under faults -----------------------------
+
+    use rtlfixer_faults::{FaultKind, FaultSpec};
+    use rtlfixer_llm::ResilientModel;
+
+    fn only(kind: FaultKind, rate: f64) -> Option<Arc<FaultSpec>> {
+        Some(Arc::new(FaultSpec::none().with_rate(kind, rate)))
+    }
+
+    /// A fixer whose LLM transport injects exactly `kind` at `rate`, with
+    /// compiler-side faults explicitly off. Explicit specs keep these tests
+    /// independent of process-global fault state.
+    fn faulty_llm_fixer(
+        kind: FaultKind,
+        rate: f64,
+        seed: u64,
+    ) -> RtlFixer<ResilientModel<SimulatedLlm>> {
+        RtlFixerBuilder::new()
+            .compiler(CompilerKind::Quartus)
+            .strategy(Strategy::React { max_iterations: 10 })
+            .fault_spec(None)
+            .build(ResilientModel::with_spec(
+                SimulatedLlm::new(Capability::Gpt4Class, seed),
+                only(kind, rate),
+                seed,
+            ))
+    }
+
+    #[test]
+    fn clean_run_is_not_degraded() {
+        let mut f = fixer(
+            CompilerKind::Quartus,
+            Strategy::React { max_iterations: 10 },
+            true,
+            Capability::Gpt4Class,
+            7,
+        );
+        let outcome = f.fix(PHANTOM_CLK);
+        assert!(!outcome.degraded);
+        assert_eq!(outcome.fault_events, 0);
+        assert_eq!(outcome.trace.retries(), 0);
+    }
+
+    #[test]
+    fn malformed_completions_are_salvaged() {
+        // Every completion arrives prose-wrapped; the salvage path must
+        // still land a compiling module.
+        let mut f = faulty_llm_fixer(FaultKind::MalformedOutput, 1.0, 7);
+        let outcome = f.fix(PHANTOM_CLK);
+        assert!(outcome.success, "trace:\n{}", outcome.trace);
+        assert!(outcome.degraded);
+        assert!(outcome.fault_events >= 1);
+        assert!(outcome.final_code.trim_start().starts_with("module"), "{}", outcome.final_code);
+    }
+
+    #[test]
+    fn exhausted_turns_keep_previous_candidate_and_terminate() {
+        // A permanently-down model: every turn exhausts its retries. The
+        // episode must terminate at the revision budget with the original
+        // candidate intact, not abort or spin.
+        let mut f = faulty_llm_fixer(FaultKind::Timeout, 1.0, 3);
+        let outcome = f.fix(PHANTOM_CLK);
+        assert!(!outcome.success);
+        assert!(outcome.degraded);
+        assert_eq!(outcome.revisions, 10, "each dead turn still consumes a revision");
+        assert_eq!(outcome.final_code, prefix_fix(PHANTOM_CLK));
+        assert_eq!(outcome.remaining_categories, outcome.initial_categories);
+    }
+
+    struct PanickyRetriever;
+
+    impl Retriever for PanickyRetriever {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+
+        fn retrieve<'a>(
+            &self,
+            _db: &'a GuidanceDatabase,
+            _query: &RetrievalQuery,
+        ) -> Vec<rtlfixer_rag::Retrieved<'a>> {
+            panic!("retrieval backend fell over")
+        }
+    }
+
+    #[test]
+    fn retriever_panic_degrades_to_rag_off() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the test log quiet
+        let mut f = RtlFixerBuilder::new()
+            .compiler(CompilerKind::Quartus)
+            .strategy(Strategy::React { max_iterations: 10 })
+            .retriever(Box::new(PanickyRetriever))
+            .fault_spec(None)
+            .build(SimulatedLlm::new(Capability::Gpt4Class, 7));
+        let outcome = f.fix(PHANTOM_CLK);
+        std::panic::set_hook(hook);
+        assert!(outcome.degraded);
+        let retriever_faults = outcome
+            .trace
+            .steps
+            .iter()
+            .filter(|s| s.action == Action::Fault { kind: "retriever-error".into() })
+            .count();
+        assert!(retriever_faults >= 1, "trace:\n{}", outcome.trace);
+        // No guidance ever reached the model, so no RAG step either.
+        assert!(!outcome.trace.steps.iter().any(|s| matches!(s.action, Action::Rag { .. })));
+    }
+
+    #[test]
+    fn compiler_crashes_retry_and_continue() {
+        let mut f = RtlFixerBuilder::new()
+            .compiler(CompilerKind::Quartus)
+            .strategy(Strategy::React { max_iterations: 10 })
+            .fault_spec(only(FaultKind::CompilerCrash, 1.0))
+            .fault_seed(7)
+            .build(SimulatedLlm::new(Capability::Gpt4Class, 7));
+        let outcome = f.fix(PHANTOM_CLK);
+        assert!(outcome.success, "crashes must not sink the episode:\n{}", outcome.trace);
+        assert!(outcome.degraded);
+        assert!(outcome.trace.retries() >= 2, "crash retries appear in the trace");
+        assert!(outcome.fault_events >= 3, "every compile drew a crash");
+    }
+
+    #[test]
+    fn garbled_logs_degrade_feedback_but_not_the_loop() {
+        let mut f = RtlFixerBuilder::new()
+            .compiler(CompilerKind::Quartus)
+            .strategy(Strategy::React { max_iterations: 10 })
+            .with_rag(false)
+            .fault_spec(only(FaultKind::GarbledLog, 1.0))
+            .fault_seed(5)
+            .build(SimulatedLlm::new(Capability::Gpt4Class, 5));
+        let outcome = f.fix(PHANTOM_CLK);
+        assert!(outcome.degraded);
+        assert!(
+            outcome
+                .trace
+                .steps
+                .iter()
+                .any(|s| s.action == Action::Fault { kind: "garbled-log".into() }),
+            "trace:\n{}",
+            outcome.trace
+        );
+        assert!(outcome.revisions <= 10, "loop terminated within budget");
+    }
+
+    #[test]
+    fn explicit_off_spec_matches_no_layer_run() {
+        // `.fault_spec(None)` + a plain model must behave exactly like the
+        // pre-fault-layer agent.
+        let run = |explicit_off: bool| {
+            let builder = RtlFixerBuilder::new()
+                .compiler(CompilerKind::Quartus)
+                .strategy(Strategy::React { max_iterations: 10 });
+            let builder = if explicit_off { builder.fault_spec(None) } else { builder };
+            let mut f = builder.build(SimulatedLlm::new(Capability::Gpt35Class, 99));
+            let o = f.fix(PHANTOM_CLK);
+            (o.success, o.revisions, o.final_code)
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -26,19 +26,41 @@ pub fn prefix_fix(source: &str) -> String {
     remove_misplaced_directives(&code)
 }
 
-/// Extracts the contents of the first fenced code block, if any.
+/// Extracts the contents of the first fenced code block that contains a
+/// `module`, if any; falls back to the first fenced block otherwise.
+///
+/// Real completions often lead with a fenced pseudo-code plan before the
+/// actual Verilog block — taking the first block blindly would salvage the
+/// plan instead of the code.
 pub fn extract_markdown(source: &str) -> String {
-    let Some(open) = source.find("```") else {
+    let blocks = fenced_blocks(source);
+    let Some(first) = blocks.first() else {
         return source.to_owned();
     };
-    let after_fence = &source[open + 3..];
-    // Skip the info string (e.g. `verilog`) to the end of line.
-    let body_start = after_fence.find('\n').map_or(0, |i| i + 1);
-    let body = &after_fence[body_start..];
-    match body.find("```") {
-        Some(close) => body[..close].to_owned(),
-        None => body.to_owned(),
+    blocks.iter().find(|b| b.contains("module")).unwrap_or(first).clone()
+}
+
+/// Bodies of every fenced code block in `source`, in order. The opening
+/// fence's info string (e.g. `verilog`) is not part of the body.
+fn fenced_blocks(source: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut rest = source;
+    while let Some(open) = rest.find("```") {
+        let after_fence = &rest[open + 3..];
+        let body_start = after_fence.find('\n').map_or(0, |i| i + 1);
+        let body = &after_fence[body_start..];
+        match body.find("```") {
+            Some(close) => {
+                blocks.push(body[..close].to_owned());
+                rest = &body[close + 3..];
+            }
+            None => {
+                blocks.push(body.to_owned());
+                break;
+            }
+        }
     }
+    blocks
 }
 
 /// Drops prose lines before the first `module`/directive line and after the
@@ -115,6 +137,31 @@ mod tests {
     }
 
     #[test]
+    fn prefers_block_containing_module_over_decoy() {
+        let raw = "Plan first:\n```\n1. inspect\n2. patch\n```\nThen the code:\n\
+                   ```verilog\nmodule m;\nendmodule\n```\n";
+        assert_eq!(extract_markdown(raw), "module m;\nendmodule\n");
+    }
+
+    #[test]
+    fn falls_back_to_first_block_without_module() {
+        let raw = "```\nplain text\n```\nand\n```\nmore text\n```\n";
+        assert_eq!(extract_markdown(raw), "plain text\n");
+    }
+
+    #[test]
+    fn salvages_malformed_completion() {
+        // The shape rtlfixer_faults::malform_completion produces: prose, a
+        // decoy non-code fence, then the real ```verilog fence.
+        let raw = rtlfixer_faults::malform_completion(
+            "module m(input a, output y);\nassign y = a;\nendmodule",
+        );
+        let fixed = prefix_fix(&raw);
+        assert!(fixed.starts_with("module"), "{fixed}");
+        assert!(fixed.trim_end().ends_with("endmodule"), "{fixed}");
+    }
+
+    #[test]
     fn strips_leading_and_trailing_prose() {
         let raw = "Certainly, see below.\nmodule m;\nendmodule\nLet me know!";
         let out = strip_prose(raw);
@@ -147,5 +194,47 @@ mod tests {
     fn clean_code_is_untouched_semantically() {
         let clean = "module m(input a, output y);\nassign y = a;\nendmodule\n";
         assert_eq!(prefix_fix(clean), clean);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        // The pre-fixer runs on every model completion, including its own
+        // output when a salvaged candidate round-trips through another
+        // repair turn — one application must be a fixed point.
+        #[test]
+        fn idempotent_on_arbitrary_text(s in ".{0,200}") {
+            let once = prefix_fix(&s);
+            prop_assert_eq!(prefix_fix(&once), once);
+        }
+
+        #[test]
+        fn idempotent_on_completion_shaped_text(
+            s in "((Sure, here you go!|Hope this helps|1\\. patch the line)\n\
+                  |```(verilog|)\n\
+                  |module m\\(input a, output y\\);\n\
+                  |`timescale 1ns/1ps\n\
+                  |assign y = a;\n\
+                  |endmodule\n){0,12}"
+        ) {
+            let once = prefix_fix(&s);
+            prop_assert_eq!(prefix_fix(&once), once);
+        }
+
+        #[test]
+        fn salvaging_malformed_completions_is_a_fixed_point(
+            code in "module m;\n(assign y = [a-z];\n){0,3}endmodule\n"
+        ) {
+            let wrapped = rtlfixer_faults::malform_completion(&code);
+            let once = prefix_fix(&wrapped);
+            prop_assert!(once.starts_with("module"), "{}", once);
+            prop_assert_eq!(prefix_fix(&once), once);
+        }
     }
 }

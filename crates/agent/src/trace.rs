@@ -15,6 +15,14 @@ pub enum Action {
     },
     /// Revise the code (the model's edit between compiler calls).
     Revise,
+    /// A fault struck the episode (LLM transport, compiler crash, garbled
+    /// log, retriever failure, open circuit breaker, …).
+    Fault {
+        /// The fault kind's stable slug (`timeout`, `compiler-crash`, …).
+        kind: String,
+    },
+    /// The resilience layer retried after a fault.
+    Retry,
     /// `Finish[answer]` — return the final code.
     Finish,
 }
@@ -28,6 +36,8 @@ impl fmt::Display for Action {
                 write!(f, "RAG[..{excerpt}..]")
             }
             Action::Revise => write!(f, "Revise"),
+            Action::Fault { kind } => write!(f, "Fault[{kind}]"),
+            Action::Retry => write!(f, "Retry"),
             Action::Finish => write!(f, "Finish"),
         }
     }
@@ -75,6 +85,17 @@ impl FixTrace {
     pub fn revisions(&self) -> usize {
         self.steps.iter().filter(|s| s.action == Action::Revise).count()
     }
+
+    /// Number of fault steps in the trace (injected faults, retriever
+    /// failures, open-breaker turns).
+    pub fn fault_steps(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s.action, Action::Fault { .. })).count()
+    }
+
+    /// Number of resilience retries in the trace.
+    pub fn retries(&self) -> usize {
+        self.steps.iter().filter(|s| s.action == Action::Retry).count()
+    }
 }
 
 impl fmt::Display for FixTrace {
@@ -105,9 +126,19 @@ mod tests {
         trace.push("look it up", Action::Rag { query: "l-value".into() }, "use assign");
         trace.push("revise", Action::Revise, "");
         trace.push("compile again", Action::Compiler, "ok");
+        trace.push("the API timed out", Action::Fault { kind: "timeout".into() }, "");
+        trace.push("retrying", Action::Retry, "");
         trace.push("done", Action::Finish, "");
         assert_eq!(trace.compiler_calls(), 2);
         assert_eq!(trace.revisions(), 1);
+        assert_eq!(trace.fault_steps(), 1);
+        assert_eq!(trace.retries(), 1);
+    }
+
+    #[test]
+    fn fault_action_renders_its_kind() {
+        assert_eq!(Action::Fault { kind: "compiler-crash".into() }.to_string(), "Fault[compiler-crash]");
+        assert_eq!(Action::Retry.to_string(), "Retry");
     }
 
     #[test]

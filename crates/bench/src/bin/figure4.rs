@@ -46,6 +46,7 @@ fn main() {
         episodes,
         seconds,
         episodes_per_sec: if seconds > 0.0 { episodes as f64 / seconds } else { 0.0 },
+        failed_episodes: 0,
     };
     record_run("figure4", scale.jobs, &stats);
 }

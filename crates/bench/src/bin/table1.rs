@@ -52,6 +52,7 @@ fn main() {
         episodes,
         seconds,
         episodes_per_sec: if seconds > 0.0 { episodes as f64 / seconds } else { 0.0 },
+        failed_episodes: 0,
     };
     record_run("table1", scale.jobs, &stats);
     println!("{}", serde_json::to_string_pretty(&cells).expect("serialises"));

@@ -73,6 +73,7 @@ fn main() {
         episodes: human.stats.episodes + machine.stats.episodes,
         seconds: human.stats.seconds + machine.stats.seconds,
         episodes_per_sec: 0.0,
+        failed_episodes: 0,
     };
     let stats = rtlfixer_eval::RunStats {
         episodes_per_sec: if stats.seconds > 0.0 {

@@ -12,6 +12,7 @@
 //! | `figure7`   | Figure 7 — ReAct iteration histogram |
 //! | `stats55`   | §4.2 — the "55% of errors are syntax" statistic |
 //! | `ablations` | DESIGN.md ablations (retriever, budget, pre-fixer, DB size) |
+//! | `chaos`     | DESIGN.md §3d — fix rate vs injected fault rate sweep |
 //!
 //! Each binary accepts `--quick` for a scaled-down run and prints
 //! paper-vs-measured rows; full-scale outputs are recorded in
@@ -104,8 +105,9 @@ impl RunScale {
 /// merge-writes its entry so the binaries can run in any order or subset.
 /// Each entry carries the wall-clock stats plus a snapshot of the
 /// process-wide artifact caches (analysis / compile-outcome / elaborated
-/// design hits and misses), so throughput numbers are interpretable next
-/// to the cache behaviour that produced them.
+/// design hits and misses) and of the fault-injection counters
+/// (injected / recovered / exhausted per kind), so throughput numbers are
+/// interpretable next to the cache and fault behaviour that produced them.
 ///
 /// Environment overrides:
 /// * `RTLFIXER_RESULTS_DIR` — output directory (used by tests).
@@ -123,12 +125,15 @@ pub fn record_run(experiment: &str, jobs: usize, stats: &rtlfixer_eval::RunStats
         root = serde_json::json!({});
     }
     let caches = serde_json::Value::from_serialize(&rtlfixer_eval::cache_report());
+    let faults = serde_json::Value::from_serialize(&rtlfixer_faults::fault_report());
     let entry = serde_json::json!({
         "jobs": rtlfixer_eval::resolve_jobs(jobs),
         "episodes": stats.episodes,
+        "failed_episodes": stats.failed_episodes,
         "wall_seconds": stats.seconds,
         "episodes_per_sec": stats.episodes_per_sec,
         "caches": caches,
+        "faults": faults,
     });
     if let Some(mut map) = root.as_object_mut() {
         map.insert(key, entry);

@@ -42,19 +42,24 @@ fn table1_quick_parallel_smoke() {
     );
 }
 
-/// The scientific outputs of a `table1` run: every `fix_rate` line of the
-/// JSON cell dump, in order. Wall-clock fields are deliberately excluded —
-/// they are the only thing caching is allowed to change.
-fn table1_fix_rates(cache: &str, jobs: &str, results_dir: &Path) -> Vec<String> {
-    let output = Command::new(env!("CARGO_BIN_EXE_table1"))
+/// The scientific outputs of a `table1` run under the given environment:
+/// every `fix_rate` line of the JSON cell dump, in order. Wall-clock fields
+/// are deliberately excluded — they are the only thing caching is allowed
+/// to change. `RTLFIXER_FAULTS` is scrubbed unless explicitly passed, so an
+/// ambient spec cannot leak into the comparisons.
+fn table1_fix_rates_with(jobs: &str, results_dir: &Path, envs: &[(&str, &str)]) -> Vec<String> {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_table1"));
+    command
         .args(["--quick", "--jobs", jobs])
-        .env("RTLFIXER_CACHE", cache)
-        .env("RTLFIXER_RESULTS_DIR", results_dir)
-        .output()
-        .expect("table1 binary runs");
+        .env_remove("RTLFIXER_FAULTS")
+        .env("RTLFIXER_RESULTS_DIR", results_dir);
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    let output = command.output().expect("table1 binary runs");
     assert!(
         output.status.success(),
-        "table1 --quick --jobs {jobs} (RTLFIXER_CACHE={cache}) failed:\n{}",
+        "table1 --quick --jobs {jobs} ({envs:?}) failed:\n{}",
         String::from_utf8_lossy(&output.stderr)
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
@@ -65,6 +70,10 @@ fn table1_fix_rates(cache: &str, jobs: &str, results_dir: &Path) -> Vec<String> 
         .collect();
     assert_eq!(rates.len(), 14, "expected all 14 grid cells:\n{stdout}");
     rates
+}
+
+fn table1_fix_rates(cache: &str, jobs: &str, results_dir: &Path) -> Vec<String> {
+    table1_fix_rates_with(jobs, results_dir, &[("RTLFIXER_CACHE", cache)])
 }
 
 #[test]
@@ -81,4 +90,98 @@ fn table1_outputs_invariant_to_cache_and_jobs() {
             "fix rates diverged at RTLFIXER_CACHE={cache} --jobs {jobs}"
         );
     }
+}
+
+#[test]
+fn faults_kill_switch_is_bit_identical_to_unset() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_faults_off_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    // RTLFIXER_FAULTS unset is the reference; every spelling of "off" must
+    // match it bit-for-bit, and so must a malformed spec (a typo in a
+    // tuning variable disables faults, it does not change results or
+    // abort the run).
+    let unset = table1_fix_rates_with("2", &results_dir, &[]);
+    for spec in ["off", "0", "false", "not-a-spec"] {
+        assert_eq!(
+            table1_fix_rates_with("2", &results_dir, &[("RTLFIXER_FAULTS", spec)]),
+            unset,
+            "fix rates diverged at RTLFIXER_FAULTS={spec}"
+        );
+    }
+}
+
+#[test]
+fn faulted_outputs_are_jobs_invariant() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_faults_jobs_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    // Fault placement derives from episode seeds, so a fixed spec is
+    // bit-identical across worker counts — and visibly different from the
+    // faultless run (the injection is not a no-op at 15%).
+    let faults = [("RTLFIXER_FAULTS", "0.15")];
+    let serial = table1_fix_rates_with("1", &results_dir, &faults);
+    assert_eq!(
+        table1_fix_rates_with("4", &results_dir, &faults),
+        serial,
+        "fix rates diverged across --jobs under RTLFIXER_FAULTS=0.15"
+    );
+    assert_ne!(
+        table1_fix_rates_with("1", &results_dir, &[]),
+        serial,
+        "15% faults left every one of the 14 grid cells untouched"
+    );
+}
+
+#[test]
+fn chaos_quick_smoke_contains_its_panic_probe() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_chaos_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .args(["--quick", "--jobs", "2"])
+        .env_remove("RTLFIXER_FAULTS")
+        .env("RTLFIXER_RESULTS_DIR", &results_dir)
+        .output()
+        .expect("chaos binary runs");
+    assert!(
+        output.status.success(),
+        "chaos --quick --jobs 2 failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("fault rate") || stdout.contains("faults"), "{stdout}");
+
+    // The JSON dump holds the full 4-variant × 5-rate sweep.
+    let json_start = stdout.find('[').expect("JSON cell dump present");
+    let cells: serde_json::Value =
+        serde_json::from_str(&stdout[json_start..]).expect("valid cell JSON");
+    let cells = cells.as_array().expect("array of cells");
+    assert_eq!(cells.len(), 20, "expected 4 variants x 5 rates");
+
+    // The deliberate panic probe is contained in the first cell and
+    // reported as a failed episode; the rest of the sweep is clean.
+    assert_eq!(cells[0]["failed_episodes"].as_u64(), Some(1), "{stdout}");
+    assert!(cells[1..].iter().all(|c| c["failed_episodes"].as_u64() == Some(0)), "{stdout}");
+
+    // Faulted cells report degradation activity; clean cells report none.
+    for cell in cells {
+        let rate = cell["fault_rate"].as_f64().expect("rate");
+        let events = cell["fault_events"].as_u64().expect("events");
+        if rate == 0.0 {
+            assert_eq!(events, 0, "clean cell saw faults: {cell}");
+        } else {
+            assert!(events > 0, "faulted cell saw no faults: {cell}");
+        }
+    }
+
+    // The run recorded its throughput, fault counters included.
+    let text = std::fs::read_to_string(results_dir.join("bench_eval.json"))
+        .expect("bench_eval.json written");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let entry = &json["chaos"];
+    assert!(entry["episodes"].as_u64().unwrap_or(0) > 0, "{text}");
+    assert_eq!(entry["failed_episodes"].as_u64(), Some(1), "{text}");
+    assert!(entry["faults"]["injected"].as_u64().unwrap_or(0) > 0, "{text}");
 }

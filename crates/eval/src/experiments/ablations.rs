@@ -8,7 +8,7 @@ use serde::Serialize;
 
 use rtlfixer_agent::{RtlFixerBuilder, Strategy};
 use rtlfixer_compilers::CompilerKind;
-use rtlfixer_llm::{Capability, SimulatedLlm};
+use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
 use rtlfixer_rag::{
     ExactTagRetriever, GuidanceDatabase, JaccardRetriever, Retriever, TfIdfRetriever,
 };
@@ -35,7 +35,7 @@ fn run_variant(
     entries: &[rtlfixer_dataset::SyntaxBenchEntry],
     config: &FixRateConfig,
     cell: u64,
-    build: impl Fn(u64) -> rtlfixer_agent::RtlFixer<SimulatedLlm> + Sync,
+    build: impl Fn(u64) -> rtlfixer_agent::RtlFixer<ResilientModel<SimulatedLlm>> + Sync,
 ) -> (f64, RunStats) {
     let specs = episode_grid(config.base_seed, cell, entries.len(), config.repeats);
     let (successes, stats) = run_episodes(config.jobs, &specs, |spec| {
@@ -55,7 +55,7 @@ fn point(
     entries: &[rtlfixer_dataset::SyntaxBenchEntry],
     config: &FixRateConfig,
     cell: u64,
-    build: impl Fn(u64) -> rtlfixer_agent::RtlFixer<SimulatedLlm> + Sync,
+    build: impl Fn(u64) -> rtlfixer_agent::RtlFixer<ResilientModel<SimulatedLlm>> + Sync,
 ) -> AblationPoint {
     let (rate, stats) = run_variant(entries, config, cell, build);
     AblationPoint { variant: label, fix_rate: rate, stats }
@@ -81,7 +81,11 @@ pub fn retriever_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
                     .strategy(Strategy::React { max_iterations: 10 })
                     .with_rag(true)
                     .retriever(make())
-                    .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
+                    .fault_seed(seed)
+                    .build(ResilientModel::new(
+                        SimulatedLlm::new(Capability::Gpt35Class, seed),
+                        seed,
+                    ))
             })
         })
         .collect()
@@ -100,7 +104,11 @@ pub fn iteration_sweep(config: &FixRateConfig) -> Vec<AblationPoint> {
                     .compiler(CompilerKind::Quartus)
                     .strategy(Strategy::React { max_iterations: n })
                     .with_rag(false)
-                    .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
+                    .fault_seed(seed)
+                    .build(ResilientModel::new(
+                        SimulatedLlm::new(Capability::Gpt35Class, seed),
+                        seed,
+                    ))
             })
         })
         .collect()
@@ -121,7 +129,11 @@ pub fn prefixer_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
                     .strategy(Strategy::OneShot)
                     .with_rag(true)
                     .prefixer(enabled)
-                    .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
+                    .fault_seed(seed)
+                    .build(ResilientModel::new(
+                        SimulatedLlm::new(Capability::Gpt35Class, seed),
+                        seed,
+                    ))
             })
         })
         .collect()
@@ -154,7 +166,11 @@ pub fn database_size_sweep(config: &FixRateConfig) -> Vec<AblationPoint> {
                         .strategy(Strategy::React { max_iterations: 10 })
                         .with_rag(true)
                         .shared_database(Arc::clone(&database))
-                        .build(SimulatedLlm::new(Capability::Gpt35Class, seed))
+                        .fault_seed(seed)
+                    .build(ResilientModel::new(
+                        SimulatedLlm::new(Capability::Gpt35Class, seed),
+                        seed,
+                    ))
                 },
             )
         })

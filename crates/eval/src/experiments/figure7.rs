@@ -5,7 +5,7 @@ use serde::Serialize;
 
 use rtlfixer_agent::{RtlFixerBuilder, Strategy};
 use rtlfixer_compilers::CompilerKind;
-use rtlfixer_llm::{Capability, SimulatedLlm};
+use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
 
 use super::table1::{load_entries, FixRateConfig};
 use crate::runner::{episode_grid, run_episodes, RunStats};
@@ -47,11 +47,13 @@ pub fn figure7(config: &FixRateConfig) -> IterationHistogram {
     // Per-episode outcome: Some(revisions) when resolved, None otherwise.
     let (outcomes, stats) = run_episodes(config.jobs, &specs, |spec| {
         let entry = &entries[spec.entry];
-        let llm = SimulatedLlm::new(Capability::Gpt35Class, spec.seed);
+        let llm =
+            ResilientModel::new(SimulatedLlm::new(Capability::Gpt35Class, spec.seed), spec.seed);
         let mut fixer = RtlFixerBuilder::new()
             .compiler(CompilerKind::Quartus)
             .strategy(Strategy::React { max_iterations })
             .with_rag(true)
+            .fault_seed(spec.seed)
             .build(llm);
         let outcome = fixer.fix_problem(&entry.description, &entry.code);
         outcome.success.then_some(outcome.revisions)

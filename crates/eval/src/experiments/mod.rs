@@ -2,6 +2,7 @@
 //! experiment index in DESIGN.md §3).
 
 pub mod ablations;
+pub mod chaos;
 pub mod figure7;
 pub mod table1;
 pub mod table2;

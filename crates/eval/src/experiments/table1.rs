@@ -9,7 +9,7 @@ use serde::Serialize;
 use rtlfixer_agent::{RtlFixerBuilder, Strategy};
 use rtlfixer_compilers::CompilerKind;
 use rtlfixer_dataset::SyntaxBenchEntry;
-use rtlfixer_llm::{Capability, SimulatedLlm};
+use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
 
 use crate::metrics::fix_rate;
 use crate::runner::{episode_grid, run_episodes, RunStats};
@@ -107,11 +107,16 @@ pub fn run_cell_timed(
     let specs = episode_grid(config.base_seed, cell_index, entries.len(), config.repeats);
     let (successes, stats) = run_episodes(config.jobs, &specs, |spec| {
         let entry = &entries[spec.entry];
-        let llm = SimulatedLlm::new(capability, spec.seed);
+        // The resilient transport and the compiler fault stream are both
+        // seeded from the episode seed: with `RTLFIXER_FAULTS` unset they
+        // are inert pass-throughs, and with a spec set the injected faults
+        // are identical at every worker count.
+        let llm = ResilientModel::new(SimulatedLlm::new(capability, spec.seed), spec.seed);
         let mut fixer = RtlFixerBuilder::new()
             .compiler(compiler)
             .strategy(strategy)
             .with_rag(rag)
+            .fault_seed(spec.seed)
             .build(llm);
         fixer.fix_problem(&entry.description, &entry.code).success
     });

@@ -7,7 +7,7 @@ use rtlfixer_agent::{prefixer, RtlFixerBuilder, Strategy};
 use rtlfixer_compilers::CompilerKind;
 use rtlfixer_dataset::generation::{GenCapability, Generator};
 use rtlfixer_dataset::{Difficulty, Problem, Verdict};
-use rtlfixer_llm::{Capability, SimulatedLlm};
+use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
 
 use crate::metrics::mean_pass_at_k;
 use crate::runner::{episode_seed, run_indexed, RunStats};
@@ -123,11 +123,13 @@ fn evaluate_problem(problem: &Problem, config: &PassAtKConfig, index: u64) -> Pr
         // Fixing pass: only compile errors go through RTLFixer.
         let fixed_verdict = if original == Verdict::CompileError {
             let fix_seed = episode_seed(config.seed, 41, index, sample as u64);
-            let llm = SimulatedLlm::new(Capability::Gpt35Class, fix_seed);
+            let llm =
+                ResilientModel::new(SimulatedLlm::new(Capability::Gpt35Class, fix_seed), fix_seed);
             let mut fixer = RtlFixerBuilder::new()
                 .compiler(CompilerKind::Quartus)
                 .strategy(Strategy::React { max_iterations: 10 })
                 .with_rag(true)
+                .fault_seed(fix_seed)
                 .build(llm);
             let outcome = fixer.fix_problem(&problem.description, &normalised);
             problem.check(&outcome.final_code)

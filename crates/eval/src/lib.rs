@@ -33,5 +33,6 @@ pub mod sim_debug;
 
 pub use metrics::{fix_rate, mean_pass_at_k, pass_at_k};
 pub use runner::{
-    cache_report, episode_seed, resolve_jobs, run_episodes, CacheReport, EpisodeSpec, RunStats,
+    cache_report, episode_seed, resolve_jobs, run_episodes, run_episodes_checked,
+    run_indexed_checked, CacheReport, EpisodeFailure, EpisodeSpec, RunStats,
 };

@@ -12,6 +12,9 @@
 //! * [`run_indexed`] — a self-scheduling (work-stealing) thread pool over
 //!   an index range, reassembling results in index order so parallel runs
 //!   are byte-identical to `jobs = 1`.
+//! * [`run_indexed_checked`] / [`run_episodes_checked`] — the same pool
+//!   with per-index panic containment: a panicking episode becomes a
+//!   structured [`EpisodeFailure`] instead of tearing down the run.
 //! * [`episode_grid`] / [`run_episodes`] — the flattened
 //!   entries × repeats grid most experiments execute, with wall-clock
 //!   [`RunStats`].
@@ -33,7 +36,10 @@
 //! | 200..=201  | ablations: pre-fixer on/off |
 //! | 300..=303  | ablations: database-size sweep |
 //! | 500..=502  | ablations: retriever choice |
+//! | 700..=799  | chaos: fault-rate sweep (one cell per variant × rate) |
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -75,42 +81,106 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let (results, failures) = run_indexed_checked(jobs, len, task);
+    if let Some(first) = failures.first() {
+        panic!(
+            "{} of {len} episodes panicked; first at index {}: {}",
+            failures.len(),
+            first.index,
+            first.message
+        );
+    }
+    results
+        .into_iter()
+        .map(|v| v.expect("no failures, so every index produced a value"))
+        .collect()
+}
+
+/// One contained episode panic from [`run_indexed_checked`].
+#[derive(Debug, Clone)]
+pub struct EpisodeFailure {
+    /// Index of the panicking task.
+    pub index: usize,
+    /// Rendered panic payload.
+    pub message: String,
+}
+
+/// Renders a caught panic payload for an [`EpisodeFailure`].
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Like [`run_indexed`], but a panicking task yields a structured
+/// [`EpisodeFailure`] (and a `None` result slot) instead of aborting the
+/// pool — one poisoned episode cannot sink a whole grid.
+///
+/// Failures are returned in index order. Determinism is preserved: panics
+/// are as much a pure function of the index as results are.
+pub fn run_indexed_checked<R, F>(
+    jobs: usize,
+    len: usize,
+    task: F,
+) -> (Vec<Option<R>>, Vec<EpisodeFailure>)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let jobs = resolve_jobs(jobs).min(len.max(1));
+    let run_one = |index: usize| catch_unwind(AssertUnwindSafe(|| task(index)));
+
+    let mut slots: Vec<Option<Result<R, String>>> = Vec::with_capacity(len);
     if jobs <= 1 {
-        return (0..len).map(task).collect();
+        for index in 0..len {
+            slots.push(Some(run_one(index).map_err(panic_message)));
+        }
+    } else {
+        slots.resize_with(len, || None);
+        let cursor = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<(usize, Result<R, String>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let sender = sender.clone();
+                let cursor = &cursor;
+                let run_one = &run_one;
+                scope.spawn(move || loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= len {
+                        break;
+                    }
+                    let value = run_one(index).map_err(panic_message);
+                    if sender.send((index, value)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(sender);
+            // Reassemble on the spawning thread while workers are still
+            // producing; order restores determinism regardless of
+            // completion order.
+            for (index, value) in receiver {
+                slots[index] = Some(value);
+            }
+        });
     }
 
-    let cursor = AtomicUsize::new(0);
-    let (sender, receiver) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
-    slots.resize_with(len, || None);
-
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let sender = sender.clone();
-            let cursor = &cursor;
-            let task = &task;
-            scope.spawn(move || loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= len {
-                    break;
-                }
-                let value = task(index);
-                if sender.send((index, value)).is_err() {
-                    break;
-                }
-            });
+    let mut results = Vec::with_capacity(len);
+    let mut failures = Vec::new();
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot.expect("worker completed every index") {
+            Ok(value) => results.push(Some(value)),
+            Err(message) => {
+                results.push(None);
+                failures.push(EpisodeFailure { index, message });
+            }
         }
-        drop(sender);
-        // Reassemble on the spawning thread while workers are still
-        // producing; order restores determinism regardless of completion
-        // order.
-        for (index, value) in receiver {
-            slots[index] = Some(value);
-        }
-    });
-
-    slots.into_iter().map(|v| v.expect("worker completed every index")).collect()
+    }
+    (results, failures)
 }
 
 /// Coordinates plus derived seed for one episode.
@@ -202,6 +272,9 @@ pub struct RunStats {
     pub seconds: f64,
     /// Episode throughput.
     pub episodes_per_sec: f64,
+    /// Episodes that panicked and were contained as [`EpisodeFailure`]s
+    /// (always 0 on the unchecked paths, which abort instead).
+    pub failed_episodes: usize,
 }
 
 impl RunStats {
@@ -212,7 +285,14 @@ impl RunStats {
             episodes,
             seconds,
             episodes_per_sec: if seconds > 0.0 { episodes as f64 / seconds } else { 0.0 },
+            failed_episodes: 0,
         }
+    }
+
+    /// Records contained episode failures (builder style).
+    pub fn with_failed(mut self, failed_episodes: usize) -> Self {
+        self.failed_episodes = failed_episodes;
+        self
     }
 }
 
@@ -228,6 +308,24 @@ where
     let start = Instant::now();
     let results = run_indexed(jobs, specs.len(), |i| episode(&specs[i]));
     (results, RunStats::new(specs.len(), start.elapsed()))
+}
+
+/// [`run_episodes`] with panic containment: a panicking episode yields a
+/// `None` result and an [`EpisodeFailure`], the rest of the grid completes,
+/// and the failure count lands in [`RunStats::failed_episodes`].
+pub fn run_episodes_checked<R, F>(
+    jobs: usize,
+    specs: &[EpisodeSpec],
+    episode: F,
+) -> (Vec<Option<R>>, Vec<EpisodeFailure>, RunStats)
+where
+    R: Send,
+    F: Fn(&EpisodeSpec) -> R + Sync,
+{
+    let start = Instant::now();
+    let (results, failures) = run_indexed_checked(jobs, specs.len(), |i| episode(&specs[i]));
+    let stats = RunStats::new(specs.len(), start.elapsed()).with_failed(failures.len());
+    (results, failures, stats)
 }
 
 #[cfg(test)]
@@ -304,5 +402,70 @@ mod tests {
     fn resolve_jobs_zero_is_auto() {
         assert!(resolve_jobs(0) >= 1);
         assert_eq!(resolve_jobs(4), 4);
+    }
+
+    /// Runs `f` with the default panic hook suppressed so contained panics
+    /// don't spam the test log.
+    fn quietly<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn checked_pool_contains_panics() {
+        for jobs in [1, 4] {
+            let (results, failures) = quietly(|| {
+                run_indexed_checked(jobs, 20, |i| {
+                    if i == 7 || i == 13 {
+                        panic!("episode {i} fell over");
+                    }
+                    i * 2
+                })
+            });
+            assert_eq!(results.len(), 20, "jobs = {jobs}");
+            assert_eq!(results[6], Some(12));
+            assert_eq!(results[7], None);
+            assert_eq!(results[13], None);
+            let indices: Vec<usize> = failures.iter().map(|f| f.index).collect();
+            assert_eq!(indices, vec![7, 13], "jobs = {jobs}");
+            assert!(failures[0].message.contains("episode 7 fell over"));
+        }
+    }
+
+    #[test]
+    fn unchecked_pool_reports_structured_panic() {
+        let caught = quietly(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_indexed(2, 10, |i| {
+                    if i == 3 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            }))
+        });
+        let message = panic_message(caught.expect_err("must propagate"));
+        assert!(message.contains("1 of 10 episodes panicked"), "{message}");
+        assert!(message.contains("index 3"), "{message}");
+        assert!(message.contains("boom at 3"), "{message}");
+    }
+
+    #[test]
+    fn run_episodes_checked_counts_failures() {
+        let specs = episode_grid(1, 0, 6, 1);
+        let (results, failures, stats) = quietly(|| {
+            run_episodes_checked(2, &specs, |s| {
+                assert!(s.entry != 2, "deliberate failure at entry 2");
+                s.seed
+            })
+        });
+        assert_eq!(results.iter().filter(|r| r.is_some()).count(), 5);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 2);
+        assert_eq!(stats.failed_episodes, 1);
+        assert_eq!(stats.episodes, 6);
     }
 }

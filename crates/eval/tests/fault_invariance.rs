@@ -1,0 +1,70 @@
+//! Fault injection must be deterministic and, when off, invisible: with a
+//! fixed spec the experiment outputs are bit-identical at any worker count,
+//! and with the kill switch thrown they match the faultless reference
+//! exactly. These tests toggle the process-wide spec directly, so they live
+//! in their own integration-test binary (sharing a process with tests that
+//! assert exact fault counters would race).
+
+use rtlfixer_agent::Strategy;
+use rtlfixer_compilers::CompilerKind;
+use rtlfixer_eval::experiments::table1::{load_entries, run_cell_timed, FixRateConfig};
+use rtlfixer_faults::FaultSpec;
+use rtlfixer_llm::Capability;
+
+/// Fix rates for a representative pair of Table 1 cells: the heaviest
+/// pipeline (ReAct + RAG + Quartus) and the lightest (One-shot + Simple).
+/// Bit patterns, not values: invariance means *bit-identical*.
+fn fix_rates(jobs: usize) -> Vec<u64> {
+    let config = FixRateConfig { max_entries: Some(12), repeats: 2, jobs, ..Default::default() };
+    let entries = load_entries(&config);
+    [
+        (Strategy::React { max_iterations: 10 }, CompilerKind::Quartus, true),
+        (Strategy::OneShot, CompilerKind::Simple, false),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(cell, (strategy, compiler, rag))| {
+        let (rate, _) = run_cell_timed(
+            &entries,
+            strategy,
+            compiler,
+            rag,
+            Capability::Gpt35Class,
+            &config,
+            cell as u64,
+        );
+        rate.to_bits()
+    })
+    .collect()
+}
+
+#[test]
+fn outputs_identical_at_any_jobs_with_or_without_faults() {
+    // Reference semantics: faults off, serial.
+    rtlfixer_faults::set_global_spec(None);
+    let off = fix_rates(1);
+    assert_eq!(fix_rates(4), off, "fix rates diverged (faults off, jobs 4)");
+
+    // An all-zero spec never draws, so it must be indistinguishable from
+    // the kill switch.
+    rtlfixer_faults::set_global_spec(Some(FaultSpec::none()));
+    assert_eq!(fix_rates(1), off, "all-zero spec diverged from faults-off");
+
+    // A fixed fault spec: fault placement derives from episode seeds, so
+    // results stay bit-identical across worker counts and schedules.
+    rtlfixer_faults::set_global_spec(Some(FaultSpec::uniform(0.2)));
+    rtlfixer_faults::reset_counters();
+    let faulted = fix_rates(1);
+    for jobs in [2, 4] {
+        assert_eq!(fix_rates(jobs), faulted, "fix rates diverged (20% faults, jobs {jobs})");
+    }
+
+    // The faulted runs actually injected and recovered (this is an
+    // invariance test, not a vacuous one).
+    let report = rtlfixer_faults::fault_report();
+    assert!(report.injected > 0, "no faults injected at 20%: {report:?}");
+    assert!(report.recovered > 0, "nothing recovered at 20%: {report:?}");
+
+    rtlfixer_faults::set_global_spec(None);
+    rtlfixer_faults::reset_counters();
+}

@@ -14,6 +14,10 @@
 //!   error category and capability class (GPT-3.5 vs GPT-4).
 //! * [`SimulatedLlm`] — ties the two together behind the [`LanguageModel`]
 //!   trait the agent talks to.
+//! * [`ResilientModel`] — the production transport layer over any model:
+//!   seeded fault injection, bounded retries with simulated-clock backoff,
+//!   a per-episode circuit breaker and a retry-budget ledger (DESIGN.md
+//!   §3d).
 //!
 //! The split keeps the reproduction honest: everything mechanical is real
 //! code; only the model's hit/miss behaviour is stochastic, with its
@@ -24,10 +28,12 @@
 pub mod competence;
 pub mod model;
 pub mod repair;
+pub mod resilient;
 pub mod simulated;
 
 pub use competence::{AttemptContext, Capability, Competence, GuidanceLevel};
 pub use model::{
     Feedback, GuidanceSnippet, LanguageModel, PromptStyle, RepairRequest, RepairResponse,
 };
+pub use resilient::{RepairTurn, ResilientModel, RetryLedger, RetryPolicy, TurnEvent};
 pub use simulated::SimulatedLlm;

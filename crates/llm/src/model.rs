@@ -88,6 +88,17 @@ pub trait LanguageModel: Send {
 
     /// Proposes a revision of the code in `request`.
     fn propose_repair(&mut self, request: &RepairRequest) -> RepairResponse;
+
+    /// Proposes a revision with transport-level outcome reporting.
+    ///
+    /// The default wraps [`propose_repair`](Self::propose_repair) as a
+    /// clean, fault-free turn; [`crate::ResilientModel`] overrides it with
+    /// retry / backoff / circuit-breaker semantics so the agent can react
+    /// to degraded turns (salvage malformed completions, keep the previous
+    /// candidate on exhaustion).
+    fn propose_repair_turn(&mut self, request: &RepairRequest) -> crate::resilient::RepairTurn {
+        crate::resilient::RepairTurn::clean(self.propose_repair(request))
+    }
 }
 
 #[cfg(test)]

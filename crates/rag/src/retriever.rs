@@ -70,6 +70,11 @@ pub struct Retrieved<'a> {
     pub entry: &'a GuidanceEntry,
     /// Retriever-specific score (1.0 for exact tag matches).
     pub score: f64,
+    /// Whether this hit came from an exact error-tag match. Fuzzy and
+    /// vector hits set `false`; downstream consumers must branch on this
+    /// flag, never on a score sentinel (fuzzy scores can legitimately
+    /// reach 1.0 on degenerate logs).
+    pub exact: bool,
 }
 
 /// Object-safe retriever interface.
@@ -115,7 +120,7 @@ impl Retriever for ExactTagRetriever {
         db.entries
             .iter()
             .filter(|e| e.error_tag.is_some_and(|t| tags.contains(&t)))
-            .map(|entry| Retrieved { entry, score: 1.0 })
+            .map(|entry| Retrieved { entry, score: 1.0, exact: true })
             .collect()
     }
 }
@@ -159,6 +164,7 @@ impl Retriever for JaccardRetriever {
             .map(|entry| Retrieved {
                 entry,
                 score: jaccard_similarity(&query.log, &entry.log_exemplar),
+                exact: false,
             })
             .filter(|r| r.score >= self.threshold)
             .collect();
@@ -243,7 +249,7 @@ impl Retriever for TfIdfRetriever {
             .top_k(&query.log, self.top_k)
             .into_iter()
             .filter(|(_, score)| *score >= self.threshold)
-            .map(|(i, score)| Retrieved { entry: &db.entries[i], score })
+            .map(|(i, score)| Retrieved { entry: &db.entries[i], score, exact: false })
             .collect()
     }
 }
@@ -346,7 +352,8 @@ mod tests {
         assert!(!results.is_empty(), "fuzzy fallback should fire");
         let db_q = GuidanceDatabase::quartus();
         let results_q = retriever.retrieve(&db_q, &RetrievalQuery::from_log(QUARTUS_LOG));
-        assert!(results_q.iter().all(|r| r.score == 1.0), "exact path should win");
+        assert!(results_q.iter().all(|r| r.exact), "exact path should win");
+        assert!(results.iter().all(|r| !r.exact), "fuzzy hits must not claim exactness");
     }
 
     #[test]

@@ -61,6 +61,17 @@ impl Value {
         }
     }
 
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match &self.0 {
+            Content::Seq(items) => {
+                // SAFETY: Value is #[repr(transparent)] over Content.
+                Some(unsafe { &*(items.as_slice() as *const [Content] as *const [Value]) })
+            }
+            _ => None,
+        }
+    }
+
     /// The value as an unsigned integer, if it is one.
     pub fn as_u64(&self) -> Option<u64> {
         match self.0 {
