@@ -1,0 +1,97 @@
+//! Steady-state simulator throughput: cycles/sec on the three designs the
+//! Criterion `sim/cycle_*` benchmarks use (small combinational adder,
+//! 8-bit sequential counter, 256-bit wide sequential datapath), driven
+//! through the interned event-driven kernel. Complements Criterion with a
+//! single recorded number per design so kernel regressions show up in
+//! `results/bench_eval.json` next to the experiment throughput entries.
+//!
+//! Run with `cargo run --release -p rtlfixer-bench --bin simbench`
+//! (`--quick` for the smoke-test cycle count).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use rtlfixer_bench::{record_run, render_table, RunScale};
+use rtlfixer_sim::{value::LogicVec, Simulator};
+
+const SMALL_COMB: &str = "module small(input [7:0] a, input [7:0] b,\n\
+                          output [7:0] y, output carry);\n\
+                          assign {carry, y} = a + b;\nendmodule";
+
+const COUNTER: &str = "module ctr(input clk, input reset, output reg [7:0] q);\n\
+                       always @(posedge clk) begin\n\
+                       if (reset) q <= 0; else q <= q + 1;\nend\nendmodule";
+
+const WIDE_256: &str = "module wide(input clk, input [7:0] d, output reg [255:0] acc);\n\
+                        always @(posedge clk)\n\
+                        acc <= {acc[247:0], d} ^ (acc >> 3);\nendmodule";
+
+fn row(name: &str, cycles: usize, wall: Duration) -> Vec<String> {
+    let seconds = wall.as_secs_f64();
+    let per_sec = if seconds > 0.0 { cycles as f64 / seconds } else { 0.0 };
+    vec![
+        name.to_owned(),
+        cycles.to_string(),
+        format!("{seconds:.3}"),
+        format!("{per_sec:.0}"),
+    ]
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let cycles: usize = if scale.quick { 20_000 } else { 2_000_000 };
+
+    let mut rows = Vec::new();
+    let mut total_cycles = 0usize;
+    let mut total_wall = Duration::ZERO;
+
+    // Small combinational adder: poke both inputs and settle each cycle.
+    let small = rtlfixer_verilog::compile(SMALL_COMB);
+    let mut sim = Simulator::new(&small, "small").expect("elaborates");
+    let start = Instant::now();
+    for i in 0..cycles as u64 {
+        sim.poke("a", LogicVec::from_u64(8, i & 0xFF)).expect("port");
+        sim.poke("b", LogicVec::from_u64(8, (i >> 3) & 0xFF)).expect("port");
+        sim.settle().expect("settles");
+        black_box(sim.peek("y"));
+    }
+    let wall = start.elapsed();
+    rows.push(row("cycle_small_comb", cycles, wall));
+    total_cycles += cycles;
+    total_wall += wall;
+
+    // Medium sequential counter: one full clock cycle per iteration.
+    let counter = rtlfixer_verilog::compile(COUNTER);
+    let mut sim = Simulator::new(&counter, "ctr").expect("elaborates");
+    sim.poke("reset", LogicVec::from_u64(1, 0)).expect("port");
+    let start = Instant::now();
+    for _ in 0..cycles {
+        sim.clock_cycle("clk").expect("cycle");
+        black_box(sim.peek("q"));
+    }
+    let wall = start.elapsed();
+    rows.push(row("cycle_medium_seq", cycles, wall));
+    total_cycles += cycles;
+    total_wall += wall;
+
+    // Wide 256-bit sequential datapath: multi-limb shifts and xors.
+    let wide = rtlfixer_verilog::compile(WIDE_256);
+    let mut sim = Simulator::new(&wide, "wide").expect("elaborates");
+    sim.poke("d", LogicVec::from_u64(8, 0xA5)).expect("port");
+    let start = Instant::now();
+    for _ in 0..cycles {
+        sim.clock_cycle("clk").expect("cycle");
+        black_box(sim.peek("acc"));
+    }
+    let wall = start.elapsed();
+    rows.push(row("cycle_wide_256", cycles, wall));
+    total_cycles += cycles;
+    total_wall += wall;
+
+    println!("Simulator cycle throughput ({cycles} cycles per design):");
+    print!("{}", render_table(&["design", "cycles", "seconds", "cycles/s"], &rows));
+
+    let stats = rtlfixer_eval::RunStats::new(total_cycles, total_wall);
+    println!("total: {} cycles in {:.3}s ({:.0} eps/s)", stats.episodes, stats.seconds, stats.episodes_per_sec);
+    record_run("simbench", 1, &stats);
+}

@@ -185,3 +185,36 @@ fn chaos_quick_smoke_contains_its_panic_probe() {
     assert_eq!(entry["failed_episodes"].as_u64(), Some(1), "{text}");
     assert!(entry["faults"]["injected"].as_u64().unwrap_or(0) > 0, "{text}");
 }
+
+#[test]
+fn simbench_quick_smoke_records_throughput() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_simbench_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_simbench"))
+        .arg("--quick")
+        .env("RTLFIXER_RESULTS_DIR", &results_dir)
+        .output()
+        .expect("simbench binary runs");
+    assert!(
+        output.status.success(),
+        "simbench --quick failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // All three kernel designs appear with a throughput column.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for design in ["cycle_small_comb", "cycle_medium_seq", "cycle_wide_256"] {
+        assert!(stdout.contains(design), "{design} row missing:\n{stdout}");
+    }
+    assert!(stdout.contains("cycles/s"), "throughput column missing:\n{stdout}");
+
+    // The run recorded its aggregate cycle throughput.
+    let text = std::fs::read_to_string(results_dir.join("bench_eval.json"))
+        .expect("bench_eval.json written");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let entry = &json["simbench"];
+    assert_eq!(entry["episodes"].as_u64(), Some(60_000), "{text}");
+    assert_eq!(entry["failed_episodes"].as_u64(), Some(0), "{text}");
+    assert!(entry["episodes_per_sec"].as_f64().unwrap_or(0.0) > 0.0, "{text}");
+}

@@ -29,9 +29,22 @@ pub fn render_sim_feedback(problem: &Problem, code: &str) -> Option<String> {
     }
     let mut golden = (problem.golden)();
     let stimuli = problem.stimuli(0xC0FFEE);
-    let result =
-        run_testbench(&analysis, &problem.top, golden.as_mut(), &stimuli, &problem.clocking)
-            .ok()?;
+    let result = match run_testbench(
+        &analysis,
+        &problem.top,
+        golden.as_mut(),
+        &stimuli,
+        &problem.clocking,
+    ) {
+        Ok(result) => result,
+        // A runtime simulation failure is itself actionable feedback: an
+        // unstable design names the still-toggling nets (combinational
+        // loop), which is exactly what the agent needs to see.
+        Err(rtlfixer_sim::testbench::TestbenchError::Sim(e)) => {
+            return Some(format!("Simulation FAILED before producing outputs: {e}."));
+        }
+        Err(_) => return None,
+    };
     if result.passed {
         return Some("All output samples match the reference. 0 mismatches.".to_owned());
     }
@@ -257,6 +270,20 @@ mod tests {
         let problem = suites::find_problem("human/and8").expect("exists");
         let feedback = render_sim_feedback(&problem, &problem.solution).expect("renders");
         assert!(feedback.contains("0 mismatches"));
+    }
+
+    #[test]
+    fn feedback_surfaces_unstable_simulation() {
+        // A combinational loop compiles but never settles; the feedback must
+        // say so and name the oscillating net instead of returning None.
+        let problem = suites::find_problem("human/and8").expect("exists");
+        let oscillating = problem
+            .solution
+            .replace("endmodule", "wire osc_n;\nassign osc_n = ~osc_n;\nendmodule");
+        let feedback = render_sim_feedback(&problem, &oscillating).expect("renders");
+        assert!(feedback.contains("Simulation FAILED"), "{feedback}");
+        assert!(feedback.contains("did not settle"), "{feedback}");
+        assert!(feedback.contains("osc_n"), "{feedback}");
     }
 
     #[test]

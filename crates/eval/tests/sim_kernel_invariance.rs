@@ -1,0 +1,105 @@
+//! Sim-kernel invariance: the interned, event-driven simulation kernel must
+//! be bit-identical to the tree-walking interpreter it replaced. Two pins,
+//! both recorded against the pre-kernel implementation:
+//!
+//! 1. The full `table1 --quick` episode grid (14 cells x 40 entries x 3
+//!    repeats) reproduces the recorded fix rates exactly, at `--jobs 1` and
+//!    `--jobs 4`.
+//! 2. A verdict transcript over every benchmark problem in all three suites
+//!    (solution at two stimulus seeds, plus a seeded functional mutant)
+//!    hashes to the recorded fingerprint. This is the part that actually
+//!    drives `run_testbench` cycle-by-cycle — table1's fix loop is
+//!    compile-feedback only.
+//!
+//! If either pin moves, the kernel changed simulation semantics; that is a
+//! correctness bug, not a baseline to re-record.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtlfixer_dataset::{mutate, rtllm, verilog_eval_human, verilog_eval_machine, Verdict};
+use rtlfixer_eval::experiments::table1::{table1, FixRateConfig};
+
+/// The `--quick` grid's fix rates, recorded before the kernel swap
+/// (bit-exact: shortest-roundtrip literals parse back to the same f64).
+const QUICK_GRID_RATES: [f64; 14] = [
+    0.4833333333333331,
+    0.5583333333333333,
+    0.675,
+    0.7083333333333334,
+    0.8916666666666669,
+    0.6833333333333333,
+    0.7083333333333335,
+    0.825,
+    0.8166666666666668,
+    0.9583333333333333,
+    0.9166666666666666,
+    0.9916666666666666,
+    0.925,
+    0.9916666666666666,
+];
+
+fn quick_grid_rates(jobs: usize) -> Vec<u64> {
+    let config = FixRateConfig { max_entries: Some(40), repeats: 3, jobs, ..Default::default() };
+    table1(&config).iter().map(|cell| cell.fix_rate.to_bits()).collect()
+}
+
+#[test]
+fn table1_quick_grid_matches_recorded_fingerprint() {
+    rtlfixer_faults::set_global_spec(None);
+    let pinned: Vec<u64> = QUICK_GRID_RATES.iter().map(|r| r.to_bits()).collect();
+    for jobs in [1, 4] {
+        let measured = quick_grid_rates(jobs);
+        assert_eq!(
+            measured,
+            pinned,
+            "table1 --quick grid diverged from the pre-kernel recording at --jobs {jobs}: \
+             {:?}",
+            measured.iter().map(|bits| f64::from_bits(*bits)).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Verdict transcript fingerprint recorded against the pre-kernel
+/// interpreter (see `verdict_transcript`).
+const VERDICT_FINGERPRINT: &str = "6e1d06fe7fcb63b9fe9e51206c569f8b";
+
+fn verdict_code(verdict: Verdict) -> char {
+    match verdict {
+        Verdict::CompileError => 'C',
+        Verdict::SimMismatch => 'M',
+        Verdict::Pass => 'P',
+    }
+}
+
+/// One line per benchmark problem: the solution simulated at two stimulus
+/// seeds, plus a seeded functional mutant (compiles, behaves differently) so
+/// the mismatch path is exercised, not just the all-pass diagonal.
+fn verdict_transcript() -> String {
+    let mut transcript = String::new();
+    let mut rng = StdRng::seed_from_u64(0x51D1_CAFE);
+    let problems = [verilog_eval_human(), verilog_eval_machine(), rtllm()].concat();
+    assert!(problems.len() > 20, "suites unexpectedly small: {}", problems.len());
+    for problem in &problems {
+        let gold = verdict_code(problem.check_seeded(&problem.solution, 0xC0FFEE));
+        let alt = verdict_code(problem.check_seeded(&problem.solution, 12345));
+        let mutant = mutate::inject_functional_bug(&problem.solution, &mut rng)
+            .map_or('-', |bad| verdict_code(problem.check(&bad)));
+        transcript.push_str(&format!("{}:{gold}{alt}{mutant};", problem.id));
+    }
+    transcript
+}
+
+#[test]
+fn testbench_verdicts_match_recorded_fingerprint() {
+    let transcript = verdict_transcript();
+    // Non-vacuity: the transcript must exercise both the pass and the
+    // mismatch paths of the simulator, not just compile errors.
+    assert!(transcript.contains('P'), "no passing verdicts:\n{transcript}");
+    assert!(transcript.contains('M'), "no mismatch verdicts:\n{transcript}");
+    let fingerprint = format!("{:032x}", rtlfixer_cache::fingerprint128(transcript.as_bytes()));
+    assert_eq!(
+        fingerprint, VERDICT_FINGERPRINT,
+        "simulation verdicts diverged from the pre-kernel recording; transcript:\n{transcript}"
+    );
+}

@@ -179,6 +179,22 @@ pub struct FunctionDef {
     pub scope: Scope,
 }
 
+/// Lazily-populated slot for the lowered execution form of a [`Design`]
+/// (see `crate::lower`). Computed once per design by the first
+/// [`crate::Simulator`] built on it and shared by every simulator after
+/// that, including through the `elaborate_shared` design cache.
+///
+/// Cloning a `Design` deliberately does **not** clone the slot: the clone
+/// may be mutated before simulation, which would invalidate the kernel.
+#[derive(Debug, Default)]
+pub struct LowerCell(pub(crate) std::sync::OnceLock<Arc<crate::lower::Kernel>>);
+
+impl Clone for LowerCell {
+    fn clone(&self) -> Self {
+        LowerCell::default()
+    }
+}
+
 /// A fully elaborated (flattened) design.
 #[derive(Debug, Clone)]
 pub struct Design {
@@ -198,6 +214,8 @@ pub struct Design {
     pub init: Vec<Proc>,
     /// Functions keyed by `{module_prefix}{name}`.
     pub functions: HashMap<String, FunctionDef>,
+    /// Cached lowered execution form (never cloned with the design).
+    pub(crate) lowered: LowerCell,
 }
 
 /// Elaborates `top` from an error-free analysis.
@@ -226,6 +244,7 @@ pub fn elaborate(analysis: &Analysis, top: &str) -> Result<Design, ElabError> {
         seq: Vec::new(),
         init: Vec::new(),
         functions: HashMap::new(),
+        lowered: LowerCell::default(),
     };
     let params = Arc::new(module_params(module, &HashMap::new()));
     elaborate_module(analysis, module, "", Arc::clone(&params), &mut design, 0)?;

@@ -1,15 +1,37 @@
-//! The simulation interpreter: a tree-walking executor over an elaborated
-//! [`Design`], with two-phase (non-blocking) sequential semantics and
-//! settle-to-fixpoint combinational evaluation.
+//! The simulation interpreter: executes the interned execution form
+//! ([`crate::lower::Kernel`]) compiled from an elaborated [`Design`], with
+//! two-phase (non-blocking) sequential semantics and settle-to-fixpoint
+//! combinational evaluation.
+//!
+//! Compared with the tree-walking interpreter it replaced, the hot loop is
+//! allocation-free and event-driven:
+//!
+//! * Signal state lives in a dense `Vec<StateValue>` slab indexed by
+//!   interned `SigId`s; procedural locals live in a reusable `Vec<LogicVec>`
+//!   scratch slab indexed by `LocalId`s. No per-sweep `HashMap` clones.
+//! * [`Simulator::settle`] is sensitivity-driven: every write marks the
+//!   target signal dirty, and a combinational process is only re-run when a
+//!   signal in its (statically computed) sensitivity set — everything it may
+//!   read *or* write, including transitively through functions — was marked
+//!   dirty by the previous sweep, the current sweep, or an external event
+//!   (`poke`/`edge`/NBA commit). The write set is part of the sensitivity
+//!   set because a read-modify-write target is an input to its own process.
+//! * Fixpoint detection compares only the signals actually written during a
+//!   sweep against a first-touch snapshot, which is equivalent to the old
+//!   whole-state compare (untouched signals cannot differ).
+//!
+//! Setting `RTLFIXER_SIM_EVENT=0` (or `off`/`false`) disables the
+//! event-driven filter and re-runs every combinational process each sweep —
+//! a debugging fallback that must produce bit-identical results.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use rtlfixer_verilog::ast::{
-    AssignOp, BinaryOp, CaseKind, Edge, Expr, SelectMode, Stmt, UnaryOp,
+use rtlfixer_verilog::ast::{AssignOp, BinaryOp, CaseKind, Edge, SelectMode, UnaryOp};
+
+use crate::elab::Design;
+use crate::lower::{
+    KBase, KExpr, KExprKind, KLval, KProc, KProcBody, KStmt, KVarRef, Kernel, SigId,
 };
-use rtlfixer_verilog::token::Base;
-
-use crate::elab::{Design, Proc, ProcKind, Scope, SigDef};
 use crate::value::{Bit, LogicVec, ReduceOp};
 
 /// Maximum iterations of the combinational settle loop before the design is
@@ -32,17 +54,15 @@ pub enum StateValue {
 /// A resolved non-blocking write target.
 #[derive(Debug, Clone)]
 enum Target {
-    Whole(String),
-    Bits(String, u32, u32),
-    Word(String, usize),
-    WordBits(String, usize, u32, u32),
-    /// Local variables commit immediately even under `<=`.
-    Discard,
+    Whole(SigId),
+    Bits(SigId, u32, u32),
+    Word(SigId, usize),
+    WordBits(SigId, usize, u32, u32),
 }
 
 /// A scheduled non-blocking write.
 #[derive(Debug, Clone)]
-pub(crate) struct NbaWrite {
+struct NbaWrite {
     target: Target,
     value: LogicVec,
 }
@@ -50,8 +70,12 @@ pub(crate) struct NbaWrite {
 /// Simulation-level failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// Combinational logic failed to reach a fixpoint.
-    Unstable,
+    /// Combinational logic failed to reach a fixpoint. `signals` names the
+    /// nets still toggling in the final sweep (empty only if unknown).
+    Unstable {
+        /// Signals that changed value in the last settle sweep, sorted.
+        signals: Vec<String>,
+    },
     /// Referenced port does not exist.
     NoSuchPort(String),
 }
@@ -59,13 +83,112 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Unstable => write!(f, "combinational logic did not settle"),
+            SimError::Unstable { signals } => {
+                write!(f, "combinational logic did not settle")?;
+                if !signals.is_empty() {
+                    write!(
+                        f,
+                        " (still toggling after {MAX_SETTLE} sweeps: {})",
+                        signals.join(", ")
+                    )?;
+                }
+                Ok(())
+            }
             SimError::NoSuchPort(name) => write!(f, "no such port '{name}'"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+// ---- dirty tracking ---------------------------------------------------------
+
+/// A fixed-capacity bitset over `SigId`s.
+#[derive(Debug, Clone)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(bits: usize) -> BitSet {
+        BitSet { words: vec![0; bits.div_ceil(64)] }
+    }
+
+    /// All bits set (trailing bits past `bits` are harmless: no `SigId`
+    /// maps to them).
+    fn all(bits: usize) -> BitSet {
+        BitSet { words: vec![u64::MAX; bits.div_ceil(64)] }
+    }
+
+    fn get(&self, i: SigId) -> bool {
+        (self.words[i as usize / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn set(&mut self, i: SigId) {
+        self.words[i as usize / 64] |= 1u64 << (i % 64);
+    }
+
+    fn clear(&mut self, i: SigId) {
+        self.words[i as usize / 64] &= !(1u64 << (i % 64));
+    }
+
+    fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Per-sweep change journal: `touched` records a first-touch snapshot of
+/// every signal written this sweep (deduplicated through `mask`) so the
+/// fixpoint check can compare exactly the slots that might have changed.
+struct SweepLog<'a> {
+    mask: &'a mut BitSet,
+    touched: &'a mut Vec<(SigId, StateValue)>,
+}
+
+/// Write observer threaded through execution: every value-changing signal
+/// write sets its dirty bit (scheduling dependent processes), and — during a
+/// settle sweep — journals the pre-write value.
+struct WriteLog<'a> {
+    dirty: &'a mut BitSet,
+    sweep: Option<SweepLog<'a>>,
+}
+
+/// Records that `id` is about to change. Must be called *before* the state
+/// slot is mutated (the sweep journal snapshots the old value).
+fn note_change(state: &[StateValue], log: &mut Option<WriteLog<'_>>, id: SigId) {
+    if let Some(log) = log {
+        log.dirty.set(id);
+        if let Some(sweep) = &mut log.sweep {
+            if !sweep.mask.get(id) {
+                sweep.mask.set(id);
+                sweep.touched.push((id, state[id as usize].clone()));
+            }
+        }
+    }
+}
+
+/// Replaces `state[id]` with `new`, skipping (and not logging) no-op writes.
+fn set_state(state: &mut [StateValue], log: &mut Option<WriteLog<'_>>, id: SigId, new: StateValue) {
+    if state[id as usize] == new {
+        return;
+    }
+    note_change(state, log, id);
+    state[id as usize] = new;
+}
+
+// ---- the simulator ----------------------------------------------------------
+
+/// Returns whether the event-driven settle filter is enabled (default yes;
+/// `RTLFIXER_SIM_EVENT=0|off|false` forces the full-sweep fallback).
+fn event_driven() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        !matches!(
+            std::env::var("RTLFIXER_SIM_EVENT").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
 
 /// A cycle-level simulator over an elaborated design.
 ///
@@ -85,8 +208,23 @@ impl std::error::Error for SimError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    design: std::sync::Arc<Design>,
-    state: HashMap<String, StateValue>,
+    design: Arc<Design>,
+    kernel: Arc<Kernel>,
+    /// Signal state slab, indexed by `SigId`.
+    state: Vec<StateValue>,
+    /// Signals dirtied before the current sweep (previous sweep's toggles
+    /// plus pending external writes). All-ones after construction/reset.
+    prev_dirty: BitSet,
+    /// Signals dirtied during the current sweep.
+    curr_dirty: BitSet,
+    /// Scratch: dedup mask for `touched`.
+    touched_mask: BitSet,
+    /// Scratch: first-touch snapshots of signals written this sweep.
+    touched: Vec<(SigId, StateValue)>,
+    /// Scratch: non-blocking assignment queue (reused across edges).
+    nba: Vec<NbaWrite>,
+    /// Scratch: procedural locals slab (reused across processes).
+    locals: Vec<LogicVec>,
 }
 
 impl Simulator {
@@ -94,8 +232,8 @@ impl Simulator {
     ///
     /// Elaboration goes through the process-wide
     /// [`crate::elab::elaborate_shared`] cache, so repeated simulations of
-    /// the same source share one immutable [`Design`] and only the mutable
-    /// signal state is per-simulator.
+    /// the same source share one immutable [`Design`] (and its lowered
+    /// kernel) and only the mutable signal state is per-simulator.
     ///
     /// # Errors
     ///
@@ -109,30 +247,51 @@ impl Simulator {
     }
 
     /// Builds a simulator over an already-elaborated (shared) design, with
-    /// all signals initialised to zero.
-    pub fn from_design(design: std::sync::Arc<Design>) -> Simulator {
-        let state = Self::zero_state(&design);
-        Simulator { design, state }
+    /// all signals initialised to zero. The design is lowered to its kernel
+    /// form on first use and the kernel is cached on the design, so further
+    /// simulators over the same `Arc<Design>` skip straight to state setup.
+    pub fn from_design(design: Arc<Design>) -> Simulator {
+        let kernel =
+            Arc::clone(design.lowered.0.get_or_init(|| Arc::new(crate::lower::lower(&design))));
+        let state = Self::zero_state(&kernel);
+        let n = kernel.sigs.len();
+        Simulator {
+            design,
+            kernel,
+            state,
+            prev_dirty: BitSet::all(n),
+            curr_dirty: BitSet::new(n),
+            touched_mask: BitSet::new(n),
+            touched: Vec::new(),
+            nba: Vec::new(),
+            locals: Vec::new(),
+        }
     }
 
     /// Resets every signal (and memory word) back to zero — the state a
     /// fresh simulator starts from. Re-run [`Simulator::run_initial`]
     /// afterwards to re-apply `initial` blocks.
     pub fn reset_state(&mut self) {
-        self.state = Self::zero_state(&self.design);
+        self.state = Self::zero_state(&self.kernel);
+        let n = self.kernel.sigs.len();
+        self.prev_dirty = BitSet::all(n);
+        self.curr_dirty.clear_all();
+        self.touched_mask.clear_all();
+        self.touched.clear();
     }
 
-    fn zero_state(design: &Design) -> HashMap<String, StateValue> {
-        let mut state = HashMap::new();
-        for (name, def) in &design.signals {
-            let value = if def.words.is_some() {
-                StateValue::Array(vec![LogicVec::zeros(def.width); def.word_count()])
-            } else {
-                StateValue::Vec(LogicVec::zeros(def.width))
-            };
-            state.insert(name.clone(), value);
-        }
-        state
+    fn zero_state(kernel: &Kernel) -> Vec<StateValue> {
+        kernel
+            .sigs
+            .iter()
+            .map(|sig| {
+                if sig.def.words.is_some() {
+                    StateValue::Array(vec![LogicVec::zeros(sig.def.width); sig.def.word_count()])
+                } else {
+                    StateValue::Vec(LogicVec::zeros(sig.def.width))
+                }
+            })
+            .collect()
     }
 
     /// The elaborated design.
@@ -146,16 +305,21 @@ impl Simulator {
     ///
     /// Returns [`SimError::NoSuchPort`] for unknown names.
     pub fn poke(&mut self, name: &str, value: LogicVec) -> Result<(), SimError> {
-        let def =
-            self.design.signals.get(name).ok_or_else(|| SimError::NoSuchPort(name.to_owned()))?;
-        let width = def.width;
-        self.state.insert(name.to_owned(), StateValue::Vec(value.resize(width)));
+        let &id = self
+            .kernel
+            .by_name
+            .get(name)
+            .ok_or_else(|| SimError::NoSuchPort(name.to_owned()))?;
+        let width = self.kernel.sigs[id as usize].def.width;
+        let mut log = Some(WriteLog { dirty: &mut self.prev_dirty, sweep: None });
+        set_state(&mut self.state, &mut log, id, StateValue::Vec(value.resize(width)));
         Ok(())
     }
 
     /// Reads a signal's current value (vectors only).
     pub fn peek(&self, name: &str) -> Option<LogicVec> {
-        match self.state.get(name)? {
+        let &id = self.kernel.by_name.get(name)?;
+        match &self.state[id as usize] {
             StateValue::Vec(v) => Some(v.clone()),
             StateValue::Array(_) => None,
         }
@@ -163,7 +327,8 @@ impl Simulator {
 
     /// Reads one word of a memory.
     pub fn peek_word(&self, name: &str, index: usize) -> Option<LogicVec> {
-        match self.state.get(name)? {
+        let &id = self.kernel.by_name.get(name)?;
+        match &self.state[id as usize] {
             StateValue::Array(words) => words.get(index).cloned(),
             StateValue::Vec(_) => None,
         }
@@ -175,9 +340,9 @@ impl Simulator {
     ///
     /// Returns [`SimError::Unstable`] if combinational logic oscillates.
     pub fn run_initial(&mut self) -> Result<(), SimError> {
-        let procs = self.design.init.clone();
-        for proc in &procs {
-            self.run_proc(proc);
+        let kernel = Arc::clone(&self.kernel);
+        for proc in &kernel.init {
+            self.run_proc(&kernel, proc, false);
         }
         self.settle()
     }
@@ -187,19 +352,46 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`SimError::Unstable`] if no fixpoint is reached within the
-    /// iteration cap (combinational loop).
+    /// iteration cap (combinational loop), naming the still-toggling nets.
     pub fn settle(&mut self) -> Result<(), SimError> {
+        let kernel = Arc::clone(&self.kernel);
+        let event = event_driven();
+        let mut last_changed: Vec<SigId> = Vec::new();
         for _ in 0..MAX_SETTLE {
-            let before = self.state.clone();
-            let procs = self.design.comb.clone();
-            for proc in &procs {
-                self.run_proc(proc);
+            for proc in &kernel.comb {
+                let run = !event
+                    || proc
+                        .sens
+                        .iter()
+                        .any(|&s| self.prev_dirty.get(s) || self.curr_dirty.get(s));
+                if run {
+                    self.run_proc(&kernel, proc, true);
+                }
             }
-            if self.state == before {
+            // End-of-sweep fixpoint check over exactly the slots written
+            // this sweep (equivalent to the old full-state compare).
+            let touched = std::mem::take(&mut self.touched);
+            let mut changed = Vec::new();
+            for (id, old) in touched {
+                self.touched_mask.clear(id);
+                if self.state[id as usize] != old {
+                    changed.push(id);
+                }
+            }
+            if changed.is_empty() {
+                self.prev_dirty.clear_all();
+                self.curr_dirty.clear_all();
                 return Ok(());
             }
+            std::mem::swap(&mut self.prev_dirty, &mut self.curr_dirty);
+            self.curr_dirty.clear_all();
+            last_changed = changed;
         }
-        Err(SimError::Unstable)
+        let mut signals: Vec<String> =
+            last_changed.iter().map(|&id| kernel.sigs[id as usize].name.clone()).collect();
+        signals.sort();
+        signals.dedup();
+        Err(SimError::Unstable { signals })
     }
 
     /// Applies an edge event on `signal`: updates its value, executes every
@@ -210,34 +402,46 @@ impl Simulator {
     ///
     /// Propagates [`SimError`] from settling.
     pub fn edge(&mut self, signal: &str, edge: Edge) -> Result<(), SimError> {
+        let kernel = Arc::clone(&self.kernel);
         let new_val = match edge {
             Edge::Pos => 1,
             Edge::Neg => 0,
         };
-        if let Some(def) = self.design.signals.get(signal) {
-            let width = def.width;
-            self.state
-                .insert(signal.to_owned(), StateValue::Vec(LogicVec::from_u64(width, new_val)));
+        if let Some(&id) = kernel.by_name.get(signal) {
+            let width = kernel.sigs[id as usize].def.width;
+            let mut log = Some(WriteLog { dirty: &mut self.prev_dirty, sweep: None });
+            set_state(
+                &mut self.state,
+                &mut log,
+                id,
+                StateValue::Vec(LogicVec::from_u64(width, new_val)),
+            );
         }
-        let mut nba = Vec::new();
-        let procs = self.design.seq.clone();
-        for proc in &procs {
+        let mut nba = std::mem::take(&mut self.nba);
+        nba.clear();
+        let mut locals = std::mem::take(&mut self.locals);
+        for proc in &kernel.seq {
             if proc.edges.iter().any(|(e, s)| *e == edge && s == signal) {
-                let mut locals = Vec::new();
+                locals.clear();
+                locals.resize(proc.nlocals as usize, LogicVec::zeros(1));
+                let mut log = Some(WriteLog { dirty: &mut self.prev_dirty, sweep: None });
                 exec(
-                    &self.design,
+                    &kernel,
                     &mut self.state,
-                    &proc.scope,
                     &mut locals,
                     &proc.body,
                     &mut Some(&mut nba),
+                    &mut log,
                     0,
                 );
             }
         }
-        for write in nba {
-            commit(&mut self.state, write);
+        self.locals = locals;
+        for write in nba.drain(..) {
+            let mut log = Some(WriteLog { dirty: &mut self.prev_dirty, sweep: None });
+            commit(&mut self.state, &mut log, write);
         }
+        self.nba = nba;
         self.settle()
     }
 
@@ -254,158 +458,79 @@ impl Simulator {
         self.edge(clk, Edge::Neg)
     }
 
-    fn run_proc(&mut self, proc: &Proc) {
-        let mut locals = Vec::new();
-        match &proc.kind {
-            ProcKind::Assign { lhs, rhs } => {
-                let width =
-                    lvalue_width(&self.design, &self.state, &proc.scope, &locals, lhs);
-                let value = eval_sized(
-                    &self.design,
-                    &self.state,
-                    &proc.scope,
-                    &locals,
-                    rhs,
-                    width,
-                    0,
-                );
-                assign_to(
-                    &self.design,
-                    &mut self.state,
-                    &proc.scope,
-                    &mut locals,
-                    lhs,
-                    value,
-                    &mut None,
-                );
+    /// Runs one combinational/initial process. During a settle sweep
+    /// (`sweep`), writes dirty `curr_dirty` and journal into the touched
+    /// log; outside a sweep they dirty `prev_dirty` as pending events.
+    fn run_proc(&mut self, kernel: &Kernel, proc: &KProc, sweep: bool) {
+        let mut locals = std::mem::take(&mut self.locals);
+        locals.clear();
+        locals.resize(proc.nlocals as usize, LogicVec::zeros(1));
+        let mut log = Some(if sweep {
+            WriteLog {
+                dirty: &mut self.curr_dirty,
+                sweep: Some(SweepLog {
+                    mask: &mut self.touched_mask,
+                    touched: &mut self.touched,
+                }),
             }
-            ProcKind::Block(body) => {
-                exec(
-                    &self.design,
-                    &mut self.state,
-                    &proc.scope,
-                    &mut locals,
-                    body,
-                    &mut None,
-                    0,
-                );
+        } else {
+            WriteLog { dirty: &mut self.prev_dirty, sweep: None }
+        });
+        match &proc.body {
+            KProcBody::Assign { lhs, rhs } => {
+                let width = lval_width(kernel, &self.state, &locals, lhs);
+                let value = eval_sized(kernel, &self.state, &locals, rhs, width, 0);
+                assign(kernel, &mut self.state, &mut locals, lhs, value, &mut None, &mut log);
             }
-            ProcKind::BindIn { child, expr } => {
-                let child_width =
-                    self.design.signals.get(child).map_or(1, |def| def.width);
-                let value = eval_sized(
-                    &self.design,
-                    &self.state,
-                    &proc.scope,
-                    &locals,
-                    expr,
-                    child_width,
-                    0,
-                );
-                if let Some(def) = self.design.signals.get(child) {
-                    let width = def.width;
-                    self.state.insert(child.clone(), StateValue::Vec(value.resize(width)));
-                }
+            KProcBody::Block(body) => {
+                exec(kernel, &mut self.state, &mut locals, body, &mut None, &mut log, 0);
             }
-            ProcKind::BindOut { lhs, child } => {
-                if let Some(StateValue::Vec(value)) = self.state.get(child).cloned() {
-                    assign_to(
-                        &self.design,
+            KProcBody::BindIn { child, expr } => {
+                let child_width = child.map_or(1, |id| kernel.sigs[id as usize].def.width);
+                let value = eval_sized(kernel, &self.state, &locals, expr, child_width, 0);
+                if let Some(id) = child {
+                    set_state(
                         &mut self.state,
-                        &proc.scope,
-                        &mut locals,
-                        lhs,
-                        value,
-                        &mut None,
+                        &mut log,
+                        *id,
+                        StateValue::Vec(value.resize(child_width)),
                     );
                 }
             }
+            KProcBody::BindOut { lhs, child } => {
+                if let Some(id) = child {
+                    if let StateValue::Vec(value) = &self.state[*id as usize] {
+                        let value = value.clone();
+                        assign(
+                            kernel,
+                            &mut self.state,
+                            &mut locals,
+                            lhs,
+                            value,
+                            &mut None,
+                            &mut log,
+                        );
+                    }
+                }
+            }
         }
+        self.locals = locals;
     }
-}
-
-// ---- name resolution ------------------------------------------------------
-
-/// Resolves `name` against the scope chain: `scope_prefix + name`, then
-/// stripping one generate-scope segment at a time down to `module_prefix`.
-fn resolve_signal(design: &Design, scope: &Scope, name: &str) -> Option<String> {
-    let mut prefix = scope.scope_prefix.clone();
-    loop {
-        let candidate = format!("{prefix}{name}");
-        if design.signals.contains_key(&candidate) {
-            return Some(candidate);
-        }
-        if prefix == scope.module_prefix {
-            return None;
-        }
-        // Strip the last `seg.` from the prefix.
-        let trimmed = &prefix[..prefix.len() - 1]; // drop trailing '.'
-        match trimmed.rfind('.') {
-            Some(pos) => prefix = prefix[..pos + 1].to_owned(),
-            None => prefix = String::new(),
-        }
-        if prefix.len() < scope.module_prefix.len() {
-            return None;
-        }
-    }
-}
-
-fn signal_def<'d>(design: &'d Design, full: &str) -> Option<&'d SigDef> {
-    design.signals.get(full)
 }
 
 // ---- expression evaluation --------------------------------------------------
 
-fn param_value(value: i64) -> LogicVec {
-    LogicVec::from_u64(32, value as u64)
-}
-
-/// Evaluates `expr` in `scope` against the current state.
-pub(crate) fn eval(
-    design: &Design,
-    state: &HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &[HashMap<String, LogicVec>],
-    expr: &Expr,
-    depth: usize,
-) -> LogicVec {
-    match expr {
-        Expr::Ident { name, .. } => {
-            for frame in locals.iter().rev() {
-                if let Some(v) = frame.get(name) {
-                    return v.clone();
-                }
-            }
-            if let Some(value) = scope.params.get(name) {
-                return param_value(*value);
-            }
-            if let Some(full) = resolve_signal(design, scope, name) {
-                return match state.get(&full) {
-                    Some(StateValue::Vec(v)) => v.clone(),
-                    _ => LogicVec::xs(1),
-                };
-            }
-            LogicVec::xs(32)
-        }
-        Expr::Literal { size, base, digits, .. } => {
-            let width = size.unwrap_or(32);
-            let radix = base.map_or(10, Base::radix);
-            LogicVec::from_digits(width, digits, radix)
-        }
-        Expr::Str { value, .. } => {
-            let width = (8 * value.len().max(1)) as u32;
-            let mut acc = LogicVec::zeros(width);
-            for (i, byte) in value.bytes().rev().enumerate() {
-                for k in 0..8 {
-                    if (byte >> k) & 1 == 1 {
-                        acc = acc.with_bit((i * 8) as u32 + k, Bit::One);
-                    }
-                }
-            }
-            acc
-        }
-        Expr::Unary { op, operand, .. } => {
-            let v = eval(design, state, scope, locals, operand, depth);
+/// Evaluates `expr` against the current state.
+fn eval(k: &Kernel, state: &[StateValue], locals: &[LogicVec], expr: &KExpr, depth: usize) -> LogicVec {
+    match &expr.kind {
+        KExprKind::Const(v) => v.clone(),
+        KExprKind::Local(slot) => locals[*slot as usize].clone(),
+        KExprKind::Sig(id) => match &state[*id as usize] {
+            StateValue::Vec(v) => v.clone(),
+            StateValue::Array(_) => LogicVec::xs(1),
+        },
+        KExprKind::Unary { op, operand } => {
+            let v = eval(k, state, locals, operand, depth);
             match op {
                 UnaryOp::Plus => v,
                 UnaryOp::Neg => v.neg(),
@@ -422,20 +547,20 @@ pub(crate) fn eval(
                 UnaryOp::RedXnor => v.reduce(ReduceOp::Xor).not(),
             }
         }
-        Expr::Binary { op, lhs, rhs, .. } => {
-            let a = eval(design, state, scope, locals, lhs, depth);
-            let b = eval(design, state, scope, locals, rhs, depth);
+        KExprKind::Binary { op, lhs, rhs } => {
+            let a = eval(k, state, locals, lhs, depth);
+            let b = eval(k, state, locals, rhs, depth);
             eval_binary(*op, &a, &b)
         }
-        Expr::Ternary { cond, then_expr, else_expr, .. } => {
-            let c = eval(design, state, scope, locals, cond, depth);
+        KExprKind::Ternary { cond, then_expr, else_expr } => {
+            let c = eval(k, state, locals, cond, depth);
             match c.truthy() {
-                Some(true) => eval(design, state, scope, locals, then_expr, depth),
-                Some(false) => eval(design, state, scope, locals, else_expr, depth),
+                Some(true) => eval(k, state, locals, then_expr, depth),
+                Some(false) => eval(k, state, locals, else_expr, depth),
                 None => {
                     // Verilog merge semantics: equal bits survive, else x.
-                    let t = eval(design, state, scope, locals, then_expr, depth);
-                    let e = eval(design, state, scope, locals, else_expr, depth);
+                    let t = eval(k, state, locals, then_expr, depth);
+                    let e = eval(k, state, locals, else_expr, depth);
                     let width = t.width().max(e.width());
                     let (t, e) = (t.resize(width), e.resize(width));
                     LogicVec::from_bits((0..width).map(|i| {
@@ -448,10 +573,10 @@ pub(crate) fn eval(
                 }
             }
         }
-        Expr::Concat { parts, .. } => {
+        KExprKind::Concat(parts) => {
             let mut acc: Option<LogicVec> = None;
-            for part in parts {
-                let v = eval(design, state, scope, locals, part, depth);
+            for part in parts.iter() {
+                let v = eval(k, state, locals, part, depth);
                 acc = Some(match acc {
                     None => v,
                     Some(hi) => hi.concat(&v),
@@ -459,42 +584,33 @@ pub(crate) fn eval(
             }
             acc.unwrap_or_else(|| LogicVec::zeros(1))
         }
-        Expr::Replicate { count, value, .. } => {
-            let n = eval(design, state, scope, locals, count, depth)
-                .to_u64()
-                .unwrap_or(1)
-                .clamp(1, 4096) as u32;
-            eval(design, state, scope, locals, value, depth).replicate(n)
+        KExprKind::Replicate { count, value } => {
+            let n = eval(k, state, locals, count, depth).to_u64().unwrap_or(1).clamp(1, 4096) as u32;
+            eval(k, state, locals, value, depth).replicate(n)
         }
-        Expr::Index { base, index, .. } => {
-            let idx = eval(design, state, scope, locals, index, depth);
+        KExprKind::Index { base, index } => {
+            let idx = eval(k, state, locals, index, depth);
             let Some(idx) = idx.to_u64().map(|v| v as i64) else {
                 return LogicVec::xs(1);
             };
-            eval_index(design, state, scope, locals, base, idx, depth)
+            eval_index(k, state, locals, base, idx, depth)
         }
-        Expr::Select { base, left, right, mode, .. } => {
-            eval_select(design, state, scope, locals, base, left, right, *mode, depth)
+        KExprKind::Select { base, left, right, mode } => {
+            eval_select(k, state, locals, base, left, right, *mode, depth)
         }
-        Expr::Call { name, args, .. } => {
-            call_function(design, state, scope, locals, name, args, depth)
+        KExprKind::Call { func, args } => call_function(k, state, locals, *func, args, depth),
+        KExprKind::Clog2(arg) => {
+            let v = arg
+                .as_ref()
+                .map(|a| eval(k, state, locals, a, depth))
+                .and_then(|v| v.to_u64())
+                .unwrap_or(0);
+            LogicVec::from_u64(32, rtlfixer_verilog::const_eval::clog2(v as i64) as u64)
         }
-        Expr::SysCall { name, args, .. } => match name.as_str() {
-            "clog2" => {
-                let v = args
-                    .first()
-                    .map(|a| eval(design, state, scope, locals, a, depth))
-                    .and_then(|v| v.to_u64())
-                    .unwrap_or(0);
-                LogicVec::from_u64(32, rtlfixer_verilog::const_eval::clog2(v as i64) as u64)
-            }
-            "signed" | "unsigned" => args
-                .first()
-                .map(|a| eval(design, state, scope, locals, a, depth))
-                .unwrap_or_else(|| LogicVec::xs(1)),
-            "time" | "random" => LogicVec::zeros(32),
-            _ => LogicVec::xs(32),
-        },
+        KExprKind::Pass(arg) => arg
+            .as_ref()
+            .map(|a| eval(k, state, locals, a, depth))
+            .unwrap_or_else(|| LogicVec::xs(1)),
     }
 }
 
@@ -504,12 +620,11 @@ pub(crate) fn eval(
 /// width *before* the operation, so carries out of the natural width are
 /// preserved (`{cout, sum} = a + b`). Self-determined contexts
 /// (comparisons, reductions, concatenations, indices) fall back to [`eval`].
-pub(crate) fn eval_sized(
-    design: &Design,
-    state: &HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &[HashMap<String, LogicVec>],
-    expr: &Expr,
+fn eval_sized(
+    k: &Kernel,
+    state: &[StateValue],
+    locals: &[LogicVec],
+    expr: &KExpr,
     want: u32,
     depth: usize,
 ) -> LogicVec {
@@ -517,118 +632,42 @@ pub(crate) fn eval_sized(
     // Verilog context sizing: the expression is evaluated at the *maximum*
     // of the assignment width and every context-determined operand's
     // natural width (a 32-bit literal divisor must not be truncated to the
-    // target's 2 bits).
-    let target = want.max(natural_width(design, scope, locals, expr));
-    match expr {
-        Expr::Binary { op, lhs, rhs, .. } => match op {
+    // target's 2 bits). Natural widths were precomputed at lowering.
+    let target = want.max(expr.nat);
+    match &expr.kind {
+        KExprKind::Binary { op, lhs, rhs } => match op {
             Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | BitXnor => {
-                let a =
-                    eval_sized(design, state, scope, locals, lhs, target, depth).resize(target);
-                let b =
-                    eval_sized(design, state, scope, locals, rhs, target, depth).resize(target);
+                let a = eval_sized(k, state, locals, lhs, target, depth).resize(target);
+                let b = eval_sized(k, state, locals, rhs, target, depth).resize(target);
                 eval_binary(*op, &a, &b).resize(target)
             }
             Shl | AShl | Shr | AShr => {
-                let a =
-                    eval_sized(design, state, scope, locals, lhs, target, depth).resize(target);
-                let b = eval(design, state, scope, locals, rhs, depth);
+                let a = eval_sized(k, state, locals, lhs, target, depth).resize(target);
+                let b = eval(k, state, locals, rhs, depth);
                 eval_binary(*op, &a, &b).resize(target)
             }
-            _ => eval(design, state, scope, locals, expr, depth).resize(target),
+            _ => eval(k, state, locals, expr, depth).resize(target),
         },
-        Expr::Unary { op, operand, .. } => match op {
-            rtlfixer_verilog::ast::UnaryOp::BitNot
-            | rtlfixer_verilog::ast::UnaryOp::Neg
-            | rtlfixer_verilog::ast::UnaryOp::Plus => {
-                let v = eval_sized(design, state, scope, locals, operand, target, depth)
-                    .resize(target);
+        KExprKind::Unary { op, operand } => match op {
+            UnaryOp::BitNot | UnaryOp::Neg | UnaryOp::Plus => {
+                let v = eval_sized(k, state, locals, operand, target, depth).resize(target);
                 match op {
-                    rtlfixer_verilog::ast::UnaryOp::BitNot => v.not(),
-                    rtlfixer_verilog::ast::UnaryOp::Neg => v.neg(),
+                    UnaryOp::BitNot => v.not(),
+                    UnaryOp::Neg => v.neg(),
                     _ => v,
                 }
             }
-            _ => eval(design, state, scope, locals, expr, depth).resize(target),
+            _ => eval(k, state, locals, expr, depth).resize(target),
         },
-        Expr::Ternary { cond, then_expr, else_expr, .. } => {
-            let c = eval(design, state, scope, locals, cond, depth);
+        KExprKind::Ternary { cond, then_expr, else_expr } => {
+            let c = eval(k, state, locals, cond, depth);
             match c.truthy() {
-                Some(true) => eval_sized(design, state, scope, locals, then_expr, target, depth)
-                    .resize(target),
-                Some(false) => eval_sized(design, state, scope, locals, else_expr, target, depth)
-                    .resize(target),
-                None => eval(design, state, scope, locals, expr, depth).resize(target),
+                Some(true) => eval_sized(k, state, locals, then_expr, target, depth).resize(target),
+                Some(false) => eval_sized(k, state, locals, else_expr, target, depth).resize(target),
+                None => eval(k, state, locals, expr, depth).resize(target),
             }
         }
-        _ => eval(design, state, scope, locals, expr, depth).resize(target),
-    }
-}
-
-/// Best-effort natural (self-determined) width of an expression, per the
-/// Verilog sizing rules. Used to compute context widths in [`eval_sized`].
-fn natural_width(
-    design: &Design,
-    scope: &Scope,
-    locals: &[HashMap<String, LogicVec>],
-    expr: &Expr,
-) -> u32 {
-    use BinaryOp::*;
-    match expr {
-        Expr::Ident { name, .. } => {
-            for frame in locals.iter().rev() {
-                if let Some(v) = frame.get(name) {
-                    return v.width();
-                }
-            }
-            if scope.params.contains_key(name) {
-                return 32;
-            }
-            resolve_signal(design, scope, name)
-                .and_then(|full| design.signals.get(&full))
-                .map_or(1, |def| def.width)
-        }
-        Expr::Literal { size, .. } => size.unwrap_or(32),
-        Expr::Str { value, .. } => 8 * value.len().max(1) as u32,
-        Expr::Unary { op, operand, .. } => match op {
-            rtlfixer_verilog::ast::UnaryOp::BitNot
-            | rtlfixer_verilog::ast::UnaryOp::Neg
-            | rtlfixer_verilog::ast::UnaryOp::Plus => {
-                natural_width(design, scope, locals, operand)
-            }
-            _ => 1,
-        },
-        Expr::Binary { op, lhs, rhs, .. } => match op {
-            Add | Sub | Mul | Div | Mod | Pow | BitAnd | BitOr | BitXor | BitXnor => {
-                natural_width(design, scope, locals, lhs)
-                    .max(natural_width(design, scope, locals, rhs))
-            }
-            Shl | AShl | Shr | AShr => natural_width(design, scope, locals, lhs),
-            _ => 1,
-        },
-        Expr::Ternary { then_expr, else_expr, .. } => natural_width(design, scope, locals, then_expr)
-            .max(natural_width(design, scope, locals, else_expr)),
-        Expr::Concat { parts, .. } => {
-            parts.iter().map(|p| natural_width(design, scope, locals, p)).sum()
-        }
-        Expr::Replicate { .. } => 1, // evaluated self-determined anyway
-        Expr::Index { base, .. } => {
-            if let Some(name) = base.as_ident() {
-                if let Some(full) = resolve_signal(design, scope, name) {
-                    if let Some(def) = design.signals.get(&full) {
-                        if def.words.is_some() {
-                            return def.width;
-                        }
-                    }
-                }
-            }
-            1
-        }
-        Expr::Select { .. } => 1, // conservative; evaluated self-determined
-        Expr::Call { name, .. } => design
-            .functions
-            .get(&format!("{}{name}", scope.module_prefix))
-            .map_or(1, |f| f.width),
-        Expr::SysCall { .. } => 32,
+        _ => eval(k, state, locals, expr, depth).resize(target),
     }
 }
 
@@ -705,88 +744,84 @@ fn eval_binary(op: BinaryOp, a: &LogicVec, b: &LogicVec) -> LogicVec {
 }
 
 fn eval_index(
-    design: &Design,
-    state: &HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &[HashMap<String, LogicVec>],
-    base: &Expr,
+    k: &Kernel,
+    state: &[StateValue],
+    locals: &[LogicVec],
+    base: &KBase,
     idx: i64,
     depth: usize,
 ) -> LogicVec {
-    if let Some(name) = base.as_ident() {
-        // Locals first: raw zero-based indexing.
-        for frame in locals.iter().rev() {
-            if let Some(v) = frame.get(name) {
-                if idx >= 0 && (idx as u32) < v.width() {
-                    return v.slice(idx as u32, idx as u32);
-                }
-                return LogicVec::xs(1);
+    match base {
+        KBase::Local(slot) => {
+            // Locals: raw zero-based indexing.
+            let v = &locals[*slot as usize];
+            if idx >= 0 && (idx as u32) < v.width() {
+                v.slice(idx as u32, idx as u32)
+            } else {
+                LogicVec::xs(1)
             }
         }
-        if let Some(full) = resolve_signal(design, scope, name) {
-            let def = signal_def(design, &full).expect("resolved");
-            match state.get(&full) {
-                Some(StateValue::Array(words)) => {
-                    return match def.word_offset(idx) {
-                        Some(slot) => words[slot].clone(),
-                        None => LogicVec::xs(def.width),
-                    };
-                }
-                Some(StateValue::Vec(v)) => {
-                    return match def.offset(idx) {
-                        Some(off) => v.slice(off, off),
-                        None => LogicVec::xs(1),
-                    };
-                }
-                None => return LogicVec::xs(1),
+        KBase::Sig(id) => {
+            let def = &k.sigs[*id as usize].def;
+            match &state[*id as usize] {
+                StateValue::Array(words) => match def.word_offset(idx) {
+                    Some(slot) => words[slot].clone(),
+                    None => LogicVec::xs(def.width),
+                },
+                StateValue::Vec(v) => match def.offset(idx) {
+                    Some(off) => v.slice(off, off),
+                    None => LogicVec::xs(1),
+                },
             }
         }
-    }
-    // Index on a computed expression: zero-based.
-    let v = eval(design, state, scope, locals, base, depth);
-    if idx >= 0 && (idx as u32) < v.width() {
-        v.slice(idx as u32, idx as u32)
-    } else {
-        LogicVec::xs(1)
+        KBase::Expr(e) => {
+            // Index on a computed expression: zero-based.
+            let v = eval(k, state, locals, e, depth);
+            if idx >= 0 && (idx as u32) < v.width() {
+                v.slice(idx as u32, idx as u32)
+            } else {
+                LogicVec::xs(1)
+            }
+        }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn eval_select(
-    design: &Design,
-    state: &HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &[HashMap<String, LogicVec>],
-    base: &Expr,
-    left: &Expr,
-    right: &Expr,
+    k: &Kernel,
+    state: &[StateValue],
+    locals: &[LogicVec],
+    base: &KBase,
+    left: &KExpr,
+    right: &KExpr,
     mode: SelectMode,
     depth: usize,
 ) -> LogicVec {
-    let l = eval(design, state, scope, locals, left, depth).to_u64().map(|v| v as i64);
-    let r = eval(design, state, scope, locals, right, depth).to_u64().map(|v| v as i64);
+    let l = eval(k, state, locals, left, depth).to_u64().map(|v| v as i64);
+    let r = eval(k, state, locals, right, depth).to_u64().map(|v| v as i64);
     let (Some(l), Some(r)) = (l, r) else { return LogicVec::xs(1) };
     let (hi_idx, lo_idx) = match mode {
         SelectMode::Range => (l, r),
         SelectMode::IndexedUp => (l + r - 1, l),
         SelectMode::IndexedDown => (l, l - r + 1),
     };
-    if let Some(name) = base.as_ident() {
-        let is_local = locals.iter().rev().any(|f| f.contains_key(name));
-        if !is_local {
-            if let Some(full) = resolve_signal(design, scope, name) {
-                let def = signal_def(design, &full).expect("resolved");
-                if let Some(StateValue::Vec(v)) = state.get(&full) {
-                    let (hi_off, lo_off) = match (def.offset(hi_idx), def.offset(lo_idx)) {
-                        (Some(a), Some(b)) => (a.max(b), a.min(b)),
-                        _ => return LogicVec::xs((hi_idx.abs_diff(lo_idx) + 1) as u32),
-                    };
-                    return v.slice(hi_off, lo_off);
-                }
-            }
+    if let KBase::Sig(id) = base {
+        let def = &k.sigs[*id as usize].def;
+        if let StateValue::Vec(v) = &state[*id as usize] {
+            let (hi_off, lo_off) = match (def.offset(hi_idx), def.offset(lo_idx)) {
+                (Some(a), Some(b)) => (a.max(b), a.min(b)),
+                _ => return LogicVec::xs((hi_idx.abs_diff(lo_idx) + 1) as u32),
+            };
+            return v.slice(hi_off, lo_off);
         }
     }
-    let v = eval(design, state, scope, locals, base, depth);
+    let v = match base {
+        KBase::Local(slot) => locals[*slot as usize].clone(),
+        // Only reached for memories (vector signals returned above), which
+        // evaluate to a 1-bit x like any whole-array read.
+        KBase::Sig(_) => LogicVec::xs(1),
+        KBase::Expr(e) => eval(k, state, locals, e, depth),
+    };
     let (hi, lo) = (hi_idx.max(lo_idx), hi_idx.min(lo_idx));
     if lo < 0 {
         return LogicVec::xs((hi - lo + 1) as u32);
@@ -795,438 +830,371 @@ fn eval_select(
 }
 
 fn call_function(
-    design: &Design,
-    state: &HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &[HashMap<String, LogicVec>],
-    name: &str,
-    args: &[Expr],
+    k: &Kernel,
+    state: &[StateValue],
+    locals: &[LogicVec],
+    fid: u32,
+    args: &[KExpr],
     depth: usize,
 ) -> LogicVec {
     if depth >= MAX_CALL_DEPTH {
         return LogicVec::xs(1);
     }
-    let key = format!("{}{name}", scope.module_prefix);
-    let Some(func) = design.functions.get(&key) else {
-        return LogicVec::xs(1);
-    };
-    let mut frame = HashMap::new();
-    for ((arg_name, width), arg_expr) in func.args.iter().zip(args) {
-        let v = eval(design, state, scope, locals, arg_expr, depth);
-        frame.insert(arg_name.clone(), v.resize(*width));
+    let f = &k.funcs[fid as usize];
+    let mut frame = vec![LogicVec::zeros(1); f.nlocals as usize];
+    for ((slot, width), arg) in f.args.iter().zip(args) {
+        // Arguments are evaluated in the caller's context.
+        frame[*slot as usize] = eval(k, state, locals, arg, depth).resize(*width);
     }
-    frame.insert(name.to_owned(), LogicVec::zeros(func.width));
-    let mut fn_locals = vec![frame];
+    frame[f.ret_slot as usize] = LogicVec::zeros(f.ret_width);
     // Functions are side-effect free in our subset: execute against a state
     // clone so stray writes cannot corrupt the design.
-    let mut shadow = state.clone();
-    exec(design, &mut shadow, &func.scope, &mut fn_locals, &func.body, &mut None, depth + 1);
-    fn_locals
-        .first()
-        .and_then(|f| f.get(name))
-        .cloned()
-        .unwrap_or_else(|| LogicVec::xs(func.width))
+    let mut shadow = state.to_vec();
+    exec(k, &mut shadow, &mut frame, &f.body, &mut None, &mut None, depth + 1);
+    frame[f.ret_slot as usize].clone()
 }
 
 // ---- statement execution -----------------------------------------------------
 
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn exec(
-    design: &Design,
-    state: &mut HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &mut Vec<HashMap<String, LogicVec>>,
-    stmt: &Stmt,
+fn exec(
+    k: &Kernel,
+    state: &mut [StateValue],
+    locals: &mut [LogicVec],
+    stmt: &KStmt,
     nba: &mut Option<&mut Vec<NbaWrite>>,
+    log: &mut Option<WriteLog<'_>>,
     depth: usize,
 ) {
     match stmt {
-        Stmt::Block { decls, stmts, .. } => {
-            let mut frame = HashMap::new();
-            for item in decls {
-                if let rtlfixer_verilog::ast::Item::Net { kind, range, decls, .. } = item {
-                    for decl in decls {
-                        let width = match range {
-                            Some(r) => {
-                                let msb = rtlfixer_verilog::const_eval::eval(&r.msb, &scope.params)
-                                    .unwrap_or(0);
-                                let lsb = rtlfixer_verilog::const_eval::eval(&r.lsb, &scope.params)
-                                    .unwrap_or(0);
-                                msb.abs_diff(lsb) as u32 + 1
-                            }
-                            None => {
-                                if *kind == rtlfixer_verilog::ast::NetKind::Integer {
-                                    32
-                                } else {
-                                    1
-                                }
-                            }
-                        };
-                        frame.insert(decl.name.clone(), LogicVec::zeros(width));
-                    }
-                }
+        KStmt::Block { zero, stmts } => {
+            // Entering the block re-zeroes its declarations (a fresh frame
+            // in the old interpreter).
+            for (slot, width) in zero.iter() {
+                locals[*slot as usize] = LogicVec::zeros(*width);
             }
-            locals.push(frame);
-            for stmt in stmts {
-                exec(design, state, scope, locals, stmt, nba, depth);
+            for stmt in stmts.iter() {
+                exec(k, state, locals, stmt, nba, log, depth);
             }
-            locals.pop();
         }
-        Stmt::Assign { lhs, op, rhs, .. } => {
-            let width = lvalue_width(design, state, scope, locals, lhs);
-            let value = eval_sized(design, state, scope, locals, rhs, width, depth);
+        KStmt::Assign { lhs, op, rhs } => {
+            let width = lval_width(k, state, locals, lhs);
+            let value = eval_sized(k, state, locals, rhs, width, depth);
             match op {
                 AssignOp::Blocking => {
-                    assign_to(design, state, scope, locals, lhs, value, &mut None);
+                    assign(k, state, locals, lhs, value, &mut None, log);
                 }
                 AssignOp::NonBlocking => {
-                    assign_to(design, state, scope, locals, lhs, value, nba);
+                    assign(k, state, locals, lhs, value, nba, log);
                 }
             }
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
-            let c = eval(design, state, scope, locals, cond, depth);
+        KStmt::If { cond, then_branch, else_branch } => {
+            let c = eval(k, state, locals, cond, depth);
             if c.truthy() == Some(true) {
-                exec(design, state, scope, locals, then_branch, nba, depth);
+                exec(k, state, locals, then_branch, nba, log, depth);
             } else if let Some(els) = else_branch {
-                exec(design, state, scope, locals, els, nba, depth);
+                exec(k, state, locals, els, nba, log, depth);
             }
         }
-        Stmt::Case { kind, scrutinee, arms, default, .. } => {
-            let s = eval(design, state, scope, locals, scrutinee, depth);
-            for arm in arms {
-                for label in &arm.labels {
-                    let l = eval(design, state, scope, locals, label, depth);
+        KStmt::Case { kind, scrutinee, arms, default } => {
+            let s = eval(k, state, locals, scrutinee, depth);
+            for arm in arms.iter() {
+                for label in arm.labels.iter() {
+                    let l = eval(k, state, locals, label, depth);
                     let hit = match kind {
                         CaseKind::Case => s.eq_case(&l).to_u64() == Some(1),
                         CaseKind::Casez => s.matches_wildcard(&l, false),
                         CaseKind::Casex => s.matches_wildcard(&l, true),
                     };
                     if hit {
-                        exec(design, state, scope, locals, &arm.body, nba, depth);
+                        exec(k, state, locals, &arm.body, nba, log, depth);
                         return;
                     }
                 }
             }
             if let Some(default) = default {
-                exec(design, state, scope, locals, default, nba, depth);
+                exec(k, state, locals, default, nba, log, depth);
             }
         }
-        Stmt::For { var, decl, init, cond, step, body, .. } => {
-            let mut frame = HashMap::new();
-            if decl.is_some() {
-                frame.insert(var.clone(), LogicVec::zeros(32));
+        KStmt::For { decl_slot, var, init, cond, step, body } => {
+            if let Some(slot) = decl_slot {
+                locals[*slot as usize] = LogicVec::zeros(32);
             }
-            locals.push(frame);
-            let init_val = eval(design, state, scope, locals, init, depth);
-            write_var(design, state, scope, locals, var, init_val);
+            let init_val = eval(k, state, locals, init, depth);
+            write_ref(k, state, locals, log, var, init_val);
             let mut guard = 0usize;
             loop {
-                let c = eval(design, state, scope, locals, cond, depth);
+                let c = eval(k, state, locals, cond, depth);
                 if c.truthy() != Some(true) {
                     break;
                 }
-                exec(design, state, scope, locals, body, nba, depth);
-                let next = eval(design, state, scope, locals, step, depth);
-                write_var(design, state, scope, locals, var, next);
-                guard += 1;
-                if guard >= MAX_LOOP {
-                    break;
-                }
-            }
-            locals.pop();
-        }
-        Stmt::While { cond, body, .. } => {
-            let mut guard = 0usize;
-            loop {
-                let c = eval(design, state, scope, locals, cond, depth);
-                if c.truthy() != Some(true) {
-                    break;
-                }
-                exec(design, state, scope, locals, body, nba, depth);
+                exec(k, state, locals, body, nba, log, depth);
+                let next = eval(k, state, locals, step, depth);
+                write_ref(k, state, locals, log, var, next);
                 guard += 1;
                 if guard >= MAX_LOOP {
                     break;
                 }
             }
         }
-        Stmt::Repeat { count, body, .. } => {
-            let n = eval(design, state, scope, locals, count, depth)
-                .to_u64()
-                .unwrap_or(0)
-                .min(MAX_LOOP as u64);
+        KStmt::While { cond, body } => {
+            let mut guard = 0usize;
+            loop {
+                let c = eval(k, state, locals, cond, depth);
+                if c.truthy() != Some(true) {
+                    break;
+                }
+                exec(k, state, locals, body, nba, log, depth);
+                guard += 1;
+                if guard >= MAX_LOOP {
+                    break;
+                }
+            }
+        }
+        KStmt::Repeat { count, body } => {
+            let n = eval(k, state, locals, count, depth).to_u64().unwrap_or(0).min(MAX_LOOP as u64);
             for _ in 0..n {
-                exec(design, state, scope, locals, body, nba, depth);
+                exec(k, state, locals, body, nba, log, depth);
             }
         }
-        Stmt::SysCall { .. } | Stmt::Null(_) => {}
+        KStmt::Nop => {}
     }
 }
 
-/// Writes a plain variable: local frame if present, else module signal.
-fn write_var(
-    design: &Design,
-    state: &mut HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &mut [HashMap<String, LogicVec>],
-    name: &str,
+/// Writes a plain variable: local slot or module signal.
+fn write_ref(
+    k: &Kernel,
+    state: &mut [StateValue],
+    locals: &mut [LogicVec],
+    log: &mut Option<WriteLog<'_>>,
+    var: &KVarRef,
     value: LogicVec,
 ) {
-    for frame in locals.iter_mut().rev() {
-        if let Some(slot) = frame.get_mut(name) {
-            let width = slot.width();
-            *slot = value.resize(width);
-            return;
+    match var {
+        KVarRef::Local(slot) => {
+            let width = locals[*slot as usize].width();
+            locals[*slot as usize] = value.resize(width);
         }
-    }
-    if let Some(full) = resolve_signal(design, scope, name) {
-        if let Some(def) = design.signals.get(&full) {
-            let width = def.width;
-            state.insert(full, StateValue::Vec(value.resize(width)));
+        KVarRef::Sig(id) => {
+            let width = k.sigs[*id as usize].def.width;
+            set_state(state, log, *id, StateValue::Vec(value.resize(width)));
         }
+        KVarRef::None => {}
     }
 }
 
 /// Width of an l-value part, for concat splitting.
-fn lvalue_width(
-    design: &Design,
-    state: &HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &[HashMap<String, LogicVec>],
-    lhs: &Expr,
-) -> u32 {
+fn lval_width(k: &Kernel, state: &[StateValue], locals: &[LogicVec], lhs: &KLval) -> u32 {
     match lhs {
-        Expr::Ident { name, .. } => {
-            for frame in locals.iter().rev() {
-                if let Some(v) = frame.get(name) {
-                    return v.width();
-                }
-            }
-            resolve_signal(design, scope, name)
-                .and_then(|full| design.signals.get(&full))
-                .map(|def| def.width)
-                .unwrap_or(1)
-        }
-        Expr::Index { base, .. } => {
-            // A word select on a memory targets the full word width.
-            if let Some(name) = base.as_ident() {
-                if let Some(full) = resolve_signal(design, scope, name) {
-                    if let Some(def) = design.signals.get(&full) {
-                        if def.words.is_some() {
-                            return def.width;
-                        }
-                    }
-                }
-            }
-            1
-        }
-        Expr::Select { left, right, mode, .. } => {
-            let l = eval(design, state, scope, locals, left, 0).to_u64().unwrap_or(0) as i64;
-            let r = eval(design, state, scope, locals, right, 0).to_u64().unwrap_or(0) as i64;
+        KLval::Whole { width, .. } | KLval::Index { width, .. } => *width,
+        KLval::Select { left, right, mode, .. } => {
+            let l = eval(k, state, locals, left, 0).to_u64().unwrap_or(0) as i64;
+            let r = eval(k, state, locals, right, 0).to_u64().unwrap_or(0) as i64;
             match mode {
                 SelectMode::Range => l.abs_diff(r) as u32 + 1,
                 _ => r.max(1) as u32,
             }
         }
-        Expr::Concat { parts, .. } => {
-            parts.iter().map(|p| lvalue_width(design, state, scope, locals, p)).sum()
-        }
-        _ => 1,
+        KLval::Concat(parts) => parts.iter().map(|p| lval_width(k, state, locals, p)).sum(),
     }
 }
 
-/// Resolves and performs (or schedules) an assignment to `lhs`.
-pub(crate) fn assign_to(
-    design: &Design,
-    state: &mut HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &mut Vec<HashMap<String, LogicVec>>,
-    lhs: &Expr,
+/// Resolves and performs (or schedules) an assignment to `lhs`. Local
+/// writes commit immediately even under `<=`; signal writes go through
+/// `dispatch` (queued when `nba` is active, committed otherwise). Index and
+/// select arithmetic is evaluated self-determined (depth 0), like the old
+/// `resolve_target`.
+fn assign(
+    k: &Kernel,
+    state: &mut [StateValue],
+    locals: &mut [LogicVec],
+    lhs: &KLval,
     value: LogicVec,
     nba: &mut Option<&mut Vec<NbaWrite>>,
+    log: &mut Option<WriteLog<'_>>,
 ) {
     match lhs {
-        Expr::Concat { parts, .. } => {
-            let total: u32 =
-                parts.iter().map(|p| lvalue_width(design, state, scope, locals, p)).sum();
+        KLval::Concat(parts) => {
+            let total: u32 = parts.iter().map(|p| lval_width(k, state, locals, p)).sum();
             let value = value.resize(total);
             // Parts are MSB-first; slice the value top-down.
             let mut hi = total;
-            for part in parts {
-                let w = lvalue_width(design, state, scope, locals, part);
+            for part in parts.iter() {
+                let w = lval_width(k, state, locals, part);
                 let lo = hi - w;
                 let chunk = value.slice(hi - 1, lo);
-                assign_to(design, state, scope, locals, part, chunk, nba);
+                assign(k, state, locals, part, chunk, nba, log);
                 hi = lo;
             }
         }
-        _ => {
-            let Some(target) = resolve_target(design, state, scope, locals, lhs) else {
-                return;
-            };
-            match target {
-                Target::Discard => {
-                    // Local variable: immediate write regardless of <=.
-                    if let Some(name) = lhs.lvalue_root() {
-                        if let Expr::Ident { .. } = lhs {
-                            write_var(design, state, scope, locals, name, value);
-                        } else {
-                            // Bit/part select of a local.
-                            write_local_select(design, state, scope, locals, lhs, value);
-                        }
-                    }
-                }
-                target => match nba {
-                    Some(queue) => queue.push(NbaWrite { target, value }),
-                    None => commit(state, NbaWrite { target, value }),
-                },
+        KLval::Whole { target, .. } => match target {
+            KVarRef::Local(slot) => {
+                // Local variable: immediate write regardless of <=.
+                let width = locals[*slot as usize].width();
+                locals[*slot as usize] = value.resize(width);
             }
-        }
+            KVarRef::Sig(id) => {
+                dispatch(state, log, nba, NbaWrite { target: Target::Whole(*id), value });
+            }
+            KVarRef::None => {}
+        },
+        KLval::Index { target, index, .. } => match target {
+            KVarRef::None => {}
+            KVarRef::Local(slot) => {
+                let Some(idx) = eval(k, state, locals, index, 0).to_u64().map(|v| v as u32) else {
+                    return;
+                };
+                write_local_bits(locals, *slot, idx, idx, value);
+            }
+            KVarRef::Sig(id) => {
+                let Some(idx) = eval(k, state, locals, index, 0).to_u64().map(|v| v as i64) else {
+                    return;
+                };
+                let def = &k.sigs[*id as usize].def;
+                let target = if def.words.is_some() {
+                    let Some(slot) = def.word_offset(idx) else { return };
+                    Target::Word(*id, slot)
+                } else {
+                    let Some(off) = def.offset(idx) else { return };
+                    Target::Bits(*id, off, off)
+                };
+                dispatch(state, log, nba, NbaWrite { target, value });
+            }
+        },
+        KLval::Select { target, word, left, right, mode } => match target {
+            KVarRef::None => {}
+            KVarRef::Local(slot) => {
+                let l = eval(k, state, locals, left, 0).to_u64().unwrap_or(0) as i64;
+                let r = eval(k, state, locals, right, 0).to_u64().unwrap_or(0) as i64;
+                let (hi, lo) = match mode {
+                    SelectMode::Range => (l.max(r), l.min(r)),
+                    SelectMode::IndexedUp => (l + r - 1, l),
+                    SelectMode::IndexedDown => (l, l - r + 1),
+                };
+                if lo < 0 {
+                    return;
+                }
+                write_local_bits(locals, *slot, hi as u32, lo as u32, value);
+            }
+            KVarRef::Sig(id) => {
+                let Some(l) = eval(k, state, locals, left, 0).to_u64().map(|v| v as i64) else {
+                    return;
+                };
+                let Some(r) = eval(k, state, locals, right, 0).to_u64().map(|v| v as i64) else {
+                    return;
+                };
+                let (hi_idx, lo_idx) = match mode {
+                    SelectMode::Range => (l, r),
+                    SelectMode::IndexedUp => (l + r - 1, l),
+                    SelectMode::IndexedDown => (l, l - r + 1),
+                };
+                let def = &k.sigs[*id as usize].def;
+                // A select on a memory word (`mem[i][3:0]`) carries the word
+                // index; the common vector case has `word == None`.
+                let target = if let Some(word) = word {
+                    let Some(widx) = eval(k, state, locals, word, 0).to_u64().map(|v| v as i64)
+                    else {
+                        return;
+                    };
+                    let Some(slot) = def.word_offset(widx) else { return };
+                    let Some(hi) = def.offset(hi_idx) else { return };
+                    let Some(lo) = def.offset(lo_idx) else { return };
+                    Target::WordBits(*id, slot, hi.max(lo), hi.min(lo))
+                } else {
+                    let Some(hi) = def.offset(hi_idx) else { return };
+                    let Some(lo) = def.offset(lo_idx) else { return };
+                    Target::Bits(*id, hi.max(lo), hi.min(lo))
+                };
+                dispatch(state, log, nba, NbaWrite { target, value });
+            }
+        },
     }
 }
 
-fn write_local_select(
-    design: &Design,
-    state: &mut HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &mut [HashMap<String, LogicVec>],
-    lhs: &Expr,
-    value: LogicVec,
+/// Updates bits `hi..=lo` of a local slot (bounds-checked like the old
+/// `write_local_select`).
+fn write_local_bits(locals: &mut [LogicVec], slot: u32, hi: u32, lo: u32, value: LogicVec) {
+    let current = &locals[slot as usize];
+    if hi < current.width() {
+        let mut updated = current.clone();
+        let chunk = value.resize(hi - lo + 1);
+        for i in lo..=hi {
+            updated.set_bit(i, chunk.bit(i - lo));
+        }
+        locals[slot as usize] = updated;
+    }
+}
+
+/// Queues the write when non-blocking assignment is active, else commits.
+fn dispatch(
+    state: &mut [StateValue],
+    log: &mut Option<WriteLog<'_>>,
+    nba: &mut Option<&mut Vec<NbaWrite>>,
+    write: NbaWrite,
 ) {
-    let (name, hi, lo) = match lhs {
-        Expr::Index { base, index, .. } => {
-            let Some(name) = base.as_ident() else { return };
-            let Some(idx) =
-                eval(design, state, scope, locals, index, 0).to_u64().map(|v| v as u32)
-            else {
-                return;
-            };
-            (name.to_owned(), idx, idx)
-        }
-        Expr::Select { base, left, right, mode, .. } => {
-            let Some(name) = base.as_ident() else { return };
-            let l = eval(design, state, scope, locals, left, 0).to_u64().unwrap_or(0) as i64;
-            let r = eval(design, state, scope, locals, right, 0).to_u64().unwrap_or(0) as i64;
-            let (hi, lo) = match mode {
-                SelectMode::Range => (l.max(r), l.min(r)),
-                SelectMode::IndexedUp => (l + r - 1, l),
-                SelectMode::IndexedDown => (l, l - r + 1),
-            };
-            if lo < 0 {
-                return;
-            }
-            (name.to_owned(), hi as u32, lo as u32)
-        }
-        _ => return,
-    };
-    for frame in locals.iter_mut().rev() {
-        if let Some(slot) = frame.get_mut(&name) {
-            if hi < slot.width() {
-                let mut updated = slot.clone();
-                let chunk = value.resize(hi - lo + 1);
-                for i in lo..=hi {
-                    updated.set_bit(i, chunk.bit(i - lo));
-                }
-                *slot = updated;
-            }
-            return;
-        }
+    match nba {
+        Some(queue) => queue.push(write),
+        None => commit(state, log, write),
     }
 }
 
-fn resolve_target(
-    design: &Design,
-    state: &HashMap<String, StateValue>,
-    scope: &Scope,
-    locals: &[HashMap<String, LogicVec>],
-    lhs: &Expr,
-) -> Option<Target> {
-    let root = lhs.lvalue_root()?;
-    let is_local = locals.iter().rev().any(|f| f.contains_key(root));
-    if is_local {
-        return Some(Target::Discard);
-    }
-    let full = resolve_signal(design, scope, root)?;
-    let def = design.signals.get(&full)?;
-    match lhs {
-        Expr::Ident { .. } => Some(Target::Whole(full)),
-        Expr::Index { index, .. } => {
-            let idx = eval(design, state, scope, locals, index, 0).to_u64()? as i64;
-            if def.words.is_some() {
-                Some(Target::Word(full, def.word_offset(idx)?))
-            } else {
-                let off = def.offset(idx)?;
-                Some(Target::Bits(full, off, off))
-            }
-        }
-        Expr::Select { base, left, right, mode, .. } => {
-            let l = eval(design, state, scope, locals, left, 0).to_u64()? as i64;
-            let r = eval(design, state, scope, locals, right, 0).to_u64()? as i64;
-            let (hi_idx, lo_idx) = match mode {
-                SelectMode::Range => (l, r),
-                SelectMode::IndexedUp => (l + r - 1, l),
-                SelectMode::IndexedDown => (l, l - r + 1),
-            };
-            // A select on a memory word (`mem[i][3:0]`) roots at a nested
-            // Index; handle the common vector case here.
-            if let Expr::Index { index, .. } = base.as_ref() {
-                let word_idx = eval(design, state, scope, locals, index, 0).to_u64()? as i64;
-                let slot = def.word_offset(word_idx)?;
-                let hi = def.offset(hi_idx)?;
-                let lo = def.offset(lo_idx)?;
-                return Some(Target::WordBits(full, slot, hi.max(lo), hi.min(lo)));
-            }
-            let hi = def.offset(hi_idx)?;
-            let lo = def.offset(lo_idx)?;
-            Some(Target::Bits(full, hi.max(lo), hi.min(lo)))
-        }
-        _ => None,
-    }
-}
-
-fn commit(state: &mut HashMap<String, StateValue>, write: NbaWrite) {
+fn commit(state: &mut [StateValue], log: &mut Option<WriteLog<'_>>, write: NbaWrite) {
     match write.target {
-        Target::Discard => {}
-        Target::Whole(name) => {
-            if let Some(StateValue::Vec(old)) = state.get(&name) {
+        Target::Whole(id) => match &state[id as usize] {
+            StateValue::Vec(old) => {
                 let width = old.width();
-                state.insert(name, StateValue::Vec(write.value.resize(width)));
-            } else if let Some(StateValue::Array(_)) = state.get(&name) {
-                // Whole-array assignment unsupported; ignore.
+                set_state(state, log, id, StateValue::Vec(write.value.resize(width)));
             }
-        }
-        Target::Bits(name, hi, lo) => {
-            if let Some(StateValue::Vec(old)) = state.get(&name) {
+            // Whole-array assignment unsupported; ignore.
+            StateValue::Array(_) => {}
+        },
+        Target::Bits(id, hi, lo) => {
+            if let StateValue::Vec(old) = &state[id as usize] {
                 if hi < old.width() {
                     let mut updated = old.clone();
                     let chunk = write.value.resize(hi - lo + 1);
                     for i in lo..=hi {
                         updated.set_bit(i, chunk.bit(i - lo));
                     }
-                    state.insert(name, StateValue::Vec(updated));
+                    set_state(state, log, id, StateValue::Vec(updated));
                 }
             }
         }
-        Target::Word(name, slot) => {
-            if let Some(StateValue::Array(words)) = state.get_mut(&name) {
-                if let Some(word) = words.get_mut(slot) {
-                    let width = word.width();
-                    *word = write.value.resize(width);
+        Target::Word(id, slot) => {
+            let new = {
+                let StateValue::Array(words) = &state[id as usize] else { return };
+                let Some(word) = words.get(slot) else { return };
+                let new = write.value.resize(word.width());
+                if *word == new {
+                    return;
                 }
+                new
+            };
+            note_change(state, log, id);
+            if let StateValue::Array(words) = &mut state[id as usize] {
+                words[slot] = new;
             }
         }
-        Target::WordBits(name, slot, hi, lo) => {
-            if let Some(StateValue::Array(words)) = state.get_mut(&name) {
-                if let Some(word) = words.get(slot).cloned() {
-                    if hi < word.width() {
-                        let mut updated = word;
-                        let chunk = write.value.resize(hi - lo + 1);
-                        for i in lo..=hi {
-                            updated.set_bit(i, chunk.bit(i - lo));
-                        }
-                        words[slot] = updated;
-                    }
+        Target::WordBits(id, slot, hi, lo) => {
+            let updated = {
+                let StateValue::Array(words) = &state[id as usize] else { return };
+                let Some(word) = words.get(slot) else { return };
+                if hi >= word.width() {
+                    return;
                 }
+                let mut updated = word.clone();
+                let chunk = write.value.resize(hi - lo + 1);
+                for i in lo..=hi {
+                    updated.set_bit(i, chunk.bit(i - lo));
+                }
+                if updated == *word {
+                    return;
+                }
+                updated
+            };
+            note_change(state, log, id);
+            if let StateValue::Array(words) = &mut state[id as usize] {
+                words[slot] = updated;
             }
         }
     }
@@ -1506,7 +1474,28 @@ mod tests {
             "osc",
         );
         s.poke("a", v(1, 0)).unwrap();
-        assert_eq!(s.settle(), Err(SimError::Unstable));
+        match s.settle() {
+            Err(SimError::Unstable { signals }) => {
+                assert!(
+                    signals.iter().any(|n| n == "n"),
+                    "oscillating net should be named: {signals:?}"
+                );
+            }
+            other => panic!("expected Unstable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unstable_error_display_names_signals() {
+        let mut s = sim(
+            "module osc(input a, output y);\nwire n;\nassign n = ~n | a;\nassign y = n;\nendmodule",
+            "osc",
+        );
+        s.poke("a", v(1, 0)).unwrap();
+        let err = s.settle().unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("did not settle"), "{text}");
+        assert!(text.contains('n'), "should name the oscillating net: {text}");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod elab;
 pub mod interp;
+mod lower;
 pub mod testbench;
 pub mod value;
 pub mod vcd;

@@ -4,7 +4,16 @@
 //! parallel *unknown* mask: a bit whose mask bit is set holds `x` (or `z`,
 //! which this simulator folds into `x` except for case-equality wildcards,
 //! which are tracked per-literal by the interpreter). Benchmark designs go
-//! up to 256 bits (`conwaylife`), so widths are unbounded.
+//! up to 256 bits (`conwaylife`), so widths are unbounded — but the
+//! overwhelming majority are 64 bits or narrower, so those live in a
+//! single inline limb pair ([`Repr::Small`]) and never touch the heap.
+//!
+//! Two representation invariants hold everywhere (constructors normalise):
+//!
+//! * `width <= 64` ⇔ [`Repr::Small`], so the derived `PartialEq`/`Hash`
+//!   never compare across representations;
+//! * `val & unk == 0` and bits ≥ `width` are clear in both planes, so equal
+//!   logical values are limb-identical.
 
 use std::fmt;
 
@@ -17,6 +26,13 @@ pub enum Bit {
     One,
     /// Unknown.
     X,
+}
+
+/// Limb storage: inline for widths ≤ 64, boxed limbs beyond.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Small { val: u64, unk: u64 },
+    Wide { val: Box<[u64]>, unk: Box<[u64]> },
 }
 
 /// An arbitrary-width 4-state logic vector.
@@ -33,14 +49,16 @@ pub enum Bit {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LogicVec {
     width: u32,
-    /// Value limbs, LSB first. Bits ≥ `width` are always zero.
-    val: Vec<u64>,
-    /// Unknown mask limbs; set bit = x.
-    unk: Vec<u64>,
+    repr: Repr,
 }
 
 fn limbs_for(width: u32) -> usize {
     (width as usize).div_ceil(64)
+}
+
+/// Mask for the occupied bits of the top limb of a `width`-bit vector.
+fn top_mask(width: u32) -> u64 {
+    u64::MAX >> ((limbs_for(width) as u32) * 64 - width)
 }
 
 impl LogicVec {
@@ -51,13 +69,19 @@ impl LogicVec {
     /// Panics if `width == 0`.
     pub fn zeros(width: u32) -> Self {
         assert!(width > 0, "zero-width vector");
-        LogicVec { width, val: vec![0; limbs_for(width)], unk: vec![0; limbs_for(width)] }
+        let repr = if width <= 64 {
+            Repr::Small { val: 0, unk: 0 }
+        } else {
+            let n = limbs_for(width);
+            Repr::Wide { val: vec![0; n].into(), unk: vec![0; n].into() }
+        };
+        LogicVec { width, repr }
     }
 
     /// All-`x` vector of `width` bits.
     pub fn xs(width: u32) -> Self {
         let mut v = Self::zeros(width);
-        for limb in &mut v.unk {
+        for limb in v.planes_mut().1 {
             *limb = u64::MAX;
         }
         v.normalize();
@@ -67,7 +91,7 @@ impl LogicVec {
     /// Vector holding the low `width` bits of `value`.
     pub fn from_u64(width: u32, value: u64) -> Self {
         let mut v = Self::zeros(width);
-        v.val[0] = value;
+        v.planes_mut().0[0] = value;
         v.normalize();
         v
     }
@@ -75,9 +99,10 @@ impl LogicVec {
     /// Vector holding the low `width` bits of `value` (u128 convenience).
     pub fn from_u128(width: u32, value: u128) -> Self {
         let mut v = Self::zeros(width);
-        v.val[0] = value as u64;
-        if v.val.len() > 1 {
-            v.val[1] = (value >> 64) as u64;
+        let val = v.planes_mut().0;
+        val[0] = value as u64;
+        if val.len() > 1 {
+            val[1] = (value >> 64) as u64;
         }
         v.normalize();
         v
@@ -88,14 +113,44 @@ impl LogicVec {
         let bits: Vec<Bit> = bits.into_iter().collect();
         assert!(!bits.is_empty(), "zero-width vector");
         let mut v = Self::zeros(bits.len() as u32);
+        let (val, unk) = v.planes_mut();
         for (i, bit) in bits.iter().enumerate() {
             match bit {
                 Bit::Zero => {}
-                Bit::One => v.val[i / 64] |= 1 << (i % 64),
-                Bit::X => v.unk[i / 64] |= 1 << (i % 64),
+                Bit::One => val[i / 64] |= 1 << (i % 64),
+                Bit::X => unk[i / 64] |= 1 << (i % 64),
             }
         }
         v
+    }
+
+    /// Value limbs, LSB first. Bits ≥ `width` are always zero.
+    #[inline]
+    fn val(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Small { val, .. } => std::slice::from_ref(val),
+            Repr::Wide { val, .. } => val,
+        }
+    }
+
+    /// Unknown-mask limbs; set bit = x.
+    #[inline]
+    fn unk(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Small { unk, .. } => std::slice::from_ref(unk),
+            Repr::Wide { unk, .. } => unk,
+        }
+    }
+
+    /// Both limb planes, mutably.
+    #[inline]
+    fn planes_mut(&mut self) -> (&mut [u64], &mut [u64]) {
+        match &mut self.repr {
+            Repr::Small { val, unk } => {
+                (std::slice::from_mut(val), std::slice::from_mut(unk))
+            }
+            Repr::Wide { val, unk } => (val, unk),
+        }
     }
 
     /// Whether sign extension applies in [`LogicVec::resize_signed`].
@@ -148,12 +203,15 @@ impl LogicVec {
     fn mul_small(&self, m: u64) -> Self {
         let mut out = Self::zeros(self.width);
         let mut carry: u128 = 0;
-        for i in 0..self.val.len() {
-            let prod = self.val[i] as u128 * m as u128 + carry;
-            out.val[i] = prod as u64;
-            carry = prod >> 64;
+        {
+            let (oval, ounk) = out.planes_mut();
+            for (limb, &v) in oval.iter_mut().zip(self.val()) {
+                let prod = v as u128 * m as u128 + carry;
+                *limb = prod as u64;
+                carry = prod >> 64;
+            }
+            ounk.copy_from_slice(self.unk());
         }
-        out.unk = self.unk.clone();
         out.normalize();
         out
     }
@@ -161,7 +219,7 @@ impl LogicVec {
     fn add_small(&self, a: u64) -> Self {
         let mut out = self.clone();
         let mut carry = a as u128;
-        for limb in &mut out.val {
+        for limb in out.planes_mut().0 {
             let sum = *limb as u128 + carry;
             *limb = sum as u64;
             carry = sum >> 64;
@@ -174,13 +232,18 @@ impl LogicVec {
     }
 
     /// Bit width.
+    #[inline]
     pub fn width(&self) -> u32 {
         self.width
     }
 
     /// Whether any bit is unknown.
+    #[inline]
     pub fn has_x(&self) -> bool {
-        self.unk.iter().any(|&l| l != 0)
+        match &self.repr {
+            Repr::Small { unk, .. } => *unk != 0,
+            Repr::Wide { unk, .. } => unk.iter().any(|&l| l != 0),
+        }
     }
 
     /// The value as `u64` if it fits and has no unknown bits.
@@ -188,10 +251,11 @@ impl LogicVec {
         if self.has_x() {
             return None;
         }
-        if self.val.iter().skip(1).any(|&l| l != 0) {
+        let val = self.val();
+        if val.iter().skip(1).any(|&l| l != 0) {
             return None;
         }
-        Some(self.val[0])
+        Some(val[0])
     }
 
     /// The value as `u128` if it fits and has no unknown bits.
@@ -199,11 +263,12 @@ impl LogicVec {
         if self.has_x() {
             return None;
         }
-        if self.val.iter().skip(2).any(|&l| l != 0) {
+        let val = self.val();
+        if val.iter().skip(2).any(|&l| l != 0) {
             return None;
         }
-        let lo = self.val[0] as u128;
-        let hi = self.val.get(1).copied().unwrap_or(0) as u128;
+        let lo = val[0] as u128;
+        let hi = val.get(1).copied().unwrap_or(0) as u128;
         Some(lo | (hi << 64))
     }
 
@@ -212,12 +277,13 @@ impl LogicVec {
     /// # Panics
     ///
     /// Panics if `idx >= width`.
+    #[inline]
     pub fn bit(&self, idx: u32) -> Bit {
         assert!(idx < self.width, "bit {idx} out of range for width {}", self.width);
         let (limb, off) = (idx as usize / 64, idx % 64);
-        if (self.unk[limb] >> off) & 1 == 1 {
+        if (self.unk()[limb] >> off) & 1 == 1 {
             Bit::X
-        } else if (self.val[limb] >> off) & 1 == 1 {
+        } else if (self.val()[limb] >> off) & 1 == 1 {
             Bit::One
         } else {
             Bit::Zero
@@ -229,15 +295,17 @@ impl LogicVec {
     /// # Panics
     ///
     /// Panics if `idx >= width`.
+    #[inline]
     pub fn set_bit(&mut self, idx: u32, bit: Bit) {
         assert!(idx < self.width, "bit {idx} out of range for width {}", self.width);
         let (limb, off) = (idx as usize / 64, idx % 64);
-        self.val[limb] &= !(1 << off);
-        self.unk[limb] &= !(1 << off);
+        let (val, unk) = self.planes_mut();
+        val[limb] &= !(1 << off);
+        unk[limb] &= !(1 << off);
         match bit {
             Bit::Zero => {}
-            Bit::One => self.val[limb] |= 1 << off,
-            Bit::X => self.unk[limb] |= 1 << off,
+            Bit::One => val[limb] |= 1 << off,
+            Bit::X => unk[limb] |= 1 << off,
         }
     }
 
@@ -258,9 +326,12 @@ impl LogicVec {
             return self.clone();
         }
         let mut out = Self::zeros(new_width);
-        let limbs = out.val.len().min(self.val.len());
-        out.val[..limbs].copy_from_slice(&self.val[..limbs]);
-        out.unk[..limbs].copy_from_slice(&self.unk[..limbs]);
+        {
+            let (oval, ounk) = out.planes_mut();
+            let limbs = oval.len().min(self.val().len());
+            oval[..limbs].copy_from_slice(&self.val()[..limbs]);
+            ounk[..limbs].copy_from_slice(&self.unk()[..limbs]);
+        }
         out.normalize();
         out
     }
@@ -272,10 +343,33 @@ impl LogicVec {
         }
         let msb = self.msb_bit();
         let mut out = self.resize(new_width);
-        for i in self.width..new_width {
-            out.set_bit(i, msb);
-        }
+        out.fill_from(self.width, msb);
         out
+    }
+
+    /// Sets every bit at position ≥ `start` to `bit`, in place.
+    fn fill_from(&mut self, start: u32, bit: Bit) {
+        if start >= self.width {
+            return;
+        }
+        let width = self.width;
+        let (val, unk) = self.planes_mut();
+        for limb in (start as usize / 64)..val.len() {
+            // Mask of the filled positions inside this limb.
+            let lo = (limb as u32) * 64;
+            let from = start.saturating_sub(lo).min(64);
+            if from >= 64 {
+                continue;
+            }
+            let mask = (u64::MAX << from) & mask_upto(width, lo);
+            val[limb] &= !mask;
+            unk[limb] &= !mask;
+            match bit {
+                Bit::Zero => {}
+                Bit::One => val[limb] |= mask,
+                Bit::X => unk[limb] |= mask,
+            }
+        }
     }
 
     /// Extracts bits `[hi:lo]` (inclusive) as a new vector.
@@ -286,11 +380,14 @@ impl LogicVec {
         assert!(hi >= lo, "inverted slice [{hi}:{lo}]");
         let width = hi - lo + 1;
         let mut out = Self::zeros(width);
-        for i in 0..width {
-            let src = lo + i;
-            let bit = if src < self.width { self.bit(src) } else { Bit::X };
-            out.set_bit(i, bit);
+        {
+            let (oval, ounk) = out.planes_mut();
+            shift_right_into(self.val(), lo, oval);
+            shift_right_into(self.unk(), lo, ounk);
         }
+        out.normalize();
+        // Positions past the source width read as x.
+        out.fill_from(self.width.saturating_sub(lo), Bit::X);
         out
     }
 
@@ -298,12 +395,14 @@ impl LogicVec {
     pub fn concat(&self, low: &LogicVec) -> Self {
         let width = self.width + low.width;
         let mut out = Self::zeros(width);
-        for i in 0..low.width {
-            out.set_bit(i, low.bit(i));
+        {
+            let (oval, ounk) = out.planes_mut();
+            oval[..low.val().len()].copy_from_slice(low.val());
+            ounk[..low.unk().len()].copy_from_slice(low.unk());
+            or_shifted_left(self.val(), low.width, oval);
+            or_shifted_left(self.unk(), low.width, ounk);
         }
-        for i in 0..self.width {
-            out.set_bit(low.width + i, self.bit(i));
-        }
+        out.normalize();
         out
     }
 
@@ -322,64 +421,76 @@ impl LogicVec {
     }
 
     fn normalize(&mut self) {
-        let extra = (self.val.len() as u32) * 64 - self.width;
-        if extra > 0 {
-            let mask = u64::MAX >> extra;
-            if let Some(last) = self.val.last_mut() {
-                *last &= mask;
-            }
-            if let Some(last) = self.unk.last_mut() {
-                *last &= mask;
-            }
+        let width = self.width;
+        let mask = top_mask(width);
+        let (val, unk) = self.planes_mut();
+        if let Some(last) = val.last_mut() {
+            *last &= mask;
+        }
+        if let Some(last) = unk.last_mut() {
+            *last &= mask;
         }
     }
 
-    fn bitwise(&self, other: &LogicVec, f: impl Fn(Bit, Bit) -> Bit) -> Self {
+    /// Limb-parallel binary bitwise op: `f(av, au, bv, bu) -> (val, unk)`
+    /// over zero-extended operands at the wider width.
+    #[inline]
+    fn bitwise(&self, other: &LogicVec, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) -> Self {
         let width = self.width.max(other.width);
-        let a = self.resize(width);
-        let b = other.resize(width);
-        LogicVec::from_bits((0..width).map(|i| f(a.bit(i), b.bit(i))))
+        let mut out = Self::zeros(width);
+        {
+            let (oval, ounk) = out.planes_mut();
+            for i in 0..oval.len() {
+                let av = self.val().get(i).copied().unwrap_or(0);
+                let au = self.unk().get(i).copied().unwrap_or(0);
+                let bv = other.val().get(i).copied().unwrap_or(0);
+                let bu = other.unk().get(i).copied().unwrap_or(0);
+                let (v, u) = f(av, au, bv, bu);
+                oval[i] = v;
+                ounk[i] = u;
+            }
+        }
+        out.normalize();
+        out
     }
 
     /// Bitwise AND with 4-state semantics (`0 & x = 0`).
     pub fn and(&self, other: &LogicVec) -> Self {
-        self.bitwise(other, |a, b| match (a, b) {
-            (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
-            (Bit::One, Bit::One) => Bit::One,
-            _ => Bit::X,
+        self.bitwise(other, |av, au, bv, bu| {
+            // A bit is known-0 when neither value nor unknown is set.
+            let known0 = (!av & !au) | (!bv & !bu);
+            ((av & bv), (au | bu) & !known0)
         })
     }
 
     /// Bitwise OR with 4-state semantics (`1 | x = 1`).
     pub fn or(&self, other: &LogicVec) -> Self {
-        self.bitwise(other, |a, b| match (a, b) {
-            (Bit::One, _) | (_, Bit::One) => Bit::One,
-            (Bit::Zero, Bit::Zero) => Bit::Zero,
-            _ => Bit::X,
+        self.bitwise(other, |av, au, bv, bu| {
+            let known1 = av | bv;
+            (known1, (au | bu) & !known1)
         })
     }
 
     /// Bitwise XOR (any x poisons the bit).
     pub fn xor(&self, other: &LogicVec) -> Self {
-        self.bitwise(other, |a, b| match (a, b) {
-            (Bit::X, _) | (_, Bit::X) => Bit::X,
-            (a, b) => {
-                if a != b {
-                    Bit::One
-                } else {
-                    Bit::Zero
-                }
-            }
+        self.bitwise(other, |av, au, bv, bu| {
+            let unk = au | bu;
+            ((av ^ bv) & !unk, unk)
         })
     }
 
     /// Bitwise NOT.
     pub fn not(&self) -> Self {
-        LogicVec::from_bits((0..self.width).map(|i| match self.bit(i) {
-            Bit::Zero => Bit::One,
-            Bit::One => Bit::Zero,
-            Bit::X => Bit::X,
-        }))
+        let mut out = Self::zeros(self.width);
+        {
+            let (oval, ounk) = out.planes_mut();
+            for i in 0..oval.len() {
+                oval[i] = !(self.val()[i] | self.unk()[i]);
+                ounk[i] = self.unk()[i];
+            }
+        }
+        out.normalize();
+        out
     }
 
     /// Addition, modulo `2^width` of the wider operand. Any x → all x.
@@ -388,14 +499,17 @@ impl LogicVec {
         if self.has_x() || other.has_x() {
             return Self::xs(width);
         }
-        let a = self.resize(width);
-        let b = other.resize(width);
         let mut out = Self::zeros(width);
-        let mut carry = 0u128;
-        for i in 0..a.val.len() {
-            let sum = a.val[i] as u128 + b.val[i] as u128 + carry;
-            out.val[i] = sum as u64;
-            carry = sum >> 64;
+        {
+            let oval = out.planes_mut().0;
+            let mut carry = 0u128;
+            for (i, limb) in oval.iter_mut().enumerate() {
+                let a = self.val().get(i).copied().unwrap_or(0);
+                let b = other.val().get(i).copied().unwrap_or(0);
+                let sum = a as u128 + b as u128 + carry;
+                *limb = sum as u64;
+                carry = sum >> 64;
+            }
         }
         out.normalize();
         out
@@ -407,8 +521,21 @@ impl LogicVec {
         if self.has_x() || other.has_x() {
             return Self::xs(width);
         }
-        let b_not = other.resize(width).not();
-        self.resize(width).add(&b_not).add(&LogicVec::from_u64(width, 1)).resize(width)
+        let mut out = Self::zeros(width);
+        {
+            let oval = out.planes_mut().0;
+            let mut borrow = 0u64;
+            for (i, limb) in oval.iter_mut().enumerate() {
+                let a = self.val().get(i).copied().unwrap_or(0);
+                let b = other.val().get(i).copied().unwrap_or(0);
+                let (d1, b1) = a.overflowing_sub(b);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                *limb = d2;
+                borrow = (b1 | b2) as u64;
+            }
+        }
+        out.normalize();
+        out
     }
 
     /// Two's-complement negation.
@@ -421,12 +548,12 @@ impl LogicVec {
         if self.has_x() || other.has_x() {
             return Self::xs(1);
         }
-        let width = self.width.max(other.width);
-        let a = self.resize(width);
-        let b = other.resize(width);
-        for i in (0..a.val.len()).rev() {
-            if a.val[i] != b.val[i] {
-                return Self::from_u64(1, (a.val[i] < b.val[i]) as u64);
+        let limbs = limbs_for(self.width.max(other.width));
+        for i in (0..limbs).rev() {
+            let a = self.val().get(i).copied().unwrap_or(0);
+            let b = other.val().get(i).copied().unwrap_or(0);
+            if a != b {
+                return Self::from_u64(1, (a < b) as u64);
             }
         }
         Self::from_u64(1, 0)
@@ -437,63 +564,86 @@ impl LogicVec {
         if self.has_x() || other.has_x() {
             return Self::xs(1);
         }
-        let width = self.width.max(other.width);
-        Self::from_u64(1, (self.resize(width) == other.resize(width)) as u64)
+        self.eq_case(other)
     }
 
     /// Case equality (`===`): x compares as a literal value.
     pub fn eq_case(&self, other: &LogicVec) -> Self {
-        let width = self.width.max(other.width);
-        Self::from_u64(1, (self.resize(width) == other.resize(width)) as u64)
+        let limbs = limbs_for(self.width.max(other.width));
+        let eq = (0..limbs).all(|i| {
+            self.val().get(i).copied().unwrap_or(0) == other.val().get(i).copied().unwrap_or(0)
+                && self.unk().get(i).copied().unwrap_or(0)
+                    == other.unk().get(i).copied().unwrap_or(0)
+        });
+        Self::from_u64(1, eq as u64)
     }
 
     /// Reduction AND/OR/XOR. Returns a 1-bit vector.
     pub fn reduce(&self, op: ReduceOp) -> Self {
-        let mut acc: Option<Bit> = None;
-        for i in 0..self.width {
-            let b = self.bit(i);
-            acc = Some(match (acc, op) {
-                (None, _) => b,
-                (Some(a), ReduceOp::And) => match (a, b) {
-                    (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
-                    (Bit::One, Bit::One) => Bit::One,
-                    _ => Bit::X,
-                },
-                (Some(a), ReduceOp::Or) => match (a, b) {
-                    (Bit::One, _) | (_, Bit::One) => Bit::One,
-                    (Bit::Zero, Bit::Zero) => Bit::Zero,
-                    _ => Bit::X,
-                },
-                (Some(a), ReduceOp::Xor) => match (a, b) {
-                    (Bit::X, _) | (_, Bit::X) => Bit::X,
-                    (a, b) => {
-                        if a != b {
-                            Bit::One
-                        } else {
-                            Bit::Zero
-                        }
+        let bit = match op {
+            ReduceOp::And => {
+                // Any known-0 bit within the width forces 0 (`0 & x = 0`).
+                let any_zero = self
+                    .val()
+                    .iter()
+                    .zip(self.unk())
+                    .enumerate()
+                    .any(|(i, (&v, &u))| (v | u) != mask_limb(self.width, i));
+                if any_zero {
+                    Bit::Zero
+                } else if self.has_x() {
+                    Bit::X
+                } else {
+                    Bit::One
+                }
+            }
+            ReduceOp::Or => {
+                // Any known-1 bit forces 1 (`1 | x = 1`).
+                if self.val().iter().any(|&v| v != 0) {
+                    Bit::One
+                } else if self.has_x() {
+                    Bit::X
+                } else {
+                    Bit::Zero
+                }
+            }
+            ReduceOp::Xor => {
+                if self.has_x() {
+                    Bit::X
+                } else {
+                    let ones: u32 = self.val().iter().map(|v| v.count_ones()).sum();
+                    if ones % 2 == 1 {
+                        Bit::One
+                    } else {
+                        Bit::Zero
                     }
-                },
-            });
-        }
-        LogicVec::from_bits([acc.unwrap_or(Bit::Zero)])
+                }
+            }
+        };
+        LogicVec::from_bits([bit])
     }
 
     /// Logical shift left by `n`.
     pub fn shl(&self, n: u32) -> Self {
         let mut out = Self::zeros(self.width);
-        for i in n..self.width {
-            out.set_bit(i, self.bit(i - n));
+        if n < self.width {
+            let (oval, ounk) = out.planes_mut();
+            or_shifted_left(self.val(), n, oval);
+            or_shifted_left(self.unk(), n, ounk);
         }
+        out.normalize();
         out
     }
 
     /// Logical shift right by `n`.
     pub fn shr(&self, n: u32) -> Self {
         let mut out = Self::zeros(self.width);
-        for i in 0..self.width.saturating_sub(n) {
-            out.set_bit(i, self.bit(i + n));
+        if n < self.width {
+            let (oval, ounk) = out.planes_mut();
+            shift_right_into(self.val(), n, oval);
+            shift_right_into(self.unk(), n, ounk);
         }
+        out.normalize();
         out
     }
 
@@ -501,18 +651,14 @@ impl LogicVec {
     pub fn ashr(&self, n: u32) -> Self {
         let msb = self.bit(self.width - 1);
         let mut out = self.shr(n);
-        let start = self.width.saturating_sub(n);
-        for i in start..self.width {
-            out.set_bit(i, msb);
-        }
+        out.fill_from(self.width.saturating_sub(n), msb);
         out
     }
 
     /// Whether the vector is "truthy" (any bit is 1). `None` if no bit is 1
     /// but some are x.
     pub fn truthy(&self) -> Option<bool> {
-        let any_one = (0..self.width).any(|i| self.bit(i) == Bit::One);
-        if any_one {
+        if self.val().iter().any(|&v| v != 0) {
             return Some(true);
         }
         if self.has_x() {
@@ -526,22 +672,70 @@ impl LogicVec {
     /// (which is how `z`/`?` digits parse) are ignored; for `casex`, x bits
     /// in the scrutinee are ignored too.
     pub fn matches_wildcard(&self, label: &LogicVec, scrutinee_wild: bool) -> bool {
-        let width = self.width.max(label.width);
-        let a = self.resize(width);
-        let b = label.resize(width);
-        for i in 0..width {
-            let (sb, lb) = (a.bit(i), b.bit(i));
-            if lb == Bit::X {
-                continue;
+        let limbs = limbs_for(self.width.max(label.width));
+        (0..limbs).all(|i| {
+            let av = self.val().get(i).copied().unwrap_or(0);
+            let au = self.unk().get(i).copied().unwrap_or(0);
+            let bv = label.val().get(i).copied().unwrap_or(0);
+            let bu = label.unk().get(i).copied().unwrap_or(0);
+            let mut mismatch = ((av ^ bv) | (au ^ bu)) & !bu;
+            if scrutinee_wild {
+                mismatch &= !au;
             }
-            if scrutinee_wild && sb == Bit::X {
-                continue;
-            }
-            if sb != lb {
-                return false;
+            mismatch == 0
+        })
+    }
+}
+
+/// Mask of the in-width bits of limb `i` of a `width`-bit vector.
+fn mask_limb(width: u32, i: usize) -> u64 {
+    if i + 1 < limbs_for(width) {
+        u64::MAX
+    } else {
+        top_mask(width)
+    }
+}
+
+/// Mask of bits of the limb starting at absolute position `lo` that lie
+/// below `width`.
+fn mask_upto(width: u32, lo: u32) -> u64 {
+    if width >= lo + 64 {
+        u64::MAX
+    } else if width <= lo {
+        0
+    } else {
+        u64::MAX >> (64 - (width - lo))
+    }
+}
+
+/// `out = src >> n` across limb boundaries (zero fill; `out` may be shorter
+/// or longer than `src`).
+fn shift_right_into(src: &[u64], n: u32, out: &mut [u64]) {
+    let limb_shift = (n / 64) as usize;
+    let bit_shift = n % 64;
+    for (i, limb) in out.iter_mut().enumerate() {
+        let lo = src.get(i + limb_shift).copied().unwrap_or(0);
+        let hi = src.get(i + limb_shift + 1).copied().unwrap_or(0);
+        *limb = if bit_shift == 0 { lo } else { (lo >> bit_shift) | (hi << (64 - bit_shift)) };
+    }
+}
+
+/// `out |= src << n` across limb boundaries; bits shifted past `out` drop.
+fn or_shifted_left(src: &[u64], n: u32, out: &mut [u64]) {
+    let limb_shift = (n / 64) as usize;
+    let bit_shift = n % 64;
+    for (i, &limb) in src.iter().enumerate() {
+        if limb == 0 {
+            continue;
+        }
+        if let Some(dst) = out.get_mut(i + limb_shift) {
+            *dst |= limb << bit_shift;
+        }
+        if bit_shift != 0 {
+            if let Some(dst) = out.get_mut(i + limb_shift + 1) {
+                *dst |= limb >> (64 - bit_shift);
             }
         }
-        true
     }
 }
 
@@ -569,7 +763,6 @@ impl fmt::Display for LogicVec {
         Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

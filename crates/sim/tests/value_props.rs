@@ -1,0 +1,422 @@
+//! Property tests for [`rtlfixer_sim::value::LogicVec`].
+//!
+//! `LogicVec` keeps widths ≤ 64 in an inline limb pair (`Repr::Small`) and
+//! everything wider in boxed limb slices (`Repr::Wide`), with all operators
+//! written limb-parallel. These tests pin the operators against a naive
+//! bit-at-a-time reference model over `Vec<Bit>`, across widths 1–256 with
+//! the 64/65 and 128/129 limb boundaries oversampled, and with x bits mixed
+//! in — so a limb-masking or carry-propagation bug in either representation
+//! shows up as a disagreement with the obviously-correct model. A separate
+//! embedding property checks Small and Wide directly against each other:
+//! zero-extending the operands into the multi-limb regime and slicing the
+//! result back must not change any low bit.
+
+use proptest::prelude::*;
+use rtlfixer_sim::value::{Bit, LogicVec, ReduceOp};
+
+// ---------------------------------------------------------------------------
+// Reference model: one `Bit` per position, LSB first.
+// ---------------------------------------------------------------------------
+
+fn to_bits(v: &LogicVec) -> Vec<Bit> {
+    (0..v.width()).map(|i| v.bit(i)).collect()
+}
+
+fn lv(bits: &[Bit]) -> LogicVec {
+    LogicVec::from_bits(bits.iter().copied())
+}
+
+fn has_x(bits: &[Bit]) -> bool {
+    bits.contains(&Bit::X)
+}
+
+/// Zero-extends (or truncates) to `w` bits.
+fn ext(bits: &[Bit], w: usize) -> Vec<Bit> {
+    let mut out: Vec<Bit> = bits.iter().copied().take(w).collect();
+    out.resize(w, Bit::Zero);
+    out
+}
+
+fn bit_and(a: Bit, b: Bit) -> Bit {
+    match (a, b) {
+        (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+        (Bit::X, _) | (_, Bit::X) => Bit::X,
+        _ => Bit::One,
+    }
+}
+
+fn bit_or(a: Bit, b: Bit) -> Bit {
+    match (a, b) {
+        (Bit::One, _) | (_, Bit::One) => Bit::One,
+        (Bit::X, _) | (_, Bit::X) => Bit::X,
+        _ => Bit::Zero,
+    }
+}
+
+fn bit_xor(a: Bit, b: Bit) -> Bit {
+    match (a, b) {
+        (Bit::X, _) | (_, Bit::X) => Bit::X,
+        _ if a != b => Bit::One,
+        _ => Bit::Zero,
+    }
+}
+
+fn bit_not(a: Bit) -> Bit {
+    match a {
+        Bit::Zero => Bit::One,
+        Bit::One => Bit::Zero,
+        Bit::X => Bit::X,
+    }
+}
+
+fn ref_bitwise(a: &[Bit], b: &[Bit], f: fn(Bit, Bit) -> Bit) -> Vec<Bit> {
+    let w = a.len().max(b.len());
+    let (a, b) = (ext(a, w), ext(b, w));
+    (0..w).map(|i| f(a[i], b[i])).collect()
+}
+
+/// Ripple adder over zero-extended operands; `carry` seeds the LSB and
+/// `invert_b` turns it into two's-complement subtraction.
+fn ref_addsub(a: &[Bit], b: &[Bit], invert_b: bool, mut carry: bool) -> Vec<Bit> {
+    let w = a.len().max(b.len());
+    if has_x(a) || has_x(b) {
+        return vec![Bit::X; w];
+    }
+    let (a, b) = (ext(a, w), ext(b, w));
+    let mut out = Vec::with_capacity(w);
+    for i in 0..w {
+        let ai = a[i] == Bit::One;
+        let bi = (b[i] == Bit::One) ^ invert_b;
+        let sum = ai ^ bi ^ carry;
+        carry = (ai && bi) || (carry && (ai ^ bi));
+        out.push(if sum { Bit::One } else { Bit::Zero });
+    }
+    out
+}
+
+fn ref_lt(a: &[Bit], b: &[Bit]) -> Vec<Bit> {
+    if has_x(a) || has_x(b) {
+        return vec![Bit::X];
+    }
+    let w = a.len().max(b.len());
+    let (a, b) = (ext(a, w), ext(b, w));
+    for i in (0..w).rev() {
+        if a[i] != b[i] {
+            return vec![if a[i] == Bit::Zero { Bit::One } else { Bit::Zero }];
+        }
+    }
+    vec![Bit::Zero]
+}
+
+fn ref_eq_case(a: &[Bit], b: &[Bit]) -> Vec<Bit> {
+    let w = a.len().max(b.len());
+    let eq = ext(a, w) == ext(b, w);
+    vec![if eq { Bit::One } else { Bit::Zero }]
+}
+
+fn ref_reduce(a: &[Bit], op: ReduceOp) -> Vec<Bit> {
+    let bit = match op {
+        ReduceOp::And => {
+            if a.contains(&Bit::Zero) {
+                Bit::Zero
+            } else if has_x(a) {
+                Bit::X
+            } else {
+                Bit::One
+            }
+        }
+        ReduceOp::Or => {
+            if a.contains(&Bit::One) {
+                Bit::One
+            } else if has_x(a) {
+                Bit::X
+            } else {
+                Bit::Zero
+            }
+        }
+        ReduceOp::Xor => {
+            if has_x(a) {
+                Bit::X
+            } else if a.iter().filter(|&&b| b == Bit::One).count() % 2 == 1 {
+                Bit::One
+            } else {
+                Bit::Zero
+            }
+        }
+    };
+    vec![bit]
+}
+
+fn ref_shl(a: &[Bit], n: usize) -> Vec<Bit> {
+    (0..a.len()).map(|i| if i >= n { a[i - n] } else { Bit::Zero }).collect()
+}
+
+fn ref_shr(a: &[Bit], n: usize) -> Vec<Bit> {
+    (0..a.len()).map(|i| a.get(i + n).copied().unwrap_or(Bit::Zero)).collect()
+}
+
+fn ref_ashr(a: &[Bit], n: usize) -> Vec<Bit> {
+    let msb = *a.last().unwrap();
+    (0..a.len()).map(|i| a.get(i + n).copied().unwrap_or(msb)).collect()
+}
+
+/// Bits `[hi:lo]`; positions past the source width read as x.
+fn ref_slice(a: &[Bit], hi: usize, lo: usize) -> Vec<Bit> {
+    (lo..=hi).map(|i| a.get(i).copied().unwrap_or(Bit::X)).collect()
+}
+
+fn ref_resize_signed(a: &[Bit], w: usize) -> Vec<Bit> {
+    let mut out: Vec<Bit> = a.iter().copied().take(w).collect();
+    out.resize(w, *a.last().unwrap());
+    out
+}
+
+fn ref_truthy(a: &[Bit]) -> Option<bool> {
+    if a.contains(&Bit::One) {
+        Some(true)
+    } else if has_x(a) {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+fn ref_matches_wildcard(a: &[Bit], label: &[Bit], scrutinee_wild: bool) -> bool {
+    let w = a.len().max(label.len());
+    let (a, label) = (ext(a, w), ext(label, w));
+    (0..w).all(|i| {
+        label[i] == Bit::X || (scrutinee_wild && a[i] == Bit::X) || a[i] == label[i]
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Generation: the vendored proptest shim samples integers, so vectors are
+// derived from a (width-selector, seed) pair. Widths oversample the limb
+// boundaries (64/65, 128/129) where Small↔Wide and single↔multi-limb
+// transitions live; bits expand from the seed via splitmix64.
+// ---------------------------------------------------------------------------
+
+/// Maps a sampled selector to a width, hitting each limb-boundary edge
+/// width half the time and a uniform width in 1–256 otherwise.
+fn pick_width(sel: usize, uniform: usize) -> usize {
+    const EDGES: [usize; 10] = [1, 2, 63, 64, 65, 127, 128, 129, 255, 256];
+    if sel < EDGES.len() {
+        EDGES[sel]
+    } else {
+        uniform
+    }
+}
+
+/// splitmix64 stream over `seed` — cheap, deterministic per-bit draws.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `width` bits from `seed`: 0 and 1 equally likely, x at 1-in-9 density
+/// (or never, for the arithmetic paths that need fully-known operands).
+fn gen_bits(width: usize, seed: u64, with_x: bool) -> Vec<Bit> {
+    let mut mix = Mix(seed);
+    (0..width)
+        .map(|_| match mix.next() % 9 {
+            0 if with_x => Bit::X,
+            r if r % 2 == 1 => Bit::One,
+            _ => Bit::Zero,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `from_bits` → `bit` must round-trip; equal bit patterns must compare
+    /// equal regardless of construction path (the canonical-repr invariant
+    /// behind the derived `PartialEq`/`Hash`).
+    #[test]
+    fn bit_round_trip(wsel in 0usize..20, wu in 1usize..=256, seed: u64) {
+        let a = gen_bits(pick_width(wsel, wu), seed, true);
+        let v = lv(&a);
+        prop_assert_eq!(v.width() as usize, a.len());
+        prop_assert_eq!(to_bits(&v), a.clone());
+        prop_assert_eq!(v.has_x(), has_x(&a));
+        let mut rebuilt = LogicVec::xs(a.len() as u32);
+        for (i, &b) in a.iter().enumerate() {
+            rebuilt.set_bit(i as u32, b);
+        }
+        prop_assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn bitwise_ops_agree(
+        wa in 0usize..20, ua in 1usize..=256, sa: u64,
+        wb in 0usize..20, ub in 1usize..=256, sb: u64,
+    ) {
+        let a = gen_bits(pick_width(wa, ua), sa, true);
+        let b = gen_bits(pick_width(wb, ub), sb, true);
+        let (va, vb) = (lv(&a), lv(&b));
+        prop_assert_eq!(va.and(&vb), lv(&ref_bitwise(&a, &b, bit_and)));
+        prop_assert_eq!(va.or(&vb), lv(&ref_bitwise(&a, &b, bit_or)));
+        prop_assert_eq!(va.xor(&vb), lv(&ref_bitwise(&a, &b, bit_xor)));
+        let not: Vec<Bit> = a.iter().map(|&x| bit_not(x)).collect();
+        prop_assert_eq!(va.not(), lv(&not));
+    }
+
+    #[test]
+    fn arithmetic_agrees(
+        wa in 0usize..20, ua in 1usize..=256, sa: u64,
+        wb in 0usize..20, ub in 1usize..=256, sb: u64,
+    ) {
+        let a = gen_bits(pick_width(wa, ua), sa, false);
+        let b = gen_bits(pick_width(wb, ub), sb, false);
+        let (va, vb) = (lv(&a), lv(&b));
+        prop_assert_eq!(va.add(&vb), lv(&ref_addsub(&a, &b, false, false)));
+        prop_assert_eq!(va.sub(&vb), lv(&ref_addsub(&a, &b, true, true)));
+        let zero = vec![Bit::Zero; a.len()];
+        prop_assert_eq!(va.neg(), lv(&ref_addsub(&zero, &a, true, true)));
+    }
+
+    /// Any x operand poisons arithmetic to all-x at the wider width.
+    #[test]
+    fn arithmetic_x_poisons(
+        wa in 0usize..20, ua in 1usize..=256, sa: u64,
+        wb in 0usize..20, ub in 1usize..=256, sb: u64,
+    ) {
+        let a = gen_bits(pick_width(wa, ua), sa, true);
+        let b = gen_bits(pick_width(wb, ub), sb, true);
+        let (va, vb) = (lv(&a), lv(&b));
+        prop_assert_eq!(va.add(&vb), lv(&ref_addsub(&a, &b, false, false)));
+        prop_assert_eq!(va.sub(&vb), lv(&ref_addsub(&a, &b, true, true)));
+    }
+
+    #[test]
+    fn comparisons_agree(
+        wa in 0usize..20, ua in 1usize..=256, sa: u64,
+        wb in 0usize..20, ub in 1usize..=256, sb: u64,
+        known in 0usize..2,
+    ) {
+        // Half the cases use fully-known operands so the non-poisoned
+        // compare paths (limb scans) actually run.
+        let a = gen_bits(pick_width(wa, ua), sa, known == 0);
+        let b = gen_bits(pick_width(wb, ub), sb, known == 0);
+        let (va, vb) = (lv(&a), lv(&b));
+        prop_assert_eq!(va.lt(&vb), lv(&ref_lt(&a, &b)));
+        prop_assert_eq!(va.eq_case(&vb), lv(&ref_eq_case(&a, &b)));
+        let eq_logic = if has_x(&a) || has_x(&b) { vec![Bit::X] } else { ref_eq_case(&a, &b) };
+        prop_assert_eq!(va.eq_logic(&vb), lv(&eq_logic));
+    }
+
+    #[test]
+    fn reductions_agree(wsel in 0usize..20, wu in 1usize..=256, seed: u64) {
+        let a = gen_bits(pick_width(wsel, wu), seed, true);
+        let v = lv(&a);
+        for op in [ReduceOp::And, ReduceOp::Or, ReduceOp::Xor] {
+            prop_assert_eq!(v.reduce(op), lv(&ref_reduce(&a, op)), "op {:?}", op);
+        }
+    }
+
+    #[test]
+    fn shifts_agree(wsel in 0usize..20, wu in 1usize..=256, seed: u64, n in 0usize..300) {
+        let a = gen_bits(pick_width(wsel, wu), seed, true);
+        let v = lv(&a);
+        prop_assert_eq!(v.shl(n as u32), lv(&ref_shl(&a, n)));
+        prop_assert_eq!(v.shr(n as u32), lv(&ref_shr(&a, n)));
+        prop_assert_eq!(v.ashr(n as u32), lv(&ref_ashr(&a, n)));
+    }
+
+    #[test]
+    fn slices_agree(
+        wsel in 0usize..20, wu in 1usize..=256, seed: u64,
+        lo in 0usize..300, len in 0usize..=80,
+    ) {
+        let a = gen_bits(pick_width(wsel, wu), seed, true);
+        let hi = lo + len;
+        prop_assert_eq!(lv(&a).slice(hi as u32, lo as u32), lv(&ref_slice(&a, hi, lo)));
+    }
+
+    #[test]
+    fn concat_and_replicate_agree(
+        wa in 0usize..20, ua in 1usize..=256, sa: u64,
+        wb in 0usize..20, ub in 1usize..=256, sb: u64,
+        count in 1u32..=4,
+    ) {
+        let a = gen_bits(pick_width(wa, ua), sa, true);
+        let b = gen_bits(pick_width(wb, ub), sb, true);
+        let (va, vb) = (lv(&a), lv(&b));
+        // `a.concat(&b)`: a is the more significant operand.
+        let mut joined = b.clone();
+        joined.extend_from_slice(&a);
+        prop_assert_eq!(va.concat(&vb), lv(&joined));
+        let mut repeated = Vec::new();
+        for _ in 0..count {
+            repeated.extend_from_slice(&a);
+        }
+        prop_assert_eq!(va.replicate(count), lv(&repeated));
+    }
+
+    #[test]
+    fn resizes_agree(wsel in 0usize..20, wu in 1usize..=256, seed: u64, w in 1usize..=300) {
+        let a = gen_bits(pick_width(wsel, wu), seed, true);
+        let v = lv(&a);
+        prop_assert_eq!(v.resize(w as u32), lv(&ext(&a, w)));
+        prop_assert_eq!(v.resize_signed(w as u32), lv(&ref_resize_signed(&a, w)));
+    }
+
+    #[test]
+    fn truthiness_agrees(wsel in 0usize..20, wu in 1usize..=256, seed: u64) {
+        let a = gen_bits(pick_width(wsel, wu), seed, true);
+        prop_assert_eq!(lv(&a).truthy(), ref_truthy(&a));
+    }
+
+    #[test]
+    fn wildcard_matching_agrees(
+        wa in 0usize..20, ua in 1usize..=256, sa: u64,
+        wb in 0usize..20, ub in 1usize..=256, sb: u64,
+    ) {
+        let a = gen_bits(pick_width(wa, ua), sa, true);
+        let label = gen_bits(pick_width(wb, ub), sb, true);
+        let (va, vl) = (lv(&a), lv(&label));
+        prop_assert_eq!(
+            va.matches_wildcard(&vl, false),
+            ref_matches_wildcard(&a, &label, false)
+        );
+        prop_assert_eq!(
+            va.matches_wildcard(&vl, true),
+            ref_matches_wildcard(&a, &label, true)
+        );
+    }
+
+    /// Small↔Wide cross-check without the reference model: zero-extending
+    /// both operands deep into the multi-limb regime and slicing the result
+    /// back must leave every low bit unchanged, for every width-preserving
+    /// op whose low bits are independent of zero high bits.
+    #[test]
+    fn wide_embedding_preserves_low_bits(
+        wa in 0usize..20, ua in 1usize..=256, sa: u64,
+        wb in 0usize..20, ub in 1usize..=256, sb: u64,
+        n in 0usize..300,
+    ) {
+        let a = gen_bits(pick_width(wa, ua), sa, true);
+        let b = gen_bits(pick_width(wb, ub), sb, true);
+        let (va, vb) = (lv(&a), lv(&b));
+        let w = va.width().max(vb.width());
+        let (wa, wb) = (va.resize(w + 192), vb.resize(w + 192));
+        let low = |v: &LogicVec| v.slice(w - 1, 0);
+        prop_assert_eq!(low(&wa.and(&wb)), low(&va.and(&vb)));
+        prop_assert_eq!(low(&wa.or(&wb)), low(&va.or(&vb)));
+        prop_assert_eq!(low(&wa.xor(&wb)), low(&va.xor(&vb)));
+        prop_assert_eq!(low(&wa.add(&wb)), low(&va.add(&vb)));
+        prop_assert_eq!(low(&wa.sub(&wb)), low(&va.sub(&vb)));
+        if va.width() == w {
+            let lown = |v: &LogicVec| v.slice(va.width() - 1, 0);
+            prop_assert_eq!(lown(&wa.shl(n as u32)), lown(&va.shl(n as u32)));
+            prop_assert_eq!(lown(&wa.shr(n as u32)), lown(&va.shr(n as u32)));
+        }
+    }
+}
