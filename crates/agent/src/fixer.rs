@@ -16,6 +16,7 @@ use rtlfixer_faults::{self as faults, FaultKind, FaultPlan, FaultSpec};
 use rtlfixer_llm::{
     Feedback, GuidanceSnippet, LanguageModel, PromptStyle, RepairRequest, TurnEvent,
 };
+use rtlfixer_obs as obs;
 use rtlfixer_rag::{DefaultRetriever, GuidanceDatabase, RetrievalQuery, Retriever};
 use rtlfixer_verilog::diag::ErrorCategory;
 
@@ -259,6 +260,8 @@ impl<L: LanguageModel> RtlFixer<L> {
 
     /// Runs one fixing episode over `source` for `problem`.
     pub fn fix_problem(&mut self, problem: &str, source: &str) -> FixOutcome {
+        let _episode_span = obs::span(obs::kind::EPISODE);
+        obs::counter_add("agent.episodes", 1);
         let mut code =
             if self.prefixer { prefix_fix(source) } else { source.to_owned() };
         let mut trace = FixTrace::new();
@@ -276,14 +279,17 @@ impl<L: LanguageModel> RtlFixer<L> {
         let mut revisions = 0usize;
         let budget = self.strategy.revision_budget();
         while !outcome.success && revisions < budget {
+            let _turn_span = obs::span(obs::kind::TURN);
             // RAG stage: retrieve guidance keyed on the compiler log. A
             // panicking retriever degrades the episode to RAG-off for this
             // turn instead of aborting it.
             let guidance: Vec<GuidanceSnippet> = if self.rag {
                 let query = RetrievalQuery::from_log(outcome.log.clone());
+                let retrieve_span = obs::span(obs::kind::RETRIEVE);
                 let hits = catch_unwind(AssertUnwindSafe(|| {
                     self.retriever.retrieve(&self.database, &query)
                 }));
+                drop(retrieve_span);
                 match hits {
                     Ok(hits) => {
                         if !hits.is_empty() {
@@ -361,6 +367,7 @@ impl<L: LanguageModel> RtlFixer<L> {
                         let salvaged = prefix_fix(&next);
                         if salvaged.contains("module") {
                             faults::record_recovered(FaultKind::MalformedOutput);
+                            obs::counter_add("agent.salvaged_completions", 1);
                             next = salvaged;
                         }
                     }
@@ -398,6 +405,24 @@ impl<L: LanguageModel> RtlFixer<L> {
             "",
         );
 
+        obs::counter_add("agent.revisions", revisions as u64);
+        obs::observe("agent.revisions_per_episode", revisions as u64);
+        if outcome.success {
+            obs::counter_add("agent.episodes.fixed", 1);
+        } else {
+            obs::counter_add("agent.episodes.unfixed", 1);
+        }
+        if degraded {
+            obs::counter_add("agent.episodes.degraded", 1);
+        }
+        for category in &initial_categories {
+            obs::counter_add(&format!("agent.episodes.by_category.{category}"), 1);
+            obs::counter_add(
+                &format!("agent.revisions.by_category.{category}"),
+                revisions as u64,
+            );
+        }
+
         FixOutcome {
             success: outcome.success,
             remaining_categories: outcome.error_categories(),
@@ -425,6 +450,8 @@ impl<L: LanguageModel> RtlFixer<L> {
         trace: &mut FixTrace,
         degraded: &mut bool,
     ) -> Arc<CompileOutcome> {
+        let _compile_span = obs::span(obs::kind::COMPILE);
+        obs::counter_add("agent.compiles", 1);
         let mut crashes = 0usize;
         let outcome = loop {
             match self.faults.draw() {

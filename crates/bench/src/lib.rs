@@ -14,9 +14,10 @@
 //! | `ablations` | DESIGN.md ablations (retriever, budget, pre-fixer, DB size) |
 //! | `chaos`     | DESIGN.md §3d — fix rate vs injected fault rate sweep |
 //!
-//! Each binary accepts `--quick` for a scaled-down run and prints
-//! paper-vs-measured rows; full-scale outputs are recorded in
-//! `EXPERIMENTS.md`. The `benches/` directory holds Criterion benchmarks of
+//! Each binary accepts `--quick` for a scaled-down run, `--jobs N` for
+//! the episode pool width and `--telemetry` to record aggregated spans /
+//! counters / histograms next to throughput; all print paper-vs-measured
+//! rows and full-scale outputs are recorded in `EXPERIMENTS.md`. The `benches/` directory holds Criterion benchmarks of
 //! the component layers (lexer, parser, simulator, retrieval, agent loop)
 //! and per-experiment harness benchmarks.
 
@@ -70,23 +71,36 @@ pub struct RunScale {
     /// Worker threads for episode execution (`0` = available parallelism).
     /// Results are identical for every value (see `rtlfixer_eval::runner`).
     pub jobs: usize,
+    /// Aggregate in-memory telemetry (spans, counters, histograms) and
+    /// record it alongside throughput in `results/bench_eval.json`.
+    /// Telemetry is out-of-band: measured results are bit-identical with
+    /// the flag on or off.
+    pub telemetry: bool,
 }
 
 impl RunScale {
-    /// Reads `--quick` and `--jobs N` (or `--jobs=N`) from the process
-    /// arguments. `--jobs` defaults to `0`, meaning "use the machine's
-    /// available parallelism".
+    /// Reads `--quick`, `--jobs N` (or `--jobs=N`) and `--telemetry` from
+    /// the process arguments, and switches the process-wide telemetry
+    /// registry on when `--telemetry` is present. `--jobs` defaults to
+    /// `0`, meaning "use the machine's available parallelism".
     pub fn from_args() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        let scale = Self::parse_args(std::env::args().skip(1));
+        if scale.telemetry {
+            rtlfixer_obs::set_telemetry(true);
+        }
+        scale
     }
 
-    /// Argument parsing, separated from `std::env` for testability.
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
-        let mut scale = RunScale { quick: false, jobs: 0 };
+    /// Argument parsing, separated from `std::env` (and from the
+    /// process-wide telemetry switch) for testability.
+    pub fn parse_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut scale = RunScale { quick: false, jobs: 0, telemetry: false };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             if arg == "--quick" {
                 scale.quick = true;
+            } else if arg == "--telemetry" {
+                scale.telemetry = true;
             } else if arg == "--jobs" {
                 if let Some(value) = args.next() {
                     scale.jobs = value.parse().unwrap_or(0);
@@ -99,6 +113,50 @@ impl RunScale {
     }
 }
 
+/// Renders the telemetry registry snapshot as the `"telemetry"` block of
+/// a `bench_eval.json` entry: every counter, per-span latency summaries
+/// (p50/p95/mean over the log₂ histograms), revisions-per-error-category
+/// and per-cache hit ratios.
+fn telemetry_json() -> serde_json::Value {
+    use std::collections::BTreeMap;
+    let snap = rtlfixer_obs::snapshot();
+    let mut spans: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    for (name, hist) in &snap.hists {
+        let Some(kind) = name.strip_prefix("span.").and_then(|s| s.strip_suffix(".us"))
+        else {
+            continue;
+        };
+        spans.insert(
+            kind.to_owned(),
+            serde_json::json!({
+                "count": hist.count(),
+                "p50_us": hist.percentile(0.50),
+                "p95_us": hist.percentile(0.95),
+                "mean_us": hist.mean(),
+            }),
+        );
+    }
+    let revisions: BTreeMap<String, u64> = snap
+        .counters
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix("agent.revisions.by_category.").map(|slug| (slug.to_owned(), *v))
+        })
+        .collect();
+    let caches = rtlfixer_eval::cache_report();
+    let cache_hit_ratio = serde_json::json!({
+        "analyses": caches.analyses.hit_rate,
+        "outcomes": caches.outcomes.hit_rate,
+        "designs": caches.designs.hit_rate,
+    });
+    serde_json::json!({
+        "counters": snap.counters,
+        "spans": spans,
+        "revisions_by_category": revisions,
+        "cache_hit_ratio": cache_hit_ratio,
+    })
+}
+
 /// Records one experiment's throughput into `results/bench_eval.json`.
 ///
 /// The file is a JSON object keyed by experiment name; each call
@@ -108,6 +166,10 @@ impl RunScale {
 /// design hits and misses) and of the fault-injection counters
 /// (injected / recovered / exhausted per kind), so throughput numbers are
 /// interpretable next to the cache and fault behaviour that produced them.
+///
+/// With `--telemetry` (see [`RunScale`]) the entry additionally carries a
+/// `"telemetry"` block: every registry counter, p50/p95/mean span
+/// latencies, revisions-per-error-category and per-cache hit ratios.
 ///
 /// Environment overrides:
 /// * `RTLFIXER_RESULTS_DIR` — output directory (used by tests).
@@ -126,7 +188,7 @@ pub fn record_run(experiment: &str, jobs: usize, stats: &rtlfixer_eval::RunStats
     }
     let caches = serde_json::Value::from_serialize(&rtlfixer_eval::cache_report());
     let faults = serde_json::Value::from_serialize(&rtlfixer_faults::fault_report());
-    let entry = serde_json::json!({
+    let mut entry = serde_json::json!({
         "jobs": rtlfixer_eval::resolve_jobs(jobs),
         "episodes": stats.episodes,
         "failed_episodes": stats.failed_episodes,
@@ -135,6 +197,11 @@ pub fn record_run(experiment: &str, jobs: usize, stats: &rtlfixer_eval::RunStats
         "caches": caches,
         "faults": faults,
     });
+    if rtlfixer_obs::telemetry_enabled() {
+        if let Some(mut map) = entry.as_object_mut() {
+            map.insert("telemetry".to_owned(), telemetry_json());
+        }
+    }
     if let Some(mut map) = root.as_object_mut() {
         map.insert(key, entry);
     }
@@ -169,13 +236,23 @@ mod tests {
     #[test]
     fn run_scale_parses_jobs() {
         let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        let scale = RunScale::from_iter(args(&["--quick", "--jobs", "4"]));
+        let scale = RunScale::parse_args(args(&["--quick", "--jobs", "4"]));
         assert!(scale.quick);
         assert_eq!(scale.jobs, 4);
-        let scale = RunScale::from_iter(args(&["--jobs=2"]));
+        assert!(!scale.telemetry);
+        let scale = RunScale::parse_args(args(&["--jobs=2"]));
         assert!(!scale.quick);
         assert_eq!(scale.jobs, 2);
-        let scale = RunScale::from_iter(args(&[]));
+        let scale = RunScale::parse_args(args(&[]));
         assert_eq!(scale.jobs, 0);
+    }
+
+    #[test]
+    fn run_scale_parses_telemetry_without_switching_it_on() {
+        // `parse_args` is pure: only `from_args` flips the process-wide
+        // registry, so tests can parse flags without global effects.
+        let scale = RunScale::parse_args(["--telemetry".to_owned()]);
+        assert!(scale.telemetry);
+        assert!(!rtlfixer_obs::telemetry_enabled());
     }
 }

@@ -48,10 +48,22 @@ fn table1_quick_parallel_smoke() {
 /// to change. `RTLFIXER_FAULTS` is scrubbed unless explicitly passed, so an
 /// ambient spec cannot leak into the comparisons.
 fn table1_fix_rates_with(jobs: &str, results_dir: &Path, envs: &[(&str, &str)]) -> Vec<String> {
+    table1_fix_rates_full(jobs, results_dir, envs, &[])
+}
+
+/// [`table1_fix_rates_with`], plus extra CLI flags (e.g. `--telemetry`).
+fn table1_fix_rates_full(
+    jobs: &str,
+    results_dir: &Path,
+    envs: &[(&str, &str)],
+    extra_args: &[&str],
+) -> Vec<String> {
     let mut command = Command::new(env!("CARGO_BIN_EXE_table1"));
     command
         .args(["--quick", "--jobs", jobs])
+        .args(extra_args)
         .env_remove("RTLFIXER_FAULTS")
+        .env_remove("RTLFIXER_TRACE")
         .env("RTLFIXER_RESULTS_DIR", results_dir);
     for (key, value) in envs {
         command.env(key, value);
@@ -184,6 +196,74 @@ fn chaos_quick_smoke_contains_its_panic_probe() {
     assert!(entry["episodes"].as_u64().unwrap_or(0) > 0, "{text}");
     assert_eq!(entry["failed_episodes"].as_u64(), Some(1), "{text}");
     assert!(entry["faults"]["injected"].as_u64().unwrap_or(0) > 0, "{text}");
+}
+
+#[test]
+fn telemetry_and_trace_are_out_of_band() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_obs_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+    std::fs::create_dir_all(&results_dir).expect("results dir");
+
+    // Reference semantics: observability fully off.
+    let reference = table1_fix_rates_with("1", &results_dir, &[]);
+
+    // The explicit kill switch matches unset bit-for-bit.
+    assert_eq!(table1_fix_rates_with("1", &results_dir, &[("RTLFIXER_TRACE", "0")]), reference);
+
+    // JSONL tracing + --telemetry on, serial and parallel: the fix-rate
+    // grid must stay bit-identical — observability is out-of-band.
+    for jobs in ["1", "4"] {
+        let trace_path = results_dir.join(format!("trace_jobs{jobs}.jsonl"));
+        let trace = trace_path.to_string_lossy().into_owned();
+        assert_eq!(
+            table1_fix_rates_full(
+                jobs,
+                &results_dir,
+                &[("RTLFIXER_TRACE", trace.as_str())],
+                &["--telemetry"],
+            ),
+            reference,
+            "fix rates diverged with telemetry + trace at --jobs {jobs}"
+        );
+
+        // The trace file is non-empty JSONL: every line parses and carries
+        // the event tag.
+        let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "trace file is empty at --jobs {jobs}");
+        for line in &lines {
+            let event: serde_json::Value =
+                serde_json::from_str(line).unwrap_or_else(|e| panic!("bad JSONL `{line}`: {e}"));
+            assert!(event.get("ev").is_some(), "missing ev tag: {line}");
+        }
+        // Per-episode summaries appear once per episode, independent of
+        // worker count (merged in index order at the pool barrier).
+        let episodes =
+            lines.iter().filter(|l| l.contains("\"ev\":\"episode\"")).count();
+        assert!(episodes > 0, "no episode summaries in trace at --jobs {jobs}");
+    }
+
+    // The --telemetry run recorded its aggregate block next to throughput.
+    let text = std::fs::read_to_string(results_dir.join("bench_eval.json"))
+        .expect("bench_eval.json written");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let telemetry = &json["table1"]["telemetry"];
+    assert!(
+        telemetry["counters"]["agent.episodes"].as_u64().unwrap_or(0) > 0,
+        "agent.episodes counter missing: {text}"
+    );
+    assert!(
+        telemetry["spans"]["turn"]["count"].as_u64().unwrap_or(0) > 0,
+        "turn span summary missing: {text}"
+    );
+    assert!(
+        telemetry["spans"]["episode"]["p95_us"].as_u64().is_some(),
+        "episode span percentiles missing: {text}"
+    );
+    assert!(
+        telemetry["revisions_by_category"].is_object(),
+        "revisions_by_category missing: {text}"
+    );
 }
 
 #[test]

@@ -98,14 +98,24 @@ pub fn set_enabled(on: bool) {
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to compute (includes all traffic while disabled).
+    /// Lookups that had to compute *while the cache was enabled* — real
+    /// cold-cache traffic, never kill-switch traffic.
     pub misses: u64,
+    /// Lookups that went straight to compute because the cache was
+    /// disabled (the `RTLFIXER_CACHE=0` kill switch). Kept separate from
+    /// `misses` so an A/B run's 100% bypass is distinguishable from real
+    /// cold-cache behaviour.
+    pub bypassed: u64,
+    /// Entries dropped by capacity-pressure shard clears.
+    pub evictions: u64,
     /// Entries currently resident across all shards.
     pub entries: usize,
 }
 
 impl CacheStats {
-    /// Hit fraction in `[0, 1]` (`0` when there was no traffic).
+    /// Hit fraction in `[0, 1]` over enabled traffic (`0` when there was
+    /// none). Bypassed lookups are excluded — they say nothing about
+    /// locality.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -127,8 +137,11 @@ impl CacheStats {
 pub struct ShardedCache<K, V> {
     shards: Vec<Mutex<HashMap<K, V>>>,
     shard_capacity: usize,
+    name: &'static str,
     hits: AtomicU64,
     misses: AtomicU64,
+    bypassed: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
@@ -136,12 +149,21 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     /// `shard_capacity` entries each. Shard count is rounded up to a power
     /// of two (minimum 1).
     pub fn new(shards: usize, shard_capacity: usize) -> Self {
+        Self::named(shards, shard_capacity, "cache")
+    }
+
+    /// [`ShardedCache::new`] with a name used in the observability
+    /// registry (`cache.<name>.evictions`).
+    pub fn named(shards: usize, shard_capacity: usize, name: &'static str) -> Self {
         let shards = shards.max(1).next_power_of_two();
         ShardedCache {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             shard_capacity: shard_capacity.max(1),
+            name,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            bypassed: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -159,7 +181,7 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     /// first insertion wins.
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
         if !enabled() {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.bypassed.fetch_add(1, Ordering::Relaxed);
             return compute();
         }
         if let Some(hit) = self.shard_for(&key).lock().expect("cache shard").get(&key) {
@@ -169,8 +191,15 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
         let mut shard = self.shard_for(&key).lock().expect("cache shard");
-        if shard.len() >= self.shard_capacity {
+        // Capacity pressure clears the shard wholesale — but only when this
+        // insertion would actually grow it. A concurrent miss on the same
+        // key must not clear the shard again and wipe the entry the racing
+        // thread just inserted (it would land right back anyway).
+        if !shard.contains_key(&key) && shard.len() >= self.shard_capacity {
+            let evicted = shard.len() as u64;
             shard.clear();
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            rtlfixer_obs::counter_add(&format!("cache.{}.evictions", self.name), evicted);
         }
         shard.entry(key).or_insert_with(|| value.clone()).clone()
     }
@@ -178,6 +207,7 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     /// Looks up `key` without computing on a miss.
     pub fn get(&self, key: &K) -> Option<V> {
         if !enabled() {
+            self.bypassed.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let hit = self.shard_for(key).lock().expect("cache shard").get(key).cloned();
@@ -200,6 +230,8 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            bypassed: self.bypassed.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().expect("cache shard").len()).sum(),
         }
     }
@@ -247,13 +279,59 @@ mod tests {
 
     #[test]
     fn shard_clears_when_full_but_stays_correct() {
+        let _guard = switch_lock();
+        set_enabled(true);
         let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 4);
         for key in 0..64 {
             assert_eq!(cache.get_or_insert_with(key, || key + 1), key + 1);
         }
         assert!(cache.stats().entries <= 4);
+        // Capacity clears are no longer silent: every dropped entry counts.
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert_eq!(stats.evictions % 4, 0, "whole shards of 4 drop at once: {stats:?}");
         // Evicted keys recompute to the same value.
         assert_eq!(cache.get_or_insert_with(0, || 1), 1);
+    }
+
+    #[test]
+    fn racing_duplicate_miss_does_not_clear_a_full_shard() {
+        // Regression: two threads miss on the same key concurrently; the
+        // loser reaches the insert path with the shard now at capacity and
+        // its key already resident. It must NOT clear the shard (wiping
+        // the winner's fresh insertion) — the fix checks key residency
+        // before applying capacity pressure.
+        let _guard = switch_lock();
+        set_enabled(true);
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 4);
+        for key in 0..3 {
+            cache.get_or_insert_with(key, || key);
+        }
+        // Both racers must pass the hit check before either inserts: the
+        // barrier inside `compute` only opens once both have missed.
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    cache.get_or_insert_with(3, || {
+                        barrier.wait();
+                        33
+                    });
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4, "the racing clear wiped the shard: {stats:?}");
+        assert_eq!(stats.evictions, 0, "no eviction should be recorded: {stats:?}");
+        assert_eq!(stats.misses, 5, "both racers count a real miss: {stats:?}");
+        for key in 0..3 {
+            assert_eq!(cache.get(&key), Some(key), "hot entry survived");
+        }
+        // A genuinely new key at capacity does clear, and counts it.
+        cache.get_or_insert_with(99, || 99);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 4, "{stats:?}");
+        assert_eq!(stats.entries, 1, "{stats:?}");
     }
 
     #[test]
@@ -271,6 +349,13 @@ mod tests {
         assert_eq!(computed.load(Ordering::Relaxed), 3);
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.get(&1), None);
+        // Regression: kill-switch traffic is `bypassed`, not `misses` — a
+        // disabled run must not masquerade as 100% cold-cache behaviour.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 0, "{stats:?}");
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert_eq!(stats.bypassed, 4, "3 inserts + 1 get: {stats:?}");
+        assert_eq!(stats.hit_rate(), 0.0);
         set_enabled(true);
         // Re-enabled: the same cache resumes memoising.
         cache.get_or_insert_with(1, || 2);

@@ -146,7 +146,7 @@ fn outcome_cache() -> &'static rtlfixer_cache::ShardedCache<OutcomeKey, Arc<Comp
     static CACHE: std::sync::OnceLock<
         rtlfixer_cache::ShardedCache<OutcomeKey, Arc<CompileOutcome>>,
     > = std::sync::OnceLock::new();
-    CACHE.get_or_init(|| rtlfixer_cache::ShardedCache::new(64, 256))
+    CACHE.get_or_init(|| rtlfixer_cache::ShardedCache::named(64, 256, "outcomes"))
 }
 
 /// Hit/miss counters of the process-wide [`Compiler::compile_cached`] cache.

@@ -132,17 +132,32 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let jobs = resolve_jobs(jobs).min(len.max(1));
-    let run_one = |index: usize| catch_unwind(AssertUnwindSafe(|| task(index)));
+    // Each task runs inside an observability episode capture: whatever the
+    // episode records (spans, counters, trace events) lands in a
+    // worker-local buffer instead of the shared registry. Captures are
+    // merged below *after* the pool completes, in index order, so the
+    // registry contents and trace-line order are identical at every worker
+    // count. With observability off the capture calls are no-op relaxed
+    // loads. A contained panic still clears the thread's capture (partial
+    // telemetry of a failed episode is kept — failures should be visible).
+    let run_one = |index: usize| {
+        rtlfixer_obs::episode_begin();
+        let result = catch_unwind(AssertUnwindSafe(|| task(index)));
+        let telemetry = rtlfixer_obs::episode_end();
+        (result, telemetry)
+    };
+    type Slot<R> = (Result<R, String>, Option<rtlfixer_obs::EpisodeTelemetry>);
 
-    let mut slots: Vec<Option<Result<R, String>>> = Vec::with_capacity(len);
+    let mut slots: Vec<Option<Slot<R>>> = Vec::with_capacity(len);
     if jobs <= 1 {
         for index in 0..len {
-            slots.push(Some(run_one(index).map_err(panic_message)));
+            let (result, telemetry) = run_one(index);
+            slots.push(Some((result.map_err(panic_message), telemetry)));
         }
     } else {
         slots.resize_with(len, || None);
         let cursor = AtomicUsize::new(0);
-        let (sender, receiver) = mpsc::channel::<(usize, Result<R, String>)>();
+        let (sender, receiver) = mpsc::channel::<(usize, Slot<R>)>();
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 let sender = sender.clone();
@@ -153,8 +168,8 @@ where
                     if index >= len {
                         break;
                     }
-                    let value = run_one(index).map_err(panic_message);
-                    if sender.send((index, value)).is_err() {
+                    let (result, telemetry) = run_one(index);
+                    if sender.send((index, (result.map_err(panic_message), telemetry))).is_err() {
                         break;
                     }
                 });
@@ -172,7 +187,13 @@ where
     let mut results = Vec::with_capacity(len);
     let mut failures = Vec::new();
     for (index, slot) in slots.into_iter().enumerate() {
-        match slot.expect("worker completed every index") {
+        let (result, telemetry) = slot.expect("worker completed every index");
+        // The pool barrier: worker-local telemetry merges into the global
+        // registry in index order, independent of which worker ran what.
+        if let Some(telemetry) = &telemetry {
+            rtlfixer_obs::merge(telemetry);
+        }
+        match result {
             Ok(value) => results.push(Some(value)),
             Err(message) => {
                 results.push(None);
@@ -219,8 +240,13 @@ pub fn episode_grid(base: u64, cell: u64, entries: usize, repeats: usize) -> Vec
 pub struct CacheCounters {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to compute.
+    /// Lookups that had to compute while the cache was enabled.
     pub misses: u64,
+    /// Lookups that skipped the cache entirely (kill switch) — kept out of
+    /// `misses` so `RTLFIXER_CACHE=0` runs don't read as cold caches.
+    pub bypassed: u64,
+    /// Entries dropped by capacity-pressure shard clears.
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// `hits / (hits + misses)`, `0` with no traffic.
@@ -232,6 +258,8 @@ impl From<rtlfixer_cache::CacheStats> for CacheCounters {
         CacheCounters {
             hits: stats.hits,
             misses: stats.misses,
+            bypassed: stats.bypassed,
+            evictions: stats.evictions,
             entries: stats.entries,
             hit_rate: stats.hit_rate(),
         }
@@ -270,7 +298,8 @@ pub struct RunStats {
     pub episodes: usize,
     /// Wall-clock seconds.
     pub seconds: f64,
-    /// Episode throughput.
+    /// Episode throughput over *successful* episodes — a panicked episode
+    /// is not completed work, so chaos runs don't inflate this number.
     pub episodes_per_sec: f64,
     /// Episodes that panicked and were contained as [`EpisodeFailure`]s
     /// (always 0 on the unchecked paths, which abort instead).
@@ -289,9 +318,13 @@ impl RunStats {
         }
     }
 
-    /// Records contained episode failures (builder style).
+    /// Records contained episode failures (builder style) and recomputes
+    /// throughput over the episodes that actually completed.
     pub fn with_failed(mut self, failed_episodes: usize) -> Self {
         self.failed_episodes = failed_episodes;
+        let successful = self.episodes.saturating_sub(failed_episodes);
+        self.episodes_per_sec =
+            if self.seconds > 0.0 { successful as f64 / self.seconds } else { 0.0 };
         self
     }
 }
@@ -451,6 +484,62 @@ mod tests {
         assert!(message.contains("1 of 10 episodes panicked"), "{message}");
         assert!(message.contains("index 3"), "{message}");
         assert!(message.contains("boom at 3"), "{message}");
+    }
+
+    #[test]
+    fn failed_episodes_do_not_count_toward_throughput() {
+        // Regression: panicked episodes are not completed work; throughput
+        // under chaos must be computed over successes only.
+        let stats = RunStats::new(10, Duration::from_secs(2)).with_failed(4);
+        assert_eq!(stats.episodes, 10);
+        assert_eq!(stats.failed_episodes, 4);
+        assert!((stats.episodes_per_sec - 3.0).abs() < 1e-12, "{stats:?}");
+        let all_failed = RunStats::new(5, Duration::from_secs(1)).with_failed(5);
+        assert_eq!(all_failed.episodes_per_sec, 0.0, "{all_failed:?}");
+        let clean = RunStats::new(6, Duration::from_secs(2)).with_failed(0);
+        assert!((clean.episodes_per_sec - 3.0).abs() < 1e-12, "{clean:?}");
+    }
+
+    #[test]
+    fn pool_telemetry_merges_identically_at_any_jobs() {
+        // Worker-local episode telemetry merges at the pool barrier in
+        // index order, so the registry aggregate is a pure function of the
+        // episode set — independent of worker count and scheduling. Only
+        // `test.`-prefixed keys are compared: other tests in this binary
+        // may record telemetry concurrently while the flag is on.
+        rtlfixer_obs::set_telemetry(true);
+        let ours = |snap: &rtlfixer_obs::Snapshot| {
+            let counters: Vec<(String, u64)> = snap
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("test."))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            let hists: Vec<(String, rtlfixer_obs::Histogram)> = snap
+                .hists
+                .iter()
+                .filter(|(k, _)| k.starts_with("test."))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            (counters, hists)
+        };
+        let run = |jobs: usize| {
+            rtlfixer_obs::reset();
+            let _ = run_indexed(jobs, 40, |i| {
+                rtlfixer_obs::counter_add("test.episodes", 1);
+                rtlfixer_obs::counter_add(&format!("test.mod.{}", i % 3), 1);
+                rtlfixer_obs::observe("test.value", (i as u64) * 7 % 100);
+                i
+            });
+            ours(&rtlfixer_obs::snapshot())
+        };
+        let serial = run(1);
+        assert!(serial.0.iter().any(|(k, v)| k == "test.episodes" && *v == 40), "{serial:?}");
+        for jobs in [2, 4] {
+            assert_eq!(run(jobs), serial, "jobs = {jobs}");
+        }
+        rtlfixer_obs::set_telemetry(false);
+        rtlfixer_obs::reset();
     }
 
     #[test]

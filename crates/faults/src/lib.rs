@@ -378,16 +378,22 @@ static EXHAUSTED: [AtomicU64; KINDS] = [ZERO; KINDS];
 /// Counts one injected fault (called by [`FaultPlan::draw`]).
 pub fn record_injected(kind: FaultKind) {
     INJECTED[kind.index()].fetch_add(1, Ordering::Relaxed);
+    rtlfixer_obs::counter_add("faults.injected", 1);
+    rtlfixer_obs::counter_add(&format!("faults.injected.{}", kind.slug()), 1);
 }
 
 /// Counts a fault the retry / degrade machinery fully absorbed.
 pub fn record_recovered(kind: FaultKind) {
     RECOVERED[kind.index()].fetch_add(1, Ordering::Relaxed);
+    rtlfixer_obs::counter_add("faults.recovered", 1);
+    rtlfixer_obs::counter_add(&format!("faults.recovered.{}", kind.slug()), 1);
 }
 
 /// Counts a fault that survived every retry (the turn was lost).
 pub fn record_exhausted(kind: FaultKind) {
     EXHAUSTED[kind.index()].fetch_add(1, Ordering::Relaxed);
+    rtlfixer_obs::counter_add("faults.exhausted", 1);
+    rtlfixer_obs::counter_add(&format!("faults.exhausted.{}", kind.slug()), 1);
 }
 
 /// Resets all counters (A/B sweeps, tests).

@@ -217,6 +217,10 @@ impl<L: LanguageModel> ResilientModel<L> {
                     faults::record_recovered(kind);
                 }
                 self.consecutive_failures = 0;
+                rtlfixer_obs::counter_add(
+                    "llm.completion_tokens",
+                    estimate_tokens(&response.code),
+                );
                 return RepairTurn { response: Some(response), events, malformed: false };
             };
 
@@ -245,7 +249,9 @@ impl<L: LanguageModel> ResilientModel<L> {
             // completions still cost their tokens.
             faulted_kinds.push(kind);
             if matches!(kind, FaultKind::TruncatedCompletion | FaultKind::EmptyCompletion) {
-                self.ledger.tokens += estimate_tokens(&request.code);
+                let wasted = estimate_tokens(&request.code);
+                self.ledger.tokens += wasted;
+                rtlfixer_obs::counter_add("llm.wasted_tokens", wasted);
             }
             if self.note_failure() {
                 faults::record_exhausted(kind);
@@ -264,6 +270,11 @@ impl<L: LanguageModel> ResilientModel<L> {
             }
             self.ledger.wall_ms += backoff;
             self.ledger.retries += 1;
+            rtlfixer_obs::counter_add("llm.retries", 1);
+            rtlfixer_obs::record_span_simulated(
+                rtlfixer_obs::kind::RETRY,
+                backoff.saturating_mul(1_000),
+            );
             events.push(TurnEvent::Retry { attempt, backoff_ms: backoff });
             attempt += 1;
         }

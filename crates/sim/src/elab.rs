@@ -271,7 +271,7 @@ fn design_cache(
     static CACHE: std::sync::OnceLock<
         rtlfixer_cache::ShardedCache<DesignKey, Result<Arc<Design>, ElabError>>,
     > = std::sync::OnceLock::new();
-    CACHE.get_or_init(|| rtlfixer_cache::ShardedCache::new(64, 128))
+    CACHE.get_or_init(|| rtlfixer_cache::ShardedCache::named(64, 128, "designs"))
 }
 
 /// [`elaborate`], memoised process-wide behind `(source fingerprint, top)`.

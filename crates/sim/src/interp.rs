@@ -357,7 +357,7 @@ impl Simulator {
         let kernel = Arc::clone(&self.kernel);
         let event = event_driven();
         let mut last_changed: Vec<SigId> = Vec::new();
-        for _ in 0..MAX_SETTLE {
+        for sweep in 0..MAX_SETTLE {
             for proc in &kernel.comb {
                 let run = !event
                     || proc
@@ -381,6 +381,7 @@ impl Simulator {
             if changed.is_empty() {
                 self.prev_dirty.clear_all();
                 self.curr_dirty.clear_all();
+                rtlfixer_obs::counter_add("sim.settle_sweeps", sweep as u64 + 1);
                 return Ok(());
             }
             std::mem::swap(&mut self.prev_dirty, &mut self.curr_dirty);
@@ -453,6 +454,7 @@ impl Simulator {
     ///
     /// Propagates [`SimError`] from settling.
     pub fn clock_cycle(&mut self, clk: &str) -> Result<(), SimError> {
+        rtlfixer_obs::counter_add("sim.cycles", 1);
         self.settle()?;
         self.edge(clk, Edge::Pos)?;
         self.edge(clk, Edge::Neg)

@@ -124,6 +124,7 @@ pub fn run_testbench(
     stimuli: &[BTreeMap<String, LogicVec>],
     clocking: &Clocking,
 ) -> Result<TestResult, TestbenchError> {
+    let _simulate_span = rtlfixer_obs::span(rtlfixer_obs::kind::SIMULATE);
     let mut sim = Simulator::new(analysis, top)?;
     sim.run_initial()?;
     model.reset();

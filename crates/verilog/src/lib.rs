@@ -125,7 +125,7 @@ fn analysis_cache() -> &'static rtlfixer_cache::ShardedCache<u128, Arc<Analysis>
     // 64 shards × 256 entries bounds the working set to ~16k analyses;
     // shards clear wholesale when full (correctness-neutral, see
     // `rtlfixer_cache`).
-    CACHE.get_or_init(|| rtlfixer_cache::ShardedCache::new(64, 256))
+    CACHE.get_or_init(|| rtlfixer_cache::ShardedCache::named(64, 256, "analyses"))
 }
 
 /// [`compile`], memoised process-wide behind the source's content hash.
