@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use rtlfixer_agent::{RtlFixerBuilder, Strategy};
+use rtlfixer_bench::simdesigns::SIM_DESIGNS;
 use rtlfixer_compilers::CompilerKind;
 use rtlfixer_llm::{Capability, SimulatedLlm};
 use rtlfixer_rag::text::TfIdfIndex;
@@ -19,14 +20,6 @@ const COUNTER: &str = "module ctr(input clk, input reset, output reg [7:0] q);\n
 
 const BROKEN: &str = "module m(input [7:0] in, output reg [7:0] out);\n\
                       always @(posedge clk) out <= in;\nendmodule";
-
-const SMALL_COMB: &str = "module small(input [7:0] a, input [7:0] b,\n\
-                          output [7:0] y, output carry);\n\
-                          assign {carry, y} = a + b;\nendmodule";
-
-const WIDE_256: &str = "module wide(input clk, input [7:0] d, output reg [255:0] acc);\n\
-                        always @(posedge clk)\n\
-                        acc <= {acc[247:0], d} ^ (acc >> 3);\nendmodule";
 
 fn bench_frontend(c: &mut Criterion) {
     let source = rtlfixer_dataset::suites::find_problem("rtllm/conwaylife")
@@ -75,38 +68,35 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| Simulator::new(black_box(&conway_analysis), "top_module"))
     });
 
-    // Steady-state per-cycle throughput on representative designs: the
-    // before/after datapoints for the interned, event-driven kernel. The
-    // simulator is built once; each iteration is exactly one cycle.
-    let small = rtlfixer_verilog::compile(SMALL_COMB);
-    let mut sim = Simulator::new(&small, "small").expect("elaborates");
-    let mut i = 0u64;
-    c.bench_function("sim/cycle_small_comb", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            sim.poke("a", LogicVec::from_u64(8, i & 0xFF)).expect("port");
-            sim.poke("b", LogicVec::from_u64(8, (i >> 3) & 0xFF)).expect("port");
-            sim.settle().expect("settles");
-            black_box(sim.peek("y"))
-        })
-    });
-    let mut sim = Simulator::new(&analysis, "ctr").expect("elaborates");
-    sim.poke("reset", LogicVec::from_u64(1, 0)).expect("port");
-    c.bench_function("sim/cycle_medium_seq", |b| {
-        b.iter(|| {
-            sim.clock_cycle("clk").expect("cycle");
-            black_box(sim.peek("q"))
-        })
-    });
-    let wide = rtlfixer_verilog::compile(WIDE_256);
-    let mut sim = Simulator::new(&wide, "wide").expect("elaborates");
-    sim.poke("d", LogicVec::from_u64(8, 0xA5)).expect("port");
-    c.bench_function("sim/cycle_wide_256", |b| {
-        b.iter(|| {
-            sim.clock_cycle("clk").expect("cycle");
-            black_box(sim.peek("acc"))
-        })
-    });
+    // Steady-state per-cycle throughput on the shared design set (see
+    // `rtlfixer_bench::simdesigns`). Each design is measured twice in the
+    // same process: `sim/cycle_*` forces the tree-walking event kernel
+    // (comparable to the pre-tape history of these benchmark names) and
+    // `sim/tape_*` forces the compiled register-bytecode tape. The
+    // simulator is built once per pair; each iteration is exactly one cycle.
+    for design in SIM_DESIGNS {
+        rtlfixer_sim::force_sim_backends(None, Some(false));
+        let mut sim = design.build();
+        let mut i = 0u64;
+        c.bench_function(&format!("sim/cycle_{}", design.name), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                (design.step)(&mut sim, i);
+                black_box(sim.peek(design.watch))
+            })
+        });
+        rtlfixer_sim::force_sim_backends(None, Some(true));
+        let mut sim = design.build();
+        let mut i = 0u64;
+        c.bench_function(&format!("sim/tape_{}", design.name), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                (design.step)(&mut sim, i);
+                black_box(sim.peek(design.watch))
+            })
+        });
+        rtlfixer_sim::force_sim_backends(None, None);
+    }
 }
 
 fn bench_retrieval(c: &mut Criterion) {

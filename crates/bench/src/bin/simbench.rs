@@ -1,9 +1,12 @@
-//! Steady-state simulator throughput: cycles/sec on the three designs the
-//! Criterion `sim/cycle_*` benchmarks use (small combinational adder,
-//! 8-bit sequential counter, 256-bit wide sequential datapath), driven
-//! through the interned event-driven kernel. Complements Criterion with a
-//! single recorded number per design so kernel regressions show up in
-//! `results/bench_eval.json` next to the experiment throughput entries.
+//! Steady-state simulator throughput: cycles/sec on the shared benchmark
+//! design set (see `rtlfixer_bench::simdesigns`), measured under both
+//! kernel backends — the tree-walking event kernel (`tree`) and the
+//! compiled register-bytecode tape (`tape`) — in the same process via
+//! `rtlfixer_sim::force_sim_backends`. Complements Criterion with recorded
+//! numbers per design/backend so kernel regressions show up in
+//! `results/bench_eval.json` next to the experiment throughput entries,
+//! together with the tape compiler statistics (ops emitted / constant
+//! folded / dead-eliminated) and the two-state fast-path hit ratio.
 //!
 //! Run with `cargo run --release -p rtlfixer-bench --bin simbench`
 //! (`--quick` for the smoke-test cycle count).
@@ -11,30 +14,31 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-use rtlfixer_bench::{record_run, render_table, RunScale};
-use rtlfixer_sim::{value::LogicVec, Simulator};
+use rtlfixer_bench::simdesigns::{SimDesign, SIM_DESIGNS};
+use rtlfixer_bench::{record_run_with, render_table, RunScale};
 
-const SMALL_COMB: &str = "module small(input [7:0] a, input [7:0] b,\n\
-                          output [7:0] y, output carry);\n\
-                          assign {carry, y} = a + b;\nendmodule";
+/// Runs `design` for `cycles` cycles on a fresh simulator under the
+/// currently forced backend; returns wall time plus the simulator's tape
+/// runtime counters (fast-path hits / fallbacks, both 0 on the tree path).
+fn measure(design: &SimDesign, cycles: usize) -> (Duration, u64, u64) {
+    let mut sim = design.build();
+    let start = Instant::now();
+    for i in 0..cycles as u64 {
+        (design.step)(&mut sim, i);
+        black_box(sim.peek(design.watch));
+    }
+    let wall = start.elapsed();
+    let (hits, falls) = sim.tape_runtime();
+    (wall, hits, falls)
+}
 
-const COUNTER: &str = "module ctr(input clk, input reset, output reg [7:0] q);\n\
-                       always @(posedge clk) begin\n\
-                       if (reset) q <= 0; else q <= q + 1;\nend\nendmodule";
-
-const WIDE_256: &str = "module wide(input clk, input [7:0] d, output reg [255:0] acc);\n\
-                        always @(posedge clk)\n\
-                        acc <= {acc[247:0], d} ^ (acc >> 3);\nendmodule";
-
-fn row(name: &str, cycles: usize, wall: Duration) -> Vec<String> {
+fn per_sec(cycles: usize, wall: Duration) -> f64 {
     let seconds = wall.as_secs_f64();
-    let per_sec = if seconds > 0.0 { cycles as f64 / seconds } else { 0.0 };
-    vec![
-        name.to_owned(),
-        cycles.to_string(),
-        format!("{seconds:.3}"),
-        format!("{per_sec:.0}"),
-    ]
+    if seconds > 0.0 {
+        cycles as f64 / seconds
+    } else {
+        0.0
+    }
 }
 
 fn main() {
@@ -42,56 +46,82 @@ fn main() {
     let cycles: usize = if scale.quick { 20_000 } else { 2_000_000 };
 
     let mut rows = Vec::new();
+    let mut extra: Vec<(String, serde_json::Value)> = Vec::new();
     let mut total_cycles = 0usize;
     let mut total_wall = Duration::ZERO;
 
-    // Small combinational adder: poke both inputs and settle each cycle.
-    let small = rtlfixer_verilog::compile(SMALL_COMB);
-    let mut sim = Simulator::new(&small, "small").expect("elaborates");
-    let start = Instant::now();
-    for i in 0..cycles as u64 {
-        sim.poke("a", LogicVec::from_u64(8, i & 0xFF)).expect("port");
-        sim.poke("b", LogicVec::from_u64(8, (i >> 3) & 0xFF)).expect("port");
-        sim.settle().expect("settles");
-        black_box(sim.peek("y"));
-    }
-    let wall = start.elapsed();
-    rows.push(row("cycle_small_comb", cycles, wall));
-    total_cycles += cycles;
-    total_wall += wall;
+    for design in SIM_DESIGNS {
+        // Tree-walking event kernel first (tape forced off), then the
+        // compiled tape, so the speedup column is a same-process A/B.
+        rtlfixer_sim::force_sim_backends(None, Some(false));
+        let (tree_wall, _, _) = measure(design, cycles);
+        rtlfixer_sim::force_sim_backends(None, Some(true));
+        let (tape_wall, fast_hits, fast_falls) = measure(design, cycles);
+        rtlfixer_sim::force_sim_backends(None, None);
 
-    // Medium sequential counter: one full clock cycle per iteration.
-    let counter = rtlfixer_verilog::compile(COUNTER);
-    let mut sim = Simulator::new(&counter, "ctr").expect("elaborates");
-    sim.poke("reset", LogicVec::from_u64(1, 0)).expect("port");
-    let start = Instant::now();
-    for _ in 0..cycles {
-        sim.clock_cycle("clk").expect("cycle");
-        black_box(sim.peek("q"));
-    }
-    let wall = start.elapsed();
-    rows.push(row("cycle_medium_seq", cycles, wall));
-    total_cycles += cycles;
-    total_wall += wall;
+        let tree_cps = per_sec(cycles, tree_wall);
+        let tape_cps = per_sec(cycles, tape_wall);
+        let speedup = if tree_cps > 0.0 { tape_cps / tree_cps } else { 0.0 };
+        let runs = fast_hits + fast_falls;
+        let fast_ratio = if runs > 0 { fast_hits as f64 / runs as f64 } else { 0.0 };
 
-    // Wide 256-bit sequential datapath: multi-limb shifts and xors.
-    let wide = rtlfixer_verilog::compile(WIDE_256);
-    let mut sim = Simulator::new(&wide, "wide").expect("elaborates");
-    sim.poke("d", LogicVec::from_u64(8, 0xA5)).expect("port");
-    let start = Instant::now();
-    for _ in 0..cycles {
-        sim.clock_cycle("clk").expect("cycle");
-        black_box(sim.peek("acc"));
-    }
-    let wall = start.elapsed();
-    rows.push(row("cycle_wide_256", cycles, wall));
-    total_cycles += cycles;
-    total_wall += wall;
+        let stats = design.build().tape_stats();
+        rows.push(vec![
+            format!("cycle_{}", design.name),
+            cycles.to_string(),
+            format!("{tree_cps:.0}"),
+            format!("{tape_cps:.0}"),
+            format!("{speedup:.2}x"),
+            format!("{:.0}%", fast_ratio * 100.0),
+        ]);
+        extra.push((
+            format!("design.{}", design.name),
+            serde_json::json!({
+                "cycles": cycles,
+                "tree_cycles_per_sec": tree_cps,
+                "tape_cycles_per_sec": tape_cps,
+                "speedup": speedup,
+                "fast_hit_ratio": fast_ratio,
+                "tape_ops_emitted": stats.ops_emitted,
+                "tape_ops_folded": stats.ops_folded,
+                "tape_ops_dead_eliminated": stats.ops_dead,
+                "tape_procs": stats.taped,
+                "tape_fast_procs": stats.fast,
+            }),
+        ));
+        rtlfixer_obs::counter_add(
+            &format!("simbench.{}.tape_ops_emitted", design.name),
+            stats.ops_emitted,
+        );
+        rtlfixer_obs::counter_add(
+            &format!("simbench.{}.tape_ops_folded", design.name),
+            stats.ops_folded,
+        );
+        rtlfixer_obs::counter_add(
+            &format!("simbench.{}.tape_ops_dead", design.name),
+            stats.ops_dead,
+        );
 
-    println!("Simulator cycle throughput ({cycles} cycles per design):");
-    print!("{}", render_table(&["design", "cycles", "seconds", "cycles/s"], &rows));
+        // Both backend passes count toward recorded totals.
+        total_cycles += cycles * 2;
+        total_wall += tree_wall + tape_wall;
+    }
+
+    println!("Simulator cycle throughput ({cycles} cycles per design per backend):");
+    print!(
+        "{}",
+        render_table(
+            &["design", "cycles", "tree c/s", "tape c/s", "speedup", "fast-path"],
+            &rows,
+        )
+    );
 
     let stats = rtlfixer_eval::RunStats::new(total_cycles, total_wall);
-    println!("total: {} cycles in {:.3}s ({:.0} eps/s)", stats.episodes, stats.seconds, stats.episodes_per_sec);
-    record_run("simbench", 1, &stats);
+    println!(
+        "total: {} cycles in {:.3}s ({:.0} eps/s)",
+        stats.episodes, stats.seconds, stats.episodes_per_sec
+    );
+    let extra_refs: Vec<(&str, serde_json::Value)> =
+        extra.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    record_run_with("simbench", 1, &stats, &extra_refs);
 }

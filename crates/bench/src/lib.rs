@@ -23,6 +23,8 @@
 
 #![warn(missing_docs)]
 
+pub mod simdesigns;
+
 /// Formats a ratio with three decimals (`0.985`).
 pub fn fmt3(value: f64) -> String {
     format!("{value:.3}")
@@ -176,6 +178,20 @@ fn telemetry_json() -> serde_json::Value {
 /// * `RTLFIXER_RECORD_AS` — record under this key instead of `experiment`
 ///   (used for A/B runs of one binary, e.g. cache on vs off).
 pub fn record_run(experiment: &str, jobs: usize, stats: &rtlfixer_eval::RunStats) {
+    record_run_with(experiment, jobs, stats, &[]);
+}
+
+/// [`record_run`] plus experiment-specific keys merged into the entry.
+///
+/// Each `(key, value)` pair in `extra` is inserted alongside the standard
+/// throughput/cache/fault fields (`simbench` uses this to attach per-design
+/// cycles/sec for both kernel backends and the tape compiler statistics).
+pub fn record_run_with(
+    experiment: &str,
+    jobs: usize,
+    stats: &rtlfixer_eval::RunStats,
+    extra: &[(&str, serde_json::Value)],
+) {
     let dir = std::env::var("RTLFIXER_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
     let key = std::env::var("RTLFIXER_RECORD_AS").unwrap_or_else(|_| experiment.to_owned());
     let path = std::path::Path::new(&dir).join("bench_eval.json");
@@ -200,6 +216,11 @@ pub fn record_run(experiment: &str, jobs: usize, stats: &rtlfixer_eval::RunStats
     if rtlfixer_obs::telemetry_enabled() {
         if let Some(mut map) = entry.as_object_mut() {
             map.insert("telemetry".to_owned(), telemetry_json());
+        }
+    }
+    if let Some(mut map) = entry.as_object_mut() {
+        for (k, v) in extra {
+            map.insert((*k).to_owned(), v.clone());
         }
     }
     if let Some(mut map) = root.as_object_mut() {

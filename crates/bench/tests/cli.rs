@@ -282,19 +282,71 @@ fn simbench_quick_smoke_records_throughput() {
         String::from_utf8_lossy(&output.stderr)
     );
 
-    // All three kernel designs appear with a throughput column.
+    // Every design appears with both backend throughput columns.
     let stdout = String::from_utf8_lossy(&output.stdout);
-    for design in ["cycle_small_comb", "cycle_medium_seq", "cycle_wide_256"] {
+    for design in [
+        "cycle_small_comb",
+        "cycle_medium_seq",
+        "cycle_wide_256",
+        "cycle_crc16_comb",
+        "cycle_alu_seq",
+    ] {
         assert!(stdout.contains(design), "{design} row missing:\n{stdout}");
     }
-    assert!(stdout.contains("cycles/s"), "throughput column missing:\n{stdout}");
+    assert!(stdout.contains("tree c/s"), "tree throughput column missing:\n{stdout}");
+    assert!(stdout.contains("tape c/s"), "tape throughput column missing:\n{stdout}");
+    assert!(stdout.contains("speedup"), "speedup column missing:\n{stdout}");
 
-    // The run recorded its aggregate cycle throughput.
+    // The run recorded its aggregate cycle throughput (5 designs x 2
+    // backends x 20k cycles) plus the per-design backend comparison and
+    // tape compiler statistics.
     let text = std::fs::read_to_string(results_dir.join("bench_eval.json"))
         .expect("bench_eval.json written");
     let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
     let entry = &json["simbench"];
-    assert_eq!(entry["episodes"].as_u64(), Some(60_000), "{text}");
+    assert_eq!(entry["episodes"].as_u64(), Some(200_000), "{text}");
     assert_eq!(entry["failed_episodes"].as_u64(), Some(0), "{text}");
     assert!(entry["episodes_per_sec"].as_f64().unwrap_or(0.0) > 0.0, "{text}");
+    let crc = &entry["design.crc16_comb"];
+    assert!(crc["tree_cycles_per_sec"].as_f64().unwrap_or(0.0) > 0.0, "{text}");
+    assert!(crc["tape_cycles_per_sec"].as_f64().unwrap_or(0.0) > 0.0, "{text}");
+    assert!(crc["speedup"].as_f64().unwrap_or(0.0) > 0.0, "{text}");
+    // The CRC design's loop unrolls, its cone stays x-free (100% fast-path
+    // hits) and the compiler reports emitted/folded/dead-eliminated ops.
+    assert_eq!(crc["fast_hit_ratio"].as_f64(), Some(1.0), "{text}");
+    assert!(crc["tape_ops_emitted"].as_u64().unwrap_or(0) > 0, "{text}");
+    assert!(crc["tape_ops_folded"].as_u64().unwrap_or(0) > 0, "{text}");
+    // The wide 256-bit design exceeds the 64-bit fast-path word: every run
+    // must take the four-state ops.
+    assert_eq!(json["simbench"]["design.wide_256"]["fast_hit_ratio"].as_f64(), Some(0.0), "{text}");
+}
+
+#[test]
+fn sim_tape_kill_switch_is_bit_identical_to_unset() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_tape_off_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    // RTLFIXER_SIM_TAPE unset runs the compiled tape; every spelling of
+    // "off" must restore the tree-walking kernel bit-for-bit, and an
+    // unrecognised spelling leaves the tape on — also bit-identical, since
+    // the backends agree. This is the subprocess complement of the
+    // in-process three-way matrix in `sim_kernel_invariance.rs`.
+    let unset = table1_fix_rates_with("2", &results_dir, &[]);
+    for spec in ["off", "0", "false", "not-a-spec"] {
+        assert_eq!(
+            table1_fix_rates_with("2", &results_dir, &[("RTLFIXER_SIM_TAPE", spec)]),
+            unset,
+            "fix rates diverged at RTLFIXER_SIM_TAPE={spec}"
+        );
+    }
+    // Both kernel kill switches together: the original full-sweep walker.
+    assert_eq!(
+        table1_fix_rates_with(
+            "2",
+            &results_dir,
+            &[("RTLFIXER_SIM_TAPE", "0"), ("RTLFIXER_SIM_EVENT", "0")],
+        ),
+        unset,
+        "fix rates diverged with both sim kill switches off"
+    );
 }

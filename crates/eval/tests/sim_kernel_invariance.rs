@@ -1,24 +1,38 @@
-//! Sim-kernel invariance: the interned, event-driven simulation kernel must
-//! be bit-identical to the tree-walking interpreter it replaced. Two pins,
+//! Sim-kernel invariance: every simulation backend must be bit-identical
+//! to the tree-walking interpreter the kernel replaced. The backends form
+//! a three-way A/B/C matrix — (A) the full-sweep walker (event kernel
+//! off), (B) the interned event-driven kernel, (C) the compiled
+//! register-bytecode tape — driven through `force_sim_backends`. Two pins,
 //! both recorded against the pre-kernel implementation:
 //!
 //! 1. The full `table1 --quick` episode grid (14 cells x 40 entries x 3
 //!    repeats) reproduces the recorded fix rates exactly, at `--jobs 1` and
-//!    `--jobs 4`.
+//!    `--jobs 4`, under every backend.
 //! 2. A verdict transcript over every benchmark problem in all three suites
 //!    (solution at two stimulus seeds, plus a seeded functional mutant)
-//!    hashes to the recorded fingerprint. This is the part that actually
-//!    drives `run_testbench` cycle-by-cycle — table1's fix loop is
-//!    compile-feedback only.
+//!    hashes to the recorded fingerprint under every backend. This is the
+//!    part that actually drives `run_testbench` cycle-by-cycle — table1's
+//!    fix loop is compile-feedback only.
 //!
-//! If either pin moves, the kernel changed simulation semantics; that is a
-//! correctness bug, not a baseline to re-record.
+//! If either pin moves for any backend, that backend changed simulation
+//! semantics; that is a correctness bug, not a baseline to re-record.
+
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rtlfixer_dataset::{mutate, rtllm, verilog_eval_human, verilog_eval_machine, Verdict};
 use rtlfixer_eval::experiments::table1::{table1, FixRateConfig};
+use rtlfixer_sim::force_sim_backends;
+
+/// The backend switches are process-global; tests forcing them must not
+/// overlap.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// `(label, event kernel, tape)` per matrix point.
+const BACKENDS: [(&str, bool, bool); 3] =
+    [("sweep", false, false), ("event", true, false), ("tape", true, true)];
 
 /// The `--quick` grid's fix rates, recorded before the kernel swap
 /// (bit-exact: shortest-roundtrip literals parse back to the same f64).
@@ -45,19 +59,24 @@ fn quick_grid_rates(jobs: usize) -> Vec<u64> {
 }
 
 #[test]
-fn table1_quick_grid_matches_recorded_fingerprint() {
+fn table1_quick_grid_matches_recorded_fingerprint_under_every_backend() {
+    let _guard = BACKEND_LOCK.lock().unwrap();
     rtlfixer_faults::set_global_spec(None);
     let pinned: Vec<u64> = QUICK_GRID_RATES.iter().map(|r| r.to_bits()).collect();
-    for jobs in [1, 4] {
-        let measured = quick_grid_rates(jobs);
-        assert_eq!(
-            measured,
-            pinned,
-            "table1 --quick grid diverged from the pre-kernel recording at --jobs {jobs}: \
-             {:?}",
-            measured.iter().map(|bits| f64::from_bits(*bits)).collect::<Vec<_>>()
-        );
+    for (label, event, tape) in BACKENDS {
+        force_sim_backends(Some(event), Some(tape));
+        for jobs in [1, 4] {
+            let measured = quick_grid_rates(jobs);
+            assert_eq!(
+                measured,
+                pinned,
+                "table1 --quick grid diverged from the pre-kernel recording on the \
+                 `{label}` backend at --jobs {jobs}: {:?}",
+                measured.iter().map(|bits| f64::from_bits(*bits)).collect::<Vec<_>>()
+            );
+        }
     }
+    force_sim_backends(None, None);
 }
 
 /// Verdict transcript fingerprint recorded against the pre-kernel
@@ -90,16 +109,52 @@ fn verdict_transcript() -> String {
     transcript
 }
 
+/// `render_sim_feedback` quotes `SimError::Unstable` verbatim to the
+/// repair agent, so the still-toggling net names it reports must not
+/// depend on which kernel is enabled — otherwise agent transcripts (and
+/// anything fingerprinted over them) would fork per backend.
 #[test]
-fn testbench_verdicts_match_recorded_fingerprint() {
-    let transcript = verdict_transcript();
-    // Non-vacuity: the transcript must exercise both the pass and the
-    // mismatch paths of the simulator, not just compile errors.
-    assert!(transcript.contains('P'), "no passing verdicts:\n{transcript}");
-    assert!(transcript.contains('M'), "no mismatch verdicts:\n{transcript}");
-    let fingerprint = format!("{:032x}", rtlfixer_cache::fingerprint128(transcript.as_bytes()));
-    assert_eq!(
-        fingerprint, VERDICT_FINGERPRINT,
-        "simulation verdicts diverged from the pre-kernel recording; transcript:\n{transcript}"
-    );
+fn unstable_feedback_is_identical_under_every_backend() {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    let problem = rtlfixer_dataset::suites::find_problem("human/and8").expect("exists");
+    let oscillating = problem
+        .solution
+        .replace("endmodule", "wire osc_n;\nassign osc_n = ~osc_n;\nendmodule");
+    let mut rendered = Vec::new();
+    for (label, event, tape) in BACKENDS {
+        force_sim_backends(Some(event), Some(tape));
+        let feedback = rtlfixer_eval::sim_debug::render_sim_feedback(&problem, &oscillating)
+            .expect("unstable designs still render feedback");
+        assert!(feedback.contains("osc_n"), "`{label}`: {feedback}");
+        rendered.push((label, feedback));
+    }
+    force_sim_backends(None, None);
+    let (baseline_label, baseline) = &rendered[0];
+    for (label, feedback) in &rendered[1..] {
+        assert_eq!(
+            feedback, baseline,
+            "unstable feedback diverged between `{baseline_label}` and `{label}`"
+        );
+    }
+}
+
+#[test]
+fn testbench_verdicts_match_recorded_fingerprint_under_every_backend() {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    for (label, event, tape) in BACKENDS {
+        force_sim_backends(Some(event), Some(tape));
+        let transcript = verdict_transcript();
+        // Non-vacuity: the transcript must exercise both the pass and the
+        // mismatch paths of the simulator, not just compile errors.
+        assert!(transcript.contains('P'), "no passing verdicts:\n{transcript}");
+        assert!(transcript.contains('M'), "no mismatch verdicts:\n{transcript}");
+        let fingerprint =
+            format!("{:032x}", rtlfixer_cache::fingerprint128(transcript.as_bytes()));
+        assert_eq!(
+            fingerprint, VERDICT_FINGERPRINT,
+            "simulation verdicts diverged from the pre-kernel recording on the \
+             `{label}` backend; transcript:\n{transcript}"
+        );
+    }
+    force_sim_backends(None, None);
 }

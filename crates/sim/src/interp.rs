@@ -20,25 +20,35 @@
 //!   sweep against a first-touch snapshot, which is equivalent to the old
 //!   whole-state compare (untouched signals cannot differ).
 //!
+//! * When a process carries a compiled tape ([`crate::tape`]), execution
+//!   dispatches over its flat register bytecode (with a two-state `u64`
+//!   fast variant when the input cone is x-free) instead of walking the
+//!   `KExpr` tree — same semantics, no per-evaluation recursion.
+//!
 //! Setting `RTLFIXER_SIM_EVENT=0` (or `off`/`false`) disables the
-//! event-driven filter and re-runs every combinational process each sweep —
-//! a debugging fallback that must produce bit-identical results.
+//! event-driven filter and re-runs every combinational process each sweep;
+//! `RTLFIXER_SIM_TAPE=0` (or `off`/`false`) disables tape execution and
+//! walks the trees. Both are debugging fallbacks that must produce
+//! bit-identical results.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use rtlfixer_verilog::ast::{AssignOp, BinaryOp, CaseKind, Edge, SelectMode, UnaryOp};
+use rtlfixer_verilog::const_eval::clog2;
 
 use crate::elab::Design;
 use crate::lower::{
     KBase, KExpr, KExprKind, KLval, KProc, KProcBody, KStmt, KVarRef, Kernel, SigId,
 };
+use crate::tape::{bitmask, FOp, FastTape, Op, Tape, TapeStats};
 use crate::value::{Bit, LogicVec, ReduceOp};
 
 /// Maximum iterations of the combinational settle loop before the design is
 /// declared unstable (combinational oscillation).
 const MAX_SETTLE: usize = 64;
 /// Maximum iterations of any procedural loop.
-const MAX_LOOP: usize = 65_536;
+pub(crate) const MAX_LOOP: usize = 65_536;
 /// Maximum user-function call depth.
 const MAX_CALL_DEPTH: usize = 32;
 
@@ -178,16 +188,56 @@ fn set_state(state: &mut [StateValue], log: &mut Option<WriteLog<'_>>, id: SigId
 
 // ---- the simulator ----------------------------------------------------------
 
+/// In-process backend overrides (for A/B testing): 0 = follow the
+/// environment, 1 = force off, 2 = force on.
+static FORCE_EVENT: AtomicU8 = AtomicU8::new(0);
+static FORCE_TAPE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the simulation backend selection for the current process,
+/// bypassing the `RTLFIXER_SIM_EVENT` / `RTLFIXER_SIM_TAPE` environment
+/// switches. `None` restores environment-driven behaviour. Intended for
+/// in-process A/B invariance tests and benchmarks.
+#[doc(hidden)]
+pub fn force_sim_backends(event: Option<bool>, tape: Option<bool>) {
+    let enc = |v: Option<bool>| match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    FORCE_EVENT.store(enc(event), Ordering::Relaxed);
+    FORCE_TAPE.store(enc(tape), Ordering::Relaxed);
+}
+
 /// Returns whether the event-driven settle filter is enabled (default yes;
 /// `RTLFIXER_SIM_EVENT=0|off|false` forces the full-sweep fallback).
 fn event_driven() -> bool {
     static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *MODE.get_or_init(|| {
-        !matches!(
-            std::env::var("RTLFIXER_SIM_EVENT").as_deref(),
-            Ok("0") | Ok("off") | Ok("false")
-        )
-    })
+    match FORCE_EVENT.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *MODE.get_or_init(|| {
+            !matches!(
+                std::env::var("RTLFIXER_SIM_EVENT").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            )
+        }),
+    }
+}
+
+/// Returns whether compiled-tape execution is enabled (default yes;
+/// `RTLFIXER_SIM_TAPE=0|off|false` forces the tree-walking kernel).
+fn tape_enabled() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    match FORCE_TAPE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *MODE.get_or_init(|| {
+            !matches!(
+                std::env::var("RTLFIXER_SIM_TAPE").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            )
+        }),
+    }
 }
 
 /// A cycle-level simulator over an elaborated design.
@@ -225,6 +275,32 @@ pub struct Simulator {
     nba: Vec<NbaWrite>,
     /// Scratch: procedural locals slab (reused across processes).
     locals: Vec<LogicVec>,
+    /// Scratch buffers for tape execution (reused across processes).
+    scratch: TapeScratch,
+    /// Two-state fast-path runs completed without falling back.
+    fast_hits: u64,
+    /// Two-state fast-path runs that fell back to four-state ops.
+    fast_falls: u64,
+    /// Counter deltas not yet flushed to `rtlfixer-obs`.
+    pending_hits: u64,
+    pending_falls: u64,
+}
+
+/// Reusable register files and queues for the tape executors.
+#[derive(Debug, Clone, Default)]
+struct TapeScratch {
+    /// Four-state virtual registers (`[0, nlocals)` alias the locals slab).
+    regs: Vec<LogicVec>,
+    /// Loop counters.
+    ctrs: Vec<u64>,
+    /// Two-state registers.
+    fregs: Vec<u64>,
+    /// Two-state loop counters.
+    fctrs: Vec<u64>,
+    /// Original cone values captured by the fast prologue.
+    forig: Vec<u64>,
+    /// Non-blocking writes buffered by a fast run, committed on success.
+    fnba: Vec<NbaWrite>,
 }
 
 impl Simulator {
@@ -265,7 +341,26 @@ impl Simulator {
             touched: Vec::new(),
             nba: Vec::new(),
             locals: Vec::new(),
+            scratch: TapeScratch::default(),
+            fast_hits: 0,
+            fast_falls: 0,
+            pending_hits: 0,
+            pending_falls: 0,
         }
+    }
+
+    /// Tape-compilation statistics for this design's kernel (lower-once,
+    /// shared across simulators of the same design).
+    pub fn tape_stats(&self) -> TapeStats {
+        self.kernel.tape_stats
+    }
+
+    /// Two-state fast-path runtime counters accumulated by this simulator:
+    /// `(hits, fallbacks)` — runs completed entirely in two-state mode vs
+    /// runs that re-executed on the four-state ops after x/z entered the
+    /// input cone.
+    pub fn tape_runtime(&self) -> (u64, u64) {
+        (self.fast_hits, self.fast_falls)
     }
 
     /// Resets every signal (and memory word) back to zero — the state a
@@ -382,6 +477,14 @@ impl Simulator {
                 self.prev_dirty.clear_all();
                 self.curr_dirty.clear_all();
                 rtlfixer_obs::counter_add("sim.settle_sweeps", sweep as u64 + 1);
+                if self.pending_hits > 0 {
+                    rtlfixer_obs::counter_add("sim.tape_fast_hits", self.pending_hits);
+                    self.pending_hits = 0;
+                }
+                if self.pending_falls > 0 {
+                    rtlfixer_obs::counter_add("sim.tape_fast_fallbacks", self.pending_falls);
+                    self.pending_falls = 0;
+                }
                 return Ok(());
             }
             std::mem::swap(&mut self.prev_dirty, &mut self.curr_dirty);
@@ -421,8 +524,39 @@ impl Simulator {
         let mut nba = std::mem::take(&mut self.nba);
         nba.clear();
         let mut locals = std::mem::take(&mut self.locals);
+        let use_tape = tape_enabled();
         for proc in &kernel.seq {
             if proc.edges.iter().any(|(e, s)| *e == edge && s == signal) {
+                if use_tape {
+                    if let Some(tape) = &proc.tape {
+                        let mut scratch = std::mem::take(&mut self.scratch);
+                        let outcome = {
+                            let mut log =
+                                Some(WriteLog { dirty: &mut self.prev_dirty, sweep: None });
+                            run_tape_auto(
+                                &kernel,
+                                &mut self.state,
+                                tape,
+                                &mut scratch,
+                                &mut Some(&mut nba),
+                                &mut log,
+                            )
+                        };
+                        self.scratch = scratch;
+                        match outcome {
+                            Some(true) => {
+                                self.fast_hits += 1;
+                                self.pending_hits += 1;
+                            }
+                            Some(false) => {
+                                self.fast_falls += 1;
+                                self.pending_falls += 1;
+                            }
+                            None => {}
+                        }
+                        continue;
+                    }
+                }
                 locals.clear();
                 locals.resize(proc.nlocals as usize, LogicVec::zeros(1));
                 let mut log = Some(WriteLog { dirty: &mut self.prev_dirty, sweep: None });
@@ -464,6 +598,56 @@ impl Simulator {
     /// (`sweep`), writes dirty `curr_dirty` and journal into the touched
     /// log; outside a sweep they dirty `prev_dirty` as pending events.
     fn run_proc(&mut self, kernel: &Kernel, proc: &KProc, sweep: bool) {
+        if tape_enabled() {
+            if let Some(tape) = &proc.tape {
+                // The tape assumed a vector-valued bind target at compile
+                // time; if elaboration aliased it to a memory, keep the
+                // tree path (which skips the copy).
+                let vec_ok = match &proc.body {
+                    KProcBody::BindOut { child: Some(id), .. } => {
+                        matches!(self.state[*id as usize], StateValue::Vec(_))
+                    }
+                    _ => true,
+                };
+                if vec_ok {
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    let outcome = {
+                        let mut log = Some(if sweep {
+                            WriteLog {
+                                dirty: &mut self.curr_dirty,
+                                sweep: Some(SweepLog {
+                                    mask: &mut self.touched_mask,
+                                    touched: &mut self.touched,
+                                }),
+                            }
+                        } else {
+                            WriteLog { dirty: &mut self.prev_dirty, sweep: None }
+                        });
+                        run_tape_auto(
+                            kernel,
+                            &mut self.state,
+                            tape,
+                            &mut scratch,
+                            &mut None,
+                            &mut log,
+                        )
+                    };
+                    self.scratch = scratch;
+                    match outcome {
+                        Some(true) => {
+                            self.fast_hits += 1;
+                            self.pending_hits += 1;
+                        }
+                        Some(false) => {
+                            self.fast_falls += 1;
+                            self.pending_falls += 1;
+                        }
+                        None => {}
+                    }
+                    return;
+                }
+            }
+        }
         let mut locals = std::mem::take(&mut self.locals);
         locals.clear();
         locals.resize(proc.nlocals as usize, LogicVec::zeros(1));
@@ -533,21 +717,7 @@ fn eval(k: &Kernel, state: &[StateValue], locals: &[LogicVec], expr: &KExpr, dep
         },
         KExprKind::Unary { op, operand } => {
             let v = eval(k, state, locals, operand, depth);
-            match op {
-                UnaryOp::Plus => v,
-                UnaryOp::Neg => v.neg(),
-                UnaryOp::Not => match v.truthy() {
-                    Some(b) => LogicVec::from_u64(1, (!b) as u64),
-                    None => LogicVec::xs(1),
-                },
-                UnaryOp::BitNot => v.not(),
-                UnaryOp::RedAnd => v.reduce(ReduceOp::And),
-                UnaryOp::RedOr => v.reduce(ReduceOp::Or),
-                UnaryOp::RedXor => v.reduce(ReduceOp::Xor),
-                UnaryOp::RedNand => v.reduce(ReduceOp::And).not(),
-                UnaryOp::RedNor => v.reduce(ReduceOp::Or).not(),
-                UnaryOp::RedXnor => v.reduce(ReduceOp::Xor).not(),
-            }
+            eval_unary(*op, v)
         }
         KExprKind::Binary { op, lhs, rhs } => {
             let a = eval(k, state, locals, lhs, depth);
@@ -563,15 +733,7 @@ fn eval(k: &Kernel, state: &[StateValue], locals: &[LogicVec], expr: &KExpr, dep
                     // Verilog merge semantics: equal bits survive, else x.
                     let t = eval(k, state, locals, then_expr, depth);
                     let e = eval(k, state, locals, else_expr, depth);
-                    let width = t.width().max(e.width());
-                    let (t, e) = (t.resize(width), e.resize(width));
-                    LogicVec::from_bits((0..width).map(|i| {
-                        if t.bit(i) == e.bit(i) {
-                            t.bit(i)
-                        } else {
-                            Bit::X
-                        }
-                    }))
+                    merge_arms(&t, &e)
                 }
             }
         }
@@ -587,7 +749,7 @@ fn eval(k: &Kernel, state: &[StateValue], locals: &[LogicVec], expr: &KExpr, dep
             acc.unwrap_or_else(|| LogicVec::zeros(1))
         }
         KExprKind::Replicate { count, value } => {
-            let n = eval(k, state, locals, count, depth).to_u64().unwrap_or(1).clamp(1, 4096) as u32;
+            let n = replicate_count(&eval(k, state, locals, count, depth));
             eval(k, state, locals, value, depth).replicate(n)
         }
         KExprKind::Index { base, index } => {
@@ -602,12 +764,8 @@ fn eval(k: &Kernel, state: &[StateValue], locals: &[LogicVec], expr: &KExpr, dep
         }
         KExprKind::Call { func, args } => call_function(k, state, locals, *func, args, depth),
         KExprKind::Clog2(arg) => {
-            let v = arg
-                .as_ref()
-                .map(|a| eval(k, state, locals, a, depth))
-                .and_then(|v| v.to_u64())
-                .unwrap_or(0);
-            LogicVec::from_u64(32, rtlfixer_verilog::const_eval::clog2(v as i64) as u64)
+            let v = arg.as_ref().map(|a| eval(k, state, locals, a, depth));
+            clog2_val(v.as_ref())
         }
         KExprKind::Pass(arg) => arg
             .as_ref()
@@ -673,7 +831,83 @@ fn eval_sized(
     }
 }
 
-fn eval_binary(op: BinaryOp, a: &LogicVec, b: &LogicVec) -> LogicVec {
+/// The unary-operator arm of [`eval`], shared with the tape compiler's
+/// constant folder and the tape executor.
+pub(crate) fn eval_unary(op: UnaryOp, v: LogicVec) -> LogicVec {
+    match op {
+        UnaryOp::Plus => v,
+        UnaryOp::Neg => v.neg(),
+        UnaryOp::Not => match v.truthy() {
+            Some(b) => LogicVec::from_u64(1, (!b) as u64),
+            None => LogicVec::xs(1),
+        },
+        UnaryOp::BitNot => v.not(),
+        UnaryOp::RedAnd => v.reduce(ReduceOp::And),
+        UnaryOp::RedOr => v.reduce(ReduceOp::Or),
+        UnaryOp::RedXor => v.reduce(ReduceOp::Xor),
+        UnaryOp::RedNand => v.reduce(ReduceOp::And).not(),
+        UnaryOp::RedNor => v.reduce(ReduceOp::Or).not(),
+        UnaryOp::RedXnor => v.reduce(ReduceOp::Xor).not(),
+    }
+}
+
+/// Verilog merge of an x-condition ternary: equal bits survive, else x.
+pub(crate) fn merge_arms(t: &LogicVec, e: &LogicVec) -> LogicVec {
+    let width = t.width().max(e.width());
+    let (t, e) = (t.resize(width), e.resize(width));
+    LogicVec::from_bits(
+        (0..width).map(|i| if t.bit(i) == e.bit(i) { t.bit(i) } else { Bit::X }),
+    )
+}
+
+/// Replication-count clamp (unknown counts default to 1).
+pub(crate) fn replicate_count(v: &LogicVec) -> u32 {
+    v.to_u64().unwrap_or(1).clamp(1, 4096) as u32
+}
+
+/// `$clog2` result (missing/x arguments count as 0).
+pub(crate) fn clog2_val(arg: Option<&LogicVec>) -> LogicVec {
+    let v = arg.and_then(|v| v.to_u64()).unwrap_or(0);
+    LogicVec::from_u64(32, rtlfixer_verilog::const_eval::clog2(v as i64) as u64)
+}
+
+/// Zero-based bit index into a computed value (local / expression bases).
+pub(crate) fn index_bit(v: &LogicVec, idx: i64) -> LogicVec {
+    if idx >= 0 && (idx as u32) < v.width() {
+        v.slice(idx as u32, idx as u32)
+    } else {
+        LogicVec::xs(1)
+    }
+}
+
+/// `(hi_idx, lo_idx)` of a part select, before offset mapping.
+pub(crate) fn select_bounds(l: i64, r: i64, mode: SelectMode) -> (i64, i64) {
+    match mode {
+        SelectMode::Range => (l, r),
+        SelectMode::IndexedUp => (l + r - 1, l),
+        SelectMode::IndexedDown => (l, l - r + 1),
+    }
+}
+
+/// The generic (zero-based) part-select tail of [`eval_select`].
+pub(crate) fn select_generic(v: &LogicVec, hi_idx: i64, lo_idx: i64) -> LogicVec {
+    let (hi, lo) = (hi_idx.max(lo_idx), hi_idx.min(lo_idx));
+    if lo < 0 {
+        return LogicVec::xs((hi - lo + 1) as u32);
+    }
+    v.slice(hi as u32, lo as u32)
+}
+
+/// One case-label comparison.
+pub(crate) fn case_hit(kind: CaseKind, s: &LogicVec, l: &LogicVec) -> bool {
+    match kind {
+        CaseKind::Case => s.eq_case(l).to_u64() == Some(1),
+        CaseKind::Casez => s.matches_wildcard(l, false),
+        CaseKind::Casex => s.matches_wildcard(l, true),
+    }
+}
+
+pub(crate) fn eval_binary(op: BinaryOp, a: &LogicVec, b: &LogicVec) -> LogicVec {
     use BinaryOp::*;
     let width = a.width().max(b.width());
     match op {
@@ -756,12 +990,7 @@ fn eval_index(
     match base {
         KBase::Local(slot) => {
             // Locals: raw zero-based indexing.
-            let v = &locals[*slot as usize];
-            if idx >= 0 && (idx as u32) < v.width() {
-                v.slice(idx as u32, idx as u32)
-            } else {
-                LogicVec::xs(1)
-            }
+            index_bit(&locals[*slot as usize], idx)
         }
         KBase::Sig(id) => {
             let def = &k.sigs[*id as usize].def;
@@ -778,12 +1007,7 @@ fn eval_index(
         }
         KBase::Expr(e) => {
             // Index on a computed expression: zero-based.
-            let v = eval(k, state, locals, e, depth);
-            if idx >= 0 && (idx as u32) < v.width() {
-                v.slice(idx as u32, idx as u32)
-            } else {
-                LogicVec::xs(1)
-            }
+            index_bit(&eval(k, state, locals, e, depth), idx)
         }
     }
 }
@@ -802,11 +1026,7 @@ fn eval_select(
     let l = eval(k, state, locals, left, depth).to_u64().map(|v| v as i64);
     let r = eval(k, state, locals, right, depth).to_u64().map(|v| v as i64);
     let (Some(l), Some(r)) = (l, r) else { return LogicVec::xs(1) };
-    let (hi_idx, lo_idx) = match mode {
-        SelectMode::Range => (l, r),
-        SelectMode::IndexedUp => (l + r - 1, l),
-        SelectMode::IndexedDown => (l, l - r + 1),
-    };
+    let (hi_idx, lo_idx) = select_bounds(l, r, mode);
     if let KBase::Sig(id) = base {
         let def = &k.sigs[*id as usize].def;
         if let StateValue::Vec(v) = &state[*id as usize] {
@@ -824,11 +1044,7 @@ fn eval_select(
         KBase::Sig(_) => LogicVec::xs(1),
         KBase::Expr(e) => eval(k, state, locals, e, depth),
     };
-    let (hi, lo) = (hi_idx.max(lo_idx), hi_idx.min(lo_idx));
-    if lo < 0 {
-        return LogicVec::xs((hi - lo + 1) as u32);
-    }
-    v.slice(hi as u32, lo as u32)
+    select_generic(&v, hi_idx, lo_idx)
 }
 
 fn call_function(
@@ -903,12 +1119,7 @@ fn exec(
             for arm in arms.iter() {
                 for label in arm.labels.iter() {
                     let l = eval(k, state, locals, label, depth);
-                    let hit = match kind {
-                        CaseKind::Case => s.eq_case(&l).to_u64() == Some(1),
-                        CaseKind::Casez => s.matches_wildcard(&l, false),
-                        CaseKind::Casex => s.matches_wildcard(&l, true),
-                    };
-                    if hit {
+                    if case_hit(*kind, &s, &l) {
                         exec(k, state, locals, &arm.body, nba, log, depth);
                         return;
                     }
@@ -1200,6 +1411,723 @@ fn commit(state: &mut [StateValue], log: &mut Option<WriteLog<'_>>, write: NbaWr
             }
         }
     }
+}
+
+// ---- tape execution ---------------------------------------------------------
+
+/// Routes a tape signal write: queued when the op is non-blocking *and* an
+/// NBA queue is active, committed immediately otherwise (mirroring the
+/// tree walker, where non-blocking assignments in combinational context
+/// commit like blocking ones).
+fn tape_dispatch(
+    state: &mut [StateValue],
+    log: &mut Option<WriteLog<'_>>,
+    nba: &mut Option<&mut Vec<NbaWrite>>,
+    nb: bool,
+    write: NbaWrite,
+) {
+    if nb {
+        dispatch(state, log, nba, write);
+    } else {
+        commit(state, log, write);
+    }
+}
+
+/// The `KBase::Sig` part-select path of [`eval_select`], over pre-evaluated
+/// bounds (used by `Op::SelectSig` / `Op::SelectSigW`).
+fn select_sig_value(
+    k: &Kernel,
+    state: &[StateValue],
+    sig: SigId,
+    l: Option<i64>,
+    r: Option<i64>,
+    mode: SelectMode,
+) -> LogicVec {
+    let (Some(l), Some(r)) = (l, r) else { return LogicVec::xs(1) };
+    let (hi_idx, lo_idx) = select_bounds(l, r, mode);
+    let def = &k.sigs[sig as usize].def;
+    if let StateValue::Vec(v) = &state[sig as usize] {
+        let (hi_off, lo_off) = match (def.offset(hi_idx), def.offset(lo_idx)) {
+            (Some(a), Some(b)) => (a.max(b), a.min(b)),
+            _ => return LogicVec::xs((hi_idx.abs_diff(lo_idx) + 1) as u32),
+        };
+        return v.slice(hi_off, lo_off);
+    }
+    // Memories: a whole-array read is a 1-bit x, selected generically.
+    select_generic(&LogicVec::xs(1), hi_idx, lo_idx)
+}
+
+/// Runs `tape`, attempting the two-state fast variant first when present.
+/// Returns `Some(true)` for a completed fast run, `Some(false)` when the
+/// fast run aborted (x/z in the cone or a would-be-x op) and the
+/// four-state ops re-ran, `None` when no fast variant exists.
+fn run_tape_auto(
+    k: &Kernel,
+    state: &mut [StateValue],
+    tape: &Tape,
+    scratch: &mut TapeScratch,
+    nba: &mut Option<&mut Vec<NbaWrite>>,
+    log: &mut Option<WriteLog<'_>>,
+) -> Option<bool> {
+    if let Some(fast) = &tape.fast {
+        let TapeScratch { fregs, fctrs, forig, fnba, .. } = scratch;
+        if run_fast_tape(k, state, fast, tape.nctrs, fregs, fctrs, forig, fnba, nba, log) {
+            return Some(true);
+        }
+        // The aborted fast run buffered everything: no state was mutated.
+        run_tape(k, state, tape, &mut scratch.regs, &mut scratch.ctrs, nba, log);
+        return Some(false);
+    }
+    run_tape(k, state, tape, &mut scratch.regs, &mut scratch.ctrs, nba, log);
+    None
+}
+
+/// Executes a four-state tape. Register slots `[0, nlocals)` are the
+/// procedural locals slab (handed to [`exec`] verbatim for [`Op::Tree`]
+/// escapes); every op mirrors one step of the tree walker exactly, via the
+/// same semantic helpers.
+fn run_tape(
+    k: &Kernel,
+    state: &mut [StateValue],
+    tape: &Tape,
+    regs: &mut Vec<LogicVec>,
+    ctrs: &mut Vec<u64>,
+    nba: &mut Option<&mut Vec<NbaWrite>>,
+    log: &mut Option<WriteLog<'_>>,
+) {
+    regs.clear();
+    regs.resize(tape.nregs as usize, LogicVec::zeros(1));
+    ctrs.clear();
+    ctrs.resize(tape.nctrs as usize, 0);
+    let nlocals = tape.nlocals as usize;
+    let ops = &tape.ops;
+    let mut pc = 0usize;
+    while pc < ops.len() {
+        match &ops[pc] {
+            Op::Const { dst, c } => regs[*dst as usize] = tape.consts[*c as usize].clone(),
+            Op::LoadSig { dst, sig } => {
+                regs[*dst as usize] = match &state[*sig as usize] {
+                    StateValue::Vec(v) => v.clone(),
+                    StateValue::Array(_) => LogicVec::xs(1),
+                }
+            }
+            Op::LoadWord { dst, sig, slot } => {
+                regs[*dst as usize] = match &state[*sig as usize] {
+                    StateValue::Array(words) => words[*slot].clone(),
+                    // A memory whose state slot was overwritten to a vector:
+                    // read like an out-of-range word.
+                    StateValue::Vec(_) => LogicVec::xs(k.sigs[*sig as usize].def.width),
+                }
+            }
+            Op::Copy { dst, src } => regs[*dst as usize] = regs[*src as usize].clone(),
+            Op::Unary { dst, op, src } => {
+                let v = eval_unary(*op, regs[*src as usize].clone());
+                regs[*dst as usize] = v;
+            }
+            Op::Binary { dst, op, a, b } => {
+                let v = eval_binary(*op, &regs[*a as usize], &regs[*b as usize]);
+                regs[*dst as usize] = v;
+            }
+            Op::Resize { dst, src, width } => {
+                let v = regs[*src as usize].resize(*width);
+                regs[*dst as usize] = v;
+            }
+            Op::Merge { dst, t, e } => {
+                let v = merge_arms(&regs[*t as usize], &regs[*e as usize]);
+                regs[*dst as usize] = v;
+            }
+            Op::Concat { dst, parts } => {
+                let mut acc = regs[parts[0] as usize].clone();
+                for &p in &parts[1..] {
+                    acc = acc.concat(&regs[p as usize]);
+                }
+                regs[*dst as usize] = acc;
+            }
+            Op::ReplicateC { dst, src, count } => {
+                let v = regs[*src as usize].replicate(*count);
+                regs[*dst as usize] = v;
+            }
+            Op::ReplicateDyn { dst, count, val } => {
+                let n = replicate_count(&regs[*count as usize]);
+                let v = regs[*val as usize].replicate(n);
+                regs[*dst as usize] = v;
+            }
+            Op::Slice { dst, src, hi, lo } => {
+                let v = regs[*src as usize].slice(*hi, *lo);
+                regs[*dst as usize] = v;
+            }
+            Op::SliceSig { dst, sig, hi, lo } => {
+                regs[*dst as usize] = match &state[*sig as usize] {
+                    StateValue::Vec(v) => v.slice(*hi, *lo),
+                    StateValue::Array(_) => LogicVec::xs(*hi - *lo + 1),
+                }
+            }
+            Op::IndexSig { dst, sig, idx } => {
+                let def = &k.sigs[*sig as usize].def;
+                let v = match regs[*idx as usize].to_u64().map(|v| v as i64) {
+                    None => LogicVec::xs(1),
+                    Some(i) => match &state[*sig as usize] {
+                        StateValue::Array(words) => match def.word_offset(i) {
+                            Some(slot) => words[slot].clone(),
+                            None => LogicVec::xs(def.width),
+                        },
+                        StateValue::Vec(v) => match def.offset(i) {
+                            Some(off) => v.slice(off, off),
+                            None => LogicVec::xs(1),
+                        },
+                    },
+                };
+                regs[*dst as usize] = v;
+            }
+            Op::IndexVal { dst, base, idx } => {
+                let v = match regs[*idx as usize].to_u64().map(|v| v as i64) {
+                    None => LogicVec::xs(1),
+                    Some(i) => index_bit(&regs[*base as usize], i),
+                };
+                regs[*dst as usize] = v;
+            }
+            Op::IndexValC { dst, base, idx } => {
+                let v = index_bit(&regs[*base as usize], *idx);
+                regs[*dst as usize] = v;
+            }
+            Op::SelectSig { dst, sig, left, right, mode } => {
+                let l = regs[*left as usize].to_u64().map(|v| v as i64);
+                let r = regs[*right as usize].to_u64().map(|v| v as i64);
+                regs[*dst as usize] = select_sig_value(k, state, *sig, l, r, *mode);
+            }
+            Op::SelectSigW { dst, sig, left, span, mode } => {
+                let l = regs[*left as usize].to_u64().map(|v| v as i64);
+                regs[*dst as usize] = select_sig_value(k, state, *sig, l, Some(*span), *mode);
+            }
+            Op::SelectVal { dst, base, left, right, mode } => {
+                let l = regs[*left as usize].to_u64().map(|v| v as i64);
+                let r = regs[*right as usize].to_u64().map(|v| v as i64);
+                let v = match (l, r) {
+                    (Some(l), Some(r)) => {
+                        let (hi, lo) = select_bounds(l, r, *mode);
+                        select_generic(&regs[*base as usize], hi, lo)
+                    }
+                    _ => LogicVec::xs(1),
+                };
+                regs[*dst as usize] = v;
+            }
+            Op::SelectValW { dst, base, left, span, mode } => {
+                let v = match regs[*left as usize].to_u64().map(|v| v as i64) {
+                    Some(l) => {
+                        let (hi, lo) = select_bounds(l, *span, *mode);
+                        select_generic(&regs[*base as usize], hi, lo)
+                    }
+                    None => LogicVec::xs(1),
+                };
+                regs[*dst as usize] = v;
+            }
+            Op::Call { dst, func, args } => {
+                let f = &k.funcs[*func as usize];
+                let mut frame = vec![LogicVec::zeros(1); f.nlocals as usize];
+                for (&(slot, width), &arg) in f.args.iter().zip(args.iter()) {
+                    frame[slot as usize] = regs[arg as usize].resize(width);
+                }
+                frame[f.ret_slot as usize] = LogicVec::zeros(f.ret_width);
+                // Same side-effect isolation as `call_function`.
+                let mut shadow = state.to_vec();
+                exec(k, &mut shadow, &mut frame, &f.body, &mut None, &mut None, 1);
+                regs[*dst as usize] = frame[f.ret_slot as usize].clone();
+            }
+            Op::Clog2 { dst, src } => {
+                let v = clog2_val(Some(&regs[*src as usize]));
+                regs[*dst as usize] = v;
+            }
+            Op::ZeroLocal { slot, width } => regs[*slot as usize] = LogicVec::zeros(*width),
+            Op::StoreLocal { slot, src, .. } => {
+                // Locals resize to their *current* width, like the tree's
+                // whole-local write (the baked width serves the fast path).
+                let width = regs[*slot as usize].width();
+                let v = regs[*src as usize].resize(width);
+                regs[*slot as usize] = v;
+            }
+            Op::StoreLocalBits { slot, idx, src } => {
+                if let Some(i) = regs[*idx as usize].to_u64().map(|v| v as u32) {
+                    let value = regs[*src as usize].clone();
+                    write_local_bits(regs, *slot, i, i, value);
+                }
+            }
+            Op::StoreLocalBitsC { slot, hi, lo, src } => {
+                let value = regs[*src as usize].clone();
+                write_local_bits(regs, *slot, *hi, *lo, value);
+            }
+            Op::StoreLocalSel { slot, left, right, mode, src } => {
+                let l = regs[*left as usize].to_u64().unwrap_or(0) as i64;
+                let r = regs[*right as usize].to_u64().unwrap_or(0) as i64;
+                let (hi, lo) = match mode {
+                    SelectMode::Range => (l.max(r), l.min(r)),
+                    SelectMode::IndexedUp => (l + r - 1, l),
+                    SelectMode::IndexedDown => (l, l - r + 1),
+                };
+                if lo >= 0 {
+                    let value = regs[*src as usize].clone();
+                    write_local_bits(regs, *slot, hi as u32, lo as u32, value);
+                }
+            }
+            Op::SetSigVec { sig, src, width } => {
+                let v = regs[*src as usize].resize(*width);
+                set_state(state, log, *sig, StateValue::Vec(v));
+            }
+            Op::StoreWhole { sig, src, nb } => {
+                let value = regs[*src as usize].clone();
+                tape_dispatch(state, log, nba, *nb, NbaWrite { target: Target::Whole(*sig), value });
+            }
+            Op::StoreIndexSig { sig, idx, src, nb } => {
+                if let Some(i) = regs[*idx as usize].to_u64().map(|v| v as i64) {
+                    let def = &k.sigs[*sig as usize].def;
+                    let target = if def.words.is_some() {
+                        def.word_offset(i).map(|slot| Target::Word(*sig, slot))
+                    } else {
+                        def.offset(i).map(|off| Target::Bits(*sig, off, off))
+                    };
+                    if let Some(target) = target {
+                        let value = regs[*src as usize].clone();
+                        tape_dispatch(state, log, nba, *nb, NbaWrite { target, value });
+                    }
+                }
+            }
+            Op::StoreBitsC { sig, hi, lo, src, nb } => {
+                let value = regs[*src as usize].clone();
+                tape_dispatch(
+                    state,
+                    log,
+                    nba,
+                    *nb,
+                    NbaWrite { target: Target::Bits(*sig, *hi, *lo), value },
+                );
+            }
+            Op::StoreWordC { sig, slot, src, nb } => {
+                let value = regs[*src as usize].clone();
+                tape_dispatch(
+                    state,
+                    log,
+                    nba,
+                    *nb,
+                    NbaWrite { target: Target::Word(*sig, *slot), value },
+                );
+            }
+            Op::StoreWordBitsC { sig, slot, hi, lo, src, nb } => {
+                let value = regs[*src as usize].clone();
+                tape_dispatch(
+                    state,
+                    log,
+                    nba,
+                    *nb,
+                    NbaWrite { target: Target::WordBits(*sig, *slot, *hi, *lo), value },
+                );
+            }
+            Op::StoreSelSig { sig, word, left, right, mode, src, nb } => 'store: {
+                let Some(l) = regs[*left as usize].to_u64().map(|v| v as i64) else {
+                    break 'store;
+                };
+                let Some(r) = regs[*right as usize].to_u64().map(|v| v as i64) else {
+                    break 'store;
+                };
+                let (hi_idx, lo_idx) = match mode {
+                    SelectMode::Range => (l, r),
+                    SelectMode::IndexedUp => (l + r - 1, l),
+                    SelectMode::IndexedDown => (l, l - r + 1),
+                };
+                let def = &k.sigs[*sig as usize].def;
+                let target = if let Some(word) = word {
+                    let Some(widx) = regs[*word as usize].to_u64().map(|v| v as i64) else {
+                        break 'store;
+                    };
+                    let Some(slot) = def.word_offset(widx) else { break 'store };
+                    let Some(hi) = def.offset(hi_idx) else { break 'store };
+                    let Some(lo) = def.offset(lo_idx) else { break 'store };
+                    Target::WordBits(*sig, slot, hi.max(lo), hi.min(lo))
+                } else {
+                    let Some(hi) = def.offset(hi_idx) else { break 'store };
+                    let Some(lo) = def.offset(lo_idx) else { break 'store };
+                    Target::Bits(*sig, hi.max(lo), hi.min(lo))
+                };
+                let value = regs[*src as usize].clone();
+                tape_dispatch(state, log, nba, *nb, NbaWrite { target, value });
+            }
+            Op::Jump { to } => {
+                pc = *to as usize;
+                continue;
+            }
+            Op::BranchTruthy { cond, on_true, on_false, on_x } => {
+                pc = match regs[*cond as usize].truthy() {
+                    Some(true) => *on_true as usize,
+                    Some(false) => *on_false as usize,
+                    None => *on_x as usize,
+                };
+                continue;
+            }
+            Op::BranchMatch { kind, scrut, label, on_hit } => {
+                if case_hit(*kind, &regs[*scrut as usize], &regs[*label as usize]) {
+                    pc = *on_hit as usize;
+                    continue;
+                }
+            }
+            Op::ZeroCtr { ctr } => ctrs[*ctr as usize] = 0,
+            Op::IncCtrJumpLt { ctr, limit, to } => {
+                ctrs[*ctr as usize] += 1;
+                if ctrs[*ctr as usize] < *limit as u64 {
+                    pc = *to as usize;
+                    continue;
+                }
+            }
+            Op::RepeatInit { ctr, count } => {
+                ctrs[*ctr as usize] =
+                    regs[*count as usize].to_u64().unwrap_or(0).min(MAX_LOOP as u64);
+            }
+            Op::BranchCtrZeroDec { ctr, on_zero } => {
+                if ctrs[*ctr as usize] == 0 {
+                    pc = *on_zero as usize;
+                    continue;
+                }
+                ctrs[*ctr as usize] -= 1;
+            }
+            Op::Tree { stmt } => {
+                exec(k, state, &mut regs[..nlocals], stmt, nba, log, 0);
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// Executes a two-state fast tape. Returns `false` — strictly before any
+/// real state mutation — when the input cone holds x/z or an op would
+/// produce it (zero divisor, out-of-range select); the caller then re-runs
+/// the four-state tape. Signal writes are buffered in cone shadow
+/// registers (non-blocking ones in `fnba` when an NBA queue is active) and
+/// committed by the epilogue, reproducing the tree walker's `set_state`
+/// skip/dirty behaviour including change-then-revert dirtying.
+#[allow(clippy::too_many_arguments)]
+fn run_fast_tape(
+    k: &Kernel,
+    state: &mut [StateValue],
+    fast: &FastTape,
+    nctrs: u32,
+    fregs: &mut Vec<u64>,
+    fctrs: &mut Vec<u64>,
+    forig: &mut Vec<u64>,
+    fnba: &mut Vec<NbaWrite>,
+    nba: &mut Option<&mut Vec<NbaWrite>>,
+    log: &mut Option<WriteLog<'_>>,
+) -> bool {
+    fregs.clear();
+    fregs.resize(fast.nregs as usize, 0);
+    fctrs.clear();
+    fctrs.resize(nctrs as usize, 0);
+    forig.clear();
+    fnba.clear();
+    for c in fast.cone.iter() {
+        let raw = match &state[c.sig as usize] {
+            StateValue::Vec(v) => v.to_u64(),
+            StateValue::Array(_) => None,
+        };
+        let Some(raw) = raw else { return false };
+        fregs[c.reg as usize] = raw;
+        forig.push(raw);
+    }
+    // Non-blocking writes defer only when an NBA queue is active (edge
+    // context); in combinational context the tree commits them immediately.
+    let defer = nba.is_some();
+    // Bit i set: cone signal i was written with a differing value at some
+    // point (change-then-revert still dirties, like repeated `set_state`).
+    let mut sticky: u64 = 0;
+    let ops = &fast.ops;
+    let mut pc = 0usize;
+    while pc < ops.len() {
+        match &ops[pc] {
+            FOp::Nop => {}
+            FOp::Fallback => return false,
+            FOp::Const { dst, val } => fregs[*dst as usize] = *val,
+            FOp::Copy { dst, src } => fregs[*dst as usize] = fregs[*src as usize],
+            FOp::Not { dst, src, mask } => fregs[*dst as usize] = !fregs[*src as usize] & mask,
+            FOp::Neg { dst, src, mask } => {
+                fregs[*dst as usize] = fregs[*src as usize].wrapping_neg() & mask;
+            }
+            FOp::LogNot { dst, src } => {
+                fregs[*dst as usize] = (fregs[*src as usize] == 0) as u64;
+            }
+            FOp::Reduce { dst, src, mask, kind, neg } => {
+                let r = fregs[*src as usize];
+                let bit = match kind {
+                    0 => r == *mask,
+                    1 => r != 0,
+                    _ => r.count_ones() % 2 == 1,
+                };
+                fregs[*dst as usize] = (bit != *neg) as u64;
+            }
+            FOp::Add { dst, a, b, mask } => {
+                fregs[*dst as usize] = fregs[*a as usize].wrapping_add(fregs[*b as usize]) & mask;
+            }
+            FOp::Sub { dst, a, b, mask } => {
+                fregs[*dst as usize] = fregs[*a as usize].wrapping_sub(fregs[*b as usize]) & mask;
+            }
+            FOp::Mul { dst, a, b, mask } => {
+                fregs[*dst as usize] = fregs[*a as usize].wrapping_mul(fregs[*b as usize]) & mask;
+            }
+            FOp::Div { dst, a, b } => {
+                let d = fregs[*b as usize];
+                if d == 0 {
+                    return false;
+                }
+                fregs[*dst as usize] = fregs[*a as usize] / d;
+            }
+            FOp::Mod { dst, a, b } => {
+                let d = fregs[*b as usize];
+                if d == 0 {
+                    return false;
+                }
+                fregs[*dst as usize] = fregs[*a as usize] % d;
+            }
+            FOp::Pow { dst, a, b, mask } => {
+                let base = fregs[*a as usize];
+                let mut acc: u64 = 1;
+                for _ in 0..fregs[*b as usize].min(128) {
+                    acc = acc.wrapping_mul(base);
+                }
+                fregs[*dst as usize] = acc & mask;
+            }
+            FOp::And { dst, a, b } => {
+                fregs[*dst as usize] = fregs[*a as usize] & fregs[*b as usize];
+            }
+            FOp::Or { dst, a, b } => {
+                fregs[*dst as usize] = fregs[*a as usize] | fregs[*b as usize];
+            }
+            FOp::Xor { dst, a, b } => {
+                fregs[*dst as usize] = fregs[*a as usize] ^ fregs[*b as usize];
+            }
+            FOp::Xnor { dst, a, b, mask } => {
+                fregs[*dst as usize] = !(fregs[*a as usize] ^ fregs[*b as usize]) & mask;
+            }
+            FOp::Lt { dst, a, b, neg } => {
+                fregs[*dst as usize] =
+                    ((fregs[*a as usize] < fregs[*b as usize]) != *neg) as u64;
+            }
+            FOp::Eq { dst, a, b, neg } => {
+                fregs[*dst as usize] =
+                    ((fregs[*a as usize] == fregs[*b as usize]) != *neg) as u64;
+            }
+            FOp::LogAnd { dst, a, b } => {
+                fregs[*dst as usize] =
+                    (fregs[*a as usize] != 0 && fregs[*b as usize] != 0) as u64;
+            }
+            FOp::LogOr { dst, a, b } => {
+                fregs[*dst as usize] =
+                    (fregs[*a as usize] != 0 || fregs[*b as usize] != 0) as u64;
+            }
+            FOp::Shl { dst, a, b, width, mask } => {
+                let n = fregs[*b as usize];
+                fregs[*dst as usize] =
+                    if n >= *width as u64 { 0 } else { (fregs[*a as usize] << n) & mask };
+            }
+            FOp::Shr { dst, a, b, width } => {
+                let n = fregs[*b as usize];
+                fregs[*dst as usize] = if n >= *width as u64 { 0 } else { fregs[*a as usize] >> n };
+            }
+            FOp::Ashr { dst, a, b, width, mask } => {
+                let n = fregs[*b as usize];
+                let v = fregs[*a as usize];
+                let msb = (v >> (*width - 1)) & 1;
+                fregs[*dst as usize] = if n >= *width as u64 {
+                    if msb == 1 {
+                        *mask
+                    } else {
+                        0
+                    }
+                } else {
+                    let r = v >> n;
+                    if msb == 1 {
+                        r | (mask & !bitmask(*width - n as u32))
+                    } else {
+                        r
+                    }
+                };
+            }
+            FOp::Resize { dst, src, mask } => {
+                fregs[*dst as usize] = fregs[*src as usize] & mask;
+            }
+            FOp::Concat { dst, parts } => {
+                let mut acc: u64 = 0;
+                for &(r, w) in parts.iter() {
+                    // A 64-bit part can only be the sole part (total ≤ 64);
+                    // guard the shift anyway.
+                    acc = if w == 64 { fregs[r as usize] } else { (acc << w) | fregs[r as usize] };
+                }
+                fregs[*dst as usize] = acc;
+            }
+            FOp::ReplicateC { dst, src, count, width } => {
+                let v = fregs[*src as usize];
+                let mut acc: u64 = 0;
+                for _ in 0..*count {
+                    acc = if *width == 64 { v } else { (acc << *width) | v };
+                }
+                fregs[*dst as usize] = acc;
+            }
+            FOp::Slice { dst, src, lo, mask } => {
+                fregs[*dst as usize] = (fregs[*src as usize] >> lo) & mask;
+            }
+            FOp::IndexSig { dst, shadow, sig, idx } => {
+                let i = fregs[*idx as usize] as i64;
+                let Some(off) = k.sigs[*sig as usize].def.offset(i) else { return false };
+                fregs[*dst as usize] = (fregs[*shadow as usize] >> off) & 1;
+            }
+            FOp::IndexVal { dst, base, idx, basew } => {
+                let i = fregs[*idx as usize];
+                if i >= *basew as u64 {
+                    return false;
+                }
+                fregs[*dst as usize] = (fregs[*base as usize] >> i) & 1;
+            }
+            FOp::SelectSigW { dst, shadow, sig, left, span, mode } => {
+                let l = fregs[*left as usize] as i64;
+                let (hi_idx, lo_idx) = select_bounds(l, *span as i64, *mode);
+                let def = &k.sigs[*sig as usize].def;
+                let (Some(a), Some(b)) = (def.offset(hi_idx), def.offset(lo_idx)) else {
+                    return false;
+                };
+                fregs[*dst as usize] = (fregs[*shadow as usize] >> a.min(b)) & bitmask(*span);
+            }
+            FOp::SelectValW { dst, base, left, span, mode, basew } => {
+                let l = fregs[*left as usize] as i64;
+                let (hi_idx, lo_idx) = select_bounds(l, *span as i64, *mode);
+                if lo_idx < 0 || hi_idx >= *basew as i64 {
+                    return false;
+                }
+                fregs[*dst as usize] = (fregs[*base as usize] >> lo_idx as u32) & bitmask(*span);
+            }
+            FOp::Clog2 { dst, src } => {
+                fregs[*dst as usize] = clog2(fregs[*src as usize] as i64) as u64 & bitmask(32);
+            }
+            FOp::Zero { dst } => fregs[*dst as usize] = 0,
+            FOp::StoreWhole { shadow, cone, mask, src, width, nb, sig } => {
+                let raw = fregs[*src as usize] & mask;
+                if *nb && defer {
+                    fnba.push(NbaWrite {
+                        target: Target::Whole(*sig),
+                        value: LogicVec::from_u64(*width, raw),
+                    });
+                } else if fregs[*shadow as usize] != raw {
+                    sticky |= 1 << *cone;
+                    fregs[*shadow as usize] = raw;
+                }
+            }
+            FOp::StoreBitsC { shadow, cone, hi, lo, src, nb, sig } => {
+                let span = *hi - *lo + 1;
+                let chunk = fregs[*src as usize] & bitmask(span);
+                if *nb && defer {
+                    fnba.push(NbaWrite {
+                        target: Target::Bits(*sig, *hi, *lo),
+                        value: LogicVec::from_u64(span, chunk),
+                    });
+                } else {
+                    let cur = fregs[*shadow as usize];
+                    let new = (cur & !(bitmask(span) << lo)) | (chunk << lo);
+                    if new != cur {
+                        sticky |= 1 << *cone;
+                        fregs[*shadow as usize] = new;
+                    }
+                }
+            }
+            FOp::StoreIndexSig { shadow, cone, idx, src, nb, sig } => {
+                let i = fregs[*idx as usize] as i64;
+                // Out-of-range indices drop the write, like the tree path.
+                if let Some(off) = k.sigs[*sig as usize].def.offset(i) {
+                    let b = fregs[*src as usize] & 1;
+                    if *nb && defer {
+                        fnba.push(NbaWrite {
+                            target: Target::Bits(*sig, off, off),
+                            value: LogicVec::from_u64(1, b),
+                        });
+                    } else {
+                        let cur = fregs[*shadow as usize];
+                        let new = (cur & !(1u64 << off)) | (b << off);
+                        if new != cur {
+                            sticky |= 1 << *cone;
+                            fregs[*shadow as usize] = new;
+                        }
+                    }
+                }
+            }
+            FOp::StoreLocal { slot, src, mask } => {
+                fregs[*slot as usize] = fregs[*src as usize] & mask;
+            }
+            FOp::StoreLocalBits { slot, idx, src, slotw } => {
+                // The truncating cast matches the tree's `v as u32`.
+                let i = fregs[*idx as usize] as u32;
+                if i < *slotw {
+                    let b = fregs[*src as usize] & 1;
+                    fregs[*slot as usize] = (fregs[*slot as usize] & !(1u64 << i)) | (b << i);
+                }
+            }
+            FOp::StoreLocalBitsC { slot, hi, lo, src } => {
+                let span = *hi - *lo + 1;
+                let chunk = fregs[*src as usize] & bitmask(span);
+                fregs[*slot as usize] =
+                    (fregs[*slot as usize] & !(bitmask(span) << lo)) | (chunk << lo);
+            }
+            FOp::Jump { to } => {
+                pc = *to as usize;
+                continue;
+            }
+            FOp::BranchTruthy { cond, on_true, on_false } => {
+                pc = if fregs[*cond as usize] != 0 { *on_true } else { *on_false } as usize;
+                continue;
+            }
+            FOp::BranchMatchC { scrut, cmp, care, on_hit } => {
+                if (fregs[*scrut as usize] ^ cmp) & care == 0 {
+                    pc = *on_hit as usize;
+                    continue;
+                }
+            }
+            FOp::BranchMatchR { scrut, label, on_hit } => {
+                if fregs[*scrut as usize] == fregs[*label as usize] {
+                    pc = *on_hit as usize;
+                    continue;
+                }
+            }
+            FOp::ZeroCtr { ctr } => fctrs[*ctr as usize] = 0,
+            FOp::IncCtrJumpLt { ctr, limit, to } => {
+                fctrs[*ctr as usize] += 1;
+                if fctrs[*ctr as usize] < *limit as u64 {
+                    pc = *to as usize;
+                    continue;
+                }
+            }
+            FOp::RepeatInit { ctr, count } => {
+                fctrs[*ctr as usize] = fregs[*count as usize].min(MAX_LOOP as u64);
+            }
+            FOp::BranchCtrZeroDec { ctr, on_zero } => {
+                if fctrs[*ctr as usize] == 0 {
+                    pc = *on_zero as usize;
+                    continue;
+                }
+                fctrs[*ctr as usize] -= 1;
+            }
+        }
+        pc += 1;
+    }
+    // Epilogue: commit changed cone shadows (and bare dirty marks for
+    // change-then-revert writes), then surface deferred NBA writes.
+    for (i, c) in fast.cone.iter().enumerate() {
+        if !c.written {
+            continue;
+        }
+        let raw = fregs[c.reg as usize];
+        if raw != forig[i] {
+            set_state(state, log, c.sig, StateValue::Vec(LogicVec::from_u64(c.width, raw)));
+        } else if sticky & (1 << i) != 0 {
+            note_change(state, log, c.sig);
+        }
+    }
+    if let Some(queue) = nba {
+        queue.append(fnba);
+    } else {
+        fnba.clear();
+    }
+    true
 }
 
 #[cfg(test)]

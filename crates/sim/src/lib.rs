@@ -39,10 +39,12 @@
 pub mod elab;
 pub mod interp;
 mod lower;
+mod tape;
 pub mod testbench;
 pub mod value;
 pub mod vcd;
 
-pub use interp::{SimError, Simulator, StateValue};
+pub use interp::{force_sim_backends, SimError, Simulator, StateValue};
+pub use tape::TapeStats;
 pub use testbench::{run_testbench, Clocking, ReferenceModel, TestResult};
 pub use value::LogicVec;

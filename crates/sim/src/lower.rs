@@ -38,6 +38,7 @@ use rtlfixer_verilog::const_eval;
 use rtlfixer_verilog::token::Base;
 
 use crate::elab::{Design, FunctionDef, Proc, ProcKind, Scope, SeqProc, SigDef};
+use crate::tape::{self, Tape, TapeStats};
 use crate::value::{Bit, LogicVec};
 
 /// Dense signal index into the simulator's state slab.
@@ -67,6 +68,8 @@ pub(crate) struct Kernel {
     pub(crate) init: Vec<KProc>,
     /// Lowered user functions, specialised per bound-argument count.
     pub(crate) funcs: Vec<KFunc>,
+    /// Aggregate tape-compilation statistics across all processes.
+    pub(crate) tape_stats: TapeStats,
 }
 
 /// A lowered combinational or initial process.
@@ -77,6 +80,8 @@ pub(crate) struct KProc {
     pub(crate) nlocals: u32,
     /// Sorted signals this process may read or write (incl. via functions).
     pub(crate) sens: Box<[SigId]>,
+    /// Compiled bytecode tape (`None`: execute the tree body).
+    pub(crate) tape: Option<Tape>,
 }
 
 /// Process payload (mirrors `ProcKind`).
@@ -97,6 +102,8 @@ pub(crate) struct KSeqProc {
     pub(crate) edges: Vec<(Edge, String)>,
     pub(crate) nlocals: u32,
     pub(crate) body: KStmt,
+    /// Compiled bytecode tape (`None`: execute the tree body).
+    pub(crate) tape: Option<Tape>,
 }
 
 /// A lowered function, specialised to a fixed number of bound arguments.
@@ -114,14 +121,14 @@ pub(crate) struct KFunc {
 }
 
 /// A lowered expression with its precomputed natural width.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct KExpr {
     /// Self-determined width per the old `natural_width` rules.
     pub(crate) nat: u32,
     pub(crate) kind: KExprKind,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum KExprKind {
     Const(LogicVec),
     Sig(SigId),
@@ -140,7 +147,7 @@ pub(crate) enum KExprKind {
 }
 
 /// The base of an index/select expression, resolved statically.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum KBase {
     Local(LocalId),
     Sig(SigId),
@@ -150,7 +157,7 @@ pub(crate) enum KBase {
 }
 
 /// A variable reference for whole-variable writes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum KVarRef {
     Local(LocalId),
     Sig(SigId),
@@ -159,7 +166,7 @@ pub(crate) enum KVarRef {
 }
 
 /// A lowered l-value.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum KLval {
     /// Whole variable. `width` is the static l-value width (slot width for
     /// locals, definition width for signals, 1 when unresolved).
@@ -181,7 +188,7 @@ pub(crate) enum KLval {
 }
 
 /// A lowered statement.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum KStmt {
     /// Entering the block zeroes its declared slots (a fresh frame in the
     /// old interpreter), then runs the statements.
@@ -204,7 +211,7 @@ pub(crate) enum KStmt {
 }
 
 /// One case arm.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct KArm {
     pub(crate) labels: Box<[KExpr]>,
     pub(crate) body: KStmt,
@@ -336,12 +343,48 @@ pub(crate) fn lower(design: &Design) -> Kernel {
             body: proto.body,
             nlocals: proto.nlocals,
             sens: sens.into_iter().collect(),
+            tape: None,
         }
     };
     let comb: Vec<KProc> = comb.into_iter().map(|p| finish(p, &lw)).collect();
     let init: Vec<KProc> = init.into_iter().map(|p| finish(p, &lw)).collect();
 
-    Kernel { sigs: lw.sigs, by_name: lw.by_name, comb, seq, init, funcs: lw.funcs }
+    let mut kernel =
+        Kernel { sigs: lw.sigs, by_name: lw.by_name, comb, seq, init, funcs: lw.funcs, tape_stats: TapeStats::default() };
+
+    // Tape compilation runs after the kernel is assembled (it borrows the
+    // signal/function tables immutably) and attaches in a second phase.
+    let mut stats = TapeStats::default();
+    let absorb = |t: (Option<Tape>, TapeStats), stats: &mut TapeStats| {
+        stats.absorb(&t.1);
+        t.0
+    };
+    let comb_tapes: Vec<Option<Tape>> = kernel
+        .comb
+        .iter()
+        .map(|p| absorb(tape::compile_proc(&kernel.sigs, &kernel.funcs, p.nlocals, &p.body), &mut stats))
+        .collect();
+    let init_tapes: Vec<Option<Tape>> = kernel
+        .init
+        .iter()
+        .map(|p| absorb(tape::compile_proc(&kernel.sigs, &kernel.funcs, p.nlocals, &p.body), &mut stats))
+        .collect();
+    let seq_tapes: Vec<Option<Tape>> = kernel
+        .seq
+        .iter()
+        .map(|p| absorb(tape::compile_seq(&kernel.sigs, &kernel.funcs, p.nlocals, &p.body), &mut stats))
+        .collect();
+    for (p, t) in kernel.comb.iter_mut().zip(comb_tapes) {
+        p.tape = t;
+    }
+    for (p, t) in kernel.init.iter_mut().zip(init_tapes) {
+        p.tape = t;
+    }
+    for (p, t) in kernel.seq.iter_mut().zip(seq_tapes) {
+        p.tape = t;
+    }
+    kernel.tape_stats = stats;
+    kernel
 }
 
 impl<'d> Lowering<'d> {
@@ -399,7 +442,7 @@ impl<'d> Lowering<'d> {
     fn lower_seq(&mut self, proc: &SeqProc) -> KSeqProc {
         let mut cx = BodyCx::new(&proc.scope);
         let body = self.lower_stmt(&mut cx, &proc.body);
-        KSeqProc { edges: proc.edges.clone(), nlocals: cx.next_local, body }
+        KSeqProc { edges: proc.edges.clone(), nlocals: cx.next_local, body, tape: None }
     }
 
     /// Lowers a function for a given bound-argument count, interning it.

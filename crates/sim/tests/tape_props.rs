@@ -1,0 +1,205 @@
+//! Property tests for the compiled tape backend's two-state fast path.
+//!
+//! The fast path executes a process over a `u64` register file only while
+//! its input cone is x/z-free, falling back to the four-state ops the
+//! moment an unknown enters. These properties drive the same random
+//! stimulus — with random x masks injected over a window of mid-run
+//! cycles — through a tree-kernel simulator and a tape simulator, and
+//! require bit-identical observable state at every cycle. The runtime
+//! counters additionally pin that the x window actually forced four-state
+//! fallbacks and that the x-free cycles actually ran the fast path, so
+//! the property can't pass vacuously with either path disabled.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use rtlfixer_sim::{
+    force_sim_backends,
+    value::{Bit, LogicVec},
+    Simulator,
+};
+
+/// `force_sim_backends` is process-global; property runs must not overlap.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Combinational CRC step: a statically-unrolled 8-trip loop with dynamic
+/// bit selects — the tape backend's heaviest fast-path codepath.
+const CRC16: &str = "module crc16(input [7:0] d, input [15:0] crc_in,\n\
+                     output reg [15:0] crc_out);\n\
+                     integer i;\n\
+                     reg [15:0] c;\n\
+                     always @* begin\n\
+                       c = crc_in;\n\
+                       for (i = 0; i < 8; i = i + 1) begin\n\
+                         if (c[15] ^ d[7 - i])\n\
+                           c = {c[14:0], 1'b0} ^ 16'h1021;\n\
+                         else\n\
+                           c = {c[14:0], 1'b0};\n\
+                       end\n\
+                       crc_out = c;\n\
+                     end\nendmodule";
+
+/// Sequential ALU: case dispatch plus non-blocking writes, exercising the
+/// fast path's deferred-assignment buffering under edges.
+const ALU: &str = "module alu(input clk, input [7:0] a, input [7:0] b,\n\
+                   input [2:0] op, output reg [15:0] y);\n\
+                   always @(posedge clk) begin\n\
+                     case (op)\n\
+                       3'd0: y <= a + b;\n\
+                       3'd1: y <= a - b;\n\
+                       3'd2: y <= a & b;\n\
+                       3'd3: y <= a | b;\n\
+                       3'd4: y <= a ^ b;\n\
+                       3'd5: y <= a * b;\n\
+                       3'd6: y <= a << b[2:0];\n\
+                       default: y <= (a < b) ? {8'h00, a} : {8'h00, b};\n\
+                     endcase\n\
+                   end\nendmodule";
+
+fn rnd(state: &mut u64) -> u64 {
+    // xorshift64*: deterministic per-case stimulus without pulling rand in.
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A `width`-bit vector holding `value`, with x at every `xmask` position.
+fn vec_with_x(width: u32, value: u64, xmask: u64) -> LogicVec {
+    LogicVec::from_bits((0..width).map(|i| {
+        if xmask >> i & 1 == 1 {
+            Bit::X
+        } else if value >> i & 1 == 1 {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }))
+}
+
+/// One cycle of stimulus: `(name, width, value, xmask)` pokes. The x mask
+/// is non-zero only inside the injection window.
+type Poke = (&'static str, u32, u64, u64);
+
+fn crc_stimulus(seed: u64, xwin: (usize, usize), xbits: u64) -> Vec<Vec<Poke>> {
+    let mut s = seed | 1;
+    (0..40)
+        .map(|cycle| {
+            let in_window = cycle >= xwin.0 && cycle < xwin.1;
+            let dm = if in_window { xbits & 0xFF } else { 0 };
+            let cm = if in_window { (xbits >> 8) & 0xFFFF } else { 0 };
+            vec![
+                ("d", 8, rnd(&mut s) & 0xFF, dm),
+                ("crc_in", 16, rnd(&mut s) & 0xFFFF, cm),
+            ]
+        })
+        .collect()
+}
+
+fn alu_stimulus(seed: u64, xwin: (usize, usize), xbits: u64) -> Vec<Vec<Poke>> {
+    let mut s = seed | 1;
+    (0..40)
+        .map(|cycle| {
+            let in_window = cycle >= xwin.0 && cycle < xwin.1;
+            let am = if in_window { xbits & 0xFF } else { 0 };
+            let bm = if in_window { (xbits >> 8) & 0xFF } else { 0 };
+            vec![
+                ("a", 8, rnd(&mut s) & 0xFF, am),
+                ("b", 8, rnd(&mut s) & 0xFF, bm),
+                ("op", 3, rnd(&mut s) & 0x7, 0),
+            ]
+        })
+        .collect()
+}
+
+/// Runs `stimulus` on a fresh simulator under the given backend and
+/// returns the per-cycle values of `watch`, plus the fast-path runtime
+/// counters `(hits, fallbacks)`.
+fn run(
+    source: &str,
+    module: &str,
+    clock: Option<&str>,
+    watch: &[&str],
+    stimulus: &[Vec<Poke>],
+    tape: bool,
+) -> (Vec<LogicVec>, (u64, u64)) {
+    force_sim_backends(None, Some(tape));
+    let analysis = rtlfixer_verilog::compile(source);
+    let mut sim = Simulator::new(&analysis, module).expect("design elaborates");
+    let mut transcript = Vec::new();
+    for pokes in stimulus {
+        for (name, width, value, xmask) in pokes {
+            sim.poke(name, vec_with_x(*width, *value, *xmask)).expect("port");
+        }
+        match clock {
+            Some(clk) => sim.clock_cycle(clk).expect("cycle"),
+            None => sim.settle().expect("settles"),
+        }
+        for name in watch {
+            transcript.push(sim.peek(name).expect("signal").clone());
+        }
+    }
+    let counters = sim.tape_runtime();
+    force_sim_backends(None, None);
+    (transcript, counters)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mid-run x injection on the combinational CRC: the tape backend must
+    /// fall back to four-state ops inside the window, resume the fast path
+    /// after it, and stay bit-identical to the tree kernel throughout —
+    /// including the internal loop-carried `c` and the loop index `i`.
+    #[test]
+    fn crc_x_window_is_bit_identical_and_falls_back(
+        seed: u64,
+        start in 5usize..15,
+        len in 1usize..10,
+        xsel: u64,
+    ) {
+        let _guard = BACKEND_LOCK.lock().unwrap();
+        // At least one x bit lands in `d` or `crc_in`.
+        let xbits = xsel | 1;
+        let stimulus = crc_stimulus(seed, (start, start + len), xbits);
+        let watch = ["crc_out", "c", "i"];
+        let (tree, _) = run(CRC16, "crc16", None, &watch, &stimulus, false);
+        let (tape, (hits, falls)) = run(CRC16, "crc16", None, &watch, &stimulus, true);
+        prop_assert_eq!(tree, tape);
+        prop_assert!(falls > 0, "x window never forced a four-state fallback");
+        prop_assert!(hits > 0, "x-free cycles never ran the fast path");
+    }
+
+    /// Same property over the sequential ALU (non-blocking writes under a
+    /// clock edge).
+    #[test]
+    fn alu_x_window_is_bit_identical_and_falls_back(
+        seed: u64,
+        start in 5usize..15,
+        len in 1usize..10,
+        xsel: u64,
+    ) {
+        let _guard = BACKEND_LOCK.lock().unwrap();
+        let xbits = xsel | 1;
+        let stimulus = alu_stimulus(seed, (start, start + len), xbits);
+        let (tree, _) = run(ALU, "alu", Some("clk"), &["y"], &stimulus, false);
+        let (tape, (hits, falls)) = run(ALU, "alu", Some("clk"), &["y"], &stimulus, true);
+        prop_assert_eq!(tree, tape);
+        prop_assert!(falls > 0, "x window never forced a four-state fallback");
+        prop_assert!(hits > 0, "x-free cycles never ran the fast path");
+    }
+
+    /// Fully x-free stimulus: the fast path must carry every cycle with no
+    /// fallbacks at all, still bit-identical to the tree kernel.
+    #[test]
+    fn x_free_runs_stay_on_the_fast_path(seed: u64) {
+        let _guard = BACKEND_LOCK.lock().unwrap();
+        let stimulus = crc_stimulus(seed, (0, 0), 0);
+        let watch = ["crc_out", "c", "i"];
+        let (tree, _) = run(CRC16, "crc16", None, &watch, &stimulus, false);
+        let (tape, (hits, falls)) = run(CRC16, "crc16", None, &watch, &stimulus, true);
+        prop_assert_eq!(tree, tape);
+        prop_assert_eq!(falls, 0, "x-free run fell back to four-state ops");
+        prop_assert!(hits > 0, "x-free run never ran the fast path");
+    }
+}

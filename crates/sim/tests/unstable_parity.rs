@@ -1,0 +1,47 @@
+//! Backend parity for [`SimError::Unstable`]: when combinational logic
+//! oscillates, every backend — the full-sweep walker, the event kernel,
+//! and the compiled tape — must name the same still-toggling nets, in the
+//! same order, with the same `Display` rendering. Downstream feedback
+//! (`render_sim_feedback` in rtlfixer-eval) quotes this error verbatim to
+//! the repair agent, so any divergence would make agent transcripts
+//! depend on which kernel happened to be enabled.
+
+use rtlfixer_sim::{force_sim_backends, value::LogicVec, SimError, Simulator};
+
+/// Two mutually-dependent oscillating nets plus a downstream net, so the
+/// error has to agree on a multi-signal, sorted list — not just a single
+/// name.
+const OSC2: &str = "module osc2(input a, output y);\n\
+                    wire p, q;\n\
+                    assign p = ~q ^ a;\n\
+                    assign q = p;\n\
+                    assign y = q;\nendmodule";
+
+fn unstable_signals(event: bool, tape: bool) -> (Vec<String>, String) {
+    force_sim_backends(Some(event), Some(tape));
+    let analysis = rtlfixer_verilog::compile(OSC2);
+    let mut sim = Simulator::new(&analysis, "osc2").expect("design elaborates");
+    sim.poke("a", LogicVec::zeros(1)).expect("port");
+    let err = sim.settle().expect_err("combinational loop must not settle");
+    force_sim_backends(None, None);
+    let rendered = err.to_string();
+    match err {
+        SimError::Unstable { signals } => (signals, rendered),
+        other => panic!("expected Unstable, got {other:?}"),
+    }
+}
+
+#[test]
+fn unstable_error_names_identical_signals_under_every_backend() {
+    let (sweep, sweep_msg) = unstable_signals(false, false);
+    let (event, event_msg) = unstable_signals(true, false);
+    let (tape, tape_msg) = unstable_signals(true, true);
+    assert!(
+        sweep.iter().any(|n| n == "p") && sweep.iter().any(|n| n == "q"),
+        "oscillating nets should be named: {sweep:?}"
+    );
+    assert_eq!(sweep, event, "event kernel names different still-toggling nets");
+    assert_eq!(sweep, tape, "tape backend names different still-toggling nets");
+    assert_eq!(sweep_msg, event_msg);
+    assert_eq!(sweep_msg, tape_msg);
+}
