@@ -261,6 +261,11 @@ impl<L: LanguageModel> RtlFixer<L> {
     /// Runs one fixing episode over `source` for `problem`.
     pub fn fix_problem(&mut self, problem: &str, source: &str) -> FixOutcome {
         let _episode_span = obs::span(obs::kind::EPISODE);
+        // Per-category episode-duration histograms (the episode scheduler's
+        // cost model reads these back via `obs::span_summaries`); the
+        // categories are only known after the initial compile, so the span
+        // guard can't carry them — time the episode body explicitly.
+        let episode_start = _episode_span.is_recording().then(std::time::Instant::now);
         obs::counter_add("agent.episodes", 1);
         let mut code =
             if self.prefixer { prefix_fix(source) } else { source.to_owned() };
@@ -415,12 +420,17 @@ impl<L: LanguageModel> RtlFixer<L> {
         if degraded {
             obs::counter_add("agent.episodes.degraded", 1);
         }
+        let episode_us = episode_start
+            .map(|start| u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
         for category in &initial_categories {
             obs::counter_add(&format!("agent.episodes.by_category.{category}"), 1);
             obs::counter_add(
                 &format!("agent.revisions.by_category.{category}"),
                 revisions as u64,
             );
+            if let Some(us) = episode_us {
+                obs::observe(&format!("span.episode.by_category.{category}.us"), us);
+            }
         }
 
         FixOutcome {

@@ -43,6 +43,7 @@ fn main() {
         seconds,
         episodes_per_sec: if seconds > 0.0 { episodes as f64 / seconds } else { 0.0 },
         failed_episodes: 0,
+        scheduler: None,
     };
     record_run("ablations", scale.jobs, &stats);
 }

@@ -63,6 +63,7 @@ fn main() {
         seconds,
         episodes_per_sec: if seconds > 0.0 { episodes as f64 / seconds } else { 0.0 },
         failed_episodes: failed,
+        scheduler: None,
     };
     record_run("chaos", scale.jobs, &stats);
     println!("{}", serde_json::to_string_pretty(&cells).expect("serialises"));

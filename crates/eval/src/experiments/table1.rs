@@ -12,7 +12,8 @@ use rtlfixer_dataset::SyntaxBenchEntry;
 use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
 
 use crate::metrics::fix_rate;
-use crate::runner::{episode_grid, run_episodes, RunStats};
+use crate::runner::{episode_grid, run_episodes_planned, EpisodeSpec, RunStats};
+use crate::schedule::{self, EpisodeFeatures, Shard};
 
 /// Configuration for fix-rate experiments.
 #[derive(Debug, Clone, Copy)]
@@ -89,13 +90,38 @@ fn capability_from_label(label: &str) -> Capability {
     }
 }
 
-/// Runs one Table 1 cell over `entries`, returning the fix rate plus
-/// wall-clock stats.
+/// Raw per-episode verdicts of one Table 1 cell — the whole grid when run
+/// unsharded, or one shard's stripe of it. Positions are indices into the
+/// cell's entry-major episode grid, so fragments from different processes
+/// reassemble without any shared state beyond the config.
+#[derive(Debug, Clone)]
+pub struct CellVerdicts {
+    /// `(grid position, fixed?)` pairs, ascending by position.
+    pub successes: Vec<(usize, bool)>,
+    /// Wall-clock stats over the episodes this process actually ran.
+    pub stats: RunStats,
+}
+
+/// Folds a cell's full success vector (grid order, entry-major) into the
+/// paper's Eq. 1 fix rate.
+pub fn fix_rate_from_successes(successes: &[bool], repeats: usize) -> f64 {
+    let per_problem: Vec<(usize, usize)> = successes
+        .chunks(repeats.max(1))
+        .map(|repeats| (repeats.iter().filter(|s| **s).count(), repeats.len()))
+        .collect();
+    fix_rate(&per_problem)
+}
+
+/// Runs one Table 1 cell's shard, returning raw verdicts by grid position.
 ///
-/// Episodes execute on the [`runner`] pool; per-episode seeds come from the
-/// canonical [`runner::episode_seed`] grid, so results are bit-identical
-/// for every `config.jobs` value.
-pub fn run_cell_timed(
+/// Episodes execute on the planned pool ([`run_episodes_planned`]): the
+/// active `RTLFIXER_SCHED` policy picks the claim order (LPT + fingerprint
+/// batching by default), but per-episode seeds come from the canonical
+/// [`episode_seed`](crate::runner::episode_seed) grid and results land by
+/// position — bit-identical for every `config.jobs` value, policy and
+/// shard split.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_verdicts(
     entries: &[SyntaxBenchEntry],
     strategy: Strategy,
     compiler: CompilerKind,
@@ -103,9 +129,19 @@ pub fn run_cell_timed(
     capability: Capability,
     config: &FixRateConfig,
     cell_index: u64,
-) -> (f64, RunStats) {
-    let specs = episode_grid(config.base_seed, cell_index, entries.len(), config.repeats);
-    let (successes, stats) = run_episodes(config.jobs, &specs, |spec| {
+    shard: Shard,
+) -> CellVerdicts {
+    let grid = episode_grid(config.base_seed, cell_index, entries.len(), config.repeats);
+    let positions = shard.indices(grid.len());
+    let specs: Vec<EpisodeSpec> = positions.iter().map(|&p| grid[p]).collect();
+    let features: Vec<EpisodeFeatures> = specs
+        .iter()
+        .map(|spec| {
+            let entry = &entries[spec.entry];
+            EpisodeFeatures::of(&entry.code, entry.categories.first().map(|c| c.slug()))
+        })
+        .collect();
+    let (results, failures, stats) = run_episodes_planned(config.jobs, &specs, &features, |spec| {
         let entry = &entries[spec.entry];
         // The resilient transport and the compiler fault stream are both
         // seeded from the episode seed: with `RTLFIXER_FAULTS` unset they
@@ -120,12 +156,46 @@ pub fn run_cell_timed(
             .build(llm);
         fixer.fix_problem(&entry.description, &entry.code).success
     });
-    // Grid order is entry-major, so fixed counts fold back per entry.
-    let per_problem: Vec<(usize, usize)> = successes
-        .chunks(config.repeats.max(1))
-        .map(|repeats| (repeats.iter().filter(|s| **s).count(), repeats.len()))
+    if let Some(first) = failures.first() {
+        panic!(
+            "{} of {} episodes panicked; first at position {}: {}",
+            failures.len(),
+            specs.len(),
+            positions[first.index],
+            first.message
+        );
+    }
+    let successes = positions
+        .into_iter()
+        .zip(results)
+        .map(|(position, success)| (position, success.expect("no failures")))
         .collect();
-    (fix_rate(&per_problem), stats)
+    CellVerdicts { successes, stats }
+}
+
+/// Runs one Table 1 cell over `entries`, returning the fix rate plus
+/// wall-clock stats.
+pub fn run_cell_timed(
+    entries: &[SyntaxBenchEntry],
+    strategy: Strategy,
+    compiler: CompilerKind,
+    rag: bool,
+    capability: Capability,
+    config: &FixRateConfig,
+    cell_index: u64,
+) -> (f64, RunStats) {
+    let verdicts = run_cell_verdicts(
+        entries,
+        strategy,
+        compiler,
+        rag,
+        capability,
+        config,
+        cell_index,
+        Shard::FULL,
+    );
+    let successes: Vec<bool> = verdicts.successes.iter().map(|&(_, s)| s).collect();
+    (fix_rate_from_successes(&successes, config.repeats), verdicts.stats)
 }
 
 /// Runs one Table 1 cell over `entries` and returns the fix rate.
@@ -163,19 +233,23 @@ pub fn load_entries(config: &FixRateConfig) -> Arc<Vec<SyntaxBenchEntry>> {
     Arc::clone(cache.lock().expect("entries cache lock").entry(key).or_insert(view))
 }
 
-/// Reproduces the full Table 1 grid (14 cells).
-pub fn table1(config: &FixRateConfig) -> Vec<Table1Cell> {
+/// Runs one shard of the full Table 1 grid (14 cells), returning raw
+/// verdicts per cell. A `--shard i/n` bench process runs exactly this and
+/// writes the result as a fragment; `merge-shards` reassembles fragments
+/// through [`merge_table1_verdicts`]. Also publishes the shard's folded
+/// scheduler stats as the process-wide report.
+pub fn table1_verdicts(config: &FixRateConfig, shard: Shard) -> Vec<CellVerdicts> {
     let entries = load_entries(config);
-    PAPER_TABLE1
+    let cells: Vec<CellVerdicts> = PAPER_TABLE1
         .iter()
         .enumerate()
-        .map(|(cell_index, &(strategy_label, rag, compiler_label, llm_label, paper))| {
+        .map(|(cell_index, &(strategy_label, rag, compiler_label, llm_label, _))| {
             let strategy = if strategy_label == "One-shot" {
                 Strategy::OneShot
             } else {
                 Strategy::React { max_iterations: 10 }
             };
-            let (measured, stats) = run_cell_timed(
+            run_cell_verdicts(
                 &entries,
                 strategy,
                 compiler_from_label(compiler_label),
@@ -183,18 +257,114 @@ pub fn table1(config: &FixRateConfig) -> Vec<Table1Cell> {
                 capability_from_label(llm_label),
                 config,
                 cell_index as u64,
-            );
-            Table1Cell {
-                strategy: strategy_label.to_owned(),
-                rag,
-                compiler: compiler_label.to_owned(),
-                llm: llm_label.to_owned(),
-                fix_rate: measured,
-                paper,
-                stats,
-            }
+                shard,
+            )
         })
-        .collect()
+        .collect();
+    let mut total = RunStats::new(0, std::time::Duration::ZERO);
+    for cell in &cells {
+        total.accumulate(&cell.stats);
+    }
+    if let Some(scheduler) = total.scheduler {
+        schedule::publish_report(scheduler);
+    }
+    cells
+}
+
+/// A merged Table 1 run: the rendered cells plus the 128-bit fingerprint
+/// over the grid's success bits (cell-major, grid order) — the
+/// cross-process identity a sharded merge must reproduce exactly.
+#[derive(Debug, Clone)]
+pub struct Table1Merge {
+    /// The 14 rendered cells, paper row order.
+    pub cells: Vec<Table1Cell>,
+    /// `fingerprint128` over the merged success bits.
+    pub verdict_fingerprint: u128,
+}
+
+/// Reassembles Table 1 cells from one or more shards' verdicts.
+///
+/// Every fragment must hold the same 14 cells, and per cell the fragments'
+/// positions must partition the grid exactly — overlaps, gaps and
+/// grid-size mismatches are errors (a merge must never silently fabricate
+/// a verdict). Fix rates are recomputed from the reassembled success
+/// vectors through the same fold as an unsharded run, so merged output is
+/// structurally identical, not just numerically close.
+pub fn merge_table1_verdicts(
+    config: &FixRateConfig,
+    shards: &[Vec<CellVerdicts>],
+) -> Result<Table1Merge, String> {
+    let entries = load_entries(config);
+    let grid_len = entries.len() * config.repeats;
+    for (index, fragment) in shards.iter().enumerate() {
+        if fragment.len() != PAPER_TABLE1.len() {
+            return Err(format!(
+                "fragment {index} holds {} cells, expected {}",
+                fragment.len(),
+                PAPER_TABLE1.len()
+            ));
+        }
+    }
+    let mut bits: Vec<u8> = Vec::with_capacity(grid_len * PAPER_TABLE1.len());
+    let mut cells = Vec::with_capacity(PAPER_TABLE1.len());
+    for (cell_index, &(strategy_label, rag, compiler_label, llm_label, paper)) in
+        PAPER_TABLE1.iter().enumerate()
+    {
+        let mut successes: Vec<Option<bool>> = vec![None; grid_len];
+        let mut stats = RunStats::new(0, std::time::Duration::ZERO);
+        for fragment in shards {
+            let cell = &fragment[cell_index];
+            for &(position, success) in &cell.successes {
+                let slot = successes.get_mut(position).ok_or_else(|| {
+                    format!(
+                        "cell {cell_index}: position {position} outside the \
+                         {grid_len}-episode grid (shard configs must match)"
+                    )
+                })?;
+                if slot.replace(success).is_some() {
+                    return Err(format!(
+                        "cell {cell_index}: position {position} covered twice \
+                         (overlapping shards)"
+                    ));
+                }
+            }
+            stats.accumulate(&cell.stats);
+        }
+        let successes: Vec<bool> = successes
+            .into_iter()
+            .enumerate()
+            .map(|(position, slot)| {
+                slot.ok_or_else(|| {
+                    format!("cell {cell_index}: position {position} missing (incomplete shards)")
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        bits.extend(successes.iter().map(|&s| s as u8));
+        cells.push(Table1Cell {
+            strategy: strategy_label.to_owned(),
+            rag,
+            compiler: compiler_label.to_owned(),
+            llm: llm_label.to_owned(),
+            fix_rate: fix_rate_from_successes(&successes, config.repeats),
+            paper,
+            stats,
+        });
+    }
+    Ok(Table1Merge { cells, verdict_fingerprint: rtlfixer_cache::fingerprint128(&bits) })
+}
+
+/// Reproduces the full Table 1 grid (14 cells).
+pub fn table1(config: &FixRateConfig) -> Vec<Table1Cell> {
+    table1_merged(config).cells
+}
+
+/// [`table1`] plus the verdict fingerprint: a single-process run expressed
+/// as a one-fragment merge, so unsharded and merged outputs flow through
+/// byte-identical code paths.
+pub fn table1_merged(config: &FixRateConfig) -> Table1Merge {
+    let verdicts = table1_verdicts(config, Shard::FULL);
+    merge_table1_verdicts(config, std::slice::from_ref(&verdicts))
+        .expect("a full shard is a complete partition")
 }
 
 #[cfg(test)]
@@ -318,6 +488,35 @@ mod tests {
         let serial = run(1);
         assert_eq!(run(2), serial, "jobs=2 must match jobs=1");
         assert_eq!(run(8), serial, "jobs=8 must match jobs=1");
+    }
+
+    #[test]
+    fn sharded_merge_matches_unsharded_bitwise() {
+        let config = FixRateConfig {
+            max_entries: Some(8),
+            repeats: 2,
+            dataset_seed: 7,
+            base_seed: 1,
+            jobs: 2,
+        };
+        let full = table1_merged(&config);
+        let halves = [
+            table1_verdicts(&config, Shard { index: 0, count: 2 }),
+            table1_verdicts(&config, Shard { index: 1, count: 2 }),
+        ];
+        let merged = merge_table1_verdicts(&config, &halves).expect("halves partition the grid");
+        assert_eq!(merged.verdict_fingerprint, full.verdict_fingerprint);
+        for (a, b) in full.cells.iter().zip(&merged.cells) {
+            // Bit-pattern equality: the merge recomputes fix rates through
+            // the same fold, so the floats are identical, not just close.
+            assert_eq!(a.fix_rate.to_bits(), b.fix_rate.to_bits(), "{}", a.strategy);
+            assert_eq!(a.stats.episodes, b.stats.episodes);
+        }
+        // Incomplete and overlapping fragment sets are rejected.
+        let one = std::slice::from_ref(&halves[0]);
+        assert!(merge_table1_verdicts(&config, one).unwrap_err().contains("missing"));
+        let twice = [halves[0].clone(), halves[0].clone()];
+        assert!(merge_table1_verdicts(&config, &twice).unwrap_err().contains("covered twice"));
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //!   experiments run on: a work-stealing thread pool plus the canonical
 //!   per-episode seed derivation, guaranteeing results are bit-identical
 //!   for any `--jobs` value.
+//! * [`schedule`] — the planning layer over the runner: a telemetry-seeded
+//!   cost model orders the claim queue longest-expected-first, specs
+//!   sharing a source fingerprint coalesce into cache-warming batches, and
+//!   [`schedule::Shard`] partitions grids for deterministic multi-process
+//!   runs (`--shard i/n` + `merge-shards`). Scheduling never changes
+//!   results — only when they are computed.
 //! * [`experiments::table1`] — the fix-rate grid (strategy × RAG ×
 //!   feedback × LLM), with the paper's reported values embedded for
 //!   side-by-side comparison.
@@ -29,10 +35,15 @@
 pub mod experiments;
 pub mod metrics;
 pub mod runner;
+pub mod schedule;
 pub mod sim_debug;
 
 pub use metrics::{fix_rate, mean_pass_at_k, pass_at_k};
 pub use runner::{
     cache_report, episode_seed, resolve_jobs, run_episodes, run_episodes_checked,
-    run_indexed_checked, CacheReport, EpisodeFailure, EpisodeSpec, RunStats,
+    run_episodes_planned, run_indexed_checked, run_planned_checked, CacheReport, EpisodeFailure,
+    EpisodeSpec, PlannedMetrics, RunStats,
+};
+pub use schedule::{
+    scheduler_report, CostModel, EpisodeFeatures, Plan, Policy, SchedulerStats, Shard,
 };

@@ -41,7 +41,7 @@
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Derives the deterministic seed for one episode.
@@ -204,6 +204,135 @@ where
     (results, failures)
 }
 
+/// Per-episode actuals and barrier accounting from one planned run
+/// ([`run_planned_checked`]).
+#[derive(Debug, Clone)]
+pub struct PlannedMetrics {
+    /// Measured episode duration by original index, in microseconds — the
+    /// "actual" side of the cost model's predicted-vs-actual rank
+    /// correlation.
+    pub actual_us: Vec<u64>,
+    /// Total wall time workers spent idle at the pool barrier (their own
+    /// queue drained, other workers still running), in microseconds.
+    /// Always `0` on the serial path, which has no barrier.
+    pub barrier_idle_us: u64,
+}
+
+/// Executes a [`Plan`](crate::schedule::Plan): workers claim whole batches
+/// from a shared cursor and run members back-to-back (so a batch leader's
+/// compile/elaborate warms the artifact caches for its followers), then
+/// flush results through one lock per worker instead of one channel send
+/// per episode. Measured on the 1-core container, the legacy engine's
+/// cost is oversubscription (time-sliced workers plus a receiving main
+/// thread) more than the per-episode mpsc sends themselves; the caller
+/// ([`run_episodes_planned`]) clamps `jobs` to the hardware for that
+/// reason, while this function honours the count it is given so tests
+/// can exercise specific worker configurations.
+///
+/// Determinism is unchanged from [`run_indexed_checked`]: results land in
+/// slots by original index, and worker-local telemetry merges into the
+/// registry at the barrier in index order, so outputs are bit-identical
+/// for every `jobs` value and every plan over the same positions.
+pub fn run_planned_checked<R, F>(
+    jobs: usize,
+    plan: &crate::schedule::Plan,
+    task: F,
+) -> (Vec<Option<R>>, Vec<EpisodeFailure>, PlannedMetrics)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let len = plan.len();
+    let jobs = resolve_jobs(jobs).min(plan.batches.len().max(1));
+    let run_one = |index: usize| {
+        rtlfixer_obs::episode_begin();
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| task(index)));
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let telemetry = rtlfixer_obs::episode_end();
+        (result.map_err(panic_message), telemetry, micros)
+    };
+    type Slot<R> = (Result<R, String>, Option<rtlfixer_obs::EpisodeTelemetry>, u64);
+
+    let mut slots: Vec<Option<Slot<R>>> = Vec::new();
+    slots.resize_with(len, || None);
+    let mut barrier_idle_us = 0u64;
+    if jobs <= 1 {
+        for batch in &plan.batches {
+            for &index in batch {
+                slots[index] = Some(run_one(index));
+            }
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, Slot<R>)>> = Mutex::new(Vec::with_capacity(len));
+        let finishes: Mutex<Vec<Instant>> = Mutex::new(Vec::with_capacity(jobs));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let cursor = &cursor;
+                let collected = &collected;
+                let finishes = &finishes;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Slot<R>)> = Vec::new();
+                    loop {
+                        let claim = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(batch) = plan.batches.get(claim) else { break };
+                        for &index in batch {
+                            local.push((index, run_one(index)));
+                        }
+                    }
+                    // The worker is done before it queues for the flush
+                    // locks, so lock contention does not count as idle.
+                    let done = Instant::now();
+                    collected
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .extend(local);
+                    finishes
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push(done);
+                });
+            }
+        });
+        for (index, slot) in
+            collected.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
+        {
+            slots[index] = Some(slot);
+        }
+        let finishes = finishes.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(last) = finishes.iter().max().copied() {
+            barrier_idle_us = finishes
+                .iter()
+                .map(|f| u64::try_from(last.duration_since(*f).as_micros()).unwrap_or(u64::MAX))
+                .sum();
+        }
+    }
+
+    let mut results = Vec::with_capacity(len);
+    let mut failures = Vec::new();
+    let mut actual_us = Vec::with_capacity(len);
+    for (index, slot) in slots.into_iter().enumerate() {
+        let (result, telemetry, micros) =
+            slot.expect("plan covered every position exactly once");
+        // The pool barrier: worker-local telemetry merges in index order,
+        // independent of which worker ran what, in which batch.
+        if let Some(telemetry) = &telemetry {
+            rtlfixer_obs::merge(telemetry);
+        }
+        actual_us.push(micros);
+        match result {
+            Ok(value) => results.push(Some(value)),
+            Err(message) => {
+                results.push(None);
+                failures.push(EpisodeFailure { index, message });
+            }
+        }
+    }
+    (results, failures, PlannedMetrics { actual_us, barrier_idle_us })
+}
+
 /// Coordinates plus derived seed for one episode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpisodeSpec {
@@ -304,6 +433,11 @@ pub struct RunStats {
     /// Episodes that panicked and were contained as [`EpisodeFailure`]s
     /// (always 0 on the unchecked paths, which abort instead).
     pub failed_episodes: usize,
+    /// Scheduler metadata of the run (policy, batches formed,
+    /// predicted-vs-actual rank correlation, barrier idle) — `None`
+    /// (serialised as `null`) for runs that never went through the
+    /// planner.
+    pub scheduler: Option<crate::schedule::SchedulerStats>,
 }
 
 impl RunStats {
@@ -315,6 +449,7 @@ impl RunStats {
             seconds,
             episodes_per_sec: if seconds > 0.0 { episodes as f64 / seconds } else { 0.0 },
             failed_episodes: 0,
+            scheduler: None,
         }
     }
 
@@ -326,6 +461,32 @@ impl RunStats {
         self.episodes_per_sec =
             if self.seconds > 0.0 { successful as f64 / self.seconds } else { 0.0 };
         self
+    }
+
+    /// Attaches scheduler metadata (builder style).
+    pub fn with_scheduler(mut self, scheduler: crate::schedule::SchedulerStats) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Folds another run's wall-clock stats into this one (episodes and
+    /// seconds add, throughput recomputes, scheduler metadata merges
+    /// episode-weighted). The aggregation the multi-cell binaries and the
+    /// shard-merge tool share.
+    pub fn accumulate(&mut self, other: &RunStats) {
+        match (&mut self.scheduler, &other.scheduler) {
+            (Some(mine), Some(theirs)) => {
+                mine.merge(self.episodes, theirs, other.episodes);
+            }
+            (slot @ None, Some(theirs)) => *slot = Some(*theirs),
+            _ => {}
+        }
+        self.episodes += other.episodes;
+        self.failed_episodes += other.failed_episodes;
+        self.seconds += other.seconds;
+        let successful = self.episodes.saturating_sub(self.failed_episodes);
+        self.episodes_per_sec =
+            if self.seconds > 0.0 { successful as f64 / self.seconds } else { 0.0 };
     }
 }
 
@@ -358,6 +519,60 @@ where
     let start = Instant::now();
     let (results, failures) = run_indexed_checked(jobs, specs.len(), |i| episode(&specs[i]));
     let stats = RunStats::new(specs.len(), start.elapsed()).with_failed(failures.len());
+    (results, failures, stats)
+}
+
+/// [`run_episodes_checked`] routed through the scheduling subsystem
+/// ([`crate::schedule`]): the active policy picks the engine
+/// (`RTLFIXER_SCHED=0` short-circuits to the legacy mpsc pool), the plan
+/// orders the claim queue (LPT + fingerprint batching by default), and the
+/// returned [`RunStats`] carries the run's
+/// [`SchedulerStats`](crate::schedule::SchedulerStats) for
+/// `results/bench_eval.json`. Results and failures are by original grid
+/// position under every policy — scheduling is invisible in the outputs.
+pub fn run_episodes_planned<R, F>(
+    jobs: usize,
+    specs: &[EpisodeSpec],
+    features: &[crate::schedule::EpisodeFeatures],
+    episode: F,
+) -> (Vec<Option<R>>, Vec<EpisodeFailure>, RunStats)
+where
+    R: Send,
+    F: Fn(&EpisodeSpec) -> R + Sync,
+{
+    use crate::schedule::{self, Policy, SchedulerStats};
+    assert_eq!(specs.len(), features.len(), "one feature set per spec");
+    let policy = schedule::policy();
+    if policy == Policy::Legacy {
+        let (results, failures, stats) = run_episodes_checked(jobs, specs, episode);
+        let stats = stats.with_scheduler(SchedulerStats::legacy(specs.len()));
+        return (results, failures, stats);
+    }
+    let model = schedule::CostModel::from_telemetry();
+    let plan = schedule::Plan::for_policy(policy, features, &model);
+    // Episodes are CPU-bound, so workers beyond the machine's parallelism
+    // only add context-switch and cache-thrash overhead. The planner clamps
+    // the pool to the hardware (results are jobs-invariant by construction,
+    // so this is pure wall-time); the legacy engine keeps the requested
+    // count, preserving the pre-scheduler behaviour under the kill switch.
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(usize::MAX);
+    let jobs = resolve_jobs(jobs).min(hardware);
+    let start = Instant::now();
+    let (results, failures, metrics) = run_planned_checked(jobs, &plan, |i| episode(&specs[i]));
+    let rank_correlation = if plan.predicted.is_empty() {
+        0.0
+    } else {
+        schedule::spearman(&plan.predicted, &metrics.actual_us)
+    };
+    let stats = RunStats::new(specs.len(), start.elapsed())
+        .with_failed(failures.len())
+        .with_scheduler(SchedulerStats {
+            policy: plan.policy.name(),
+            batches: plan.batches.len(),
+            coalesced: plan.coalesced(),
+            rank_correlation,
+            barrier_idle_us: metrics.barrier_idle_us,
+        });
     (results, failures, stats)
 }
 
@@ -540,6 +755,141 @@ mod tests {
         }
         rtlfixer_obs::set_telemetry(false);
         rtlfixer_obs::reset();
+    }
+
+    #[test]
+    fn planned_executor_matches_legacy_pool_under_every_plan() {
+        use crate::schedule::{CostModel, EpisodeFeatures, Plan};
+        let work = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(i as u32 % 64);
+        let expected: Vec<Option<u64>> = (0..120).map(|i| Some(work(i))).collect();
+        // Grid plan, LPT plan (with shared fingerprints so real batches
+        // form), at several job counts: identical results in index order.
+        let features: Vec<EpisodeFeatures> = (0..120)
+            .map(|i| EpisodeFeatures {
+                fingerprint: u128::from(i as u64 % 17),
+                source_len: (i * 31) % 700,
+                category: Some("syntax_error"),
+            })
+            .collect();
+        for plan in [Plan::grid(120), Plan::lpt(&features, &CostModel::static_only())] {
+            for jobs in [1, 2, 4] {
+                let (results, failures, metrics) = run_planned_checked(jobs, &plan, work);
+                assert_eq!(results, expected, "policy {:?} jobs {jobs}", plan.policy);
+                assert!(failures.is_empty());
+                assert_eq!(metrics.actual_us.len(), 120);
+                if jobs == 1 {
+                    assert_eq!(metrics.barrier_idle_us, 0, "no barrier when serial");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_executor_contains_panics_by_original_index() {
+        use crate::schedule::{CostModel, EpisodeFeatures, Plan};
+        let features: Vec<EpisodeFeatures> = (0..20)
+            .map(|i| EpisodeFeatures {
+                fingerprint: u128::from(i as u64 / 2),
+                source_len: 0,
+                category: None,
+            })
+            .collect();
+        let plan = Plan::lpt(&features, &CostModel::static_only());
+        for jobs in [1, 3] {
+            let (results, failures, _) = quietly(|| {
+                run_planned_checked(jobs, &plan, |i| {
+                    if i == 7 || i == 13 {
+                        panic!("episode {i} fell over");
+                    }
+                    i * 2
+                })
+            });
+            assert_eq!(results.len(), 20, "jobs = {jobs}");
+            assert_eq!(results[6], Some(12));
+            assert_eq!(results[7], None);
+            assert_eq!(results[13], None);
+            let indices: Vec<usize> = failures.iter().map(|f| f.index).collect();
+            assert_eq!(indices, vec![7, 13], "failures stay in index order, jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn planned_telemetry_merges_identically_to_the_legacy_pool() {
+        // The registry aggregate must be a pure function of the episode
+        // set under every engine and plan: per-episode telemetry merges at
+        // the barrier in index order regardless of claim order.
+        use crate::schedule::{CostModel, EpisodeFeatures, Plan};
+        rtlfixer_obs::set_telemetry(true);
+        let work = |i: usize| {
+            rtlfixer_obs::counter_add("test.sched.episodes", 1);
+            rtlfixer_obs::observe("test.sched.value", (i as u64) * 13 % 50);
+            i
+        };
+        let ours = |snap: &rtlfixer_obs::Snapshot| {
+            let counters: Vec<(String, u64)> = snap
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("test.sched."))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            let hists: Vec<(String, rtlfixer_obs::Histogram)> = snap
+                .hists
+                .iter()
+                .filter(|(k, _)| k.starts_with("test.sched."))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            (counters, hists)
+        };
+        rtlfixer_obs::reset();
+        let _ = run_indexed(1, 30, work);
+        let legacy = ours(&rtlfixer_obs::snapshot());
+        let features: Vec<EpisodeFeatures> = (0..30)
+            .map(|i| EpisodeFeatures {
+                fingerprint: u128::from(i as u64 % 5),
+                source_len: i,
+                category: Some("width_mismatch"),
+            })
+            .collect();
+        let plan = Plan::lpt(&features, &CostModel::static_only());
+        for jobs in [1, 4] {
+            rtlfixer_obs::reset();
+            let _ = run_planned_checked(jobs, &plan, work);
+            assert_eq!(ours(&rtlfixer_obs::snapshot()), legacy, "jobs = {jobs}");
+        }
+        rtlfixer_obs::set_telemetry(false);
+        rtlfixer_obs::reset();
+    }
+
+    #[test]
+    fn run_stats_accumulate_folds_scheduler_metadata() {
+        use crate::schedule::SchedulerStats;
+        let mut total = RunStats::new(10, Duration::from_secs(1)).with_scheduler(SchedulerStats {
+            policy: "lpt",
+            batches: 4,
+            coalesced: 6,
+            rank_correlation: 1.0,
+            barrier_idle_us: 10,
+        });
+        let other = RunStats::new(30, Duration::from_secs(3)).with_scheduler(SchedulerStats {
+            policy: "lpt",
+            batches: 10,
+            coalesced: 20,
+            rank_correlation: 0.0,
+            barrier_idle_us: 30,
+        });
+        total.accumulate(&other);
+        assert_eq!(total.episodes, 40);
+        assert!((total.seconds - 4.0).abs() < 1e-12);
+        assert!((total.episodes_per_sec - 10.0).abs() < 1e-12);
+        let sched = total.scheduler.expect("merged scheduler stats");
+        assert_eq!(sched.batches, 14);
+        assert_eq!(sched.coalesced, 26);
+        assert_eq!(sched.barrier_idle_us, 40);
+        assert!((sched.rank_correlation - 0.25).abs() < 1e-12, "{sched:?}");
+        // Folding into a scheduler-less total adopts the other side's stats.
+        let mut bare = RunStats::new(5, Duration::from_secs(1));
+        bare.accumulate(&other);
+        assert_eq!(bare.scheduler.expect("adopted").batches, 10);
     }
 
     #[test]
