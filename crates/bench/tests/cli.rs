@@ -454,6 +454,189 @@ fn sharded_merge_is_byte_identical_to_unsharded() {
     assert!(stderr.contains("does not match this invocation"), "{stderr}");
 }
 
+/// Spawns the serve daemon as a subprocess (via `servebench --daemon`,
+/// since `CARGO_BIN_EXE_*` only covers this package's binaries) and
+/// returns the child plus the ephemeral port it announced on stdout.
+fn spawn_daemon(extra_args: &[&str]) -> (std::process::Child, u16) {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_servebench"))
+        .arg("--daemon")
+        .args(extra_args)
+        .env_remove("RTLFIXER_FAULTS")
+        .env_remove("RTLFIXER_TRACE")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon subprocess starts");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout).read_line(&mut line).expect("listening line");
+    let announce: serde_json::Value =
+        serde_json::from_str(line.trim()).expect("listening line is JSON");
+    let port = announce["port"].as_u64().expect("announced port") as u16;
+    (child, port)
+}
+
+/// A line-delimited JSON client for the daemon subprocess tests.
+struct ServeClient {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl ServeClient {
+    fn connect(port: u16) -> ServeClient {
+        let stream =
+            std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+        ServeClient { reader, writer: stream }
+    }
+
+    fn send(&mut self, line: &str) {
+        use std::io::Write;
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().expect("flush request");
+    }
+
+    fn recv(&mut self) -> serde_json::Value {
+        use std::io::BufRead;
+        let mut line = String::new();
+        assert!(self.reader.read_line(&mut line).expect("read event") > 0, "daemon hung up");
+        serde_json::from_str(line.trim()).unwrap_or_else(|e| panic!("bad event `{line}`: {e}"))
+    }
+
+    fn ev(value: &serde_json::Value) -> String {
+        // The vendored Value has no as_str; round-trip the tag via JSON.
+        serde_json::to_string(&value["ev"]).expect("ev tag").trim_matches('"').to_owned()
+    }
+}
+
+const SERVE_BROKEN: &str = "module m(input [7:0] in, output reg [7:0] out);\n\
+                            always @(posedge clk) out <= in;\nendmodule";
+
+fn serve_fix_request(code: &str) -> String {
+    format!("{{\"op\":\"fix\",\"code\":{}}}", rtlfixer_obs::json_string(code))
+}
+
+#[test]
+fn serve_daemon_subprocess_fixes_over_the_wire() {
+    let (mut child, port) = spawn_daemon(&[]);
+    let mut client = ServeClient::connect(port);
+    client.send("{\"op\":\"ping\"}");
+    assert_eq!(ServeClient::ev(&client.recv()), "pong");
+    client.send(&serve_fix_request(SERVE_BROKEN));
+    let (mut accepted, mut traces) = (false, 0usize);
+    loop {
+        let event = client.recv();
+        match ServeClient::ev(&event).as_str() {
+            "accepted" => accepted = true,
+            "trace" => traces += 1,
+            "result" => {
+                // The streamed trace ends in a fix that compiled.
+                assert_eq!(serde_json::to_string(&event["success"]).unwrap(), "true", "{event:?}");
+                break;
+            }
+            other => panic!("unexpected event `{other}`"),
+        }
+    }
+    assert!(accepted && traces > 0, "accepted={accepted} traces={traces}");
+    // A client-initiated shutdown drains the daemon to a clean exit.
+    client.send("{\"op\":\"shutdown\"}");
+    assert_eq!(ServeClient::ev(&client.recv()), "shutdown-ack");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status {status:?}");
+}
+
+#[test]
+fn serve_daemon_sigterm_drains_gracefully() {
+    // A 400 ms service floor keeps the first request in flight while the
+    // signal lands.
+    let (mut child, port) = spawn_daemon(&["--workers", "1", "--min-service-ms", "400"]);
+    let mut client = ServeClient::connect(port);
+    client.send(&serve_fix_request(SERVE_BROKEN));
+    let event = client.recv();
+    assert_eq!(ServeClient::ev(&event), "accepted");
+
+    let term = Command::new("/usr/bin/kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill -TERM runs");
+    assert!(term.success(), "kill -TERM failed");
+    // Give the daemon's 10 ms signal poll time to flip into draining.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // A late request is rejected with `draining` — not silently dropped,
+    // not a connection refusal.
+    let late = SERVE_BROKEN.replace("module m(", "module late(");
+    client.send(&serve_fix_request(&late));
+    let mut saw_draining_reject = false;
+    let mut saw_result = false;
+    while !(saw_draining_reject && saw_result) {
+        let event = client.recv();
+        match ServeClient::ev(&event).as_str() {
+            "trace" => {}
+            "rejected" => {
+                assert_eq!(
+                    serde_json::to_string(&event["reason"]).unwrap(),
+                    "\"draining\"",
+                    "{event:?}"
+                );
+                saw_draining_reject = true;
+            }
+            "result" => {
+                // The in-flight episode still completed: graceful drain.
+                assert_eq!(serde_json::to_string(&event["success"]).unwrap(), "true", "{event:?}");
+                saw_result = true;
+            }
+            other => panic!("unexpected event `{other}`"),
+        }
+    }
+    let status = child.wait().expect("daemon exits after drain");
+    assert!(status.success(), "daemon exit status {status:?}");
+}
+
+#[test]
+fn servebench_quick_smoke_records_overload_curve() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_servebench_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_servebench"))
+        .arg("--quick")
+        .env_remove("RTLFIXER_FAULTS")
+        .env("RTLFIXER_RESULTS_DIR", &results_dir)
+        .output()
+        .expect("servebench binary runs");
+    assert!(
+        output.status.success(),
+        "servebench --quick failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("byte-identical streams"), "{stdout}");
+    assert!(stdout.contains("0 mismatches"), "{stdout}");
+
+    let text = std::fs::read_to_string(results_dir.join("bench_eval.json"))
+        .expect("bench_eval.json written");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let entry = &json["servebench"];
+    let levels = entry["overload"].as_array().expect("overload sweep");
+    assert_eq!(levels.len(), 4, "{text}");
+    // Bounded queue under 2x capacity: backpressure rises monotonically
+    // and the top level actually rejects/sheds.
+    let pressure: Vec<u64> = levels
+        .iter()
+        .map(|l| l["rejected"].as_u64().unwrap() + l["shed"].as_u64().unwrap())
+        .collect();
+    assert!(pressure.windows(2).all(|p| p[0] <= p[1]), "{pressure:?}");
+    assert!(*pressure.last().unwrap() > 0, "{pressure:?}");
+    // Accepted latency stays bounded and nothing panicked.
+    assert!(entry["contract"]["p99_ratio"].as_f64().unwrap() <= 3.0, "{text}");
+    assert_eq!(entry["contract"]["errors"].as_u64(), Some(0), "{text}");
+    assert_eq!(entry["chaos"]["mismatches"].as_u64(), Some(0), "{text}");
+    assert_eq!(serde_json::to_string(&entry["coalesce"]["byte_identical"]).unwrap(), "true", "{text}");
+}
+
 #[test]
 fn sim_tape_kill_switch_is_bit_identical_to_unset() {
     let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_tape_off_results");

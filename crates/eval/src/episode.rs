@@ -1,0 +1,116 @@
+//! The canonical single-episode execution path.
+//!
+//! Every consumer of the fix pipeline — the Table 1 grid, the ablation
+//! sweeps, the chaos harness and the `rtlfixer-serve` daemon — runs the
+//! same episode: build a seeded [`SimulatedLlm`], wrap it in the
+//! [`ResilientModel`] transport, assemble an [`RtlFixerBuilder`] and call
+//! `fix_problem`. Before this module each caller open-coded that recipe,
+//! which is exactly how a served request and a batch episode drift apart.
+//! [`run_repair`] is the one place the recipe lives: a served request with
+//! the same [`RepairJob`] as a batch episode produces the same
+//! [`FixOutcome`], bit for bit, which is what lets `servebench` check the
+//! daemon's fix rate against the batch baseline.
+
+use rtlfixer_agent::{FixOutcome, RtlFixerBuilder, Strategy};
+use rtlfixer_compilers::CompilerKind;
+use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
+
+/// Everything that determines a repair episode's result. Two equal jobs
+/// produce equal [`FixOutcome`]s regardless of where they run (batch pool,
+/// serve worker, test harness).
+#[derive(Debug, Clone, Copy)]
+pub struct RepairJob<'a> {
+    /// Natural-language problem description (may be empty).
+    pub problem: &'a str,
+    /// The broken RTL source.
+    pub code: &'a str,
+    /// Compiler personality providing feedback.
+    pub compiler: CompilerKind,
+    /// Fixing strategy (one-shot or ReAct).
+    pub strategy: Strategy,
+    /// Whether retrieval-augmented guidance is on.
+    pub rag: bool,
+    /// Simulated LLM capability class.
+    pub capability: Capability,
+    /// Episode seed: drives the model, the fault streams and the retry
+    /// jitter.
+    pub seed: u64,
+    /// Optional deadline cap, in simulated ms, propagated into the
+    /// [`ResilientModel`] retry budget — a served request never burns
+    /// retries past its deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+impl<'a> RepairJob<'a> {
+    /// A job with the paper's defaults (ReAct ×10, Quartus, RAG on,
+    /// GPT-3.5-class model, no deadline).
+    pub fn new(problem: &'a str, code: &'a str, seed: u64) -> Self {
+        RepairJob {
+            problem,
+            code,
+            compiler: CompilerKind::Quartus,
+            strategy: Strategy::React { max_iterations: 10 },
+            rag: true,
+            capability: Capability::Gpt35Class,
+            seed,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Runs one repair episode. The resilient transport and the compiler
+/// fault stream are both seeded from the job seed: with `RTLFIXER_FAULTS`
+/// unset they are inert pass-throughs, and with a spec set the injected
+/// faults are identical at every worker count and in every host (batch or
+/// daemon).
+pub fn run_repair(job: &RepairJob) -> FixOutcome {
+    let mut llm = ResilientModel::new(SimulatedLlm::new(job.capability, job.seed), job.seed);
+    if let Some(deadline) = job.deadline_ms {
+        llm = llm.with_deadline(deadline);
+    }
+    let mut fixer = RtlFixerBuilder::new()
+        .compiler(job.compiler)
+        .strategy(job.strategy)
+        .with_rag(job.rag)
+        .fault_seed(job.seed)
+        .build(llm);
+    fixer.fix_problem(job.problem, job.code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BROKEN: &str = "module m(input [7:0] in, output reg [7:0] out);\n\
+                          always @(posedge clk) out <= in;\nendmodule";
+
+    #[test]
+    fn equal_jobs_produce_equal_outcomes() {
+        let job = RepairJob::new("register the input", BROKEN, 17);
+        let a = run_repair(&job);
+        let b = run_repair(&job);
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.final_code, b.final_code);
+        assert_eq!(a.revisions, b.revisions);
+        assert_eq!(a.trace.steps.len(), b.trace.steps.len());
+    }
+
+    #[test]
+    fn defaults_fix_a_simple_archetype() {
+        let outcome = run_repair(&RepairJob::new("register the input", BROKEN, 3));
+        assert!(outcome.success, "trace: {:?}", outcome.trace.steps);
+        assert!(outcome.final_code.contains("endmodule"));
+    }
+
+    #[test]
+    fn deadline_does_not_change_fault_free_results() {
+        // With faults off the deadline only clips retry budgets that are
+        // never spent; outcomes stay bit-identical.
+        let base = RepairJob::new("register the input", BROKEN, 29);
+        let capped = RepairJob { deadline_ms: Some(100), ..base };
+        let a = run_repair(&base);
+        let b = run_repair(&capped);
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.final_code, b.final_code);
+    }
+}

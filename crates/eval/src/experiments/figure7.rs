@@ -3,11 +3,12 @@
 
 use serde::Serialize;
 
-use rtlfixer_agent::{RtlFixerBuilder, Strategy};
+use rtlfixer_agent::Strategy;
 use rtlfixer_compilers::CompilerKind;
-use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
+use rtlfixer_llm::Capability;
 
 use super::table1::{load_entries, FixRateConfig};
+use crate::episode::{run_repair, RepairJob};
 use crate::runner::{episode_grid, run_episodes, RunStats};
 
 /// Seed-namespace cell for the Figure 7 grid (see [`crate::runner`]).
@@ -47,15 +48,16 @@ pub fn figure7(config: &FixRateConfig) -> IterationHistogram {
     // Per-episode outcome: Some(revisions) when resolved, None otherwise.
     let (outcomes, stats) = run_episodes(config.jobs, &specs, |spec| {
         let entry = &entries[spec.entry];
-        let llm =
-            ResilientModel::new(SimulatedLlm::new(Capability::Gpt35Class, spec.seed), spec.seed);
-        let mut fixer = RtlFixerBuilder::new()
-            .compiler(CompilerKind::Quartus)
-            .strategy(Strategy::React { max_iterations })
-            .with_rag(true)
-            .fault_seed(spec.seed)
-            .build(llm);
-        let outcome = fixer.fix_problem(&entry.description, &entry.code);
+        let outcome = run_repair(&RepairJob {
+            problem: &entry.description,
+            code: &entry.code,
+            compiler: CompilerKind::Quartus,
+            strategy: Strategy::React { max_iterations },
+            rag: true,
+            capability: Capability::Gpt35Class,
+            seed: spec.seed,
+            deadline_ms: None,
+        });
         outcome.success.then_some(outcome.revisions)
     });
     let mut counts = vec![0usize; max_iterations];

@@ -6,11 +6,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::Serialize;
 
-use rtlfixer_agent::{RtlFixerBuilder, Strategy};
+use rtlfixer_agent::Strategy;
 use rtlfixer_compilers::CompilerKind;
 use rtlfixer_dataset::SyntaxBenchEntry;
-use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
+use rtlfixer_llm::Capability;
 
+use crate::episode::{run_repair, RepairJob};
 use crate::metrics::fix_rate;
 use crate::runner::{episode_grid, run_episodes_planned, EpisodeSpec, RunStats};
 use crate::schedule::{self, EpisodeFeatures, Shard};
@@ -143,18 +144,20 @@ pub fn run_cell_verdicts(
         .collect();
     let (results, failures, stats) = run_episodes_planned(config.jobs, &specs, &features, |spec| {
         let entry = &entries[spec.entry];
-        // The resilient transport and the compiler fault stream are both
-        // seeded from the episode seed: with `RTLFIXER_FAULTS` unset they
-        // are inert pass-throughs, and with a spec set the injected faults
-        // are identical at every worker count.
-        let llm = ResilientModel::new(SimulatedLlm::new(capability, spec.seed), spec.seed);
-        let mut fixer = RtlFixerBuilder::new()
-            .compiler(compiler)
-            .strategy(strategy)
-            .with_rag(rag)
-            .fault_seed(spec.seed)
-            .build(llm);
-        fixer.fix_problem(&entry.description, &entry.code).success
+        // The canonical episode path (`episode::run_repair`) — shared with
+        // the serve daemon, so a served request reproduces a batch episode
+        // exactly.
+        run_repair(&RepairJob {
+            problem: &entry.description,
+            code: &entry.code,
+            compiler,
+            strategy,
+            rag,
+            capability,
+            seed: spec.seed,
+            deadline_ms: None,
+        })
+        .success
     });
     if let Some(first) = failures.first() {
         panic!(

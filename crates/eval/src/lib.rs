@@ -32,15 +32,17 @@
 
 #![warn(missing_docs)]
 
+pub mod episode;
 pub mod experiments;
 pub mod metrics;
 pub mod runner;
 pub mod schedule;
 pub mod sim_debug;
 
+pub use episode::{run_repair, RepairJob};
 pub use metrics::{fix_rate, mean_pass_at_k, pass_at_k};
 pub use runner::{
-    cache_report, episode_seed, resolve_jobs, run_episodes, run_episodes_checked,
+    cache_report, episode_seed, panic_message, resolve_jobs, run_episodes, run_episodes_checked,
     run_episodes_planned, run_indexed_checked, run_planned_checked, CacheReport, EpisodeFailure,
     EpisodeSpec, PlannedMetrics, RunStats,
 };

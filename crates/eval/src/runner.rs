@@ -106,14 +106,31 @@ pub struct EpisodeFailure {
 }
 
 /// Renders a caught panic payload for an [`EpisodeFailure`].
-fn panic_message(payload: Box<dyn Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
+///
+/// `panic!` payloads are `&str` / `String` and render verbatim. Typed
+/// payloads (`std::panic::panic_any` with an error code, an exit status, a
+/// structured error) get a best-effort `Debug` rendering for the common
+/// primitive types, so server logs are never blind to what actually
+/// escaped an episode.
+pub fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    macro_rules! try_debug {
+        ($($ty:ty),+ $(,)?) => {
+            $(if let Some(v) = payload.downcast_ref::<$ty>() {
+                return format!("panic payload ({}): {:?}", stringify!($ty), v);
+            })+
+        };
     }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_owned();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    try_debug!(
+        i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char,
+        Box<str>, Vec<String>, Option<String>, std::io::Error, std::fmt::Error,
+    );
+    format!("non-string panic payload ({:?})", (*payload).type_id())
 }
 
 /// Like [`run_indexed`], but a panicking task yields a structured
@@ -681,6 +698,32 @@ mod tests {
             assert_eq!(indices, vec![7, 13], "jobs = {jobs}");
             assert!(failures[0].message.contains("episode 7 fell over"));
         }
+    }
+
+    #[test]
+    fn non_string_panic_payloads_render_debug() {
+        // Regression: `panic_any` with a typed payload (an errno, an exit
+        // status, a structured error) used to collapse to the blind
+        // "non-string panic payload" — server logs need the value.
+        let (results, failures) = quietly(|| {
+            run_indexed_checked(2, 4, |i| {
+                match i {
+                    1 => std::panic::panic_any(42i32),
+                    2 => std::panic::panic_any(Some("poisoned".to_owned())),
+                    _ => {}
+                }
+                i
+            })
+        });
+        assert_eq!(results[0], Some(0));
+        assert_eq!(failures.len(), 2);
+        assert!(failures[0].message.contains("i32") && failures[0].message.contains("42"),
+            "{}", failures[0].message);
+        assert!(failures[1].message.contains("poisoned"), "{}", failures[1].message);
+        // Truly opaque payloads still identify themselves by type id.
+        struct Opaque;
+        let message = panic_message(Box::new(Opaque));
+        assert!(message.contains("non-string panic payload (TypeId"), "{message}");
     }
 
     #[test]

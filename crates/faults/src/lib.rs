@@ -30,8 +30,25 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// An injection site: one class of unreliable boundary the fixer crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// The LLM transport / decode path.
+    Llm,
+    /// The EDA compiler subprocess.
+    Compiler,
+    /// The serving layer (`rtlfixer-serve`): sockets, queues, admission.
+    Server,
+}
+
+impl Site {
+    /// All sites, in [`FaultKind::ALL`] grouping order.
+    pub const ALL: [Site; 3] = [Site::Llm, Site::Compiler, Site::Server];
+}
+
 /// Every injectable fault. The first six strike the LLM transport / decode
-/// path; the last two strike the compiler.
+/// path; the next two strike the compiler; the last three strike the
+/// serving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// The API call times out; no completion is delivered.
@@ -50,11 +67,21 @@ pub enum FaultKind {
     CompilerCrash,
     /// The compiler produces a corrupted, tag-less log.
     GarbledLog,
+    /// A client trickles its request line in byte by byte, pinning a
+    /// connection slot (slow-loris).
+    SlowLorisRequest,
+    /// The client socket drops mid-response; streamed trace events after
+    /// the disconnect go nowhere.
+    MidStreamDisconnect,
+    /// A synthetic admission storm: the queue reports full even though
+    /// real occupancy is lower, forcing a shed decision.
+    QueueFullStorm,
 }
 
 impl FaultKind {
-    /// All kinds, LLM-side first (the order of [`FaultSpec`] rates).
-    pub const ALL: [FaultKind; 8] = [
+    /// All kinds, grouped by site — LLM first, then compiler, then server
+    /// (the order of [`FaultSpec`] rates).
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::Timeout,
         FaultKind::RateLimited,
         FaultKind::TruncatedCompletion,
@@ -63,6 +90,9 @@ impl FaultKind {
         FaultKind::TransientServerError,
         FaultKind::CompilerCrash,
         FaultKind::GarbledLog,
+        FaultKind::SlowLorisRequest,
+        FaultKind::MidStreamDisconnect,
+        FaultKind::QueueFullStorm,
     ];
 
     /// Stable kebab-case identifier (spec syntax, reports, trace steps).
@@ -76,6 +106,9 @@ impl FaultKind {
             FaultKind::TransientServerError => "transient-server-error",
             FaultKind::CompilerCrash => "compiler-crash",
             FaultKind::GarbledLog => "garbled-log",
+            FaultKind::SlowLorisRequest => "slow-loris",
+            FaultKind::MidStreamDisconnect => "mid-stream-disconnect",
+            FaultKind::QueueFullStorm => "queue-full-storm",
         }
     }
 
@@ -84,9 +117,21 @@ impl FaultKind {
         FaultKind::ALL.into_iter().find(|k| k.slug() == slug)
     }
 
-    /// Whether this kind strikes the LLM call site (vs the compiler).
+    /// The call site this kind strikes.
+    pub fn site(self) -> Site {
+        match self {
+            FaultKind::CompilerCrash | FaultKind::GarbledLog => Site::Compiler,
+            FaultKind::SlowLorisRequest
+            | FaultKind::MidStreamDisconnect
+            | FaultKind::QueueFullStorm => Site::Server,
+            _ => Site::Llm,
+        }
+    }
+
+    /// Whether this kind strikes the LLM call site (vs the compiler or the
+    /// serving layer).
     pub fn is_llm_side(self) -> bool {
-        !matches!(self, FaultKind::CompilerCrash | FaultKind::GarbledLog)
+        self.site() == Site::Llm
     }
 
     fn index(self) -> usize {
@@ -101,25 +146,25 @@ impl FaultKind {
 /// rates, capped at 1.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSpec {
-    rates: [f64; 8],
+    rates: [f64; 11],
 }
 
 impl FaultSpec {
     /// A spec injecting nothing (useful as a parse base).
     pub fn none() -> Self {
-        FaultSpec { rates: [0.0; 8] }
+        FaultSpec { rates: [0.0; 11] }
     }
 
     /// A spec where every call site faults with total probability `rate`,
     /// split evenly across that site's kinds — the chaos sweep's single
-    /// knob.
+    /// knob. Each site splits independently, so batch runs (which never
+    /// open a server-site plan) draw identically whether or not the
+    /// serving kinds exist.
     pub fn uniform(rate: f64) -> Self {
         let rate = rate.clamp(0.0, 1.0);
-        let llm_kinds = FaultKind::ALL.iter().filter(|k| k.is_llm_side()).count();
-        let compiler_kinds = FaultKind::ALL.len() - llm_kinds;
         let mut spec = FaultSpec::none();
         for kind in FaultKind::ALL {
-            let share = if kind.is_llm_side() { llm_kinds } else { compiler_kinds };
+            let share = FaultKind::ALL.iter().filter(|k| k.site() == kind.site()).count();
             spec.rates[kind.index()] = rate / share as f64;
         }
         spec
@@ -138,9 +183,14 @@ impl FaultSpec {
 
     /// Total injection probability at one call site (capped at 1).
     pub fn site_total(&self, llm_side: bool) -> f64 {
+        self.site_rate(if llm_side { Site::Llm } else { Site::Compiler })
+    }
+
+    /// Total injection probability at one [`Site`] (capped at 1).
+    pub fn site_rate(&self, site: Site) -> f64 {
         FaultKind::ALL
             .iter()
-            .filter(|k| k.is_llm_side() == llm_side)
+            .filter(|k| k.site() == site)
             .map(|k| self.rates[k.index()])
             .sum::<f64>()
             .min(1.0)
@@ -228,6 +278,7 @@ pub fn enabled() -> bool {
 // model randomness, which mixes nothing in).
 const LLM_SALT: u64 = 0xFA17_5EED_11C0_DE01;
 const COMPILER_SALT: u64 = 0xFA17_5EED_C0DE_C0DE;
+const SERVER_SALT: u64 = 0xFA17_5EED_5E12_7E00;
 
 /// The per-episode fault draw stream for one injection site.
 ///
@@ -238,7 +289,7 @@ const COMPILER_SALT: u64 = 0xFA17_5EED_C0DE_C0DE;
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     spec: Option<Arc<FaultSpec>>,
-    llm_side: bool,
+    site: Site,
     rng: StdRng,
 }
 
@@ -253,12 +304,19 @@ impl FaultPlan {
         Self::compiler_with(global_spec(), episode_seed)
     }
 
+    /// The server-site plan for a request, under the [`global_spec`].
+    /// Seeded by the request fingerprint rather than an episode seed, so a
+    /// request's serving-layer faults are as reproducible as its repairs.
+    pub fn server(request_seed: u64) -> Self {
+        Self::server_with(global_spec(), request_seed)
+    }
+
     /// The LLM-site plan under an explicit spec (chaos harness, tests —
     /// avoids mutating process-wide state).
     pub fn llm_with(spec: Option<Arc<FaultSpec>>, episode_seed: u64) -> Self {
         FaultPlan {
             spec,
-            llm_side: true,
+            site: Site::Llm,
             rng: StdRng::seed_from_u64(episode_seed ^ LLM_SALT),
         }
     }
@@ -267,33 +325,42 @@ impl FaultPlan {
     pub fn compiler_with(spec: Option<Arc<FaultSpec>>, episode_seed: u64) -> Self {
         FaultPlan {
             spec,
-            llm_side: false,
+            site: Site::Compiler,
             rng: StdRng::seed_from_u64(episode_seed ^ COMPILER_SALT),
+        }
+    }
+
+    /// The server-site plan under an explicit spec.
+    pub fn server_with(spec: Option<Arc<FaultSpec>>, request_seed: u64) -> Self {
+        FaultPlan {
+            spec,
+            site: Site::Server,
+            rng: StdRng::seed_from_u64(request_seed ^ SERVER_SALT),
         }
     }
 
     /// A plan that never injects (faults disabled).
     pub fn inert() -> Self {
-        FaultPlan { spec: None, llm_side: true, rng: StdRng::seed_from_u64(0) }
+        FaultPlan { spec: None, site: Site::Llm, rng: StdRng::seed_from_u64(0) }
     }
 
     /// Whether this plan can inject anything.
     pub fn is_active(&self) -> bool {
-        self.spec.as_ref().is_some_and(|s| s.site_total(self.llm_side) > 0.0)
+        self.spec.as_ref().is_some_and(|s| s.site_rate(self.site) > 0.0)
     }
 
     /// Draws the fault (if any) for the next call at this plan's site.
     /// Consumes exactly one RNG value when active, none otherwise.
     pub fn draw(&mut self) -> Option<FaultKind> {
         let spec = self.spec.as_ref()?;
-        let total = spec.site_total(self.llm_side);
+        let total = spec.site_rate(self.site);
         if total <= 0.0 {
             return None;
         }
         let x: f64 = self.rng.gen_range(0.0..1.0);
         let mut cumulative = 0.0;
         for kind in FaultKind::ALL {
-            if kind.is_llm_side() != self.llm_side {
+            if kind.site() != self.site {
                 continue;
             }
             cumulative += spec.rate(kind);
@@ -500,6 +567,37 @@ mod tests {
         assert!(a.iter().flatten().all(|k| k.is_llm_side()));
         assert!(d.iter().flatten().all(|k| !k.is_llm_side()));
         assert!(a.iter().any(|f| f.is_some()) && a.iter().any(|f| f.is_none()));
+    }
+
+    #[test]
+    fn server_site_draws_only_server_kinds() {
+        let spec = Arc::new(FaultSpec::uniform(0.5));
+        for site in Site::ALL {
+            assert!((spec.site_rate(site) - 0.5).abs() < 1e-12, "{site:?}");
+        }
+        let draw_all = |mut plan: FaultPlan| -> Vec<Option<FaultKind>> {
+            (0..64).map(|_| plan.draw()).collect()
+        };
+        let a = draw_all(FaultPlan::server_with(Some(spec.clone()), 42));
+        let b = draw_all(FaultPlan::server_with(Some(spec.clone()), 42));
+        assert_eq!(a, b, "same seed, same stream");
+        assert!(a.iter().flatten().all(|k| k.site() == Site::Server));
+        assert!(a.iter().flatten().all(|k| !k.is_llm_side()));
+        assert!(a.iter().any(|f| f.is_some()) && a.iter().any(|f| f.is_none()));
+        let llm = draw_all(FaultPlan::llm_with(Some(spec), 42));
+        assert_ne!(a, llm, "sites draw independent streams");
+    }
+
+    #[test]
+    fn server_spec_pairs_parse() {
+        let spec = FaultSpec::parse("slow-loris=0.1,queue-full-storm=0.2")
+            .unwrap()
+            .expect("active");
+        assert_eq!(spec.rate(FaultKind::SlowLorisRequest), 0.1);
+        assert_eq!(spec.rate(FaultKind::QueueFullStorm), 0.2);
+        assert!((spec.site_rate(Site::Server) - 0.3).abs() < 1e-12);
+        assert_eq!(spec.site_rate(Site::Llm), 0.0);
+        assert_eq!(spec.site_rate(Site::Compiler), 0.0);
     }
 
     #[test]

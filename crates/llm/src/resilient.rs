@@ -122,6 +122,7 @@ pub struct ResilientModel<L> {
     plan: FaultPlan,
     policy: RetryPolicy,
     ledger: RetryLedger,
+    deadline_ms: Option<u64>,
     consecutive_failures: u32,
     breaker_open: bool,
 }
@@ -150,6 +151,7 @@ impl<L: LanguageModel> ResilientModel<L> {
             plan,
             policy: RetryPolicy::default(),
             ledger: RetryLedger::default(),
+            deadline_ms: None,
             consecutive_failures: 0,
             breaker_open: false,
         }
@@ -159,6 +161,30 @@ impl<L: LanguageModel> ResilientModel<L> {
     pub fn policy(mut self, policy: RetryPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Caps the episode's *total* simulated retry wall-clock at an
+    /// external deadline (builder style). The retry budget becomes
+    /// `min(retry_budget_ms, deadline_ms)`: a served request stops
+    /// retrying at its deadline instead of exhausting the full backoff
+    /// schedule. `0` forbids retries entirely.
+    pub fn with_deadline(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// The external deadline cap, if any.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
+    }
+
+    /// The effective simulated wall-clock budget for retries this
+    /// episode: the policy budget, clipped by the deadline when set.
+    pub fn effective_retry_budget_ms(&self) -> u64 {
+        match self.deadline_ms {
+            Some(deadline) => self.policy.retry_budget_ms.min(deadline),
+            None => self.policy.retry_budget_ms,
+        }
     }
 
     /// The episode's resilience spend so far.
@@ -264,7 +290,7 @@ impl<L: LanguageModel> ResilientModel<L> {
                 return RepairTurn { response: None, events, malformed: false };
             }
             let backoff = self.backoff_ms(attempt);
-            if self.ledger.wall_ms + backoff > self.policy.retry_budget_ms {
+            if self.ledger.wall_ms + backoff > self.effective_retry_budget_ms() {
                 faults::record_exhausted(kind);
                 return RepairTurn { response: None, events, malformed: false };
             }
@@ -471,6 +497,41 @@ mod tests {
         for pair in backoffs.windows(2) {
             assert!(pair[1] >= pair[0], "backoff must not shrink: {backoffs:?}");
         }
+    }
+
+    #[test]
+    fn deadline_stops_retries_before_full_backoff_schedule() {
+        let always = Some(Arc::new(FaultSpec::none().with_rate(FaultKind::Timeout, 1.0)));
+        let run = |deadline: Option<u64>| {
+            let mut model = ResilientModel::with_spec(
+                SimulatedLlm::new(Capability::Gpt4Class, 23),
+                always.clone(),
+                23,
+            );
+            if let Some(ms) = deadline {
+                model = model.with_deadline(ms);
+            }
+            model.begin_episode();
+            let _ = model.propose_repair_turn(&request());
+            model.ledger()
+        };
+
+        // Without a deadline, certain faults walk the whole backoff
+        // schedule (250 + 500 + 1000 + 2000 plus jitter > 3750 ms).
+        let free = run(None);
+        assert!(free.retries >= 3, "{free:?}");
+        assert!(free.wall_ms > 3_000, "{free:?}");
+
+        // A 600 ms deadline stops the schedule after the first backoff
+        // step or two — never past the deadline.
+        let capped = run(Some(600));
+        assert!(capped.wall_ms <= 600, "{capped:?}");
+        assert!(capped.retries < free.retries, "{capped:?} vs {free:?}");
+
+        // A zero deadline forbids retries entirely.
+        let none = run(Some(0));
+        assert_eq!(none.retries, 0, "{none:?}");
+        assert_eq!(none.wall_ms, 0, "{none:?}");
     }
 
     #[test]

@@ -65,6 +65,9 @@ pub mod kind {
     /// One backoff-and-retry of the resilient LLM transport
     /// (simulated-clock duration).
     pub const RETRY: &str = "retry";
+    /// One served request's worker-side handling (shed check, episode,
+    /// fan-out) in the `rtlfixer-serve` daemon.
+    pub const REQUEST: &str = "request";
 }
 
 // ---- global switches ----------------------------------------------------

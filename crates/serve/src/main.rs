@@ -1,0 +1,11 @@
+//! `rtlfixer-serve`: the repair-as-a-service daemon binary. All the
+//! behaviour lives in [`rtlfixer_serve::daemon_main`] so the bench
+//! crate's subprocess tests can reuse it verbatim.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(err) = rtlfixer_serve::daemon_main(&args) {
+        eprintln!("rtlfixer-serve: {err}");
+        std::process::exit(2);
+    }
+}
