@@ -6,7 +6,9 @@
 //! per-cycle drive function. The first three designs are the historical
 //! PR 4 kernel benchmarks (tiny adder, 8-bit counter, 256-bit datapath);
 //! `crc16_comb` and `alu_seq` are compute-bound designs added alongside the
-//! tape backend, where per-cycle kernel work dominates harness overhead.
+//! tape backend, where per-cycle kernel work dominates harness overhead;
+//! `wide_128` and `wide_256` exercise the 2- and 4-limb wide fast-path
+//! register classes.
 
 use rtlfixer_sim::{value::LogicVec, Simulator};
 
@@ -38,6 +40,11 @@ const WIDE_256: &str = "module wide(input clk, input [7:0] d, output reg [255:0]
                         always @(posedge clk)\n\
                         acc <= {acc[247:0], d} ^ (acc >> 3);\nendmodule";
 
+const WIDE_128: &str = "module wide128(input clk, input [7:0] d, output reg [127:0] acc);\n\
+                        always @(posedge clk)\n\
+                        acc <= ({acc[119:0], d} ^ (acc >> 5)) + {120'h0, acc[127:120]};\n\
+                        endmodule";
+
 const CRC16_COMB: &str = "module crc16(input [7:0] d, input [15:0] crc_in,\n\
                           output reg [15:0] crc_out);\n\
                           integer i;\n\
@@ -53,7 +60,21 @@ const CRC16_COMB: &str = "module crc16(input [7:0] d, input [15:0] crc_in,\n\
                             crc_out = c;\n\
                           end\nendmodule";
 
-const ALU_SEQ: &str = "module alu(input clk, input [7:0] a, input [7:0] b,\n\
+// Branch-free CRC: the `{16{bit}} & poly` idiom replaces the data-dependent
+// `if`, so the unrolled loop compiles to straight-line dataflow — the shape
+// the bit-parallel lane engine packs without ever diverging.
+const CRC16_FLAT: &str = "module crc16f(input clk, input [7:0] d,\n\
+                          output reg [15:0] crc);\n\
+                          integer i;\n\
+                          reg [15:0] c;\n\
+                          always @(posedge clk) begin\n\
+                            c = crc;\n\
+                            for (i = 0; i < 8; i = i + 1)\n\
+                              c = {c[14:0], 1'b0} ^ ({16{c[15] ^ d[7 - i]}} & 16'h1021);\n\
+                            crc <= c ^ {8'h00, d};\n\
+                          end\nendmodule";
+
+const ALU_SEQ: &str ="module alu(input clk, input [7:0] a, input [7:0] b,\n\
                        input [2:0] op, output reg [15:0] y);\n\
                        always @(posedge clk) begin\n\
                          case (op)\n\
@@ -128,12 +149,28 @@ pub const SIM_DESIGNS: &[SimDesign] = &[
         step: step_clock,
     },
     SimDesign {
+        name: "wide_128",
+        module: "wide128",
+        source: WIDE_128,
+        watch: "acc",
+        init: init_wide,
+        step: step_clock,
+    },
+    SimDesign {
         name: "crc16_comb",
         module: "crc16",
         source: CRC16_COMB,
         watch: "crc_out",
         init: init_none,
         step: step_crc,
+    },
+    SimDesign {
+        name: "crc16_flat",
+        module: "crc16f",
+        source: CRC16_FLAT,
+        watch: "crc",
+        init: init_wide,
+        step: step_clock,
     },
     SimDesign {
         name: "alu_seq",

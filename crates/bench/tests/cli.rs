@@ -295,7 +295,9 @@ fn simbench_quick_smoke_records_throughput() {
         "cycle_small_comb",
         "cycle_medium_seq",
         "cycle_wide_256",
+        "cycle_wide_128",
         "cycle_crc16_comb",
+        "cycle_crc16_flat",
         "cycle_alu_seq",
     ] {
         assert!(stdout.contains(design), "{design} row missing:\n{stdout}");
@@ -303,15 +305,18 @@ fn simbench_quick_smoke_records_throughput() {
     assert!(stdout.contains("tree c/s"), "tree throughput column missing:\n{stdout}");
     assert!(stdout.contains("tape c/s"), "tape throughput column missing:\n{stdout}");
     assert!(stdout.contains("speedup"), "speedup column missing:\n{stdout}");
+    assert!(stdout.contains("limbs"), "limb-class column missing:\n{stdout}");
+    assert!(stdout.contains("16-seed"), "seed-sweep column missing:\n{stdout}");
+    assert!(stdout.contains("lane-occ"), "lane-occupancy column missing:\n{stdout}");
 
-    // The run recorded its aggregate cycle throughput (5 designs x 2
+    // The run recorded its aggregate cycle throughput (7 designs x 2
     // backends x 20k cycles) plus the per-design backend comparison and
     // tape compiler statistics.
     let text = std::fs::read_to_string(results_dir.join("bench_eval.json"))
         .expect("bench_eval.json written");
     let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
     let entry = &json["simbench"];
-    assert_eq!(entry["episodes"].as_u64(), Some(200_000), "{text}");
+    assert_eq!(entry["episodes"].as_u64(), Some(280_000), "{text}");
     assert_eq!(entry["failed_episodes"].as_u64(), Some(0), "{text}");
     assert!(entry["episodes_per_sec"].as_f64().unwrap_or(0.0) > 0.0, "{text}");
     let crc = &entry["design.crc16_comb"];
@@ -323,9 +328,27 @@ fn simbench_quick_smoke_records_throughput() {
     assert_eq!(crc["fast_hit_ratio"].as_f64(), Some(1.0), "{text}");
     assert!(crc["tape_ops_emitted"].as_u64().unwrap_or(0) > 0, "{text}");
     assert!(crc["tape_ops_folded"].as_u64().unwrap_or(0) > 0, "{text}");
-    // The wide 256-bit design exceeds the 64-bit fast-path word: every run
-    // must take the four-state ops.
-    assert_eq!(json["simbench"]["design.wide_256"]["fast_hit_ratio"].as_f64(), Some(0.0), "{text}");
+    // The wide designs exceed the 64-bit word but stay on the multi-limb
+    // two-state fast path: 4 limbs at 256 bits, 2 at 128, zero rejected
+    // processes, 100% hits.
+    for (design, limbs) in [("design.wide_256", 4), ("design.wide_128", 2)] {
+        let wide = &entry[design];
+        assert_eq!(wide["fast_hit_ratio"].as_f64(), Some(1.0), "{design}: {text}");
+        assert_eq!(wide["limb_class"].as_u64(), Some(limbs), "{design}: {text}");
+        assert_eq!(wide["fast_rejected_procs"].as_u64(), Some(0), "{design}: {text}");
+    }
+    // The branch-free CRC is lane-eligible: the 16-seed sweep runs fully
+    // packed (occupancy 1.0) and finishes in less wall time than 16 solo
+    // runs would (ratio < 16). The ratio itself is wall-clock and noisy,
+    // so the bound is deliberately loose.
+    let flat = &entry["design.crc16_flat"];
+    assert_eq!(flat["lane_occupancy"].as_f64(), Some(1.0), "{text}");
+    let ratio = flat["lane_sweep_seed_ratio"].as_f64().unwrap_or(0.0);
+    assert!(ratio > 0.0 && ratio < 16.0, "seed ratio {ratio} out of range: {text}");
+    // The data-dependent-branch CRC diverges per seed almost immediately:
+    // nearly every lane-step falls back to a solo run.
+    let comb_occ = entry["design.crc16_comb"]["lane_occupancy"].as_f64().unwrap_or(1.0);
+    assert!(comb_occ < 0.5, "divergent design stayed packed ({comb_occ}): {text}");
 }
 
 #[test]
@@ -664,5 +687,42 @@ fn sim_tape_kill_switch_is_bit_identical_to_unset() {
         ),
         unset,
         "fix rates diverged with both sim kill switches off"
+    );
+}
+
+#[test]
+fn sim_kernel_30_kill_switches_are_bit_identical_to_unset() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_kernel30_off_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    // The three kernel-3.0 layers — closure-threaded dispatch, the
+    // multi-limb wide fast path and the bit-parallel lane engine — are
+    // pure execution strategies: every spelling of each kill switch (and
+    // an unrecognised spelling, which leaves the layer on) must reproduce
+    // the default run bit-for-bit. This is the subprocess complement of
+    // the in-process four-way matrix in `sim_kernel_invariance.rs`.
+    let unset = table1_fix_rates_with("2", &results_dir, &[]);
+    for switch in ["RTLFIXER_SIM_THREADED", "RTLFIXER_SIM_WIDE", "RTLFIXER_SIM_LANES"] {
+        for spec in ["off", "0", "false", "not-a-spec"] {
+            assert_eq!(
+                table1_fix_rates_with("2", &results_dir, &[(switch, spec)]),
+                unset,
+                "fix rates diverged at {switch}={spec}"
+            );
+        }
+    }
+    // All kernel-3.0 layers off at once: the plain interpreted tape.
+    assert_eq!(
+        table1_fix_rates_with(
+            "2",
+            &results_dir,
+            &[
+                ("RTLFIXER_SIM_THREADED", "0"),
+                ("RTLFIXER_SIM_WIDE", "0"),
+                ("RTLFIXER_SIM_LANES", "0"),
+            ],
+        ),
+        unset,
+        "fix rates diverged with every kernel-3.0 switch off"
     );
 }

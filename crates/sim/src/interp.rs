@@ -35,13 +35,12 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use rtlfixer_verilog::ast::{AssignOp, BinaryOp, CaseKind, Edge, SelectMode, UnaryOp};
-use rtlfixer_verilog::const_eval::clog2;
 
 use crate::elab::Design;
 use crate::lower::{
     KBase, KExpr, KExprKind, KLval, KProc, KProcBody, KStmt, KVarRef, Kernel, SigId,
 };
-use crate::tape::{bitmask, FOp, FastTape, Op, Tape, TapeStats};
+use crate::tape::{Op, Tape, TapeStats};
 use crate::value::{Bit, LogicVec, ReduceOp};
 
 /// Maximum iterations of the combinational settle loop before the design is
@@ -63,7 +62,7 @@ pub enum StateValue {
 
 /// A resolved non-blocking write target.
 #[derive(Debug, Clone)]
-enum Target {
+pub(crate) enum Target {
     Whole(SigId),
     Bits(SigId, u32, u32),
     Word(SigId, usize),
@@ -72,9 +71,9 @@ enum Target {
 
 /// A scheduled non-blocking write.
 #[derive(Debug, Clone)]
-struct NbaWrite {
-    target: Target,
-    value: LogicVec,
+pub(crate) struct NbaWrite {
+    pub(crate) target: Target,
+    pub(crate) value: LogicVec,
 }
 
 /// Simulation-level failure.
@@ -115,26 +114,26 @@ impl std::error::Error for SimError {}
 
 /// A fixed-capacity bitset over `SigId`s.
 #[derive(Debug, Clone)]
-struct BitSet {
+pub(crate) struct BitSet {
     words: Vec<u64>,
 }
 
 impl BitSet {
-    fn new(bits: usize) -> BitSet {
+    pub(crate) fn new(bits: usize) -> BitSet {
         BitSet { words: vec![0; bits.div_ceil(64)] }
     }
 
     /// All bits set (trailing bits past `bits` are harmless: no `SigId`
     /// maps to them).
-    fn all(bits: usize) -> BitSet {
+    pub(crate) fn all(bits: usize) -> BitSet {
         BitSet { words: vec![u64::MAX; bits.div_ceil(64)] }
     }
 
-    fn get(&self, i: SigId) -> bool {
+    pub(crate) fn get(&self, i: SigId) -> bool {
         (self.words[i as usize / 64] >> (i % 64)) & 1 == 1
     }
 
-    fn set(&mut self, i: SigId) {
+    pub(crate) fn set(&mut self, i: SigId) {
         self.words[i as usize / 64] |= 1u64 << (i % 64);
     }
 
@@ -142,7 +141,7 @@ impl BitSet {
         self.words[i as usize / 64] &= !(1u64 << (i % 64));
     }
 
-    fn clear_all(&mut self) {
+    pub(crate) fn clear_all(&mut self) {
         self.words.fill(0);
     }
 }
@@ -150,7 +149,7 @@ impl BitSet {
 /// Per-sweep change journal: `touched` records a first-touch snapshot of
 /// every signal written this sweep (deduplicated through `mask`) so the
 /// fixpoint check can compare exactly the slots that might have changed.
-struct SweepLog<'a> {
+pub(crate) struct SweepLog<'a> {
     mask: &'a mut BitSet,
     touched: &'a mut Vec<(SigId, StateValue)>,
 }
@@ -158,14 +157,14 @@ struct SweepLog<'a> {
 /// Write observer threaded through execution: every value-changing signal
 /// write sets its dirty bit (scheduling dependent processes), and — during a
 /// settle sweep — journals the pre-write value.
-struct WriteLog<'a> {
+pub(crate) struct WriteLog<'a> {
     dirty: &'a mut BitSet,
     sweep: Option<SweepLog<'a>>,
 }
 
 /// Records that `id` is about to change. Must be called *before* the state
 /// slot is mutated (the sweep journal snapshots the old value).
-fn note_change(state: &[StateValue], log: &mut Option<WriteLog<'_>>, id: SigId) {
+pub(crate) fn note_change(state: &[StateValue], log: &mut Option<WriteLog<'_>>, id: SigId) {
     if let Some(log) = log {
         log.dirty.set(id);
         if let Some(sweep) = &mut log.sweep {
@@ -178,7 +177,12 @@ fn note_change(state: &[StateValue], log: &mut Option<WriteLog<'_>>, id: SigId) 
 }
 
 /// Replaces `state[id]` with `new`, skipping (and not logging) no-op writes.
-fn set_state(state: &mut [StateValue], log: &mut Option<WriteLog<'_>>, id: SigId, new: StateValue) {
+pub(crate) fn set_state(
+    state: &mut [StateValue],
+    log: &mut Option<WriteLog<'_>>,
+    id: SigId,
+    new: StateValue,
+) {
     if state[id as usize] == new {
         return;
     }
@@ -192,6 +196,9 @@ fn set_state(state: &mut [StateValue], log: &mut Option<WriteLog<'_>>, id: SigId
 /// environment, 1 = force off, 2 = force on.
 static FORCE_EVENT: AtomicU8 = AtomicU8::new(0);
 static FORCE_TAPE: AtomicU8 = AtomicU8::new(0);
+static FORCE_THREADED: AtomicU8 = AtomicU8::new(0);
+static FORCE_WIDE: AtomicU8 = AtomicU8::new(0);
+static FORCE_LANES: AtomicU8 = AtomicU8::new(0);
 
 /// Overrides the simulation backend selection for the current process,
 /// bypassing the `RTLFIXER_SIM_EVENT` / `RTLFIXER_SIM_TAPE` environment
@@ -208,9 +215,42 @@ pub fn force_sim_backends(event: Option<bool>, tape: Option<bool>) {
     FORCE_TAPE.store(enc(tape), Ordering::Relaxed);
 }
 
+fn enc_force(v: Option<bool>) -> u8 {
+    match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    }
+}
+
+/// Overrides threaded-dispatch selection for the current process, bypassing
+/// the `RTLFIXER_SIM_THREADED` environment switch. `None` restores
+/// environment-driven behaviour. Intended for in-process A/B invariance
+/// tests and benchmarks.
+#[doc(hidden)]
+pub fn force_sim_threaded(threaded: Option<bool>) {
+    FORCE_THREADED.store(enc_force(threaded), Ordering::Relaxed);
+}
+
+/// Overrides multi-limb fast-path selection for the current process,
+/// bypassing the `RTLFIXER_SIM_WIDE` environment switch. Note that the
+/// switch is consulted at tape *build* time, so it only affects designs
+/// whose tapes have not been compiled yet (fresh processes in practice).
+#[doc(hidden)]
+pub fn force_sim_wide(wide: Option<bool>) {
+    FORCE_WIDE.store(enc_force(wide), Ordering::Relaxed);
+}
+
+/// Overrides multi-seed lane-packing selection for the current process,
+/// bypassing the `RTLFIXER_SIM_LANES` environment switch.
+#[doc(hidden)]
+pub fn force_sim_lanes(lanes: Option<bool>) {
+    FORCE_LANES.store(enc_force(lanes), Ordering::Relaxed);
+}
+
 /// Returns whether the event-driven settle filter is enabled (default yes;
 /// `RTLFIXER_SIM_EVENT=0|off|false` forces the full-sweep fallback).
-fn event_driven() -> bool {
+pub(crate) fn event_driven() -> bool {
     static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     match FORCE_EVENT.load(Ordering::Relaxed) {
         1 => false,
@@ -226,7 +266,7 @@ fn event_driven() -> bool {
 
 /// Returns whether compiled-tape execution is enabled (default yes;
 /// `RTLFIXER_SIM_TAPE=0|off|false` forces the tree-walking kernel).
-fn tape_enabled() -> bool {
+pub(crate) fn tape_enabled() -> bool {
     static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     match FORCE_TAPE.load(Ordering::Relaxed) {
         1 => false,
@@ -234,6 +274,56 @@ fn tape_enabled() -> bool {
         _ => *MODE.get_or_init(|| {
             !matches!(
                 std::env::var("RTLFIXER_SIM_TAPE").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            )
+        }),
+    }
+}
+
+/// Returns whether threaded-dispatch execution of scalar fast tapes is
+/// enabled (default yes; `RTLFIXER_SIM_THREADED=0|off|false` restores the
+/// interpreted fast loop).
+fn threaded_enabled() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    match FORCE_THREADED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *MODE.get_or_init(|| {
+            !matches!(
+                std::env::var("RTLFIXER_SIM_THREADED").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            )
+        }),
+    }
+}
+
+/// Returns whether multi-limb (2/4-limb) fast tapes may be built (default
+/// yes; `RTLFIXER_SIM_WIDE=0|off|false` restores the scalar-only fast
+/// path). Consulted at tape build time.
+pub(crate) fn wide_enabled() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    match FORCE_WIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *MODE.get_or_init(|| {
+            !matches!(
+                std::env::var("RTLFIXER_SIM_WIDE").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            )
+        }),
+    }
+}
+
+/// Returns whether bit-parallel multi-seed lane packing is enabled (default
+/// yes; `RTLFIXER_SIM_LANES=0|off|false` forces scalar per-seed runs).
+pub(crate) fn lanes_enabled() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    match FORCE_LANES.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *MODE.get_or_init(|| {
+            !matches!(
+                std::env::var("RTLFIXER_SIM_LANES").as_deref(),
                 Ok("0") | Ok("off") | Ok("false")
             )
         }),
@@ -392,6 +482,35 @@ impl Simulator {
     /// The elaborated design.
     pub fn design(&self) -> &Design {
         &self.design
+    }
+
+    /// The lowered kernel.
+    pub(crate) fn kernel_ref(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The raw signal state slab.
+    pub(crate) fn state_rows(&self) -> &[StateValue] {
+        &self.state
+    }
+
+    /// Replaces the entire signal state (lane materialisation). Everything
+    /// is marked dirty so the next settle re-evaluates every process.
+    pub(crate) fn install_state(&mut self, state: Vec<StateValue>) {
+        debug_assert_eq!(state.len(), self.kernel.sigs.len());
+        self.state = state;
+        let n = self.kernel.sigs.len();
+        self.prev_dirty = BitSet::all(n);
+        self.curr_dirty.clear_all();
+        self.touched_mask.clear_all();
+        self.touched.clear();
+    }
+
+    /// [`Simulator::poke`] by pre-resolved signal id.
+    pub(crate) fn poke_id(&mut self, id: SigId, value: LogicVec) {
+        let width = self.kernel.sigs[id as usize].def.width;
+        let mut log = Some(WriteLog { dirty: &mut self.prev_dirty, sweep: None });
+        set_state(&mut self.state, &mut log, id, StateValue::Vec(value.resize(width)));
     }
 
     /// Sets a signal (usually a top-level input) without propagation.
@@ -1471,7 +1590,26 @@ fn run_tape_auto(
 ) -> Option<bool> {
     if let Some(fast) = &tape.fast {
         let TapeScratch { fregs, fctrs, forig, fnba, .. } = scratch;
-        if run_fast_tape(k, state, fast, tape.nctrs, fregs, fctrs, forig, fnba, nba, log) {
+        let ok = match fast.limbs {
+            1 => {
+                if threaded_enabled() {
+                    crate::thread::run_threaded(
+                        k, state, fast, tape.nctrs, fregs, fctrs, forig, fnba, nba, log,
+                    )
+                } else {
+                    crate::fast::run_fast_tape::<1>(
+                        k, state, fast, tape.nctrs, fregs, fctrs, forig, fnba, nba, log,
+                    )
+                }
+            }
+            2 => crate::fast::run_fast_tape::<2>(
+                k, state, fast, tape.nctrs, fregs, fctrs, forig, fnba, nba, log,
+            ),
+            _ => crate::fast::run_fast_tape::<4>(
+                k, state, fast, tape.nctrs, fregs, fctrs, forig, fnba, nba, log,
+            ),
+        };
+        if ok {
             return Some(true);
         }
         // The aborted fast run buffered everything: no state was mutated.
@@ -1792,342 +1930,6 @@ fn run_tape(
         }
         pc += 1;
     }
-}
-
-/// Executes a two-state fast tape. Returns `false` — strictly before any
-/// real state mutation — when the input cone holds x/z or an op would
-/// produce it (zero divisor, out-of-range select); the caller then re-runs
-/// the four-state tape. Signal writes are buffered in cone shadow
-/// registers (non-blocking ones in `fnba` when an NBA queue is active) and
-/// committed by the epilogue, reproducing the tree walker's `set_state`
-/// skip/dirty behaviour including change-then-revert dirtying.
-#[allow(clippy::too_many_arguments)]
-fn run_fast_tape(
-    k: &Kernel,
-    state: &mut [StateValue],
-    fast: &FastTape,
-    nctrs: u32,
-    fregs: &mut Vec<u64>,
-    fctrs: &mut Vec<u64>,
-    forig: &mut Vec<u64>,
-    fnba: &mut Vec<NbaWrite>,
-    nba: &mut Option<&mut Vec<NbaWrite>>,
-    log: &mut Option<WriteLog<'_>>,
-) -> bool {
-    fregs.clear();
-    fregs.resize(fast.nregs as usize, 0);
-    fctrs.clear();
-    fctrs.resize(nctrs as usize, 0);
-    forig.clear();
-    fnba.clear();
-    for c in fast.cone.iter() {
-        let raw = match &state[c.sig as usize] {
-            StateValue::Vec(v) => v.to_u64(),
-            StateValue::Array(_) => None,
-        };
-        let Some(raw) = raw else { return false };
-        fregs[c.reg as usize] = raw;
-        forig.push(raw);
-    }
-    // Non-blocking writes defer only when an NBA queue is active (edge
-    // context); in combinational context the tree commits them immediately.
-    let defer = nba.is_some();
-    // Bit i set: cone signal i was written with a differing value at some
-    // point (change-then-revert still dirties, like repeated `set_state`).
-    let mut sticky: u64 = 0;
-    let ops = &fast.ops;
-    let mut pc = 0usize;
-    while pc < ops.len() {
-        match &ops[pc] {
-            FOp::Nop => {}
-            FOp::Fallback => return false,
-            FOp::Const { dst, val } => fregs[*dst as usize] = *val,
-            FOp::Copy { dst, src } => fregs[*dst as usize] = fregs[*src as usize],
-            FOp::Not { dst, src, mask } => fregs[*dst as usize] = !fregs[*src as usize] & mask,
-            FOp::Neg { dst, src, mask } => {
-                fregs[*dst as usize] = fregs[*src as usize].wrapping_neg() & mask;
-            }
-            FOp::LogNot { dst, src } => {
-                fregs[*dst as usize] = (fregs[*src as usize] == 0) as u64;
-            }
-            FOp::Reduce { dst, src, mask, kind, neg } => {
-                let r = fregs[*src as usize];
-                let bit = match kind {
-                    0 => r == *mask,
-                    1 => r != 0,
-                    _ => r.count_ones() % 2 == 1,
-                };
-                fregs[*dst as usize] = (bit != *neg) as u64;
-            }
-            FOp::Add { dst, a, b, mask } => {
-                fregs[*dst as usize] = fregs[*a as usize].wrapping_add(fregs[*b as usize]) & mask;
-            }
-            FOp::Sub { dst, a, b, mask } => {
-                fregs[*dst as usize] = fregs[*a as usize].wrapping_sub(fregs[*b as usize]) & mask;
-            }
-            FOp::Mul { dst, a, b, mask } => {
-                fregs[*dst as usize] = fregs[*a as usize].wrapping_mul(fregs[*b as usize]) & mask;
-            }
-            FOp::Div { dst, a, b } => {
-                let d = fregs[*b as usize];
-                if d == 0 {
-                    return false;
-                }
-                fregs[*dst as usize] = fregs[*a as usize] / d;
-            }
-            FOp::Mod { dst, a, b } => {
-                let d = fregs[*b as usize];
-                if d == 0 {
-                    return false;
-                }
-                fregs[*dst as usize] = fregs[*a as usize] % d;
-            }
-            FOp::Pow { dst, a, b, mask } => {
-                let base = fregs[*a as usize];
-                let mut acc: u64 = 1;
-                for _ in 0..fregs[*b as usize].min(128) {
-                    acc = acc.wrapping_mul(base);
-                }
-                fregs[*dst as usize] = acc & mask;
-            }
-            FOp::And { dst, a, b } => {
-                fregs[*dst as usize] = fregs[*a as usize] & fregs[*b as usize];
-            }
-            FOp::Or { dst, a, b } => {
-                fregs[*dst as usize] = fregs[*a as usize] | fregs[*b as usize];
-            }
-            FOp::Xor { dst, a, b } => {
-                fregs[*dst as usize] = fregs[*a as usize] ^ fregs[*b as usize];
-            }
-            FOp::Xnor { dst, a, b, mask } => {
-                fregs[*dst as usize] = !(fregs[*a as usize] ^ fregs[*b as usize]) & mask;
-            }
-            FOp::Lt { dst, a, b, neg } => {
-                fregs[*dst as usize] =
-                    ((fregs[*a as usize] < fregs[*b as usize]) != *neg) as u64;
-            }
-            FOp::Eq { dst, a, b, neg } => {
-                fregs[*dst as usize] =
-                    ((fregs[*a as usize] == fregs[*b as usize]) != *neg) as u64;
-            }
-            FOp::LogAnd { dst, a, b } => {
-                fregs[*dst as usize] =
-                    (fregs[*a as usize] != 0 && fregs[*b as usize] != 0) as u64;
-            }
-            FOp::LogOr { dst, a, b } => {
-                fregs[*dst as usize] =
-                    (fregs[*a as usize] != 0 || fregs[*b as usize] != 0) as u64;
-            }
-            FOp::Shl { dst, a, b, width, mask } => {
-                let n = fregs[*b as usize];
-                fregs[*dst as usize] =
-                    if n >= *width as u64 { 0 } else { (fregs[*a as usize] << n) & mask };
-            }
-            FOp::Shr { dst, a, b, width } => {
-                let n = fregs[*b as usize];
-                fregs[*dst as usize] = if n >= *width as u64 { 0 } else { fregs[*a as usize] >> n };
-            }
-            FOp::Ashr { dst, a, b, width, mask } => {
-                let n = fregs[*b as usize];
-                let v = fregs[*a as usize];
-                let msb = (v >> (*width - 1)) & 1;
-                fregs[*dst as usize] = if n >= *width as u64 {
-                    if msb == 1 {
-                        *mask
-                    } else {
-                        0
-                    }
-                } else {
-                    let r = v >> n;
-                    if msb == 1 {
-                        r | (mask & !bitmask(*width - n as u32))
-                    } else {
-                        r
-                    }
-                };
-            }
-            FOp::Resize { dst, src, mask } => {
-                fregs[*dst as usize] = fregs[*src as usize] & mask;
-            }
-            FOp::Concat { dst, parts } => {
-                let mut acc: u64 = 0;
-                for &(r, w) in parts.iter() {
-                    // A 64-bit part can only be the sole part (total ≤ 64);
-                    // guard the shift anyway.
-                    acc = if w == 64 { fregs[r as usize] } else { (acc << w) | fregs[r as usize] };
-                }
-                fregs[*dst as usize] = acc;
-            }
-            FOp::ReplicateC { dst, src, count, width } => {
-                let v = fregs[*src as usize];
-                let mut acc: u64 = 0;
-                for _ in 0..*count {
-                    acc = if *width == 64 { v } else { (acc << *width) | v };
-                }
-                fregs[*dst as usize] = acc;
-            }
-            FOp::Slice { dst, src, lo, mask } => {
-                fregs[*dst as usize] = (fregs[*src as usize] >> lo) & mask;
-            }
-            FOp::IndexSig { dst, shadow, sig, idx } => {
-                let i = fregs[*idx as usize] as i64;
-                let Some(off) = k.sigs[*sig as usize].def.offset(i) else { return false };
-                fregs[*dst as usize] = (fregs[*shadow as usize] >> off) & 1;
-            }
-            FOp::IndexVal { dst, base, idx, basew } => {
-                let i = fregs[*idx as usize];
-                if i >= *basew as u64 {
-                    return false;
-                }
-                fregs[*dst as usize] = (fregs[*base as usize] >> i) & 1;
-            }
-            FOp::SelectSigW { dst, shadow, sig, left, span, mode } => {
-                let l = fregs[*left as usize] as i64;
-                let (hi_idx, lo_idx) = select_bounds(l, *span as i64, *mode);
-                let def = &k.sigs[*sig as usize].def;
-                let (Some(a), Some(b)) = (def.offset(hi_idx), def.offset(lo_idx)) else {
-                    return false;
-                };
-                fregs[*dst as usize] = (fregs[*shadow as usize] >> a.min(b)) & bitmask(*span);
-            }
-            FOp::SelectValW { dst, base, left, span, mode, basew } => {
-                let l = fregs[*left as usize] as i64;
-                let (hi_idx, lo_idx) = select_bounds(l, *span as i64, *mode);
-                if lo_idx < 0 || hi_idx >= *basew as i64 {
-                    return false;
-                }
-                fregs[*dst as usize] = (fregs[*base as usize] >> lo_idx as u32) & bitmask(*span);
-            }
-            FOp::Clog2 { dst, src } => {
-                fregs[*dst as usize] = clog2(fregs[*src as usize] as i64) as u64 & bitmask(32);
-            }
-            FOp::Zero { dst } => fregs[*dst as usize] = 0,
-            FOp::StoreWhole { shadow, cone, mask, src, width, nb, sig } => {
-                let raw = fregs[*src as usize] & mask;
-                if *nb && defer {
-                    fnba.push(NbaWrite {
-                        target: Target::Whole(*sig),
-                        value: LogicVec::from_u64(*width, raw),
-                    });
-                } else if fregs[*shadow as usize] != raw {
-                    sticky |= 1 << *cone;
-                    fregs[*shadow as usize] = raw;
-                }
-            }
-            FOp::StoreBitsC { shadow, cone, hi, lo, src, nb, sig } => {
-                let span = *hi - *lo + 1;
-                let chunk = fregs[*src as usize] & bitmask(span);
-                if *nb && defer {
-                    fnba.push(NbaWrite {
-                        target: Target::Bits(*sig, *hi, *lo),
-                        value: LogicVec::from_u64(span, chunk),
-                    });
-                } else {
-                    let cur = fregs[*shadow as usize];
-                    let new = (cur & !(bitmask(span) << lo)) | (chunk << lo);
-                    if new != cur {
-                        sticky |= 1 << *cone;
-                        fregs[*shadow as usize] = new;
-                    }
-                }
-            }
-            FOp::StoreIndexSig { shadow, cone, idx, src, nb, sig } => {
-                let i = fregs[*idx as usize] as i64;
-                // Out-of-range indices drop the write, like the tree path.
-                if let Some(off) = k.sigs[*sig as usize].def.offset(i) {
-                    let b = fregs[*src as usize] & 1;
-                    if *nb && defer {
-                        fnba.push(NbaWrite {
-                            target: Target::Bits(*sig, off, off),
-                            value: LogicVec::from_u64(1, b),
-                        });
-                    } else {
-                        let cur = fregs[*shadow as usize];
-                        let new = (cur & !(1u64 << off)) | (b << off);
-                        if new != cur {
-                            sticky |= 1 << *cone;
-                            fregs[*shadow as usize] = new;
-                        }
-                    }
-                }
-            }
-            FOp::StoreLocal { slot, src, mask } => {
-                fregs[*slot as usize] = fregs[*src as usize] & mask;
-            }
-            FOp::StoreLocalBits { slot, idx, src, slotw } => {
-                // The truncating cast matches the tree's `v as u32`.
-                let i = fregs[*idx as usize] as u32;
-                if i < *slotw {
-                    let b = fregs[*src as usize] & 1;
-                    fregs[*slot as usize] = (fregs[*slot as usize] & !(1u64 << i)) | (b << i);
-                }
-            }
-            FOp::StoreLocalBitsC { slot, hi, lo, src } => {
-                let span = *hi - *lo + 1;
-                let chunk = fregs[*src as usize] & bitmask(span);
-                fregs[*slot as usize] =
-                    (fregs[*slot as usize] & !(bitmask(span) << lo)) | (chunk << lo);
-            }
-            FOp::Jump { to } => {
-                pc = *to as usize;
-                continue;
-            }
-            FOp::BranchTruthy { cond, on_true, on_false } => {
-                pc = if fregs[*cond as usize] != 0 { *on_true } else { *on_false } as usize;
-                continue;
-            }
-            FOp::BranchMatchC { scrut, cmp, care, on_hit } => {
-                if (fregs[*scrut as usize] ^ cmp) & care == 0 {
-                    pc = *on_hit as usize;
-                    continue;
-                }
-            }
-            FOp::BranchMatchR { scrut, label, on_hit } => {
-                if fregs[*scrut as usize] == fregs[*label as usize] {
-                    pc = *on_hit as usize;
-                    continue;
-                }
-            }
-            FOp::ZeroCtr { ctr } => fctrs[*ctr as usize] = 0,
-            FOp::IncCtrJumpLt { ctr, limit, to } => {
-                fctrs[*ctr as usize] += 1;
-                if fctrs[*ctr as usize] < *limit as u64 {
-                    pc = *to as usize;
-                    continue;
-                }
-            }
-            FOp::RepeatInit { ctr, count } => {
-                fctrs[*ctr as usize] = fregs[*count as usize].min(MAX_LOOP as u64);
-            }
-            FOp::BranchCtrZeroDec { ctr, on_zero } => {
-                if fctrs[*ctr as usize] == 0 {
-                    pc = *on_zero as usize;
-                    continue;
-                }
-                fctrs[*ctr as usize] -= 1;
-            }
-        }
-        pc += 1;
-    }
-    // Epilogue: commit changed cone shadows (and bare dirty marks for
-    // change-then-revert writes), then surface deferred NBA writes.
-    for (i, c) in fast.cone.iter().enumerate() {
-        if !c.written {
-            continue;
-        }
-        let raw = fregs[c.reg as usize];
-        if raw != forig[i] {
-            set_state(state, log, c.sig, StateValue::Vec(LogicVec::from_u64(c.width, raw)));
-        } else if sticky & (1 << i) != 0 {
-            note_change(state, log, c.sig);
-        }
-    }
-    if let Some(queue) = nba {
-        queue.append(fnba);
-    } else {
-        fnba.clear();
-    }
-    true
 }
 
 #[cfg(test)]

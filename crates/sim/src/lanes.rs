@@ -1,0 +1,1856 @@
+//! Bit-parallel multi-seed lane execution.
+//!
+//! When a problem is checked under many stimulus seeds, the testbenches
+//! differ only in their input values — the design, the tape, and the cycle
+//! schedule are identical. This module packs up to 64 such seeds into
+//! *lanes* of a widened register file and runs each fast tape **once** per
+//! process per cycle, with every data op applied lane-wise over a dense
+//! `u64` row per virtual register (a shape the auto-vectoriser turns into
+//! SIMD). Control flow stays shared: when a branch predicate disagrees
+//! between lanes, the minority lanes are *peeled* — permanently moved to
+//! ordinary scalar [`Simulator`]s — and the cycle replays, packed for the
+//! survivors and scalar for the peeled (snapshot/replay keeps this exact:
+//! a packed pass never mutates lane state before its commit epilogue, and
+//! a cycle that aborts mid-way is restored from its start-of-cycle
+//! snapshot).
+//!
+//! Eligibility is strict so the packed executor never needs a four-state
+//! escape: every combinational and sequential process must carry a scalar
+//! (`limbs == 1`) fast tape with zero `Fallback` ops, and every signal
+//! must be a plain vector of at most 64 bits. Anything the scalar fast
+//! path would bail on (division by zero, out-of-range select, an `x`
+//! poked into a lane) peels exactly the lanes it affects. The result is
+//! bit-identical to running each seed through its own simulator — pinned
+//! by the lane proptests and the multi-seed invariance tests — and gated
+//! by the `RTLFIXER_SIM_LANES` kill switch.
+
+use std::sync::Arc;
+
+use rtlfixer_verilog::ast::Edge;
+use rtlfixer_verilog::const_eval::clog2;
+
+use crate::elab::Design;
+use crate::interp::{BitSet, SimError, Simulator, StateValue, Target, MAX_LOOP};
+use crate::interp::{event_driven, lanes_enabled, select_bounds, tape_enabled};
+use crate::lower::{Kernel, SigId};
+use crate::tape::{bitmask, FOp, FastTape, Tape, VReg};
+use crate::value::LogicVec;
+
+/// Maximum iterations of the packed settle loop (mirrors the scalar
+/// `MAX_SETTLE`; exceeding it peels every lane, so per-lane `Unstable`
+/// errors come from the scalar replay and match a solo run exactly).
+const MAX_SETTLE: usize = 64;
+
+/// Per-step action, mirroring the testbench clocking disciplines.
+#[derive(Clone, Copy)]
+pub enum LaneAction<'a> {
+    /// Combinational: settle to fixpoint.
+    Settle,
+    /// Sequential: full clock cycle on the named signal.
+    Clock(&'a str),
+}
+
+/// Runtime occupancy/peel statistics for a multi-seed lane run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Lane-steps completed inside the packed executor.
+    pub packed_lane_steps: u64,
+    /// Total lane-steps driven (packed + scalar, including scalar-fallback
+    /// lane groups the packed engine never accepted).
+    pub lane_steps: u64,
+    /// Lanes peeled back to scalar execution.
+    pub peels: u64,
+    /// Whole-group aborts (instability or packed population < 2).
+    pub bails: u64,
+}
+
+impl LaneStats {
+    /// Fraction of lane-steps that ran inside the packed executor
+    /// (0.0 when nothing ran).
+    pub fn occupancy(&self) -> f64 {
+        if self.lane_steps > 0 {
+            self.packed_lane_steps as f64 / self.lane_steps as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulates another run's statistics into this one.
+    pub fn absorb(&mut self, other: &LaneStats) {
+        self.packed_lane_steps += other.packed_lane_steps;
+        self.lane_steps += other.lane_steps;
+        self.peels += other.peels;
+        self.bails += other.bails;
+    }
+}
+
+/// A group of up to 64 seed-lanes executing one design in lockstep.
+pub struct LaneRunner {
+    design: Arc<Design>,
+    kernel: Arc<Kernel>,
+    /// Total lanes in the group.
+    k: usize,
+    /// Lane ids still packed, in dense executor order.
+    active: Vec<u32>,
+    /// Lane-major signal state: `packed[sig * k + lane]`.
+    packed: Vec<u64>,
+    /// Start-of-cycle copy of `packed` for peel replay.
+    snapshot: Vec<u64>,
+    /// Peeled lanes' scalar simulators (indexed by lane id).
+    scalars: Vec<Option<Box<Simulator>>>,
+    /// Lanes that died with a simulation error (indexed by lane id).
+    errors: Vec<Option<SimError>>,
+    /// Shared dirty tracking across all packed lanes (conservative: a
+    /// signal dirty in any lane re-runs the process for every lane).
+    prev_dirty: BitSet,
+    curr_dirty: BitSet,
+    /// Whether any packed commit changed a value this sweep.
+    changed: bool,
+    /// This cycle's pokes, for peel replay: `poke_sigs[i]` carries its k
+    /// per-lane two-state values at `poke_raws[i * k ..][..k]`. `None` =
+    /// the lane's frame omitted the port (or carried x, in which case the
+    /// lane peeled at poke time and never replays). Flat so the per-cycle
+    /// log reuses one allocation instead of boxing each poke.
+    poke_sigs: Vec<SigId>,
+    poke_raws: Vec<Option<u64>>,
+    // Executor scratch (lane-major: `lregs[reg * na + dense_lane]`).
+    lregs: Vec<u64>,
+    lctrs: Vec<u64>,
+    lorig: Vec<u64>,
+    sticky: Vec<u64>,
+    /// Buffered non-blocking writes: `(lane id, write)`.
+    lnba: Vec<(u32, LaneNba)>,
+    /// Per-process write-before-read flags (comb then seq, kernel order):
+    /// `true` lets `run_proc_packed` skip re-zeroing the register file.
+    comb_zero_safe: Vec<bool>,
+    seq_zero_safe: Vec<bool>,
+    /// Per-process steady-state tapes with loop-invariant ops hoisted
+    /// (global proc index: comb then seq). Only populated for single-
+    /// process zero-safe designs, where the shared register file is
+    /// private to the process and invariant results persist across runs.
+    hoist: Vec<Option<Vec<FOp>>>,
+    /// Lane count the process was last primed at (`0` = unprimed): the
+    /// steady tape is only valid after one full-tape run at the same `na`.
+    primed_na: Vec<usize>,
+    stats: LaneStats,
+}
+
+/// Packed-pass abort: the dense-index bitmask of lanes to peel.
+type PeelMask = u64;
+
+/// A buffered non-blocking write in the two-state lane domain — the packed
+/// analogue of the interpreter's `NbaWrite`, with the value kept as an
+/// already-masked `u64`
+/// so the per-cycle commit never materializes a `LogicVec`.
+struct LaneNba {
+    target: Target,
+    raw: u64,
+}
+
+impl LaneRunner {
+    /// Builds a `k`-lane group over `analysis`/`top`, or `None` when the
+    /// design is ineligible (any signal wider than 64 bits or memory-like,
+    /// any process without a complete scalar fast tape, `x` in the
+    /// post-initial state, or lane execution disabled). Callers fall back
+    /// to one scalar run per seed — the results are identical either way.
+    pub fn try_new(
+        analysis: &rtlfixer_verilog::Analysis,
+        top: &str,
+        k: usize,
+    ) -> Option<LaneRunner> {
+        if !(2..=64).contains(&k) || !lanes_enabled() || !tape_enabled() {
+            return None;
+        }
+        let design = crate::elab::elaborate_shared(analysis, top).ok()?;
+        let mut probe = Simulator::from_design(Arc::clone(&design));
+        let kernel = Arc::clone(probe.kernel_ref());
+        if kernel
+            .sigs
+            .iter()
+            .any(|sig| sig.def.words.is_some() || sig.def.width > 64)
+        {
+            return None;
+        }
+        let fast_ok = |tape: &Option<Tape>| {
+            tape.as_ref().and_then(|t| t.fast.as_ref()).is_some_and(|f| {
+                f.limbs == 1 && !f.ops.iter().any(|op| matches!(op, FOp::Fallback))
+            })
+        };
+        if !kernel.comb.iter().all(|p| fast_ok(&p.tape))
+            || !kernel.seq.iter().all(|p| fast_ok(&p.tape))
+        {
+            return None;
+        }
+        // Initial blocks see identical power-on state in every lane: run
+        // them once and broadcast. Instability or residual x here sends
+        // the whole group down the scalar path (which reproduces it).
+        probe.run_initial().ok()?;
+        let nsigs = kernel.sigs.len();
+        let mut packed = vec![0u64; nsigs * k];
+        for (s, row) in probe.state_rows().iter().enumerate() {
+            let StateValue::Vec(v) = row else { return None };
+            let raw = v.to_u64()?;
+            packed[s * k..(s + 1) * k].fill(raw);
+        }
+        let comb_zero_safe: Vec<bool> = kernel
+            .comb
+            .iter()
+            .map(|p| tape_zero_safe(p.tape.as_ref().and_then(|t| t.fast.as_ref()).expect("fast")))
+            .collect();
+        let seq_zero_safe: Vec<bool> = kernel
+            .seq
+            .iter()
+            .map(|p| tape_zero_safe(p.tape.as_ref().and_then(|t| t.fast.as_ref()).expect("fast")))
+            .collect();
+        // Invariant hoisting requires the register file to be private to
+        // the process (no clobbering between runs), which holds exactly
+        // for single-process designs whose lone tape is zero-safe.
+        let nprocs = kernel.comb.len() + kernel.seq.len();
+        let single_zero_safe =
+            nprocs == 1 && comb_zero_safe.iter().chain(&seq_zero_safe).all(|&b| b);
+        let hoist: Vec<Option<Vec<FOp>>> = if single_zero_safe {
+            kernel
+                .comb
+                .iter()
+                .map(|p| &p.tape)
+                .chain(kernel.seq.iter().map(|p| &p.tape))
+                .map(|t| hoist_split(t.as_ref().and_then(|t| t.fast.as_ref()).expect("fast")))
+                .collect()
+        } else {
+            vec![None; nprocs]
+        };
+        Some(LaneRunner {
+            design,
+            kernel,
+            k,
+            active: (0..k as u32).collect(),
+            snapshot: packed.clone(),
+            packed,
+            scalars: (0..k).map(|_| None).collect(),
+            errors: vec![None; k],
+            prev_dirty: BitSet::all(nsigs),
+            curr_dirty: BitSet::new(nsigs),
+            changed: false,
+            poke_sigs: Vec::new(),
+            poke_raws: Vec::new(),
+            lregs: Vec::new(),
+            lctrs: Vec::new(),
+            lorig: Vec::new(),
+            sticky: Vec::new(),
+            lnba: Vec::new(),
+            comb_zero_safe,
+            seq_zero_safe,
+            hoist,
+            primed_na: vec![0; nprocs],
+            stats: LaneStats::default(),
+        })
+    }
+
+    /// The shared elaborated design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Occupancy/peel statistics accumulated so far.
+    pub fn stats(&self) -> LaneStats {
+        self.stats
+    }
+
+    /// The fatal error a lane died with, if any.
+    pub fn error(&self, lane: usize) -> Option<&SimError> {
+        self.errors[lane].as_ref()
+    }
+
+    /// Marks the start of a testbench cycle: snapshots packed state (for
+    /// peel replay) and clears the poke log.
+    pub fn begin_cycle(&mut self) {
+        self.snapshot.copy_from_slice(&self.packed);
+        self.poke_sigs.clear();
+        self.poke_raws.clear();
+    }
+
+    /// Pokes per-lane values on `name` (entries may be `None` to leave a
+    /// lane's input unchanged, mirroring a stimulus frame that omits the
+    /// port). Unknown names are ignored, like [`Simulator::poke`].
+    pub fn poke(&mut self, name: &str, values: &[Option<&LogicVec>]) {
+        debug_assert_eq!(values.len(), self.k);
+        let Some(&sig) = self.kernel.by_name.get(name) else { return };
+        let width = self.kernel.sigs[sig as usize].def.width;
+        // Two-state packing without the allocating resize: the log keeps
+        // raw `u64`s, which is all peel replay ever needs (a lane with an
+        // x input peels right here and never replays).
+        let base = self.poke_raws.len();
+        self.poke_raws.extend(values.iter().map(|v| v.and_then(|v| pack_input(v, width))));
+        self.poke_sigs.push(sig);
+        let raws = &self.poke_raws[base..];
+        let mut peel: Vec<u32> = Vec::new();
+        for j in 0..self.active.len() {
+            let lane = self.active[j];
+            match (values[lane as usize], raws[lane as usize]) {
+                (None, _) => {}
+                (Some(_), Some(raw)) => {
+                    let slot = sig as usize * self.k + lane as usize;
+                    if self.packed[slot] != raw {
+                        self.packed[slot] = raw;
+                        self.prev_dirty.set(sig);
+                    }
+                }
+                // An un-packable value (x bits) peels its lane right here
+                // — current packed state is consistent mid-poke.
+                (Some(_), None) => peel.push(lane),
+            }
+        }
+        for lane in peel {
+            self.stats.peels += 1;
+            let sim = self.materialize(lane, None);
+            self.scalars[lane as usize] = Some(Box::new(sim));
+            self.active.retain(|&l| l != lane);
+        }
+        // Scalar lanes (including any just peeled) take the poke directly,
+        // four-state values included.
+        for (lane, value) in values.iter().enumerate() {
+            if let (Some(sim), Some(value), None) =
+                (&mut self.scalars[lane], value, &self.errors[lane])
+            {
+                sim.poke_id(sig, value.resize(width));
+            }
+        }
+    }
+
+    /// Reads a lane's current value of `name`.
+    pub fn peek(&self, name: &str, lane: usize) -> Option<LogicVec> {
+        let &sig = self.kernel.by_name.get(name)?;
+        if let Some(sim) = &self.scalars[lane] {
+            return sim.peek(name);
+        }
+        let width = self.kernel.sigs[sig as usize].def.width;
+        Some(LogicVec::from_u64(width, self.packed[sig as usize * self.k + lane]))
+    }
+
+    /// Runs this cycle's action on every live lane: packed lanes in one
+    /// lane-parallel pass (peeling and replaying as needed), scalar lanes
+    /// through their own simulators.
+    pub fn step(&mut self, action: LaneAction<'_>) {
+        // Scalar lanes first (order between independent lanes is
+        // unobservable); a simulation error permanently kills the lane.
+        for lane in 0..self.k {
+            if self.errors[lane].is_some() || self.scalars[lane].is_none() {
+                continue;
+            }
+            self.stats.lane_steps += 1;
+            let sim = self.scalars[lane].as_mut().expect("scalar lane");
+            let outcome = match action {
+                LaneAction::Settle => sim.settle(),
+                LaneAction::Clock(clk) => sim.clock_cycle(clk),
+            };
+            if let Err(e) = outcome {
+                self.errors[lane] = Some(e);
+            }
+        }
+        // Packed attempt loop: each failed attempt peels at least one lane
+        // (restoring the snapshot first), so this terminates.
+        while self.active.len() >= 2 {
+            let attempt = match action {
+                LaneAction::Settle => self.settle_packed(),
+                LaneAction::Clock(clk) => self.clock_packed(clk),
+            };
+            match attempt {
+                Ok(()) => {
+                    let na = self.active.len() as u64;
+                    self.stats.packed_lane_steps += na;
+                    self.stats.lane_steps += na;
+                    if matches!(action, LaneAction::Clock(_)) {
+                        rtlfixer_obs::counter_add("sim.cycles", na);
+                    }
+                    return;
+                }
+                Err(mask) => self.peel_and_replay(mask, action),
+            }
+        }
+        // Group too small to pack: unpack the stragglers and run scalar.
+        if !self.active.is_empty() {
+            self.stats.bails += 1;
+            let rest: Vec<u32> = self.active.drain(..).collect();
+            for lane in rest {
+                self.replay_lane_scalar(lane, action);
+            }
+        }
+    }
+
+    /// Handles a failed packed attempt: restores the start-of-cycle
+    /// snapshot, peels the masked (dense-index) lanes to scalar replay,
+    /// and re-applies this cycle's pokes to the surviving packed lanes.
+    fn peel_and_replay(&mut self, mask: PeelMask, action: LaneAction<'_>) {
+        self.packed.copy_from_slice(&self.snapshot);
+        let peeled: Vec<u32> = (0..self.active.len())
+            .filter(|j| mask >> j & 1 == 1)
+            .map(|j| self.active[j])
+            .collect();
+        debug_assert!(!peeled.is_empty(), "packed abort must peel at least one lane");
+        self.active.retain(|lane| !peeled.contains(lane));
+        self.stats.peels += peeled.len() as u64;
+        for lane in peeled {
+            self.replay_lane_scalar(lane, action);
+        }
+        // Survivors: re-apply the cycle's pokes on top of the snapshot.
+        for (i, sig) in self.poke_sigs.iter().copied().enumerate() {
+            let raws = &self.poke_raws[i * self.k..][..self.k];
+            for &lane in &self.active {
+                if let Some(raw) = raws[lane as usize] {
+                    let slot = sig as usize * self.k + lane as usize;
+                    if self.packed[slot] != raw {
+                        self.packed[slot] = raw;
+                        self.prev_dirty.set(sig);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Peels `lane` out of the packed group: materialises a scalar
+    /// simulator from the lane's snapshot state, replays this cycle's
+    /// pokes, and runs the action (so the lane lands exactly where a
+    /// continuous scalar run of this cycle would).
+    fn replay_lane_scalar(&mut self, lane: u32, action: LaneAction<'_>) {
+        let mut sim = self.materialize(lane, Some(&self.snapshot));
+        for (i, sig) in self.poke_sigs.iter().copied().enumerate() {
+            if let Some(raw) = self.poke_raws[i * self.k + lane as usize] {
+                let width = self.kernel.sigs[sig as usize].def.width;
+                sim.poke_id(sig, LogicVec::from_u64(width, raw));
+            }
+        }
+        self.stats.lane_steps += 1;
+        let outcome = match action {
+            LaneAction::Settle => sim.settle(),
+            LaneAction::Clock(clk) => sim.clock_cycle(clk),
+        };
+        if let Err(e) = outcome {
+            self.errors[lane as usize] = Some(e);
+        }
+        self.scalars[lane as usize] = Some(Box::new(sim));
+    }
+
+    /// Builds a scalar simulator holding `lane`'s signal state, read from
+    /// `from` (or current packed state when `None`). Everything is marked
+    /// dirty, so the next settle reaches the same fixpoint a continuous
+    /// scalar run would already be at.
+    fn materialize(&self, lane: u32, from: Option<&[u64]>) -> Simulator {
+        let source = from.unwrap_or(&self.packed);
+        let state: Vec<StateValue> = self
+            .kernel
+            .sigs
+            .iter()
+            .enumerate()
+            .map(|(s, sig)| {
+                StateValue::Vec(LogicVec::from_u64(
+                    sig.def.width,
+                    source[s * self.k + lane as usize],
+                ))
+            })
+            .collect();
+        let mut sim = Simulator::from_design(Arc::clone(&self.design));
+        sim.install_state(state);
+        sim
+    }
+
+    /// Packed settle-to-fixpoint (mirrors [`Simulator::settle`], with a
+    /// commit-observed change flag instead of the touched journal — at
+    /// worst one extra idempotent sweep, and instability always defers to
+    /// scalar replay).
+    fn settle_packed(&mut self) -> Result<(), PeelMask> {
+        let kernel = Arc::clone(&self.kernel);
+        let event = event_driven();
+        for sweep in 0..MAX_SETTLE {
+            self.changed = false;
+            for (pi, proc) in kernel.comb.iter().enumerate() {
+                let run = !event
+                    || proc
+                        .sens
+                        .iter()
+                        .any(|&s| self.prev_dirty.get(s) || self.curr_dirty.get(s));
+                if run {
+                    let tape = proc.tape.as_ref().expect("eligibility: tape");
+                    let zs = self.comb_zero_safe[pi];
+                    self.run_proc_packed(&kernel, tape, pi, false, true, zs)?;
+                }
+            }
+            if !self.changed {
+                self.prev_dirty.clear_all();
+                self.curr_dirty.clear_all();
+                rtlfixer_obs::counter_add("sim.settle_sweeps", sweep as u64 + 1);
+                return Ok(());
+            }
+            std::mem::swap(&mut self.prev_dirty, &mut self.curr_dirty);
+            self.curr_dirty.clear_all();
+        }
+        // Unstable in at least one lane: peel everyone; scalar replay
+        // reproduces each lane's own (possibly clean) outcome.
+        Err(self.all_mask())
+    }
+
+    /// Packed clock cycle (mirrors [`Simulator::clock_cycle`]).
+    fn clock_packed(&mut self, clk: &str) -> Result<(), PeelMask> {
+        self.settle_packed()?;
+        self.edge_packed(clk, Edge::Pos)?;
+        self.edge_packed(clk, Edge::Neg)
+    }
+
+    /// Packed edge event (mirrors [`Simulator::edge`]).
+    fn edge_packed(&mut self, signal: &str, edge: Edge) -> Result<(), PeelMask> {
+        let kernel = Arc::clone(&self.kernel);
+        let level = match edge {
+            Edge::Pos => 1u64,
+            Edge::Neg => 0u64,
+        };
+        if let Some(&sig) = kernel.by_name.get(signal) {
+            for &lane in &self.active {
+                let slot = sig as usize * self.k + lane as usize;
+                if self.packed[slot] != level {
+                    self.packed[slot] = level;
+                    self.prev_dirty.set(sig);
+                }
+            }
+        }
+        self.lnba.clear();
+        for (pi, proc) in kernel.seq.iter().enumerate() {
+            if proc.edges.iter().any(|(e, s)| *e == edge && s == signal) {
+                let tape = proc.tape.as_ref().expect("eligibility: tape");
+                let zs = self.seq_zero_safe[pi];
+                self.run_proc_packed(&kernel, tape, kernel.comb.len() + pi, true, false, zs)?;
+            }
+        }
+        let writes = std::mem::take(&mut self.lnba);
+        for (lane, write) in &writes {
+            self.commit_packed(*lane, write)?;
+        }
+        self.lnba = writes;
+        self.settle_packed()
+    }
+
+    /// Commits one lane's buffered non-blocking write (mirrors the scalar
+    /// `commit` for the vector targets fast tapes emit; two-state stores
+    /// can never carry x, so nothing here peels except the defensive
+    /// memory-word arm).
+    fn commit_packed(&mut self, lane: u32, write: &LaneNba) -> Result<(), PeelMask> {
+        let (sig, new) = match write.target {
+            Target::Whole(sig) => {
+                let width = self.kernel.sigs[sig as usize].def.width;
+                (sig, write.raw & bitmask(width))
+            }
+            Target::Bits(sig, hi, lo) => {
+                let width = self.kernel.sigs[sig as usize].def.width;
+                if hi >= width {
+                    return Ok(());
+                }
+                let span = hi - lo + 1;
+                let cur = self.packed[sig as usize * self.k + lane as usize];
+                (sig, (cur & !(bitmask(span) << lo)) | ((write.raw & bitmask(span)) << lo))
+            }
+            // Fast tapes never target memory words.
+            Target::Word(..) | Target::WordBits(..) => return Err(self.dense_mask(lane)),
+        };
+        let slot = sig as usize * self.k + lane as usize;
+        if self.packed[slot] != new {
+            self.packed[slot] = new;
+            self.prev_dirty.set(sig);
+        }
+        Ok(())
+    }
+
+    fn all_mask(&self) -> PeelMask {
+        debug_assert!(self.active.len() <= 64);
+        if self.active.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.active.len()) - 1
+        }
+    }
+
+    /// Dense-index mask for a single lane id.
+    fn dense_mask(&self, lane: u32) -> PeelMask {
+        let j = self.active.iter().position(|&l| l == lane).expect("lane is packed");
+        1u64 << j
+    }
+
+    /// Runs one process's fast tape across all packed lanes. `defer`
+    /// buffers non-blocking stores into `lnba`; `sweep` selects which
+    /// dirty set commits mark; `zero_safe` (from the per-process
+    /// write-before-read scan) skips re-zeroing the register file. On
+    /// `Err` no lane state has been mutated.
+    fn run_proc_packed(
+        &mut self,
+        k: &Kernel,
+        tape: &Tape,
+        gi: usize,
+        defer: bool,
+        sweep: bool,
+        zero_safe: bool,
+    ) -> Result<(), PeelMask> {
+        let fast = tape.fast.as_ref().expect("eligibility: fast tape");
+        let na = self.active.len();
+        // Steady tape (invariant ops hoisted) once a full-tape run has
+        // primed the register file at this lane count.
+        let steady = match self.hoist[gi].as_ref() {
+            Some(s) if self.primed_na[gi] == na => Some(s.as_slice()),
+            _ => None,
+        };
+        let need = fast.nregs as usize * na;
+        if zero_safe {
+            // Every read provably follows a write, so stale register
+            // contents (any previous process, any previous lane count)
+            // are unobservable.
+            if self.lregs.len() < need {
+                self.lregs.resize(need, 0);
+            }
+        } else {
+            self.lregs.clear();
+            self.lregs.resize(need, 0);
+        }
+        self.lctrs.clear();
+        self.lctrs.resize(tape.nctrs as usize * na, 0);
+        self.lorig.clear();
+        self.sticky.clear();
+        self.sticky.resize(na, 0);
+        // Cone prologue: packed state is two-state by construction, so
+        // loads cannot fail.
+        if na == self.k {
+            // Unpeeled: lanes are contiguous, rows copy whole.
+            for c in fast.cone.iter() {
+                let base = c.reg as usize * na;
+                let row = c.sig as usize * self.k;
+                self.lregs[base..base + na].copy_from_slice(&self.packed[row..row + na]);
+                self.lorig.extend_from_slice(&self.packed[row..row + na]);
+            }
+        } else {
+            for c in fast.cone.iter() {
+                let base = c.reg as usize * na;
+                for (j, &lane) in self.active.iter().enumerate() {
+                    let raw = self.packed[c.sig as usize * self.k + lane as usize];
+                    self.lregs[base + j] = raw;
+                    self.lorig.push(raw);
+                }
+            }
+        }
+        // Dispatch on the lane count so the hot monomorphizations run with
+        // const-folded trip counts (unrolled, bounds-check-free, SIMD);
+        // `0` is the any-width runtime fallback for peeled group sizes.
+        let ops = steady.unwrap_or(&fast.ops);
+        macro_rules! lane_ops {
+            ($n:expr) => {
+                run_lane_ops::<$n>(
+                    k,
+                    ops,
+                    na,
+                    &self.active,
+                    &mut self.lregs,
+                    &mut self.lctrs,
+                    &mut self.sticky,
+                    &mut self.lnba,
+                    defer,
+                )
+            };
+        }
+        match na {
+            4 => lane_ops!(4),
+            8 => lane_ops!(8),
+            16 => lane_ops!(16),
+            32 => lane_ops!(32),
+            64 => lane_ops!(64),
+            _ => lane_ops!(0),
+        }?;
+        // A completed full-tape run wrote every invariant register: the
+        // steady tape is valid until the lane count changes.
+        if steady.is_none() && self.hoist[gi].is_some() {
+            self.primed_na[gi] = na;
+        }
+        // Commit epilogue (mirrors the scalar fast epilogue per lane).
+        let dirty = if sweep { &mut self.curr_dirty } else { &mut self.prev_dirty };
+        if na == self.k {
+            // Unpeeled fast path: whole-row compare and copy. Copying the
+            // unchanged lanes of a changed row rewrites identical values,
+            // and folding sticky to "any lane" marks the same dirty set
+            // the per-lane form would.
+            for (i, c) in fast.cone.iter().enumerate() {
+                if !c.written {
+                    continue;
+                }
+                let base = c.reg as usize * na;
+                let row = c.sig as usize * self.k;
+                let news = &self.lregs[base..base + na];
+                if news != &self.lorig[i * na..(i + 1) * na] {
+                    self.packed[row..row + na].copy_from_slice(news);
+                    dirty.set(c.sig);
+                    self.changed = true;
+                } else if self.sticky[..na].iter().any(|&m| m & (1 << i) != 0) {
+                    // Change-then-revert: dirty without affecting the
+                    // fixpoint (the committed value is unchanged).
+                    dirty.set(c.sig);
+                }
+            }
+        } else {
+            for (i, c) in fast.cone.iter().enumerate() {
+                let base = c.reg as usize * na;
+                for (j, &lane) in self.active.iter().enumerate() {
+                    let new = self.lregs[base + j];
+                    let slot = c.sig as usize * self.k + lane as usize;
+                    if c.written && new != self.lorig[i * na + j] {
+                        self.packed[slot] = new;
+                        dirty.set(c.sig);
+                        self.changed = true;
+                    } else if c.written && self.sticky[j] & (1 << i) != 0 {
+                        // Change-then-revert: dirty without affecting the
+                        // fixpoint (the committed value is unchanged).
+                        dirty.set(c.sig);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether a fast tape provably writes every virtual register before
+/// reading it (cone registers count as written by the load prologue).
+/// Conservative: any control flow fails the scan. A `true` result lets the
+/// lane executor reuse its register file across runs without re-zeroing —
+/// stale values are unobservable when every read follows a write.
+fn tape_zero_safe(fast: &FastTape) -> bool {
+    let mut written = vec![false; fast.nregs as usize];
+    for c in fast.cone.iter() {
+        written[c.reg as usize] = true;
+    }
+    for op in fast.ops.iter() {
+        macro_rules! rw {
+            ([$($r:expr),*] -> [$($w:expr),*]) => {{
+                $(if !written[$r as usize] { return false; })*
+                $(written[$w as usize] = true;)*
+            }};
+        }
+        match op {
+            FOp::Nop => {}
+            FOp::Const { dst, .. } | FOp::Zero { dst } => rw!([] -> [*dst]),
+            FOp::Copy { dst, src }
+            | FOp::Not { dst, src, .. }
+            | FOp::Neg { dst, src, .. }
+            | FOp::LogNot { dst, src }
+            | FOp::Reduce { dst, src, .. }
+            | FOp::Resize { dst, src, .. }
+            | FOp::ReplicateC { dst, src, .. }
+            | FOp::Slice { dst, src, .. }
+            | FOp::Clog2 { dst, src } => rw!([*src] -> [*dst]),
+            FOp::Add { dst, a, b, .. }
+            | FOp::Sub { dst, a, b, .. }
+            | FOp::Mul { dst, a, b, .. }
+            | FOp::Div { dst, a, b }
+            | FOp::Mod { dst, a, b }
+            | FOp::Pow { dst, a, b, .. }
+            | FOp::And { dst, a, b }
+            | FOp::Or { dst, a, b }
+            | FOp::Xor { dst, a, b }
+            | FOp::Xnor { dst, a, b, .. }
+            | FOp::Lt { dst, a, b, .. }
+            | FOp::Eq { dst, a, b, .. }
+            | FOp::LogAnd { dst, a, b }
+            | FOp::LogOr { dst, a, b }
+            | FOp::Shl { dst, a, b, .. }
+            | FOp::Shr { dst, a, b, .. }
+            | FOp::Ashr { dst, a, b, .. } => rw!([*a, *b] -> [*dst]),
+            FOp::Concat { dst, parts } => {
+                if !parts.iter().all(|&(r, _)| written[r as usize]) {
+                    return false;
+                }
+                rw!([] -> [*dst]);
+            }
+            FOp::IndexSig { dst, shadow, idx, .. } => rw!([*shadow, *idx] -> [*dst]),
+            FOp::IndexVal { dst, base, idx, .. } => rw!([*base, *idx] -> [*dst]),
+            FOp::SelectSigW { dst, shadow, left, .. } => rw!([*shadow, *left] -> [*dst]),
+            FOp::SelectValW { dst, base, left, .. } => rw!([*base, *left] -> [*dst]),
+            FOp::StoreWhole { shadow, src, .. } | FOp::StoreBitsC { shadow, src, .. } => {
+                rw!([*src, *shadow] -> [*shadow]);
+            }
+            FOp::StoreIndexSig { shadow, idx, src, .. } => rw!([*idx, *src, *shadow] -> [*shadow]),
+            FOp::StoreLocal { slot, src, .. } => rw!([*src] -> [*slot]),
+            FOp::StoreLocalBits { slot, idx, src, .. } => rw!([*slot, *idx, *src] -> [*slot]),
+            FOp::StoreLocalBitsC { slot, src, .. } => rw!([*slot, *src] -> [*slot]),
+            // Control flow (or an op an eligible tape can't contain):
+            // conservative fail.
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Splits loop-invariant ops out of a zero-safe fast tape: returns the
+/// steady-state op list (invariant ops removed) when at least one op can be
+/// hoisted, else `None`.
+///
+/// An op is invariant when it is pure and infallible, every source register
+/// is itself invariant, and its destination is written exactly once in the
+/// whole tape (cone loads count as writes, so anything derived from signal
+/// state stays variant). Such an op recomputes the identical value on every
+/// run; under zero-safe register reuse its result persists in the register
+/// file, so after one full priming run at a given lane count the steady
+/// tape can skip it. Fallible ops (divide, range-checked indexing) are
+/// never hoisted — their per-run peel checks must keep firing.
+fn hoist_split(fast: &FastTape) -> Option<Vec<FOp>> {
+    let mut writes = vec![0u32; fast.nregs as usize];
+    for c in fast.cone.iter() {
+        writes[c.reg as usize] += 1;
+    }
+    for op in fast.ops.iter() {
+        macro_rules! w {
+            ($($r:expr),*) => {{ $(writes[$r as usize] += 1;)* }};
+        }
+        match op {
+            FOp::Nop => {}
+            FOp::Const { dst, .. } | FOp::Zero { dst } => w!(*dst),
+            FOp::Copy { dst, .. }
+            | FOp::Not { dst, .. }
+            | FOp::Neg { dst, .. }
+            | FOp::LogNot { dst, .. }
+            | FOp::Reduce { dst, .. }
+            | FOp::Resize { dst, .. }
+            | FOp::ReplicateC { dst, .. }
+            | FOp::Slice { dst, .. }
+            | FOp::Clog2 { dst, .. }
+            | FOp::Add { dst, .. }
+            | FOp::Sub { dst, .. }
+            | FOp::Mul { dst, .. }
+            | FOp::Div { dst, .. }
+            | FOp::Mod { dst, .. }
+            | FOp::Pow { dst, .. }
+            | FOp::And { dst, .. }
+            | FOp::Or { dst, .. }
+            | FOp::Xor { dst, .. }
+            | FOp::Xnor { dst, .. }
+            | FOp::Lt { dst, .. }
+            | FOp::Eq { dst, .. }
+            | FOp::LogAnd { dst, .. }
+            | FOp::LogOr { dst, .. }
+            | FOp::Shl { dst, .. }
+            | FOp::Shr { dst, .. }
+            | FOp::Ashr { dst, .. }
+            | FOp::Concat { dst, .. }
+            | FOp::IndexSig { dst, .. }
+            | FOp::IndexVal { dst, .. }
+            | FOp::SelectSigW { dst, .. }
+            | FOp::SelectValW { dst, .. } => w!(*dst),
+            FOp::StoreWhole { shadow, .. }
+            | FOp::StoreBitsC { shadow, .. }
+            | FOp::StoreIndexSig { shadow, .. } => w!(*shadow),
+            FOp::StoreLocal { slot, .. }
+            | FOp::StoreLocalBits { slot, .. }
+            | FOp::StoreLocalBitsC { slot, .. } => w!(*slot),
+            // Control flow or an op an eligible zero-safe tape can't hold.
+            _ => return None,
+        }
+    }
+    let mut inv = vec![false; fast.nregs as usize];
+    let mut steady: Vec<FOp> = Vec::with_capacity(fast.ops.len());
+    let mut hoisted = 0usize;
+    for op in fast.ops.iter() {
+        // `try_hoist!(dst; reads...)`: hoists when the dst is single-write
+        // and every read invariant; otherwise marks the dst variant.
+        macro_rules! try_hoist {
+            ($dst:expr $(; $($r:expr),*)?) => {{
+                let ok = writes[$dst as usize] == 1 $($(&& inv[$r as usize])*)?;
+                inv[$dst as usize] = ok;
+                ok
+            }};
+        }
+        let hoist = match op {
+            FOp::Const { dst, .. } | FOp::Zero { dst } => try_hoist!(*dst),
+            FOp::Copy { dst, src }
+            | FOp::Not { dst, src, .. }
+            | FOp::Neg { dst, src, .. }
+            | FOp::LogNot { dst, src }
+            | FOp::Reduce { dst, src, .. }
+            | FOp::Resize { dst, src, .. }
+            | FOp::ReplicateC { dst, src, .. }
+            | FOp::Slice { dst, src, .. }
+            | FOp::Clog2 { dst, src } => try_hoist!(*dst; *src),
+            FOp::Add { dst, a, b, .. }
+            | FOp::Sub { dst, a, b, .. }
+            | FOp::Mul { dst, a, b, .. }
+            | FOp::Pow { dst, a, b, .. }
+            | FOp::And { dst, a, b }
+            | FOp::Or { dst, a, b }
+            | FOp::Xor { dst, a, b }
+            | FOp::Xnor { dst, a, b, .. }
+            | FOp::Lt { dst, a, b, .. }
+            | FOp::Eq { dst, a, b, .. }
+            | FOp::LogAnd { dst, a, b }
+            | FOp::LogOr { dst, a, b }
+            | FOp::Shl { dst, a, b, .. }
+            | FOp::Shr { dst, a, b, .. }
+            | FOp::Ashr { dst, a, b, .. } => try_hoist!(*dst; *a, *b),
+            FOp::Concat { dst, parts } => {
+                let ok = writes[*dst as usize] == 1
+                    && parts.iter().all(|&(r, _)| inv[r as usize]);
+                inv[*dst as usize] = ok;
+                ok
+            }
+            // Fallible (peel-checked) or store/control ops stay put; any
+            // register they write is variant.
+            FOp::Div { dst, .. }
+            | FOp::Mod { dst, .. }
+            | FOp::IndexSig { dst, .. }
+            | FOp::IndexVal { dst, .. }
+            | FOp::SelectSigW { dst, .. }
+            | FOp::SelectValW { dst, .. } => {
+                inv[*dst as usize] = false;
+                false
+            }
+            FOp::StoreWhole { shadow, .. }
+            | FOp::StoreBitsC { shadow, .. }
+            | FOp::StoreIndexSig { shadow, .. } => {
+                inv[*shadow as usize] = false;
+                false
+            }
+            FOp::StoreLocal { slot, .. }
+            | FOp::StoreLocalBits { slot, .. }
+            | FOp::StoreLocalBitsC { slot, .. } => {
+                inv[*slot as usize] = false;
+                false
+            }
+            _ => false,
+        };
+        if hoist {
+            hoisted += 1;
+        } else {
+            steady.push(op.clone());
+        }
+    }
+    (hoisted > 0).then_some(steady)
+}
+
+/// Packs an input value for a `width`-bit signal into a two-state `u64`
+/// without allocating in the common case, matching `resize(width).to_u64()`
+/// exactly (`None` = the value carries x into the kept bits).
+fn pack_input(v: &LogicVec, width: u32) -> Option<u64> {
+    match v.to_u64() {
+        Some(raw) if v.width() > width => Some(raw & bitmask(width)),
+        Some(raw) => Some(raw),
+        // x somewhere: the truncating resize may still drop it.
+        None => v.resize(width).to_u64(),
+    }
+}
+
+/// Splits two distinct na-aligned register blocks out of the flat file as
+/// simultaneous mutable slices (blocks either coincide or are disjoint, so
+/// distinct starts cannot overlap).
+#[inline(always)]
+fn two_blocks(lregs: &mut [u64], na: usize, x: usize, y: usize) -> (&mut [u64], &mut [u64]) {
+    debug_assert_ne!(x, y);
+    if x < y {
+        let (lo, hi) = lregs.split_at_mut(y);
+        (&mut lo[x..x + na], &mut hi[..na])
+    } else {
+        let (lo, hi) = lregs.split_at_mut(x);
+        (&mut hi[..na], &mut lo[y..y + na])
+    }
+}
+
+/// Splits three pairwise-distinct na-aligned blocks, returned in `(d, a,
+/// b)` argument order.
+#[inline(always)]
+fn three_blocks(
+    lregs: &mut [u64],
+    na: usize,
+    d: usize,
+    a: usize,
+    b: usize,
+) -> (&mut [u64], &mut [u64], &mut [u64]) {
+    let mut order = [d, a, b];
+    order.sort_unstable();
+    let [p0, p1, p2] = order;
+    let (r0, rest) = lregs[p0..].split_at_mut(p1 - p0);
+    let (r1, r2) = rest.split_at_mut(p2 - p1);
+    let (mut sd, mut sa, mut sb) = (None, None, None);
+    for (pos, sl) in [(p0, &mut r0[..na]), (p1, &mut r1[..na]), (p2, &mut r2[..na])] {
+        if pos == d {
+            sd = Some(sl);
+        } else if pos == a {
+            sa = Some(sl);
+        } else {
+            sb = Some(sl);
+        }
+    }
+    (sd.expect("dst block"), sa.expect("a block"), sb.expect("b block"))
+}
+
+/// Lane-wise binary op. With a const lane count (`NA != 0`) the sources
+/// are staged through exact-size stack arrays: the copies are unrolled
+/// `memcpy`s, the compute loop is branch-free with no bounds checks and no
+/// aliasing hazard, and it auto-vectorizes — which is where the
+/// bit-parallel win over N scalar runs comes from. The runtime-width
+/// fallback (`NA == 0`, peeled group sizes) splits the na-aligned register
+/// blocks into disjoint borrows instead.
+#[inline(always)]
+fn bin<const NA: usize>(
+    lregs: &mut [u64],
+    na: usize,
+    dst: VReg,
+    a: VReg,
+    b: VReg,
+    f: impl Fn(u64, u64) -> u64,
+) {
+    let (d0, ai, bi) = (dst as usize * na, a as usize * na, b as usize * na);
+    if NA != 0 {
+        if d0 != ai && d0 != bi && ai != bi {
+            // Distinct blocks (the common case): compute straight through
+            // fixed-size disjoint views — no staging traffic, no bounds
+            // checks, vectorizes.
+            let (d, a, b) = three_blocks(lregs, na, d0, ai, bi);
+            let d: &mut [u64; NA] = d.try_into().expect("block size");
+            let a: &[u64; NA] = (&*a).try_into().expect("block size");
+            let b: &[u64; NA] = (&*b).try_into().expect("block size");
+            for i in 0..NA {
+                d[i] = f(a[i], b[i]);
+            }
+        } else {
+            // Aliased: stage the sources through exact-size stack copies.
+            let mut xs = [0u64; NA];
+            let mut ys = [0u64; NA];
+            xs.copy_from_slice(&lregs[ai..ai + NA]);
+            ys.copy_from_slice(&lregs[bi..bi + NA]);
+            let out = &mut lregs[d0..d0 + NA];
+            for i in 0..NA {
+                out[i] = f(xs[i], ys[i]);
+            }
+        }
+    } else if d0 == ai || d0 == bi || ai == bi {
+        // In-place: elementwise forward, so read-before-write per lane.
+        for j in 0..na {
+            lregs[d0 + j] = f(lregs[ai + j], lregs[bi + j]);
+        }
+    } else {
+        let (d, a, b) = three_blocks(lregs, na, d0, ai, bi);
+        for (dv, (&av, &bv)) in d.iter_mut().zip(a.iter().zip(b.iter())) {
+            *dv = f(av, bv);
+        }
+    }
+}
+
+/// Lane-wise unary op (same staging scheme as [`bin`]).
+#[inline(always)]
+fn un<const NA: usize>(lregs: &mut [u64], na: usize, dst: VReg, src: VReg, f: impl Fn(u64) -> u64) {
+    let (d0, s) = (dst as usize * na, src as usize * na);
+    if NA != 0 {
+        if d0 != s {
+            let (d, x) = two_blocks(lregs, na, d0, s);
+            let d: &mut [u64; NA] = d.try_into().expect("block size");
+            let x: &[u64; NA] = (&*x).try_into().expect("block size");
+            for i in 0..NA {
+                d[i] = f(x[i]);
+            }
+        } else {
+            let d: &mut [u64; NA] = (&mut lregs[d0..d0 + NA]).try_into().expect("block size");
+            for v in d.iter_mut() {
+                *v = f(*v);
+            }
+        }
+    } else if d0 == s {
+        for v in &mut lregs[d0..d0 + na] {
+            *v = f(*v);
+        }
+    } else {
+        let (d, x) = two_blocks(lregs, na, d0, s);
+        for (dv, &xv) in d.iter_mut().zip(x.iter()) {
+            *dv = f(xv);
+        }
+    }
+}
+
+/// Per-lane predicate mask over the dense lanes.
+#[inline(always)]
+fn pred_mask<const NA: usize>(lregs: &[u64], na: usize, r: VReg, f: impl Fn(u64) -> bool) -> u64 {
+    let base = r as usize * na;
+    let n = if NA == 0 { na } else { NA };
+    lregs[base..base + n]
+        .iter()
+        .enumerate()
+        .fold(0u64, |m, (j, &v)| m | (u64::from(f(v)) << j))
+}
+
+/// Resolves a divergent branch mask to the minority side to peel (ties
+/// peel the taken side, deterministically).
+fn minority(mask: u64, na: usize) -> PeelMask {
+    let ones = mask.count_ones() as usize;
+    let full = if na == 64 { u64::MAX } else { (1u64 << na) - 1 };
+    if ones * 2 <= na {
+        mask
+    } else {
+        !mask & full
+    }
+}
+
+/// The packed op loop: every data op runs lane-wise; control flow must be
+/// lane-uniform or the pass aborts with the minority lanes to peel. Any
+/// per-lane condition the scalar fast path would bail on (zero divisor,
+/// out-of-range select) aborts with exactly the offending lanes.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_lane_ops<const NA: usize>(
+    k: &Kernel,
+    ops: &[FOp],
+    na: usize,
+    active: &[u32],
+    lregs: &mut [u64],
+    lctrs: &mut [u64],
+    sticky: &mut [u64],
+    lnba: &mut Vec<(u32, LaneNba)>,
+    defer: bool,
+) -> Result<(), PeelMask> {
+    // With a non-zero monomorphization the compiler sees every lane loop's
+    // trip count as a constant (the helpers are `#[inline]`, so the
+    // constant propagates through them too).
+    let na = if NA == 0 { na } else { NA };
+    let mut pc = 0usize;
+    while pc < ops.len() {
+        match &ops[pc] {
+            FOp::Nop => {}
+            // Neither appears in an eligible (scalar, fallback-free) tape.
+            FOp::Fallback | FOp::ConstW { .. } => {
+                return Err(if na == 64 { u64::MAX } else { (1 << na) - 1 })
+            }
+            FOp::Const { dst, val } => {
+                lregs[*dst as usize * na..(*dst as usize + 1) * na].fill(*val);
+            }
+            FOp::Copy { dst, src } => un::<NA>(lregs, na, *dst, *src, |v| v),
+            FOp::Not { dst, src, w } => {
+                let m = bitmask(*w);
+                un::<NA>(lregs, na, *dst, *src, |v| !v & m);
+            }
+            FOp::Neg { dst, src, w } => {
+                let m = bitmask(*w);
+                un::<NA>(lregs, na, *dst, *src, |v| v.wrapping_neg() & m);
+            }
+            FOp::LogNot { dst, src } => un::<NA>(lregs, na, *dst, *src, |v| u64::from(v == 0)),
+            FOp::Reduce { dst, src, w, kind, neg } => {
+                let m = bitmask(*w);
+                let (kind, neg) = (*kind, *neg);
+                un::<NA>(lregs, na, *dst, *src, |v| {
+                    let bit = match kind {
+                        0 => v == m,
+                        1 => v != 0,
+                        _ => v.count_ones() % 2 == 1,
+                    };
+                    u64::from(bit != neg)
+                });
+            }
+            FOp::Add { dst, a, b, w } => {
+                let m = bitmask(*w);
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| x.wrapping_add(y) & m);
+            }
+            FOp::Sub { dst, a, b, w } => {
+                let m = bitmask(*w);
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| x.wrapping_sub(y) & m);
+            }
+            FOp::Mul { dst, a, b, w } => {
+                let m = bitmask(*w);
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| x.wrapping_mul(y) & m);
+            }
+            FOp::Div { dst, a, b } => {
+                let zeros = pred_mask::<NA>(lregs, na, *b, |v| v == 0);
+                if zeros != 0 {
+                    return Err(zeros);
+                }
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| x / y);
+            }
+            FOp::Mod { dst, a, b } => {
+                let zeros = pred_mask::<NA>(lregs, na, *b, |v| v == 0);
+                if zeros != 0 {
+                    return Err(zeros);
+                }
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| x % y);
+            }
+            FOp::Pow { dst, a, b, w } => {
+                let m = bitmask(*w);
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| {
+                    let mut acc: u64 = 1;
+                    for _ in 0..y.min(128) {
+                        acc = acc.wrapping_mul(x);
+                    }
+                    acc & m
+                });
+            }
+            FOp::And { dst, a, b } => bin::<NA>(lregs, na, *dst, *a, *b, |x, y| x & y),
+            FOp::Or { dst, a, b } => bin::<NA>(lregs, na, *dst, *a, *b, |x, y| x | y),
+            FOp::Xor { dst, a, b } => bin::<NA>(lregs, na, *dst, *a, *b, |x, y| x ^ y),
+            FOp::Xnor { dst, a, b, w } => {
+                let m = bitmask(*w);
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| !(x ^ y) & m);
+            }
+            FOp::Lt { dst, a, b, neg } => {
+                let neg = *neg;
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| u64::from((x < y) != neg));
+            }
+            FOp::Eq { dst, a, b, neg } => {
+                let neg = *neg;
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| u64::from((x == y) != neg));
+            }
+            FOp::LogAnd { dst, a, b } => {
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| u64::from(x != 0 && y != 0));
+            }
+            FOp::LogOr { dst, a, b } => {
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, y| u64::from(x != 0 || y != 0));
+            }
+            FOp::Shl { dst, a, b, w } => {
+                let w = *w;
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, n| {
+                    if n >= u64::from(w) {
+                        0
+                    } else {
+                        (x << n) & bitmask(w)
+                    }
+                });
+            }
+            FOp::Shr { dst, a, b, w } => {
+                let w = *w;
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, n| if n >= u64::from(w) { 0 } else { x >> n });
+            }
+            FOp::Ashr { dst, a, b, w } => {
+                let w = *w;
+                bin::<NA>(lregs, na, *dst, *a, *b, |x, n| {
+                    let m = bitmask(w);
+                    let msb = (x >> (w - 1)) & 1;
+                    if n >= u64::from(w) {
+                        if msb == 1 {
+                            m
+                        } else {
+                            0
+                        }
+                    } else {
+                        let r = x >> n;
+                        if msb == 1 {
+                            r | (m & !bitmask(w - n as u32))
+                        } else {
+                            r
+                        }
+                    }
+                });
+            }
+            FOp::Resize { dst, src, w } => {
+                let m = bitmask(*w);
+                un::<NA>(lregs, na, *dst, *src, |v| v & m);
+            }
+            FOp::Concat { dst, parts } => {
+                let d = *dst as usize * na;
+                if parts.iter().all(|&(r, _)| r as usize * na != d) {
+                    // Destination is not a source: accumulate part-by-part
+                    // straight into the dst block (vectorizes per part).
+                    lregs[d..d + na].fill(0);
+                    for &(r, w) in parts.iter() {
+                        let (dsl, psl) = two_blocks(lregs, na, d, r as usize * na);
+                        for (dv, &pv) in dsl.iter_mut().zip(psl.iter()) {
+                            *dv = if w == 64 { pv } else { (*dv << w) | pv };
+                        }
+                    }
+                } else {
+                    for j in 0..na {
+                        let mut acc = 0u64;
+                        for &(r, w) in parts.iter() {
+                            let v = lregs[r as usize * na + j];
+                            acc = if w == 64 { v } else { (acc << w) | v };
+                        }
+                        lregs[d + j] = acc;
+                    }
+                }
+            }
+            FOp::ReplicateC { dst, src, count, w } => {
+                let (count, w) = (*count, *w);
+                un::<NA>(lregs, na, *dst, *src, |v| {
+                    let mut acc = 0u64;
+                    for _ in 0..count {
+                        acc = if w == 64 { v } else { (acc << w) | v };
+                    }
+                    acc
+                });
+            }
+            FOp::Slice { dst, src, lo, w } => {
+                let (lo, m) = (*lo, bitmask(*w));
+                un::<NA>(lregs, na, *dst, *src, |v| (v >> lo) & m);
+            }
+            FOp::IndexSig { dst, shadow, sig, idx } => {
+                let def = &k.sigs[*sig as usize].def;
+                let mut bad = 0u64;
+                let (d, sh, ix) = (*dst as usize * na, *shadow as usize * na, *idx as usize * na);
+                for j in 0..na {
+                    match def.offset(lregs[ix + j] as i64) {
+                        Some(off) => lregs[d + j] = (lregs[sh + j] >> off) & 1,
+                        None => bad |= 1 << j,
+                    }
+                }
+                if bad != 0 {
+                    return Err(bad);
+                }
+            }
+            FOp::IndexVal { dst, base, idx, basew } => {
+                let bad = pred_mask::<NA>(lregs, na, *idx, |i| i >= u64::from(*basew));
+                if bad != 0 {
+                    return Err(bad);
+                }
+                bin::<NA>(lregs, na, *dst, *base, *idx, |v, i| (v >> i) & 1);
+            }
+            FOp::SelectSigW { dst, shadow, sig, left, span, mode } => {
+                let def = &k.sigs[*sig as usize].def;
+                let (span, mode) = (*span, *mode);
+                let mut bad = 0u64;
+                let (d, sh, lf) = (*dst as usize * na, *shadow as usize * na, *left as usize * na);
+                for j in 0..na {
+                    let (hi_idx, lo_idx) =
+                        select_bounds(lregs[lf + j] as i64, i64::from(span), mode);
+                    match (def.offset(hi_idx), def.offset(lo_idx)) {
+                        (Some(a), Some(b)) => {
+                            lregs[d + j] = (lregs[sh + j] >> a.min(b)) & bitmask(span);
+                        }
+                        _ => bad |= 1 << j,
+                    }
+                }
+                if bad != 0 {
+                    return Err(bad);
+                }
+            }
+            FOp::SelectValW { dst, base, left, span, mode, basew } => {
+                let (span, mode, basew) = (*span, *mode, *basew);
+                let mut bad = 0u64;
+                let (d, bs, lf) = (*dst as usize * na, *base as usize * na, *left as usize * na);
+                for j in 0..na {
+                    let (hi_idx, lo_idx) =
+                        select_bounds(lregs[lf + j] as i64, i64::from(span), mode);
+                    if lo_idx < 0 || hi_idx >= i64::from(basew) {
+                        bad |= 1 << j;
+                    } else {
+                        lregs[d + j] = (lregs[bs + j] >> lo_idx as u32) & bitmask(span);
+                    }
+                }
+                if bad != 0 {
+                    return Err(bad);
+                }
+            }
+            FOp::Clog2 { dst, src } => {
+                un::<NA>(lregs, na, *dst, *src, |v| clog2(v as i64) as u64 & bitmask(32));
+            }
+            FOp::Zero { dst } => {
+                lregs[*dst as usize * na..(*dst as usize + 1) * na].fill(0);
+            }
+            FOp::StoreWhole { shadow, cone, src, w, nb, sig } => {
+                let m = bitmask(*w);
+                let (sh, s) = (*shadow as usize * na, *src as usize * na);
+                if *nb && defer {
+                    for j in 0..na {
+                        let raw = lregs[s + j] & m;
+                        lnba.push((active[j], LaneNba { target: Target::Whole(*sig), raw }));
+                    }
+                } else if sh == s {
+                    for (j, v) in lregs[sh..sh + na].iter_mut().enumerate() {
+                        let raw = *v & m;
+                        sticky[j] |= u64::from(*v != raw) << *cone;
+                        *v = raw;
+                    }
+                } else {
+                    // Branchless shadow update: an unconditional same-value
+                    // store and a zero sticky-bit OR are no-ops, so this
+                    // matches the compare-then-write form exactly.
+                    let (shs, ss) = two_blocks(lregs, na, sh, s);
+                    for (j, (shv, &sv)) in shs.iter_mut().zip(ss.iter()).enumerate() {
+                        let raw = sv & m;
+                        sticky[j] |= u64::from(*shv != raw) << *cone;
+                        *shv = raw;
+                    }
+                }
+            }
+            FOp::StoreBitsC { shadow, cone, hi, lo, src, nb, sig } => {
+                let span = *hi - *lo + 1;
+                let (sh, s) = (*shadow as usize * na, *src as usize * na);
+                for j in 0..na {
+                    let chunk = lregs[s + j] & bitmask(span);
+                    if *nb && defer {
+                        lnba.push((active[j], LaneNba { target: Target::Bits(*sig, *hi, *lo), raw: chunk }));
+                    } else {
+                        let cur = lregs[sh + j];
+                        let new = (cur & !(bitmask(span) << lo)) | (chunk << lo);
+                        if new != cur {
+                            sticky[j] |= 1 << *cone;
+                            lregs[sh + j] = new;
+                        }
+                    }
+                }
+            }
+            FOp::StoreIndexSig { shadow, cone, idx, src, nb, sig } => {
+                let def = &k.sigs[*sig as usize].def;
+                let (sh, s, ix) = (*shadow as usize * na, *src as usize * na, *idx as usize * na);
+                for j in 0..na {
+                    // Out-of-range indices drop the write, like the tree.
+                    let Some(off) = def.offset(lregs[ix + j] as i64) else { continue };
+                    let b = lregs[s + j] & 1;
+                    if *nb && defer {
+                        lnba.push((active[j], LaneNba { target: Target::Bits(*sig, off, off), raw: b }));
+                    } else {
+                        let cur = lregs[sh + j];
+                        let new = (cur & !(1u64 << off)) | (b << off);
+                        if new != cur {
+                            sticky[j] |= 1 << *cone;
+                            lregs[sh + j] = new;
+                        }
+                    }
+                }
+            }
+            FOp::StoreLocal { slot, src, w } => {
+                let m = bitmask(*w);
+                un::<NA>(lregs, na, *slot, *src, |v| v & m);
+            }
+            FOp::StoreLocalBits { slot, idx, src, slotw } => {
+                let (sl, ix, s) = (*slot as usize * na, *idx as usize * na, *src as usize * na);
+                for j in 0..na {
+                    // The truncating cast matches the tree's `v as u32`.
+                    let i = lregs[ix + j] as u32;
+                    if i < *slotw {
+                        let b = lregs[s + j] & 1;
+                        lregs[sl + j] = (lregs[sl + j] & !(1u64 << i)) | (b << i);
+                    }
+                }
+            }
+            FOp::StoreLocalBitsC { slot, hi, lo, src } => {
+                let span = *hi - *lo + 1;
+                let (lo, m) = (*lo, bitmask(span));
+                let (sl, s) = (*slot as usize * na, *src as usize * na);
+                for j in 0..na {
+                    let chunk = lregs[s + j] & m;
+                    lregs[sl + j] = (lregs[sl + j] & !(m << lo)) | (chunk << lo);
+                }
+            }
+            FOp::Jump { to } => {
+                pc = *to as usize;
+                continue;
+            }
+            FOp::BranchTruthy { cond, on_true, on_false } => {
+                let mask = pred_mask::<NA>(lregs, na, *cond, |v| v != 0);
+                pc = if mask == 0 {
+                    *on_false as usize
+                } else if mask.count_ones() as usize == na {
+                    *on_true as usize
+                } else {
+                    return Err(minority(mask, na));
+                };
+                continue;
+            }
+            FOp::BranchMatchC { scrut, cmp, care, on_hit } => {
+                let (cmp, care) = (*cmp, *care);
+                let mask = pred_mask::<NA>(lregs, na, *scrut, |v| (v ^ cmp) & care == 0);
+                if mask.count_ones() as usize == na {
+                    pc = *on_hit as usize;
+                    continue;
+                }
+                if mask != 0 {
+                    return Err(minority(mask, na));
+                }
+            }
+            FOp::BranchMatchR { scrut, label, on_hit } => {
+                let (sc, lb) = (*scrut as usize * na, *label as usize * na);
+                let mut mask = 0u64;
+                for j in 0..na {
+                    mask |= u64::from(lregs[sc + j] == lregs[lb + j]) << j;
+                }
+                if mask.count_ones() as usize == na {
+                    pc = *on_hit as usize;
+                    continue;
+                }
+                if mask != 0 {
+                    return Err(minority(mask, na));
+                }
+            }
+            FOp::ZeroCtr { ctr } => {
+                lctrs[*ctr as usize * na..(*ctr as usize + 1) * na].fill(0);
+            }
+            FOp::IncCtrJumpLt { ctr, limit, to } => {
+                let base = *ctr as usize * na;
+                let mut mask = 0u64;
+                for j in 0..na {
+                    lctrs[base + j] += 1;
+                    mask |= u64::from(lctrs[base + j] < u64::from(*limit)) << j;
+                }
+                if mask.count_ones() as usize == na {
+                    pc = *to as usize;
+                    continue;
+                }
+                if mask != 0 {
+                    return Err(minority(mask, na));
+                }
+            }
+            FOp::RepeatInit { ctr, count } => {
+                let (base, c) = (*ctr as usize * na, *count as usize * na);
+                for j in 0..na {
+                    lctrs[base + j] = lregs[c + j].min(MAX_LOOP as u64);
+                }
+            }
+            FOp::BranchCtrZeroDec { ctr, on_zero } => {
+                let base = *ctr as usize * na;
+                let mut mask = 0u64;
+                for j in 0..na {
+                    mask |= u64::from(lctrs[base + j] == 0) << j;
+                }
+                if mask.count_ones() as usize == na {
+                    pc = *on_zero as usize;
+                    continue;
+                }
+                if mask != 0 {
+                    return Err(minority(mask, na));
+                }
+                for j in 0..na {
+                    lctrs[base + j] -= 1;
+                }
+            }
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    use super::*;
+    use crate::interp::force_sim_lanes;
+    use crate::testbench::{
+        random_stimuli, run_testbench, run_testbench_seeds, Clocking, ReferenceModel,
+    };
+    use rtlfixer_verilog::compile;
+
+    /// Serialises tests that flip the lane force-override (or assert that
+    /// packing actually happened) against each other.
+    static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Runs `run_testbench_seeds` and asserts every lane's result is
+    /// identical to a solo `run_testbench` of that lane.
+    fn assert_matches_solo(
+        src: &str,
+        top: &str,
+        make_model: &dyn Fn() -> Box<dyn ReferenceModel>,
+        stimuli: &[Vec<BTreeMap<String, LogicVec>>],
+        clocking: &Clocking,
+    ) {
+        let analysis = compile(src);
+        let mut models: Vec<Box<dyn ReferenceModel>> =
+            (0..stimuli.len()).map(|_| make_model()).collect();
+        let packed = run_testbench_seeds(&analysis, top, &mut models, stimuli, clocking);
+        assert_eq!(packed.len(), stimuli.len());
+        for (lane, stim) in stimuli.iter().enumerate() {
+            let mut solo = make_model();
+            let want = run_testbench(&analysis, top, solo.as_mut(), stim, clocking);
+            match (&packed[lane], &want) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "lane {lane} diverged from solo run"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.to_string(), b.to_string(), "lane {lane} error diverged");
+                }
+                (a, b) => panic!("lane {lane}: packed {a:?} vs solo {b:?}"),
+            }
+        }
+    }
+
+    const ACC_SRC: &str = "module acc(input clk, input [7:0] d, output reg [15:0] q);\n\
+         always @(posedge clk) q <= (q + d) ^ (q >> 2);\nendmodule";
+
+    struct AccModel {
+        q: u64,
+    }
+
+    impl ReferenceModel for AccModel {
+        fn reset(&mut self) {
+            self.q = 0;
+        }
+        fn step(&mut self, inputs: &BTreeMap<String, LogicVec>) -> BTreeMap<String, LogicVec> {
+            let d = inputs["d"].to_u64().unwrap_or(0);
+            self.q = ((self.q + d) ^ (self.q >> 2)) & 0xffff;
+            BTreeMap::from([("q".to_owned(), LogicVec::from_u64(16, self.q))])
+        }
+    }
+
+    fn acc_stimuli(seeds: &[u64], cycles: usize) -> Vec<Vec<BTreeMap<String, LogicVec>>> {
+        let ports = vec![("d".to_owned(), 8)];
+        seeds.iter().map(|&s| random_stimuli(&ports, cycles, s)).collect()
+    }
+
+    #[test]
+    #[ignore = "diagnostic: prints tape shape for the lane probe design"]
+    fn debug_tape_shape() {
+        let src = "module crc16f(input clk, input [7:0] d,\n\
+                   output reg [15:0] crc);\n\
+                   integer i;\n\
+                   reg [15:0] c;\n\
+                   always @(posedge clk) begin\n\
+                     c = crc;\n\
+                     for (i = 0; i < 8; i = i + 1)\n\
+                       c = {c[14:0], 1'b0} ^ ({16{c[15] ^ d[7 - i]}} & 16'h1021);\n\
+                     crc <= c ^ {8'h00, d};\n\
+                   end\nendmodule";
+        let analysis = compile(src);
+        let runner = LaneRunner::try_new(&analysis, "crc16f", 16).expect("packs");
+        println!("nsigs={}", runner.kernel.sigs.len());
+        for (i, p) in runner.kernel.seq.iter().enumerate() {
+            let fast = p.tape.as_ref().unwrap().fast.as_ref().unwrap();
+            println!(
+                "seq[{i}]: ops={} nregs={} cone={} nctrs={}",
+                fast.ops.len(),
+                fast.nregs,
+                fast.cone.len(),
+                p.tape.as_ref().unwrap().nctrs,
+            );
+            let mut hist: BTreeMap<String, usize> = BTreeMap::new();
+            for op in fast.ops.iter() {
+                let name = format!("{op:?}");
+                let key = name.split([' ', '(', '{']).next().unwrap().to_owned();
+                *hist.entry(key).or_default() += 1;
+            }
+            println!("{hist:?}");
+        }
+    }
+
+    #[test]
+    fn sixteen_seeds_match_solo_runs_branch_free() {
+        let seeds: Vec<u64> = (1..=16).collect();
+        assert_matches_solo(
+            ACC_SRC,
+            "acc",
+            &|| Box::new(AccModel { q: 0 }),
+            &acc_stimuli(&seeds, 40),
+            &Clocking::Sequential { clock: "clk".into() },
+        );
+    }
+
+    #[test]
+    fn divergent_reset_branch_matches_solo_runs() {
+        // `if (rst)` diverges across lanes, forcing minority peels.
+        let src = "module rctr(input clk, input rst, input [7:0] d, output reg [15:0] q);\n\
+             always @(posedge clk) begin\n\
+               if (rst) q <= 0; else q <= q + d;\n\
+             end\nendmodule";
+        struct M {
+            q: u64,
+        }
+        impl ReferenceModel for M {
+            fn reset(&mut self) {
+                self.q = 0;
+            }
+            fn step(&mut self, i: &BTreeMap<String, LogicVec>) -> BTreeMap<String, LogicVec> {
+                if i["rst"].to_u64() == Some(1) {
+                    self.q = 0;
+                } else {
+                    self.q = (self.q + i["rst"].to_u64().map_or(0, |_| i["d"].to_u64().unwrap_or(0))) & 0xffff;
+                }
+                BTreeMap::from([("q".to_owned(), LogicVec::from_u64(16, self.q))])
+            }
+        }
+        let ports = vec![("rst".to_owned(), 1), ("d".to_owned(), 8)];
+        let stimuli: Vec<_> = (1..=8u64).map(|s| random_stimuli(&ports, 30, s)).collect();
+        assert_matches_solo(
+            src,
+            "rctr",
+            &|| Box::new(M { q: 0 }),
+            &stimuli,
+            &Clocking::Sequential { clock: "clk".into() },
+        );
+    }
+
+    #[test]
+    fn division_by_zero_lanes_peel_and_match_solo() {
+        let src = "module dv(input [7:0] a, input [7:0] b, output [7:0] q);\n\
+             assign q = a / b;\nendmodule";
+        let make = || -> Box<dyn ReferenceModel> {
+            Box::new(|i: &BTreeMap<String, LogicVec>| {
+                let (a, b) = (i["a"].to_u64().unwrap(), i["b"].to_u64().unwrap());
+                let q = a.checked_div(b).map_or_else(|| LogicVec::xs(8), |q| LogicVec::from_u64(8, q));
+                BTreeMap::from([("q".to_owned(), q)])
+            })
+        };
+        // Lane 2 divides by zero on cycle 1; lane 5 on every cycle.
+        let frame = |a: u64, b: u64| {
+            BTreeMap::from([
+                ("a".to_owned(), LogicVec::from_u64(8, a)),
+                ("b".to_owned(), LogicVec::from_u64(8, b)),
+            ])
+        };
+        let stimuli: Vec<Vec<_>> = (0..8u64)
+            .map(|lane| {
+                (0..6u64)
+                    .map(|c| {
+                        let b = if lane == 5 || (lane == 2 && c == 1) { 0 } else { lane + c + 1 };
+                        frame(lane * 31 + c * 7 + 3, b)
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_matches_solo(src, "dv", &make, &stimuli, &Clocking::Combinational);
+    }
+
+    #[test]
+    fn x_poke_peels_lane_and_matches_solo() {
+        let src = "module xr(input [7:0] a, output [7:0] y);\n\
+             assign y = a ^ 8'h5a;\nendmodule";
+        let make = || -> Box<dyn ReferenceModel> {
+            Box::new(|i: &BTreeMap<String, LogicVec>| {
+                let y = i["a"].xor(&LogicVec::from_u64(8, 0x5a));
+                BTreeMap::from([("y".to_owned(), y)])
+            })
+        };
+        let mut stimuli: Vec<Vec<BTreeMap<String, LogicVec>>> = (0..4u64)
+            .map(|lane| {
+                (0..5u64)
+                    .map(|c| {
+                        BTreeMap::from([(
+                            "a".to_owned(),
+                            LogicVec::from_u64(8, lane * 13 + c),
+                        )])
+                    })
+                    .collect()
+            })
+            .collect();
+        // Lane 1 cycle 2 drives x bits, which the packed engine cannot hold.
+        stimuli[1][2].insert("a".to_owned(), LogicVec::xs(8));
+        assert_matches_solo(src, "xr", &make, &stimuli, &Clocking::Combinational);
+    }
+
+    #[test]
+    fn memory_designs_fall_back_to_scalar() {
+        // An unpacked array makes the design ineligible for packing; the
+        // seed API must still work (scalar loop) and match solo runs.
+        let src = "module mem(input clk, input [1:0] wa, input [7:0] wd, output reg [7:0] q);\n\
+             reg [7:0] m [0:3];\n\
+             always @(posedge clk) begin m[wa] <= wd; q <= m[0]; end\nendmodule";
+        struct M {
+            m: [u64; 4],
+            q: Option<u64>,
+            seen: [bool; 4],
+        }
+        impl ReferenceModel for M {
+            fn reset(&mut self) {
+                *self = M { m: [0; 4], q: None, seen: [false; 4] };
+            }
+            fn step(&mut self, i: &BTreeMap<String, LogicVec>) -> BTreeMap<String, LogicVec> {
+                let q = if self.seen[0] { Some(self.m[0]) } else { None };
+                let wa = i["wa"].to_u64().unwrap() as usize;
+                self.m[wa] = i["wd"].to_u64().unwrap();
+                self.seen[wa] = true;
+                self.q = q;
+                let out = self.q.map_or_else(|| LogicVec::xs(8), |v| LogicVec::from_u64(8, v));
+                BTreeMap::from([("q".to_owned(), out)])
+            }
+        }
+        let ports = vec![("wa".to_owned(), 2), ("wd".to_owned(), 8)];
+        let stimuli: Vec<_> = (1..=4u64).map(|s| random_stimuli(&ports, 12, s)).collect();
+        assert_matches_solo(
+            src,
+            "mem",
+            &|| Box::new(M { m: [0; 4], q: None, seen: [false; 4] }),
+            &stimuli,
+            &Clocking::Sequential { clock: "clk".into() },
+        );
+    }
+
+    #[test]
+    fn lane_kill_switch_forces_scalar_and_stays_identical() {
+        let _guard = FORCE_LOCK.lock().unwrap();
+        let analysis = compile(ACC_SRC);
+        let seeds: Vec<u64> = (1..=6).collect();
+        let stimuli = acc_stimuli(&seeds, 25);
+        let clocking = Clocking::Sequential { clock: "clk".into() };
+        let run = |stimuli: &[Vec<BTreeMap<String, LogicVec>>]| {
+            let mut models: Vec<Box<dyn ReferenceModel>> =
+                seeds.iter().map(|_| Box::new(AccModel { q: 0 }) as Box<dyn ReferenceModel>).collect();
+            run_testbench_seeds(&analysis, "acc", &mut models, stimuli, &clocking)
+                .into_iter()
+                .map(|r| r.expect("runs"))
+                .collect::<Vec<_>>()
+        };
+        force_sim_lanes(Some(false));
+        assert!(LaneRunner::try_new(&analysis, "acc", 6).is_none(), "kill switch must gate try_new");
+        let scalar = run(&stimuli);
+        force_sim_lanes(Some(true));
+        let packed = run(&stimuli);
+        force_sim_lanes(None);
+        assert_eq!(scalar, packed);
+        assert!(packed.iter().all(|r| r.passed));
+    }
+
+    #[test]
+    fn runner_reports_peels_on_divergence() {
+        let _guard = FORCE_LOCK.lock().unwrap();
+        let src = "module sel(input clk, input s, input [7:0] d, output reg [7:0] q);\n\
+             always @(posedge clk) begin\n\
+               if (s) q <= q + d; else q <= q - d;\n\
+             end\nendmodule";
+        let analysis = compile(src);
+        let mut runner = LaneRunner::try_new(&analysis, "sel", 4).expect("eligible design");
+        // Two lanes take each side of the branch: the minority rule peels
+        // (at least) two lanes over the run.
+        for cycle in 0..3u64 {
+            runner.begin_cycle();
+            let s: Vec<LogicVec> =
+                (0..4).map(|lane| LogicVec::from_u64(1, u64::from(lane % 2 == 0))).collect();
+            let d: Vec<LogicVec> =
+                (0..4).map(|lane| LogicVec::from_u64(8, lane + 2 * cycle + 1)).collect();
+            runner.poke("s", &s.iter().map(Some).collect::<Vec<_>>());
+            runner.poke("d", &d.iter().map(Some).collect::<Vec<_>>());
+            runner.step(LaneAction::Clock("clk"));
+        }
+        let stats = runner.stats();
+        assert!(stats.peels >= 2, "divergent branch must peel: {stats:?}");
+        assert!(stats.lane_steps >= 12, "every lane-step accounted: {stats:?}");
+        // And the peeled lanes' values still match fresh solo simulators.
+        for lane in 0..4u64 {
+            let mut sim = Simulator::new(&analysis, "sel").unwrap();
+            sim.run_initial().unwrap();
+            for cycle in 0..3u64 {
+                sim.poke("s", LogicVec::from_u64(1, u64::from(lane % 2 == 0))).unwrap();
+                sim.poke("d", LogicVec::from_u64(8, lane + 2 * cycle + 1)).unwrap();
+                sim.clock_cycle("clk").unwrap();
+            }
+            assert_eq!(
+                runner.peek("q", lane as usize),
+                sim.peek("q"),
+                "lane {lane} state diverged"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random seeds through the divergent-branch design: packed and
+        /// solo transcripts must agree lane for lane.
+        #[test]
+        fn random_seed_packs_match_solo(base in proptest::prelude::any::<u64>(), k in 2usize..10) {
+            let src = "module pr(input clk, input rst, input [7:0] d, output reg [15:0] q);\n\
+                 always @(posedge clk) begin\n\
+                   if (rst) q <= 16'h11; else q <= (q << 1) + d;\n\
+                 end\nendmodule";
+            struct M { q: u64 }
+            impl ReferenceModel for M {
+                fn reset(&mut self) { self.q = 0; }
+                fn step(&mut self, i: &BTreeMap<String, LogicVec>) -> BTreeMap<String, LogicVec> {
+                    self.q = if i["rst"].to_u64() == Some(1) {
+                        0x11
+                    } else {
+                        ((self.q << 1) + i["d"].to_u64().unwrap_or(0)) & 0xffff
+                    };
+                    BTreeMap::from([("q".to_owned(), LogicVec::from_u64(16, self.q))])
+                }
+            }
+            let ports = vec![("rst".to_owned(), 1), ("d".to_owned(), 8)];
+            let stimuli: Vec<_> = (0..k as u64)
+                .map(|lane| random_stimuli(&ports, 20, base ^ (lane * 0x9e37_79b9)))
+                .collect();
+            assert_matches_solo(
+                src,
+                "pr",
+                &|| Box::new(M { q: 0 }),
+                &stimuli,
+                &Clocking::Sequential { clock: "clk".into() },
+            );
+        }
+    }
+
+    use proptest::prelude::{proptest, ProptestConfig};
+}

@@ -74,10 +74,18 @@ pub struct TapeStats {
     pub dead_signals: u64,
     /// Statically-bounded `for` loops fully unrolled at compile time.
     pub loops_unrolled: u64,
+    /// Processes whose fast tape uses a multi-limb (>64-bit) register class.
+    pub fast_wide: u64,
+    /// Widest fast register class in the kernel, in 64-bit limbs per
+    /// register (0 = no fast tape anywhere). Absorbed via max, not sum.
+    pub limb_class: u64,
+    /// Processes that compiled to a tape but were rejected for a fast
+    /// variant (wide cone, unsupported ops, or a mostly-fallback mapping).
+    pub fast_rejected: u64,
 }
 
 impl TapeStats {
-    /// Sums `other` into `self`.
+    /// Sums `other` into `self` (`limb_class` takes the max).
     pub fn absorb(&mut self, other: &TapeStats) {
         self.procs += other.procs;
         self.taped += other.taped;
@@ -88,6 +96,9 @@ impl TapeStats {
         self.tree_stmts += other.tree_stmts;
         self.dead_signals += other.dead_signals;
         self.loops_unrolled += other.loops_unrolled;
+        self.fast_wide += other.fast_wide;
+        self.limb_class = self.limb_class.max(other.limb_class);
+        self.fast_rejected += other.fast_rejected;
     }
 }
 
@@ -216,17 +227,33 @@ pub(crate) struct FCone {
 }
 
 /// The two-state fast variant: one [`FOp`] per four-state [`Op`] (same
-/// indices, so jump targets are shared), over a `u64` register file.
+/// indices, so jump targets are shared), over a flat limb-register file.
+///
+/// Registers are fixed-size limb groups: register `r` occupies limbs
+/// `[r*limbs, (r+1)*limbs)` of the flat `u64` file. `limbs` is 1 for
+/// all-≤64-bit processes (the PR-6 scalar layout, byte-identical
+/// semantics) or 2/4 when the process's widest static width lands in
+/// `(64, 128]` / `(128, 256]` and multi-limb mode is enabled.
 #[derive(Debug)]
 pub(crate) struct FastTape {
     pub(crate) ops: Box<[FOp]>,
     pub(crate) cone: Box<[FCone]>,
     pub(crate) nregs: u32,
+    /// 64-bit limbs per register (1, 2 or 4).
+    pub(crate) limbs: u32,
+    /// Wide-constant pool: `limbs` u64s per entry, LSB limb first.
+    pub(crate) wconsts: Box<[u64]>,
+    /// Lazily-built threaded-dispatch handler table (`limbs == 1` only).
+    pub(crate) thread: std::sync::OnceLock<crate::thread::Handlers>,
 }
 
 /// Two-state ops. Registers always hold values masked to their static
 /// width. Any situation where the four-state op would produce x/z maps to
 /// a clean fallback (`FOp::Fallback` or a runtime `return false`).
+///
+/// Ops carry static result widths (`w`) rather than precomputed `u64`
+/// masks so the same op stream executes under any register class; the
+/// executor derives limb masks from the width.
 #[derive(Debug, Clone)]
 pub(crate) enum FOp {
     Nop,
@@ -235,40 +262,47 @@ pub(crate) enum FOp {
     /// merge arm — unreachable when the cone is x-free, kept defensively).
     Fallback,
     Const { dst: VReg, val: u64 },
+    /// Multi-limb constant: entry `c` of [`FastTape::wconsts`] (emitted
+    /// only under multi-limb register classes).
+    ConstW { dst: VReg, c: u32 },
     /// Copy from a cone shadow register (signal read) or plain move.
     Copy { dst: VReg, src: VReg },
-    Not { dst: VReg, src: VReg, mask: u64 },
-    Neg { dst: VReg, src: VReg, mask: u64 },
+    Not { dst: VReg, src: VReg, w: u32 },
+    Neg { dst: VReg, src: VReg, w: u32 },
     LogNot { dst: VReg, src: VReg },
     /// Reduction; `kind`: 0=and 1=or 2=xor, `neg` inverts.
-    Reduce { dst: VReg, src: VReg, mask: u64, kind: u8, neg: bool },
-    Add { dst: VReg, a: VReg, b: VReg, mask: u64 },
-    Sub { dst: VReg, a: VReg, b: VReg, mask: u64 },
-    Mul { dst: VReg, a: VReg, b: VReg, mask: u64 },
-    /// Division; zero divisor falls back (x result in four-state).
+    Reduce { dst: VReg, src: VReg, w: u32, kind: u8, neg: bool },
+    Add { dst: VReg, a: VReg, b: VReg, w: u32 },
+    Sub { dst: VReg, a: VReg, b: VReg, w: u32 },
+    /// Product truncated to 128 bits before masking (the four-state
+    /// reference multiplies through `u128`); operands are compile-time
+    /// restricted to ≤ 128 bits under multi-limb classes.
+    Mul { dst: VReg, a: VReg, b: VReg, w: u32 },
+    /// Division; zero divisor falls back (x result in four-state), as do
+    /// operands past 128 bits (the reference divides via `u128`).
     Div { dst: VReg, a: VReg, b: VReg },
     Mod { dst: VReg, a: VReg, b: VReg },
-    Pow { dst: VReg, a: VReg, b: VReg, mask: u64 },
+    Pow { dst: VReg, a: VReg, b: VReg, w: u32 },
     And { dst: VReg, a: VReg, b: VReg },
     Or { dst: VReg, a: VReg, b: VReg },
     Xor { dst: VReg, a: VReg, b: VReg },
-    Xnor { dst: VReg, a: VReg, b: VReg, mask: u64 },
+    Xnor { dst: VReg, a: VReg, b: VReg, w: u32 },
     /// `a < b` (unsigned); `neg` gives `>=`.
     Lt { dst: VReg, a: VReg, b: VReg, neg: bool },
     Eq { dst: VReg, a: VReg, b: VReg, neg: bool },
     LogAnd { dst: VReg, a: VReg, b: VReg },
     LogOr { dst: VReg, a: VReg, b: VReg },
     /// Shift amounts at or past the operand width produce zero, matching
-    /// `LogicVec::shl`/`shr`.
-    Shl { dst: VReg, a: VReg, b: VReg, width: u32, mask: u64 },
-    Shr { dst: VReg, a: VReg, b: VReg, width: u32 },
-    Ashr { dst: VReg, a: VReg, b: VReg, width: u32, mask: u64 },
-    Resize { dst: VReg, src: VReg, mask: u64 },
+    /// `LogicVec::shl`/`shr`. Amount registers are ≤ 64 bits.
+    Shl { dst: VReg, a: VReg, b: VReg, w: u32 },
+    Shr { dst: VReg, a: VReg, b: VReg, w: u32 },
+    Ashr { dst: VReg, a: VReg, b: VReg, w: u32 },
+    Resize { dst: VReg, src: VReg, w: u32 },
     /// MSB-first concat of `(reg, width)` parts.
     Concat { dst: VReg, parts: Box<[(VReg, u32)]> },
-    ReplicateC { dst: VReg, src: VReg, count: u32, width: u32 },
-    /// `(src >> lo) & mask` (always in range).
-    Slice { dst: VReg, src: VReg, lo: u32, mask: u64 },
+    ReplicateC { dst: VReg, src: VReg, count: u32, w: u32 },
+    /// `(src >> lo)` masked to span `w` (always in range).
+    Slice { dst: VReg, src: VReg, lo: u32, w: u32 },
     /// Runtime bit index into a cone signal (out-of-range falls back).
     IndexSig { dst: VReg, shadow: VReg, sig: SigId, idx: VReg },
     /// Runtime bit index into a value of static width.
@@ -282,18 +316,19 @@ pub(crate) enum FOp {
     /// Whole write into a cone shadow (`cone` = cone table index). Queued
     /// NBA values are rebuilt at the target width — `commit` resizes to it
     /// anyway, so the final state is identical to the tree's queue.
-    StoreWhole { shadow: VReg, cone: u32, mask: u64, src: VReg, width: u32, nb: bool, sig: SigId },
+    StoreWhole { shadow: VReg, cone: u32, src: VReg, w: u32, nb: bool, sig: SigId },
     /// Constant bit-range write into a cone shadow.
     StoreBitsC { shadow: VReg, cone: u32, hi: u32, lo: u32, src: VReg, nb: bool, sig: SigId },
     /// Runtime bit write into a cone shadow (out-of-range drops, like the
     /// tree path).
     StoreIndexSig { shadow: VReg, cone: u32, idx: VReg, src: VReg, nb: bool, sig: SigId },
-    StoreLocal { slot: VReg, src: VReg, mask: u64 },
+    StoreLocal { slot: VReg, src: VReg, w: u32 },
     StoreLocalBits { slot: VReg, idx: VReg, src: VReg, slotw: u32 },
     StoreLocalBitsC { slot: VReg, hi: u32, lo: u32, src: VReg },
     Jump { to: u32 },
     BranchTruthy { cond: VReg, on_true: u32, on_false: u32 },
-    /// Masked case-label compare: hit iff `(scrut ^ cmp) & care == 0`.
+    /// Masked case-label compare: hit iff `(scrut ^ cmp) & care == 0`
+    /// (scrutinee ≤ 64 bits — wider constant labels fall back).
     BranchMatchC { scrut: VReg, cmp: u64, care: u64, on_hit: u32 },
     /// Runtime-label compare (x-free ⇒ plain equality for all case kinds).
     BranchMatchR { scrut: VReg, label: VReg, on_hit: u32 },
@@ -1941,8 +1976,15 @@ impl<'k> Compiler<'k> {
         self.stats.dead_signals = (sigs_before - self.live_sigs().len()) as u64;
         self.stats.taped = 1;
         let fast = self.build_fast();
-        if fast.is_some() {
-            self.stats.fast = 1;
+        match &fast {
+            Some(f) => {
+                self.stats.fast = 1;
+                self.stats.limb_class = u64::from(f.limbs);
+                if f.limbs > 1 {
+                    self.stats.fast_wide = 1;
+                }
+            }
+            None => self.stats.fast_rejected = 1,
         }
         Some(Tape {
             ops: self.ops.into_boxed_slice(),
@@ -2028,18 +2070,6 @@ impl<'k> Compiler<'k> {
                 _ => conflict[slot as usize] = true,
             }
         }
-        let fw = |r: VReg| -> Option<u32> {
-            let i = r as usize;
-            if i < nl {
-                if conflict[i] {
-                    None
-                } else {
-                    Some(local_w[i].unwrap_or(1)).filter(|w| *w <= 64)
-                }
-            } else {
-                self.width[i].filter(|w| *w <= 64)
-            }
-        };
         // Register facts: single-def consts (for label baking) and which
         // regs are consumed anywhere other than as a case label.
         let mut defs = vec![0u32; nregs];
@@ -2072,82 +2102,196 @@ impl<'k> Compiler<'k> {
                 _ => Self::op_uses(op, self.nlocals, &mut |r| nonlabel_use[r as usize] = true),
             }
         }
-        // Cone: every narrow vector signal the fast ops touch.
-        let sig_ok = |id: SigId| {
-            let def = &self.sigs[id as usize].def;
-            def.words.is_none() && def.width <= 64
-        };
-        let mut cone_set: BTreeMap<SigId, bool> = BTreeMap::new();
-        for op in self.ops.iter() {
-            match op {
-                Op::LoadSig { sig, .. }
-                | Op::SliceSig { sig, .. }
-                | Op::IndexSig { sig, .. }
-                | Op::SelectSigW { sig, .. }
-                    if sig_ok(*sig) =>
-                {
-                    cone_set.entry(*sig).or_insert(false);
+        // Candidate register classes: always try the single-limb (PR-6
+        // scalar) layout. When multi-limb mode is enabled and some static
+        // width lands in (64, 256], also try the smallest class covering
+        // every such width, and keep whichever maps with fewer fallbacks
+        // (a wider class never wins on a tie — scalar ops are cheaper).
+        let mut maxw = 0u32;
+        {
+            let mut consider = |w: u32| {
+                if w <= 256 {
+                    maxw = maxw.max(w);
                 }
-                Op::SetSigVec { sig, .. }
-                | Op::StoreWhole { sig, .. }
-                | Op::StoreBitsC { sig, .. }
-                | Op::StoreIndexSig { sig, .. }
-                    if sig_ok(*sig) =>
-                {
-                    *cone_set.entry(*sig).or_insert(true) = true;
+            };
+            for (i, lw) in local_w.iter().enumerate() {
+                if !conflict[i] {
+                    consider(lw.unwrap_or(1));
                 }
-                _ => {}
+            }
+            for w in self.width.iter().flatten() {
+                consider(*w);
+            }
+            for op in self.ops.iter() {
+                let sig = match op {
+                    Op::LoadSig { sig, .. }
+                    | Op::SliceSig { sig, .. }
+                    | Op::IndexSig { sig, .. }
+                    | Op::SelectSigW { sig, .. }
+                    | Op::SetSigVec { sig, .. }
+                    | Op::StoreWhole { sig, .. }
+                    | Op::StoreBitsC { sig, .. }
+                    | Op::StoreIndexSig { sig, .. } => *sig,
+                    _ => continue,
+                };
+                let def = &self.sigs[sig as usize].def;
+                if def.words.is_none() {
+                    consider(def.width);
+                }
             }
         }
-        if cone_set.len() > 64 {
-            return None;
-        }
-        let cone: Vec<FCone> = cone_set
-            .iter()
-            .enumerate()
-            .map(|(i, (&sig, &written))| {
-                let w = self.sigs[sig as usize].def.width;
-                FCone { sig, reg: self.next_reg + i as u32, width: w, written }
-            })
-            .collect();
-        let shadow: HashMap<SigId, (VReg, u32)> =
-            cone.iter().enumerate().map(|(i, c)| (c.sig, (c.reg, i as u32))).collect();
-        let fops: Vec<FOp> = self.ops.iter().map(|op| self.map_fast(op, &fw, &const_reg, &nonlabel_use, &shadow)).collect();
-        // A fast tape that faults immediately (or mostly) is pure overhead.
-        if matches!(fops[0], FOp::Fallback) {
-            return None;
-        }
-        let falls = fops.iter().filter(|f| matches!(f, FOp::Fallback)).count();
-        if falls * 2 > fops.len() {
-            return None;
-        }
+        let wide_class = match maxw {
+            0..=64 => 1u32,
+            65..=128 => 2,
+            _ => 4,
+        };
+
+        // Maps the whole op stream under one register class; `None` when
+        // the result would be pure overhead (wide cone, immediate fault,
+        // or a mostly-fallback stream).
+        type FastClass = (Vec<FOp>, Vec<FCone>, Vec<u64>, usize);
+        let try_class = |limbs: u32| -> Option<FastClass> {
+            let limit = 64 * limbs;
+            let fw = |r: VReg| -> Option<u32> {
+                let i = r as usize;
+                if i < nl {
+                    if conflict[i] {
+                        None
+                    } else {
+                        Some(local_w[i].unwrap_or(1)).filter(|w| *w <= limit)
+                    }
+                } else {
+                    self.width[i].filter(|w| *w <= limit)
+                }
+            };
+            // Cone: every vector signal the fast ops touch, within class.
+            let sig_ok = |id: SigId| {
+                let def = &self.sigs[id as usize].def;
+                def.words.is_none() && def.width <= limit
+            };
+            let mut cone_set: BTreeMap<SigId, bool> = BTreeMap::new();
+            for op in self.ops.iter() {
+                match op {
+                    Op::LoadSig { sig, .. }
+                    | Op::SliceSig { sig, .. }
+                    | Op::IndexSig { sig, .. }
+                    | Op::SelectSigW { sig, .. }
+                        if sig_ok(*sig) =>
+                    {
+                        cone_set.entry(*sig).or_insert(false);
+                    }
+                    Op::SetSigVec { sig, .. }
+                    | Op::StoreWhole { sig, .. }
+                    | Op::StoreBitsC { sig, .. }
+                    | Op::StoreIndexSig { sig, .. }
+                        if sig_ok(*sig) =>
+                    {
+                        *cone_set.entry(*sig).or_insert(true) = true;
+                    }
+                    _ => {}
+                }
+            }
+            if cone_set.len() > 64 {
+                return None;
+            }
+            let cone: Vec<FCone> = cone_set
+                .iter()
+                .enumerate()
+                .map(|(i, (&sig, &written))| {
+                    let w = self.sigs[sig as usize].def.width;
+                    FCone { sig, reg: self.next_reg + i as u32, width: w, written }
+                })
+                .collect();
+            let shadow: HashMap<SigId, (VReg, u32)> =
+                cone.iter().enumerate().map(|(i, c)| (c.sig, (c.reg, i as u32))).collect();
+            let mut wconsts = Vec::new();
+            let fops: Vec<FOp> = self
+                .ops
+                .iter()
+                .map(|op| {
+                    self.map_fast(op, limbs, &fw, &const_reg, &nonlabel_use, &shadow, &mut wconsts)
+                })
+                .collect();
+            // A fast tape that faults immediately (or mostly) is pure
+            // overhead.
+            if matches!(fops[0], FOp::Fallback) {
+                return None;
+            }
+            let falls = fops.iter().filter(|f| matches!(f, FOp::Fallback)).count();
+            if falls * 2 > fops.len() {
+                return None;
+            }
+            Some((fops, cone, wconsts, falls))
+        };
+
+        let narrow = try_class(1);
+        let want_wide = wide_class > 1
+            && crate::interp::wide_enabled()
+            && match &narrow {
+                None => true,
+                Some((.., falls)) => *falls > 0,
+            };
+        let chosen = if want_wide {
+            match (try_class(wide_class), narrow) {
+                (Some(w), Some(n)) => {
+                    if w.3 < n.3 {
+                        Some((w, wide_class))
+                    } else {
+                        Some((n, 1))
+                    }
+                }
+                (Some(w), None) => Some((w, wide_class)),
+                (None, n) => n.map(|n| (n, 1)),
+            }
+        } else {
+            narrow.map(|n| (n, 1))
+        };
+        let ((fops, cone, wconsts, _), limbs) = chosen?;
         Some(FastTape {
+            nregs: self.next_reg + cone.len() as u32,
             ops: fops.into_boxed_slice(),
             cone: cone.into_boxed_slice(),
-            nregs: self.next_reg + cone_set.len() as u32,
+            limbs,
+            wconsts: wconsts.into_boxed_slice(),
+            thread: std::sync::OnceLock::new(),
         })
     }
 
-    /// Maps one four-state op onto its two-state counterpart.
-    #[allow(clippy::too_many_lines)]
+    /// Maps one four-state op onto its two-state counterpart under the
+    /// given register class (`limbs` u64s per register). At `limbs == 1`
+    /// the mapping is exactly the PR-6 scalar one.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn map_fast(
         &self,
         op: &Op,
+        limbs: u32,
         fw: &dyn Fn(VReg) -> Option<u32>,
         const_reg: &[Option<&LogicVec>],
         nonlabel_use: &[bool],
         shadow: &HashMap<SigId, (VReg, u32)>,
+        wconsts: &mut Vec<u64>,
     ) -> FOp {
         use FOp as F;
+        let limit = 64 * limbs;
         match op {
             Op::Const { dst, c } => {
                 let v = &self.consts[*c as usize];
                 match v.to_u64() {
                     Some(raw) => F::Const { dst: *dst, val: raw },
-                    // x/z or >64-bit constants can only serve as baked
-                    // case labels; anything else falls back.
-                    None if nonlabel_use[*dst as usize] => F::Fallback,
-                    None => F::Nop,
+                    None => {
+                        let mut buf = [0u64; 4];
+                        if limbs > 1 && v.to_limbs(&mut buf[..limbs as usize]) {
+                            let entry = (wconsts.len() / limbs as usize) as u32;
+                            wconsts.extend_from_slice(&buf[..limbs as usize]);
+                            F::ConstW { dst: *dst, c: entry }
+                        } else if nonlabel_use[*dst as usize] {
+                            // x/z or over-wide constants can only serve as
+                            // baked case labels; anything else falls back.
+                            F::Fallback
+                        } else {
+                            F::Nop
+                        }
+                    }
                 }
             }
             Op::LoadSig { dst, sig } => match shadow.get(sig) {
@@ -2158,18 +2302,18 @@ impl<'k> Compiler<'k> {
             Op::Unary { dst, op, src } => {
                 let (dst, src) = (*dst, *src);
                 let red = |kind: u8, neg: bool| match fw(src) {
-                    Some(w) => F::Reduce { dst, src, mask: bitmask(w), kind, neg },
+                    Some(w) => F::Reduce { dst, src, w, kind, neg },
                     None => F::Fallback,
                 };
                 match op {
                     UnaryOp::Plus => F::Copy { dst, src },
                     UnaryOp::Not => F::LogNot { dst, src },
                     UnaryOp::BitNot => match fw(src) {
-                        Some(w) => F::Not { dst, src, mask: bitmask(w) },
+                        Some(w) => F::Not { dst, src, w },
                         None => F::Fallback,
                     },
                     UnaryOp::Neg => match fw(src) {
-                        Some(w) => F::Neg { dst, src, mask: bitmask(w) },
+                        Some(w) => F::Neg { dst, src, w },
                         None => F::Fallback,
                     },
                     UnaryOp::RedAnd => red(0, false),
@@ -2182,8 +2326,8 @@ impl<'k> Compiler<'k> {
             }
             Op::Binary { dst, op, a, b } => self.map_fast_binary(*dst, *op, *a, *b, fw),
             Op::Resize { dst, src, width } => {
-                if *width <= 64 {
-                    F::Resize { dst: *dst, src: *src, mask: bitmask(*width) }
+                if *width <= limit {
+                    F::Resize { dst: *dst, src: *src, w: *width }
                 } else {
                     F::Fallback
                 }
@@ -2197,15 +2341,15 @@ impl<'k> Compiler<'k> {
                     total += w;
                     ps.push((r, w));
                 }
-                if total <= 64 {
+                if total <= limit {
                     F::Concat { dst: *dst, parts: ps.into_boxed_slice() }
                 } else {
                     F::Fallback
                 }
             }
             Op::ReplicateC { dst, src, count } => match fw(*src) {
-                Some(w) if w.saturating_mul(*count) <= 64 => {
-                    F::ReplicateC { dst: *dst, src: *src, count: *count, width: w }
+                Some(w) if w.saturating_mul(*count) <= limit => {
+                    F::ReplicateC { dst: *dst, src: *src, count: *count, w }
                 }
                 _ => F::Fallback,
             },
@@ -2213,13 +2357,13 @@ impl<'k> Compiler<'k> {
             Op::Slice { dst, src, hi, lo } => match fw(*src) {
                 // Out-of-range slice bits read x: not fast-representable.
                 Some(w) if *hi < w => {
-                    F::Slice { dst: *dst, src: *src, lo: *lo, mask: bitmask(hi - lo + 1) }
+                    F::Slice { dst: *dst, src: *src, lo: *lo, w: hi - lo + 1 }
                 }
                 _ => F::Fallback,
             },
             Op::SliceSig { dst, sig, hi, lo } => match shadow.get(sig) {
                 Some(&(reg, _)) if *hi < self.sigs[*sig as usize].def.width => {
-                    F::Slice { dst: *dst, src: reg, lo: *lo, mask: bitmask(hi - lo + 1) }
+                    F::Slice { dst: *dst, src: reg, lo: *lo, w: hi - lo + 1 }
                 }
                 _ => F::Fallback,
             },
@@ -2258,8 +2402,8 @@ impl<'k> Compiler<'k> {
             Op::Clog2 { dst, src } => F::Clog2 { dst: *dst, src: *src },
             Op::ZeroLocal { slot, .. } => F::Zero { dst: *slot },
             Op::StoreLocal { slot, src, width } => {
-                if *width <= 64 {
-                    F::StoreLocal { slot: *slot, src: *src, mask: bitmask(*width) }
+                if *width <= limit {
+                    F::StoreLocal { slot: *slot, src: *src, w: *width }
                 } else {
                     F::Fallback
                 }
@@ -2286,9 +2430,8 @@ impl<'k> Compiler<'k> {
                 Some(&(reg, ci)) => F::StoreWhole {
                     shadow: reg,
                     cone: ci,
-                    mask: bitmask(*width),
                     src: *src,
-                    width: *width,
+                    w: *width,
                     nb: false,
                     sig: *sig,
                 },
@@ -2297,15 +2440,7 @@ impl<'k> Compiler<'k> {
             Op::StoreWhole { sig, src, nb } => match shadow.get(sig) {
                 Some(&(reg, ci)) => {
                     let w = self.sigs[*sig as usize].def.width;
-                    F::StoreWhole {
-                        shadow: reg,
-                        cone: ci,
-                        mask: bitmask(w),
-                        src: *src,
-                        width: w,
-                        nb: *nb,
-                        sig: *sig,
-                    }
+                    F::StoreWhole { shadow: reg, cone: ci, src: *src, w, nb: *nb, sig: *sig }
                 }
                 None => F::Fallback,
             },
@@ -2340,6 +2475,33 @@ impl<'k> Compiler<'k> {
             }
             Op::BranchMatch { kind, scrut, label, on_hit } => {
                 let Some(sw) = fw(*scrut) else { return F::Fallback };
+                if sw > 64 {
+                    // Wide scrutinee (multi-limb classes only): clean
+                    // constant labels ride the register file via `ConstW`
+                    // and compare as raw equality; x-bearing labels either
+                    // can never hit (plain `case`) or need wildcard
+                    // masking over >64 bits (not worth a baked form).
+                    return match const_reg[*label as usize] {
+                        Some(lv) if lv.has_x() => {
+                            if *kind == CaseKind::Case {
+                                F::Nop
+                            } else {
+                                F::Fallback
+                            }
+                        }
+                        Some(lv) => {
+                            let mut buf = [0u64; 4];
+                            if lv.to_limbs(&mut buf[..limbs as usize]) {
+                                F::BranchMatchR { scrut: *scrut, label: *label, on_hit: *on_hit }
+                            } else {
+                                // A set bit beyond the register class can
+                                // never equal the zero-extended scrutinee.
+                                F::Nop
+                            }
+                        }
+                        None => F::BranchMatchR { scrut: *scrut, label: *label, on_hit: *on_hit },
+                    };
+                }
                 match const_reg[*label as usize] {
                     Some(lv) => match bake_label(*kind, sw, lv) {
                         LabelTest::Never => F::Nop,
@@ -2373,34 +2535,34 @@ impl<'k> Compiler<'k> {
     ) -> FOp {
         use BinaryOp::*;
         use FOp as F;
-        let maxw = || -> Option<u64> {
+        let maxw = || -> Option<u32> {
             let (x, y) = (fw(a)?, fw(b)?);
-            Some(bitmask(x.max(y)))
+            Some(x.max(y))
         };
         match op {
             Add => match maxw() {
-                Some(mask) => F::Add { dst, a, b, mask },
+                Some(w) => F::Add { dst, a, b, w },
                 None => F::Fallback,
             },
             Sub => match maxw() {
-                Some(mask) => F::Sub { dst, a, b, mask },
+                Some(w) => F::Sub { dst, a, b, w },
                 None => F::Fallback,
             },
             Mul => match maxw() {
-                Some(mask) => F::Mul { dst, a, b, mask },
+                Some(w) => F::Mul { dst, a, b, w },
                 None => F::Fallback,
             },
             Div => F::Div { dst, a, b },
             Mod => F::Mod { dst, a, b },
             Pow => match maxw() {
-                Some(mask) => F::Pow { dst, a, b, mask },
+                Some(w) => F::Pow { dst, a, b, w },
                 None => F::Fallback,
             },
             BitAnd => F::And { dst, a, b },
             BitOr => F::Or { dst, a, b },
             BitXor => F::Xor { dst, a, b },
             BitXnor => match maxw() {
-                Some(mask) => F::Xnor { dst, a, b, mask },
+                Some(w) => F::Xnor { dst, a, b, w },
                 None => F::Fallback,
             },
             LogAnd => F::LogAnd { dst, a, b },
@@ -2412,15 +2574,15 @@ impl<'k> Compiler<'k> {
             Le => F::Lt { dst, a: b, b: a, neg: true },
             Ge => F::Lt { dst, a, b, neg: true },
             Shl | AShl => match fw(a) {
-                Some(w) => F::Shl { dst, a, b, width: w, mask: bitmask(w) },
+                Some(w) => F::Shl { dst, a, b, w },
                 None => F::Fallback,
             },
             Shr => match fw(a) {
-                Some(w) => F::Shr { dst, a, b, width: w },
+                Some(w) => F::Shr { dst, a, b, w },
                 None => F::Fallback,
             },
             AShr => match fw(a) {
-                Some(w) => F::Ashr { dst, a, b, width: w, mask: bitmask(w) },
+                Some(w) => F::Ashr { dst, a, b, w },
                 None => F::Fallback,
             },
         }

@@ -1,0 +1,571 @@
+//! Threaded-dispatch execution of scalar (`limbs == 1`) fast tapes.
+//!
+//! Instead of re-matching the `FOp` discriminant on every step, the tape
+//! is compiled once (lazily, cached on [`FastTape::thread`]) into a
+//! parallel table of pre-bound handler functions — one `fn` pointer per
+//! op. The inner loop is then
+//!
+//! ```text
+//! pc = table[pc](ctx, &ops[pc], pc)
+//! ```
+//!
+//! an indirect call through a per-op pointer, which lets the branch
+//! predictor key each dispatch site off the op's own table slot
+//! (classic token-threading) rather than funnelling every op through one
+//! shared match jump. Handler bodies are copies of the scalar match arms
+//! in [`crate::fast`] — semantics are pinned by the four-way invariance
+//! matrix and the threaded-vs-interpreted A/B tests.
+//!
+//! A handler returning [`BAIL`] aborts the run exactly like the
+//! interpreted loop's `return false`: strictly before any state mutation
+//! (writes are buffered in cone shadows / `fnba`), so the caller re-runs
+//! the four-state tape. The `RTLFIXER_SIM_THREADED` kill switch restores
+//! the interpreted loop.
+
+use rtlfixer_verilog::const_eval::clog2;
+
+use crate::fast::{commit_cone, load_cone};
+use crate::interp::{NbaWrite, StateValue, Target, WriteLog, select_bounds, MAX_LOOP};
+use crate::lower::Kernel;
+use crate::tape::{bitmask, FOp, FastTape};
+use crate::value::LogicVec;
+
+/// Sentinel "next pc" aborting the run (the real pc space is bounded by
+/// `MAX_OPS` ≪ `u32::MAX`).
+pub(crate) const BAIL: u32 = u32::MAX;
+
+/// Execution context threaded through every handler.
+pub(crate) struct FCtx<'a> {
+    pub(crate) k: &'a Kernel,
+    pub(crate) fregs: &'a mut [u64],
+    pub(crate) fctrs: &'a mut [u64],
+    pub(crate) fnba: &'a mut Vec<NbaWrite>,
+    pub(crate) defer: bool,
+    pub(crate) sticky: u64,
+}
+
+/// One pre-bound op handler: executes its op and returns the next pc.
+pub(crate) type FHandler = fn(&mut FCtx<'_>, &FOp, u32) -> u32;
+
+/// The compiled handler table (same indices as `FastTape::ops`).
+pub(crate) type Handlers = Box<[FHandler]>;
+
+/// Runs a scalar fast tape through its threaded handler table, building
+/// the table on first use. Contract identical to
+/// [`crate::fast::run_fast_tape`]`::<1>`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_threaded(
+    k: &Kernel,
+    state: &mut [StateValue],
+    fast: &FastTape,
+    nctrs: u32,
+    fregs: &mut Vec<u64>,
+    fctrs: &mut Vec<u64>,
+    forig: &mut Vec<u64>,
+    fnba: &mut Vec<NbaWrite>,
+    nba: &mut Option<&mut Vec<NbaWrite>>,
+    log: &mut Option<WriteLog<'_>>,
+) -> bool {
+    debug_assert_eq!(fast.limbs, 1);
+    fregs.clear();
+    fregs.resize(fast.nregs as usize, 0);
+    fctrs.clear();
+    fctrs.resize(nctrs as usize, 0);
+    forig.clear();
+    fnba.clear();
+    if !load_cone::<1>(state, fast, fregs, forig) {
+        return false;
+    }
+    let table = fast.thread.get_or_init(|| build(&fast.ops));
+    let ops = &fast.ops;
+    let n = ops.len() as u32;
+    let mut ctx = FCtx { k, fregs, fctrs, fnba, defer: nba.is_some(), sticky: 0 };
+    let mut pc = 0u32;
+    while pc < n {
+        let i = pc as usize;
+        pc = table[i](&mut ctx, &ops[i], pc);
+    }
+    if pc == BAIL {
+        return false;
+    }
+    let sticky = ctx.sticky;
+    commit_cone::<1>(state, fast, fregs, forig, sticky, log);
+    if let Some(queue) = nba {
+        queue.append(fnba);
+    } else {
+        fnba.clear();
+    }
+    true
+}
+
+/// Compiles an op stream into its handler table.
+pub(crate) fn build(ops: &[FOp]) -> Handlers {
+    ops.iter().map(handler_for).collect()
+}
+
+fn handler_for(op: &FOp) -> FHandler {
+    match op {
+        FOp::Nop => |_, _, pc| pc + 1,
+        // ConstW never appears under limbs == 1; bail defensively.
+        FOp::Fallback | FOp::ConstW { .. } => |_, _, _| BAIL,
+        FOp::Const { .. } => h_const,
+        FOp::Copy { .. } => h_copy,
+        FOp::Not { .. } => h_not,
+        FOp::Neg { .. } => h_neg,
+        FOp::LogNot { .. } => h_lognot,
+        FOp::Reduce { .. } => h_reduce,
+        FOp::Add { .. } => h_add,
+        FOp::Sub { .. } => h_sub,
+        FOp::Mul { .. } => h_mul,
+        FOp::Div { .. } => h_div,
+        FOp::Mod { .. } => h_mod,
+        FOp::Pow { .. } => h_pow,
+        FOp::And { .. } => h_and,
+        FOp::Or { .. } => h_or,
+        FOp::Xor { .. } => h_xor,
+        FOp::Xnor { .. } => h_xnor,
+        FOp::Lt { .. } => h_lt,
+        FOp::Eq { .. } => h_eq,
+        FOp::LogAnd { .. } => h_logand,
+        FOp::LogOr { .. } => h_logor,
+        FOp::Shl { .. } => h_shl,
+        FOp::Shr { .. } => h_shr,
+        FOp::Ashr { .. } => h_ashr,
+        FOp::Resize { .. } => h_resize,
+        FOp::Concat { .. } => h_concat,
+        FOp::ReplicateC { .. } => h_replicate,
+        FOp::Slice { .. } => h_slice,
+        FOp::IndexSig { .. } => h_index_sig,
+        FOp::IndexVal { .. } => h_index_val,
+        FOp::SelectSigW { .. } => h_select_sig,
+        FOp::SelectValW { .. } => h_select_val,
+        FOp::Clog2 { .. } => h_clog2,
+        FOp::Zero { .. } => h_zero,
+        FOp::StoreWhole { .. } => h_store_whole,
+        FOp::StoreBitsC { .. } => h_store_bits,
+        FOp::StoreIndexSig { .. } => h_store_index,
+        FOp::StoreLocal { .. } => h_store_local,
+        FOp::StoreLocalBits { .. } => h_store_local_bits,
+        FOp::StoreLocalBitsC { .. } => h_store_local_bits_c,
+        FOp::Jump { .. } => h_jump,
+        FOp::BranchTruthy { .. } => h_branch_truthy,
+        FOp::BranchMatchC { .. } => h_branch_match_c,
+        FOp::BranchMatchR { .. } => h_branch_match_r,
+        FOp::ZeroCtr { .. } => h_zero_ctr,
+        FOp::IncCtrJumpLt { .. } => h_inc_ctr,
+        FOp::RepeatInit { .. } => h_repeat_init,
+        FOp::BranchCtrZeroDec { .. } => h_ctr_zero_dec,
+    }
+}
+
+// Each handler destructures its own variant; a mismatch (impossible by
+// construction of the table) bails rather than panicking.
+
+fn h_const(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Const { dst, val } = op else { return BAIL };
+    c.fregs[*dst as usize] = *val;
+    pc + 1
+}
+
+fn h_copy(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Copy { dst, src } = op else { return BAIL };
+    c.fregs[*dst as usize] = c.fregs[*src as usize];
+    pc + 1
+}
+
+fn h_not(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Not { dst, src, w } = op else { return BAIL };
+    c.fregs[*dst as usize] = !c.fregs[*src as usize] & bitmask(*w);
+    pc + 1
+}
+
+fn h_neg(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Neg { dst, src, w } = op else { return BAIL };
+    c.fregs[*dst as usize] = c.fregs[*src as usize].wrapping_neg() & bitmask(*w);
+    pc + 1
+}
+
+fn h_lognot(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::LogNot { dst, src } = op else { return BAIL };
+    c.fregs[*dst as usize] = u64::from(c.fregs[*src as usize] == 0);
+    pc + 1
+}
+
+fn h_reduce(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Reduce { dst, src, w, kind, neg } = op else { return BAIL };
+    let r = c.fregs[*src as usize];
+    let bit = match kind {
+        0 => r == bitmask(*w),
+        1 => r != 0,
+        _ => r.count_ones() % 2 == 1,
+    };
+    c.fregs[*dst as usize] = u64::from(bit != *neg);
+    pc + 1
+}
+
+fn h_add(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Add { dst, a, b, w } = op else { return BAIL };
+    c.fregs[*dst as usize] = c.fregs[*a as usize].wrapping_add(c.fregs[*b as usize]) & bitmask(*w);
+    pc + 1
+}
+
+fn h_sub(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Sub { dst, a, b, w } = op else { return BAIL };
+    c.fregs[*dst as usize] = c.fregs[*a as usize].wrapping_sub(c.fregs[*b as usize]) & bitmask(*w);
+    pc + 1
+}
+
+fn h_mul(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Mul { dst, a, b, w } = op else { return BAIL };
+    c.fregs[*dst as usize] = c.fregs[*a as usize].wrapping_mul(c.fregs[*b as usize]) & bitmask(*w);
+    pc + 1
+}
+
+fn h_div(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Div { dst, a, b } = op else { return BAIL };
+    let d = c.fregs[*b as usize];
+    if d == 0 {
+        return BAIL;
+    }
+    c.fregs[*dst as usize] = c.fregs[*a as usize] / d;
+    pc + 1
+}
+
+fn h_mod(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Mod { dst, a, b } = op else { return BAIL };
+    let d = c.fregs[*b as usize];
+    if d == 0 {
+        return BAIL;
+    }
+    c.fregs[*dst as usize] = c.fregs[*a as usize] % d;
+    pc + 1
+}
+
+fn h_pow(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Pow { dst, a, b, w } = op else { return BAIL };
+    let base = c.fregs[*a as usize];
+    let mut acc: u64 = 1;
+    for _ in 0..c.fregs[*b as usize].min(128) {
+        acc = acc.wrapping_mul(base);
+    }
+    c.fregs[*dst as usize] = acc & bitmask(*w);
+    pc + 1
+}
+
+fn h_and(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::And { dst, a, b } = op else { return BAIL };
+    c.fregs[*dst as usize] = c.fregs[*a as usize] & c.fregs[*b as usize];
+    pc + 1
+}
+
+fn h_or(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Or { dst, a, b } = op else { return BAIL };
+    c.fregs[*dst as usize] = c.fregs[*a as usize] | c.fregs[*b as usize];
+    pc + 1
+}
+
+fn h_xor(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Xor { dst, a, b } = op else { return BAIL };
+    c.fregs[*dst as usize] = c.fregs[*a as usize] ^ c.fregs[*b as usize];
+    pc + 1
+}
+
+fn h_xnor(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Xnor { dst, a, b, w } = op else { return BAIL };
+    c.fregs[*dst as usize] = !(c.fregs[*a as usize] ^ c.fregs[*b as usize]) & bitmask(*w);
+    pc + 1
+}
+
+fn h_lt(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Lt { dst, a, b, neg } = op else { return BAIL };
+    c.fregs[*dst as usize] = u64::from((c.fregs[*a as usize] < c.fregs[*b as usize]) != *neg);
+    pc + 1
+}
+
+fn h_eq(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Eq { dst, a, b, neg } = op else { return BAIL };
+    c.fregs[*dst as usize] = u64::from((c.fregs[*a as usize] == c.fregs[*b as usize]) != *neg);
+    pc + 1
+}
+
+fn h_logand(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::LogAnd { dst, a, b } = op else { return BAIL };
+    c.fregs[*dst as usize] = u64::from(c.fregs[*a as usize] != 0 && c.fregs[*b as usize] != 0);
+    pc + 1
+}
+
+fn h_logor(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::LogOr { dst, a, b } = op else { return BAIL };
+    c.fregs[*dst as usize] = u64::from(c.fregs[*a as usize] != 0 || c.fregs[*b as usize] != 0);
+    pc + 1
+}
+
+fn h_shl(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Shl { dst, a, b, w } = op else { return BAIL };
+    let n = c.fregs[*b as usize];
+    c.fregs[*dst as usize] =
+        if n >= u64::from(*w) { 0 } else { (c.fregs[*a as usize] << n) & bitmask(*w) };
+    pc + 1
+}
+
+fn h_shr(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Shr { dst, a, b, w } = op else { return BAIL };
+    let n = c.fregs[*b as usize];
+    c.fregs[*dst as usize] = if n >= u64::from(*w) { 0 } else { c.fregs[*a as usize] >> n };
+    pc + 1
+}
+
+fn h_ashr(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Ashr { dst, a, b, w } = op else { return BAIL };
+    let n = c.fregs[*b as usize];
+    let v = c.fregs[*a as usize];
+    let mask = bitmask(*w);
+    let msb = (v >> (*w - 1)) & 1;
+    c.fregs[*dst as usize] = if n >= u64::from(*w) {
+        if msb == 1 {
+            mask
+        } else {
+            0
+        }
+    } else {
+        let r = v >> n;
+        if msb == 1 {
+            r | (mask & !bitmask(*w - n as u32))
+        } else {
+            r
+        }
+    };
+    pc + 1
+}
+
+fn h_resize(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Resize { dst, src, w } = op else { return BAIL };
+    c.fregs[*dst as usize] = c.fregs[*src as usize] & bitmask(*w);
+    pc + 1
+}
+
+fn h_concat(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Concat { dst, parts } = op else { return BAIL };
+    let mut acc: u64 = 0;
+    for &(r, w) in parts.iter() {
+        // A 64-bit part can only be the sole part (total ≤ 64).
+        acc = if w == 64 { c.fregs[r as usize] } else { (acc << w) | c.fregs[r as usize] };
+    }
+    c.fregs[*dst as usize] = acc;
+    pc + 1
+}
+
+fn h_replicate(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::ReplicateC { dst, src, count, w } = op else { return BAIL };
+    let v = c.fregs[*src as usize];
+    let mut acc: u64 = 0;
+    for _ in 0..*count {
+        acc = if *w == 64 { v } else { (acc << *w) | v };
+    }
+    c.fregs[*dst as usize] = acc;
+    pc + 1
+}
+
+fn h_slice(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Slice { dst, src, lo, w } = op else { return BAIL };
+    c.fregs[*dst as usize] = (c.fregs[*src as usize] >> lo) & bitmask(*w);
+    pc + 1
+}
+
+fn h_index_sig(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::IndexSig { dst, shadow, sig, idx } = op else { return BAIL };
+    let i = c.fregs[*idx as usize] as i64;
+    let Some(off) = c.k.sigs[*sig as usize].def.offset(i) else { return BAIL };
+    c.fregs[*dst as usize] = (c.fregs[*shadow as usize] >> off) & 1;
+    pc + 1
+}
+
+fn h_index_val(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::IndexVal { dst, base, idx, basew } = op else { return BAIL };
+    let i = c.fregs[*idx as usize];
+    if i >= u64::from(*basew) {
+        return BAIL;
+    }
+    c.fregs[*dst as usize] = (c.fregs[*base as usize] >> i) & 1;
+    pc + 1
+}
+
+fn h_select_sig(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::SelectSigW { dst, shadow, sig, left, span, mode } = op else { return BAIL };
+    let l = c.fregs[*left as usize] as i64;
+    let (hi_idx, lo_idx) = select_bounds(l, *span as i64, *mode);
+    let def = &c.k.sigs[*sig as usize].def;
+    let (Some(a), Some(b)) = (def.offset(hi_idx), def.offset(lo_idx)) else {
+        return BAIL;
+    };
+    c.fregs[*dst as usize] = (c.fregs[*shadow as usize] >> a.min(b)) & bitmask(*span);
+    pc + 1
+}
+
+fn h_select_val(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::SelectValW { dst, base, left, span, mode, basew } = op else { return BAIL };
+    let l = c.fregs[*left as usize] as i64;
+    let (hi_idx, lo_idx) = select_bounds(l, *span as i64, *mode);
+    if lo_idx < 0 || hi_idx >= i64::from(*basew) {
+        return BAIL;
+    }
+    c.fregs[*dst as usize] = (c.fregs[*base as usize] >> lo_idx as u32) & bitmask(*span);
+    pc + 1
+}
+
+fn h_clog2(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Clog2 { dst, src } = op else { return BAIL };
+    c.fregs[*dst as usize] = clog2(c.fregs[*src as usize] as i64) as u64 & bitmask(32);
+    pc + 1
+}
+
+fn h_zero(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::Zero { dst } = op else { return BAIL };
+    c.fregs[*dst as usize] = 0;
+    pc + 1
+}
+
+fn h_store_whole(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::StoreWhole { shadow, cone, src, w, nb, sig } = op else { return BAIL };
+    let raw = c.fregs[*src as usize] & bitmask(*w);
+    if *nb && c.defer {
+        c.fnba
+            .push(NbaWrite { target: Target::Whole(*sig), value: LogicVec::from_u64(*w, raw) });
+    } else if c.fregs[*shadow as usize] != raw {
+        c.sticky |= 1 << *cone;
+        c.fregs[*shadow as usize] = raw;
+    }
+    pc + 1
+}
+
+fn h_store_bits(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::StoreBitsC { shadow, cone, hi, lo, src, nb, sig } = op else { return BAIL };
+    let span = *hi - *lo + 1;
+    let chunk = c.fregs[*src as usize] & bitmask(span);
+    if *nb && c.defer {
+        c.fnba.push(NbaWrite {
+            target: Target::Bits(*sig, *hi, *lo),
+            value: LogicVec::from_u64(span, chunk),
+        });
+    } else {
+        let cur = c.fregs[*shadow as usize];
+        let new = (cur & !(bitmask(span) << lo)) | (chunk << lo);
+        if new != cur {
+            c.sticky |= 1 << *cone;
+            c.fregs[*shadow as usize] = new;
+        }
+    }
+    pc + 1
+}
+
+fn h_store_index(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::StoreIndexSig { shadow, cone, idx, src, nb, sig } = op else { return BAIL };
+    let i = c.fregs[*idx as usize] as i64;
+    // Out-of-range indices drop the write, like the tree path.
+    if let Some(off) = c.k.sigs[*sig as usize].def.offset(i) {
+        let b = c.fregs[*src as usize] & 1;
+        if *nb && c.defer {
+            c.fnba.push(NbaWrite {
+                target: Target::Bits(*sig, off, off),
+                value: LogicVec::from_u64(1, b),
+            });
+        } else {
+            let cur = c.fregs[*shadow as usize];
+            let new = (cur & !(1u64 << off)) | (b << off);
+            if new != cur {
+                c.sticky |= 1 << *cone;
+                c.fregs[*shadow as usize] = new;
+            }
+        }
+    }
+    pc + 1
+}
+
+fn h_store_local(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::StoreLocal { slot, src, w } = op else { return BAIL };
+    c.fregs[*slot as usize] = c.fregs[*src as usize] & bitmask(*w);
+    pc + 1
+}
+
+fn h_store_local_bits(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::StoreLocalBits { slot, idx, src, slotw } = op else { return BAIL };
+    // The truncating cast matches the tree's `v as u32`.
+    let i = c.fregs[*idx as usize] as u32;
+    if i < *slotw {
+        let b = c.fregs[*src as usize] & 1;
+        c.fregs[*slot as usize] = (c.fregs[*slot as usize] & !(1u64 << i)) | (b << i);
+    }
+    pc + 1
+}
+
+fn h_store_local_bits_c(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::StoreLocalBitsC { slot, hi, lo, src } = op else { return BAIL };
+    let span = *hi - *lo + 1;
+    let chunk = c.fregs[*src as usize] & bitmask(span);
+    c.fregs[*slot as usize] = (c.fregs[*slot as usize] & !(bitmask(span) << lo)) | (chunk << lo);
+    pc + 1
+}
+
+fn h_jump(_: &mut FCtx<'_>, op: &FOp, _: u32) -> u32 {
+    let FOp::Jump { to } = op else { return BAIL };
+    *to
+}
+
+fn h_branch_truthy(c: &mut FCtx<'_>, op: &FOp, _: u32) -> u32 {
+    let FOp::BranchTruthy { cond, on_true, on_false } = op else { return BAIL };
+    if c.fregs[*cond as usize] != 0 {
+        *on_true
+    } else {
+        *on_false
+    }
+}
+
+fn h_branch_match_c(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::BranchMatchC { scrut, cmp, care, on_hit } = op else { return BAIL };
+    if (c.fregs[*scrut as usize] ^ cmp) & care == 0 {
+        *on_hit
+    } else {
+        pc + 1
+    }
+}
+
+fn h_branch_match_r(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::BranchMatchR { scrut, label, on_hit } = op else { return BAIL };
+    if c.fregs[*scrut as usize] == c.fregs[*label as usize] {
+        *on_hit
+    } else {
+        pc + 1
+    }
+}
+
+fn h_zero_ctr(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::ZeroCtr { ctr } = op else { return BAIL };
+    c.fctrs[*ctr as usize] = 0;
+    pc + 1
+}
+
+fn h_inc_ctr(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::IncCtrJumpLt { ctr, limit, to } = op else { return BAIL };
+    c.fctrs[*ctr as usize] += 1;
+    if c.fctrs[*ctr as usize] < u64::from(*limit) {
+        *to
+    } else {
+        pc + 1
+    }
+}
+
+fn h_repeat_init(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::RepeatInit { ctr, count } = op else { return BAIL };
+    c.fctrs[*ctr as usize] = c.fregs[*count as usize].min(MAX_LOOP as u64);
+    pc + 1
+}
+
+fn h_ctr_zero_dec(c: &mut FCtx<'_>, op: &FOp, pc: u32) -> u32 {
+    let FOp::BranchCtrZeroDec { ctr, on_zero } = op else { return BAIL };
+    if c.fctrs[*ctr as usize] == 0 {
+        *on_zero
+    } else {
+        c.fctrs[*ctr as usize] -= 1;
+        pc + 1
+    }
+}

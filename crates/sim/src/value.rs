@@ -272,6 +272,44 @@ impl LogicVec {
         Some(lo | (hi << 64))
     }
 
+    /// Copies the value limbs (LSB first) into `out`, zero-filling any
+    /// excess slots. Returns `false` — leaving `out` unspecified — if any
+    /// bit is unknown or the value has set bits beyond `out`'s capacity.
+    ///
+    /// This is the bridge onto the multi-limb two-state fast path: a
+    /// register class of `L` limbs calls `to_limbs` with an `L`-slot
+    /// buffer, and a `false` return routes the activation to the
+    /// four-state fallback.
+    pub fn to_limbs(&self, out: &mut [u64]) -> bool {
+        if self.has_x() {
+            return false;
+        }
+        let val = self.val();
+        if val.len() > out.len() && val[out.len()..].iter().any(|&l| l != 0) {
+            return false;
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = val.get(i).copied().unwrap_or(0);
+        }
+        true
+    }
+
+    /// Builds an x-free vector of `width` bits from value limbs (LSB
+    /// first). Missing limbs read as zero; bits at or above `width` are
+    /// masked off, so a fast-path register (always masked to its static
+    /// width) round-trips exactly.
+    pub fn from_limbs(width: u32, limbs: &[u64]) -> Self {
+        let mut v = Self::zeros(width);
+        {
+            let val = v.planes_mut().0;
+            for (i, slot) in val.iter_mut().enumerate() {
+                *slot = limbs.get(i).copied().unwrap_or(0);
+            }
+        }
+        v.normalize();
+        v
+    }
+
     /// The bit at `idx` (0 = LSB).
     ///
     /// # Panics
@@ -978,6 +1016,55 @@ mod tests {
         for (width, limbs) in [(1u32, 1usize), (63, 1), (64, 1), (65, 2), (256, 4)] {
             assert_eq!(limbs_for(width), limbs, "width {width}");
         }
+    }
+
+    #[test]
+    fn limb_round_trips_at_boundaries() {
+        for width in [65u32, 128, 129, 256] {
+            // A pattern touching the top and bottom limb of each class.
+            let mut v = LogicVec::zeros(width);
+            v.set_bit(0, Bit::One);
+            v.set_bit(width - 1, Bit::One);
+            if width > 64 {
+                v.set_bit(64, Bit::One);
+            }
+            let mut limbs = [0u64; 4];
+            assert!(v.to_limbs(&mut limbs), "width {width}");
+            assert_eq!(LogicVec::from_limbs(width, &limbs), v, "width {width}");
+        }
+        // Small widths land in Repr::Small and round-trip through one slot.
+        let small = LogicVec::from_u64(17, 0x1_ABCD);
+        let mut one = [0u64; 1];
+        assert!(small.to_limbs(&mut one));
+        assert_eq!(one[0], 0x1_ABCD);
+        assert_eq!(LogicVec::from_limbs(17, &one), small);
+    }
+
+    #[test]
+    fn to_limbs_rejects_x_and_overflow() {
+        let mut buf = [0u64; 2];
+        assert!(!LogicVec::xs(65).to_limbs(&mut buf));
+        // 129-bit value with bit 128 set does not fit two limbs...
+        let mut tall = LogicVec::zeros(129);
+        tall.set_bit(128, Bit::One);
+        assert!(!tall.to_limbs(&mut buf));
+        // ...but the same vector with only low bits set does.
+        let mut low = LogicVec::zeros(129);
+        low.set_bit(3, Bit::One);
+        assert!(low.to_limbs(&mut buf));
+        assert_eq!(buf, [8, 0]);
+    }
+
+    #[test]
+    fn from_limbs_masks_excess_bits() {
+        // Bits at or above `width` in the limb data are dropped, and the
+        // result stays representation-normal (width <= 64 => Small).
+        let v = LogicVec::from_limbs(65, &[u64::MAX, u64::MAX, u64::MAX, u64::MAX]);
+        assert_eq!(v.bit(64), Bit::One);
+        assert_eq!(v.to_u128(), Some((1u128 << 65) - 1));
+        let s = LogicVec::from_limbs(8, &[0xFFFF]);
+        assert_eq!(s.to_u64(), Some(0xFF));
+        assert_eq!(s, LogicVec::from_u64(8, 0xFF));
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Fixed-limb two-state arithmetic for the multi-limb fast path.
+//!
+//! The two-state tape executor ([`crate::fast`]) runs over register files
+//! of `L` 64-bit limbs per register, with `L` chosen per process at tape
+//! compile time (1, 2 or 4 — covering static widths up to 64, 128 and 256
+//! bits). Every helper here operates on `[u64; L]` values **by value**, is
+//! `#[inline(always)]`, and masks its result to the supplied bit width, so
+//! the register invariant of the single-limb fast path — registers always
+//! hold values masked to their static width — carries over unchanged.
+//!
+//! For `L = 1` each helper must reduce to exactly the `u64` expression the
+//! PR-6 fast path used; the unit tests below pin that, and the property
+//! tests check every helper against the four-state [`LogicVec`] reference
+//! at widths straddling the limb boundaries (63..=65, 127..=129, 255/256).
+
+use crate::tape::bitmask;
+
+/// All-ones mask of the low `w` bits, spread across `L` limbs.
+#[inline(always)]
+pub(crate) fn ones<const L: usize>(w: u32) -> [u64; L] {
+    let mut out = [0u64; L];
+    for (i, limb) in out.iter_mut().enumerate() {
+        let lo = i as u32 * 64;
+        *limb = if w >= lo + 64 {
+            u64::MAX
+        } else if w <= lo {
+            0
+        } else {
+            bitmask(w - lo)
+        };
+    }
+    out
+}
+
+/// `v` masked to `w` bits.
+#[inline(always)]
+pub(crate) fn mask<const L: usize>(mut v: [u64; L], w: u32) -> [u64; L] {
+    let m = ones::<L>(w);
+    for i in 0..L {
+        v[i] &= m[i];
+    }
+    v
+}
+
+/// Zero-extends a `u64` into `L` limbs.
+#[inline(always)]
+pub(crate) fn from_u64<const L: usize>(x: u64) -> [u64; L] {
+    let mut out = [0u64; L];
+    out[0] = x;
+    out
+}
+
+#[inline(always)]
+pub(crate) fn is_zero<const L: usize>(v: [u64; L]) -> bool {
+    let mut acc = 0u64;
+    for limb in v {
+        acc |= limb;
+    }
+    acc == 0
+}
+
+#[inline(always)]
+pub(crate) fn eq<const L: usize>(a: [u64; L], b: [u64; L]) -> bool {
+    let mut acc = 0u64;
+    for i in 0..L {
+        acc |= a[i] ^ b[i];
+    }
+    acc == 0
+}
+
+/// Unsigned `a < b` over the full register.
+#[inline(always)]
+pub(crate) fn lt<const L: usize>(a: [u64; L], b: [u64; L]) -> bool {
+    let mut i = L;
+    while i > 0 {
+        i -= 1;
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+#[inline(always)]
+pub(crate) fn and<const L: usize>(mut a: [u64; L], b: [u64; L]) -> [u64; L] {
+    for i in 0..L {
+        a[i] &= b[i];
+    }
+    a
+}
+
+#[inline(always)]
+pub(crate) fn or<const L: usize>(mut a: [u64; L], b: [u64; L]) -> [u64; L] {
+    for i in 0..L {
+        a[i] |= b[i];
+    }
+    a
+}
+
+#[inline(always)]
+pub(crate) fn xor<const L: usize>(mut a: [u64; L], b: [u64; L]) -> [u64; L] {
+    for i in 0..L {
+        a[i] ^= b[i];
+    }
+    a
+}
+
+#[inline(always)]
+pub(crate) fn not<const L: usize>(mut v: [u64; L], w: u32) -> [u64; L] {
+    for limb in &mut v {
+        *limb = !*limb;
+    }
+    mask(v, w)
+}
+
+/// `(a + b) mod 2^w`.
+#[inline(always)]
+pub(crate) fn add<const L: usize>(a: [u64; L], b: [u64; L], w: u32) -> [u64; L] {
+    let mut out = [0u64; L];
+    let mut carry = false;
+    for i in 0..L {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        out[i] = s2;
+        carry = c1 | c2;
+    }
+    mask(out, w)
+}
+
+/// `(a - b) mod 2^w`.
+#[inline(always)]
+pub(crate) fn sub<const L: usize>(a: [u64; L], b: [u64; L], w: u32) -> [u64; L] {
+    let mut out = [0u64; L];
+    let mut borrow = false;
+    for i in 0..L {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        out[i] = d2;
+        borrow = b1 | b2;
+    }
+    mask(out, w)
+}
+
+/// Two's-complement negation mod `2^w`.
+#[inline(always)]
+pub(crate) fn neg<const L: usize>(v: [u64; L], w: u32) -> [u64; L] {
+    sub([0u64; L], v, w)
+}
+
+/// Register-wide left shift by a constant limb/bit amount; no width mask
+/// (used by concat/replicate accumulation where the caller tracks width).
+#[inline(always)]
+pub(crate) fn shl_raw<const L: usize>(v: [u64; L], n: u32) -> [u64; L] {
+    let (ls, bs) = ((n / 64) as usize, n % 64);
+    let mut out = [0u64; L];
+    for i in 0..L {
+        if i < ls {
+            continue;
+        }
+        let mut limb = v[i - ls] << bs;
+        if bs != 0 && i - ls >= 1 {
+            limb |= v[i - ls - 1] >> (64 - bs);
+        }
+        out[i] = limb;
+    }
+    out
+}
+
+/// Register-wide logical right shift by a constant amount; no width mask.
+#[inline(always)]
+pub(crate) fn shr_raw<const L: usize>(v: [u64; L], n: u32) -> [u64; L] {
+    let (ls, bs) = ((n / 64) as usize, n % 64);
+    let mut out = [0u64; L];
+    for i in 0..L {
+        if i + ls >= L {
+            break;
+        }
+        let mut limb = v[i + ls] >> bs;
+        if bs != 0 && i + ls + 1 < L {
+            limb |= v[i + ls + 1] << (64 - bs);
+        }
+        out[i] = limb;
+    }
+    out
+}
+
+/// `(v << n) mod 2^w`; amounts at or past `w` produce zero, matching
+/// [`crate::value::LogicVec::shl`].
+#[inline(always)]
+pub(crate) fn shl<const L: usize>(v: [u64; L], n: u64, w: u32) -> [u64; L] {
+    if n >= w as u64 {
+        return [0u64; L];
+    }
+    mask(shl_raw(v, n as u32), w)
+}
+
+/// `v >> n` (logical); amounts at or past `w` produce zero.
+#[inline(always)]
+pub(crate) fn shr<const L: usize>(v: [u64; L], n: u64, w: u32) -> [u64; L] {
+    if n >= w as u64 {
+        return [0u64; L];
+    }
+    shr_raw(v, n as u32)
+}
+
+/// Bit `i` of `v` (caller guarantees `i < 64 * L`).
+#[inline(always)]
+pub(crate) fn bit<const L: usize>(v: [u64; L], i: u32) -> u64 {
+    (v[(i / 64) as usize] >> (i % 64)) & 1
+}
+
+/// Arithmetic shift right by `n` over a `w`-bit value, replicating the
+/// MSB, matching [`crate::value::LogicVec::ashr`].
+#[inline(always)]
+pub(crate) fn ashr<const L: usize>(v: [u64; L], n: u64, w: u32) -> [u64; L] {
+    let msb = bit(v, w - 1);
+    if n >= w as u64 {
+        return if msb == 1 { ones(w) } else { [0u64; L] };
+    }
+    let r = shr_raw(v, n as u32);
+    if msb == 1 {
+        let fill = and(ones(w), not::<L>(ones(w - n as u32), w));
+        or(r, fill)
+    } else {
+        r
+    }
+}
+
+/// `(v >> lo) & ones(span)` — constant-bounds field extract.
+#[inline(always)]
+pub(crate) fn extract<const L: usize>(v: [u64; L], lo: u32, span: u32) -> [u64; L] {
+    mask(shr_raw(v, lo), span)
+}
+
+/// Replaces bits `[lo, lo + span)` of `cur` with `chunk` (already masked
+/// to `span` bits).
+#[inline(always)]
+pub(crate) fn insert<const L: usize>(
+    cur: [u64; L],
+    lo: u32,
+    span: u32,
+    chunk: [u64; L],
+) -> [u64; L] {
+    let hole = shl_raw(ones::<L>(span), lo);
+    or(and(cur, not_raw(hole)), shl_raw(chunk, lo))
+}
+
+/// Register-wide complement with no width mask (internal helper).
+#[inline(always)]
+fn not_raw<const L: usize>(mut v: [u64; L]) -> [u64; L] {
+    for limb in &mut v {
+        *limb = !*limb;
+    }
+    v
+}
+
+/// XOR-reduction parity over every limb.
+#[inline(always)]
+pub(crate) fn parity<const L: usize>(v: [u64; L]) -> bool {
+    let mut acc = 0u64;
+    for limb in v {
+        acc ^= limb;
+    }
+    acc.count_ones() % 2 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::LogicVec;
+    use proptest::prelude::*;
+
+    /// Widths straddling every limb boundary the 2- and 4-limb classes
+    /// introduce.
+    const EDGE_WIDTHS: [u32; 9] = [1, 63, 64, 65, 100, 127, 128, 129, 256];
+
+    fn to_vec<const L: usize>(v: [u64; L], w: u32) -> LogicVec {
+        LogicVec::from_limbs(w, &v)
+    }
+
+    fn from_vec<const L: usize>(v: &LogicVec) -> [u64; L] {
+        let mut out = [0u64; L];
+        assert!(v.to_limbs(&mut out));
+        out
+    }
+
+    /// Uniform (edge-biased, via [`u64`]'s `Arbitrary`) limb arrays.
+    struct ArbLimbs<const L: usize>;
+
+    impl<const L: usize> Strategy for ArbLimbs<L> {
+        type Value = [u64; L];
+        fn sample(&self, rng: &mut proptest::rng::TestRng) -> [u64; L] {
+            std::array::from_fn(|_| proptest::Arbitrary::arbitrary(rng))
+        }
+    }
+
+    fn arb_limbs<const L: usize>() -> ArbLimbs<L> {
+        ArbLimbs
+    }
+
+    /// For every edge width that fits `L` limbs, checks `f(a, b, w)`
+    /// against `reference(LogicVec, LogicVec)`.
+    fn check_binary<const L: usize>(
+        a: [u64; L],
+        b: [u64; L],
+        f: impl Fn([u64; L], [u64; L], u32) -> [u64; L],
+        reference: impl Fn(&LogicVec, &LogicVec) -> LogicVec,
+    ) {
+        for &w in EDGE_WIDTHS.iter().filter(|&&w| w <= 64 * L as u32) {
+            let (am, bm) = (mask(a, w), mask(b, w));
+            let got = to_vec(f(am, bm, w), w);
+            let want = reference(&to_vec(am, w), &to_vec(bm, w)).resize(w);
+            assert_eq!(got, want, "width {w}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn add_matches_logicvec(a in arb_limbs::<4>(), b in arb_limbs::<4>()) {
+            check_binary(a, b, add, |x, y| x.add(y));
+        }
+
+        #[test]
+        fn sub_matches_logicvec(a in arb_limbs::<4>(), b in arb_limbs::<4>()) {
+            check_binary(a, b, sub, |x, y| x.sub(y));
+        }
+
+        #[test]
+        fn shifts_match_logicvec(a in arb_limbs::<4>(), n in 0u64..300) {
+            for &w in EDGE_WIDTHS.iter() {
+                let am = mask(a, w);
+                let v = to_vec(am, w);
+                let nc = n.min(u32::MAX as u64) as u32;
+                prop_assert_eq!(to_vec(shl(am, n, w), w), v.shl(nc), "shl w={} n={}", w, n);
+                prop_assert_eq!(to_vec(shr(am, n, w), w), v.shr(nc), "shr w={} n={}", w, n);
+                prop_assert_eq!(to_vec(ashr(am, n, w), w), v.ashr(nc), "ashr w={} n={}", w, n);
+            }
+        }
+
+        #[test]
+        fn compare_and_reduce_match_logicvec(a in arb_limbs::<4>(), b in arb_limbs::<4>()) {
+            for &w in EDGE_WIDTHS.iter() {
+                let (am, bm) = (mask(a, w), mask(b, w));
+                let (av, bv) = (to_vec(am, w), to_vec(bm, w));
+                prop_assert_eq!(lt(am, bm), av.lt(&bv).to_u64() == Some(1));
+                prop_assert_eq!(eq(am, bm), av.eq_logic(&bv).to_u64() == Some(1));
+                prop_assert_eq!(
+                    parity(am),
+                    av.reduce(crate::value::ReduceOp::Xor).to_u64() == Some(1)
+                );
+                prop_assert_eq!(is_zero(am), av.to_u64() == Some(0) || av.to_u128() == Some(0));
+            }
+        }
+
+        #[test]
+        fn neg_not_match_logicvec(a in arb_limbs::<4>()) {
+            for &w in EDGE_WIDTHS.iter() {
+                let am = mask(a, w);
+                let av = to_vec(am, w);
+                prop_assert_eq!(to_vec(neg(am, w), w), av.neg());
+                prop_assert_eq!(to_vec(not(am, w), w), av.not());
+            }
+        }
+
+        #[test]
+        fn extract_insert_round_trip(a in arb_limbs::<4>(), c in arb_limbs::<4>(),
+                                     lo in 0u32..250, span in 1u32..256) {
+            let w = 256u32;
+            let span = span.min(w - lo);
+            let (am, cm) = (mask(a, w), mask(c, span));
+            // extract matches LogicVec::slice.
+            let got = to_vec(extract(am, lo, span), span);
+            prop_assert_eq!(got, to_vec(am, w).slice(lo + span - 1, lo));
+            // insert then extract reads the chunk back.
+            let ins = insert(am, lo, span, cm);
+            prop_assert_eq!(extract(ins, lo, span), cm);
+            // bits outside the hole are untouched.
+            if lo > 0 {
+                prop_assert_eq!(extract(ins, 0, lo), extract(am, 0, lo));
+            }
+            if lo + span < w {
+                prop_assert_eq!(
+                    extract(ins, lo + span, w - lo - span),
+                    extract(am, lo + span, w - lo - span)
+                );
+            }
+        }
+
+        #[test]
+        fn round_trip_limbs(a in arb_limbs::<4>()) {
+            for &w in EDGE_WIDTHS.iter() {
+                let am = mask(a, w);
+                prop_assert_eq!(from_vec::<4>(&to_vec(am, w)), am);
+            }
+        }
+    }
+
+    #[test]
+    fn single_limb_reduces_to_scalar_forms() {
+        // L = 1 must reproduce the PR-6 u64 fast-path expressions exactly.
+        let (a, b) = (0xDEAD_BEEF_u64, 0x1234_5678_u64);
+        for w in [1u32, 7, 32, 63, 64] {
+            let m = bitmask(w);
+            let (am, bm) = (a & m, b & m);
+            assert_eq!(add([am], [bm], w), [am.wrapping_add(bm) & m]);
+            assert_eq!(sub([am], [bm], w), [am.wrapping_sub(bm) & m]);
+            assert_eq!(not([am], w), [!am & m]);
+            assert_eq!(neg([am], w), [am.wrapping_neg() & m]);
+            assert_eq!(lt([am], [bm]), am < bm);
+            assert_eq!(eq([am], [bm]), am == bm);
+            for n in [0u64, 1, w as u64 - 1, w as u64, 200] {
+                let want_shl = if n >= w as u64 { 0 } else { (am << n) & m };
+                let want_shr = if n >= w as u64 { 0 } else { am >> n };
+                assert_eq!(shl([am], n, w), [want_shl]);
+                assert_eq!(shr([am], n, w), [want_shr]);
+                let msb = (am >> (w - 1)) & 1;
+                let want_ashr = if n >= w as u64 {
+                    if msb == 1 {
+                        m
+                    } else {
+                        0
+                    }
+                } else {
+                    let r = am >> n;
+                    if msb == 1 {
+                        r | (m & !bitmask(w - n as u32))
+                    } else {
+                        r
+                    }
+                };
+                assert_eq!(ashr([am], n, w), [want_ashr]);
+            }
+        }
+    }
+
+    #[test]
+    fn ones_spreads_across_limbs() {
+        assert_eq!(ones::<4>(0), [0, 0, 0, 0]);
+        assert_eq!(ones::<4>(64), [u64::MAX, 0, 0, 0]);
+        assert_eq!(ones::<4>(65), [u64::MAX, 1, 0, 0]);
+        assert_eq!(ones::<4>(129), [u64::MAX, u64::MAX, 1, 0]);
+        assert_eq!(ones::<4>(256), [u64::MAX; 4]);
+    }
+}
