@@ -17,7 +17,11 @@ use rtlfixer_llm::{
     Feedback, GuidanceSnippet, LanguageModel, PromptStyle, RepairRequest, TurnEvent,
 };
 use rtlfixer_obs as obs;
-use rtlfixer_rag::{DefaultRetriever, GuidanceDatabase, RetrievalQuery, Retriever};
+use rtlfixer_rag::{
+    category_brief, distill_enabled, hybrid_enabled, DefaultRetriever, DistilledEntry,
+    DistilledSnapshot, DistilledStore, GuidanceDatabase, HybridRetriever, RetrievalQuery,
+    Retriever,
+};
 use rtlfixer_verilog::diag::ErrorCategory;
 
 use crate::prefixer::prefix_fix;
@@ -80,6 +84,11 @@ pub struct FixOutcome {
     pub degraded: bool,
     /// Number of `Fault` steps in the trace.
     pub fault_events: usize,
+    /// Repair briefs distilled from this episode (non-empty only when the
+    /// episode succeeded after at least one revision and a
+    /// [`DistilledStore`] was wired in). The caller merges these at its
+    /// pool barrier — the episode itself never mutates shared state.
+    pub distilled: Vec<DistilledEntry>,
     /// Full ReAct trace.
     pub trace: FixTrace,
 }
@@ -91,6 +100,7 @@ pub struct RtlFixerBuilder {
     rag: bool,
     database: Option<Arc<GuidanceDatabase>>,
     retriever: Option<Box<dyn Retriever>>,
+    distilled: Option<Arc<DistilledStore>>,
     prefixer: bool,
     fault_seed: u64,
     fault_spec: Option<Option<Arc<FaultSpec>>>,
@@ -112,6 +122,7 @@ impl Default for RtlFixerBuilder {
             rag: true,
             database: None,
             retriever: None,
+            distilled: None,
             prefixer: true,
             fault_seed: 0,
             fault_spec: None,
@@ -155,9 +166,20 @@ impl RtlFixerBuilder {
         self
     }
 
-    /// Overrides the retriever (default: exact-tag with Jaccard fallback).
+    /// Overrides the retriever (default: the hybrid scorer, or exact-tag
+    /// with Jaccard fallback when `RTLFIXER_RAG_HYBRID` is off).
     pub fn retriever(mut self, retriever: Box<dyn Retriever>) -> Self {
         self.retriever = Some(retriever);
+        self
+    }
+
+    /// Wires in a distilled-guidance store (DESIGN.md §3k). The episode
+    /// snapshots the store once at build time — concurrent merges by other
+    /// episodes are invisible to it — and reports its own distilled
+    /// entries in [`FixOutcome::distilled`] for the caller to merge at a
+    /// barrier. Inert when `RTLFIXER_RAG_DISTILL` is off.
+    pub fn distilled(mut self, store: Arc<DistilledStore>) -> Self {
+        self.distilled = Some(store);
         self
     }
 
@@ -191,6 +213,17 @@ impl RtlFixerBuilder {
             CompilerKind::Quartus => GuidanceDatabase::quartus_shared(),
             _ => GuidanceDatabase::iverilog_shared(),
         });
+        // Distillation: snapshot the store once so the whole episode sees
+        // one consistent generation, and retrieve over the base database
+        // extended with the distilled entries (an empty store aliases the
+        // base Arc — zero cost).
+        let (database, distilled) = match self.distilled {
+            Some(store) if distill_enabled() => {
+                let merged = store.merged_database(&database);
+                (merged, Some(store.snapshot()))
+            }
+            _ => (database, None),
+        };
         let faults = match self.fault_spec {
             Some(spec) => FaultPlan::compiler_with(spec, self.fault_seed),
             None => FaultPlan::compiler(self.fault_seed),
@@ -201,7 +234,14 @@ impl RtlFixerBuilder {
             strategy: self.strategy,
             rag: self.rag,
             database,
-            retriever: self.retriever.unwrap_or_else(|| Box::new(DefaultRetriever::new())),
+            retriever: self.retriever.unwrap_or_else(|| {
+                if hybrid_enabled() {
+                    Box::new(HybridRetriever::new())
+                } else {
+                    Box::new(DefaultRetriever::new())
+                }
+            }),
+            distilled,
             prefixer: self.prefixer,
             faults,
             llm,
@@ -237,6 +277,7 @@ pub struct RtlFixer<L: LanguageModel> {
     rag: bool,
     database: Arc<GuidanceDatabase>,
     retriever: Box<dyn Retriever>,
+    distilled: Option<Arc<DistilledSnapshot>>,
     prefixer: bool,
     faults: FaultPlan,
     llm: L,
@@ -269,6 +310,7 @@ impl<L: LanguageModel> RtlFixer<L> {
         obs::counter_add("agent.episodes", 1);
         let mut code =
             if self.prefixer { prefix_fix(source) } else { source.to_owned() };
+        let initial_code = code.clone();
         let mut trace = FixTrace::new();
         let mut degraded = false;
         self.llm.begin_episode();
@@ -280,6 +322,11 @@ impl<L: LanguageModel> RtlFixer<L> {
             &mut degraded,
         );
         let initial_categories = outcome.error_categories();
+        // Kept for distillation: the error shape an eventual success is
+        // filed under is the *initial* failing log (the shape the next
+        // episode will see on its first compile).
+        let initial_log =
+            if outcome.success { None } else { Some(outcome.log.clone()) };
 
         let mut revisions = 0usize;
         let budget = self.strategy.revision_budget();
@@ -289,7 +336,8 @@ impl<L: LanguageModel> RtlFixer<L> {
             // panicking retriever degrades the episode to RAG-off for this
             // turn instead of aborting it.
             let guidance: Vec<GuidanceSnippet> = if self.rag {
-                let query = RetrievalQuery::from_log(outcome.log.clone());
+                let query = RetrievalQuery::from_log(outcome.log.clone())
+                    .with_identified(outcome.identified.clone());
                 let retrieve_span = obs::span(obs::kind::RETRIEVE);
                 let hits = catch_unwind(AssertUnwindSafe(|| {
                     self.retriever.retrieve(&self.database, &query)
@@ -297,23 +345,60 @@ impl<L: LanguageModel> RtlFixer<L> {
                 drop(retrieve_span);
                 match hits {
                     Ok(hits) => {
-                        if !hits.is_empty() {
-                            let obs: Vec<String> =
-                                hits.iter().map(|h| h.entry.guidance.clone()).collect();
+                        obs::counter_add("rag.retrievals", 1);
+                        // Retrieval-quality telemetry: evidence share and
+                        // the rank of the first trustworthy hit (exact, or
+                        // category-confirmed by the feedback layer).
+                        for hit in &hits {
+                            obs::counter_add(
+                                &format!("rag.hits.{}", hit.evidence.slug()),
+                                1,
+                            );
+                        }
+                        if let Some(depth) = hits.iter().position(|h| {
+                            h.exact || query.identified.contains(&h.entry.category.0)
+                        }) {
+                            obs::observe("rag.hit_depth", depth as u64);
+                        }
+                        let mut guidance: Vec<GuidanceSnippet> = hits
+                            .iter()
+                            .map(|h| GuidanceSnippet {
+                                category: h.entry.category.0,
+                                text: h.entry.render_brief(),
+                                demonstration: h.entry.demonstration.clone(),
+                                exact_retrieval: h.exact,
+                                anti_patterns: h.entry.anti_patterns.clone(),
+                            })
+                            .collect();
+                        // Distilled-store lookup: a fingerprint hit is a
+                        // previously successful repair of this exact error
+                        // shape — authoritative, like a tag match.
+                        if let Some(snapshot) = &self.distilled {
+                            if let Some(entry) = snapshot.lookup(&outcome.log) {
+                                obs::counter_add("rag.hits.distilled", 1);
+                                let (_, anti) = category_brief(entry.category.0);
+                                guidance.push(GuidanceSnippet {
+                                    category: entry.category.0,
+                                    text: entry.guidance.clone(),
+                                    demonstration: None,
+                                    exact_retrieval: true,
+                                    anti_patterns: anti
+                                        .iter()
+                                        .map(|s| (*s).to_owned())
+                                        .collect(),
+                                });
+                            }
+                        }
+                        if !guidance.is_empty() {
+                            let obs_lines: Vec<&str> =
+                                guidance.iter().map(|g| g.text.as_str()).collect();
                             trace.push(
                                 "Search the expert guidance database for this error.",
                                 Action::Rag { query: outcome.log.clone() },
-                                obs.join("\n"),
+                                obs_lines.join("\n"),
                             );
                         }
-                        hits.iter()
-                            .map(|h| GuidanceSnippet {
-                                category: h.entry.category.0,
-                                text: h.entry.guidance.clone(),
-                                demonstration: h.entry.demonstration.clone(),
-                                exact_retrieval: h.exact,
-                            })
-                            .collect()
+                        guidance
                     }
                     Err(_) => {
                         degraded = true;
@@ -433,6 +518,26 @@ impl<L: LanguageModel> RtlFixer<L> {
             }
         }
 
+        // Distillation: a successful repair that needed real work becomes a
+        // reusable brief filed under the initial error shape. Captured into
+        // the outcome only — the caller merges at its pool barrier so the
+        // result stays bit-identical at any `--jobs`.
+        let distilled = match (&self.distilled, &initial_log) {
+            (Some(_), Some(log)) if outcome.success && revisions > 0 => {
+                let category = initial_categories
+                    .first()
+                    .copied()
+                    .unwrap_or(ErrorCategory::SyntaxError);
+                vec![DistilledEntry::from_episode(
+                    log,
+                    category,
+                    revisions,
+                    changed_line_count(&initial_code, &code),
+                )]
+            }
+            _ => Vec::new(),
+        };
+
         FixOutcome {
             success: outcome.success,
             remaining_categories: outcome.error_categories(),
@@ -441,6 +546,7 @@ impl<L: LanguageModel> RtlFixer<L> {
             initial_categories,
             degraded,
             fault_events: trace.fault_steps(),
+            distilled,
             trace,
         }
     }
@@ -508,6 +614,23 @@ impl<L: LanguageModel> RtlFixer<L> {
         trace.push(thought, Action::Compiler, outcome.log.clone());
         outcome
     }
+}
+
+/// Positional line diff between the pre-loop candidate and the final code:
+/// pairwise-different lines plus the length delta, floored at 1 (a repair
+/// that reached success through ≥1 revision changed *something*, even if
+/// only whitespace the line iterator normalises away).
+fn changed_line_count(before: &str, after: &str) -> usize {
+    let a: Vec<&str> = before.lines().collect();
+    let b: Vec<&str> = after.lines().collect();
+    let common = a.len().min(b.len());
+    let mut changed = a.len().max(b.len()) - common;
+    for i in 0..common {
+        if a[i] != b[i] {
+            changed += 1;
+        }
+    }
+    changed.max(1)
 }
 
 #[cfg(test)]
@@ -667,6 +790,65 @@ mod tests {
             .iter()
             .any(|s| matches!(s.action, Action::Rag { .. }));
         assert!(has_rag, "trace:\n{}", outcome.trace);
+    }
+
+    #[test]
+    fn successful_episode_with_store_distills_one_entry() {
+        let store = Arc::new(DistilledStore::new());
+        let mut f = RtlFixerBuilder::new()
+            .compiler(CompilerKind::Quartus)
+            .strategy(Strategy::React { max_iterations: 10 })
+            .distilled(Arc::clone(&store))
+            .build(SimulatedLlm::new(Capability::Gpt4Class, 7));
+        let outcome = f.fix(PHANTOM_CLK);
+        assert!(outcome.success, "trace:\n{}", outcome.trace);
+        assert!(outcome.revisions >= 1);
+        assert_eq!(outcome.distilled.len(), 1);
+        assert_eq!(
+            outcome.distilled[0].category.0,
+            ErrorCategory::UndeclaredIdentifier
+        );
+
+        // Without a wired store the same episode distills nothing.
+        let mut plain = fixer(
+            CompilerKind::Quartus,
+            Strategy::React { max_iterations: 10 },
+            true,
+            Capability::Gpt4Class,
+            7,
+        );
+        let outcome = plain.fix(PHANTOM_CLK);
+        assert!(outcome.success);
+        assert!(outcome.distilled.is_empty());
+    }
+
+    #[test]
+    fn merged_distilled_entries_surface_in_the_next_episode() {
+        // Close the loop: episode 1 distills, the caller merges at its
+        // barrier, episode 2 (a fresh fixer over the same store) retrieves
+        // the distilled brief for the same error shape.
+        let store = Arc::new(DistilledStore::new());
+        let mut first = RtlFixerBuilder::new()
+            .compiler(CompilerKind::Quartus)
+            .strategy(Strategy::React { max_iterations: 10 })
+            .distilled(Arc::clone(&store))
+            .build(SimulatedLlm::new(Capability::Gpt4Class, 7));
+        let outcome = first.fix(PHANTOM_CLK);
+        assert!(outcome.success);
+        assert_eq!(store.merge(&outcome.distilled), 1);
+
+        let mut second = RtlFixerBuilder::new()
+            .compiler(CompilerKind::Quartus)
+            .strategy(Strategy::React { max_iterations: 10 })
+            .distilled(Arc::clone(&store))
+            .build(SimulatedLlm::new(Capability::Gpt4Class, 21));
+        let outcome = second.fix(PHANTOM_CLK);
+        assert!(outcome.success, "trace:\n{}", outcome.trace);
+        let saw_distilled = outcome.trace.steps.iter().any(|s| {
+            matches!(s.action, Action::Rag { .. })
+                && s.observation.contains("A previous repair cleared this exact error shape")
+        });
+        assert!(saw_distilled, "trace:\n{}", outcome.trace);
     }
 
     #[test]

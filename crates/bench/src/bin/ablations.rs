@@ -18,6 +18,7 @@ fn main() {
     let mut seconds = 0.0f64;
     for (title, points) in [
         ("Retriever (ReAct + Quartus + RAG)", ablations::retriever_ablation(&config)),
+        ("Retriever duel on tagless iverilog (ReAct + RAG)", ablations::iverilog_retriever_duel(&config)),
         ("ReAct iteration budget (Quartus, w/o RAG)", ablations::iteration_sweep(&config)),
         ("Rule-based pre-fixer (One-shot + Quartus + RAG)", ablations::prefixer_ablation(&config)),
         ("Guidance database size (ReAct + Quartus)", ablations::database_size_sweep(&config)),

@@ -257,6 +257,12 @@ fn main() {
     }
     let scale = RunScale::from_args();
     rtlfixer_faults::set_global_spec(None);
+    // The chaos pass checks served outcomes job-for-job against an
+    // in-process static-database baseline; a daemon that *learns* across
+    // requests legitimately diverges from that baseline, so distillation
+    // is pinned off for the comparison (the learning loop has its own
+    // experiment: `table_learning`).
+    std::env::set_var("RTLFIXER_RAG_DISTILL", "0");
 
     // Capacity 6: 2 workers + 4 queue slots. The 5 ms service floor stands
     // in for real LLM latency (simulated episodes alone finish in µs, so

@@ -372,6 +372,84 @@ fn sched_kill_switch_is_bit_identical_to_unset() {
     }
 }
 
+#[test]
+fn rag_distill_spellings_are_bit_identical_on_batch_grids() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_rag_distill_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    // Batch experiments never wire a distilled store, so the distillation
+    // loop must be unobservable there under *every* spelling of the switch
+    // — `RTLFIXER_RAG_DISTILL=0` reproducing the static-database results
+    // bit for bit is the contract, and "on" spellings must not differ
+    // either (there is no store to learn into).
+    let unset = table1_fix_rates_with("2", &results_dir, &[]);
+    for spec in ["0", "off", "false", "no", "1", "on"] {
+        assert_eq!(
+            table1_fix_rates_with("2", &results_dir, &[("RTLFIXER_RAG_DISTILL", spec)]),
+            unset,
+            "fix rates diverged at RTLFIXER_RAG_DISTILL={spec}"
+        );
+    }
+}
+
+#[test]
+fn rag_hybrid_kill_switch_spellings_agree() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_rag_hybrid_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    // Every "off" spelling restores the legacy default retriever — they
+    // must agree with each other bit for bit; an unrecognized value is
+    // treated as "on" and must match unset (hybrid is the default).
+    let off = table1_fix_rates_with("2", &results_dir, &[("RTLFIXER_RAG_HYBRID", "0")]);
+    for spec in ["off", "false", "no"] {
+        assert_eq!(
+            table1_fix_rates_with("2", &results_dir, &[("RTLFIXER_RAG_HYBRID", spec)]),
+            off,
+            "fix rates diverged at RTLFIXER_RAG_HYBRID={spec}"
+        );
+    }
+    let unset = table1_fix_rates_with("2", &results_dir, &[]);
+    assert_eq!(
+        table1_fix_rates_with("2", &results_dir, &[("RTLFIXER_RAG_HYBRID", "not-a-spec")]),
+        unset,
+        "unrecognized RTLFIXER_RAG_HYBRID spelling must behave as unset (on)"
+    );
+}
+
+#[test]
+fn table_learning_quick_smoke_records_curve() {
+    let results_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_learning_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_table_learning"))
+        .arg("--quick")
+        .env_remove("RTLFIXER_FAULTS")
+        .env_remove("RTLFIXER_TRACE")
+        .env("RTLFIXER_RESULTS_DIR", &results_dir)
+        .output()
+        .expect("table_learning binary runs");
+    assert!(
+        output.status.success(),
+        "table_learning --quick failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Learning curve"), "{stdout}");
+
+    let text = std::fs::read_to_string(results_dir.join("bench_eval.json"))
+        .expect("bench_eval.json written");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let curve = json["table_learning"]["curve"].as_array().expect("curve recorded");
+    assert_eq!(curve.len(), 3, "{text}");
+    let first = curve.first().unwrap()["fix_rate"].as_f64().unwrap();
+    let last = curve.last().unwrap()["fix_rate"].as_f64().unwrap();
+    assert!(last >= first, "learning curve regressed: {first} -> {last}\n{text}");
+    assert!(
+        curve.last().unwrap()["store_entries"].as_u64().unwrap() > 0,
+        "no briefs distilled:\n{text}"
+    );
+}
+
 /// Runs the table1 binary with raw args and returns (status ok, stdout,
 /// stderr) without asserting success — shard-validation tests need the
 /// failure paths.

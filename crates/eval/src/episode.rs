@@ -11,9 +11,12 @@
 //! [`FixOutcome`], bit for bit, which is what lets `servebench` check the
 //! daemon's fix rate against the batch baseline.
 
+use std::sync::Arc;
+
 use rtlfixer_agent::{FixOutcome, RtlFixerBuilder, Strategy};
 use rtlfixer_compilers::CompilerKind;
 use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
+use rtlfixer_rag::DistilledStore;
 
 /// Everything that determines a repair episode's result. Two equal jobs
 /// produce equal [`FixOutcome`]s regardless of where they run (batch pool,
@@ -39,6 +42,13 @@ pub struct RepairJob<'a> {
     /// [`ResilientModel`] retry budget — a served request never burns
     /// retries past its deadline.
     pub deadline_ms: Option<u64>,
+    /// Optional distilled-guidance store. The episode snapshots it at
+    /// fixer build time (so a concurrent merge never changes a running
+    /// episode) and reports fresh entries via [`FixOutcome::distilled`];
+    /// the caller merges those at its own barrier. `None` — the batch
+    /// experiments' default — reproduces the static-database pipeline
+    /// bit for bit.
+    pub distilled: Option<&'a Arc<DistilledStore>>,
 }
 
 impl<'a> RepairJob<'a> {
@@ -54,6 +64,7 @@ impl<'a> RepairJob<'a> {
             capability: Capability::Gpt35Class,
             seed,
             deadline_ms: None,
+            distilled: None,
         }
     }
 }
@@ -68,12 +79,15 @@ pub fn run_repair(job: &RepairJob) -> FixOutcome {
     if let Some(deadline) = job.deadline_ms {
         llm = llm.with_deadline(deadline);
     }
-    let mut fixer = RtlFixerBuilder::new()
+    let mut builder = RtlFixerBuilder::new()
         .compiler(job.compiler)
         .strategy(job.strategy)
         .with_rag(job.rag)
-        .fault_seed(job.seed)
-        .build(llm);
+        .fault_seed(job.seed);
+    if let Some(store) = job.distilled {
+        builder = builder.distilled(Arc::clone(store));
+    }
+    let mut fixer = builder.build(llm);
     fixer.fix_problem(job.problem, job.code)
 }
 

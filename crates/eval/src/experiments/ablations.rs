@@ -10,7 +10,8 @@ use rtlfixer_agent::{RtlFixerBuilder, Strategy};
 use rtlfixer_compilers::CompilerKind;
 use rtlfixer_llm::{Capability, ResilientModel, SimulatedLlm};
 use rtlfixer_rag::{
-    ExactTagRetriever, GuidanceDatabase, JaccardRetriever, Retriever, TfIdfRetriever,
+    ExactTagRetriever, GuidanceDatabase, HybridRetriever, JaccardRetriever, Retriever,
+    TfIdfRetriever,
 };
 
 use super::table1::{load_entries, FixRateConfig};
@@ -61,8 +62,8 @@ fn point(
     AblationPoint { variant: label, fix_rate: rate, stats }
 }
 
-/// Retriever ablation: exact-tag vs Jaccard vs TF-IDF, ReAct + Quartus.
-/// Seed cells 500–502.
+/// Retriever ablation: exact-tag vs Jaccard vs TF-IDF vs hybrid, ReAct +
+/// Quartus. Seed cells 500–503.
 pub fn retriever_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
     let entries = load_entries(config);
     type MakeRetriever = Box<dyn Fn() -> Box<dyn Retriever> + Send + Sync>;
@@ -70,6 +71,7 @@ pub fn retriever_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
         ("exact-tag", Box::new(|| Box::new(ExactTagRetriever::new()))),
         ("jaccard", Box::new(|| Box::new(JaccardRetriever::new()))),
         ("tfidf", Box::new(|| Box::new(TfIdfRetriever::new()))),
+        ("hybrid", Box::new(|| Box::new(HybridRetriever::new()))),
     ];
     variants
         .into_iter()
@@ -78,6 +80,36 @@ pub fn retriever_ablation(config: &FixRateConfig) -> Vec<AblationPoint> {
             point(label.to_owned(), &entries, config, 500 + slot as u64, |seed| {
                 RtlFixerBuilder::new()
                     .compiler(CompilerKind::Quartus)
+                    .strategy(Strategy::React { max_iterations: 10 })
+                    .with_rag(true)
+                    .retriever(make())
+                    .fault_seed(seed)
+                    .build(ResilientModel::new(
+                        SimulatedLlm::new(Capability::Gpt35Class, seed),
+                        seed,
+                    ))
+            })
+        })
+        .collect()
+}
+
+/// Exact-tag vs hybrid on the iverilog personality, whose logs carry no
+/// vendor error tags at all — the grid where lexical + category evidence
+/// has to carry retrieval on its own. Seed cells 510–511.
+pub fn iverilog_retriever_duel(config: &FixRateConfig) -> Vec<AblationPoint> {
+    let entries = load_entries(config);
+    type MakeRetriever = Box<dyn Fn() -> Box<dyn Retriever> + Send + Sync>;
+    let variants: Vec<(&str, MakeRetriever)> = vec![
+        ("iverilog exact-tag", Box::new(|| Box::new(ExactTagRetriever::new()))),
+        ("iverilog hybrid", Box::new(|| Box::new(HybridRetriever::new()))),
+    ];
+    variants
+        .into_iter()
+        .enumerate()
+        .map(|(slot, (label, make))| {
+            point(label.to_owned(), &entries, config, 510 + slot as u64, |seed| {
+                RtlFixerBuilder::new()
+                    .compiler(CompilerKind::Iverilog)
                     .strategy(Strategy::React { max_iterations: 10 })
                     .with_rag(true)
                     .retriever(make())
@@ -210,10 +242,28 @@ mod tests {
     #[test]
     fn all_retrievers_produce_results() {
         let results = retriever_ablation(&small_config());
-        assert_eq!(results.len(), 3);
+        assert_eq!(results.len(), 4);
         for point in &results {
             assert!(point.fix_rate > 0.3, "{point:?}");
         }
+    }
+
+    #[test]
+    fn hybrid_beats_exact_tag_on_iverilog() {
+        // iverilog logs carry no vendor tags, so exact-tag retrieval is
+        // blind there; the hybrid's category + lexical evidence must win.
+        let config = FixRateConfig {
+            max_entries: Some(24),
+            repeats: 3,
+            dataset_seed: 7,
+            base_seed: 9,
+            jobs: 1,
+        };
+        let duel = iverilog_retriever_duel(&config);
+        assert_eq!(duel.len(), 2);
+        let exact = duel[0].fix_rate;
+        let hybrid = duel[1].fix_rate;
+        assert!(hybrid > exact, "hybrid {hybrid} vs exact-tag {exact}");
     }
 
     #[test]

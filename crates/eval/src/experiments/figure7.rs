@@ -57,6 +57,7 @@ pub fn figure7(config: &FixRateConfig) -> IterationHistogram {
             capability: Capability::Gpt35Class,
             seed: spec.seed,
             deadline_ms: None,
+            distilled: None,
         });
         outcome.success.then_some(outcome.revisions)
     });

@@ -6,3 +6,4 @@ pub mod chaos;
 pub mod figure7;
 pub mod table1;
 pub mod table2;
+pub mod table_learning;

@@ -156,6 +156,7 @@ pub fn run_cell_verdicts(
             capability,
             seed: spec.seed,
             deadline_ms: None,
+            distilled: None,
         })
         .success
     });

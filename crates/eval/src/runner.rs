@@ -35,8 +35,12 @@
 //! | 100..=104  | ablations: iteration-budget sweep |
 //! | 200..=201  | ablations: pre-fixer on/off |
 //! | 300..=303  | ablations: database-size sweep |
-//! | 500..=502  | ablations: retriever choice |
+//! | 500..=503  | ablations: retriever choice (incl. hybrid) |
+//! | 510..=511  | ablations: iverilog exact-tag vs hybrid duel |
 //! | 700..=799  | chaos: fault-rate sweep (one cell per variant × rate) |
+//! | 800        | learning curve (`table_learning`) — every round reuses
+//! |            | this one cell, so rounds differ only via the distilled
+//! |            | store's state, never via fresh seeds |
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -614,7 +618,9 @@ mod tests {
     #[test]
     fn seeds_unique_within_realistic_grids() {
         let mut seen = std::collections::HashSet::new();
-        for cell in [0u64, 1, 13, 20, 40, 41, 60, 61, 100, 104, 200, 300, 500, 502] {
+        for cell in
+            [0u64, 1, 13, 20, 40, 41, 60, 61, 100, 104, 200, 300, 500, 503, 510, 511, 800]
+        {
             for entry in 0..250u64 {
                 for repeat in 0..12u64 {
                     assert!(

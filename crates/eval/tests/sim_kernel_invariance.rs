@@ -45,11 +45,18 @@ const BACKENDS: [(&str, bool, bool, bool); 4] = [
 
 /// The `--quick` grid's fix rates, recorded before the kernel swap
 /// (bit-exact: shortest-roundtrip literals parse back to the same f64).
+///
+/// The recording pins the *whole* pipeline, so an intentional agent-layer
+/// change legitimately moves it — identically across all four backends.
+/// Cell 3 (One-shot + RAG + iverilog) was re-recorded when the hybrid
+/// retriever became the RAG default; every other cell is unchanged from
+/// the pre-kernel recording. A divergence between backends is still a
+/// simulation-correctness bug, never a baseline to re-record.
 const QUICK_GRID_RATES: [f64; 14] = [
     0.4833333333333331,
     0.5583333333333333,
     0.675,
-    0.7083333333333334,
+    0.6833333333333333,
     0.8916666666666669,
     0.6833333333333333,
     0.7083333333333335,

@@ -28,14 +28,18 @@ pub struct Feedback {
 pub struct GuidanceSnippet {
     /// The error category the guidance covers.
     pub category: ErrorCategory,
-    /// The human expert guidance text.
+    /// The rendered guidance text (a full repair brief when the entry
+    /// carries one: diagnostics, grammar hints, repair strategy, avoid).
     pub text: String,
     /// Optional demonstration code.
     pub demonstration: Option<String>,
-    /// Whether the snippet came from an exact-tag retrieval hit. Fuzzy
-    /// fallback hits are uncertain matches and count as family-level
-    /// guidance at best.
+    /// Whether the snippet came from an exact retrieval hit (an error-tag
+    /// match, or a distilled-store fingerprint match). Fuzzy fallback hits
+    /// are uncertain matches and count as family-level guidance at best.
     pub exact_retrieval: bool,
+    /// The brief's explicit anti-patterns block ("Avoid" section). Empty
+    /// for legacy guidance without a brief.
+    pub anti_patterns: Vec<String>,
 }
 
 /// Prompting style for a repair turn.

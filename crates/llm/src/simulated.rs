@@ -97,6 +97,17 @@ impl SimulatedLlm {
         }) {
             return GuidanceLevel::Family;
         }
+        // The reverse direction of the rule above, unlocked by repair
+        // briefs: a C-style-construct brief whose explicit anti-patterns
+        // block names the constructs (`++`, `+=`, `bool`) tells the model
+        // what a bare `syntax error` log hides.
+        if guidance.iter().any(|g| {
+            g.category == ErrorCategory::CStyleConstruct
+                && !g.anti_patterns.is_empty()
+                && category == ErrorCategory::SyntaxError
+        }) {
+            return GuidanceLevel::Family;
+        }
         GuidanceLevel::None
     }
 
@@ -303,6 +314,7 @@ mod tests {
             text: String::new(),
             demonstration: None,
             exact_retrieval: true,
+            anti_patterns: Vec::new(),
         }];
         assert_eq!(
             SimulatedLlm::guidance_level(&snippets, ErrorCategory::IndexArithmetic),
@@ -321,10 +333,38 @@ mod tests {
             text: String::new(),
             demonstration: None,
             exact_retrieval: true,
+            anti_patterns: Vec::new(),
         }];
         assert_eq!(
             SimulatedLlm::guidance_level(&syntax, ErrorCategory::CStyleConstruct),
             GuidanceLevel::Family
+        );
+    }
+
+    #[test]
+    fn anti_pattern_briefs_cover_bare_syntax_errors() {
+        // A C-style brief *with* an anti-patterns block helps a generic
+        // syntax diagnostic (the brief names the constructs the log hides);
+        // the same guidance without the block does not.
+        let brief = |anti_patterns: Vec<String>| {
+            vec![GuidanceSnippet {
+                category: ErrorCategory::CStyleConstruct,
+                text: String::new(),
+                demonstration: None,
+                exact_retrieval: false,
+                anti_patterns,
+            }]
+        };
+        assert_eq!(
+            SimulatedLlm::guidance_level(
+                &brief(vec!["C-style increments (i++)".to_owned()]),
+                ErrorCategory::SyntaxError
+            ),
+            GuidanceLevel::Family
+        );
+        assert_eq!(
+            SimulatedLlm::guidance_level(&brief(Vec::new()), ErrorCategory::SyntaxError),
+            GuidanceLevel::None
         );
     }
 

@@ -42,6 +42,145 @@ pub struct GuidanceEntry {
     pub guidance: String,
     /// Optional before/after demonstration.
     pub demonstration: Option<String>,
+    /// One-line grammar reminder for the error group (the "Grammar hints"
+    /// section of the rendered repair brief).
+    pub grammar_hint: String,
+    /// Constructs to avoid while repairing this error group (the "Avoid"
+    /// section of the rendered brief; §5 notes LLMs are often confident in
+    /// exactly these).
+    pub anti_patterns: Vec<String>,
+}
+
+impl GuidanceEntry {
+    /// Renders the entry as a full repair brief — the prompt block the
+    /// agent splices into the model's context. Sections follow the
+    /// auto-repair task template (diagnostics, grammar hints, repair
+    /// strategy, an explicit anti-patterns block, and the demonstration
+    /// when one exists).
+    pub fn render_brief(&self) -> String {
+        let mut brief = String::with_capacity(256);
+        brief.push_str("## Diagnostics\n");
+        brief.push_str(&self.log_exemplar);
+        brief.push_str("\n## Grammar hints\n");
+        brief.push_str(&self.grammar_hint);
+        brief.push_str("\n## Repair strategy\n");
+        brief.push_str(&self.guidance);
+        if !self.anti_patterns.is_empty() {
+            brief.push_str("\n## Avoid\n");
+            for pattern in &self.anti_patterns {
+                brief.push_str("- ");
+                brief.push_str(pattern);
+                brief.push('\n');
+            }
+        }
+        if let Some(demo) = &self.demonstration {
+            brief.push_str("## Demonstration\n");
+            brief.push_str(demo);
+            brief.push('\n');
+        }
+        brief
+    }
+}
+
+/// The per-category grammar hint and anti-pattern block shared by every
+/// entry of that group (and by entries the distill loop synthesises).
+pub fn category_brief(category: ErrorCategory) -> (&'static str, &'static [&'static str]) {
+    use ErrorCategory::*;
+    match category {
+        UndeclaredIdentifier => (
+            "Every identifier must be declared (port, wire, reg, genvar or integer) before use.",
+            &[
+                "Inventing new ports that the module header does not declare.",
+                "Renaming existing ports instead of fixing the use site.",
+            ],
+        ),
+        IndexOutOfRange => (
+            "A vector declared [N-1:0] has valid indices 0 through N-1.",
+            &[
+                "Using the declared width N as an index (one past the end).",
+                "Widening the vector declaration to absorb a wrong index.",
+            ],
+        ),
+        IndexArithmetic => (
+            "Index expressions must stay in range at the smallest and largest loop values.",
+            &[
+                "Testing the index expression only at a mid-range loop value.",
+                "Removing the arithmetic instead of guarding or wrapping it.",
+            ],
+        ),
+        IllegalProceduralLvalue => (
+            "Anything assigned under always/initial must be a variable (reg), not a net.",
+            &[
+                "Keeping the wire declaration and wrapping the assign in an always block.",
+                "Duplicating the driver as both assign and always.",
+            ],
+        ),
+        IllegalContinuousLvalue => (
+            "A continuous assign drives nets (wire), never variables (reg).",
+            &[
+                "Adding a second procedural driver instead of changing the declaration.",
+            ],
+        ),
+        AssignToInput => (
+            "Input ports are read-only inside the module.",
+            &[
+                "Re-declaring an input as output to silence the error.",
+                "Assigning to the input from an always block instead.",
+            ],
+        ),
+        PortConnectionMismatch => (
+            "Named connections must use the instantiated module's exact port names and arity.",
+            &[
+                "Adding ports to the instantiated module to match a wrong connection list.",
+                "Switching to positional connections to bypass a name mismatch.",
+            ],
+        ),
+        UnknownModule => (
+            "Every instantiated module must be defined (or its definition included) in the source.",
+            &[
+                "Stubbing the missing module with an empty definition that drops its outputs.",
+            ],
+        ),
+        Redeclaration => (
+            "A name may be declared once per scope; ports are already declarations.",
+            &[
+                "Renaming one of the duplicates when a single declaration is what's intended.",
+            ],
+        ),
+        SyntaxError => (
+            "Statements end with ';'; blocks pair begin/end; modules end with endmodule.",
+            &[
+                "Deleting the offending line instead of completing its syntax.",
+                "Rewriting unrelated lines the parser never complained about.",
+            ],
+        ),
+        UnbalancedBlock => (
+            "Every begin needs its end; every module/case needs endmodule/endcase.",
+            &[
+                "Closing the imbalance at the end of file instead of at the owning block.",
+            ],
+        ),
+        CStyleConstruct => (
+            "Verilog has no ++, --, += or bool; use i = i + 1 and reg/wire types.",
+            &[
+                "C-style increments and compound assignments (i++, x += y).",
+                "C types (bool, int main-style declarations) in module scope.",
+            ],
+        ),
+        MisplacedDirective => (
+            "Compiler directives like `timescale belong outside the module body.",
+            &[
+                "Commenting the directive out instead of moving it above the module.",
+            ],
+        ),
+        // Warning-level lints (width mismatch, inferred latch, missing
+        // default, unused signal): no curated entries exist for these, but
+        // the distill loop may synthesise briefs for any category.
+        _ => (
+            "Re-read the reported line against the declared widths and drivers.",
+            &["Suppressing the warning instead of addressing its cause."],
+        ),
+    }
 }
 
 /// Serializable wrapper around [`ErrorCategory`] (stored as its slug).
@@ -80,6 +219,7 @@ fn entry(
     guidance: &str,
     demo: Option<&str>,
 ) -> GuidanceEntry {
+    let (grammar_hint, anti_patterns) = category_brief(category);
     GuidanceEntry {
         id: id.to_owned(),
         category: ErrorCategorySlug(category),
@@ -87,6 +227,8 @@ fn entry(
         log_exemplar: log.to_owned(),
         guidance: guidance.to_owned(),
         demonstration: demo.map(str::to_owned),
+        grammar_hint: grammar_hint.to_owned(),
+        anti_patterns: anti_patterns.iter().map(|s| (*s).to_owned()).collect(),
     }
 }
 
@@ -119,6 +261,10 @@ impl GuidanceDatabase {
             eat(entry.log_exemplar.as_bytes());
             eat(entry.guidance.as_bytes());
             eat(entry.demonstration.as_deref().unwrap_or("").as_bytes());
+            eat(entry.grammar_hint.as_bytes());
+            for pattern in &entry.anti_patterns {
+                eat(pattern.as_bytes());
+            }
         }
         hash
     }

@@ -6,9 +6,14 @@
 //! compiler logs against it ([`retriever`]).
 //!
 //! Database shapes follow §3.3 of the paper exactly: 7 categories / 30
-//! entries for iverilog, 11 categories / 45 entries for Quartus. The default
-//! retrieval strategy is the paper's: exact match on compiler error tags,
-//! with a Jaccard fuzzy fallback for tag-less logs.
+//! entries for iverilog, 11 categories / 45 entries for Quartus. The
+//! paper's retrieval strategy — exact match on compiler error tags with a
+//! Jaccard fuzzy fallback for tag-less logs — is [`DefaultRetriever`];
+//! the process default is the Retrieval 2.0 [`HybridRetriever`]
+//! (exact-tag ≻ category ≻ lexical evidence blended into one ranked
+//! list; `RTLFIXER_RAG_HYBRID=0` restores the paper's strategy).
+//! Successful episodes feed the self-extending [`distill::DistilledStore`]
+//! (`RTLFIXER_RAG_DISTILL` kill switch).
 //!
 //! ## Example
 //!
@@ -26,11 +31,16 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod distill;
 pub mod retriever;
 pub mod text;
 
-pub use database::{DatabaseEdition, GuidanceDatabase, GuidanceEntry};
+pub use database::{category_brief, DatabaseEdition, GuidanceDatabase, GuidanceEntry};
+pub use distill::{
+    distill_enabled, log_fingerprint, DistilledEntry, DistilledSnapshot, DistilledStore,
+};
 pub use retriever::{
-    shared_tfidf_index, tfidf_corpus, DefaultRetriever, ExactTagRetriever, JaccardRetriever,
-    Retrieved, RetrievalQuery, Retriever, TfIdfRetriever,
+    hybrid_enabled, shared_tfidf_index, tfidf_corpus, DefaultRetriever, Evidence,
+    ExactTagRetriever, HybridRetriever, JaccardRetriever, Retrieved, RetrievalQuery, Retriever,
+    TfIdfRetriever,
 };

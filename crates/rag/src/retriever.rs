@@ -29,37 +29,95 @@ use crate::text::{jaccard_similarity, TfIdfIndex};
 pub struct RetrievalQuery {
     /// The raw compiler log text.
     pub log: String,
+    /// Error categories the caller's feedback layer already identified in
+    /// the log (empty when the caller has no structured view). The hybrid
+    /// retriever uses these as category evidence; tag and lexical
+    /// retrievers ignore them.
+    pub identified: Vec<ErrorCategory>,
 }
 
 impl RetrievalQuery {
     /// Builds a query from a log string.
     pub fn from_log(log: impl Into<String>) -> Self {
-        RetrievalQuery { log: log.into() }
+        RetrievalQuery { log: log.into(), identified: Vec::new() }
     }
 
-    /// Numeric error tags found in the log (`Error (10161): …`).
+    /// Attaches the caller's identified error categories.
+    pub fn with_identified(mut self, identified: Vec<ErrorCategory>) -> Self {
+        self.identified = identified;
+        self
+    }
+
+    /// Numeric error tags found in the log (`Error (10161): …`), in order
+    /// of first occurrence.
+    ///
+    /// A tag is 4–6 digits between parentheses: real Quartus message IDs
+    /// are in that band, parenthesised line numbers (`main.sv(2)`) are
+    /// shorter, and anything longer is a timestamp or address that must
+    /// not alias to a tag.
     pub fn tags(&self) -> Vec<u32> {
+        const MIN_TAG_DIGITS: usize = 4;
+        const MAX_TAG_DIGITS: usize = 6;
         let mut tags = Vec::new();
         let bytes = self.log.as_bytes();
         let mut i = 0;
         while i < bytes.len() {
-            if bytes[i] == b'(' {
-                let mut j = i + 1;
-                let mut value: u32 = 0;
-                let mut digits = 0;
-                while j < bytes.len() && bytes[j].is_ascii_digit() {
-                    value = value.saturating_mul(10) + u32::from(bytes[j] - b'0');
-                    digits += 1;
-                    j += 1;
-                }
-                if digits >= 4 && j < bytes.len() && bytes[j] == b')' && !tags.contains(&value) {
-                    tags.push(value);
-                }
-                i = j;
+            if bytes[i] != b'(' {
+                i += 1;
+                continue;
             }
-            i += 1;
+            let mut j = i + 1;
+            let mut value: u32 = 0;
+            let mut digits = 0;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                // Past the cap the run is already disqualified; stop
+                // accumulating (a 10+-digit run would overflow `u32`) but
+                // keep consuming so `j` lands past the whole run.
+                if digits < MAX_TAG_DIGITS {
+                    value = value * 10 + u32::from(bytes[j] - b'0');
+                }
+                digits += 1;
+                j += 1;
+            }
+            if (MIN_TAG_DIGITS..=MAX_TAG_DIGITS).contains(&digits)
+                && j < bytes.len()
+                && bytes[j] == b')'
+                && !tags.contains(&value)
+            {
+                tags.push(value);
+            }
+            // Resume *at* `j`, never past it: when the digit scan consumed
+            // nothing, `bytes[j]` is the byte right after `(` and may itself
+            // open a tag (`"((10161):"`); the old `i = j; i += 1` skipped it.
+            i = j.max(i + 1);
         }
         tags
+    }
+}
+
+/// The strongest kind of evidence backing a retrieval hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evidence {
+    /// Numeric error tag in the log matched the entry's tag.
+    Exact,
+    /// The caller's identified error categories cover the entry's category.
+    Category,
+    /// Token-level similarity (Jaccard or TF-IDF cosine) only.
+    Lexical,
+    /// Fingerprint hit in the distilled store (a previously successful
+    /// repair of the same error shape).
+    Distilled,
+}
+
+impl Evidence {
+    /// Stable slug for counters and reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Evidence::Exact => "exact",
+            Evidence::Category => "category",
+            Evidence::Lexical => "lexical",
+            Evidence::Distilled => "distilled",
+        }
     }
 }
 
@@ -75,6 +133,8 @@ pub struct Retrieved<'a> {
     /// flag, never on a score sentinel (fuzzy scores can legitimately
     /// reach 1.0 on degenerate logs).
     pub exact: bool,
+    /// The strongest evidence kind behind the hit (for telemetry).
+    pub evidence: Evidence,
 }
 
 /// Object-safe retriever interface.
@@ -117,10 +177,27 @@ impl Retriever for ExactTagRetriever {
         if tags.is_empty() {
             return Vec::new();
         }
-        db.entries
+        // Order hits by their tag's first occurrence in the log so the
+        // prompt leads with the first-reported (usually root-cause)
+        // diagnostic, not with whichever entry sits earliest in the
+        // database. Stable sort keeps database order within one tag.
+        let mut hits: Vec<(usize, &GuidanceEntry)> = db
+            .entries
             .iter()
-            .filter(|e| e.error_tag.is_some_and(|t| tags.contains(&t)))
-            .map(|entry| Retrieved { entry, score: 1.0, exact: true })
+            .filter_map(|e| {
+                let tag = e.error_tag?;
+                let rank = tags.iter().position(|&t| t == tag)?;
+                Some((rank, e))
+            })
+            .collect();
+        hits.sort_by_key(|&(rank, _)| rank);
+        hits.into_iter()
+            .map(|(_, entry)| Retrieved {
+                entry,
+                score: 1.0,
+                exact: true,
+                evidence: Evidence::Exact,
+            })
             .collect()
     }
 }
@@ -165,6 +242,7 @@ impl Retriever for JaccardRetriever {
                 entry,
                 score: jaccard_similarity(&query.log, &entry.log_exemplar),
                 exact: false,
+                evidence: Evidence::Lexical,
             })
             .filter(|r| r.score >= self.threshold)
             .collect();
@@ -249,9 +327,147 @@ impl Retriever for TfIdfRetriever {
             .top_k(&query.log, self.top_k)
             .into_iter()
             .filter(|(_, score)| *score >= self.threshold)
-            .map(|(i, score)| Retrieved { entry: &db.entries[i], score, exact: false })
+            .map(|(i, score)| Retrieved {
+                entry: &db.entries[i],
+                score,
+                exact: false,
+                evidence: Evidence::Lexical,
+            })
             .collect()
     }
+}
+
+/// Retrieval 2.0 (DESIGN.md §3k): blends exact-tag ≻ category ≻ lexical
+/// evidence into one ranked list with calibrated weights.
+///
+/// Every entry is scored `w_exact·[tag match] + w_cat·[category match] +
+/// w_lex·cosine`; the weights are calibrated so any exact hit (1.0)
+/// outranks the best possible non-exact blend (0.45 + 0.35 = 0.8), and a
+/// category-confirmed entry outranks a lexical-only one. Exact hits keep
+/// the first-reported-tag ordering of [`ExactTagRetriever`] and are never
+/// truncated; at most `top_k_fuzzy` non-exact hits are appended. On
+/// tag-less logs (iverilog) the category evidence carried by
+/// [`RetrievalQuery::identified`] is what the exact path never had — this
+/// is the mechanism that closes the Table 1 RAG gap between Quartus and
+/// iverilog.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridRetriever {
+    /// Weight of an exact tag match.
+    pub exact_weight: f64,
+    /// Weight of a category match against the query's identified set.
+    pub category_weight: f64,
+    /// Weight multiplying the TF-IDF cosine similarity.
+    pub lexical_weight: f64,
+    /// Minimum cosine for lexical evidence to contribute at all.
+    pub lexical_threshold: f64,
+    /// Maximum non-exact hits appended after the exact ones.
+    pub top_k_fuzzy: usize,
+}
+
+impl Default for HybridRetriever {
+    fn default() -> Self {
+        HybridRetriever {
+            exact_weight: 1.0,
+            category_weight: 0.45,
+            lexical_weight: 0.35,
+            lexical_threshold: 0.08,
+            top_k_fuzzy: 3,
+        }
+    }
+}
+
+impl HybridRetriever {
+    /// Creates the retriever with the calibrated default weights.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Retriever for HybridRetriever {
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+
+    fn retrieve<'a>(
+        &self,
+        db: &'a GuidanceDatabase,
+        query: &RetrievalQuery,
+    ) -> Vec<Retrieved<'a>> {
+        let tags = query.tags();
+        // One ranked pass over the whole database; the shared index makes
+        // the lexical leg a lookup, not a rebuild.
+        let index = shared_tfidf_index(db);
+        let mut cosine = vec![0.0f64; db.entries.len()];
+        for (i, score) in index.top_k(&query.log, db.entries.len()) {
+            cosine[i] = score;
+        }
+        struct Candidate<'a> {
+            hit: Retrieved<'a>,
+            tag_rank: usize,
+            db_index: usize,
+        }
+        let mut candidates: Vec<Candidate<'a>> = Vec::new();
+        for (db_index, entry) in db.entries.iter().enumerate() {
+            let tag_rank = entry
+                .error_tag
+                .and_then(|tag| tags.iter().position(|&t| t == tag));
+            let exact = tag_rank.is_some();
+            let category = query.identified.contains(&entry.category.0);
+            let lexical =
+                if cosine[db_index] >= self.lexical_threshold { cosine[db_index] } else { 0.0 };
+            let score = self.exact_weight * f64::from(u8::from(exact))
+                + self.category_weight * f64::from(u8::from(category))
+                + self.lexical_weight * lexical;
+            if score <= 0.0 {
+                continue;
+            }
+            let evidence = if exact {
+                Evidence::Exact
+            } else if category {
+                Evidence::Category
+            } else {
+                Evidence::Lexical
+            };
+            candidates.push(Candidate {
+                hit: Retrieved { entry, score, exact, evidence },
+                tag_rank: tag_rank.unwrap_or(usize::MAX),
+                db_index,
+            });
+        }
+        // Exact hits first in first-reported-tag order (the root-cause
+        // contract of `ExactTagRetriever`); non-exact hits by blended score,
+        // with the database index as the deterministic tiebreak.
+        candidates.sort_by(|a, b| {
+            b.hit
+                .exact
+                .cmp(&a.hit.exact)
+                .then(a.tag_rank.cmp(&b.tag_rank))
+                .then(b.hit.score.partial_cmp(&a.hit.score).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.db_index.cmp(&b.db_index))
+        });
+        let exact_count = candidates.iter().filter(|c| c.hit.exact).count();
+        candidates.truncate(exact_count + self.top_k_fuzzy);
+        candidates.into_iter().map(|c| c.hit).collect()
+    }
+}
+
+/// Whether a `RTLFIXER_RAG_*` switch is on. Unset and unrecognised
+/// spellings keep the default on (a typo must not silently change the
+/// engine, mirroring the other `RTLFIXER_*` switches); `0`/`off`/`false`/
+/// `no` turn it off.
+pub(crate) fn rag_switch_on(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(value) => {
+            !matches!(value.to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no")
+        }
+        Err(_) => true,
+    }
+}
+
+/// Whether the hybrid retriever is the process default
+/// (`RTLFIXER_RAG_HYBRID` kill switch; on unless explicitly disabled).
+pub fn hybrid_enabled() -> bool {
+    rag_switch_on("RTLFIXER_RAG_HYBRID")
 }
 
 /// The paper's composite strategy: exact tag match when the log carries
@@ -313,6 +529,120 @@ mod tests {
         // Short parenthesised numbers (line numbers) are not tags.
         let q3 = RetrievalQuery::from_log("error at main.sv(2): something");
         assert!(q3.tags().is_empty());
+    }
+
+    #[test]
+    fn tag_parsing_reexamines_paren_after_failed_scan() {
+        // Regression: the old parser advanced past the byte after a failed
+        // digit scan, so a `(` immediately following another `(` was never
+        // examined and these logs silently lost their tags.
+        let doubled = RetrievalQuery::from_log("((10161): object \"clk\" is not declared");
+        assert_eq!(doubled.tags(), vec![10161]);
+        let nested = RetrievalQuery::from_log("(see (10161)) for details");
+        assert_eq!(nested.tags(), vec![10161]);
+        // A non-digit, non-paren byte after `(` must still be stepped over.
+        let prose = RetrievalQuery::from_log("(note (10232)) and (also(10161))");
+        assert_eq!(prose.tags(), vec![10232, 10161]);
+        // A tag run ending right before another tag's opening paren.
+        let adjacent = RetrievalQuery::from_log("(123(10161)");
+        assert_eq!(adjacent.tags(), vec![10161]);
+    }
+
+    #[test]
+    fn tag_parsing_caps_digit_runs() {
+        // Quartus tags are 4–6 digits; longer runs (timestamps, addresses)
+        // must neither alias to a tag nor overflow the accumulator.
+        let q = RetrievalQuery::from_log("(12345678901234567890) then (1234567) then (10161)");
+        assert_eq!(q.tags(), vec![10161]);
+        let six = RetrievalQuery::from_log("(123456): six digits is still a tag");
+        assert_eq!(six.tags(), vec![123_456]);
+    }
+
+    #[test]
+    fn exact_hits_ordered_by_first_tag_occurrence() {
+        // The log reports the index error first; database order would lead
+        // with the undeclared-identifier entries (they sit earliest in the
+        // Quartus database). The prompt must lead with the first-reported
+        // diagnostic instead.
+        let db = GuidanceDatabase::quartus();
+        let log = "Error (10232): index 8 out of range ... Error (10161): object \"x\" \
+                   is not declared";
+        let results = ExactTagRetriever::new().retrieve(&db, &RetrievalQuery::from_log(log));
+        assert!(!results.is_empty());
+        let first_undeclared = results
+            .iter()
+            .position(|r| r.entry.category.0 == ErrorCategory::UndeclaredIdentifier)
+            .expect("undeclared entries retrieved");
+        let last_index = results
+            .iter()
+            .rposition(|r| {
+                matches!(
+                    r.entry.category.0,
+                    ErrorCategory::IndexOutOfRange | ErrorCategory::IndexArithmetic
+                )
+            })
+            .expect("index entries retrieved");
+        assert!(
+            last_index < first_undeclared,
+            "index-family hits (first-reported tag) must precede undeclared hits"
+        );
+    }
+
+    #[test]
+    fn hybrid_exact_hits_lead_and_keep_tag_order() {
+        let db = GuidanceDatabase::quartus();
+        let log = "Error (10232): index 8 out of range ... Error (10161): object \"x\" \
+                   is not declared";
+        let results = HybridRetriever::new().retrieve(&db, &RetrievalQuery::from_log(log));
+        let exact: Vec<_> = results.iter().take_while(|r| r.exact).collect();
+        assert!(!exact.is_empty(), "exact hits must lead the ranked list");
+        // All exact hits precede all non-exact ones, in first-tag order.
+        assert!(results.iter().skip(exact.len()).all(|r| !r.exact));
+        assert!(matches!(
+            exact[0].entry.category.0,
+            ErrorCategory::IndexOutOfRange | ErrorCategory::IndexArithmetic
+        ));
+        // Exact hits are never truncated by the fuzzy top-k.
+        let plain = ExactTagRetriever::new().retrieve(&db, &RetrievalQuery::from_log(log));
+        assert_eq!(exact.len(), plain.len());
+    }
+
+    #[test]
+    fn hybrid_uses_category_evidence_on_tagless_logs() {
+        // The iverilog log carries no tags; with the caller's identified
+        // categories attached, the hybrid retriever must surface the right
+        // category with `Category` evidence (never claiming exactness).
+        let db = GuidanceDatabase::iverilog();
+        let query = RetrievalQuery::from_log(IVERILOG_LOG)
+            .with_identified(vec![ErrorCategory::UndeclaredIdentifier]);
+        let results = HybridRetriever::new().retrieve(&db, &query);
+        assert!(!results.is_empty());
+        assert_eq!(results[0].entry.category.0, ErrorCategory::UndeclaredIdentifier);
+        assert!(results.iter().all(|r| !r.exact), "no tags in the log, no exact hits");
+        assert!(results
+            .iter()
+            .any(|r| r.evidence == Evidence::Category || r.evidence == Evidence::Distilled));
+        // Without identified categories it degrades to lexical-only and
+        // still retrieves (the Jaccard/TF-IDF behaviour).
+        let lexical_only =
+            HybridRetriever::new().retrieve(&db, &RetrievalQuery::from_log(IVERILOG_LOG));
+        assert!(lexical_only.iter().all(|r| r.evidence == Evidence::Lexical));
+    }
+
+    #[test]
+    fn hybrid_scores_rank_category_above_lexical_only() {
+        let db = GuidanceDatabase::iverilog();
+        let query = RetrievalQuery::from_log(IVERILOG_LOG)
+            .with_identified(vec![ErrorCategory::UndeclaredIdentifier]);
+        let results = HybridRetriever::new().retrieve(&db, &query);
+        let first_lexical = results.iter().position(|r| r.evidence == Evidence::Lexical);
+        let last_category = results.iter().rposition(|r| r.evidence == Evidence::Category);
+        if let (Some(lex), Some(cat)) = (first_lexical, last_category) {
+            assert!(cat < lex, "category-confirmed hits must outrank lexical-only ones");
+        }
+        for pair in results.windows(2) {
+            assert!(pair[0].score >= pair[1].score, "one ranked list, best first");
+        }
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The distill loop must invalidate the shared TF-IDF index: merging a
+//! brief changes the merged database's content fingerprint, which is the
+//! cache key `shared_tfidf_index` lives under — so retrievers on the grown
+//! database get an index covering the new entry, while retrievers still on
+//! the base database keep their original index untouched. Exercised from
+//! many threads at once, because that is how the serve daemon hits it.
+
+use std::sync::Arc;
+use std::thread;
+
+use rtlfixer_rag::{
+    shared_tfidf_index, DistilledEntry, DistilledStore, GuidanceDatabase, RetrievalQuery,
+    Retriever, TfIdfRetriever,
+};
+use rtlfixer_verilog::diag::ErrorCategory;
+
+#[test]
+fn merged_database_gets_a_fresh_index_under_concurrency() {
+    let base = Arc::new(GuidanceDatabase::quartus());
+    let base_index = shared_tfidf_index(&base);
+    assert_eq!(base_index.len(), base.entries.len());
+
+    let store = DistilledStore::new();
+    store.merge(&[DistilledEntry::from_episode(
+        "syntax error near 'zorblefrazzle' on line 7",
+        ErrorCategory::SyntaxError,
+        2,
+        1,
+    )]);
+    let merged = store.merged_database(&base);
+    assert_ne!(merged.fingerprint(), base.fingerprint());
+
+    // Many threads race the first build of the merged index; every one
+    // must observe a coherent index covering the distilled entry, and the
+    // cache must converge on a single shared Arc.
+    let indexes: Vec<_> = {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let merged = Arc::clone(&merged);
+                thread::spawn(move || shared_tfidf_index(&merged))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    };
+    for index in &indexes {
+        assert_eq!(index.len(), base.entries.len() + 1);
+    }
+    for pair in indexes.windows(2) {
+        assert!(Arc::ptr_eq(&pair[0], &pair[1]), "cache did not converge");
+    }
+
+    // The base database's index is untouched — same Arc, same length.
+    let base_again = shared_tfidf_index(&base);
+    assert!(Arc::ptr_eq(&base_index, &base_again));
+    assert_eq!(base_again.len(), base.entries.len());
+
+    // And a lexical retriever over the merged database can actually reach
+    // the distilled entry through the fresh index.
+    let retriever = TfIdfRetriever::new();
+    let query =
+        RetrievalQuery::from_log("syntax error near 'zorblefrazzle' on line 12".to_owned());
+    let hits = retriever.retrieve(&merged, &query);
+    assert!(
+        hits.iter().any(|h| h.entry.id.starts_with("distilled-")),
+        "distilled entry unreachable: {:?}",
+        hits.iter().map(|h| h.entry.id.as_str()).collect::<Vec<_>>()
+    );
+}

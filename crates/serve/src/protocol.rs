@@ -187,6 +187,7 @@ impl JobSpec {
             capability: self.capability,
             seed: self.seed,
             deadline_ms: self.deadline_ms,
+            distilled: None,
         }
     }
 }
@@ -348,6 +349,7 @@ mod tests {
             remaining_categories: vec![],
             degraded: false,
             fault_events: 0,
+            distilled: vec![],
             trace,
         };
         let lines = outcome_lines("00ff", &outcome);

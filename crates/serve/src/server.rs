@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 use rtlfixer_eval::panic_message;
 use rtlfixer_faults::{record_recovered, FaultKind, FaultPlan};
 use rtlfixer_obs as obs;
+use rtlfixer_rag::DistilledStore;
 
 use crate::admission::{Admission, Admit, QueuedJob, QuotaSpec, Waiter};
 use crate::protocol::{
@@ -117,6 +118,7 @@ pub enum Delivery {
 pub struct Daemon {
     port: u16,
     admission: Arc<Admission>,
+    distilled: Arc<DistilledStore>,
     workers: Vec<JoinHandle<()>>,
     accept: Option<JoinHandle<()>>,
     stop_accept: Arc<AtomicBool>,
@@ -129,14 +131,21 @@ impl Daemon {
         listener.set_nonblocking(true)?;
         let port = listener.local_addr()?.port();
         let admission = Arc::new(Admission::new(config.queue_limit, config.quota.clone()));
+        // One distilled store per daemon: every successful repair that took
+        // real revisions files a brief, and every later request that hits
+        // the same (normalised) error shape retrieves it — the daemon gets
+        // better at the traffic it actually serves. `RTLFIXER_RAG_DISTILL=0`
+        // turns the loop off (the fixer builder ignores the store).
+        let distilled = Arc::new(DistilledStore::new());
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for index in 0..config.workers.max(1) {
             let admission = Arc::clone(&admission);
+            let distilled = Arc::clone(&distilled);
             let min_service_us = config.min_service_us;
             workers.push(
                 thread::Builder::new()
                     .name(format!("serve-worker-{index}"))
-                    .spawn(move || worker_loop(&admission, min_service_us))
+                    .spawn(move || worker_loop(&admission, &distilled, min_service_us))
                     .expect("spawn serve worker"),
             );
         }
@@ -158,12 +167,17 @@ impl Daemon {
                 ("queue_limit", config.queue_limit.to_string()),
             ],
         );
-        Ok(Daemon { port, admission, workers, accept: Some(accept), stop_accept })
+        Ok(Daemon { port, admission, distilled, workers, accept: Some(accept), stop_accept })
     }
 
     /// The bound port.
     pub fn port(&self) -> u16 {
         self.port
+    }
+
+    /// Repair briefs distilled from served episodes so far.
+    pub fn distilled_entries(&self) -> usize {
+        self.distilled.len()
     }
 
     /// Stops admitting new work (idempotent). Workers keep draining the
@@ -364,7 +378,7 @@ fn fan_out(waiters: Vec<Waiter>, lines: &Arc<Vec<String>>) {
     }
 }
 
-fn worker_loop(admission: &Admission, min_service_us: u64) {
+fn worker_loop(admission: &Admission, distilled: &Arc<DistilledStore>, min_service_us: u64) {
     while let Some(job) = admission.dequeue_blocking() {
         let _request_span = obs::span(obs::kind::REQUEST);
         // Wall-clock deadline: work whose deadline expired while queued is
@@ -379,8 +393,11 @@ fn worker_loop(admission: &Admission, min_service_us: u64) {
             }
         }
         obs::episode_begin();
-        let outcome =
-            catch_unwind(AssertUnwindSafe(|| rtlfixer_eval::run_repair(&job.spec.as_repair_job())));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut repair = job.spec.as_repair_job();
+            repair.distilled = Some(distilled);
+            rtlfixer_eval::run_repair(&repair)
+        }));
         if let Some(telemetry) = obs::episode_end() {
             obs::merge(&telemetry);
         }
@@ -392,6 +409,12 @@ fn worker_loop(admission: &Admission, min_service_us: u64) {
                 obs::counter_add("serve.completed", 1);
                 if outcome.success {
                     obs::counter_add("serve.fixed", 1);
+                }
+                // A serve worker's episode completion IS its pool barrier:
+                // the episode ran on a build-time snapshot, so merging here
+                // never races a running fixer.
+                if distilled.merge(&outcome.distilled) > 0 {
+                    obs::gauge_set("serve.distilled.entries", distilled.len() as i64);
                 }
                 outcome_lines(&job.fp, &outcome)
             }

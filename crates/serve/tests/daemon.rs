@@ -111,6 +111,28 @@ fn fix_round_trip_streams_trace_then_result() {
     daemon.drain();
 }
 
+/// A successful repair that took real revisions leaves a distilled brief
+/// behind, shared across all of the daemon's later requests.
+#[test]
+fn served_repairs_grow_the_distilled_store() {
+    let _guard = setup();
+    let daemon = Daemon::start(config(2, 16, 0)).expect("daemon starts");
+    assert_eq!(daemon.distilled_entries(), 0);
+    let mut client = Client::connect(daemon.port());
+    client.send(&fix_line(BROKEN, ",\"problem\":\"register the input\",\"seed\":3"));
+    loop {
+        let (_, event) = client.recv();
+        if event.ev == "result" {
+            assert_eq!(event.success, Some(true), "archetype must fix");
+            break;
+        }
+    }
+    // The worker merges before fanning the result out, so by the time the
+    // client sees `result` the store is populated.
+    assert_eq!(daemon.distilled_entries(), 1);
+    daemon.drain();
+}
+
 /// Satellite: N concurrent identical requests coalesce onto one episode —
 /// every client gets a byte-identical response stream, and the telemetry
 /// trace shows exactly one episode span.
